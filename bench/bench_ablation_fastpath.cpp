@@ -1,0 +1,155 @@
+// Micro-ablations of the fast-path design choices DESIGN.md calls out,
+// using google-benchmark:
+//
+//   * BytePatch (one masked sweep) vs field-by-field modify application;
+//   * classifier cost (parse + validate + FID assignment);
+//   * Global MAT fast-path dispatch, with and without registered events
+//     (cost of the per-packet event check);
+//   * consolidation cost (the one-time per-flow control-plane work);
+//   * packet parse and checksum-validation primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/classifier.hpp"
+#include "core/global_mat.hpp"
+#include "net/checksum.hpp"
+#include "net/fields.hpp"
+#include "net/packet_builder.hpp"
+
+namespace speedybox {
+namespace {
+
+net::FiveTuple bench_tuple(std::uint32_t id = 1) {
+  net::FiveTuple tuple;
+  tuple.src_ip = net::Ipv4Addr{0xC0A80000u + id};
+  tuple.dst_ip = net::Ipv4Addr{10, 1, 0, 1};
+  tuple.src_port = 22222;
+  tuple.dst_port = 80;
+  tuple.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+  return tuple;
+}
+
+std::vector<core::HeaderAction> nat_lb_actions() {
+  return {
+      core::HeaderAction::modify(net::HeaderField::kSrcIp, 0x0A000001),
+      core::HeaderAction::modify(net::HeaderField::kSrcPort, 33333),
+      core::HeaderAction::modify(net::HeaderField::kDstIp, 0x0A020010),
+      core::HeaderAction::modify(net::HeaderField::kDstPort, 8000),
+  };
+}
+
+void BM_ApplyFieldByField(benchmark::State& state) {
+  net::Packet packet = net::make_tcp_packet(bench_tuple(), "payload");
+  const auto actions = nat_lb_actions();
+  for (auto _ : state) {
+    for (const auto& action : actions) {
+      core::apply_action_baseline(action, packet);
+    }
+    benchmark::DoNotOptimize(packet.bytes().data());
+  }
+}
+BENCHMARK(BM_ApplyFieldByField);
+
+void BM_ApplyBytePatch(benchmark::State& state) {
+  net::Packet packet = net::make_tcp_packet(bench_tuple(), "payload");
+  const core::ConsolidatedAction action = core::consolidate(nat_lb_actions());
+  core::BytePatch patch;
+  for (auto _ : state) {
+    core::apply_consolidated(action, patch, packet);
+    benchmark::DoNotOptimize(packet.bytes().data());
+  }
+}
+BENCHMARK(BM_ApplyBytePatch);
+
+void BM_ParsePacket(benchmark::State& state) {
+  const net::Packet packet = net::make_tcp_packet(bench_tuple(), "payload");
+  for (auto _ : state) {
+    auto parsed = net::parse_packet(packet);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParsePacket);
+
+void BM_ValidateIpv4Checksum(benchmark::State& state) {
+  const net::Packet packet = net::make_tcp_packet(bench_tuple(), "payload");
+  const auto parsed = net::parse_packet(packet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::verify_ipv4_checksum(packet, parsed->l3_offset));
+  }
+}
+BENCHMARK(BM_ValidateIpv4Checksum);
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  const net::FiveTuple tuple = bench_tuple();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuple.hash());
+  }
+}
+BENCHMARK(BM_FiveTupleHash);
+
+void BM_ClassifierSubsequent(benchmark::State& state) {
+  core::PacketClassifier classifier;
+  net::Packet first = net::make_tcp_packet(bench_tuple(), "x");
+  classifier.classify(first);
+  net::Packet packet = net::make_tcp_packet(bench_tuple(), "x");
+  for (auto _ : state) {
+    auto result = classifier.classify(packet);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ClassifierSubsequent);
+
+/// Fast-path dispatch with `events` registered hair-trigger-free events
+/// (arg 0 or 4): measures the per-packet cost of the event check.
+void BM_GlobalMatProcess(benchmark::State& state) {
+  core::LocalMat nat{"nat", 0};
+  core::GlobalMat mat;
+  mat.set_chain({&nat});
+  const std::uint32_t fid = 7;
+  for (const auto& action : nat_lb_actions()) {
+    nat.add_header_action(fid, action);
+  }
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    core::EventRegistration event;
+    event.fid = fid;
+    event.nf_index = 0;
+    event.name = "never";
+    event.condition = [] { return false; };
+    event.update = [] { return core::EventUpdate{}; };
+    event.one_shot = false;
+    mat.event_table().register_event(std::move(event));
+  }
+  mat.consolidate_flow(fid);
+
+  net::Packet packet = net::make_tcp_packet(bench_tuple(), "payload");
+  packet.set_fid(fid);
+  for (auto _ : state) {
+    auto result = mat.process(packet);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GlobalMatProcess)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_ConsolidateFlow(benchmark::State& state) {
+  core::LocalMat nat{"nat", 0};
+  core::LocalMat monitor{"monitor", 1};
+  core::GlobalMat mat;
+  mat.set_chain({&nat, &monitor});
+  const std::uint32_t fid = 9;
+  for (const auto& action : nat_lb_actions()) {
+    nat.add_header_action(fid, action);
+  }
+  monitor.add_state_function(
+      fid, core::StateFunction{
+               [](net::Packet&, const net::ParsedPacket&) {},
+               core::PayloadAccess::kIgnore, "count"});
+  for (auto _ : state) {
+    mat.consolidate_flow(fid);
+  }
+}
+BENCHMARK(BM_ConsolidateFlow);
+
+}  // namespace
+}  // namespace speedybox
+
+BENCHMARK_MAIN();

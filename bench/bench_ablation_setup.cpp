@@ -1,0 +1,71 @@
+// Control-plane ablation (beyond the paper): what a new flow costs.
+//
+// SpeedyBox's per-packet wins are bought with per-flow setup work —
+// recording pass + consolidation — so flow-setup throughput bounds how
+// churn-heavy a deployment can be. This bench reports:
+//   * consolidation cost vs chain length (the Global MAT's own work);
+//   * full setup cost (recording traversal + consolidation) vs chain
+//     length, and the flow-setup rate it implies;
+//   * the break-even flow length: how many subsequent packets repay the
+//     setup premium relative to the original path.
+#include "bench_util.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+void run() {
+  print_header("Ablation: per-flow setup cost (recording + consolidation)");
+  std::printf("%-7s %16s %16s %16s %14s %12s\n", "Chain", "Orig-init cyc",
+              "SBox-init cyc", "SBox-sub cyc", "setup rate",
+              "break-even");
+
+  for (std::size_t n : {1, 2, 4, 6, 8}) {
+    const ChainFactory factory = [n] {
+      auto chain = std::make_unique<runtime::ServiceChain>();
+      for (std::size_t i = 0; i < n; ++i) {
+        chain->emplace_nf<nf::IpFilter>(nonmatching_acl(),
+                                        "f" + std::to_string(i));
+      }
+      return chain;
+    };
+    // Churn-heavy workload: many short flows.
+    const trace::Workload workload =
+        trace::make_uniform_workload(400, 5, 32);
+    const ConfigResult original = run_config(
+        factory, platform::PlatformKind::kBess, false, workload);
+    const ConfigResult speedy = run_config(
+        factory, platform::PlatformKind::kBess, true, workload);
+
+    // Break-even: packets after which the setup premium is repaid by the
+    // per-packet saving.
+    const double setup_premium =
+        speedy.init_cycles - original.init_cycles;
+    const double per_packet_saving =
+        original.sub_cycles - speedy.sub_cycles;
+    const double break_even =
+        per_packet_saving > 0 ? setup_premium / per_packet_saving : -1;
+    const double setup_rate_kfps =
+        util::CycleClock::frequency_hz() / speedy.init_cycles / 1e3;
+
+    std::printf("%-7zu %16.0f %16.0f %16.0f %11.0f k/s ", n,
+                original.init_cycles, speedy.init_cycles, speedy.sub_cycles,
+                setup_rate_kfps);
+    if (break_even >= 0) {
+      std::printf("%9.1f pkts\n", break_even);
+    } else {
+      std::printf("%12s\n", "n/a");
+    }
+  }
+  std::printf(
+      "\n(setup rate = new flows/s one manager core can consolidate;\n"
+      " break-even = flow length beyond which SpeedyBox is a net win on\n"
+      " platform CPU cycles)\n\n");
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main() {
+  speedybox::bench::run();
+  return 0;
+}

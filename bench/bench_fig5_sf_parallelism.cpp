@@ -1,0 +1,70 @@
+// Figure 5: effect of state function parallelism.
+//
+// Chain of 1-3 identical synthetic NFs; each has no header action and one
+// READ-class state function "equivalent to the Snort packet inspection"
+// (repeated payload hashing, ~1µs). Reports processing rate (Mpps, Fig. 5a)
+// and per-packet latency (µs, Fig. 5b) for the four configurations.
+//
+// Expected shape (paper): BESS rate falls with #SF, BESS+SBox stays ~flat
+// (2.1x at 3 SFs); ONVM rate flat (pipelined) with or without SBox;
+// SpeedyBox latency ~flat vs #SF (59% lower at 3 SFs), with a small
+// overhead at 1 SF; optimal reduction is (N-1)/N.
+#include "nf/synthetic_nf.hpp"
+
+#include "bench_util.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+constexpr std::uint32_t kSnortEquivalentIterations = 220;
+
+void run() {
+  const trace::Workload workload = trace::make_uniform_workload(
+      /*flow_count=*/32, /*packets_per_flow=*/300, /*payload_size=*/10);
+
+  print_header("Figure 5: state function parallelism (synthetic NFs, "
+               "READ-class SF ~ Snort inspection)");
+  std::printf("%-6s | %-42s | %-42s\n", "", "Processing rate (Mpps)",
+              "Processing latency (us)");
+  std::printf("%-6s | %9s %11s %9s %11s | %9s %11s %9s %11s\n", "# SF",
+              "BESS", "BESS+SBox", "ONVM", "ONVM+SBox", "BESS", "BESS+SBox",
+              "ONVM", "ONVM+SBox");
+
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const ChainFactory factory = [n] {
+      auto chain = std::make_unique<runtime::ServiceChain>();
+      for (std::size_t i = 0; i < n; ++i) {
+        nf::SyntheticNfConfig config;
+        config.access = core::PayloadAccess::kRead;
+        config.work_iterations = kSnortEquivalentIterations;
+        chain->emplace_nf<nf::SyntheticNf>(config,
+                                           "syn" + std::to_string(i));
+      }
+      return chain;
+    };
+    const ConfigResult bess =
+        run_config(factory, platform::PlatformKind::kBess, false, workload);
+    const ConfigResult bess_sbox =
+        run_config(factory, platform::PlatformKind::kBess, true, workload);
+    const ConfigResult onvm =
+        run_config(factory, platform::PlatformKind::kOnvm, false, workload);
+    const ConfigResult onvm_sbox =
+        run_config(factory, platform::PlatformKind::kOnvm, true, workload);
+
+    std::printf("%-6zu | %9.3f %11.3f %9.3f %11.3f | %9.3f %11.3f %9.3f "
+                "%11.3f\n",
+                n, bess.rate_mpps, bess_sbox.rate_mpps, onvm.rate_mpps,
+                onvm_sbox.rate_mpps, bess.sub_latency_us,
+                bess_sbox.sub_latency_us, onvm.sub_latency_us,
+                onvm_sbox.sub_latency_us);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main() {
+  speedybox::bench::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8: SpeedyBox with service chains of different lengths.
+//
+// Chains of 1-9 IPFilters with ACLs tuned to avoid drops. Reports processing
+// latency and rate vs chain length for the four configurations. Like the
+// paper's testbed (14 cores), OpenNetVM rows stop at length 5 — one
+// dedicated core per NF plus manager/generator cores is the paper's limit.
+//
+// Expected shape (paper): original latency grows linearly with length;
+// SpeedyBox latency is nearly independent of length on both platforms;
+// BESS+SBox keeps a high rate on long chains; ONVM rate stays flat with or
+// without SpeedyBox (pipelined model).
+#include "bench_util.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+constexpr std::size_t kOnvmMaxChainLength = 5;
+
+void run() {
+  const trace::Workload workload = trace::make_uniform_workload(
+      /*flow_count=*/64, /*packets_per_flow=*/150, /*payload_size=*/10);
+
+  print_header("Figure 8: service chains of length 1-9 (ONVM limited to 5, "
+               "matching the paper's core budget)");
+  std::printf("%-7s | %-42s | %-42s\n", "", "Processing latency (us)",
+              "Processing rate (Mpps)");
+  std::printf("%-7s | %9s %11s %9s %11s | %9s %11s %9s %11s\n", "Length",
+              "BESS", "BESS+SBox", "ONVM", "ONVM+SBox", "BESS", "BESS+SBox",
+              "ONVM", "ONVM+SBox");
+
+  for (std::size_t n = 1; n <= 9; ++n) {
+    const ChainFactory factory = [n] {
+      auto chain = std::make_unique<runtime::ServiceChain>();
+      for (std::size_t i = 0; i < n; ++i) {
+        chain->emplace_nf<nf::IpFilter>(nonmatching_acl(),
+                                        "ipfilter" + std::to_string(i));
+      }
+      return chain;
+    };
+    const ConfigResult bess =
+        run_config(factory, platform::PlatformKind::kBess, false, workload);
+    const ConfigResult bess_sbox =
+        run_config(factory, platform::PlatformKind::kBess, true, workload);
+
+    if (n <= kOnvmMaxChainLength) {
+      const ConfigResult onvm =
+          run_config(factory, platform::PlatformKind::kOnvm, false, workload);
+      const ConfigResult onvm_sbox =
+          run_config(factory, platform::PlatformKind::kOnvm, true, workload);
+      std::printf("%-7zu | %9.3f %11.3f %9.3f %11.3f | %9.3f %11.3f %9.3f "
+                  "%11.3f\n",
+                  n, bess.sub_latency_us, bess_sbox.sub_latency_us,
+                  onvm.sub_latency_us, onvm_sbox.sub_latency_us,
+                  bess.rate_mpps, bess_sbox.rate_mpps, onvm.rate_mpps,
+                  onvm_sbox.rate_mpps);
+    } else {
+      std::printf("%-7zu | %9.3f %11.3f %9s %11s | %9.3f %11.3f %9s %11s\n",
+                  n, bess.sub_latency_us, bess_sbox.sub_latency_us, "--",
+                  "--", bess.rate_mpps, bess_sbox.rate_mpps, "--", "--");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main() {
+  speedybox::bench::run();
+  return 0;
+}

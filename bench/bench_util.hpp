@@ -1,0 +1,91 @@
+// Shared harness for the figure/table reproduction benchmarks.
+//
+// Each bench binary rebuilds the paper's experimental setup (workload +
+// chain + platform), runs the four configurations {BESS, ONVM} ×
+// {Original, SpeedyBox}, and prints the same rows/series the paper reports.
+// Absolute numbers are machine-dependent; EXPERIMENTS.md compares shapes.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nf/ip_filter.hpp"
+#include "runtime/runner.hpp"
+#include "trace/workload.hpp"
+#include "util/cycle_clock.hpp"
+
+namespace speedybox::bench {
+
+using ChainFactory = std::function<std::unique_ptr<runtime::ServiceChain>()>;
+
+struct ConfigResult {
+  /// Platform CPU cycles per packet (measured work + per-NF framework
+  /// overhead) — what the paper's platform-level cycle counts report.
+  double init_cycles = 0;  // initial packets
+  double sub_cycles = 0;   // subsequent packets
+  double sub_latency_us = 0;     // modeled latency (mean), subsequent
+  double p50_flow_time_us = 0;   // per-flow processing time median
+  double rate_mpps = 0;
+  runtime::RunStats stats;
+  util::SampleRecorder flow_time_us;
+};
+
+inline ConfigResult run_config(const ChainFactory& factory,
+                               platform::PlatformKind platform,
+                               bool speedybox,
+                               const trace::Workload& workload,
+                               bool measure_per_nf = false) {
+  auto chain = factory();
+  runtime::ChainRunner runner{*chain,
+                              {platform, speedybox, measure_per_nf}};
+  runner.run_workload(workload);
+  ConfigResult result;
+  result.stats = runner.stats();
+  const auto& stats = result.stats;
+  // Medians, not means: runs share a noisy core with the host, and a
+  // single interrupt inside one packet's measurement shifts a mean far
+  // more than it shifts the p50.
+  if (stats.platform_cycles_initial.count() > 0) {
+    result.init_cycles = stats.platform_cycles_initial.percentile(50);
+  }
+  if (stats.platform_cycles_subsequent.count() > 0) {
+    result.sub_cycles = stats.platform_cycles_subsequent.percentile(50);
+    result.sub_latency_us = stats.latency_us_subsequent.percentile(50);
+  }
+  result.rate_mpps = stats.rate_mpps(platform);
+  result.flow_time_us = runner.flow_time_us();
+  if (result.flow_time_us.count() > 0) {
+    result.p50_flow_time_us = result.flow_time_us.percentile(50);
+  }
+  return result;
+}
+
+/// An ACL of `rules` entries that never matches the benchmark flows
+/// (dst prefixes in 172.31/16): models a realistically sized blacklist
+/// whose linear scan is paid by initial packets.
+inline std::vector<nf::AclRule> nonmatching_acl(std::size_t rules = 32) {
+  std::vector<nf::AclRule> acl;
+  acl.reserve(rules);
+  for (std::size_t i = 0; i < rules; ++i) {
+    acl.push_back(nf::AclRule::drop_dst_prefix(
+        net::Ipv4Addr{172, 31, static_cast<std::uint8_t>(i), 0}, 24));
+  }
+  return acl;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(CPU frequency: %.2f GHz; cycles are measured, hop costs modeled"
+              " — see DESIGN.md)\n",
+              util::CycleClock::frequency_hz() / 1e9);
+  std::printf("================================================================\n");
+}
+
+inline double reduction_pct(double original, double speedybox) {
+  return original > 0 ? (original - speedybox) / original * 100.0 : 0.0;
+}
+
+}  // namespace speedybox::bench

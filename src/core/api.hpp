@@ -1,0 +1,111 @@
+// SpeedyBox instrumentation APIs (§IV-B, Figure 2).
+//
+// An NF receives a SpeedyBoxContext while processing the *initial* packet of
+// a flow on the recording path, and uses it to describe what it just did:
+//
+//   ctx->add_header_action(HeaderAction::modify(kDstPort, 8080));
+//   ctx->add_state_function({handler, PayloadAccess::kRead, "inspect"});
+//   ctx->register_event("failover", condition, update);
+//
+// The calls only *record* behavior — they never change the NF's own
+// processing — which is why integrating an NF takes a handful of lines
+// (Table II). On the baseline path and for pure observation the context is
+// null and NFs behave exactly as unmodified NFs.
+//
+// The free functions at the bottom mirror Figure 2's C-style signatures
+// one-for-one for fidelity with the paper; they are thin wrappers over the
+// context methods.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/event_table.hpp"
+#include "core/header_action.hpp"
+#include "core/local_mat.hpp"
+#include "core/state_function.hpp"
+#include "net/packet.hpp"
+
+namespace speedybox::core {
+
+class SpeedyBoxContext {
+ public:
+  SpeedyBoxContext(LocalMat& local_mat, EventTable& events,
+                   std::uint32_t fid) noexcept
+      : local_mat_(&local_mat), events_(&events), fid_(fid) {}
+
+  std::uint32_t fid() const noexcept { return fid_; }
+
+  /// Figure 2: localmat_add_HA.
+  void add_header_action(const HeaderAction& action) {
+    local_mat_->add_header_action(fid_, action);
+  }
+
+  /// Figure 2: localmat_add_SF.
+  void add_state_function(StateFunction fn) {
+    local_mat_->add_state_function(fid_, std::move(fn));
+  }
+
+  /// Release NF-internal per-flow state when the flow is torn down. On the
+  /// fast path the NF never sees the FIN/RST packet, so cleanup it would do
+  /// inline runs through this hook instead.
+  void on_teardown(std::function<void()> hook) {
+    local_mat_->add_teardown_hook(fid_, std::move(hook));
+  }
+
+  /// Figure 2: register_event.
+  void register_event(std::string name, ConditionHandler condition,
+                      UpdateHandler update, bool one_shot = true) {
+    EventRegistration event;
+    event.fid = fid_;
+    event.nf_index = local_mat_->nf_index();
+    event.name = std::move(name);
+    event.condition = std::move(condition);
+    event.update = std::move(update);
+    event.one_shot = one_shot;
+    events_->register_event(std::move(event));
+  }
+
+ private:
+  LocalMat* local_mat_;
+  EventTable* events_;
+  std::uint32_t fid_;
+};
+
+// --- Figure-2 literal surface ---------------------------------------------
+
+/// "int nf_extract_fid(packet_descriptor*)": the FID the classifier attached
+/// to the descriptor.
+inline std::uint32_t nf_extract_fid(const net::Packet& packet) noexcept {
+  return packet.fid();
+}
+
+/// "void localmat_add_HA(int FID, HA header_action, args* arg_list)".
+inline void localmat_add_HA(SpeedyBoxContext* ctx,
+                            const HeaderAction& header_action) {
+  if (ctx != nullptr) ctx->add_header_action(header_action);
+}
+
+/// "void localmat_add_SF(int FID, function_handler*, int function_type,
+///  args* arg_list)".
+inline void localmat_add_SF(SpeedyBoxContext* ctx, StateFunctionHandler fn,
+                            PayloadAccess function_type,
+                            std::string name = {}) {
+  if (ctx != nullptr) {
+    ctx->add_state_function(
+        StateFunction{std::move(fn), function_type, std::move(name)});
+  }
+}
+
+/// "void register_event(int FID, condition_handler*, args* arg_list,
+///  HA update_action, update_function_handler*)".
+inline void register_event(SpeedyBoxContext* ctx, std::string name,
+                           ConditionHandler condition, UpdateHandler update,
+                           bool one_shot = true) {
+  if (ctx != nullptr) {
+    ctx->register_event(std::move(name), std::move(condition),
+                        std::move(update), one_shot);
+  }
+}
+
+}  // namespace speedybox::core

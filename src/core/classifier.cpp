@@ -1,0 +1,77 @@
+#include "core/classifier.hpp"
+
+#include "net/checksum.hpp"
+#include "util/cycle_clock.hpp"
+
+namespace speedybox::core {
+
+std::optional<PacketClassifier::Classification> PacketClassifier::classify(
+    net::Packet& packet) {
+  // Parse and validate once for the whole chain; the fast path never
+  // re-parses or re-validates (R1 amortization).
+  const auto parsed = net::parse_packet(packet);
+  if (!parsed || !net::verify_ipv4_checksum(packet, parsed->l3_offset)) {
+    return std::nullopt;
+  }
+
+  Classification result;
+  result.parsed = *parsed;
+  result.teardown = parsed->is_tcp() && parsed->has_fin_or_rst();
+
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const std::uint64_t stamp = packet.arrival_cycle() != 0
+                                  ? packet.arrival_cycle()
+                                  : util::CycleClock::now();
+  const auto it = by_tuple_.find(tuple);
+  if (it != by_tuple_.end()) {
+    result.path = Path::kSubsequent;
+    result.fid = it->second.fid;
+    it->second.last_seen_cycles = stamp;
+    ++subsequent_count_;
+  } else {
+    result.path = Path::kInitial;
+    result.fid = assign_fid(tuple);
+    by_tuple_.emplace(tuple, FlowRecord{result.fid, stamp});
+    by_fid_.emplace(result.fid, tuple);
+    ++initial_count_;
+  }
+
+  packet.set_fid(result.fid);
+  packet.set_initial(result.path == Path::kInitial);
+  return result;
+}
+
+std::uint32_t PacketClassifier::assign_fid(const net::FiveTuple& tuple) {
+  std::uint32_t fid =
+      static_cast<std::uint32_t>(tuple.hash()) & net::kFidMask;
+  // Linear probe past FIDs held by other live flows.
+  while (by_fid_.contains(fid)) {
+    fid = (fid + 1) & net::kFidMask;
+  }
+  return fid;
+}
+
+void PacketClassifier::release_flow(std::uint32_t fid) {
+  const auto it = by_fid_.find(fid);
+  if (it == by_fid_.end()) return;
+  by_tuple_.erase(it->second);
+  by_fid_.erase(it);
+}
+
+std::vector<std::uint32_t> PacketClassifier::collect_idle(
+    std::uint64_t now_cycles, std::uint64_t max_age_cycles) const {
+  std::vector<std::uint32_t> idle;
+  for (const auto& [tuple, record] : by_tuple_) {
+    if (now_cycles - record.last_seen_cycles > max_age_cycles) {
+      idle.push_back(record.fid);
+    }
+  }
+  return idle;
+}
+
+void PacketClassifier::clear() {
+  by_tuple_.clear();
+  by_fid_.clear();
+}
+
+}  // namespace speedybox::core

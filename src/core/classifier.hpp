@@ -1,0 +1,78 @@
+// The Packet Classifier (§III, §VI-B): front door of the SpeedyBox data
+// path. For every arriving packet it
+//
+//   1. parses the header chain once (the fast path never re-parses),
+//   2. hashes the five-tuple to a 20-bit FID and attaches it as descriptor
+//      metadata — the FID stays consistent along the chain even if an NF
+//      rewrites the five-tuple,
+//   3. dispatches: unseen flow -> initial path (original chain, recording);
+//      known flow -> subsequent path (Global MAT),
+//   4. tracks flow state: a FIN or RST marks the flow for teardown so the
+//      rules in the Global and Local MATs can be freed.
+//
+// FID collisions (two live tuples hashing to the same 20-bit value) are
+// resolved by linear probing in FID space, keeping the FID↔flow mapping
+// one-to-one among active flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace speedybox::core {
+
+class PacketClassifier {
+ public:
+  enum class Path : std::uint8_t { kInitial, kSubsequent };
+
+  struct Classification {
+    Path path = Path::kInitial;
+    std::uint32_t fid = net::kInvalidFid;
+    bool teardown = false;  // FIN/RST seen on this packet
+    net::ParsedPacket parsed;
+  };
+
+  /// Parse + FID assignment + dispatch decision. Attaches FID and the
+  /// initial/subsequent flag to the packet metadata. Returns nullopt for
+  /// malformed packets (caller drops them).
+  std::optional<Classification> classify(net::Packet& packet);
+
+  /// Free the FID after the teardown packet has been fully processed.
+  void release_flow(std::uint32_t fid);
+
+  /// FIDs of flows whose last packet is older than `max_age_cycles` before
+  /// `now`. FIN/RST covers TCP teardown (§VI-B); idle expiry is the
+  /// complementary garbage collection for UDP and abandoned connections.
+  /// The caller tears each flow down (Global MAT erase + release_flow).
+  std::vector<std::uint32_t> collect_idle(std::uint64_t now_cycles,
+                                          std::uint64_t max_age_cycles) const;
+
+  std::size_t active_flows() const noexcept { return by_fid_.size(); }
+  std::uint64_t initial_count() const noexcept { return initial_count_; }
+  std::uint64_t subsequent_count() const noexcept { return subsequent_count_; }
+
+  void clear();
+
+ private:
+  struct FlowRecord {
+    std::uint32_t fid = net::kInvalidFid;
+    std::uint64_t last_seen_cycles = 0;
+  };
+
+  std::uint32_t assign_fid(const net::FiveTuple& tuple);
+
+  /// Flow table: the single per-packet lookup. last-seen rides in the same
+  /// record (updated in place), and the timestamp reuses the packet's
+  /// arrival stamp when the caller provided one, so idle tracking adds no
+  /// extra map operation or counter read to the fast path.
+  std::unordered_map<net::FiveTuple, FlowRecord, net::FiveTupleHash>
+      by_tuple_;
+  std::unordered_map<std::uint32_t, net::FiveTuple> by_fid_;
+  std::uint64_t initial_count_ = 0;
+  std::uint64_t subsequent_count_ = 0;
+};
+
+}  // namespace speedybox::core

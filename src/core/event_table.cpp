@@ -1,0 +1,42 @@
+#include "core/event_table.hpp"
+
+namespace speedybox::core {
+
+std::size_t EventTable::check(
+    std::uint32_t fid,
+    const std::function<void(const EventRegistration&, EventUpdate)>&
+        on_trigger) {
+  // Phase 1 (under the lock): evaluate conditions, pull out the triggered
+  // registrations, deregister one-shots. Conditions are NF-state
+  // predicates; they must not re-enter the event table.
+  std::vector<EventRegistration> fired;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = events_.find(fid);
+    if (it == events_.end()) return 0;
+    auto& list = it->second;
+    for (std::size_t i = 0; i < list.size();) {
+      ++checks_;
+      if (list[i].condition && list[i].condition()) {
+        ++triggers_;
+        fired.push_back(list[i]);
+        if (list[i].one_shot) {
+          list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;  // next event shifted into slot i
+        }
+      }
+      ++i;
+    }
+    if (list.empty()) events_.erase(it);
+  }
+
+  // Phase 2 (outside the lock): compute updates and notify — the callback
+  // re-consolidates the flow, which reads this table again.
+  for (const EventRegistration& event : fired) {
+    EventUpdate update = event.update ? event.update() : EventUpdate{};
+    on_trigger(event, std::move(update));
+  }
+  return fired.size();
+}
+
+}  // namespace speedybox::core

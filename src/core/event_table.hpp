@@ -1,0 +1,106 @@
+// The Event Table (§V-C1, Fig. 3): expresses the *mutable* part of stateful
+// NF behavior on the consolidated path.
+//
+// NFs register, per flow, a condition handler (a predicate over their own
+// internal state) and an update (replacement header actions and/or state
+// functions). On every subsequent packet the fast path first checks the
+// flow's events; a triggered event rewrites the owning NF's Local MAT record
+// and forces re-consolidation, so the current and all later packets follow
+// the new rule — e.g. Maglev rerouting an established flow to a healthy
+// backend, or a DoS-prevention NF flipping a flow from modify to drop once
+// its SYN counter crosses the threshold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/header_action.hpp"
+#include "core/state_function.hpp"
+
+namespace speedybox::core {
+
+/// What a triggered event installs into the owning NF's Local MAT record.
+struct EventUpdate {
+  std::optional<std::vector<HeaderAction>> header_actions;
+  std::optional<std::vector<StateFunction>> state_functions;
+};
+
+/// Predicate over NF internal state ("state.matchCondition" in Fig. 1).
+using ConditionHandler = std::function<bool()>;
+
+/// Produces the update at trigger time (so e.g. Maglev can compute the new
+/// backend with consistent hashing at the moment of failover).
+using UpdateHandler = std::function<EventUpdate()>;
+
+struct EventRegistration {
+  std::uint32_t fid = 0;
+  std::size_t nf_index = 0;  // which Local MAT the update applies to
+  std::string name;
+  ConditionHandler condition;
+  UpdateHandler update;
+  /// One-shot events (the common case: failover, blacklist) deregister on
+  /// trigger; persistent events keep being checked.
+  bool one_shot = true;
+};
+
+/// Thread safety: registration happens on NF cores during the recording
+/// pass while the manager core checks/erases other flows, so all operations
+/// take the table mutex. check() evaluates a flow's conditions as a batch
+/// under the lock (conditions are NF-state predicates and must not call
+/// back into this table), then runs updates and the trigger callback —
+/// which re-consolidates, re-entering this table — outside it.
+class EventTable {
+ public:
+  void register_event(EventRegistration event) {
+    const std::lock_guard lock(mutex_);
+    events_[event.fid].push_back(std::move(event));
+  }
+
+  bool has_events(std::uint32_t fid) const {
+    const std::lock_guard lock(mutex_);
+    return events_.contains(fid);
+  }
+
+  /// Evaluate all conditions registered for `fid`. For each triggered event
+  /// `on_trigger(event, update)` is invoked (the Global MAT uses it to patch
+  /// the Local MAT and re-consolidate). Returns the number triggered.
+  std::size_t check(
+      std::uint32_t fid,
+      const std::function<void(const EventRegistration&, EventUpdate)>&
+          on_trigger);
+
+  void erase_flow(std::uint32_t fid) {
+    const std::lock_guard lock(mutex_);
+    events_.erase(fid);
+  }
+  void clear() {
+    const std::lock_guard lock(mutex_);
+    events_.clear();
+  }
+
+  std::size_t flow_count() const noexcept {
+    const std::lock_guard lock(mutex_);
+    return events_.size();
+  }
+  std::uint64_t checks_performed() const noexcept {
+    const std::lock_guard lock(mutex_);
+    return checks_;
+  }
+  std::uint64_t events_triggered() const noexcept {
+    const std::lock_guard lock(mutex_);
+    return triggers_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint32_t, std::vector<EventRegistration>> events_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace speedybox::core

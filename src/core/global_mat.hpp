@@ -1,0 +1,158 @@
+// The Global MAT (§V): consolidates, per flow, the header actions and state
+// functions recorded in every Local MAT along the chain, and serves the fast
+// data path for subsequent packets:
+//
+//   subsequent packet ──► event check ──► consolidated header action
+//                                     ──► state-function batches (Table-I
+//                                         parallel schedule)
+//
+// A triggered event patches the owning Local MAT record and re-consolidates
+// the flow's rule before the packet is processed, so runtime behavior
+// changes (Maglev failover, DoS blacklisting) take effect immediately.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_table.hpp"
+#include "core/header_action.hpp"
+#include "core/local_mat.hpp"
+#include "core/parallel_schedule.hpp"
+#include "core/state_function.hpp"
+
+namespace speedybox::core {
+
+/// Strategy for executing a rule's state-function batches. The default is
+/// sequential (chain order); runtime::ParallelExecutor implements real
+/// threaded execution of the Table-I parallel groups.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+  virtual void execute(const ParallelSchedule& schedule,
+                       const std::vector<StateFunctionBatch>& batches,
+                       net::Packet& packet,
+                       const net::ParsedPacket& parsed) = 0;
+};
+
+/// A flow's consolidated rule.
+struct ConsolidatedRule {
+  ConsolidatedAction action;
+  BytePatch patch;                        // compiled field writes (lazy)
+  std::vector<StateFunctionBatch> batches; // per-NF, chain order
+  ParallelSchedule schedule;               // Table-I grouping of batches
+  std::uint64_t version = 0;               // bumped on re-consolidation
+  /// Set at consolidation when the flow has registered events; lets the
+  /// fast path skip the Event Table lookup entirely for event-free flows.
+  bool check_events = false;
+
+  /// Batch-cost sampling: the first kCostSampleWindow measured packets time
+  /// every batch individually to learn the critical-path fraction of the
+  /// Table-I schedule; afterwards the fast path times all batches with one
+  /// timer pair and scales by the learned fraction — per-packet timer
+  /// overhead stays constant no matter how many batches the rule has.
+  static constexpr std::uint32_t kCostSampleWindow = 8;
+  std::uint32_t cost_samples = 0;
+  double critical_fraction = 1.0;
+};
+
+class GlobalMat {
+ public:
+  /// Wire the chain: Local MATs in chain order. Pointers must outlive the
+  /// Global MAT (they live in the ServiceChain that owns both).
+  void set_chain(std::vector<LocalMat*> chain) { chain_ = std::move(chain); }
+  const std::vector<LocalMat*>& chain() const noexcept { return chain_; }
+
+  EventTable& event_table() noexcept { return events_; }
+  const EventTable& event_table() const noexcept { return events_; }
+
+  /// Build (or rebuild) the consolidated rule for a flow from the chain's
+  /// Local MATs. Called after the initial packet finishes the original path
+  /// and by event triggers. Each consolidation installs a fresh immutable-
+  /// shape rule object; holders of the previous snapshot (e.g. descriptors
+  /// in flight on a threaded deployment) keep a consistent view.
+  void consolidate_flow(std::uint32_t fid);
+
+  const ConsolidatedRule* find(std::uint32_t fid) const {
+    const auto it = rules_.find(fid);
+    return it == rules_.end() ? nullptr : it->second.get();
+  }
+
+  /// Shared snapshot of the flow's current rule (threaded deployments pin
+  /// the rule a packet executes against).
+  std::shared_ptr<const ConsolidatedRule> find_shared(
+      std::uint32_t fid) const {
+    const auto it = rules_.find(fid);
+    return it == rules_.end() ? nullptr : it->second;
+  }
+
+  struct FastPathResult {
+    bool rule_hit = false;
+    bool dropped = false;
+    std::size_t events_triggered = 0;
+    /// Measured cycles actually spent executing state functions.
+    std::uint64_t sf_total_cycles = 0;
+    /// Modeled cycles under the Table-I parallel schedule (critical path).
+    std::uint64_t sf_critical_path_cycles = 0;
+    /// Parallel groups with ≥2 batches (each pays one fork/join in the
+    /// platform latency model).
+    std::size_t multi_batch_groups = 0;
+    /// Timer pairs consumed inside process() while measuring batches — the
+    /// caller subtracts their overhead from its enclosing measurement.
+    std::uint32_t timer_pairs = 0;
+  };
+
+  /// Fast path for a subsequent packet: event check, consolidated header
+  /// action, state-function batches. `measure_batches` enables per-batch
+  /// cycle attribution (used by the benches); the equivalence tests leave it
+  /// off. `parsed_hint` is the classifier's parse of this packet — reused
+  /// for state-function execution when the consolidated action leaves the
+  /// header layout intact, so the fast path parses exactly once.
+  FastPathResult process(net::Packet& packet, bool measure_batches = false,
+                         const net::ParsedPacket* parsed_hint = nullptr);
+
+  /// The manager-side half of the fast path for threaded deployments:
+  /// event check + consolidated header action only. The caller dispatches
+  /// the returned rule's state-function batches to the owning NF cores.
+  struct FastHeaderResult {
+    bool rule_hit = false;
+    bool dropped = false;
+    std::size_t events_triggered = 0;
+    std::shared_ptr<const ConsolidatedRule> rule;
+  };
+  FastHeaderResult process_header(net::Packet& packet);
+
+  /// Flow teardown: drop the consolidated rule, the flow's events, and the
+  /// per-NF Local MAT records.
+  void erase_flow(std::uint32_t fid);
+
+  std::size_t size() const noexcept { return rules_.size(); }
+  std::uint64_t consolidations() const noexcept { return consolidations_; }
+  void clear();
+
+  /// Install a threaded batch executor (borrowed). Used by the unmeasured
+  /// fast path only; measured runs always execute sequentially so cycle
+  /// attribution stays exact.
+  void set_batch_executor(BatchExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+
+ private:
+  /// Shared front half of the fast path: rule lookup, event check (with
+  /// re-fetch after a trigger), consolidated header action. Returns a
+  /// borrowed pointer to the rule the packet executes against (owned by
+  /// rules_; valid until the next consolidation/erase of this flow), or
+  /// null on a miss. Kept refcount-free because it runs per packet.
+  ConsolidatedRule* apply_header_phase(net::Packet& packet, bool* dropped,
+                                       std::size_t* events_triggered);
+
+  std::vector<LocalMat*> chain_;
+  BatchExecutor* executor_ = nullptr;
+  EventTable events_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<ConsolidatedRule>>
+      rules_;
+  std::uint64_t consolidations_ = 0;
+};
+
+}  // namespace speedybox::core

@@ -1,0 +1,70 @@
+// State functions (§IV-A2): the recordable form of an NF's stateful work —
+// payload inspection, counter updates, connection tracking. Each state
+// function is a callable handler plus a payload-access class
+// (WRITE/READ/IGNORE) that drives the Table-I parallelism analysis.
+//
+// Handlers are closures capturing the NF's internal state; invoking the
+// handler on the fast path is exactly the paper's "executes the state
+// functions by invoking the function handlers as recorded".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace speedybox::core {
+
+/// Payload access classes, ordered by priority (§V-C2:
+/// WRITE > READ > IGNORE determines a batch's class).
+enum class PayloadAccess : std::uint8_t { kIgnore = 0, kRead = 1, kWrite = 2 };
+
+std::string_view payload_access_name(PayloadAccess access) noexcept;
+
+using StateFunctionHandler =
+    std::function<void(net::Packet&, const net::ParsedPacket&)>;
+
+struct StateFunction {
+  StateFunctionHandler handler;
+  PayloadAccess access = PayloadAccess::kIgnore;
+  std::string name;  // diagnostics / equivalence audits
+};
+
+/// All state functions one NF recorded for a flow (§V-C1: "we define all
+/// state functions of a rule as a state function batch"). Functions within
+/// a batch always execute in recorded order.
+struct StateFunctionBatch {
+  std::size_t nf_index = 0;      // position of the owning NF in the chain
+  std::string nf_name;
+  std::vector<StateFunction> functions;
+
+  /// Batch access class = highest-priority member access (§V-C2).
+  PayloadAccess access() const noexcept {
+    PayloadAccess max = PayloadAccess::kIgnore;
+    for (const auto& fn : functions) {
+      if (static_cast<int>(fn.access) > static_cast<int>(max)) {
+        max = fn.access;
+      }
+    }
+    return max;
+  }
+
+  bool empty() const noexcept { return functions.empty(); }
+
+  void execute(net::Packet& packet, const net::ParsedPacket& parsed) const {
+    for (const auto& fn : functions) fn.handler(packet, parsed);
+  }
+};
+
+inline std::string_view payload_access_name(PayloadAccess access) noexcept {
+  switch (access) {
+    case PayloadAccess::kIgnore: return "ignore";
+    case PayloadAccess::kRead: return "read";
+    case PayloadAccess::kWrite: return "write";
+  }
+  return "?";
+}
+
+}  // namespace speedybox::core

@@ -1,0 +1,36 @@
+// Big-endian (network byte order) field access over raw packet bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace speedybox::net {
+
+constexpr std::uint16_t load_be16(std::span<const std::uint8_t> bytes,
+                                  std::size_t offset) noexcept {
+  return static_cast<std::uint16_t>((bytes[offset] << 8) | bytes[offset + 1]);
+}
+
+constexpr std::uint32_t load_be32(std::span<const std::uint8_t> bytes,
+                                  std::size_t offset) noexcept {
+  return (static_cast<std::uint32_t>(bytes[offset]) << 24) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[offset + 3]);
+}
+
+constexpr void store_be16(std::span<std::uint8_t> bytes, std::size_t offset,
+                          std::uint16_t value) noexcept {
+  bytes[offset] = static_cast<std::uint8_t>(value >> 8);
+  bytes[offset + 1] = static_cast<std::uint8_t>(value);
+}
+
+constexpr void store_be32(std::span<std::uint8_t> bytes, std::size_t offset,
+                          std::uint32_t value) noexcept {
+  bytes[offset] = static_cast<std::uint8_t>(value >> 24);
+  bytes[offset + 1] = static_cast<std::uint8_t>(value >> 16);
+  bytes[offset + 2] = static_cast<std::uint8_t>(value >> 8);
+  bytes[offset + 3] = static_cast<std::uint8_t>(value);
+}
+
+}  // namespace speedybox::net

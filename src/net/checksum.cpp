@@ -1,0 +1,128 @@
+#include "net/checksum.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace speedybox::net {
+namespace {
+
+std::uint16_t fold(std::uint32_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::size_t ipv4_ihl(std::span<const std::uint8_t> bytes,
+                     std::size_t l3_offset) noexcept {
+  return static_cast<std::size_t>(bytes[l3_offset] & 0x0F) * 4;
+}
+
+}  // namespace
+
+std::uint16_t ones_complement_sum(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t initial) noexcept {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += load_be16(bytes, i);
+  }
+  if (i < bytes.size()) {
+    sum += static_cast<std::uint32_t>(bytes[i]) << 8;  // odd trailing byte
+  }
+  return fold(sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  return static_cast<std::uint16_t>(~ones_complement_sum(bytes));
+}
+
+std::uint16_t incremental_update(std::uint16_t old_sum, std::uint16_t old_word,
+                                 std::uint16_t new_word) noexcept {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_sum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  return static_cast<std::uint16_t>(~fold(sum));
+}
+
+void write_ipv4_checksum(Packet& packet, std::size_t l3_offset) noexcept {
+  auto bytes = packet.bytes();
+  const std::size_t ihl = ipv4_ihl(bytes, l3_offset);
+  store_be16(bytes, l3_offset + 10, 0);
+  const std::uint16_t sum =
+      internet_checksum(bytes.subspan(l3_offset, ihl));
+  store_be16(bytes, l3_offset + 10, sum);
+}
+
+bool verify_ipv4_checksum(const Packet& packet,
+                          std::size_t l3_offset) noexcept {
+  const auto bytes = packet.bytes();
+  const std::size_t ihl = ipv4_ihl(bytes, l3_offset);
+  return ones_complement_sum(bytes.subspan(l3_offset, ihl)) == 0xFFFF;
+}
+
+namespace {
+
+/// One's-complement sum of the IPv4 pseudo-header for the innermost
+/// transport segment.
+std::uint32_t pseudo_header_sum(std::span<const std::uint8_t> bytes,
+                                const ParsedPacket& parsed,
+                                std::size_t l4_length) noexcept {
+  const std::size_t l3 = parsed.inner_l3_offset;
+  std::uint32_t sum = 0;
+  sum += load_be16(bytes, l3 + 12);  // src ip hi
+  sum += load_be16(bytes, l3 + 14);  // src ip lo
+  sum += load_be16(bytes, l3 + 16);  // dst ip hi
+  sum += load_be16(bytes, l3 + 18);  // dst ip lo
+  sum += parsed.l4_proto;
+  sum += static_cast<std::uint32_t>(l4_length);
+  return sum;
+}
+
+std::size_t l4_segment_length(std::span<const std::uint8_t> bytes,
+                              const ParsedPacket& parsed) noexcept {
+  // Inner IPv4 total length minus the inner IP header = transport segment.
+  const std::size_t l3 = parsed.inner_l3_offset;
+  const std::size_t total = load_be16(bytes, l3 + 2);
+  const std::size_t ihl = ipv4_ihl(bytes, l3);
+  if (total < ihl) return 0;
+  const std::size_t seg = total - ihl;
+  // Clamp to what is actually in the buffer (defensive).
+  const std::size_t avail = bytes.size() - parsed.l4_offset;
+  return seg > avail ? avail : seg;
+}
+
+}  // namespace
+
+void write_l4_checksum(Packet& packet, const ParsedPacket& parsed) noexcept {
+  if (!parsed.is_tcp() && !parsed.is_udp()) return;
+  auto bytes = packet.bytes();
+  const std::size_t len = l4_segment_length(bytes, parsed);
+  const std::size_t ck_off =
+      parsed.l4_offset + (parsed.is_tcp() ? std::size_t{16} : std::size_t{6});
+  store_be16(bytes, ck_off, 0);
+  const std::uint32_t pseudo = pseudo_header_sum(bytes, parsed, len);
+  std::uint16_t sum = static_cast<std::uint16_t>(~ones_complement_sum(
+      bytes.subspan(parsed.l4_offset, len), pseudo));
+  if (parsed.is_udp() && sum == 0) sum = 0xFFFF;  // RFC 768
+  store_be16(bytes, ck_off, sum);
+}
+
+bool verify_l4_checksum(const Packet& packet,
+                        const ParsedPacket& parsed) noexcept {
+  if (!parsed.is_tcp() && !parsed.is_udp()) return true;
+  const auto bytes = packet.bytes();
+  const std::size_t len = l4_segment_length(bytes, parsed);
+  const std::uint32_t pseudo = pseudo_header_sum(bytes, parsed, len);
+  return ones_complement_sum(bytes.subspan(parsed.l4_offset, len), pseudo) ==
+         0xFFFF;
+}
+
+void fix_all_checksums(Packet& packet, const ParsedPacket& parsed) noexcept {
+  // Every IPv4 layer: outermost first, then any tunneled inner headers.
+  write_ipv4_checksum(packet, parsed.l3_offset);
+  if (parsed.inner_l3_offset != parsed.l3_offset) {
+    write_ipv4_checksum(packet, parsed.inner_l3_offset);
+  }
+  write_l4_checksum(packet, parsed);
+}
+
+}  // namespace speedybox::net

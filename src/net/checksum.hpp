@@ -1,0 +1,46 @@
+// Internet checksum (RFC 1071) plus incremental update (RFC 1624).
+//
+// Baseline NFs pay a checksum fix-up per header modification (the R3
+// redundancy when several NFs rewrite the same packet); the SpeedyBox fast
+// path applies the consolidated patch and fixes checksums exactly once
+// (§V-B "we modify these fields at the end of the consolidation").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+
+namespace speedybox::net {
+
+/// One's-complement sum over a byte span, folded to 16 bits (not inverted).
+std::uint16_t ones_complement_sum(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t initial = 0) noexcept;
+
+/// Full internet checksum (inverted fold) over a byte span.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+/// RFC 1624 eqn. 3: update checksum `old_sum` when a 16-bit word changes
+/// from `old_word` to `new_word`.
+std::uint16_t incremental_update(std::uint16_t old_sum, std::uint16_t old_word,
+                                 std::uint16_t new_word) noexcept;
+
+/// Recompute and store the IPv4 header checksum of the header at l3_offset.
+void write_ipv4_checksum(Packet& packet, std::size_t l3_offset) noexcept;
+
+/// Verify the IPv4 header checksum at l3_offset.
+bool verify_ipv4_checksum(const Packet& packet,
+                          std::size_t l3_offset) noexcept;
+
+/// Recompute and store the TCP/UDP checksum (with IPv4 pseudo-header) of the
+/// innermost transport header.
+void write_l4_checksum(Packet& packet, const ParsedPacket& parsed) noexcept;
+
+/// Verify the innermost TCP/UDP checksum.
+bool verify_l4_checksum(const Packet& packet,
+                        const ParsedPacket& parsed) noexcept;
+
+/// Recompute every checksum in the packet (all IPv4 layers + innermost L4).
+void fix_all_checksums(Packet& packet, const ParsedPacket& parsed) noexcept;
+
+}  // namespace speedybox::net

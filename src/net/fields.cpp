@@ -1,0 +1,67 @@
+#include "net/fields.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace speedybox::net {
+
+std::string_view field_name(HeaderField field) noexcept {
+  switch (field) {
+    case HeaderField::kSrcIp: return "src_ip";
+    case HeaderField::kDstIp: return "dst_ip";
+    case HeaderField::kSrcPort: return "src_port";
+    case HeaderField::kDstPort: return "dst_port";
+    case HeaderField::kTtl: return "ttl";
+    case HeaderField::kTos: return "tos";
+  }
+  return "?";
+}
+
+std::optional<FieldRef> field_ref(const ParsedPacket& parsed,
+                                  HeaderField field) noexcept {
+  const std::size_t l3 = parsed.inner_l3_offset;
+  switch (field) {
+    case HeaderField::kSrcIp: return FieldRef{l3 + 12, 4};
+    case HeaderField::kDstIp: return FieldRef{l3 + 16, 4};
+    case HeaderField::kTtl: return FieldRef{l3 + 8, 1};
+    case HeaderField::kTos: return FieldRef{l3 + 1, 1};
+    case HeaderField::kSrcPort:
+      if (!parsed.is_tcp() && !parsed.is_udp()) return std::nullopt;
+      return FieldRef{parsed.l4_offset, 2};
+    case HeaderField::kDstPort:
+      if (!parsed.is_tcp() && !parsed.is_udp()) return std::nullopt;
+      return FieldRef{parsed.l4_offset + 2, 2};
+  }
+  return std::nullopt;
+}
+
+std::uint32_t get_field(const Packet& packet, const ParsedPacket& parsed,
+                        HeaderField field) noexcept {
+  const auto ref = field_ref(parsed, field);
+  if (!ref) return 0;
+  const auto bytes = packet.bytes();
+  switch (ref->width) {
+    case 1: return bytes[ref->offset];
+    case 2: return load_be16(bytes, ref->offset);
+    default: return load_be32(bytes, ref->offset);
+  }
+}
+
+void set_field(Packet& packet, const ParsedPacket& parsed, HeaderField field,
+               std::uint32_t value) noexcept {
+  const auto ref = field_ref(parsed, field);
+  if (!ref) return;
+  auto bytes = packet.bytes();
+  switch (ref->width) {
+    case 1:
+      bytes[ref->offset] = static_cast<std::uint8_t>(value);
+      break;
+    case 2:
+      store_be16(bytes, ref->offset, static_cast<std::uint16_t>(value));
+      break;
+    default:
+      store_be32(bytes, ref->offset, value);
+      break;
+  }
+}
+
+}  // namespace speedybox::net

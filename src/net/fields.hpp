@@ -1,0 +1,47 @@
+// Named header fields that NF header actions can modify (§IV-A1), and their
+// byte-level locations within a parsed packet. The modify-consolidation
+// algebra (core/header_action) compiles field writes into byte patches using
+// these references.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "net/packet.hpp"
+
+namespace speedybox::net {
+
+enum class HeaderField : std::uint8_t {
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kTtl,
+  kTos,  // full TOS byte (covers DSCP marking)
+};
+
+inline constexpr std::size_t kHeaderFieldCount = 6;
+
+std::string_view field_name(HeaderField field) noexcept;
+
+/// Byte range of a field within the packet buffer. Fields address the
+/// innermost headers (NAT/LB logic rewrites the inner flow tuple).
+struct FieldRef {
+  std::size_t offset = 0;
+  std::size_t width = 0;  // bytes: 4 for IPs, 2 for ports, 1 for TTL/TOS
+};
+
+/// Resolve a field to its byte location. Returns nullopt when the packet has
+/// no such field (e.g. ports on a non-TCP/UDP packet).
+std::optional<FieldRef> field_ref(const ParsedPacket& parsed,
+                                  HeaderField field) noexcept;
+
+/// Read/write a field as a host-order integer. Precondition: field_ref()
+/// resolves for this packet.
+std::uint32_t get_field(const Packet& packet, const ParsedPacket& parsed,
+                        HeaderField field) noexcept;
+void set_field(Packet& packet, const ParsedPacket& parsed, HeaderField field,
+               std::uint32_t value) noexcept;
+
+}  // namespace speedybox::net

@@ -1,0 +1,218 @@
+#include "net/packet.hpp"
+
+#include <cstring>
+
+#include "net/byte_order.hpp"
+#include "net/checksum.hpp"
+
+namespace speedybox::net {
+namespace {
+
+constexpr std::uint8_t kProtoIpIp = 4;
+constexpr std::uint8_t kProtoTcp = static_cast<std::uint8_t>(IpProto::kTcp);
+constexpr std::uint8_t kProtoUdp = static_cast<std::uint8_t>(IpProto::kUdp);
+constexpr std::uint8_t kProtoAh = static_cast<std::uint8_t>(IpProto::kAh);
+
+}  // namespace
+
+void Packet::insert_bytes(std::size_t offset, std::size_t count) {
+  data_.insert(data_.begin() + static_cast<std::ptrdiff_t>(offset), count, 0);
+}
+
+void Packet::erase_bytes(std::size_t offset, std::size_t count) {
+  data_.erase(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset + count));
+}
+
+std::optional<ParsedPacket> parse_packet(const Packet& packet) noexcept {
+  const auto bytes = packet.bytes();
+  if (bytes.size() < kEthHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
+  if (load_be16(bytes, 12) != kEtherTypeIpv4) return std::nullopt;
+
+  ParsedPacket parsed;
+  parsed.l3_offset = kEthHeaderLen;
+
+  std::size_t l3 = kEthHeaderLen;
+  std::size_t cursor = 0;
+  std::uint8_t proto = 0;
+  bool first_ip = true;
+
+  // Walk IPv4 / AH / IPIP layers until we reach the transport header.
+  for (;;) {
+    if (bytes.size() < l3 + kIpv4MinHeaderLen) return std::nullopt;
+    const std::uint8_t version_ihl = bytes[l3];
+    if ((version_ihl >> 4) != 4) return std::nullopt;
+    const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0F) * 4;
+    if (ihl < kIpv4MinHeaderLen || bytes.size() < l3 + ihl) {
+      return std::nullopt;
+    }
+    if (first_ip) {
+      parsed.total_length = load_be16(bytes, l3 + 2);
+      first_ip = false;
+    }
+    parsed.inner_l3_offset = l3;
+    proto = bytes[l3 + 9];
+    cursor = l3 + ihl;
+
+    if (proto == kProtoIpIp) {
+      ++parsed.encap_depth;
+      l3 = cursor;
+      continue;
+    }
+    // AH chain: each AH records the next protocol and its own length.
+    bool restarted_ip = false;
+    while (proto == kProtoAh) {
+      if (bytes.size() < cursor + kAhHeaderLen) return std::nullopt;
+      const std::size_t ah_len =
+          (static_cast<std::size_t>(bytes[cursor + 1]) + 2) * 4;
+      proto = bytes[cursor];
+      cursor += ah_len;
+      ++parsed.encap_depth;
+      if (proto == kProtoIpIp) {
+        ++parsed.encap_depth;
+        l3 = cursor;
+        restarted_ip = true;
+        break;
+      }
+    }
+    if (restarted_ip) continue;
+    break;
+  }
+
+  parsed.l4_proto = proto;
+  parsed.l4_offset = cursor;
+  if (proto == kProtoTcp) {
+    if (packet.bytes().size() < cursor + kTcpHeaderLen) return std::nullopt;
+    const std::size_t doff =
+        static_cast<std::size_t>(packet.bytes()[cursor + 12] >> 4) * 4;
+    if (doff < kTcpHeaderLen || packet.bytes().size() < cursor + doff) {
+      return std::nullopt;
+    }
+    parsed.tcp_flags = packet.bytes()[cursor + 13];
+    parsed.payload_offset = cursor + doff;
+  } else if (proto == kProtoUdp) {
+    if (packet.bytes().size() < cursor + kUdpHeaderLen) return std::nullopt;
+    parsed.payload_offset = cursor + kUdpHeaderLen;
+  } else {
+    parsed.payload_offset = cursor;
+  }
+  return parsed;
+}
+
+FiveTuple extract_five_tuple(const Packet& packet,
+                             const ParsedPacket& parsed) noexcept {
+  const auto bytes = packet.bytes();
+  FiveTuple tuple;
+  tuple.src_ip = Ipv4Addr{load_be32(bytes, parsed.inner_l3_offset + 12)};
+  tuple.dst_ip = Ipv4Addr{load_be32(bytes, parsed.inner_l3_offset + 16)};
+  tuple.proto = parsed.l4_proto;
+  if (parsed.is_tcp() || parsed.is_udp()) {
+    tuple.src_port = load_be16(bytes, parsed.l4_offset);
+    tuple.dst_port = load_be16(bytes, parsed.l4_offset + 2);
+  }
+  return tuple;
+}
+
+std::span<const std::uint8_t> payload_view(const Packet& packet,
+                                           const ParsedPacket& parsed) noexcept {
+  return packet.bytes().subspan(parsed.payload_offset);
+}
+
+std::span<std::uint8_t> payload_view(Packet& packet,
+                                     const ParsedPacket& parsed) noexcept {
+  return packet.bytes().subspan(parsed.payload_offset);
+}
+
+void encap_ah(Packet& packet, std::uint32_t spi) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed) return;
+  const std::size_t l3 = parsed->l3_offset;
+  const std::size_t ihl =
+      static_cast<std::size_t>(packet.bytes()[l3] & 0x0F) * 4;
+  const std::size_t insert_at = l3 + ihl;
+
+  const std::uint8_t inner_proto = packet.bytes()[l3 + 9];
+  packet.insert_bytes(insert_at, kAhHeaderLen);
+
+  auto bytes = packet.bytes();
+  bytes[insert_at] = inner_proto;  // next header
+  bytes[insert_at + 1] =
+      static_cast<std::uint8_t>(kAhHeaderLen / 4 - 2);  // AH payload length
+  store_be16(bytes, insert_at + 2, 0);                  // reserved
+  store_be32(bytes, insert_at + 4, spi);
+  store_be32(bytes, insert_at + 8, 0);  // sequence number
+
+  bytes[l3 + 9] = static_cast<std::uint8_t>(IpProto::kAh);
+  store_be16(bytes, l3 + 2,
+             static_cast<std::uint16_t>(load_be16(bytes, l3 + 2) +
+                                        kAhHeaderLen));
+  write_ipv4_checksum(packet, l3);
+}
+
+bool decap_ah(Packet& packet) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed) return false;
+  const std::size_t l3 = parsed->l3_offset;
+  auto bytes = packet.bytes();
+  if (bytes[l3 + 9] != static_cast<std::uint8_t>(IpProto::kAh)) return false;
+
+  const std::size_t ihl = static_cast<std::size_t>(bytes[l3] & 0x0F) * 4;
+  const std::size_t ah_at = l3 + ihl;
+  const std::uint8_t next_proto = bytes[ah_at];
+  const std::size_t ah_len =
+      (static_cast<std::size_t>(bytes[ah_at + 1]) + 2) * 4;
+
+  packet.erase_bytes(ah_at, ah_len);
+  bytes = packet.bytes();
+  bytes[l3 + 9] = next_proto;
+  store_be16(bytes, l3 + 2,
+             static_cast<std::uint16_t>(load_be16(bytes, l3 + 2) - ah_len));
+  write_ipv4_checksum(packet, l3);
+  return true;
+}
+
+void encap_ipip(Packet& packet, Ipv4Addr tunnel_src, Ipv4Addr tunnel_dst) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed) return;
+  const std::uint16_t inner_total = load_be16(packet.bytes(), kEthHeaderLen + 2);
+
+  packet.insert_bytes(kEthHeaderLen, kIpv4MinHeaderLen);
+  auto bytes = packet.bytes();
+  const std::size_t l3 = kEthHeaderLen;
+  bytes[l3] = 0x45;  // version 4, IHL 5
+  bytes[l3 + 1] = 0;
+  store_be16(bytes, l3 + 2,
+             static_cast<std::uint16_t>(inner_total + kIpv4MinHeaderLen));
+  store_be16(bytes, l3 + 4, 0);  // identification
+  store_be16(bytes, l3 + 6, 0);  // flags/fragment
+  bytes[l3 + 8] = 64;            // TTL
+  bytes[l3 + 9] = kProtoIpIp;
+  store_be16(bytes, l3 + 10, 0);  // checksum placeholder
+  store_be32(bytes, l3 + 12, tunnel_src.value);
+  store_be32(bytes, l3 + 16, tunnel_dst.value);
+  write_ipv4_checksum(packet, l3);
+}
+
+bool decap_ipip(Packet& packet) {
+  const auto bytes = packet.bytes();
+  if (bytes.size() < kEthHeaderLen + 2 * kIpv4MinHeaderLen) return false;
+  if (bytes[kEthHeaderLen + 9] != kProtoIpIp) return false;
+  const std::size_t ihl =
+      static_cast<std::size_t>(bytes[kEthHeaderLen] & 0x0F) * 4;
+  packet.erase_bytes(kEthHeaderLen, ihl);
+  return true;
+}
+
+std::optional<std::uint32_t> outer_ah_spi(const Packet& packet) noexcept {
+  const auto bytes = packet.bytes();
+  if (bytes.size() < kEthHeaderLen + kIpv4MinHeaderLen) return std::nullopt;
+  if (bytes[kEthHeaderLen + 9] != static_cast<std::uint8_t>(IpProto::kAh)) {
+    return std::nullopt;
+  }
+  const std::size_t ihl =
+      static_cast<std::size_t>(bytes[kEthHeaderLen] & 0x0F) * 4;
+  if (bytes.size() < kEthHeaderLen + ihl + kAhHeaderLen) return std::nullopt;
+  return load_be32(bytes, kEthHeaderLen + ihl + 4);
+}
+
+}  // namespace speedybox::net

@@ -1,0 +1,99 @@
+#include "net/packet_builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/byte_order.hpp"
+#include "net/checksum.hpp"
+
+namespace speedybox::net {
+
+Packet build_packet(const PacketSpec& spec) {
+  const bool is_tcp =
+      spec.tuple.proto == static_cast<std::uint8_t>(IpProto::kTcp);
+  const std::size_t l4_len = is_tcp ? kTcpHeaderLen : kUdpHeaderLen;
+  const std::size_t ip_total = kIpv4MinHeaderLen + l4_len + spec.payload.size();
+  std::vector<std::uint8_t> buf(kEthHeaderLen + ip_total, 0);
+  std::span<std::uint8_t> bytes{buf};
+
+  // Ethernet: locally-administered MACs, ethertype IPv4.
+  bytes[0] = 0x02;
+  bytes[6] = 0x02;
+  bytes[5] = 0x01;
+  bytes[11] = 0x02;
+  store_be16(bytes, 12, kEtherTypeIpv4);
+
+  // IPv4.
+  const std::size_t l3 = kEthHeaderLen;
+  bytes[l3] = 0x45;
+  bytes[l3 + 1] = spec.tos;
+  store_be16(bytes, l3 + 2, static_cast<std::uint16_t>(ip_total));
+  store_be16(bytes, l3 + 4, 0x1234);  // identification
+  store_be16(bytes, l3 + 6, 0x4000);  // DF
+  bytes[l3 + 8] = spec.ttl;
+  bytes[l3 + 9] = spec.tuple.proto;
+  store_be32(bytes, l3 + 12, spec.tuple.src_ip.value);
+  store_be32(bytes, l3 + 16, spec.tuple.dst_ip.value);
+
+  // Transport.
+  const std::size_t l4 = l3 + kIpv4MinHeaderLen;
+  store_be16(bytes, l4, spec.tuple.src_port);
+  store_be16(bytes, l4 + 2, spec.tuple.dst_port);
+  if (is_tcp) {
+    store_be32(bytes, l4 + 4, spec.seq);
+    store_be32(bytes, l4 + 8, 0);              // ack
+    bytes[l4 + 12] = (kTcpHeaderLen / 4) << 4; // data offset
+    bytes[l4 + 13] = spec.tcp_flags;
+    store_be16(bytes, l4 + 14, 0xFFFF);        // window
+  } else {
+    store_be16(bytes, l4 + 4,
+               static_cast<std::uint16_t>(kUdpHeaderLen + spec.payload.size()));
+  }
+
+  if (!spec.payload.empty()) {
+    std::memcpy(buf.data() + l4 + l4_len, spec.payload.data(),
+                spec.payload.size());
+  }
+
+  Packet packet{std::move(buf)};
+  const auto parsed = parse_packet(packet);
+  fix_all_checksums(packet, *parsed);
+  return packet;
+}
+
+Packet make_tcp_packet(const FiveTuple& tuple, std::string_view payload,
+                       std::uint8_t tcp_flags) {
+  PacketSpec spec;
+  spec.tuple = tuple;
+  spec.tuple.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.tcp_flags = tcp_flags;
+  spec.payload = {reinterpret_cast<const std::uint8_t*>(payload.data()),
+                  payload.size()};
+  return build_packet(spec);
+}
+
+Packet make_udp_packet(const FiveTuple& tuple, std::string_view payload) {
+  PacketSpec spec;
+  spec.tuple = tuple;
+  spec.tuple.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  spec.payload = {reinterpret_cast<const std::uint8_t*>(payload.data()),
+                  payload.size()};
+  return build_packet(spec);
+}
+
+Packet make_tcp_packet_of_size(const FiveTuple& tuple, std::size_t frame_size,
+                               std::uint8_t tcp_flags) {
+  constexpr std::size_t kHeaders =
+      kEthHeaderLen + kIpv4MinHeaderLen + kTcpHeaderLen;
+  const std::size_t payload_len =
+      frame_size > kHeaders ? frame_size - kHeaders : 0;
+  std::vector<std::uint8_t> payload(payload_len, 0x5A);
+  PacketSpec spec;
+  spec.tuple = tuple;
+  spec.tuple.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  spec.tcp_flags = tcp_flags;
+  spec.payload = payload;
+  return build_packet(spec);
+}
+
+}  // namespace speedybox::net

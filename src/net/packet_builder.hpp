@@ -1,0 +1,39 @@
+// Packet construction: builds wire-valid Ethernet/IPv4/TCP|UDP packets from
+// a five-tuple + payload. This is what the trace generator (the DPDK-pktgen
+// substitute) uses to materialize packets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "net/packet.hpp"
+
+namespace speedybox::net {
+
+struct PacketSpec {
+  FiveTuple tuple;
+  std::uint8_t tcp_flags = kTcpFlagAck;  // ignored for UDP
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;
+  std::uint32_t seq = 0;  // TCP sequence number
+  std::span<const std::uint8_t> payload;
+};
+
+/// Build a complete packet with valid lengths and checksums.
+Packet build_packet(const PacketSpec& spec);
+
+/// Convenience: TCP packet with a string payload.
+Packet make_tcp_packet(const FiveTuple& tuple, std::string_view payload,
+                       std::uint8_t tcp_flags = kTcpFlagAck);
+
+/// Convenience: UDP packet with a string payload.
+Packet make_udp_packet(const FiveTuple& tuple, std::string_view payload);
+
+/// Pad/trim the payload so the full frame is `frame_size` bytes (e.g. the
+/// 64B packets of the paper's microbenchmarks). Never shrinks below the
+/// header chain.
+Packet make_tcp_packet_of_size(const FiveTuple& tuple, std::size_t frame_size,
+                               std::uint8_t tcp_flags = kTcpFlagAck);
+
+}  // namespace speedybox::net

@@ -1,0 +1,93 @@
+#include "nf/aho_corasick.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace speedybox::nf {
+
+void AhoCorasick::add_pattern(std::string_view pattern, std::uint32_t id) {
+  if (pattern.empty()) return;
+  built_ = false;
+  std::int32_t node = 0;
+  for (const char c : pattern) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    if (nodes_[static_cast<std::size_t>(node)].next[byte] < 0) {
+      nodes_[static_cast<std::size_t>(node)].next[byte] =
+          static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[static_cast<std::size_t>(node)].next[byte];
+  }
+  nodes_[static_cast<std::size_t>(node)].outputs.push_back(id);
+  ++pattern_count_;
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  std::queue<std::int32_t> queue;
+  // Root's missing transitions loop back to root.
+  for (int c = 0; c < 256; ++c) {
+    std::int32_t& next = nodes_[0].next[static_cast<std::size_t>(c)];
+    if (next < 0) {
+      next = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(next)].fail = 0;
+      queue.push(next);
+    }
+  }
+  // BFS: fail links + goto completion (full automaton, O(1) per input byte).
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop();
+    Node& node_u = nodes_[static_cast<std::size_t>(u)];
+    const Node& fail_u = nodes_[static_cast<std::size_t>(node_u.fail)];
+    // Inherit outputs along the fail chain.
+    node_u.outputs.insert(node_u.outputs.end(), fail_u.outputs.begin(),
+                          fail_u.outputs.end());
+    for (int c = 0; c < 256; ++c) {
+      const std::int32_t v = node_u.next[static_cast<std::size_t>(c)];
+      const std::int32_t via_fail = fail_u.next[static_cast<std::size_t>(c)];
+      if (v < 0) {
+        nodes_[static_cast<std::size_t>(u)].next[static_cast<std::size_t>(c)] =
+            via_fail;
+      } else {
+        nodes_[static_cast<std::size_t>(v)].fail = via_fail;
+        queue.push(v);
+      }
+    }
+  }
+  built_ = true;
+}
+
+void AhoCorasick::match(
+    std::span<const std::uint8_t> text,
+    const std::function<void(std::uint32_t, std::size_t)>& on_match) const {
+  std::int32_t node = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    node = nodes_[static_cast<std::size_t>(node)].next[text[i]];
+    for (const std::uint32_t id :
+         nodes_[static_cast<std::size_t>(node)].outputs) {
+      on_match(id, i + 1);
+    }
+  }
+}
+
+std::vector<std::uint32_t> AhoCorasick::match_ids(
+    std::span<const std::uint8_t> text) const {
+  std::vector<std::uint32_t> ids;
+  match(text, [&ids](std::uint32_t id, std::size_t) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool AhoCorasick::contains_any(std::span<const std::uint8_t> text) const {
+  std::int32_t node = 0;
+  for (const std::uint8_t byte : text) {
+    node = nodes_[static_cast<std::size_t>(node)].next[byte];
+    if (!nodes_[static_cast<std::size_t>(node)].outputs.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace speedybox::nf

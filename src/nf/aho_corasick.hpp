@@ -1,0 +1,57 @@
+// Aho–Corasick multi-pattern matcher: the payload-inspection engine behind
+// our Snort-like IDS. Matches all occurrences of every pattern in a single
+// pass over the payload — the same algorithmic family Snort's detection
+// engine uses for content rules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speedybox::nf {
+
+class AhoCorasick {
+ public:
+  AhoCorasick() = default;
+
+  /// Register a pattern with a caller-chosen id. Must be called before
+  /// build(); empty patterns are ignored.
+  void add_pattern(std::string_view pattern, std::uint32_t id);
+
+  /// Construct goto/fail transitions. Idempotent. Must be called after the
+  /// last add_pattern() and before any match query.
+  void build();
+
+  /// Invoke on_match(pattern_id, end_offset) for every occurrence.
+  void match(std::span<const std::uint8_t> text,
+             const std::function<void(std::uint32_t, std::size_t)>& on_match)
+      const;
+
+  /// Convenience: ids of all patterns occurring at least once, ascending,
+  /// deduplicated.
+  std::vector<std::uint32_t> match_ids(
+      std::span<const std::uint8_t> text) const;
+
+  bool contains_any(std::span<const std::uint8_t> text) const;
+
+  std::size_t pattern_count() const noexcept { return pattern_count_; }
+  bool built() const noexcept { return built_; }
+
+ private:
+  struct Node {
+    std::array<std::int32_t, 256> next;
+    std::int32_t fail = 0;
+    std::vector<std::uint32_t> outputs;
+    Node() { next.fill(-1); }
+  };
+
+  std::vector<Node> nodes_{Node{}};
+  std::size_t pattern_count_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace speedybox::nf

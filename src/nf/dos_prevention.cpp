@@ -1,0 +1,81 @@
+#include "nf/dos_prevention.hpp"
+
+namespace speedybox::nf {
+
+DosPrevention::DosPrevention(std::uint64_t syn_threshold,
+                             core::HeaderAction normal_action,
+                             std::string name)
+    : NetworkFunction(std::move(name)),
+      threshold_(syn_threshold),
+      normal_action_(normal_action) {}
+
+void DosPrevention::count_syn(const net::FiveTuple& tuple,
+                              const net::ParsedPacket& parsed) {
+  if (parsed.has_syn()) ++flows_[tuple].syn_count;
+}
+
+void DosPrevention::process(net::Packet& packet,
+                            core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  // Check-then-count: the drop verdict is based on the state *before* this
+  // packet, matching the Event Table semantics where conditions are
+  // evaluated on arrival (the packet that crosses the threshold still
+  // passes; the next one is dropped — Fig. 3).
+  FlowState& state = flows_[tuple];
+  if (state.blacklisted || state.syn_count > threshold_) {
+    state.blacklisted = true;
+    packet.mark_dropped();
+    ++drops_;
+    return;
+  }
+
+  count_syn(tuple, *parsed);
+  core::apply_action_baseline(normal_action_, packet);
+
+  if (ctx != nullptr) {
+    ctx->add_header_action(normal_action_);
+    // Recorded args: the flow's resolved counter cell (Figure 2).
+    FlowState* flow_args = &state;
+    core::localmat_add_SF(
+        ctx,
+        [flow_args](net::Packet&, const net::ParsedPacket& p) {
+          if (p.has_syn()) ++flow_args->syn_count;
+        },
+        core::PayloadAccess::kIgnore, name() + ".syn_count");
+    ctx->register_event(
+        name() + ".blacklist",
+        [this, tuple]() {
+          const auto it = flows_.find(tuple);
+          return it != flows_.end() && it->second.syn_count > threshold_;
+        },
+        [this, tuple]() {
+          flows_[tuple].blacklisted = true;
+          ++drops_;  // accounted per-flow, not per-packet, on the fast path
+          core::EventUpdate update;
+          update.header_actions = {core::HeaderAction::drop()};
+          return update;
+        },
+        /*one_shot=*/true);
+    ctx->on_teardown([this, tuple]() { flows_.erase(tuple); });
+  }
+}
+
+std::uint64_t DosPrevention::syn_count(const net::FiveTuple& tuple) const {
+  const auto it = flows_.find(tuple);
+  return it == flows_.end() ? 0 : it->second.syn_count;
+}
+
+bool DosPrevention::is_blacklisted(const net::FiveTuple& tuple) const {
+  const auto it = flows_.find(tuple);
+  return it != flows_.end() && it->second.blacklisted;
+}
+
+void DosPrevention::on_flow_teardown(const net::FiveTuple& tuple) {
+  flows_.erase(tuple);
+}
+
+}  // namespace speedybox::nf

@@ -1,0 +1,55 @@
+#include "nf/gateway.hpp"
+
+#include "net/fields.hpp"
+
+namespace speedybox::nf {
+
+Gateway::Gateway(std::vector<TrafficClass> classes, std::string name)
+    : NetworkFunction(std::move(name)), classes_(std::move(classes)) {}
+
+std::uint8_t Gateway::classify_dscp(
+    const net::FiveTuple& tuple) const noexcept {
+  for (const TrafficClass& tc : classes_) {
+    if (tuple.dst_port >= tc.dport_lo && tuple.dst_port <= tc.dport_hi) {
+      return tc.dscp;
+    }
+  }
+  return 0;
+}
+
+void Gateway::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  const std::uint32_t ttl =
+      net::get_field(packet, *parsed, net::HeaderField::kTtl);
+  if (ttl <= 1) {
+    // TTL exhausted at this hop. (No ICMP time-exceeded in this model.)
+    packet.mark_dropped();
+    ++ttl_expired_;
+    if (ctx != nullptr) ctx->add_header_action(core::HeaderAction::drop());
+    return;
+  }
+
+  // TTL is per-flow constant (all packets of a flow arrive with the sender's
+  // initial TTL), so the decremented value is a per-flow absolute write —
+  // consolidation-friendly, like any modify.
+  const core::HeaderAction ttl_action =
+      core::HeaderAction::modify(net::HeaderField::kTtl, ttl - 1);
+  const core::HeaderAction dscp_action = core::HeaderAction::modify(
+      net::HeaderField::kTos,
+      static_cast<std::uint32_t>(classify_dscp(tuple)) << 2);
+
+  core::apply_action_baseline(ttl_action, packet);
+  core::apply_action_baseline(dscp_action, packet);
+  ++routed_;
+
+  if (ctx != nullptr) {
+    ctx->add_header_action(ttl_action);
+    ctx->add_header_action(dscp_action);
+  }
+}
+
+}  // namespace speedybox::nf

@@ -1,0 +1,42 @@
+// L3 gateway (§IV-A's "Gateways" NF class — conferencing/media/voice
+// gateways are the single largest middlebox category in the enterprise
+// survey the paper builds on): routes flows between segments, decrementing
+// the TTL like any L3 hop and stamping a DSCP traffic class chosen from a
+// per-port classification table (voice/video/best-effort). Pure
+// header-action NF: two modifies per flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace speedybox::nf {
+
+struct TrafficClass {
+  std::uint16_t dport_lo = 0;
+  std::uint16_t dport_hi = 0xFFFF;
+  std::uint8_t dscp = 0;  // 6-bit DSCP, stored in TOS[7:2]
+};
+
+class Gateway : public NetworkFunction {
+ public:
+  /// First matching traffic class wins; unmatched flows keep DSCP 0
+  /// (best effort).
+  explicit Gateway(std::vector<TrafficClass> classes,
+                   std::string name = "gateway");
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+
+  std::uint64_t routed() const noexcept { return routed_; }
+  std::uint64_t ttl_expired() const noexcept { return ttl_expired_; }
+
+ private:
+  std::uint8_t classify_dscp(const net::FiveTuple& tuple) const noexcept;
+
+  std::vector<TrafficClass> classes_;
+  std::uint64_t routed_ = 0;
+  std::uint64_t ttl_expired_ = 0;
+};
+
+}  // namespace speedybox::nf

@@ -1,0 +1,101 @@
+#include "nf/ip_filter.hpp"
+
+namespace speedybox::nf {
+namespace {
+
+bool prefix_match(net::Ipv4Addr addr, net::Ipv4Addr prefix,
+                  std::uint8_t len) noexcept {
+  if (len == 0) return true;
+  const std::uint32_t mask =
+      len >= 32 ? ~0u : ~((1u << (32 - len)) - 1);
+  return (addr.value & mask) == (prefix.value & mask);
+}
+
+}  // namespace
+
+bool AclRule::matches(const net::FiveTuple& tuple) const noexcept {
+  if (proto && *proto != tuple.proto) return false;
+  if (!prefix_match(tuple.src_ip, src_prefix, src_prefix_len)) return false;
+  if (!prefix_match(tuple.dst_ip, dst_prefix, dst_prefix_len)) return false;
+  if (tuple.src_port < sport_lo || tuple.src_port > sport_hi) return false;
+  if (tuple.dst_port < dport_lo || tuple.dst_port > dport_hi) return false;
+  return true;
+}
+
+AclRule AclRule::drop_dst_port(std::uint16_t port) {
+  AclRule rule;
+  rule.dport_lo = rule.dport_hi = port;
+  rule.drop = true;
+  return rule;
+}
+
+AclRule AclRule::drop_src_ip(net::Ipv4Addr ip) {
+  AclRule rule;
+  rule.src_prefix = ip;
+  rule.src_prefix_len = 32;
+  rule.drop = true;
+  return rule;
+}
+
+AclRule AclRule::drop_dst_prefix(net::Ipv4Addr prefix, std::uint8_t len) {
+  AclRule rule;
+  rule.dst_prefix = prefix;
+  rule.dst_prefix_len = len;
+  rule.drop = true;
+  return rule;
+}
+
+AclRule AclRule::allow_all() {
+  AclRule rule;
+  rule.drop = false;
+  return rule;
+}
+
+IpFilter::IpFilter(std::vector<AclRule> acl, std::string name)
+    : NetworkFunction(std::move(name)), acl_(std::move(acl)) {}
+
+bool IpFilter::lookup_acl(const net::FiveTuple& tuple) const noexcept {
+  // Linear scan, first match wins (Click IPFilter semantics); default allow.
+  for (const AclRule& rule : acl_) {
+    if (rule.matches(tuple)) return rule.drop;
+  }
+  return false;
+}
+
+void IpFilter::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) {
+    ++drops_;
+    return;
+  }
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  bool drop;
+  const auto it = verdict_cache_.find(tuple);
+  if (it != verdict_cache_.end()) {
+    drop = it->second;
+  } else {
+    drop = lookup_acl(tuple);  // initial-packet linear scan
+    verdict_cache_.emplace(tuple, drop);
+  }
+
+  if (ctx != nullptr) {
+    ctx->add_header_action(drop ? core::HeaderAction::drop()
+                                : core::HeaderAction::forward());
+    const net::FiveTuple key = tuple;
+    ctx->on_teardown([this, key]() { verdict_cache_.erase(key); });
+  }
+
+  if (drop) {
+    packet.mark_dropped();
+    ++drops_;
+  }
+  if (parsed->has_fin_or_rst()) verdict_cache_.erase(tuple);
+}
+
+void IpFilter::on_flow_teardown(const net::FiveTuple& tuple) {
+  verdict_cache_.erase(tuple);
+}
+
+}  // namespace speedybox::nf

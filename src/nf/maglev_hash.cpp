@@ -1,0 +1,92 @@
+#include "nf/maglev_hash.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace speedybox::nf {
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (std::uint64_t d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+MaglevTable::MaglevTable(const std::vector<std::string>& backend_names,
+                         const std::vector<bool>& active,
+                         std::size_t table_size) {
+  if (!is_prime(table_size)) {
+    throw std::invalid_argument("Maglev table size must be prime");
+  }
+  if (backend_names.size() != active.size()) {
+    throw std::invalid_argument("backend_names/active size mismatch");
+  }
+  entries_.assign(table_size, -1);
+  build(backend_names, active);
+}
+
+MaglevTable::MaglevTable(const std::vector<std::string>& backend_names,
+                         std::size_t table_size)
+    : MaglevTable(backend_names,
+                  std::vector<bool>(backend_names.size(), true), table_size) {
+}
+
+void MaglevTable::build(const std::vector<std::string>& names,
+                        const std::vector<bool>& active) {
+  const std::size_t m = entries_.size();
+  struct Perm {
+    std::int32_t backend;
+    std::uint64_t offset;
+    std::uint64_t skip;
+    std::uint64_t next = 0;  // next preference index j
+  };
+  std::vector<Perm> perms;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!active[i]) continue;
+    // Two independent hash functions of the backend name (§3.4: h1/h2).
+    const std::uint64_t h1 = util::fnv1a(names[i]);
+    const std::uint64_t h2 = util::mix64(h1 ^ 0xA5A5A5A5DEADBEEFULL);
+    perms.push_back({static_cast<std::int32_t>(i), h1 % m, h2 % (m - 1) + 1});
+  }
+  if (perms.empty()) {
+    entries_.clear();
+    return;
+  }
+  if (perms.size() > m) {
+    throw std::invalid_argument("more active backends than table slots");
+  }
+
+  // Round-robin population: each backend claims its next preferred empty
+  // slot until all slots are owned.
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (Perm& perm : perms) {
+      // Walk the backend's permutation to its next empty slot.
+      std::size_t slot;
+      do {
+        slot = static_cast<std::size_t>(
+            (perm.offset + perm.next * perm.skip) % m);
+        ++perm.next;
+      } while (entries_[slot] >= 0);
+      entries_[slot] = perm.backend;
+      ++filled;
+      if (filled == m) break;
+    }
+  }
+}
+
+std::vector<std::size_t> MaglevTable::slot_counts(
+    std::size_t backend_count) const {
+  std::vector<std::size_t> counts(backend_count, 0);
+  for (const std::int32_t entry : entries_) {
+    if (entry >= 0 && static_cast<std::size_t>(entry) < backend_count) {
+      ++counts[static_cast<std::size_t>(entry)];
+    }
+  }
+  return counts;
+}
+
+}  // namespace speedybox::nf

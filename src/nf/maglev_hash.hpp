@@ -1,0 +1,55 @@
+// Maglev consistent hashing (Eisenbud et al., NSDI'16, §3.4).
+//
+// Google's Maglev is closed source; like the paper, we implement the lookup
+// table construction from the published algorithm: each backend gets a
+// permutation of table slots derived from two independent hashes of its
+// name (offset/skip), and backends take turns claiming their next preferred
+// empty slot until the table is full. The construction guarantees near-even
+// load and minimal disruption when the backend set changes — both verified
+// by property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedybox::nf {
+
+/// True if n is prime (the table size must be prime so every skip value
+/// walks all slots).
+bool is_prime(std::uint64_t n) noexcept;
+
+class MaglevTable {
+ public:
+  /// Build the lookup table for the given backend names, considering only
+  /// those with active[i] == true. `table_size` must be prime and >= the
+  /// number of active backends; throws std::invalid_argument otherwise.
+  MaglevTable(const std::vector<std::string>& backend_names,
+              const std::vector<bool>& active, std::size_t table_size);
+
+  /// Convenience: all backends active.
+  MaglevTable(const std::vector<std::string>& backend_names,
+              std::size_t table_size);
+
+  /// Backend index for a flow-hash; -1 when no backend is active.
+  std::int32_t lookup(std::uint64_t flow_hash) const noexcept {
+    if (entries_.empty()) return -1;
+    return entries_[flow_hash % entries_.size()];
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<std::int32_t>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Slots assigned to each backend index (for the balance property test).
+  std::vector<std::size_t> slot_counts(std::size_t backend_count) const;
+
+ private:
+  void build(const std::vector<std::string>& names,
+             const std::vector<bool>& active);
+
+  std::vector<std::int32_t> entries_;
+};
+
+}  // namespace speedybox::nf

@@ -1,0 +1,141 @@
+#include "nf/maglev_lb.hpp"
+
+#include <stdexcept>
+
+#include "net/fields.hpp"
+
+namespace speedybox::nf {
+
+MaglevLb::MaglevLb(std::vector<Backend> backends, std::size_t table_size,
+                   std::string name)
+    : NetworkFunction(std::move(name)),
+      backends_(std::move(backends)),
+      table_size_(table_size),
+      bytes_(backends_.size(), 0) {
+  if (backends_.empty()) {
+    throw std::invalid_argument("MaglevLb needs at least one backend");
+  }
+  rebuild_table();
+}
+
+void MaglevLb::rebuild_table() {
+  std::vector<std::string> names;
+  std::vector<bool> active;
+  names.reserve(backends_.size());
+  active.reserve(backends_.size());
+  for (const Backend& b : backends_) {
+    names.push_back(b.name);
+    active.push_back(b.healthy);
+  }
+  table_.emplace(names, active, table_size_);
+}
+
+void MaglevLb::fail_backend(std::size_t index) {
+  if (index >= backends_.size() || !backends_[index].healthy) return;
+  backends_[index].healthy = false;
+  rebuild_table();
+}
+
+void MaglevLb::heal_backend(std::size_t index) {
+  if (index >= backends_.size() || backends_[index].healthy) return;
+  backends_[index].healthy = true;
+  rebuild_table();
+}
+
+std::size_t MaglevLb::assign(const net::FiveTuple& tuple) {
+  const std::int32_t backend = table_->lookup(tuple.hash());
+  if (backend < 0) {
+    throw std::runtime_error("MaglevLb: no healthy backend");
+  }
+  conn_track_[tuple] = static_cast<std::size_t>(backend);
+  return static_cast<std::size_t>(backend);
+}
+
+std::size_t MaglevLb::ensure_healthy(const net::FiveTuple& tuple) {
+  const auto it = conn_track_.find(tuple);
+  if (it == conn_track_.end()) return assign(tuple);
+  if (!backends_[it->second].healthy) {
+    // Failover: re-run consistent hashing over the rebuilt table. This is
+    // the behavior the SpeedyBox event expresses on the fast path.
+    ++reroutes_;
+    return assign(tuple);
+  }
+  return it->second;
+}
+
+std::vector<core::HeaderAction> MaglevLb::actions_for(
+    std::size_t backend) const {
+  const Backend& b = backends_[backend];
+  return {
+      core::HeaderAction::modify(net::HeaderField::kDstIp, b.ip.value),
+      core::HeaderAction::modify(net::HeaderField::kDstPort, b.port),
+  };
+}
+
+void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  const std::size_t backend = ensure_healthy(tuple);
+  for (const core::HeaderAction& action : actions_for(backend)) {
+    core::apply_action_baseline(action, packet);
+  }
+  bytes_[backend] += packet.size();
+
+  if (ctx != nullptr) {
+    for (const core::HeaderAction& action : actions_for(backend)) {
+      ctx->add_header_action(action);
+    }
+    // Per-backend byte accounting as an IGNORE-class state function. The
+    // recorded args bind the flow's connection-tracking cell directly
+    // (pointer-stable unordered_map node, updated in place on failover),
+    // so the handler always charges the *current* backend without a
+    // per-packet table lookup.
+    const std::size_t* backend_cell = &conn_track_.find(tuple)->second;
+    core::localmat_add_SF(
+        ctx,
+        [this, backend_cell](net::Packet& pkt, const net::ParsedPacket&) {
+          bytes_[*backend_cell] += pkt.size();
+        },
+        core::PayloadAccess::kIgnore, name() + ".bytes");
+    // The failover event (§V-A Observation 2): when the flow's backend goes
+    // unhealthy, reroute and swap the modify actions on the fast path.
+    // Persistent, so repeated failures keep being handled, mirroring the
+    // per-packet health check of the baseline path.
+    ctx->register_event(
+        name() + ".failover",
+        [this, tuple]() {
+          const auto it = conn_track_.find(tuple);
+          return it != conn_track_.end() && !backends_[it->second].healthy;
+        },
+        [this, tuple]() {
+          ++reroutes_;
+          const std::size_t next = assign(tuple);
+          core::EventUpdate update;
+          update.header_actions = actions_for(next);
+          return update;
+        },
+        /*one_shot=*/false);
+    ctx->on_teardown([this, tuple]() { conn_track_.erase(tuple); });
+  }
+
+  // Connection close: release the tracking entry inline on the unrecorded
+  // path; the teardown hook handles the recorded path (after the rule
+  // whose handler references the tracking cell has been destroyed).
+  if (ctx == nullptr && parsed->has_fin_or_rst()) conn_track_.erase(tuple);
+}
+
+std::optional<std::size_t> MaglevLb::backend_of(
+    const net::FiveTuple& tuple) const {
+  const auto it = conn_track_.find(tuple);
+  if (it == conn_track_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MaglevLb::on_flow_teardown(const net::FiveTuple& tuple) {
+  conn_track_.erase(tuple);
+}
+
+}  // namespace speedybox::nf

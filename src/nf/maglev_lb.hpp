@@ -1,0 +1,69 @@
+// Maglev-style load balancer NF (§VI-C).
+//
+// Distributes flows across backends with the Maglev consistent-hashing
+// table and tracks connections so established flows stick to their backend.
+// Fault tolerance is the paper's canonical *event* example: when a backend
+// fails, established flows pinned to it are rerouted (consistent hashing
+// over the rebuilt table), which on the SpeedyBox path fires a registered
+// event that swaps the flow's modify(DIP, DPort) header actions and
+// re-consolidates the fast path (§V-A Observation 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/maglev_hash.hpp"
+#include "nf/network_function.hpp"
+
+namespace speedybox::nf {
+
+struct Backend {
+  std::string name;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 0;
+  bool healthy = true;
+};
+
+class MaglevLb : public NetworkFunction {
+ public:
+  MaglevLb(std::vector<Backend> backends, std::size_t table_size = 65537,
+           std::string name = "maglev");
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  void on_flow_teardown(const net::FiveTuple& tuple) override;
+
+  /// Control plane: health transitions rebuild the lookup table over the
+  /// surviving backends (what Maglev's health checker does).
+  void fail_backend(std::size_t index);
+  void heal_backend(std::size_t index);
+
+  const std::vector<Backend>& backends() const noexcept { return backends_; }
+  /// Current backend of a tracked flow; nullopt if untracked.
+  std::optional<std::size_t> backend_of(const net::FiveTuple& tuple) const;
+  /// Bytes steered to each backend (state the §VII-C test compares).
+  const std::vector<std::uint64_t>& bytes_per_backend() const noexcept {
+    return bytes_;
+  }
+  std::uint64_t reroutes() const noexcept { return reroutes_; }
+  std::size_t tracked_flows() const noexcept { return conn_track_.size(); }
+
+ private:
+  void rebuild_table();
+  std::size_t assign(const net::FiveTuple& tuple);
+  /// Ensure the flow's backend is healthy, rerouting if not. Returns the
+  /// (possibly new) backend index.
+  std::size_t ensure_healthy(const net::FiveTuple& tuple);
+  std::vector<core::HeaderAction> actions_for(std::size_t backend) const;
+
+  std::vector<Backend> backends_;
+  std::size_t table_size_;
+  std::optional<MaglevTable> table_;
+  std::unordered_map<net::FiveTuple, std::size_t, net::FiveTupleHash>
+      conn_track_;
+  std::vector<std::uint64_t> bytes_;
+  std::uint64_t reroutes_ = 0;
+};
+
+}  // namespace speedybox::nf

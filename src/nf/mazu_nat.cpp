@@ -1,0 +1,117 @@
+#include "nf/mazu_nat.hpp"
+
+#include <stdexcept>
+
+namespace speedybox::nf {
+
+MazuNat::MazuNat(MazuNatConfig config, std::string name)
+    : NetworkFunction(std::move(name)),
+      config_(config),
+      next_port_(config.port_lo) {
+  if (config_.port_lo > config_.port_hi) {
+    throw std::invalid_argument("MazuNat: empty port range");
+  }
+}
+
+bool MazuNat::is_outbound(const net::FiveTuple& tuple) const noexcept {
+  const std::uint8_t len = config_.internal_prefix_len;
+  if (len == 0) return true;
+  const std::uint32_t mask = len >= 32 ? ~0u : ~((1u << (32 - len)) - 1);
+  return (tuple.src_ip.value & mask) == (config_.internal_prefix.value & mask);
+}
+
+std::uint16_t MazuNat::allocate_port() {
+  if (!free_ports_.empty()) {
+    const std::uint16_t port = free_ports_.front();
+    free_ports_.pop_front();
+    return port;
+  }
+  if (next_port_ > config_.port_hi) {
+    throw std::runtime_error("MazuNat: port pool exhausted");
+  }
+  return next_port_++;
+}
+
+void MazuNat::release_mapping(const net::FiveTuple& tuple) {
+  const auto it = mappings_.find(tuple);
+  if (it == mappings_.end()) return;
+  reverse_.erase(it->second);
+  free_ports_.push_back(it->second);
+  mappings_.erase(it);
+}
+
+std::vector<core::HeaderAction> MazuNat::outbound_actions(
+    std::uint16_t ext_port) const {
+  return {
+      core::HeaderAction::modify(net::HeaderField::kSrcIp,
+                                 config_.external_ip.value),
+      core::HeaderAction::modify(net::HeaderField::kSrcPort, ext_port),
+  };
+}
+
+void MazuNat::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  if (is_outbound(tuple)) {
+    std::uint16_t ext_port;
+    const auto it = mappings_.find(tuple);
+    if (it != mappings_.end()) {
+      ext_port = it->second;
+    } else {
+      ext_port = allocate_port();
+      mappings_.emplace(tuple, ext_port);
+      reverse_.emplace(ext_port, tuple);
+    }
+    ++translations_;
+    for (const auto& action : outbound_actions(ext_port)) {
+      core::apply_action_baseline(action, packet);
+    }
+    if (ctx != nullptr) {
+      for (const auto& action : outbound_actions(ext_port)) {
+        ctx->add_header_action(action);
+      }
+      ctx->on_teardown([this, tuple]() { release_mapping(tuple); });
+    }
+    if (parsed->has_fin_or_rst()) release_mapping(tuple);
+    return;
+  }
+
+  // Inbound: reverse-translate packets addressed to the external IP.
+  if (tuple.dst_ip == config_.external_ip) {
+    const auto it = reverse_.find(tuple.dst_port);
+    if (it == reverse_.end()) {
+      packet.mark_dropped();  // no mapping: unsolicited inbound
+      return;
+    }
+    const net::FiveTuple& orig = it->second;
+    const std::vector<core::HeaderAction> actions = {
+        core::HeaderAction::modify(net::HeaderField::kDstIp,
+                                   orig.src_ip.value),
+        core::HeaderAction::modify(net::HeaderField::kDstPort, orig.src_port),
+    };
+    ++translations_;
+    for (const auto& action : actions) {
+      core::apply_action_baseline(action, packet);
+    }
+    if (ctx != nullptr) {
+      for (const auto& action : actions) ctx->add_header_action(action);
+    }
+  }
+  // Neither outbound nor addressed to us: forward untouched.
+}
+
+std::optional<std::uint16_t> MazuNat::mapping_of(
+    const net::FiveTuple& tuple) const {
+  const auto it = mappings_.find(tuple);
+  if (it == mappings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MazuNat::on_flow_teardown(const net::FiveTuple& tuple) {
+  release_mapping(tuple);
+}
+
+}  // namespace speedybox::nf

@@ -1,0 +1,56 @@
+// MazuNAT (§VI-C): a dynamic NAPT closely following the Click mazu-nat
+// configuration — translates the source IP/port of outbound flows to the
+// external address with a per-flow allocated port, and reverse-translates
+// inbound packets addressed to the external IP. ICMP handling is omitted,
+// as in the paper. Each flow's translation is a pair of modify header
+// actions, making NAT the canonical Modify NF for consolidation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "nf/network_function.hpp"
+
+namespace speedybox::nf {
+
+struct MazuNatConfig {
+  net::Ipv4Addr external_ip{10, 0, 0, 1};
+  std::uint16_t port_lo = 10000;
+  std::uint16_t port_hi = 59999;
+  /// Flows whose source matches this prefix are outbound (translated).
+  net::Ipv4Addr internal_prefix{192, 168, 0, 0};
+  std::uint8_t internal_prefix_len = 16;
+};
+
+class MazuNat : public NetworkFunction {
+ public:
+  explicit MazuNat(MazuNatConfig config = {}, std::string name = "mazunat");
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  void on_flow_teardown(const net::FiveTuple& tuple) override;
+
+  std::size_t active_mappings() const noexcept { return mappings_.size(); }
+  /// External port of a tracked outbound flow (pre-translation tuple).
+  std::optional<std::uint16_t> mapping_of(const net::FiveTuple& tuple) const;
+  std::uint64_t translations() const noexcept { return translations_; }
+
+ private:
+  bool is_outbound(const net::FiveTuple& tuple) const noexcept;
+  std::uint16_t allocate_port();
+  void release_mapping(const net::FiveTuple& tuple);
+  std::vector<core::HeaderAction> outbound_actions(
+      std::uint16_t ext_port) const;
+
+  MazuNatConfig config_;
+  std::unordered_map<net::FiveTuple, std::uint16_t, net::FiveTupleHash>
+      mappings_;
+  /// ext_port -> original (pre-NAT) tuple, for the inbound direction.
+  std::unordered_map<std::uint16_t, net::FiveTuple> reverse_;
+  std::uint16_t next_port_;
+  std::deque<std::uint16_t> free_ports_;
+  std::uint64_t translations_ = 0;
+};
+
+}  // namespace speedybox::nf

@@ -1,0 +1,111 @@
+#include "nf/monitor.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace speedybox::nf {
+
+Monitor::Monitor(MonitorConfig config, std::string name)
+    : NetworkFunction(std::move(name)), config_(config) {
+  sketch_.assign(config_.sketch_depth,
+                 std::vector<std::uint64_t>(config_.sketch_width, 0));
+  if (config_.per_port_stats) port_bytes_.assign(65536, 0);
+  if (config_.payload_histogram) byte_histogram_.assign(256, 0);
+}
+
+void Monitor::account(const net::FiveTuple& tuple, const net::Packet& packet,
+                      const net::ParsedPacket& parsed) {
+  FlowCounters& counters = counters_[tuple];
+  ++counters.packets;
+  counters.bytes += packet.size();
+  ++total_packets_;
+  total_bytes_ += packet.size();
+
+  if (config_.sketch_depth > 0) {
+    const std::uint64_t h = tuple.hash();
+    for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
+      const std::uint64_t index =
+          util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
+          config_.sketch_width;
+      sketch_[row][index] += packet.size();
+    }
+  }
+  if (config_.per_port_stats) {
+    port_bytes_[tuple.dst_port] += packet.size();
+  }
+  if (config_.payload_histogram) {
+    for (const std::uint8_t byte : net::payload_view(packet, parsed)) {
+      ++byte_histogram_[byte];
+    }
+  }
+}
+
+std::uint64_t Monitor::estimate_flow_bytes(const net::FiveTuple& tuple) const {
+  if (config_.sketch_depth == 0) return 0;
+  const std::uint64_t h = tuple.hash();
+  std::uint64_t estimate = ~0ULL;
+  for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
+    const std::uint64_t index =
+        util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
+        config_.sketch_width;
+    estimate = std::min(estimate, sketch_[row][index]);
+  }
+  return estimate;
+}
+
+std::uint64_t Monitor::port_bytes(std::uint16_t dst_port) const {
+  return config_.per_port_stats ? port_bytes_[dst_port] : 0;
+}
+
+void Monitor::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+
+  account(tuple, packet, *parsed);
+
+  if (ctx != nullptr) {
+    ctx->add_header_action(core::HeaderAction::forward());
+    // Figure-2 semantics: the handler is recorded with resolved args — the
+    // flow's counter node (pointer-stable) and its precomputed sketch/port
+    // slots — so the per-packet classification work (hashing, table
+    // lookups) happens once, at rule setup.
+    FlowCounters* flow_counters = &counters_[tuple];
+    std::vector<std::uint64_t*> sketch_cells;
+    const std::uint64_t h = tuple.hash();
+    for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
+      const std::uint64_t index =
+          util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
+          config_.sketch_width;
+      sketch_cells.push_back(&sketch_[row][index]);
+    }
+    std::uint64_t* port_cell =
+        config_.per_port_stats ? &port_bytes_[tuple.dst_port] : nullptr;
+    const bool histogram = config_.payload_histogram;
+    core::localmat_add_SF(
+        ctx,
+        [this, flow_counters, sketch_cells = std::move(sketch_cells),
+         port_cell, histogram](net::Packet& pkt,
+                               const net::ParsedPacket& parsed) {
+          const std::uint64_t size = pkt.size();
+          ++flow_counters->packets;
+          flow_counters->bytes += size;
+          ++total_packets_;
+          total_bytes_ += size;
+          for (std::uint64_t* cell : sketch_cells) *cell += size;
+          if (port_cell != nullptr) *port_cell += size;
+          if (histogram) {
+            for (const std::uint8_t byte : net::payload_view(
+                     static_cast<const net::Packet&>(pkt), parsed)) {
+              ++byte_histogram_[byte];
+            }
+          }
+        },
+        histogram ? core::PayloadAccess::kRead : core::PayloadAccess::kIgnore,
+        name() + ".count");
+  }
+}
+
+}  // namespace speedybox::nf

@@ -1,0 +1,66 @@
+// NF framework: the contract between NFs and the two data paths.
+//
+// An NF implements process(packet, ctx). On the baseline path and for all
+// packets of the original chain, ctx is null and the NF behaves like an
+// unmodified middlebox — it parses the packet itself, looks up its own flow
+// tables, applies its actions. On the SpeedyBox recording pass (the initial
+// packet of each flow), ctx carries the flow's SpeedyBoxContext and the NF
+// additionally records its behavior through the §IV-B APIs. Recording never
+// alters processing: the packet leaves process() identical either way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/api.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace speedybox::nf {
+
+class NetworkFunction {
+ public:
+  explicit NetworkFunction(std::string name) : name_(std::move(name)) {}
+  virtual ~NetworkFunction() = default;
+
+  NetworkFunction(const NetworkFunction&) = delete;
+  NetworkFunction& operator=(const NetworkFunction&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Process one packet. May mark it dropped; the chain stops there.
+  virtual void process(net::Packet& packet, core::SpeedyBoxContext* ctx) = 0;
+
+  /// Flow teardown notification (FIN/RST): release per-flow state.
+  virtual void on_flow_teardown(const net::FiveTuple& tuple) {
+    (void)tuple;
+  }
+
+  std::uint64_t packets_processed() const noexcept { return packets_; }
+
+ protected:
+  void count_packet() noexcept { ++packets_; }
+
+  /// Parse the packet and validate the IPv4 header checksum, dropping it on
+  /// failure — what Click's CheckIPHeader element (present in the paper's
+  /// IPFilter and mazu-nat configurations) does at the head of every
+  /// pipeline. Every baseline NF pays this per packet: this is exactly the
+  /// R1 redundancy (repeated parsing and validation) that SpeedyBox's
+  /// classifier amortizes to once per packet.
+  static std::optional<net::ParsedPacket> parse_and_check(
+      net::Packet& packet) noexcept {
+    auto parsed = net::parse_packet(packet);
+    if (!parsed || !net::verify_ipv4_checksum(packet, parsed->l3_offset)) {
+      packet.mark_dropped();
+      return std::nullopt;
+    }
+    return parsed;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace speedybox::nf

@@ -1,0 +1,154 @@
+#include "nf/snort_ids.hpp"
+
+namespace speedybox::nf {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string lowered{text};
+  for (char& c : lowered) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return lowered;
+}
+
+}  // namespace
+
+SnortIds::SnortIds(std::vector<SnortRule> rules, std::string name)
+    : NetworkFunction(std::move(name)), rules_(std::move(rules)) {
+  for (std::uint32_t r = 0; r < rules_.size(); ++r) {
+    for (std::uint32_t c = 0; c < rules_[r].contents.size(); ++c) {
+      const ContentMatch& content = rules_[r].contents[c];
+      const auto pattern_id =
+          static_cast<std::uint32_t>(pattern_owner_.size());
+      pattern_owner_.emplace_back(r, c);
+      if (content.nocase) {
+        nocase_matcher_.add_pattern(to_lower(content.pattern), pattern_id);
+      } else {
+        matcher_.add_pattern(content.pattern, pattern_id);
+      }
+    }
+  }
+  matcher_.build();
+  nocase_matcher_.build();
+  matched_generation_.assign(rules_.size(), 0);
+  matched_bits_.assign(rules_.size(), 0);
+}
+
+SnortIds::FlowState& SnortIds::flow_state(const net::FiveTuple& tuple) {
+  const auto it = flows_.find(tuple);
+  if (it != flows_.end()) return it->second;
+  // Initial packet of the flow: assign the candidate rule set by linear
+  // header matching — the per-flow "rule matching function" of
+  // Observation 1. This is the initialization cost Fig. 4 shows dominating
+  // initial packets.
+  FlowState state;
+  for (std::uint32_t r = 0; r < rules_.size(); ++r) {
+    if (rules_[r].header_matches(tuple)) state.candidate_rules.push_back(r);
+  }
+  return flows_.emplace(tuple, std::move(state)).first->second;
+}
+
+void SnortIds::inspect(const net::FiveTuple& tuple, const FlowState& state,
+                       net::Packet& packet,
+                       const net::ParsedPacket& parsed) {
+  if (state.candidate_rules.empty()) return;
+  const auto payload = net::payload_view(packet, parsed);
+
+  // One automaton pass per case class; mark which contents of which rules
+  // occurred at positions satisfying their offset/depth constraints.
+  ++generation_;
+  const auto on_match = [this](std::uint32_t pattern_id, std::size_t end) {
+    const auto [rule, content] = pattern_owner_[pattern_id];
+    if (!rules_[rule].contents[content].position_ok(end)) return;
+    if (matched_generation_[rule] != generation_) {
+      matched_generation_[rule] = generation_;
+      matched_bits_[rule] = 0;
+    }
+    matched_bits_[rule] |= 1ULL << content;
+  };
+  if (matcher_.pattern_count() > 0) {
+    matcher_.match(payload, on_match);
+  }
+  if (nocase_matcher_.pattern_count() > 0) {
+    lowercase_scratch_.assign(payload.begin(), payload.end());
+    for (std::uint8_t& byte : lowercase_scratch_) {
+      if (byte >= 'A' && byte <= 'Z') {
+        byte = static_cast<std::uint8_t>(byte - 'A' + 'a');
+      }
+    }
+    nocase_matcher_.match(lowercase_scratch_, on_match);
+  }
+
+  // Evaluate candidates; pass-first order (a firing pass rule suppresses
+  // alert/log outcomes for this packet).
+  bool passed = false;
+  std::vector<std::uint32_t> fired;
+  for (const std::uint32_t r : state.candidate_rules) {
+    if (matched_generation_[r] != generation_) continue;
+    const SnortRule& rule = rules_[r];
+    const std::uint64_t all =
+        rule.contents.size() >= 64
+            ? ~0ULL
+            : (1ULL << rule.contents.size()) - 1;
+    if ((matched_bits_[r] & all) != all) continue;
+    if (rule.action == SnortAction::kPass) {
+      passed = true;
+      break;
+    }
+    fired.push_back(r);
+  }
+  if (passed) {
+    ++passes_;
+    return;
+  }
+  for (const std::uint32_t r : fired) {
+    const SnortRule& rule = rules_[r];
+    log_.push_back({tuple, rule.sid, rule.action});
+    if (rule.action == SnortAction::kAlert) {
+      ++alerts_;
+    } else {
+      ++logs_;
+    }
+  }
+}
+
+void SnortIds::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  FlowState& state = flow_state(tuple);
+
+  inspect(tuple, state, packet, *parsed);
+
+  if (ctx != nullptr) {
+    // Snort never modifies packets: forward header action (§VI-C), and the
+    // inspection wrapped as a READ-class state function. Per Figure 2 the
+    // handler is recorded together with its args — here the flow's resolved
+    // rule-group state — so the fast path skips the per-packet flow-table
+    // lookup (unordered_map nodes are pointer-stable; the teardown hook
+    // that frees the state runs only when the rule itself is erased).
+    ctx->add_header_action(core::HeaderAction::forward());
+    const FlowState* flow_args = &state;
+    core::localmat_add_SF(
+        ctx,
+        [this, tuple, flow_args](net::Packet& pkt,
+                                 const net::ParsedPacket& p) {
+          inspect(tuple, *flow_args, pkt, p);
+        },
+        core::PayloadAccess::kRead, name() + ".inspect");
+    ctx->on_teardown([this, tuple]() { flows_.erase(tuple); });
+  }
+
+  // Connection close frees the flow state inline on the unrecorded path;
+  // on the recorded path the teardown hook does it (after the rule whose
+  // handler references this state has been destroyed).
+  if (ctx == nullptr && parsed->has_fin_or_rst()) flows_.erase(tuple);
+}
+
+void SnortIds::on_flow_teardown(const net::FiveTuple& tuple) {
+  flows_.erase(tuple);
+}
+
+}  // namespace speedybox::nf

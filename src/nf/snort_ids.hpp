@@ -1,0 +1,82 @@
+// Snort-like IDS (§VI-C).
+//
+// Mirrors the structure the paper relies on in Snort 2.x:
+//   * at configuration time, all rule content strings are compiled into one
+//     Aho–Corasick automaton (Snort's detection engine);
+//   * when a flow's first packet arrives, the header predicates select the
+//     flow's candidate rule set — Observation 1: "Snort assigns a rule
+//     matching function for each flow as the initial packet arrives";
+//   * every packet is inspected by running the automaton over the payload;
+//     a candidate rule fires when all its content strings occur;
+//   * the outcome per Pass/Alert/Log action: pass suppresses (pass-first
+//     order), alert and log append to the audit log §VII-C compares.
+//
+// Integration with SpeedyBox records a `forward` header action and one
+// READ-class state function wrapping inspect() — the "27 lines" class of
+// change from Table II.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/aho_corasick.hpp"
+#include "nf/network_function.hpp"
+#include "nf/snort_rule.hpp"
+
+namespace speedybox::nf {
+
+struct SnortLogEntry {
+  net::FiveTuple tuple;
+  std::uint32_t sid = 0;
+  SnortAction action = SnortAction::kAlert;
+
+  friend bool operator==(const SnortLogEntry&,
+                         const SnortLogEntry&) = default;
+};
+
+class SnortIds : public NetworkFunction {
+ public:
+  explicit SnortIds(std::vector<SnortRule> rules,
+                    std::string name = "snort");
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  void on_flow_teardown(const net::FiveTuple& tuple) override;
+
+  /// Audit surface for the equivalence tests (§VII-C-1).
+  const std::vector<SnortLogEntry>& log() const noexcept { return log_; }
+  std::uint64_t alert_count() const noexcept { return alerts_; }
+  std::uint64_t log_count() const noexcept { return logs_; }
+  std::uint64_t pass_count() const noexcept { return passes_; }
+  std::size_t tracked_flows() const noexcept { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    std::vector<std::uint32_t> candidate_rules;  // indices into rules_
+  };
+
+  FlowState& flow_state(const net::FiveTuple& tuple);
+  void inspect(const net::FiveTuple& tuple, const FlowState& state,
+               net::Packet& packet, const net::ParsedPacket& parsed);
+
+  std::vector<SnortRule> rules_;
+  AhoCorasick matcher_;         // case-sensitive contents, raw payload
+  AhoCorasick nocase_matcher_;  // lowercased contents, lowercased payload
+  /// Automaton pattern id -> (rule index, content index within the rule).
+  /// Shared id space across both automatons.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pattern_owner_;
+  std::vector<std::uint8_t> lowercase_scratch_;
+
+  std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> flows_;
+  std::vector<SnortLogEntry> log_;
+  std::uint64_t alerts_ = 0;
+  std::uint64_t logs_ = 0;
+  std::uint64_t passes_ = 0;
+
+  // Scratch: per-rule matched-content bitmap, reused across packets.
+  std::vector<std::uint32_t> matched_generation_;
+  std::vector<std::uint64_t> matched_bits_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace speedybox::nf

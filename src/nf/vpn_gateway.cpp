@@ -1,0 +1,62 @@
+#include "nf/vpn_gateway.hpp"
+
+namespace speedybox::nf {
+
+VpnGateway::VpnGateway(VpnMode mode, std::uint32_t spi_base, std::string name)
+    : NetworkFunction(std::move(name)), mode_(mode), next_spi_(spi_base) {}
+
+void VpnGateway::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
+  count_packet();
+  const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
+  if (!parsed) return;
+
+  if (mode_ == VpnMode::kEgress) {
+    // Security-association setup on the first packet of a flow; every
+    // packet is encapsulated with the flow's SPI.
+    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    std::uint32_t spi;
+    const auto it = spis_.find(tuple);
+    if (it != spis_.end()) {
+      spi = it->second;
+    } else {
+      spi = next_spi_++;
+      spis_.emplace(tuple, spi);
+    }
+    const core::HeaderAction action = core::HeaderAction::encap_ah(spi);
+    core::apply_action_baseline(action, packet);
+    ++encapsulated_;
+    if (ctx != nullptr) {
+      ctx->add_header_action(action);
+      ctx->on_teardown([this, tuple]() { spis_.erase(tuple); });
+    } else if (parsed->has_fin_or_rst()) {
+      // Connection close frees the security association inline on the
+      // unrecorded path; the teardown hook covers the recorded path.
+      spis_.erase(tuple);
+    }
+    return;
+  }
+
+  // Ingress: the outermost header must be an AH we recognize.
+  const auto spi = net::outer_ah_spi(packet);
+  if (!spi) {
+    packet.mark_dropped();
+    ++rejected_;
+    if (ctx != nullptr) {
+      ctx->add_header_action(core::HeaderAction::drop());
+    }
+    return;
+  }
+  const core::HeaderAction action =
+      core::HeaderAction::decap(net::EncapKind::kAh);
+  core::apply_action_baseline(action, packet);
+  ++decapsulated_;
+  if (ctx != nullptr) {
+    ctx->add_header_action(action);
+  }
+}
+
+void VpnGateway::on_flow_teardown(const net::FiveTuple& tuple) {
+  spis_.erase(tuple);
+}
+
+}  // namespace speedybox::nf

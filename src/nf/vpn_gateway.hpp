@@ -1,0 +1,48 @@
+// VPN gateway (§IV-A1's Encap/Decap example): "VPNs add an Authentication
+// Header (AH) for each packet before forwarding (encap), and remove the AH
+// when the other end receives the packet (decap)".
+//
+// One NF instance is one tunnel endpoint: kEgress encapsulates every flow
+// with an AH carrying a per-flow SPI; kIngress strips the outer AH (and
+// verifies the SPI belongs to a known association). A chain containing both
+// endpoints (site-to-site through a middle segment) demonstrates the
+// consolidation algebra's stack cancellation: encap immediately undone by
+// decap vanishes from the fast path entirely.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nf/network_function.hpp"
+
+namespace speedybox::nf {
+
+enum class VpnMode : std::uint8_t { kEgress, kIngress };
+
+class VpnGateway : public NetworkFunction {
+ public:
+  /// `spi_base`: per-flow SPIs are allocated sequentially from here, so a
+  /// matching ingress endpoint can validate them.
+  explicit VpnGateway(VpnMode mode, std::uint32_t spi_base = 0x1000,
+                      std::string name = "vpn");
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  void on_flow_teardown(const net::FiveTuple& tuple) override;
+
+  std::size_t active_associations() const noexcept { return spis_.size(); }
+  std::uint64_t encapsulated() const noexcept { return encapsulated_; }
+  std::uint64_t decapsulated() const noexcept { return decapsulated_; }
+  /// Ingress: packets arriving without a (valid) AH are dropped.
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  VpnMode mode_;
+  std::uint32_t next_spi_;
+  std::unordered_map<net::FiveTuple, std::uint32_t, net::FiveTupleHash>
+      spis_;
+  std::uint64_t encapsulated_ = 0;
+  std::uint64_t decapsulated_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace speedybox::nf

@@ -1,0 +1,69 @@
+#include "platform/costs.hpp"
+
+#include <algorithm>
+
+#include "util/cycle_clock.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace speedybox::platform {
+namespace {
+
+/// Measured cost of one SPSC enqueue+dequeue pair (same core; the
+/// cross-core penalty is added separately).
+std::uint64_t measure_ring_pair() {
+  util::SpscRing<void*> ring{1024};
+  int dummy = 0;
+  constexpr int kIters = 20000;
+  // Warm-up.
+  for (int i = 0; i < 1000; ++i) {
+    ring.try_push(&dummy);
+    (void)ring.try_pop();
+  }
+  const std::uint64_t t0 = util::CycleClock::now();
+  for (int i = 0; i < kIters; ++i) {
+    ring.try_push(&dummy);
+    (void)ring.try_pop();
+  }
+  const std::uint64_t elapsed = util::CycleClock::now() - t0;
+  return std::max<std::uint64_t>(1, elapsed / kIters);
+}
+
+struct CallProbe {
+  virtual ~CallProbe() = default;
+  virtual std::uint64_t step(std::uint64_t x) = 0;
+};
+struct CallProbeImpl final : CallProbe {
+  std::uint64_t step(std::uint64_t x) override { return x * 2654435761u + 1; }
+};
+
+/// Measured cost of one indirect (virtual) call — the BESS module hop.
+std::uint64_t measure_indirect_call() {
+  CallProbeImpl impl;
+  CallProbe* probe = &impl;
+  constexpr int kIters = 50000;
+  volatile std::uint64_t sink = 1;
+  const std::uint64_t t0 = util::CycleClock::now();
+  std::uint64_t acc = sink;
+  for (int i = 0; i < kIters; ++i) acc = probe->step(acc);
+  const std::uint64_t elapsed = util::CycleClock::now() - t0;
+  sink = acc;
+  return std::max<std::uint64_t>(1, elapsed / kIters);
+}
+
+}  // namespace
+
+PlatformCosts PlatformCosts::measure() {
+  PlatformCosts costs;
+  costs.bess_hop_cycles = measure_indirect_call() + kPerNfFrameworkCycles;
+  costs.onvm_ring_hop_cycles =
+      measure_ring_pair() + kCrossCorePenaltyCycles + kPerNfFrameworkCycles;
+  costs.fork_join_cycles = kForkJoinCycles;
+  return costs;
+}
+
+const PlatformCosts& PlatformCosts::calibrated() {
+  static const PlatformCosts costs = measure();
+  return costs;
+}
+
+}  // namespace speedybox::platform

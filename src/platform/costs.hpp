@@ -1,0 +1,66 @@
+// Platform cost model: the per-NF hand-off/framework overheads of the two
+// NFV execution environments (§VI-A).
+//
+//   BESS       — the whole chain is one process on a dedicated core; per
+//                module a packet pays an indirect call plus the module
+//                framework (batch buffer management, per-packet metadata,
+//                scheduler share).
+//   OpenNetVM  — each NF runs on its own core; per NF a packet pays a
+//                shared-memory descriptor ring enqueue/dequeue, a
+//                cross-core cache-line transfer, and the NF-side wrapper
+//                (mbuf metadata, RX/TX queue bookkeeping).
+//
+// All NF *work* is really executed and cycle-measured; the hand-off /
+// framework overheads are modeled because this container has a single core
+// (see DESIGN.md §1). What can be measured honestly is measured at startup
+// (the indirect call and the SPSC enqueue/dequeue pair); the remaining
+// components are documented constants:
+//
+//   * cross-core cache-coherence transfer: typical L2→LLC→L2 latency on
+//     Xeon-class parts is 40–70ns ≈ 100–150 cycles; we use 120.
+//   * per-module/per-NF framework share: BESS-style run-to-completion
+//     frameworks cost ~tens of cycles per module per packet for batch and
+//     metadata management; ONVM's NF-side wrapper is similar. We use 75.
+//   * fork/join of one parallel state-function group onto spinning worker
+//     cores: one cache-line handoff each way plus wakeup, ~150 cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace speedybox::platform {
+
+enum class PlatformKind : std::uint8_t { kBess, kOnvm };
+
+constexpr const char* platform_name(PlatformKind kind) noexcept {
+  return kind == PlatformKind::kBess ? "BESS" : "ONVM";
+}
+
+/// Cross-core cache-coherence transfer penalty (documented constant).
+inline constexpr std::uint64_t kCrossCorePenaltyCycles = 120;
+
+/// Per-module / per-NF framework share (documented constant).
+inline constexpr std::uint64_t kPerNfFrameworkCycles = 75;
+
+/// Fork/join cost of dispatching one parallel state-function group
+/// (documented constant; spinning workers).
+inline constexpr std::uint64_t kForkJoinCycles = 150;
+
+struct PlatformCosts {
+  /// Per-module hand-off inside the BESS process:
+  /// measured indirect call + framework share.
+  std::uint64_t bess_hop_cycles = 30 + kPerNfFrameworkCycles;
+  /// Per-NF hand-off on ONVM: measured descriptor ring enqueue+dequeue +
+  /// cross-core penalty + framework share.
+  std::uint64_t onvm_ring_hop_cycles =
+      130 + kCrossCorePenaltyCycles + kPerNfFrameworkCycles;
+  /// Fork/join overhead per parallel state-function group.
+  std::uint64_t fork_join_cycles = kForkJoinCycles;
+
+  /// Calibrated-once singleton (measures ring + call costs at first use).
+  static const PlatformCosts& calibrated();
+
+  /// Raw calibration (no caching) — used by the calibration unit test.
+  static PlatformCosts measure();
+};
+
+}  // namespace speedybox::platform

@@ -1,0 +1,80 @@
+#include "platform/onvm_pipeline.hpp"
+
+namespace speedybox::platform {
+
+OnvmPipeline::OnvmPipeline(std::vector<nf::NetworkFunction*> stages,
+                           std::size_t ring_capacity)
+    : stages_(std::move(stages)) {
+  rings_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    rings_.push_back(
+        std::make_unique<util::SpscRing<net::Packet*>>(ring_capacity));
+  }
+  workers_.reserve(stages_.size());
+  stop_flags_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    stop_flags_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+OnvmPipeline::~OnvmPipeline() {
+  if (!stopped_) stop_and_collect();
+}
+
+void OnvmPipeline::push(net::Packet packet) {
+  auto* descriptor = new net::Packet(std::move(packet));
+  while (!rings_.front()->try_push(descriptor)) {
+    std::this_thread::yield();
+  }
+}
+
+void OnvmPipeline::worker(std::size_t stage) {
+  util::SpscRing<net::Packet*>& in = *rings_[stage];
+  const bool last = stage + 1 == stages_.size();
+  for (;;) {
+    auto descriptor = in.try_pop();
+    if (!descriptor) {
+      if (stop_flags_[stage]->load(std::memory_order_acquire) && in.empty()) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    net::Packet* packet = *descriptor;
+    stages_[stage]->process(*packet, nullptr);
+    if (packet->dropped()) {
+      delete packet;  // descriptor set to nil: packet memory released
+      continue;
+    }
+    if (last) {
+      const std::lock_guard lock(sink_mutex_);
+      sink_.push_back(std::move(*packet));
+      delete packet;
+    } else {
+      util::SpscRing<net::Packet*>& out = *rings_[stage + 1];
+      while (!out.try_push(packet)) {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+std::vector<net::Packet> OnvmPipeline::stop_and_collect() {
+  if (!stopped_) {
+    // Stop stage by stage in chain order: stage i is told to stop only once
+    // stage i-1 has drained and joined, so by induction every in-flight
+    // packet reaches the sink.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      stop_flags_[i]->store(true, std::memory_order_release);
+      workers_[i].join();
+    }
+    stopped_ = true;
+  }
+  const std::lock_guard lock(sink_mutex_);
+  return std::move(sink_);
+}
+
+}  // namespace speedybox::platform

@@ -1,0 +1,21 @@
+#include "runtime/chain.hpp"
+
+namespace speedybox::runtime {
+
+void ServiceChain::add_nf(nf::NetworkFunction* nf) {
+  local_mats_.push_back(
+      std::make_unique<core::LocalMat>(nf->name(), nfs_.size()));
+  nfs_.push_back(nf);
+
+  std::vector<core::LocalMat*> mats;
+  mats.reserve(local_mats_.size());
+  for (const auto& mat : local_mats_) mats.push_back(mat.get());
+  global_mat_.set_chain(std::move(mats));
+}
+
+void ServiceChain::reset_flows() {
+  global_mat_.clear();
+  classifier_.clear();
+}
+
+}  // namespace speedybox::runtime

@@ -1,0 +1,63 @@
+// ServiceChain: the wiring of a SpeedyBox deployment — an ordered set of
+// NFs, one Local MAT per NF, the shared Global MAT (with its Event Table),
+// and the Packet Classifier. This is the object users of the library build
+// and hand to a ChainRunner.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/global_mat.hpp"
+#include "core/local_mat.hpp"
+#include "nf/network_function.hpp"
+
+namespace speedybox::runtime {
+
+class ServiceChain {
+ public:
+  explicit ServiceChain(std::string name = "chain")
+      : name_(std::move(name)) {}
+
+  /// Append an NF (non-owning: NFs usually live in the caller so their
+  /// state can be inspected after a run). Creates the NF's Local MAT and
+  /// rewires the Global MAT.
+  void add_nf(nf::NetworkFunction* nf);
+
+  /// Convenience for owning use: the chain keeps the NF alive.
+  template <typename Nf, typename... Args>
+  Nf& emplace_nf(Args&&... args) {
+    auto owned = std::make_unique<Nf>(std::forward<Args>(args)...);
+    Nf& ref = *owned;
+    owned_.push_back(std::move(owned));
+    add_nf(&ref);
+    return ref;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return nfs_.size(); }
+  nf::NetworkFunction& nf(std::size_t index) { return *nfs_[index]; }
+  const nf::NetworkFunction& nf(std::size_t index) const {
+    return *nfs_[index];
+  }
+
+  core::LocalMat& local_mat(std::size_t index) { return *local_mats_[index]; }
+  core::GlobalMat& global_mat() noexcept { return global_mat_; }
+  const core::GlobalMat& global_mat() const noexcept { return global_mat_; }
+  core::PacketClassifier& classifier() noexcept { return classifier_; }
+
+  /// Drop every flow's rules and classifier state (NF-internal state is the
+  /// NFs' own; reset those separately if needed).
+  void reset_flows();
+
+ private:
+  std::string name_;
+  std::vector<nf::NetworkFunction*> nfs_;
+  std::vector<std::unique_ptr<nf::NetworkFunction>> owned_;
+  std::vector<std::unique_ptr<core::LocalMat>> local_mats_;
+  core::GlobalMat global_mat_;
+  core::PacketClassifier classifier_;
+};
+
+}  // namespace speedybox::runtime

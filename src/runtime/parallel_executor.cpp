@@ -1,0 +1,26 @@
+#include "runtime/parallel_executor.hpp"
+
+namespace speedybox::runtime {
+
+void ParallelExecutor::execute(
+    const core::ParallelSchedule& schedule,
+    const std::vector<core::StateFunctionBatch>& batches, net::Packet& packet,
+    const net::ParsedPacket& parsed) {
+  for (const auto& group : schedule.groups) {
+    if (group.size() == 1) {
+      batches[group.front()].execute(packet, parsed);
+      continue;
+    }
+    // Fork: one task per batch; join before the next group so inter-group
+    // ordering (the non-parallelizable dependencies) is preserved.
+    for (const std::size_t index : group) {
+      const core::StateFunctionBatch* batch = &batches[index];
+      pool_.submit([batch, &packet, &parsed] {
+        batch->execute(packet, parsed);
+      });
+    }
+    pool_.wait_idle();
+  }
+}
+
+}  // namespace speedybox::runtime

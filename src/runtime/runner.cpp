@@ -1,0 +1,277 @@
+#include "runtime/runner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/cycle_clock.hpp"
+
+namespace speedybox::runtime {
+
+double RunStats::rate_mpps(platform::PlatformKind) const {
+  double bottleneck = 0.0;
+  for (std::size_t i = 0; i < stage_cycle_sum.size(); ++i) {
+    if (stage_cycle_count[i] == 0) continue;
+    bottleneck = std::max(bottleneck, stage_cycle_sum[i] /
+                                          static_cast<double>(
+                                              stage_cycle_count[i]));
+  }
+  if (bottleneck <= 0.0) return 0.0;
+  return util::CycleClock::frequency_hz() / bottleneck / 1e6;
+}
+
+ChainRunner::ChainRunner(ServiceChain& chain, RunConfig config,
+                         const platform::PlatformCosts& costs)
+    : chain_(chain), config_(config), costs_(costs) {
+  per_nf_cycle_sum_.assign(chain.size(), 0);
+  per_nf_cycle_count_.assign(chain.size(), 0);
+}
+
+void ChainRunner::add_stage_sample(std::size_t stage, std::uint64_t cycles) {
+  if (stats_.stage_cycle_sum.size() <= stage) {
+    stats_.stage_cycle_sum.resize(stage + 1, 0.0);
+    stats_.stage_cycle_count.resize(stage + 1, 0);
+  }
+  stats_.stage_cycle_sum[stage] += static_cast<double>(cycles);
+  ++stats_.stage_cycle_count[stage];
+}
+
+PacketOutcome ChainRunner::process_original(net::Packet& packet) {
+  PacketOutcome outcome;
+  // Stats-only init/sub tagging, outside the measured region.
+  if (const auto parsed = net::parse_packet(packet)) {
+    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    outcome.initial = seen_tuples_.insert(tuple).second;
+    if (parsed->has_fin_or_rst()) seen_tuples_.erase(tuple);
+  }
+
+  const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
+  const std::uint64_t hop =
+      onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
+
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const std::uint64_t t0 = util::CycleClock::now();
+    chain_.nf(i).process(packet, nullptr);
+    const std::uint64_t cycles =
+        util::CycleClock::segment(t0, util::CycleClock::now());
+
+    outcome.work_cycles += cycles;
+    outcome.latency_cycles += cycles + hop;
+    if (config_.measure_per_nf) {
+      per_nf_cycle_sum_[i] += cycles + hop;
+      ++per_nf_cycle_count_[i];
+    }
+    // ONVM pipeline: each NF core is a stage (steady state only).
+    if (onvm && !outcome.initial) add_stage_sample(i, cycles + hop);
+
+    if (packet.dropped()) {
+      outcome.dropped = true;
+      break;
+    }
+  }
+  outcome.platform_cycles = outcome.latency_cycles;
+  // BESS run-to-completion: one logical stage.
+  if (!onvm && !outcome.initial) add_stage_sample(0, outcome.latency_cycles);
+  return outcome;
+}
+
+PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
+  PacketOutcome outcome;
+  const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
+  const std::uint64_t hop =
+      onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
+
+  // One timer pair covers classification AND the fast path, so per-packet
+  // measurement overhead matches the original path's per-NF timers.
+  const std::uint64_t t_start = util::CycleClock::now();
+  const auto classification = chain_.classifier().classify(packet);
+  if (!classification) {
+    packet.mark_dropped();
+    outcome.dropped = true;
+    outcome.work_cycles = outcome.platform_cycles = outcome.latency_cycles =
+        util::CycleClock::now() - t_start;
+    return outcome;
+  }
+
+  outcome.initial =
+      classification->path == core::PacketClassifier::Path::kInitial;
+
+  if (outcome.initial) {
+    const std::uint64_t classify_cycles =
+        util::CycleClock::segment(t_start, util::CycleClock::now());
+    outcome.work_cycles = classify_cycles;
+    outcome.latency_cycles = classify_cycles;
+    // Recording pass down the original chain, then consolidation.
+    for (std::size_t i = 0; i < chain_.size(); ++i) {
+      core::SpeedyBoxContext ctx{chain_.local_mat(i),
+                                 chain_.global_mat().event_table(),
+                                 classification->fid};
+      const std::uint64_t t0 = util::CycleClock::now();
+      chain_.nf(i).process(packet, &ctx);
+      const std::uint64_t cycles =
+          util::CycleClock::segment(t0, util::CycleClock::now());
+      outcome.work_cycles += cycles;
+      outcome.latency_cycles += cycles + hop;
+      if (packet.dropped()) {
+        outcome.dropped = true;
+        break;
+      }
+    }
+    const std::uint64_t t0 = util::CycleClock::now();
+    chain_.global_mat().consolidate_flow(classification->fid);
+    const std::uint64_t consolidate_cycles =
+        util::CycleClock::segment(t0, util::CycleClock::now());
+    outcome.work_cycles += consolidate_cycles;
+    outcome.latency_cycles += consolidate_cycles;
+    outcome.platform_cycles = outcome.latency_cycles;
+  } else {
+    // Fast path: Global MAT (event check + consolidated HA + SF batches).
+    const auto result = chain_.global_mat().process(
+        packet, /*measure_batches=*/true, &classification->parsed);
+    // Remove this measurement's own overhead plus that of the timer pairs
+    // GlobalMat used internally for batch attribution.
+    const std::uint64_t raw = util::CycleClock::now() - t_start;
+    const std::uint64_t timer_cost =
+        util::CycleClock::timer_overhead() * (1 + result.timer_pairs);
+    const std::uint64_t total = raw > timer_cost ? raw - timer_cost : 0;
+
+    outcome.dropped = result.dropped;
+    outcome.events_triggered = result.events_triggered;
+    outcome.work_cycles = total;
+    outcome.platform_cycles = total + hop;
+
+    // Latency model: everything except the state functions (classifier,
+    // event check, consolidated header action) is serial; state functions
+    // contribute their Table-I critical path plus one fork/join per
+    // multi-batch group — adaptively: a group is only dispatched in
+    // parallel when the overlap actually beats the fork/join cost, so
+    // parallelism never makes latency worse. With parallelism modeling off
+    // (Fig. 7 ablation) state functions count sequentially.
+    const std::uint64_t serial =
+        total > result.sf_total_cycles ? total - result.sf_total_cycles : 0;
+    std::uint64_t sf_cycles = result.sf_total_cycles;
+    if (config_.model_parallelism && result.multi_batch_groups > 0) {
+      const std::uint64_t parallel =
+          result.sf_critical_path_cycles +
+          costs_.fork_join_cycles *
+              static_cast<std::uint64_t>(result.multi_batch_groups);
+      sf_cycles = std::min(sf_cycles, parallel);
+    }
+    outcome.fast_path = true;
+    outcome.latency_cycles = serial + sf_cycles + hop;
+    outcome.latency_cycles_sequential =
+        serial + result.sf_total_cycles + hop;
+
+    // Rate model stages (steady state): the serial front end and the
+    // state-function execution pipeline against each other on ONVM; on
+    // BESS the whole fast path is one logical stage.
+    if (onvm) {
+      add_stage_sample(0, serial + hop);
+      if (sf_cycles > 0) add_stage_sample(1, sf_cycles);
+    } else {
+      add_stage_sample(0, outcome.latency_cycles);
+    }
+  }
+
+  // Flow teardown (FIN/RST): free all rules and the FID (§VI-B).
+  if (classification->teardown) {
+    chain_.global_mat().erase_flow(classification->fid);
+    chain_.classifier().release_flow(classification->fid);
+  }
+  return outcome;
+}
+
+PacketOutcome ChainRunner::process_packet(net::Packet& packet) {
+  const PacketOutcome outcome = config_.speedybox
+                                    ? process_speedybox(packet)
+                                    : process_original(packet);
+  account(outcome);
+  return outcome;
+}
+
+void ChainRunner::account(const PacketOutcome& outcome) {
+  ++stats_.packets;
+  if (outcome.dropped) ++stats_.drops;
+  stats_.events_triggered += outcome.events_triggered;
+
+  const double latency_us = util::CycleClock::to_us(outcome.latency_cycles);
+  stats_.latency_us_all.add(latency_us);
+  if (outcome.initial) {
+    stats_.latency_us_initial.add(latency_us);
+    stats_.work_cycles_initial.add(
+        static_cast<double>(outcome.work_cycles));
+    stats_.platform_cycles_initial.add(
+        static_cast<double>(outcome.platform_cycles));
+  } else {
+    stats_.latency_us_subsequent.add(latency_us);
+    stats_.work_cycles_subsequent.add(
+        static_cast<double>(outcome.work_cycles));
+    stats_.platform_cycles_subsequent.add(
+        static_cast<double>(outcome.platform_cycles));
+    if (outcome.fast_path) {
+      stats_.latency_us_subsequent_sequential.add(
+          util::CycleClock::to_us(outcome.latency_cycles_sequential));
+    }
+  }
+
+  if (config_.measure_per_nf) {
+    stats_.per_nf_mean_cycles.assign(per_nf_cycle_sum_.size(), 0.0);
+    for (std::size_t i = 0; i < per_nf_cycle_sum_.size(); ++i) {
+      if (per_nf_cycle_count_[i] > 0) {
+        stats_.per_nf_mean_cycles[i] =
+            static_cast<double>(per_nf_cycle_sum_[i]) /
+            static_cast<double>(per_nf_cycle_count_[i]);
+      }
+    }
+  }
+}
+
+std::size_t ChainRunner::expire_idle_flows(double max_idle_us) {
+  if (!config_.speedybox) return 0;
+  const std::vector<std::uint32_t> idle = chain_.classifier().collect_idle(
+      util::CycleClock::now(),
+      util::CycleClock::from_ns(max_idle_us * 1e3));
+  for (const std::uint32_t fid : idle) {
+    chain_.global_mat().erase_flow(fid);
+    chain_.classifier().release_flow(fid);
+  }
+  return idle.size();
+}
+
+const RunStats& ChainRunner::run_packets(
+    const std::vector<net::Packet>& packets) {
+  std::unordered_map<net::FiveTuple, double, net::FiveTupleHash> flow_time;
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    // Key flow time by the pre-chain tuple (unmeasured bookkeeping).
+    std::optional<net::FiveTuple> tuple;
+    if (const auto parsed = net::parse_packet(packet)) {
+      tuple = net::extract_five_tuple(packet, *parsed);
+    }
+    packet.set_arrival_cycle(util::CycleClock::now());
+    const PacketOutcome outcome = process_packet(packet);
+    if (tuple) {
+      flow_time[*tuple] += util::CycleClock::to_us(outcome.latency_cycles);
+    }
+  }
+  flow_time_us_.clear();
+  for (const auto& [tuple, time_us] : flow_time) flow_time_us_.add(time_us);
+  return stats_;
+}
+
+const RunStats& ChainRunner::run_workload(const trace::Workload& workload) {
+  std::vector<double> flow_time_us(workload.flows.size(), 0.0);
+  for (std::size_t i = 0; i < workload.order.size(); ++i) {
+    net::Packet packet = workload.materialize(i);
+    packet.set_arrival_cycle(util::CycleClock::now());
+    const PacketOutcome outcome = process_packet(packet);
+    flow_time_us[workload.order[i].flow] +=
+        util::CycleClock::to_us(outcome.latency_cycles);
+  }
+  flow_time_us_.clear();
+  for (const double t : flow_time_us) flow_time_us_.add(t);
+  return stats_;
+}
+
+}  // namespace speedybox::runtime

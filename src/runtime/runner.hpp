@@ -1,0 +1,146 @@
+// ChainRunner: executes packets through a ServiceChain under one of four
+// configurations — {BESS, ONVM} × {original, SpeedyBox} — with per-packet
+// cycle accounting.
+//
+// Measurement model (DESIGN.md §1/§5):
+//   * work cycles   — really-executed CPU cycles (parsing, table lookups,
+//                     inspections, consolidations). This is what the
+//                     "CPU cycle per packet" figures report.
+//   * latency       — work cycles plus the platform's modeled hand-off
+//                     costs (BESS module hop / ONVM descriptor ring hop),
+//                     with state-function parallelism accounted as the
+//                     Table-I critical path plus a fork/join cost.
+//   * rate (Mpps)   — BESS runs to completion on one logical pipeline:
+//                     rate = f / mean-latency-cycles. ONVM is pipelined
+//                     across cores: rate = f / bottleneck-stage cycles.
+//
+// Original mode runs the chain exactly like an unmodified platform: no
+// classifier, no MATs, NFs see every packet (ctx = nullptr).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "platform/costs.hpp"
+#include "runtime/chain.hpp"
+#include "trace/workload.hpp"
+#include "util/histogram.hpp"
+
+namespace speedybox::runtime {
+
+struct RunConfig {
+  platform::PlatformKind platform = platform::PlatformKind::kBess;
+  bool speedybox = true;
+  /// Record per-NF cycle attribution (Table III).
+  bool measure_per_nf = false;
+  /// Account state-function execution as the Table-I critical path (the
+  /// §V-C2 optimization). Disabled, state functions count sequentially —
+  /// the ablation Fig. 7 uses to split the HA vs SF contributions.
+  bool model_parallelism = true;
+};
+
+struct PacketOutcome {
+  bool initial = false;
+  bool dropped = false;
+  bool fast_path = false;  // subsequent packet on the SpeedyBox path
+  std::uint64_t work_cycles = 0;     // really-executed CPU cycles
+  /// work + per-NF platform framework overhead (no parallelism discount) —
+  /// the "CPU cycle per packet" a platform-level measurement reports, which
+  /// is what the paper's Fig. 4/6 and Table III count.
+  std::uint64_t platform_cycles = 0;
+  std::uint64_t latency_cycles = 0;  // platform cycles w/ parallel overlap
+  /// Fast path only: latency with state functions accounted sequentially.
+  std::uint64_t latency_cycles_sequential = 0;
+  std::size_t events_triggered = 0;
+};
+
+/// Aggregated statistics of a run.
+struct RunStats {
+  util::SampleRecorder latency_us_all;
+  util::SampleRecorder latency_us_initial;
+  util::SampleRecorder latency_us_subsequent;
+  /// Same packets, with state functions accounted sequentially (parallelism
+  /// off) — lets the Fig. 7 ablation split HA vs SF contributions from one
+  /// run, free of cross-run noise. Only filled on the SpeedyBox fast path.
+  util::SampleRecorder latency_us_subsequent_sequential;
+  util::SampleRecorder work_cycles_initial;
+  util::SampleRecorder work_cycles_subsequent;
+  util::SampleRecorder platform_cycles_initial;
+  util::SampleRecorder platform_cycles_subsequent;
+
+  std::uint64_t packets = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t events_triggered = 0;
+
+  /// Per-NF mean work cycles on the original path (measure_per_nf).
+  std::vector<double> per_nf_mean_cycles;
+
+  /// Pipeline-stage cycle sums/counts for the rate model (subsequent
+  /// packets only; see header comment).
+  std::vector<double> stage_cycle_sum;
+  std::vector<std::uint64_t> stage_cycle_count;
+
+  /// Steady-state processing rate in Mpps under the platform model.
+  double rate_mpps(platform::PlatformKind platform) const;
+
+  double mean_work_cycles_subsequent() const {
+    return work_cycles_subsequent.mean();
+  }
+};
+
+class ChainRunner {
+ public:
+  ChainRunner(ServiceChain& chain, RunConfig config,
+              const platform::PlatformCosts& costs =
+                  platform::PlatformCosts::calibrated());
+
+  /// Process one packet through the configured data path.
+  PacketOutcome process_packet(net::Packet& packet);
+
+  /// Run a whole workload; returns aggregate stats. Per-flow processing
+  /// times (Fig. 9) are recorded into flow_time_us().
+  const RunStats& run_workload(const trace::Workload& workload);
+
+  /// Run a raw packet sequence (e.g. from trace::read_pcap). Packets are
+  /// copied per run; per-flow times are keyed by five-tuple.
+  const RunStats& run_packets(const std::vector<net::Packet>& packets);
+
+  /// Tear down every flow idle for longer than `max_idle_us` — rule + FID +
+  /// NF per-flow state (via teardown hooks). The garbage collection
+  /// complementing FIN/RST for UDP and abandoned connections. Returns how
+  /// many flows were expired. SpeedyBox mode only (the original path keeps
+  /// no rules).
+  std::size_t expire_idle_flows(double max_idle_us);
+
+  const RunStats& stats() const noexcept { return stats_; }
+  RunStats& stats() noexcept { return stats_; }
+
+  /// Aggregated per-flow processing time in µs (one sample per flow of the
+  /// last run_workload call).
+  const util::SampleRecorder& flow_time_us() const noexcept {
+    return flow_time_us_;
+  }
+
+  const RunConfig& config() const noexcept { return config_; }
+
+ private:
+  PacketOutcome process_original(net::Packet& packet);
+  PacketOutcome process_speedybox(net::Packet& packet);
+  void account(const PacketOutcome& outcome);
+  void add_stage_sample(std::size_t stage, std::uint64_t cycles);
+
+  ServiceChain& chain_;
+  RunConfig config_;
+  platform::PlatformCosts costs_;
+  RunStats stats_;
+  util::SampleRecorder flow_time_us_;
+  std::vector<std::uint64_t> per_nf_cycle_sum_;
+  std::vector<std::uint64_t> per_nf_cycle_count_;
+  /// Original mode only: stats-side init/sub tagging (there is no
+  /// classifier on the original path). Maintained outside measured regions.
+  std::unordered_set<net::FiveTuple, net::FiveTupleHash> seen_tuples_;
+};
+
+}  // namespace speedybox::runtime

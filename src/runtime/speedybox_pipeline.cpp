@@ -1,0 +1,214 @@
+#include "runtime/speedybox_pipeline.hpp"
+
+#include "core/api.hpp"
+
+namespace speedybox::runtime {
+
+SpeedyBoxPipeline::SpeedyBoxPipeline(ServiceChain& chain,
+                                     std::size_t ring_capacity)
+    : chain_(chain), completions_(ring_capacity) {
+  rings_.reserve(chain_.size());
+  stop_flags_.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    rings_.push_back(
+        std::make_unique<util::SpscRing<Descriptor>>(ring_capacity));
+    stop_flags_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  workers_.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+SpeedyBoxPipeline::~SpeedyBoxPipeline() {
+  if (!stopped_) stop_and_collect();
+}
+
+void SpeedyBoxPipeline::worker(std::size_t stage) {
+  util::SpscRing<Descriptor>& in = *rings_[stage];
+  const bool last = stage + 1 == chain_.size();
+  for (;;) {
+    auto popped = in.try_pop();
+    if (!popped) {
+      if (stop_flags_[stage]->load(std::memory_order_acquire) && in.empty()) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    Descriptor descriptor = std::move(*popped);
+    net::Packet& packet = *descriptor.packet;
+
+    if (!packet.dropped()) {
+      if (descriptor.recording) {
+        core::SpeedyBoxContext ctx{chain_.local_mat(stage),
+                                   chain_.global_mat().event_table(),
+                                   descriptor.fid};
+        chain_.nf(stage).process(packet, &ctx);
+      } else if (descriptor.rule != nullptr) {
+        // Execute this NF's recorded state-function batch, if any.
+        for (const auto& batch : descriptor.rule->batches) {
+          if (batch.nf_index != stage) continue;
+          if (const auto parsed = net::parse_packet(packet)) {
+            batch.execute(packet, *parsed);
+          }
+          break;
+        }
+      }
+    }
+
+    if (last) {
+      while (!completions_.try_push(std::move(descriptor))) {
+        std::this_thread::yield();
+      }
+    } else {
+      util::SpscRing<Descriptor>& out = *rings_[stage + 1];
+      while (!out.try_push(std::move(descriptor))) {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+void SpeedyBoxPipeline::dispatch(Descriptor descriptor) {
+  ++in_flight_;
+  while (!rings_.front()->try_push(std::move(descriptor))) {
+    // Keep consuming completions while the first ring is full so the
+    // pipeline cannot deadlock on its own backpressure.
+    drain_completions(false);
+    std::this_thread::yield();
+  }
+}
+
+void SpeedyBoxPipeline::finish_teardown(std::uint32_t fid) {
+  chain_.global_mat().erase_flow(fid);
+  chain_.classifier().release_flow(fid);
+  flows_.erase(fid);
+}
+
+void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
+  --in_flight_;
+  net::Packet* packet = descriptor.packet;
+
+  if (descriptor.recording) {
+    // The initial packet has visited every NF: consolidate and release any
+    // packets of this flow that arrived in the meantime, in order.
+    chain_.global_mat().consolidate_flow(descriptor.fid);
+    ++recorded_flows_;
+    const auto it = flows_.find(descriptor.fid);
+    if (it != flows_.end()) {
+      it->second.phase = FlowPhase::kReady;
+      std::deque<std::pair<net::Packet*, bool>> pending;
+      pending.swap(it->second.pending);
+      for (auto& [held, teardown] : pending) {
+        fast_path(held, descriptor.fid, teardown);
+      }
+    }
+  }
+
+  if (packet->dropped()) {
+    ++drops_;
+    delete packet;
+  } else {
+    sink_.push_back(std::move(*packet));
+    delete packet;
+  }
+  if (descriptor.teardown) finish_teardown(descriptor.fid);
+}
+
+void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
+                                  bool teardown) {
+  const auto header = chain_.global_mat().process_header(*packet);
+  if (packet->dropped() || !header.rule_hit) {
+    if (!header.rule_hit && !packet->dropped()) {
+      // No rule (e.g. torn down between hold and release): forward as-is.
+      sink_.push_back(std::move(*packet));
+      delete packet;
+    } else {
+      ++drops_;
+      delete packet;
+    }
+    if (teardown) finish_teardown(fid);
+    return;
+  }
+
+  if (header.rule->batches.empty()) {
+    // Pure header-action rule: nothing for the NF cores to do — but route
+    // through them anyway iff something of this flow could still be in
+    // flight? Recording completion already ordered before READY, so the
+    // manager can finish the packet directly.
+    sink_.push_back(std::move(*packet));
+    delete packet;
+    if (teardown) finish_teardown(fid);
+    return;
+  }
+
+  Descriptor descriptor;
+  descriptor.packet = packet;
+  descriptor.fid = fid;
+  descriptor.recording = false;
+  descriptor.teardown = teardown;
+  descriptor.rule = header.rule;
+  dispatch(std::move(descriptor));
+}
+
+void SpeedyBoxPipeline::push(net::Packet packet) {
+  drain_completions(false);
+
+  auto* descriptor_packet = new net::Packet(std::move(packet));
+  const auto classification =
+      chain_.classifier().classify(*descriptor_packet);
+  if (!classification) {
+    ++drops_;
+    delete descriptor_packet;
+    return;
+  }
+  const std::uint32_t fid = classification->fid;
+  const bool teardown = classification->teardown;
+
+  if (classification->path == core::PacketClassifier::Path::kInitial) {
+    flows_[fid].phase = FlowPhase::kRecording;
+    Descriptor descriptor;
+    descriptor.packet = descriptor_packet;
+    descriptor.fid = fid;
+    descriptor.recording = true;
+    descriptor.teardown = teardown;
+    dispatch(std::move(descriptor));
+    return;
+  }
+
+  FlowState& flow = flows_[fid];
+  if (flow.phase == FlowPhase::kRecording) {
+    // Hold until the initial packet's consolidation completes, preserving
+    // per-flow order and single-core access to the NFs' per-flow state.
+    flow.pending.emplace_back(descriptor_packet, teardown);
+    ++held_packets_;
+    return;
+  }
+  fast_path(descriptor_packet, fid, teardown);
+}
+
+void SpeedyBoxPipeline::drain_completions(bool block_until_idle) {
+  for (;;) {
+    while (auto completed = completions_.try_pop()) {
+      handle_completion(*completed);
+    }
+    if (!block_until_idle || in_flight_ == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+std::vector<net::Packet> SpeedyBoxPipeline::stop_and_collect() {
+  if (!stopped_) {
+    drain_completions(/*block_until_idle=*/true);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      stop_flags_[i]->store(true, std::memory_order_release);
+      workers_[i].join();
+    }
+    drain_completions(false);
+    stopped_ = true;
+  }
+  return std::move(sink_);
+}
+
+}  // namespace speedybox::runtime

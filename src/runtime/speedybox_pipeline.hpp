@@ -1,0 +1,106 @@
+// Threaded SpeedyBox deployment, ONVM-style (§VI-A): the NF Manager
+// (classifier + Global MAT) runs on the caller's core; each NF runs on its
+// own thread; all hand-offs go through shared-memory SPSC descriptor rings.
+//
+// Data-path routing, matching the paper's architecture:
+//
+//   initial packet      manager ──ring──► NF1(record) ─► … ─► NFn(record)
+//                               ◄──────────── completion ring ────────┘
+//                       manager consolidates, flow becomes READY
+//   subsequent packet   manager: event check + consolidated header action
+//                       (early drop here), then the descriptor — pinned to
+//                       an immutable rule snapshot — visits the NF cores
+//                       that own state-function batches; the others pass it
+//                       through.
+//   packets arriving while the flow is still recording are held at the
+//   manager and released, in order, once consolidation completes — so a
+//   flow's per-NF state is never touched by two cores at once.
+//
+// Concurrency contract (see DESIGN.md): Local MATs and the Event Table are
+// internally locked (control-plane rate); each NF's internal state is only
+// ever touched by its own thread (recording + its recorded state
+// functions); the classifier and Global MAT rule map belong to the manager
+// thread; rules are immutable snapshots shared via shared_ptr.
+//
+// Per-flow FIFO order is preserved end-to-end; the global output order is
+// the manager's dispatch order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/chain.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace speedybox::runtime {
+
+class SpeedyBoxPipeline {
+ public:
+  /// The chain (NFs, MATs, classifier) is borrowed and must outlive the
+  /// pipeline; its NFs' internal state must only be inspected after
+  /// stop_and_collect().
+  explicit SpeedyBoxPipeline(ServiceChain& chain,
+                             std::size_t ring_capacity = 1024);
+  ~SpeedyBoxPipeline();
+
+  SpeedyBoxPipeline(const SpeedyBoxPipeline&) = delete;
+  SpeedyBoxPipeline& operator=(const SpeedyBoxPipeline&) = delete;
+
+  /// Process one packet (runs the manager logic on the caller's thread).
+  void push(net::Packet packet);
+
+  /// Drain everything in flight, join the NF threads, and return the
+  /// surviving packets in dispatch order.
+  std::vector<net::Packet> stop_and_collect();
+
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t recorded_flows() const noexcept { return recorded_flows_; }
+  std::uint64_t held_packets() const noexcept { return held_packets_; }
+
+ private:
+  struct Descriptor {
+    net::Packet* packet = nullptr;
+    std::uint32_t fid = net::kInvalidFid;
+    bool recording = false;
+    bool teardown = false;
+    /// Fast-path packets pin the rule snapshot they execute against.
+    std::shared_ptr<const core::ConsolidatedRule> rule;
+  };
+
+  enum class FlowPhase : std::uint8_t { kRecording, kReady };
+  struct FlowState {
+    FlowPhase phase = FlowPhase::kRecording;
+    /// Packets (and their teardown flags) held while recording.
+    std::deque<std::pair<net::Packet*, bool>> pending;
+  };
+
+  void worker(std::size_t stage);
+  void dispatch(Descriptor descriptor);
+  void drain_completions(bool block_until_idle);
+  void handle_completion(Descriptor& descriptor);
+  /// Fast-path a packet of a READY flow on the manager, then dispatch or
+  /// finish it.
+  void fast_path(net::Packet* packet, std::uint32_t fid, bool teardown);
+  void finish_teardown(std::uint32_t fid);
+
+  ServiceChain& chain_;
+  std::vector<std::unique_ptr<util::SpscRing<Descriptor>>> rings_;
+  util::SpscRing<Descriptor> completions_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> stop_flags_;
+
+  std::unordered_map<std::uint32_t, FlowState> flows_;
+  std::vector<net::Packet> sink_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t recorded_flows_ = 0;
+  std::uint64_t held_packets_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace speedybox::runtime

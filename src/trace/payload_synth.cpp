@@ -1,0 +1,58 @@
+#include "trace/payload_synth.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace speedybox::trace {
+
+std::vector<std::int32_t> plant_rule_contents(
+    Workload& workload, const std::vector<nf::SnortRule>& rules,
+    const PayloadSynthConfig& config) {
+  util::Rng rng{config.seed};
+  std::vector<std::int32_t> planted(workload.flows.size(), -1);
+  if (rules.empty()) return planted;
+
+  std::size_t next_rule = 0;
+  for (std::size_t f = 0; f < workload.flows.size(); ++f) {
+    if (!rng.chance(config.match_fraction)) continue;
+    const std::size_t r = next_rule++ % rules.size();
+    FlowSpec& flow = workload.flows[f];
+
+    // Embed every content string back-to-back from a deterministic offset,
+    // growing the payload if needed.
+    std::size_t offset = flow.payload.size() / 4;
+    for (const nf::ContentMatch& content : rules[r].contents) {
+      // Honor positional constraints so constrained rules actually fire.
+      offset = std::max(offset, content.offset);
+      if (offset + content.pattern.size() > flow.payload.size()) {
+        flow.payload.resize(offset + content.pattern.size(),
+                            static_cast<std::uint8_t>('x'));
+      }
+      std::memcpy(flow.payload.data() + offset, content.pattern.data(),
+                  content.pattern.size());
+      offset += content.pattern.size() + 3;  // gap so contents don't merge
+    }
+    planted[f] = static_cast<std::int32_t>(r);
+  }
+  return planted;
+}
+
+std::vector<nf::SnortRule> default_snort_rules() {
+  return nf::parse_snort_rules(R"(
+# Alert rules: exploit signatures.
+alert tcp any any -> any 80 (content:"cmd.exe"; msg:"win shell probe"; sid:1001;)
+alert tcp any any -> any 80 (content:"/etc/passwd"; msg:"path traversal"; sid:1002;)
+alert tcp any any -> any any (content:"SELECT"; content:"UNION"; msg:"sql injection"; sid:1003;)
+alert tcp any any -> any 80 (content:"ADMIN"; nocase; msg:"admin probe"; sid:1004;)
+# Log rules: suspicious but not alert-worthy.
+log tcp any any -> any 80 (content:"wget http"; msg:"downloader"; sid:2001;)
+log tcp any any -> any any (content:"base64,"; msg:"encoded blob"; sid:2002;)
+log tcp any any -> any any (content:"POST /upload"; offset:0; depth:128; msg:"upload"; sid:2003;)
+# Pass rule: whitelisted health checks.
+pass tcp any any -> any 80 (content:"GET /healthz"; msg:"health check"; sid:3001;)
+)");
+}
+
+}  // namespace speedybox::trace

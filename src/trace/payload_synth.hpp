@@ -1,0 +1,36 @@
+// Payload synthesis (§VII-B3): "Since the payloads in the trace are null for
+// anonymization, we synthesize the testing traffic with customized payloads
+// according to the inspection rules in Snort."
+//
+// Given a Snort rule set, plants the content strings of chosen rules into a
+// configurable fraction of a workload's flow payloads, so the IDS exercises
+// its Pass/Alert/Log branches on realistic proportions of traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nf/snort_rule.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::trace {
+
+struct PayloadSynthConfig {
+  /// Fraction of flows that receive the contents of some rule.
+  double match_fraction = 0.2;
+  std::uint64_t seed = 1234;
+};
+
+/// Mutates `workload` in place: for a `match_fraction` of flows, pick a rule
+/// (round-robin over `rules`) and embed all its content strings in the flow
+/// payload at deterministic offsets. Returns, per flow, the index of the
+/// planted rule or -1.
+std::vector<std::int32_t> plant_rule_contents(
+    Workload& workload, const std::vector<nf::SnortRule>& rules,
+    const PayloadSynthConfig& config);
+
+/// The default rule set used by examples/benchmarks: pass, alert and log
+/// rules covering all three Snort inspection outcomes (§VII-C-1).
+std::vector<nf::SnortRule> default_snort_rules();
+
+}  // namespace speedybox::trace

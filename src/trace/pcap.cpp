@@ -1,0 +1,110 @@
+#include "trace/pcap.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace speedybox::trace {
+namespace {
+
+constexpr std::uint32_t kMagicMicroseconds = 0xA1B2C3D4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+struct GlobalHeader {
+  std::uint32_t magic = kMagicMicroseconds;
+  std::uint16_t version_major = 2;
+  std::uint16_t version_minor = 4;
+  std::int32_t thiszone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 65535;
+  std::uint32_t network = kLinkTypeEthernet;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  std::uint32_t incl_len = 0;
+  std::uint32_t orig_len = 0;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+}  // namespace
+
+void write_pcap(const std::string& path,
+                const std::vector<net::Packet>& packets) {
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) {
+    throw std::runtime_error("write_pcap: cannot open " + path);
+  }
+  const GlobalHeader global;
+  file.write(reinterpret_cast<const char*>(&global), sizeof(global));
+
+  std::uint64_t microseconds = 0;
+  for (const net::Packet& packet : packets) {
+    RecordHeader record;
+    record.ts_sec = static_cast<std::uint32_t>(microseconds / 1000000);
+    record.ts_usec = static_cast<std::uint32_t>(microseconds % 1000000);
+    record.incl_len = static_cast<std::uint32_t>(packet.size());
+    record.orig_len = record.incl_len;
+    file.write(reinterpret_cast<const char*>(&record), sizeof(record));
+    file.write(reinterpret_cast<const char*>(packet.bytes().data()),
+               static_cast<std::streamsize>(packet.size()));
+    ++microseconds;  // synthetic 1µs inter-packet gap
+  }
+  if (!file) {
+    throw std::runtime_error("write_pcap: write failed for " + path);
+  }
+}
+
+void write_pcap(const std::string& path, const Workload& workload) {
+  std::vector<net::Packet> packets;
+  packets.reserve(workload.packet_count());
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    packets.push_back(workload.materialize(i));
+  }
+  write_pcap(path, packets);
+}
+
+std::vector<net::Packet> read_pcap(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) {
+    throw std::runtime_error("read_pcap: cannot open " + path);
+  }
+  GlobalHeader global;
+  if (!file.read(reinterpret_cast<char*>(&global), sizeof(global))) {
+    throw std::runtime_error("read_pcap: truncated global header");
+  }
+  if (global.magic != kMagicMicroseconds) {
+    // 0xD4C3B2A1 would be a byte-swapped capture; 0xA1B23C4D nanosecond.
+    throw std::runtime_error(
+        "read_pcap: unsupported pcap variant (expected little-endian "
+        "microsecond format)");
+  }
+  if (global.network != kLinkTypeEthernet) {
+    throw std::runtime_error("read_pcap: unsupported link type " +
+                             std::to_string(global.network));
+  }
+
+  std::vector<net::Packet> packets;
+  for (;;) {
+    RecordHeader record;
+    if (!file.read(reinterpret_cast<char*>(&record), sizeof(record))) {
+      if (file.eof() && file.gcount() == 0) break;  // clean end of file
+      throw std::runtime_error("read_pcap: truncated record header");
+    }
+    if (record.incl_len > 256 * 1024) {
+      throw std::runtime_error("read_pcap: implausible record length " +
+                               std::to_string(record.incl_len));
+    }
+    std::vector<std::uint8_t> bytes(record.incl_len);
+    if (!file.read(reinterpret_cast<char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()))) {
+      throw std::runtime_error("read_pcap: truncated packet record");
+    }
+    packets.emplace_back(std::move(bytes));
+  }
+  return packets;
+}
+
+}  // namespace speedybox::trace

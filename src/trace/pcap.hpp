@@ -1,0 +1,33 @@
+// Classic pcap (libpcap tcpdump format) import/export.
+//
+// Lets the workload generator's traffic be inspected with standard tools
+// (tcpdump/wireshark) and lets real captures drive the evaluation chains —
+// the interop a trace-driven NFV harness needs. Only the classic
+// microsecond little-endian format with Ethernet link type is supported
+// (what tcpdump writes by default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::trace {
+
+/// Write packets to `path`. Timestamps are synthetic (1µs apart) unless the
+/// packet carries an arrival cycle, which is converted. Throws
+/// std::runtime_error on I/O failure.
+void write_pcap(const std::string& path,
+                const std::vector<net::Packet>& packets);
+
+/// Materialize a workload's schedule and write it as a pcap.
+void write_pcap(const std::string& path, const Workload& workload);
+
+/// Read all packets from a pcap file. Throws std::runtime_error on I/O
+/// failure or malformed input (bad magic, truncated records). Packets that
+/// do not parse as Ethernet/IPv4 are still returned (the chains drop them).
+std::vector<net::Packet> read_pcap(const std::string& path);
+
+}  // namespace speedybox::trace

@@ -1,0 +1,130 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedybox::trace {
+
+net::Packet Workload::materialize(std::size_t index) const {
+  const TracePacket& tp = order[index];
+  const FlowSpec& flow = flows[tp.flow];
+  net::PacketSpec spec;
+  spec.tuple = flow.tuple;
+  spec.tcp_flags = tp.tcp_flags;
+  spec.seq = tp.seq;
+  spec.payload = flow.payload;
+  return net::build_packet(spec);
+}
+
+namespace {
+
+std::uint8_t flags_for(const FlowSpec& flow, std::uint32_t seq) {
+  std::uint8_t flags = net::kTcpFlagAck;
+  if (seq == 0 && flow.open_with_syn) flags |= net::kTcpFlagSyn;
+  if (seq + 1 == flow.packet_count && flow.close_with_fin &&
+      flow.packet_count > 1) {
+    flags |= net::kTcpFlagFin;
+  }
+  return flags;
+}
+
+/// Interleave flows round-robin with a randomized start offset per flow —
+/// cheap stand-in for the temporal overlap of concurrent datacenter flows.
+void build_schedule(Workload* workload, util::Rng* rng) {
+  struct Cursor {
+    std::uint32_t flow;
+    std::uint32_t next_seq = 0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(workload->flows.size());
+  for (std::uint32_t i = 0; i < workload->flows.size(); ++i) {
+    cursors.push_back({i});
+  }
+  // Shuffle flow order so flow start times are interleaved deterministically.
+  for (std::size_t i = cursors.size(); i > 1; --i) {
+    std::swap(cursors[i - 1], cursors[rng->below(i)]);
+  }
+
+  std::size_t total = 0;
+  for (const auto& flow : workload->flows) total += flow.packet_count;
+  workload->order.reserve(total);
+
+  // Weighted round-robin: at each step pick a random live cursor.
+  std::vector<std::size_t> live(cursors.size());
+  for (std::size_t i = 0; i < cursors.size(); ++i) live[i] = i;
+  while (!live.empty()) {
+    const std::size_t pick = rng->below(live.size());
+    Cursor& cursor = cursors[live[pick]];
+    const FlowSpec& flow = workload->flows[cursor.flow];
+    workload->order.push_back(
+        {cursor.flow, cursor.next_seq, flags_for(flow, cursor.next_seq)});
+    if (++cursor.next_seq >= flow.packet_count) {
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Workload make_datacenter_workload(const DatacenterWorkloadConfig& config) {
+  util::Rng rng{config.seed};
+  Workload workload;
+  workload.flows.reserve(config.flow_count);
+
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    FlowSpec flow;
+    flow.tuple.src_ip = net::Ipv4Addr{
+        config.src_base.value +
+        static_cast<std::uint32_t>(rng.below(1 << 16))};
+    flow.tuple.dst_ip = net::Ipv4Addr{
+        config.dst_base.value +
+        static_cast<std::uint32_t>(rng.below(1 << 12))};
+    flow.tuple.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+    flow.tuple.dst_port =
+        config.randomize_dst_port
+            ? static_cast<std::uint16_t>(rng.range(1, 1023))
+            : config.dst_port;
+    flow.tuple.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+
+    const double size = rng.lognormal(config.flow_size_mu,
+                                      config.flow_size_sigma);
+    flow.packet_count = static_cast<std::uint32_t>(std::clamp(
+        size, 1.0, static_cast<double>(config.max_flow_packets)));
+
+    flow.payload.resize(config.payload_size);
+    for (auto& byte : flow.payload) {
+      // Printable filler; payload_synth plants rule content over this.
+      byte = static_cast<std::uint8_t>('a' + rng.below(26));
+    }
+    workload.flows.push_back(std::move(flow));
+  }
+
+  build_schedule(&workload, &rng);
+  return workload;
+}
+
+Workload make_uniform_workload(std::size_t flow_count,
+                               std::uint32_t packets_per_flow,
+                               std::size_t payload_size, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Workload workload;
+  workload.flows.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    FlowSpec flow;
+    flow.tuple.src_ip = net::Ipv4Addr{0xC0A80000u +
+                                      static_cast<std::uint32_t>(i + 2)};
+    flow.tuple.dst_ip = net::Ipv4Addr{10, 1, 0, 1};
+    flow.tuple.src_port = static_cast<std::uint16_t>(10000 + (i % 50000));
+    flow.tuple.dst_port = 80;
+    flow.tuple.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+    flow.packet_count = packets_per_flow;
+    flow.payload.assign(payload_size,
+                        static_cast<std::uint8_t>('a' + (i % 26)));
+    workload.flows.push_back(std::move(flow));
+  }
+  build_schedule(&workload, &rng);
+  return workload;
+}
+
+}  // namespace speedybox::trace

@@ -1,0 +1,76 @@
+// Workload generation — the in-memory substitute for the paper's DPDK
+// packet generator + datacenter trace (Benson et al., IMC'10 [11]).
+//
+// A workload is a sequence of packets drawn from a set of flows. Flow sizes
+// follow the heavy-tailed (lognormal) distribution characteristic of
+// datacenter traffic: most flows are a few packets, a small fraction carry
+// most of the bytes. Packets of concurrent flows are interleaved.
+// The trace payloads in [11] are null (anonymized); like the paper, payloads
+// are synthesized — see payload_synth.hpp for planting Snort-rule content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_builder.hpp"
+#include "util/rng.hpp"
+
+namespace speedybox::trace {
+
+/// One flow of the workload.
+struct FlowSpec {
+  net::FiveTuple tuple;
+  std::uint32_t packet_count = 1;
+  std::vector<std::uint8_t> payload;  // per-packet payload template
+  bool close_with_fin = true;         // last packet carries FIN
+  bool open_with_syn = true;          // first packet carries SYN
+};
+
+/// Index of one packet in the interleaved trace.
+struct TracePacket {
+  std::uint32_t flow = 0;     // index into flows
+  std::uint32_t seq = 0;      // packet number within the flow (0-based)
+  std::uint8_t tcp_flags = net::kTcpFlagAck;
+};
+
+struct Workload {
+  std::vector<FlowSpec> flows;
+  std::vector<TracePacket> order;  // interleaved schedule
+
+  std::size_t packet_count() const noexcept { return order.size(); }
+
+  /// Materialize packet i of the schedule (fresh wire bytes each call, so a
+  /// run can never leak modifications into the next packet).
+  net::Packet materialize(std::size_t index) const;
+};
+
+struct DatacenterWorkloadConfig {
+  std::size_t flow_count = 200;
+  /// Lognormal parameters of flow size in packets (mu/sigma in log space);
+  /// defaults give a median ~8-packet flow with a heavy tail.
+  double flow_size_mu = 2.1;
+  double flow_size_sigma = 1.0;
+  std::uint32_t max_flow_packets = 2000;
+  std::size_t payload_size = 256;
+  /// Source addresses drawn from this /16 (matches MazuNAT's internal
+  /// prefix default).
+  net::Ipv4Addr src_base{192, 168, 0, 0};
+  net::Ipv4Addr dst_base{10, 1, 0, 0};
+  std::uint16_t dst_port = 80;
+  bool randomize_dst_port = false;
+  std::uint64_t seed = 42;
+};
+
+/// Heavy-tailed datacenter-style workload with interleaved flows.
+Workload make_datacenter_workload(const DatacenterWorkloadConfig& config);
+
+/// Simple workload: `flow_count` flows of exactly `packets_per_flow`
+/// packets each, uniform payloads. Used by the microbenchmarks.
+Workload make_uniform_workload(std::size_t flow_count,
+                               std::uint32_t packets_per_flow,
+                               std::size_t payload_size,
+                               std::uint64_t seed = 7);
+
+}  // namespace speedybox::trace

@@ -1,0 +1,46 @@
+// Hashing primitives shared by the classifier (FID generation), flow tables
+// and the Maglev consistent-hashing implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace speedybox::util {
+
+/// FNV-1a over an arbitrary byte span. Used for packet five-tuple hashing.
+constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Stafford's mix13 finalizer — a strong 64-bit integer mixer. Used to
+/// derive independent hash functions (e.g. Maglev's offset/skip hashes) by
+/// seeding with distinct constants.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return mix64(seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace speedybox::util

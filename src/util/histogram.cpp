@@ -1,0 +1,106 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace speedybox::util {
+
+void SampleRecorder::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+double SampleRecorder::sum() const noexcept {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleRecorder::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double SampleRecorder::min() const {
+  if (samples_.empty()) throw std::out_of_range("SampleRecorder::min: empty");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleRecorder::max() const {
+  if (samples_.empty()) throw std::out_of_range("SampleRecorder::max: empty");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleRecorder::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleRecorder::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::out_of_range("SampleRecorder::percentile: empty");
+  }
+  sort_if_needed();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<std::pair<double, double>> SampleRecorder::cdf(
+    const std::vector<double>& percentiles) const {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(percentiles.size());
+  for (const double p : percentiles) {
+    points.emplace_back(p, percentile(p));
+  }
+  return points;
+}
+
+LogHistogram::LogHistogram() : buckets_(kBuckets, 0) {}
+
+int LogHistogram::bucket_index(double value) const noexcept {
+  if (value < 1.0) return 0;
+  const int index = static_cast<int>(std::log2(value) * kSubBuckets);
+  return std::clamp(index, 0, kBuckets - 1);
+}
+
+double LogHistogram::bucket_low(int index) const noexcept {
+  return std::exp2(static_cast<double>(index) / kSubBuckets);
+}
+
+void LogHistogram::add(double value) noexcept {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++count_;
+  sum_ += value;
+}
+
+double LogHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) {
+      // Midpoint of the bucket in linear space.
+      return (bucket_low(i) + bucket_low(i + 1)) / 2.0;
+    }
+  }
+  return bucket_low(kBuckets);
+}
+
+std::string summarize_percentiles(const SampleRecorder& recorder) {
+  if (recorder.empty()) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                recorder.count(), recorder.mean(), recorder.percentile(50),
+                recorder.percentile(90), recorder.percentile(99),
+                recorder.max());
+  return buf;
+}
+
+}  // namespace speedybox::util

@@ -1,0 +1,71 @@
+// Latency statistics: an exact-percentile recorder (stores samples) and a
+// log-bucketed streaming histogram for high-volume runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedybox::util {
+
+/// Records every sample; supports exact percentiles. Use for per-flow
+/// statistics (Fig. 9 CDFs) where sample counts are modest.
+class SampleRecorder {
+ public:
+  void add(double value);
+  void clear() noexcept { samples_.clear(); sorted_ = true; }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double sum() const noexcept;
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile by rank (nearest-rank method), p in [0, 100].
+  double percentile(double p) const;
+
+  /// CDF points (value at each of the given percentiles) — the series the
+  /// Fig. 9 benches print.
+  std::vector<std::pair<double, double>> cdf(
+      const std::vector<double>& percentiles) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Log2-bucketed histogram: O(1) insert, approximate percentiles.
+/// Bucket i covers [2^(i/8), 2^((i+1)/8)) — eighth-octave resolution,
+/// ≤ ~9% relative error on percentile queries.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(double value) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  double percentile(double p) const noexcept;
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+ private:
+  static constexpr int kSubBuckets = 8;   // buckets per octave
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  int bucket_index(double value) const noexcept;
+  double bucket_low(int index) const noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Renders "p50=… p90=… p99=…" for log lines and bench output.
+std::string summarize_percentiles(const SampleRecorder& recorder);
+
+}  // namespace speedybox::util

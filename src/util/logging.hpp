@@ -1,0 +1,44 @@
+// Leveled logging to stderr. Data-plane code never logs on the per-packet
+// path; logging is for control-plane events (consolidation, event triggers,
+// calibration) and is rate-friendly by being opt-in via level.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace speedybox::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Core sink; prefer the SB_LOG_* macros which skip argument evaluation
+/// when the level is disabled.
+void log_message(LogLevel level, std::string_view component,
+                 const std::string& message);
+
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace speedybox::util
+
+#define SB_LOG(level, component, ...)                                      \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::speedybox::util::log_level())) {                \
+      ::speedybox::util::log_message(                                      \
+          level, component, ::speedybox::util::format_log(__VA_ARGS__));   \
+    }                                                                      \
+  } while (0)
+
+#define SB_LOG_DEBUG(component, ...) \
+  SB_LOG(::speedybox::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define SB_LOG_INFO(component, ...) \
+  SB_LOG(::speedybox::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define SB_LOG_WARN(component, ...) \
+  SB_LOG(::speedybox::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define SB_LOG_ERROR(component, ...) \
+  SB_LOG(::speedybox::util::LogLevel::kError, component, __VA_ARGS__)

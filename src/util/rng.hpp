@@ -1,0 +1,97 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// We use xoshiro256** (Blackman & Vigna) rather than std::mt19937 because it
+// is faster, has a tiny state, and — crucially for reproducible benchmarks —
+// its output is identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace speedybox::util {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant for trace generation).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 1e-18) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Lognormal with the given log-space mean/stddev. Datacenter flow sizes
+  /// are well modelled as lognormal (Benson et al., IMC'10).
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Bounded Pareto (heavy tail) in [lo, hi].
+  double pareto(double alpha, double lo, double hi) noexcept {
+    const double u = uniform();
+    const double l = std::pow(lo, alpha);
+    const double h = std::pow(hi, alpha);
+    return std::pow(-(u * h - u * l - h) / (h * l), -1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace speedybox::util

@@ -1,0 +1,49 @@
+// Minimal task thread pool.
+//
+// The ONVM-like platform can run its pipeline stages on real threads
+// (ThreadedMode); the state-function parallel executor can dispatch batches
+// here. On the single-core evaluation container real threads cannot overlap,
+// so the benchmark harness uses the modeled accounting instead — but the
+// pool is fully functional and covered by tests, and on a multi-core host
+// the threaded paths produce real overlap.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace speedybox::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace speedybox::util

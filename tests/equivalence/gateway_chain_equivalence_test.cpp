@@ -1,0 +1,71 @@
+// Multi-gateway and VPN chain equivalence: stacked modifies to the SAME
+// field (two gateways both rewrite TTL — the R3 overwrite case) and
+// encap/decap interplay must consolidate to exactly the original output.
+#include <gtest/gtest.h>
+
+#include "equivalence/equivalence_helpers.hpp"
+#include "nf/gateway.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/vpn_gateway.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::runtime {
+namespace {
+
+using speedybox::testing::expect_identical_outputs;
+using speedybox::testing::run_chain;
+
+TEST(GatewayChainEquivalence, TwoGatewaysStackTtlDecrements) {
+  // Gateway 1 writes TTL 63; gateway 2 observes 63 and writes 62. The
+  // consolidated rule must keep the LAST write (62) — the §V-B
+  // last-writer-wins merge observed end-to-end.
+  const trace::Workload workload = trace::make_uniform_workload(10, 8, 48);
+
+  const auto build = [] {
+    auto chain = std::make_unique<ServiceChain>();
+    chain->emplace_nf<nf::Gateway>(
+        std::vector<nf::TrafficClass>{{80, 80, 18}}, "gw1");
+    chain->emplace_nf<nf::Gateway>(
+        std::vector<nf::TrafficClass>{{80, 80, 34}}, "gw2");
+    return chain;
+  };
+  auto original_chain = build();
+  const auto original = run_chain(*original_chain, workload, false);
+  auto speedy_chain = build();
+  const auto speedy = run_chain(*speedy_chain, workload, true);
+  expect_identical_outputs(original, speedy);
+
+  // Spot-check the semantic result: TTL decremented twice, DSCP from gw2.
+  ASSERT_FALSE(speedy.outputs.empty());
+  const auto parsed = net::parse_packet(speedy.outputs.back());
+  EXPECT_EQ(net::get_field(speedy.outputs.back(), *parsed,
+                           net::HeaderField::kTtl),
+            62u);
+  EXPECT_EQ(net::get_field(speedy.outputs.back(), *parsed,
+                           net::HeaderField::kTos),
+            34u << 2);
+}
+
+TEST(GatewayChainEquivalence, NatInsideVpnTunnel) {
+  // NAT -> VPN egress: the modify applies to the inner header, then the AH
+  // wraps it. Output equality checks the §V-B ordering (field writes before
+  // trailing encaps).
+  const trace::Workload workload = trace::make_uniform_workload(8, 6, 64);
+  const auto build = [] {
+    auto chain = std::make_unique<ServiceChain>();
+    chain->emplace_nf<nf::MazuNat>();
+    chain->emplace_nf<nf::VpnGateway>(nf::VpnMode::kEgress, 0x7000u,
+                                      "vpn-out");
+    return chain;
+  };
+  auto original_chain = build();
+  const auto original = run_chain(*original_chain, workload, false);
+  auto speedy_chain = build();
+  const auto speedy = run_chain(*speedy_chain, workload, true);
+  expect_identical_outputs(original, speedy);
+  ASSERT_FALSE(speedy.outputs.empty());
+  EXPECT_TRUE(net::outer_ah_spi(speedy.outputs.front()).has_value());
+}
+
+}  // namespace
+}  // namespace speedybox::runtime

@@ -1,0 +1,105 @@
+// Property: RFC 1624 incremental checksum update ≡ full recompute, for any
+// 16-bit word change anywhere in the IPv4 header; and the builder always
+// produces wire-valid packets for arbitrary tuples/payloads.
+#include <gtest/gtest.h>
+
+#include "net/byte_order.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "util/rng.hpp"
+
+namespace speedybox::net {
+namespace {
+
+class ChecksumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChecksumProperty, IncrementalEqualsFullForAnyWordChange) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 500; ++trial) {
+    FiveTuple tuple;
+    tuple.src_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.below(~0u))};
+    tuple.dst_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.below(~0u))};
+    tuple.src_port = static_cast<std::uint16_t>(rng.below(65536));
+    tuple.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+    tuple.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+    Packet packet = make_tcp_packet(tuple, "x");
+    const std::size_t l3 = kEthHeaderLen;
+
+    // Pick a random 16-bit-aligned word in the header, excluding the
+    // checksum field itself (offset 10) and the version/IHL word (offset
+    // 0), whose mutation changes the header length itself.
+    std::size_t word_offset;
+    do {
+      word_offset = l3 + 2 * (1 + rng.below(9));
+    } while (word_offset == l3 + 10);
+
+    const std::uint16_t old_word = load_be16(packet.bytes(), word_offset);
+    const std::uint16_t new_word =
+        static_cast<std::uint16_t>(rng.below(65536));
+    const std::uint16_t old_sum = load_be16(packet.bytes(), l3 + 10);
+
+    store_be16(packet.bytes(), word_offset, new_word);
+    const std::uint16_t incremental =
+        incremental_update(old_sum, old_word, new_word);
+    write_ipv4_checksum(packet, l3);
+    const std::uint16_t full = load_be16(packet.bytes(), l3 + 10);
+    ASSERT_EQ(incremental, full)
+        << "offset=" << word_offset << " " << old_word << "->" << new_word;
+  }
+}
+
+TEST_P(ChecksumProperty, BuilderAlwaysWireValid) {
+  util::Rng rng{GetParam() ^ 0xABCD};
+  for (int trial = 0; trial < 200; ++trial) {
+    FiveTuple tuple;
+    tuple.src_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.below(~0u))};
+    tuple.dst_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.below(~0u))};
+    tuple.src_port = static_cast<std::uint16_t>(rng.below(65536));
+    tuple.dst_port = static_cast<std::uint16_t>(rng.below(65536));
+    const bool udp = rng.chance(0.5);
+    tuple.proto = static_cast<std::uint8_t>(udp ? IpProto::kUdp
+                                               : IpProto::kTcp);
+
+    std::string payload(rng.below(300), '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.below(256));
+
+    const Packet packet = udp ? make_udp_packet(tuple, payload)
+                              : make_tcp_packet(tuple, payload);
+    const auto parsed = parse_packet(packet);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+    ASSERT_TRUE(verify_l4_checksum(packet, *parsed));
+    ASSERT_EQ(extract_five_tuple(packet, *parsed), tuple);
+  }
+}
+
+TEST_P(ChecksumProperty, IncrementalChainOfUpdates) {
+  // Many successive incremental updates never drift from full recompute —
+  // exactly what a chain of modifying NFs does to a packet.
+  util::Rng rng{GetParam() ^ 0x5555};
+  Packet packet = make_tcp_packet(
+      FiveTuple{Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{10, 0, 0, 2}, 1, 2,
+                static_cast<std::uint8_t>(IpProto::kTcp)},
+      "chain");
+  const std::size_t l3 = kEthHeaderLen;
+  for (int step = 0; step < 100; ++step) {
+    std::size_t word_offset;
+    do {
+      word_offset = l3 + 2 * (1 + rng.below(9));
+    } while (word_offset == l3 + 10);
+    const std::uint16_t old_word = load_be16(packet.bytes(), word_offset);
+    const std::uint16_t new_word =
+        static_cast<std::uint16_t>(rng.below(65536));
+    const std::uint16_t updated = incremental_update(
+        load_be16(packet.bytes(), l3 + 10), old_word, new_word);
+    store_be16(packet.bytes(), word_offset, new_word);
+    store_be16(packet.bytes(), l3 + 10, updated);
+    ASSERT_TRUE(verify_ipv4_checksum(packet, l3)) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumProperty,
+                         ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace speedybox::net

@@ -1,0 +1,132 @@
+// Maglev consistent-hashing properties from the Maglev paper (§3.4):
+//   balance    — each backend owns ~M/N slots (small spread);
+//   disruption — removing one backend only reassigns the slots it owned;
+//                every other flow keeps its backend (minimal disruption).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nf/maglev_hash.hpp"
+#include "util/rng.hpp"
+
+namespace speedybox::nf {
+namespace {
+
+std::vector<std::string> backend_names(std::size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back("backend-" + std::to_string(i));
+  }
+  return names;
+}
+
+class MaglevBalance
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(MaglevBalance, SlotsNearlyEven) {
+  const auto [backends, table_size] = GetParam();
+  const MaglevTable table{backend_names(backends), table_size};
+  const auto counts = table.slot_counts(backends);
+  const double expected =
+      static_cast<double>(table_size) / static_cast<double>(backends);
+  for (std::size_t i = 0; i < backends; ++i) {
+    EXPECT_GT(counts[i], expected * 0.8)
+        << "backend " << i << " underloaded";
+    EXPECT_LT(counts[i], expected * 1.2)
+        << "backend " << i << " overloaded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MaglevBalance,
+    ::testing::Values(std::make_tuple(3, 251), std::make_tuple(5, 1021),
+                      std::make_tuple(10, 4099), std::make_tuple(16, 65537),
+                      std::make_tuple(100, 65537)));
+
+class MaglevDisruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaglevDisruption, RemovalOnlyMovesVictimSlots) {
+  constexpr std::size_t kBackends = 8;
+  constexpr std::size_t kTableSize = 4099;
+  const auto names = backend_names(kBackends);
+  const MaglevTable full{names, kTableSize};
+
+  util::Rng rng{GetParam()};
+  const std::size_t victim = rng.below(kBackends);
+  std::vector<bool> active(kBackends, true);
+  active[victim] = false;
+  const MaglevTable reduced{names, active, kTableSize};
+
+  std::size_t moved_non_victim = 0;
+  std::size_t total_non_victim = 0;
+  for (std::size_t slot = 0; slot < kTableSize; ++slot) {
+    const std::int32_t before = full.entries()[slot];
+    const std::int32_t after = reduced.entries()[slot];
+    ASSERT_NE(after, static_cast<std::int32_t>(victim));
+    if (before != static_cast<std::int32_t>(victim)) {
+      ++total_non_victim;
+      if (before != after) ++moved_non_victim;
+    }
+  }
+  // Maglev's construction is not perfectly minimal, but the disruption to
+  // surviving backends' slots must be a small fraction (<~15%; the paper
+  // reports a few percent at larger table sizes).
+  EXPECT_LT(static_cast<double>(moved_non_victim),
+            static_cast<double>(total_non_victim) * 0.15)
+      << "victim=" << victim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaglevDisruption,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MaglevTable, DeterministicConstruction) {
+  const auto names = backend_names(6);
+  const MaglevTable a{names, 1021};
+  const MaglevTable b{names, 1021};
+  EXPECT_EQ(a.entries(), b.entries());
+}
+
+TEST(MaglevTable, LookupCoversAllBackends) {
+  const MaglevTable table{backend_names(4), 251};
+  std::vector<bool> seen(4, false);
+  util::Rng rng{99};
+  for (int i = 0; i < 10000; ++i) {
+    const std::int32_t backend = table.lookup(rng());
+    ASSERT_GE(backend, 0);
+    ASSERT_LT(backend, 4);
+    seen[static_cast<std::size_t>(backend)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(MaglevTable, RejectsNonPrimeSize) {
+  EXPECT_THROW(MaglevTable(backend_names(2), 100), std::invalid_argument);
+}
+
+TEST(MaglevTable, EmptyActiveSetYieldsNoBackend) {
+  const MaglevTable table{backend_names(3), std::vector<bool>(3, false), 251};
+  EXPECT_EQ(table.lookup(123), -1);
+}
+
+TEST(MaglevTable, SingleBackendOwnsEverything) {
+  const MaglevTable table{backend_names(1), 251};
+  const auto counts = table.slot_counts(1);
+  EXPECT_EQ(counts[0], 251u);
+}
+
+TEST(IsPrime, Basics) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(251));
+  EXPECT_TRUE(is_prime(65537));
+  EXPECT_FALSE(is_prime(65536));
+  EXPECT_FALSE(is_prime(1021 * 3));
+}
+
+}  // namespace
+}  // namespace speedybox::nf

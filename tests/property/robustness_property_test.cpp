@@ -1,0 +1,116 @@
+// Robustness properties: arbitrary and corrupted input bytes must never
+// crash the parser, the classifier, or a full SpeedyBox chain — malformed
+// packets are dropped, state stays consistent, and processing continues.
+#include <gtest/gtest.h>
+
+#include "nf/ip_filter.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "nf/snort_ids.hpp"
+#include "runtime/runner.hpp"
+#include "test_helpers.hpp"
+#include "trace/payload_synth.hpp"
+#include "util/rng.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+class RobustnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RobustnessProperty, ParserNeverCrashesOnRandomBytes) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(128));
+    for (auto& byte : bytes) {
+      byte = static_cast<std::uint8_t>(rng.below(256));
+    }
+    Packet packet{std::move(bytes)};
+    const auto parsed = parse_packet(packet);
+    if (parsed) {
+      // Whatever parsed must have self-consistent offsets.
+      ASSERT_LE(parsed->l3_offset, parsed->inner_l3_offset);
+      ASSERT_LE(parsed->inner_l3_offset, parsed->l4_offset);
+      ASSERT_LE(parsed->l4_offset, parsed->payload_offset);
+      ASSERT_LE(parsed->payload_offset, packet.size());
+      (void)extract_five_tuple(packet, *parsed);
+    }
+  }
+}
+
+TEST_P(RobustnessProperty, BitFlippedPacketsNeverCrashTheParser) {
+  util::Rng rng{GetParam() ^ 0xF1F1};
+  for (int trial = 0; trial < 1000; ++trial) {
+    Packet packet = make_tcp_packet(
+        tuple_n(static_cast<std::uint32_t>(trial)), "fuzzable payload");
+    // Flip 1-8 random bits anywhere in the frame.
+    const std::size_t flips = 1 + rng.below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t byte_index = rng.below(packet.size());
+      packet.bytes()[byte_index] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    const auto parsed = parse_packet(packet);
+    if (parsed) {
+      ASSERT_LE(parsed->payload_offset, packet.size());
+    }
+  }
+}
+
+TEST_P(RobustnessProperty, FullChainSurvivesGarbageMixedWithTraffic) {
+  util::Rng rng{GetParam() ^ 0xC4A05};
+  runtime::ServiceChain chain;
+  chain.emplace_nf<nf::MazuNat>();
+  chain.emplace_nf<nf::SnortIds>(trace::default_snort_rules());
+  auto& monitor = chain.emplace_nf<nf::Monitor>();
+  runtime::ChainRunner runner{
+      chain, {platform::PlatformKind::kBess, /*speedybox=*/true}};
+
+  std::uint64_t garbage = 0;
+  std::uint64_t valid = 0;
+  for (int trial = 0; trial < 1500; ++trial) {
+    if (rng.chance(0.3)) {
+      std::vector<std::uint8_t> bytes(rng.below(96));
+      for (auto& byte : bytes) {
+        byte = static_cast<std::uint8_t>(rng.below(256));
+      }
+      Packet packet{std::move(bytes)};
+      const auto outcome = runner.process_packet(packet);
+      // Random bytes essentially never form a checksum-valid IPv4 packet.
+      ASSERT_TRUE(outcome.dropped || !packet.dropped());
+      ++garbage;
+    } else {
+      Packet packet = make_tcp_packet(
+          tuple_n(static_cast<std::uint32_t>(rng.below(20))), "legit");
+      const auto outcome = runner.process_packet(packet);
+      ASSERT_FALSE(outcome.dropped);
+      ++valid;
+    }
+  }
+  EXPECT_EQ(monitor.total_packets(), valid);
+  EXPECT_GT(garbage, 0u);
+  // Flow table population bounded by the distinct legitimate flows.
+  EXPECT_LE(chain.classifier().active_flows(), 20u);
+}
+
+TEST_P(RobustnessProperty, CorruptedChecksumsAreRejectedAtTheDoor) {
+  util::Rng rng{GetParam() ^ 0xCEC5};
+  (void)rng;
+  runtime::ServiceChain chain;
+  chain.emplace_nf<nf::Monitor>();
+  runtime::ChainRunner runner{
+      chain, {platform::PlatformKind::kBess, /*speedybox=*/true}};
+  Packet packet = make_tcp_packet(tuple_n(1), "x");
+  packet.bytes()[kEthHeaderLen + 12] ^= 0xFF;  // corrupt src IP
+  const auto outcome = runner.process_packet(packet);
+  EXPECT_TRUE(outcome.dropped);
+  EXPECT_EQ(chain.classifier().active_flows(), 0u)
+      << "invalid packets must not allocate flow state";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessProperty,
+                         ::testing::Values(31, 41, 59, 26));
+
+}  // namespace
+}  // namespace speedybox::net

@@ -1,0 +1,95 @@
+#include "core/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::core {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest() : mat_("nf", 0), ctx_(mat_, events_, 42) {}
+
+  LocalMat mat_;
+  EventTable events_;
+  SpeedyBoxContext ctx_;
+};
+
+TEST_F(ApiTest, FidExposed) { EXPECT_EQ(ctx_.fid(), 42u); }
+
+TEST_F(ApiTest, AddHeaderActionRecordsUnderFid) {
+  ctx_.add_header_action(HeaderAction::drop());
+  ASSERT_NE(mat_.find(42), nullptr);
+  EXPECT_EQ(mat_.find(42)->header_actions[0].type, HeaderActionType::kDrop);
+}
+
+TEST_F(ApiTest, AddStateFunctionRecordsUnderFid) {
+  ctx_.add_state_function(
+      StateFunction{[](net::Packet&, const net::ParsedPacket&) {},
+                    PayloadAccess::kRead, "sf"});
+  ASSERT_NE(mat_.find(42), nullptr);
+  EXPECT_EQ(mat_.find(42)->state_functions.size(), 1u);
+}
+
+TEST_F(ApiTest, RegisterEventBindsFidAndNfIndex) {
+  ctx_.register_event(
+      "ev", [] { return true; }, [] { return EventUpdate{}; });
+  EXPECT_TRUE(events_.has_events(42));
+  std::size_t seen_nf = 99;
+  events_.check(42, [&](const EventRegistration& event, EventUpdate) {
+    seen_nf = event.nf_index;
+  });
+  EXPECT_EQ(seen_nf, 0u);
+}
+
+TEST_F(ApiTest, OnTeardownRegistersHook) {
+  bool ran = false;
+  ctx_.on_teardown([&ran] { ran = true; });
+  mat_.run_teardown_hooks(42);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ApiFigure2, NfExtractFidReadsMetadata) {
+  net::Packet packet = net::make_tcp_packet(tuple_n(1), "x");
+  packet.set_fid(0x777);
+  EXPECT_EQ(nf_extract_fid(packet), 0x777u);
+}
+
+TEST(ApiFigure2, NullContextIsSafeNoOp) {
+  // Baseline path: NFs call the C-style wrappers with a null context; the
+  // calls must be no-ops, not crashes.
+  localmat_add_HA(nullptr, HeaderAction::drop());
+  localmat_add_SF(
+      nullptr, [](net::Packet&, const net::ParsedPacket&) {},
+      PayloadAccess::kRead);
+  register_event(
+      nullptr, "ev", [] { return false; }, [] { return EventUpdate{}; });
+  SUCCEED();
+}
+
+TEST(ApiFigure2, WrappersForwardToContext) {
+  LocalMat mat{"nf", 3};
+  EventTable events;
+  SpeedyBoxContext ctx{mat, events, 7};
+
+  localmat_add_HA(&ctx, HeaderAction::modify(net::HeaderField::kTtl, 1));
+  localmat_add_SF(
+      &ctx, [](net::Packet&, const net::ParsedPacket&) {},
+      PayloadAccess::kWrite, "writer");
+  register_event(
+      &ctx, "ev", [] { return false; }, [] { return EventUpdate{}; });
+
+  ASSERT_NE(mat.find(7), nullptr);
+  EXPECT_EQ(mat.find(7)->header_actions.size(), 1u);
+  ASSERT_EQ(mat.find(7)->state_functions.size(), 1u);
+  EXPECT_EQ(mat.find(7)->state_functions[0].access, PayloadAccess::kWrite);
+  EXPECT_EQ(mat.find(7)->state_functions[0].name, "writer");
+  EXPECT_TRUE(events.has_events(7));
+}
+
+}  // namespace
+}  // namespace speedybox::core

@@ -1,0 +1,130 @@
+#include "core/classifier.hpp"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::core {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(Classifier, FirstPacketIsInitial) {
+  PacketClassifier classifier;
+  net::Packet packet = net::make_tcp_packet(tuple_n(1), "x");
+  const auto result = classifier.classify(packet);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->path, PacketClassifier::Path::kInitial);
+  EXPECT_TRUE(packet.is_initial());
+  EXPECT_TRUE(packet.has_fid());
+  EXPECT_EQ(packet.fid(), result->fid);
+}
+
+TEST(Classifier, SecondPacketIsSubsequentWithSameFid) {
+  PacketClassifier classifier;
+  net::Packet first = net::make_tcp_packet(tuple_n(2), "a");
+  net::Packet second = net::make_tcp_packet(tuple_n(2), "b");
+  const auto r1 = classifier.classify(first);
+  const auto r2 = classifier.classify(second);
+  EXPECT_EQ(r2->path, PacketClassifier::Path::kSubsequent);
+  EXPECT_EQ(r1->fid, r2->fid);
+  EXPECT_FALSE(second.is_initial());
+}
+
+TEST(Classifier, DistinctFlowsGetDistinctFids) {
+  PacketClassifier classifier;
+  net::Packet a = net::make_tcp_packet(tuple_n(3), "x");
+  net::Packet b = net::make_tcp_packet(tuple_n(4), "x");
+  const auto ra = classifier.classify(a);
+  const auto rb = classifier.classify(b);
+  EXPECT_NE(ra->fid, rb->fid);
+}
+
+TEST(Classifier, FidIs20Bits) {
+  PacketClassifier classifier;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(i), "x");
+    const auto result = classifier.classify(packet);
+    EXPECT_LE(result->fid, net::kFidMask);
+  }
+}
+
+TEST(Classifier, MalformedPacketRejected) {
+  PacketClassifier classifier;
+  net::Packet garbage{std::vector<std::uint8_t>(20, 0xAA)};
+  EXPECT_FALSE(classifier.classify(garbage).has_value());
+}
+
+TEST(Classifier, FinMarksTeardown) {
+  PacketClassifier classifier;
+  net::Packet open = net::make_tcp_packet(tuple_n(5), "x");
+  classifier.classify(open);
+  net::Packet fin = net::make_tcp_packet(
+      tuple_n(5), "", net::kTcpFlagFin | net::kTcpFlagAck);
+  const auto result = classifier.classify(fin);
+  EXPECT_TRUE(result->teardown);
+  EXPECT_EQ(result->path, PacketClassifier::Path::kSubsequent);
+}
+
+TEST(Classifier, RstMarksTeardown) {
+  PacketClassifier classifier;
+  net::Packet rst = net::make_tcp_packet(tuple_n(6), "", net::kTcpFlagRst);
+  const auto result = classifier.classify(rst);
+  EXPECT_TRUE(result->teardown);
+}
+
+TEST(Classifier, ReleaseFlowAllowsFreshInitial) {
+  PacketClassifier classifier;
+  net::Packet first = net::make_tcp_packet(tuple_n(7), "x");
+  const auto r1 = classifier.classify(first);
+  classifier.release_flow(r1->fid);
+  EXPECT_EQ(classifier.active_flows(), 0u);
+
+  net::Packet again = net::make_tcp_packet(tuple_n(7), "x");
+  const auto r2 = classifier.classify(again);
+  EXPECT_EQ(r2->path, PacketClassifier::Path::kInitial);
+}
+
+TEST(Classifier, CountsInitialAndSubsequent) {
+  PacketClassifier classifier;
+  for (int flow = 0; flow < 3; ++flow) {
+    for (int pkt = 0; pkt < 4; ++pkt) {
+      net::Packet packet =
+          net::make_tcp_packet(tuple_n(static_cast<std::uint32_t>(flow)), "x");
+      classifier.classify(packet);
+    }
+  }
+  EXPECT_EQ(classifier.initial_count(), 3u);
+  EXPECT_EQ(classifier.subsequent_count(), 9u);
+  EXPECT_EQ(classifier.active_flows(), 3u);
+}
+
+TEST(Classifier, ManyFlowsNoDuplicateFids) {
+  PacketClassifier classifier;
+  std::unordered_set<std::uint32_t> fids;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(i), "x");
+    const auto result = classifier.classify(packet);
+    EXPECT_TRUE(fids.insert(result->fid).second)
+        << "duplicate FID " << result->fid << " at flow " << i;
+  }
+}
+
+TEST(Classifier, UdpFlowsClassified) {
+  PacketClassifier classifier;
+  net::FiveTuple tuple = tuple_n(9);
+  tuple.proto = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  net::Packet a = net::make_udp_packet(tuple, "x");
+  net::Packet b = net::make_udp_packet(tuple, "y");
+  const auto ra = classifier.classify(a);
+  const auto rb = classifier.classify(b);
+  EXPECT_EQ(ra->path, PacketClassifier::Path::kInitial);
+  EXPECT_EQ(rb->path, PacketClassifier::Path::kSubsequent);
+  EXPECT_FALSE(rb->teardown);  // no TCP flags on UDP
+}
+
+}  // namespace
+}  // namespace speedybox::core

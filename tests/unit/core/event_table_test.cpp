@@ -1,0 +1,125 @@
+#include "core/event_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::core {
+namespace {
+
+EventRegistration make_event(std::uint32_t fid, bool* flag,
+                             bool one_shot = true,
+                             std::string name = "ev") {
+  EventRegistration event;
+  event.fid = fid;
+  event.nf_index = 0;
+  event.name = std::move(name);
+  event.condition = [flag] { return *flag; };
+  event.update = [] {
+    EventUpdate update;
+    update.header_actions = {HeaderAction::drop()};
+    return update;
+  };
+  event.one_shot = one_shot;
+  return event;
+}
+
+TEST(EventTable, NoEventsNoTriggers) {
+  EventTable table;
+  int triggered = 0;
+  EXPECT_EQ(table.check(1, [&](const EventRegistration&, EventUpdate) {
+    ++triggered;
+  }),
+            0u);
+  EXPECT_EQ(triggered, 0);
+}
+
+TEST(EventTable, ConditionFalseDoesNotTrigger) {
+  EventTable table;
+  bool flag = false;
+  table.register_event(make_event(1, &flag));
+  EXPECT_EQ(table.check(1, [](const EventRegistration&, EventUpdate) {}),
+            0u);
+  EXPECT_TRUE(table.has_events(1));
+  EXPECT_EQ(table.events_triggered(), 0u);
+  EXPECT_EQ(table.checks_performed(), 1u);
+}
+
+TEST(EventTable, TriggerDeliversUpdate) {
+  EventTable table;
+  bool flag = true;
+  table.register_event(make_event(1, &flag));
+  bool got_drop = false;
+  table.check(1, [&](const EventRegistration& event, EventUpdate update) {
+    EXPECT_EQ(event.fid, 1u);
+    ASSERT_TRUE(update.header_actions.has_value());
+    got_drop = update.header_actions->at(0).type == HeaderActionType::kDrop;
+  });
+  EXPECT_TRUE(got_drop);
+}
+
+TEST(EventTable, OneShotDeregistersAfterTrigger) {
+  EventTable table;
+  bool flag = true;
+  table.register_event(make_event(1, &flag, /*one_shot=*/true));
+  EXPECT_EQ(table.check(1, [](const EventRegistration&, EventUpdate) {}),
+            1u);
+  EXPECT_FALSE(table.has_events(1));
+  EXPECT_EQ(table.check(1, [](const EventRegistration&, EventUpdate) {}),
+            0u);
+}
+
+TEST(EventTable, PersistentKeepsFiring) {
+  EventTable table;
+  bool flag = true;
+  table.register_event(make_event(1, &flag, /*one_shot=*/false));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(table.check(1, [](const EventRegistration&, EventUpdate) {}),
+              1u);
+  }
+  EXPECT_TRUE(table.has_events(1));
+  flag = false;
+  EXPECT_EQ(table.check(1, [](const EventRegistration&, EventUpdate) {}),
+            0u);
+}
+
+TEST(EventTable, MultipleEventsPerFlowAllChecked) {
+  EventTable table;
+  bool flag1 = true, flag2 = true;
+  table.register_event(make_event(1, &flag1, true, "a"));
+  table.register_event(make_event(1, &flag2, true, "b"));
+  std::vector<std::string> fired;
+  table.check(1, [&](const EventRegistration& event, EventUpdate) {
+    fired.push_back(event.name);
+  });
+  EXPECT_EQ(fired, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EventTable, EventsIsolatedPerFlow) {
+  EventTable table;
+  bool flag = true;
+  table.register_event(make_event(1, &flag));
+  EXPECT_EQ(table.check(2, [](const EventRegistration&, EventUpdate) {}),
+            0u);
+  EXPECT_TRUE(table.has_events(1));
+}
+
+TEST(EventTable, EraseFlowRemovesEvents) {
+  EventTable table;
+  bool flag = true;
+  table.register_event(make_event(3, &flag));
+  table.erase_flow(3);
+  EXPECT_FALSE(table.has_events(3));
+}
+
+TEST(EventTable, StatsAccumulate) {
+  EventTable table;
+  bool flag = false;
+  table.register_event(make_event(1, &flag, /*one_shot=*/false));
+  table.check(1, [](const EventRegistration&, EventUpdate) {});
+  flag = true;
+  table.check(1, [](const EventRegistration&, EventUpdate) {});
+  EXPECT_EQ(table.checks_performed(), 2u);
+  EXPECT_EQ(table.events_triggered(), 1u);
+}
+
+}  // namespace
+}  // namespace speedybox::core

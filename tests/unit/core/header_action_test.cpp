@@ -1,0 +1,240 @@
+#include "core/header_action.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fields.hpp"
+#include "net/checksum.hpp"
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::core {
+namespace {
+
+using net::HeaderField;
+using speedybox::testing::same_bytes;
+using speedybox::testing::tuple_n;
+
+TEST(Consolidate, EmptyListIsForward) {
+  const ConsolidatedAction action = consolidate({});
+  EXPECT_TRUE(action.is_pure_forward());
+  EXPECT_EQ(action.to_string(), "forward");
+}
+
+TEST(Consolidate, ForwardsCollapse) {
+  const std::vector<HeaderAction> actions(3, HeaderAction::forward());
+  EXPECT_TRUE(consolidate(actions).is_pure_forward());
+}
+
+TEST(Consolidate, DropDominatesEverything) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::modify(HeaderField::kDstIp, 1),
+      HeaderAction::encap_ah(5),
+      HeaderAction::drop(),
+      HeaderAction::modify(HeaderField::kDstPort, 99),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  EXPECT_TRUE(action.drop);
+  EXPECT_FALSE(action.has_field_writes());
+  EXPECT_TRUE(action.trailing_encaps.empty());
+}
+
+TEST(Consolidate, LastModifyWinsSameField) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::modify(HeaderField::kDstIp, 111),
+      HeaderAction::modify(HeaderField::kDstIp, 222),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  EXPECT_EQ(action.field_writes[static_cast<std::size_t>(
+                HeaderField::kDstIp)],
+            222u);
+}
+
+TEST(Consolidate, DistinctFieldsMerge) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::modify(HeaderField::kDstIp, 111),
+      HeaderAction::modify(HeaderField::kDstPort, 8080),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  EXPECT_EQ(action.field_writes[static_cast<std::size_t>(
+                HeaderField::kDstIp)],
+            111u);
+  EXPECT_EQ(action.field_writes[static_cast<std::size_t>(
+                HeaderField::kDstPort)],
+            8080u);
+}
+
+TEST(Consolidate, AdjacentEncapDecapCancel) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::encap_ah(1),
+      HeaderAction::decap(net::EncapKind::kAh),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  EXPECT_TRUE(action.is_pure_forward());
+}
+
+TEST(Consolidate, NestedEncapDecapCancelInStackOrder) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::encap_ah(1),
+      HeaderAction::encap_ah(2),
+      HeaderAction::decap(net::EncapKind::kAh),
+      HeaderAction::decap(net::EncapKind::kAh),
+  };
+  EXPECT_TRUE(consolidate(actions).is_pure_forward());
+}
+
+TEST(Consolidate, UnmatchedDecapBecomesLeading) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::decap(net::EncapKind::kAh),
+      HeaderAction::modify(HeaderField::kTtl, 5),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  ASSERT_EQ(action.leading_decaps.size(), 1u);
+  EXPECT_EQ(action.leading_decaps[0], net::EncapKind::kAh);
+}
+
+TEST(Consolidate, MismatchedKindDoesNotCancel) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::encap_ipip(net::Ipv4Addr{1}, net::Ipv4Addr{2}),
+      HeaderAction::decap(net::EncapKind::kAh),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  EXPECT_EQ(action.trailing_encaps.size(), 1u);
+  EXPECT_EQ(action.leading_decaps.size(), 1u);
+}
+
+TEST(Consolidate, SurvivingEncapsKeepOrder) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::encap_ipip(net::Ipv4Addr{1}, net::Ipv4Addr{2}),
+      HeaderAction::encap_ah(9),
+  };
+  const ConsolidatedAction action = consolidate(actions);
+  ASSERT_EQ(action.trailing_encaps.size(), 2u);
+  EXPECT_EQ(action.trailing_encaps[0].kind, net::EncapKind::kIpIp);
+  EXPECT_EQ(action.trailing_encaps[1].kind, net::EncapKind::kAh);
+}
+
+TEST(BytePatch, AppliesMergedFieldWrites) {
+  net::Packet packet = net::make_tcp_packet(tuple_n(1), "x");
+  const auto parsed = net::parse_packet(packet);
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::modify(HeaderField::kDstIp, 0x0A0B0C0D),
+      HeaderAction::modify(HeaderField::kDstPort, 4443),
+  });
+  BytePatch patch = BytePatch::compile(action, *parsed);
+  EXPECT_FALSE(patch.empty());
+  patch.apply(packet);
+  EXPECT_EQ(net::get_field(packet, *parsed, HeaderField::kDstIp),
+            0x0A0B0C0Du);
+  EXPECT_EQ(net::get_field(packet, *parsed, HeaderField::kDstPort), 4443u);
+}
+
+TEST(BytePatch, LeavesUntouchedFieldsAlone) {
+  net::Packet packet = net::make_tcp_packet(tuple_n(2), "x");
+  const auto parsed = net::parse_packet(packet);
+  const std::uint32_t src_ip_before =
+      net::get_field(packet, *parsed, HeaderField::kSrcIp);
+  const std::uint32_t src_port_before =
+      net::get_field(packet, *parsed, HeaderField::kSrcPort);
+
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::modify(HeaderField::kDstIp, 0x01010101),
+  });
+  BytePatch patch = BytePatch::compile(action, *parsed);
+  patch.apply(packet);
+  EXPECT_EQ(net::get_field(packet, *parsed, HeaderField::kSrcIp),
+            src_ip_before);
+  EXPECT_EQ(net::get_field(packet, *parsed, HeaderField::kSrcPort),
+            src_port_before);
+}
+
+TEST(BytePatch, ShapeMatching) {
+  net::Packet tcp = net::make_tcp_packet(tuple_n(3), "x");
+  const auto parsed = net::parse_packet(tcp);
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::modify(HeaderField::kTtl, 9)});
+  const BytePatch patch = BytePatch::compile(action, *parsed);
+  EXPECT_TRUE(patch.matches_shape(*parsed));
+
+  net::Packet tunneled = net::make_tcp_packet(tuple_n(3), "x");
+  net::encap_ipip(tunneled, net::Ipv4Addr{1}, net::Ipv4Addr{2});
+  const auto tunneled_parsed = net::parse_packet(tunneled);
+  EXPECT_FALSE(patch.matches_shape(*tunneled_parsed));
+}
+
+TEST(ApplyConsolidated, DropMarksPacket) {
+  net::Packet packet = net::make_tcp_packet(tuple_n(4), "x");
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::drop()});
+  BytePatch patch;
+  apply_consolidated(action, patch, packet);
+  EXPECT_TRUE(packet.dropped());
+}
+
+TEST(ApplyConsolidated, ChecksumsValidAfterFieldWrites) {
+  net::Packet packet = net::make_tcp_packet(tuple_n(5), "payload");
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::modify(HeaderField::kDstIp, 0x0A010203),
+      HeaderAction::modify(HeaderField::kSrcPort, 3333),
+  });
+  BytePatch patch;
+  apply_consolidated(action, patch, packet);
+  const auto parsed = net::parse_packet(packet);
+  EXPECT_TRUE(net::verify_ipv4_checksum(packet, parsed->l3_offset));
+  EXPECT_TRUE(net::verify_l4_checksum(packet, *parsed));
+}
+
+TEST(ApplyConsolidated, EquivalentToSequentialBaseline) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::modify(HeaderField::kDstIp, 0x0A000042),
+      HeaderAction::modify(HeaderField::kDstPort, 8080),
+      HeaderAction::modify(HeaderField::kDstIp, 0x0A000043),  // overwrite
+      HeaderAction::modify(HeaderField::kTtl, 17),
+  };
+  net::Packet sequential = net::make_tcp_packet(tuple_n(6), "R3 overwrite");
+  for (const auto& action : actions) {
+    apply_action_baseline(action, sequential);
+  }
+  net::Packet fast = net::make_tcp_packet(tuple_n(6), "R3 overwrite");
+  ConsolidatedAction consolidated = consolidate(actions);
+  BytePatch patch;
+  apply_consolidated(consolidated, patch, fast);
+  EXPECT_TRUE(same_bytes(sequential, fast));
+}
+
+TEST(ApplyConsolidated, EncapThenModifyEquivalence) {
+  const std::vector<HeaderAction> actions{
+      HeaderAction::modify(HeaderField::kDstIp, 0x0A000099),
+      HeaderAction::encap_ah(77),
+  };
+  net::Packet sequential = net::make_tcp_packet(tuple_n(7), "vpn");
+  for (const auto& action : actions) {
+    apply_action_baseline(action, sequential);
+  }
+  net::Packet fast = net::make_tcp_packet(tuple_n(7), "vpn");
+  ConsolidatedAction consolidated = consolidate(actions);
+  BytePatch patch;
+  apply_consolidated(consolidated, patch, fast);
+  EXPECT_TRUE(same_bytes(sequential, fast));
+}
+
+TEST(ApplyConsolidated, PatchReusedAcrossPackets) {
+  ConsolidatedAction action = consolidate(std::vector<HeaderAction>{
+      HeaderAction::modify(HeaderField::kDstPort, 1234)});
+  BytePatch patch;
+  for (int i = 0; i < 3; ++i) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(8), "again");
+    apply_consolidated(action, patch, packet);
+    const auto parsed = net::parse_packet(packet);
+    EXPECT_EQ(net::get_field(packet, *parsed, HeaderField::kDstPort), 1234u);
+  }
+}
+
+TEST(HeaderActionToString, Readable) {
+  EXPECT_EQ(HeaderAction::drop().to_string(), "drop");
+  EXPECT_EQ(HeaderAction::modify(HeaderField::kDstPort, 80).to_string(),
+            "modify(dst_port=80)");
+  EXPECT_EQ(HeaderAction::encap_ah(1).to_string(), "encap(ah)");
+}
+
+}  // namespace
+}  // namespace speedybox::core

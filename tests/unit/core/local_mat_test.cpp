@@ -1,0 +1,98 @@
+#include "core/local_mat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::core {
+namespace {
+
+TEST(LocalMat, RecordsHeaderActionsInOrder) {
+  LocalMat mat{"nat", 0};
+  mat.add_header_action(1, HeaderAction::modify(net::HeaderField::kSrcIp, 5));
+  mat.add_header_action(1, HeaderAction::modify(net::HeaderField::kSrcPort, 6));
+  const LocalRule* rule = mat.find(1);
+  ASSERT_NE(rule, nullptr);
+  ASSERT_EQ(rule->header_actions.size(), 2u);
+  EXPECT_EQ(rule->header_actions[0].field, net::HeaderField::kSrcIp);
+  EXPECT_EQ(rule->header_actions[1].field, net::HeaderField::kSrcPort);
+}
+
+TEST(LocalMat, StateFunctionQueuePreservesOrder) {
+  LocalMat mat{"ids", 1};
+  std::vector<int> calls;
+  for (int i = 0; i < 3; ++i) {
+    mat.add_state_function(
+        7, StateFunction{[&calls, i](net::Packet&, const net::ParsedPacket&) {
+                           calls.push_back(i);
+                         },
+                         PayloadAccess::kRead, "sf"});
+  }
+  net::Packet packet;
+  net::ParsedPacket parsed;
+  for (const auto& fn : mat.find(7)->state_functions) {
+    fn.handler(packet, parsed);
+  }
+  EXPECT_EQ(calls, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(LocalMat, FlowsAreIndependent) {
+  LocalMat mat{"fw", 0};
+  mat.add_header_action(1, HeaderAction::drop());
+  mat.add_header_action(2, HeaderAction::forward());
+  EXPECT_EQ(mat.find(1)->header_actions[0].type, HeaderActionType::kDrop);
+  EXPECT_EQ(mat.find(2)->header_actions[0].type, HeaderActionType::kForward);
+  EXPECT_EQ(mat.size(), 2u);
+}
+
+TEST(LocalMat, FindMissingReturnsNull) {
+  LocalMat mat{"x", 0};
+  EXPECT_EQ(mat.find(42), nullptr);
+  EXPECT_FALSE(mat.contains(42));
+}
+
+TEST(LocalMat, ReplaceHeaderActions) {
+  LocalMat mat{"lb", 2};
+  mat.add_header_action(9, HeaderAction::modify(net::HeaderField::kDstIp, 1));
+  mat.replace_header_actions(9, {HeaderAction::drop()});
+  ASSERT_EQ(mat.find(9)->header_actions.size(), 1u);
+  EXPECT_EQ(mat.find(9)->header_actions[0].type, HeaderActionType::kDrop);
+}
+
+TEST(LocalMat, ReplaceStateFunctions) {
+  LocalMat mat{"mon", 3};
+  mat.add_state_function(
+      4, StateFunction{[](net::Packet&, const net::ParsedPacket&) {},
+                       PayloadAccess::kIgnore, "old"});
+  mat.replace_state_functions(
+      4, {StateFunction{[](net::Packet&, const net::ParsedPacket&) {},
+                        PayloadAccess::kWrite, "new"}});
+  ASSERT_EQ(mat.find(4)->state_functions.size(), 1u);
+  EXPECT_EQ(mat.find(4)->state_functions[0].name, "new");
+}
+
+TEST(LocalMat, EraseFlowFreesRule) {
+  LocalMat mat{"x", 0};
+  mat.add_header_action(5, HeaderAction::forward());
+  mat.erase_flow(5);
+  EXPECT_EQ(mat.find(5), nullptr);
+  EXPECT_EQ(mat.size(), 0u);
+}
+
+TEST(LocalMat, TeardownHooksRunOnceAndClear) {
+  LocalMat mat{"nat", 0};
+  int runs = 0;
+  mat.add_teardown_hook(3, [&runs] { ++runs; });
+  mat.add_teardown_hook(3, [&runs] { ++runs; });
+  mat.run_teardown_hooks(3);
+  EXPECT_EQ(runs, 2);
+  mat.run_teardown_hooks(3);  // hooks consumed
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(LocalMat, MetadataAccessors) {
+  LocalMat mat{"snort", 4};
+  EXPECT_EQ(mat.nf_name(), "snort");
+  EXPECT_EQ(mat.nf_index(), 4u);
+}
+
+}  // namespace
+}  // namespace speedybox::core

@@ -1,0 +1,137 @@
+#include "core/parallel_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::core {
+namespace {
+
+StateFunctionBatch batch_with(PayloadAccess access, std::size_t nf_index) {
+  StateFunctionBatch batch;
+  batch.nf_index = nf_index;
+  batch.nf_name = "nf" + std::to_string(nf_index);
+  batch.functions.push_back(
+      StateFunction{[](net::Packet&, const net::ParsedPacket&) {}, access,
+                    "sf"});
+  return batch;
+}
+
+// Table I, literally: parallelizable unless batch1 WRITEs and batch2 does
+// not IGNORE.
+TEST(TableI, PairwiseRules) {
+  using enum PayloadAccess;
+  EXPECT_FALSE(parallelizable(kWrite, kWrite));
+  EXPECT_FALSE(parallelizable(kWrite, kRead));
+  EXPECT_TRUE(parallelizable(kWrite, kIgnore));
+  EXPECT_TRUE(parallelizable(kRead, kWrite));
+  EXPECT_TRUE(parallelizable(kRead, kRead));
+  EXPECT_TRUE(parallelizable(kRead, kIgnore));
+  EXPECT_TRUE(parallelizable(kIgnore, kWrite));
+  EXPECT_TRUE(parallelizable(kIgnore, kRead));
+  EXPECT_TRUE(parallelizable(kIgnore, kIgnore));
+}
+
+TEST(BatchAccess, HighestPriorityWins) {
+  StateFunctionBatch batch;
+  batch.functions.push_back(
+      StateFunction{{}, PayloadAccess::kRead, "r"});
+  batch.functions.push_back(
+      StateFunction{{}, PayloadAccess::kIgnore, "i"});
+  EXPECT_EQ(batch.access(), PayloadAccess::kRead);
+  batch.functions.push_back(
+      StateFunction{{}, PayloadAccess::kWrite, "w"});
+  EXPECT_EQ(batch.access(), PayloadAccess::kWrite);
+}
+
+TEST(BuildSchedule, AllReadsFormOneGroup) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kRead, 0),
+      batch_with(PayloadAccess::kRead, 1),
+      batch_with(PayloadAccess::kRead, 2),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 1u);
+  EXPECT_EQ(schedule.groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BuildSchedule, WriterBlocksFollowingReader) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kWrite, 0),
+      batch_with(PayloadAccess::kRead, 1),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  EXPECT_EQ(schedule.group_count(), 2u);
+}
+
+TEST(BuildSchedule, WriterGroupsWithFollowingIgnore) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kWrite, 0),
+      batch_with(PayloadAccess::kIgnore, 1),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 1u);
+  EXPECT_EQ(schedule.groups[0].size(), 2u);
+}
+
+TEST(BuildSchedule, ReaderThenWriterGroupTogether) {
+  // Table I: (read, write) = Y.
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kRead, 0),
+      batch_with(PayloadAccess::kWrite, 1),
+  };
+  EXPECT_EQ(build_schedule(batches).group_count(), 1u);
+}
+
+TEST(BuildSchedule, WriterInGroupBlocksLaterReader) {
+  // {read, write} group formed; a following read must not join because the
+  // write in the group forbids it.
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kRead, 0),
+      batch_with(PayloadAccess::kWrite, 1),
+      batch_with(PayloadAccess::kRead, 2),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 2u);
+  EXPECT_EQ(schedule.groups[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(schedule.groups[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(BuildSchedule, EmptyBatchesSkipped) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kRead, 0),
+      StateFunctionBatch{},  // NF with no state functions
+      batch_with(PayloadAccess::kRead, 2),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 1u);
+  EXPECT_EQ(schedule.groups[0], (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(BuildSchedule, NoBatchesNoGroups) {
+  EXPECT_EQ(build_schedule({}).group_count(), 0u);
+}
+
+TEST(CriticalPath, SumOfGroupMaxima) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kRead, 0),
+      batch_with(PayloadAccess::kRead, 1),
+      batch_with(PayloadAccess::kWrite, 2),
+  };
+  // Groups: {0,1,2}? read,read then write joins only if every prior allows:
+  // (read,write)=Y, (read,write)=Y -> one group of 3.
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 1u);
+  EXPECT_EQ(schedule.critical_path({100, 250, 50}), 250u);
+}
+
+TEST(CriticalPath, SequentialGroupsAdd) {
+  std::vector<StateFunctionBatch> batches{
+      batch_with(PayloadAccess::kWrite, 0),
+      batch_with(PayloadAccess::kWrite, 1),
+  };
+  const ParallelSchedule schedule = build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 2u);
+  EXPECT_EQ(schedule.critical_path({100, 250}), 350u);
+}
+
+}  // namespace
+}  // namespace speedybox::core

@@ -1,0 +1,103 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "net/byte_order.hpp"
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(InternetChecksum, RFC1071Example) {
+  // Classic example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+  const std::array<std::uint8_t, 8> data{0x00, 0x01, 0xF2, 0x03,
+                                         0xF4, 0xF5, 0xF6, 0xF7};
+  EXPECT_EQ(internet_checksum(data), 0x220D);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::array<std::uint8_t, 3> odd{0x12, 0x34, 0x56};
+  const std::array<std::uint8_t, 4> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(InternetChecksum, AllZeros) {
+  const std::array<std::uint8_t, 4> zeros{};
+  EXPECT_EQ(internet_checksum(zeros), 0xFFFF);
+}
+
+TEST(IncrementalUpdate, MatchesFullRecompute) {
+  Packet packet = make_tcp_packet(tuple_n(1), "data");
+  const auto parsed = parse_packet(packet);
+  const std::size_t l3 = parsed->l3_offset;
+
+  // Change the destination IP's low 16 bits via incremental update.
+  const std::uint16_t old_word = load_be16(packet.bytes(), l3 + 18);
+  const std::uint16_t new_word = 0xBEEF;
+  const std::uint16_t old_sum = load_be16(packet.bytes(), l3 + 10);
+  store_be16(packet.bytes(), l3 + 18, new_word);
+  const std::uint16_t incremental =
+      incremental_update(old_sum, old_word, new_word);
+
+  write_ipv4_checksum(packet, l3);
+  const std::uint16_t full = load_be16(packet.bytes(), l3 + 10);
+  EXPECT_EQ(incremental, full);
+}
+
+TEST(Ipv4Checksum, VerifyDetectsCorruption) {
+  Packet packet = make_tcp_packet(tuple_n(2), "x");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+  packet.bytes()[parsed->l3_offset + 12] ^= 0xFF;  // corrupt src ip
+  EXPECT_FALSE(verify_ipv4_checksum(packet, parsed->l3_offset));
+}
+
+TEST(L4Checksum, VerifyDetectsPayloadCorruption) {
+  Packet packet = make_tcp_packet(tuple_n(3), "sensitive");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(verify_l4_checksum(packet, *parsed));
+  packet.bytes()[parsed->payload_offset] ^= 0x01;
+  EXPECT_FALSE(verify_l4_checksum(packet, *parsed));
+}
+
+TEST(L4Checksum, CoversPseudoHeader) {
+  Packet packet = make_tcp_packet(tuple_n(4), "x");
+  const auto parsed = parse_packet(packet);
+  // Change src IP without fixing the TCP checksum: verification must fail
+  // because the pseudo-header is covered.
+  store_be32(packet.bytes(), parsed->l3_offset + 12, 0x01020304);
+  write_ipv4_checksum(packet, parsed->l3_offset);
+  EXPECT_FALSE(verify_l4_checksum(packet, *parsed));
+  write_l4_checksum(packet, *parsed);
+  EXPECT_TRUE(verify_l4_checksum(packet, *parsed));
+}
+
+TEST(FixAllChecksums, RepairsEverything) {
+  Packet packet = make_tcp_packet(tuple_n(5), "abc");
+  const auto parsed = parse_packet(packet);
+  store_be32(packet.bytes(), parsed->l3_offset + 16, 0x0A0B0C0D);
+  store_be16(packet.bytes(), parsed->l4_offset + 2, 4242);
+  fix_all_checksums(packet, *parsed);
+  EXPECT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+  EXPECT_TRUE(verify_l4_checksum(packet, *parsed));
+}
+
+TEST(UdpChecksum, ZeroMapsToFFFF) {
+  // RFC 768: a computed UDP checksum of 0 is transmitted as 0xFFFF. Find no
+  // easy natural vector; instead just assert the written checksum is never
+  // 0 across a batch of packets.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const Packet packet =
+        make_udp_packet(tuple_n(i, static_cast<std::uint16_t>(i + 1)), "z");
+    const auto parsed = parse_packet(packet);
+    EXPECT_NE(load_be16(packet.bytes(), parsed->l4_offset + 6), 0);
+  }
+}
+
+}  // namespace
+}  // namespace speedybox::net

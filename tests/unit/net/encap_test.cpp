@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::same_bytes;
+using speedybox::testing::tuple_n;
+
+TEST(EncapAh, AddsHeaderAndStaysParseable) {
+  Packet packet = make_tcp_packet(tuple_n(1), "vpn payload");
+  const std::size_t before = packet.size();
+  encap_ah(packet, 0xDEADBEEF);
+  EXPECT_EQ(packet.size(), before + kAhHeaderLen);
+  EXPECT_EQ(outer_ah_spi(packet), 0xDEADBEEF);
+
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_tcp());
+  EXPECT_EQ(parsed->encap_depth, 1u);
+  EXPECT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+}
+
+TEST(EncapAh, PayloadUnchanged) {
+  Packet packet = make_tcp_packet(tuple_n(2), "SECRET");
+  encap_ah(packet, 7);
+  const auto parsed = parse_packet(packet);
+  const auto payload = payload_view(packet, *parsed);
+  EXPECT_EQ(std::string(payload.begin(), payload.end()), "SECRET");
+}
+
+TEST(DecapAh, InvertsEncap) {
+  Packet packet = make_tcp_packet(tuple_n(3), "round trip");
+  const Packet original = packet;
+  encap_ah(packet, 42);
+  ASSERT_TRUE(decap_ah(packet));
+  EXPECT_TRUE(same_bytes(packet, original));
+}
+
+TEST(DecapAh, FailsWithoutAh) {
+  Packet packet = make_tcp_packet(tuple_n(4), "x");
+  EXPECT_FALSE(decap_ah(packet));
+}
+
+TEST(EncapAh, Nestable) {
+  Packet packet = make_tcp_packet(tuple_n(5), "deep");
+  const Packet original = packet;
+  encap_ah(packet, 1);
+  encap_ah(packet, 2);
+  EXPECT_EQ(outer_ah_spi(packet), 2u);
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->encap_depth, 2u);
+  EXPECT_TRUE(parsed->is_tcp());
+
+  ASSERT_TRUE(decap_ah(packet));
+  EXPECT_EQ(outer_ah_spi(packet), 1u);
+  ASSERT_TRUE(decap_ah(packet));
+  EXPECT_TRUE(same_bytes(packet, original));
+}
+
+TEST(EncapIpip, AddsOuterHeader) {
+  Packet packet = make_tcp_packet(tuple_n(6), "tunnel");
+  const std::size_t before = packet.size();
+  encap_ipip(packet, Ipv4Addr{172, 16, 0, 1}, Ipv4Addr{172, 16, 0, 2});
+  EXPECT_EQ(packet.size(), before + kIpv4MinHeaderLen);
+
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->encap_depth, 1u);
+  EXPECT_NE(parsed->l3_offset, parsed->inner_l3_offset);
+  EXPECT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+  EXPECT_TRUE(verify_ipv4_checksum(packet, parsed->inner_l3_offset));
+  // Inner tuple still extractable.
+  EXPECT_EQ(extract_five_tuple(packet, *parsed), tuple_n(6));
+}
+
+TEST(DecapIpip, InvertsEncap) {
+  Packet packet = make_tcp_packet(tuple_n(7), "x");
+  const Packet original = packet;
+  encap_ipip(packet, Ipv4Addr{1, 1, 1, 1}, Ipv4Addr{2, 2, 2, 2});
+  ASSERT_TRUE(decap_ipip(packet));
+  EXPECT_TRUE(same_bytes(packet, original));
+}
+
+TEST(DecapIpip, FailsWithoutTunnel) {
+  Packet packet = make_tcp_packet(tuple_n(8), "x");
+  EXPECT_FALSE(decap_ipip(packet));
+}
+
+TEST(Encap, MixedAhOverIpip) {
+  Packet packet = make_tcp_packet(tuple_n(9), "mix");
+  encap_ipip(packet, Ipv4Addr{1, 0, 0, 1}, Ipv4Addr{1, 0, 0, 2});
+  encap_ah(packet, 99);
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->encap_depth, 2u);
+  EXPECT_TRUE(parsed->is_tcp());
+  EXPECT_EQ(extract_five_tuple(packet, *parsed), tuple_n(9));
+}
+
+TEST(Encap, L4ChecksumSurvivesTunnel) {
+  Packet packet = make_tcp_packet(tuple_n(10), "integrity");
+  encap_ipip(packet, Ipv4Addr{3, 3, 3, 3}, Ipv4Addr{4, 4, 4, 4});
+  const auto parsed = parse_packet(packet);
+  EXPECT_TRUE(verify_l4_checksum(packet, *parsed));
+}
+
+}  // namespace
+}  // namespace speedybox::net

@@ -1,0 +1,81 @@
+#include "net/fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(Fields, GetMatchesBuiltTuple) {
+  const FiveTuple tuple = tuple_n(1, 8080);
+  const Packet packet = make_tcp_packet(tuple, "x");
+  const auto parsed = parse_packet(packet);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kSrcIp),
+            tuple.src_ip.value);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kDstIp),
+            tuple.dst_ip.value);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kSrcPort),
+            tuple.src_port);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kDstPort), 8080u);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kTtl), 64u);
+}
+
+TEST(Fields, SetGetRoundTripEveryField) {
+  for (const HeaderField field :
+       {HeaderField::kSrcIp, HeaderField::kDstIp, HeaderField::kSrcPort,
+        HeaderField::kDstPort, HeaderField::kTtl, HeaderField::kTos}) {
+    Packet packet = make_tcp_packet(tuple_n(2), "x");
+    const auto parsed = parse_packet(packet);
+    const std::uint32_t value =
+        field == HeaderField::kTtl || field == HeaderField::kTos
+            ? 0xAB
+            : field == HeaderField::kSrcPort || field == HeaderField::kDstPort
+                ? 0xBEEF
+                : 0xC0A80499;
+    set_field(packet, *parsed, field, value);
+    EXPECT_EQ(get_field(packet, *parsed, field), value)
+        << field_name(field);
+  }
+}
+
+TEST(Fields, PortsUnavailableOnNonTransport) {
+  // Build a TCP packet then flip the protocol to an unknown value.
+  Packet packet = make_tcp_packet(tuple_n(3), "x");
+  packet.bytes()[kEthHeaderLen + 9] = 47;  // GRE
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(field_ref(*parsed, HeaderField::kSrcPort).has_value());
+  EXPECT_FALSE(field_ref(*parsed, HeaderField::kDstPort).has_value());
+  EXPECT_TRUE(field_ref(*parsed, HeaderField::kSrcIp).has_value());
+}
+
+TEST(Fields, WidthsAreCorrect) {
+  const Packet packet = make_tcp_packet(tuple_n(4), "x");
+  const auto parsed = parse_packet(packet);
+  EXPECT_EQ(field_ref(*parsed, HeaderField::kSrcIp)->width, 4u);
+  EXPECT_EQ(field_ref(*parsed, HeaderField::kDstPort)->width, 2u);
+  EXPECT_EQ(field_ref(*parsed, HeaderField::kTtl)->width, 1u);
+}
+
+TEST(Fields, NamesAreStable) {
+  EXPECT_EQ(field_name(HeaderField::kSrcIp), "src_ip");
+  EXPECT_EQ(field_name(HeaderField::kDstPort), "dst_port");
+  EXPECT_EQ(field_name(HeaderField::kTos), "tos");
+}
+
+TEST(Fields, SetFieldDoesNotDisturbNeighbors) {
+  Packet packet = make_tcp_packet(tuple_n(5), "x");
+  const auto parsed = parse_packet(packet);
+  const std::uint32_t src_before =
+      get_field(packet, *parsed, HeaderField::kSrcIp);
+  set_field(packet, *parsed, HeaderField::kDstIp, 0x08080808);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kSrcIp), src_before);
+  EXPECT_EQ(get_field(packet, *parsed, HeaderField::kDstIp), 0x08080808u);
+}
+
+}  // namespace
+}  // namespace speedybox::net

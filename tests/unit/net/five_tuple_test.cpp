@@ -1,0 +1,96 @@
+#include "net/five_tuple.hpp"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstructorAndToString) {
+  const Ipv4Addr addr{192, 168, 1, 42};
+  EXPECT_EQ(addr.value, 0xC0A8012Au);
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+}
+
+TEST(Ipv4Addr, Comparisons) {
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1), Ipv4Addr{0x0A000001});
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+}
+
+TEST(FiveTuple, EqualityCoversAllFields) {
+  FiveTuple a;
+  a.src_ip = Ipv4Addr{1};
+  a.dst_ip = Ipv4Addr{2};
+  a.src_port = 3;
+  a.dst_port = 4;
+  a.proto = 6;
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  b.proto = 17;
+  EXPECT_NE(a, b);
+}
+
+TEST(FiveTuple, HashDiffersAcrossFields) {
+  FiveTuple base;
+  base.src_ip = Ipv4Addr{0x0A000001};
+  base.dst_ip = Ipv4Addr{0x0A000002};
+  base.src_port = 1111;
+  base.dst_port = 80;
+
+  std::set<std::uint64_t> hashes{base.hash()};
+  FiveTuple t = base;
+  t.src_ip = Ipv4Addr{0x0A000003};
+  hashes.insert(t.hash());
+  t = base;
+  t.dst_port = 81;
+  hashes.insert(t.hash());
+  t = base;
+  t.proto = 17;
+  hashes.insert(t.hash());
+  EXPECT_EQ(hashes.size(), 4u) << "each field change must alter the hash";
+}
+
+TEST(FiveTuple, HashWellDistributedIn20Bits) {
+  // The classifier uses hash % 2^20; sequential flows must not collide
+  // pathologically.
+  std::unordered_set<std::uint32_t> fids;
+  constexpr int kFlows = 10000;
+  for (int i = 0; i < kFlows; ++i) {
+    FiveTuple tuple;
+    tuple.src_ip = Ipv4Addr{0xC0A80000u + static_cast<std::uint32_t>(i)};
+    tuple.dst_ip = Ipv4Addr{10, 1, 0, 1};
+    tuple.src_port = static_cast<std::uint16_t>(1024 + i % 60000);
+    tuple.dst_port = 80;
+    fids.insert(static_cast<std::uint32_t>(tuple.hash()) & 0xFFFFF);
+  }
+  // Expected collisions for 10k keys in 1M slots ≈ 47; allow 3x slack.
+  EXPECT_GT(fids.size(), static_cast<std::size_t>(kFlows - 150));
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  FiveTuple t;
+  t.src_ip = Ipv4Addr{1};
+  t.dst_ip = Ipv4Addr{2};
+  t.src_port = 10;
+  t.dst_port = 20;
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, Ipv4Addr{2});
+  EXPECT_EQ(r.dst_ip, Ipv4Addr{1});
+  EXPECT_EQ(r.src_port, 20);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTupleHash, UsableInUnorderedContainers) {
+  std::unordered_set<FiveTuple, FiveTupleHash> set;
+  FiveTuple t;
+  t.src_port = 1;
+  set.insert(t);
+  set.insert(t);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace speedybox::net

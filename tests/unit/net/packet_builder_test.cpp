@@ -1,0 +1,80 @@
+#include "net/packet_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(PacketBuilder, TupleRoundTrips) {
+  const FiveTuple tuple = tuple_n(1, 443);
+  const Packet packet = make_tcp_packet(tuple, "x");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(extract_five_tuple(packet, *parsed), tuple);
+}
+
+TEST(PacketBuilder, UdpTupleRoundTrips) {
+  FiveTuple tuple = tuple_n(2, 53);
+  tuple.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  const Packet packet = make_udp_packet(tuple, "dns");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(extract_five_tuple(packet, *parsed), tuple);
+}
+
+TEST(PacketBuilder, ChecksumsValidOnBuild) {
+  const Packet packet = make_tcp_packet(tuple_n(3), "payload bytes");
+  const auto parsed = parse_packet(packet);
+  EXPECT_TRUE(verify_ipv4_checksum(packet, parsed->l3_offset));
+  EXPECT_TRUE(verify_l4_checksum(packet, *parsed));
+}
+
+TEST(PacketBuilder, UdpChecksumValid) {
+  const Packet packet = make_udp_packet(tuple_n(4), "u");
+  const auto parsed = parse_packet(packet);
+  EXPECT_TRUE(verify_l4_checksum(packet, *parsed));
+}
+
+TEST(PacketBuilder, FrameOfRequestedSize) {
+  const Packet packet = make_tcp_packet_of_size(tuple_n(5), 64);
+  EXPECT_EQ(packet.size(), 64u);
+  const Packet big = make_tcp_packet_of_size(tuple_n(5), 1500);
+  EXPECT_EQ(big.size(), 1500u);
+}
+
+TEST(PacketBuilder, FrameSizeNeverBelowHeaders) {
+  const Packet packet = make_tcp_packet_of_size(tuple_n(6), 10);
+  EXPECT_EQ(packet.size(), kEthHeaderLen + kIpv4MinHeaderLen + kTcpHeaderLen);
+}
+
+TEST(PacketBuilder, TtlAndTosApplied) {
+  PacketSpec spec;
+  spec.tuple = tuple_n(7);
+  spec.ttl = 12;
+  spec.tos = 0xB8;
+  const Packet packet = build_packet(spec);
+  EXPECT_EQ(packet.bytes()[kEthHeaderLen + 8], 12);
+  EXPECT_EQ(packet.bytes()[kEthHeaderLen + 1], 0xB8);
+}
+
+TEST(PacketBuilder, FlagsApplied) {
+  const Packet packet =
+      make_tcp_packet(tuple_n(8), "", kTcpFlagSyn | kTcpFlagAck);
+  const auto parsed = parse_packet(packet);
+  EXPECT_EQ(parsed->tcp_flags, kTcpFlagSyn | kTcpFlagAck);
+}
+
+TEST(PacketBuilder, EmptyPayloadValid) {
+  const Packet packet = make_tcp_packet(tuple_n(9), "");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(payload_view(packet, *parsed).size(), 0u);
+}
+
+}  // namespace
+}  // namespace speedybox::net

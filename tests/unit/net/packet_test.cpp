@@ -1,0 +1,130 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::net {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(PacketParse, ValidTcpPacket) {
+  const Packet packet = make_tcp_packet(tuple_n(1), "payload");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->l3_offset, kEthHeaderLen);
+  EXPECT_EQ(parsed->inner_l3_offset, kEthHeaderLen);
+  EXPECT_EQ(parsed->l4_offset, kEthHeaderLen + kIpv4MinHeaderLen);
+  EXPECT_EQ(parsed->payload_offset,
+            kEthHeaderLen + kIpv4MinHeaderLen + kTcpHeaderLen);
+  EXPECT_TRUE(parsed->is_tcp());
+  EXPECT_FALSE(parsed->is_udp());
+  EXPECT_EQ(parsed->encap_depth, 0u);
+}
+
+TEST(PacketParse, ValidUdpPacket) {
+  const Packet packet = make_udp_packet(tuple_n(2), "x");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_udp());
+  EXPECT_EQ(parsed->payload_offset,
+            kEthHeaderLen + kIpv4MinHeaderLen + kUdpHeaderLen);
+}
+
+TEST(PacketParse, TcpFlags) {
+  const Packet syn =
+      make_tcp_packet(tuple_n(3), "", kTcpFlagSyn);
+  EXPECT_TRUE(parse_packet(syn)->has_syn());
+  EXPECT_FALSE(parse_packet(syn)->has_fin_or_rst());
+
+  const Packet fin =
+      make_tcp_packet(tuple_n(3), "", kTcpFlagFin | kTcpFlagAck);
+  EXPECT_TRUE(parse_packet(fin)->has_fin_or_rst());
+
+  const Packet rst = make_tcp_packet(tuple_n(3), "", kTcpFlagRst);
+  EXPECT_TRUE(parse_packet(rst)->has_fin_or_rst());
+}
+
+TEST(PacketParse, RejectsTruncated) {
+  Packet packet{std::vector<std::uint8_t>(10, 0)};
+  EXPECT_FALSE(parse_packet(packet).has_value());
+}
+
+TEST(PacketParse, RejectsNonIpv4Ethertype) {
+  Packet packet = make_tcp_packet(tuple_n(4), "x");
+  packet.bytes()[12] = 0x86;  // 0x86DD = IPv6
+  packet.bytes()[13] = 0xDD;
+  EXPECT_FALSE(parse_packet(packet).has_value());
+}
+
+TEST(PacketParse, RejectsBadIpVersion) {
+  Packet packet = make_tcp_packet(tuple_n(5), "x");
+  packet.bytes()[kEthHeaderLen] = 0x65;  // version 6
+  EXPECT_FALSE(parse_packet(packet).has_value());
+}
+
+TEST(PacketParse, TotalLengthFromHeader) {
+  const Packet packet = make_tcp_packet(tuple_n(6), "abcd");
+  const auto parsed = parse_packet(packet);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total_length, kIpv4MinHeaderLen + kTcpHeaderLen + 4);
+}
+
+TEST(PacketMetadata, FidLifecycle) {
+  Packet packet = make_tcp_packet(tuple_n(7), "x");
+  EXPECT_FALSE(packet.has_fid());
+  packet.set_fid(0x12345);
+  EXPECT_TRUE(packet.has_fid());
+  EXPECT_EQ(packet.fid(), 0x12345u);
+  packet.clear_fid();
+  EXPECT_FALSE(packet.has_fid());
+}
+
+TEST(PacketMetadata, FidTruncatedTo20Bits) {
+  Packet packet;
+  packet.set_fid(0xFFFFFFFF);
+  EXPECT_EQ(packet.fid(), kFidMask);
+}
+
+TEST(PacketMetadata, DropMarksDescriptor) {
+  Packet packet = make_tcp_packet(tuple_n(8), "x");
+  EXPECT_FALSE(packet.dropped());
+  packet.mark_dropped();
+  EXPECT_TRUE(packet.dropped());
+}
+
+TEST(PacketMetadata, ResetClearsEverything) {
+  Packet packet = make_tcp_packet(tuple_n(9), "x");
+  packet.set_fid(7);
+  packet.set_initial(true);
+  packet.mark_dropped();
+  packet.set_arrival_cycle(99);
+  packet.reset_metadata();
+  EXPECT_FALSE(packet.has_fid());
+  EXPECT_FALSE(packet.is_initial());
+  EXPECT_FALSE(packet.dropped());
+  EXPECT_EQ(packet.arrival_cycle(), 0u);
+}
+
+TEST(PacketBytes, InsertEraseRoundTrip) {
+  Packet packet = make_tcp_packet(tuple_n(10), "hello");
+  const std::vector<std::uint8_t> before{packet.bytes().begin(),
+                                         packet.bytes().end()};
+  packet.insert_bytes(20, 8);
+  EXPECT_EQ(packet.size(), before.size() + 8);
+  packet.erase_bytes(20, 8);
+  EXPECT_TRUE(std::equal(packet.bytes().begin(), packet.bytes().end(),
+                         before.begin(), before.end()));
+}
+
+TEST(PacketPayload, ViewMatchesBuiltPayload) {
+  const Packet packet = make_tcp_packet(tuple_n(11), "SECRET");
+  const auto parsed = parse_packet(packet);
+  const auto payload = payload_view(packet, *parsed);
+  EXPECT_EQ(std::string(payload.begin(), payload.end()), "SECRET");
+}
+
+}  // namespace
+}  // namespace speedybox::net

@@ -1,0 +1,143 @@
+#include "nf/aho_corasick.hpp"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace speedybox::nf {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(AhoCorasick, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.add_pattern("needle", 1);
+  ac.build();
+  const std::string hay = "hay needle stack";
+  EXPECT_EQ(ac.match_ids(as_bytes(hay)), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(AhoCorasick, NoFalsePositive) {
+  AhoCorasick ac;
+  ac.add_pattern("needle", 1);
+  ac.build();
+  const std::string hay = "haystack without it; need le";
+  EXPECT_TRUE(ac.match_ids(as_bytes(hay)).empty());
+  EXPECT_FALSE(ac.contains_any(as_bytes(hay)));
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  AhoCorasick ac;
+  ac.add_pattern("he", 1);
+  ac.add_pattern("she", 2);
+  ac.add_pattern("hers", 3);
+  ac.build();
+  const std::string hay = "ushers";
+  const auto ids = ac.match_ids(as_bytes(hay));
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(AhoCorasick, ReportsEndOffsets) {
+  AhoCorasick ac;
+  ac.add_pattern("ab", 1);
+  ac.build();
+  const std::string hay = "abab";
+  std::vector<std::size_t> ends;
+  ac.match(as_bytes(hay),
+           [&](std::uint32_t, std::size_t end) { ends.push_back(end); });
+  EXPECT_EQ(ends, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(AhoCorasick, PatternAtStartAndEnd) {
+  AhoCorasick ac;
+  ac.add_pattern("start", 1);
+  ac.add_pattern("end", 2);
+  ac.build();
+  const std::string hay = "start middle end";
+  EXPECT_EQ(ac.match_ids(as_bytes(hay)),
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(AhoCorasick, BinaryPatterns) {
+  AhoCorasick ac;
+  const std::string pattern{"\x00\xFF\x7F", 3};
+  ac.add_pattern(pattern, 9);
+  ac.build();
+  std::string hay = "xx";
+  hay += pattern;
+  hay += "yy";
+  EXPECT_EQ(ac.match_ids(as_bytes(hay)), (std::vector<std::uint32_t>{9}));
+}
+
+TEST(AhoCorasick, EmptyTextNoMatches) {
+  AhoCorasick ac;
+  ac.add_pattern("x", 1);
+  ac.build();
+  EXPECT_TRUE(ac.match_ids({}).empty());
+}
+
+TEST(AhoCorasick, EmptyPatternIgnored) {
+  AhoCorasick ac;
+  ac.add_pattern("", 1);
+  ac.add_pattern("ok", 2);
+  ac.build();
+  EXPECT_EQ(ac.pattern_count(), 1u);
+  EXPECT_EQ(ac.match_ids(as_bytes(std::string{"ok"})),
+            (std::vector<std::uint32_t>{2}));
+}
+
+TEST(AhoCorasick, DuplicatePatternBothIdsFire) {
+  AhoCorasick ac;
+  ac.add_pattern("dup", 1);
+  ac.add_pattern("dup", 2);
+  ac.build();
+  EXPECT_EQ(ac.match_ids(as_bytes(std::string{"a dup b"})),
+            (std::vector<std::uint32_t>{1, 2}));
+}
+
+/// Differential test against a naive multi-pattern scan.
+class AhoCorasickProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AhoCorasickProperty, MatchesNaiveSearch) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    // Small alphabet to force overlaps.
+    const auto random_string = [&rng](std::size_t max_len) {
+      std::string s(1 + rng.below(max_len), 'a');
+      for (auto& c : s) c = static_cast<char>('a' + rng.below(3));
+      return s;
+    };
+
+    AhoCorasick ac;
+    std::vector<std::string> patterns;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      patterns.push_back(random_string(5));
+      ac.add_pattern(patterns.back(), i);
+    }
+    ac.build();
+    const std::string text = random_string(200);
+
+    std::map<std::uint32_t, int> naive;
+    for (std::uint32_t i = 0; i < patterns.size(); ++i) {
+      for (std::size_t pos = 0;
+           (pos = text.find(patterns[i], pos)) != std::string::npos; ++pos) {
+        ++naive[i];
+      }
+    }
+    std::map<std::uint32_t, int> actual;
+    ac.match(as_bytes(text),
+             [&](std::uint32_t id, std::size_t) { ++actual[id]; });
+    ASSERT_EQ(actual, naive) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoCorasickProperty,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace speedybox::nf

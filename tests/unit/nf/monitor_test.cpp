@@ -1,0 +1,102 @@
+#include "nf/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::nf {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(Monitor, CountsPacketsAndBytes) {
+  Monitor monitor;
+  net::Packet a = net::make_tcp_packet(tuple_n(1), "aaaa");
+  net::Packet b = net::make_tcp_packet(tuple_n(1), "bbbbbbbb");
+  monitor.process(a, nullptr);
+  monitor.process(b, nullptr);
+
+  const auto it = monitor.counters().find(tuple_n(1));
+  ASSERT_NE(it, monitor.counters().end());
+  EXPECT_EQ(it->second.packets, 2u);
+  EXPECT_EQ(it->second.bytes, a.size() + b.size());
+}
+
+TEST(Monitor, PerFlowIsolation) {
+  Monitor monitor;
+  net::Packet a = net::make_tcp_packet(tuple_n(1), "x");
+  net::Packet b = net::make_tcp_packet(tuple_n(2), "x");
+  monitor.process(a, nullptr);
+  monitor.process(b, nullptr);
+  EXPECT_EQ(monitor.counters().size(), 2u);
+  EXPECT_EQ(monitor.counters().at(tuple_n(1)).packets, 1u);
+  EXPECT_EQ(monitor.counters().at(tuple_n(2)).packets, 1u);
+}
+
+TEST(Monitor, NeverModifiesPacket) {
+  Monitor monitor;
+  net::Packet packet = net::make_tcp_packet(tuple_n(3), "payload");
+  const std::vector<std::uint8_t> before{packet.bytes().begin(),
+                                         packet.bytes().end()};
+  monitor.process(packet, nullptr);
+  EXPECT_FALSE(packet.dropped());
+  EXPECT_TRUE(std::equal(packet.bytes().begin(), packet.bytes().end(),
+                         before.begin(), before.end()));
+}
+
+TEST(Monitor, TotalsAggregate) {
+  Monitor monitor;
+  std::uint64_t bytes = 0;
+  for (std::uint32_t flow = 0; flow < 4; ++flow) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(flow), "zz");
+    monitor.process(packet, nullptr);
+    bytes += packet.size();
+  }
+  EXPECT_EQ(monitor.total_packets(), 4u);
+  EXPECT_EQ(monitor.total_bytes(), bytes);
+}
+
+TEST(Monitor, RecordsIgnoreClassStateFunction) {
+  Monitor monitor;
+  core::LocalMat mat{"monitor", 0};
+  core::EventTable events;
+  core::SpeedyBoxContext ctx{mat, events, 5};
+  net::Packet packet = net::make_tcp_packet(tuple_n(4), "x");
+  packet.set_fid(5);
+  monitor.process(packet, &ctx);
+
+  const core::LocalRule* rule = mat.find(5);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->header_actions[0].type, core::HeaderActionType::kForward);
+  ASSERT_EQ(rule->state_functions.size(), 1u);
+  EXPECT_EQ(rule->state_functions[0].access, core::PayloadAccess::kIgnore);
+}
+
+TEST(Monitor, RecordedHandlerCountsSubsequentPackets) {
+  Monitor monitor;
+  core::LocalMat mat{"monitor", 0};
+  core::EventTable events;
+  core::SpeedyBoxContext ctx{mat, events, 6};
+  net::Packet initial = net::make_tcp_packet(tuple_n(5), "x");
+  initial.set_fid(6);
+  monitor.process(initial, &ctx);
+
+  net::Packet subsequent = net::make_tcp_packet(tuple_n(5), "yy");
+  const auto parsed = net::parse_packet(subsequent);
+  mat.find(6)->state_functions[0].handler(subsequent, *parsed);
+  EXPECT_EQ(monitor.counters().at(tuple_n(5)).packets, 2u);
+}
+
+TEST(Monitor, CountersSurviveFin) {
+  // Counters are audit state and must NOT be dropped at flow teardown
+  // (§VII-C-3 compares them after the run).
+  Monitor monitor;
+  net::Packet fin = net::make_tcp_packet(
+      tuple_n(6), "x", net::kTcpFlagFin | net::kTcpFlagAck);
+  monitor.process(fin, nullptr);
+  EXPECT_EQ(monitor.counters().count(tuple_n(6)), 1u);
+}
+
+}  // namespace
+}  // namespace speedybox::nf

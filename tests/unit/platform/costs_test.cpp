@@ -1,0 +1,39 @@
+#include "platform/costs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::platform {
+namespace {
+
+TEST(PlatformCosts, MeasuredValuesPlausible) {
+  const PlatformCosts costs = PlatformCosts::measure();
+  // An indirect call costs a few cycles, never thousands.
+  EXPECT_GE(costs.bess_hop_cycles, 1u);
+  EXPECT_LT(costs.bess_hop_cycles, 2000u);
+  // Ring hop = measured pair + cross-core penalty, so it is at least the
+  // penalty and far below a microsecond.
+  EXPECT_GE(costs.onvm_ring_hop_cycles, kCrossCorePenaltyCycles);
+  EXPECT_LT(costs.onvm_ring_hop_cycles, 20000u);
+}
+
+TEST(PlatformCosts, OnvmHopDearerThanBessHop) {
+  // The defining platform difference: shared-memory ring + cross-core
+  // transfer costs more than an in-process module call.
+  const PlatformCosts costs = PlatformCosts::measure();
+  EXPECT_GT(costs.onvm_ring_hop_cycles, costs.bess_hop_cycles);
+}
+
+TEST(PlatformCosts, CalibratedSingletonStable) {
+  const PlatformCosts& a = PlatformCosts::calibrated();
+  const PlatformCosts& b = PlatformCosts::calibrated();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.bess_hop_cycles, b.bess_hop_cycles);
+}
+
+TEST(PlatformName, Stable) {
+  EXPECT_STREQ(platform_name(PlatformKind::kBess), "BESS");
+  EXPECT_STREQ(platform_name(PlatformKind::kOnvm), "ONVM");
+}
+
+}  // namespace
+}  // namespace speedybox::platform

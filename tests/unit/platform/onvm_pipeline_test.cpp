@@ -1,0 +1,98 @@
+#include "platform/onvm_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/ip_filter.hpp"
+#include "nf/monitor.hpp"
+#include "nf/synthetic_nf.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::platform {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(OnvmPipeline, AllPacketsTraverseAllStages) {
+  nf::Monitor m1{"m1"}, m2{"m2"}, m3{"m3"};
+  OnvmPipeline pipeline{{&m1, &m2, &m3}};
+  constexpr int kPackets = 500;
+  for (int i = 0; i < kPackets; ++i) {
+    pipeline.push(net::make_tcp_packet(
+        tuple_n(static_cast<std::uint32_t>(i % 10)), "data"));
+  }
+  const auto out = pipeline.stop_and_collect();
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kPackets));
+  EXPECT_EQ(m1.packets_processed(), static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(m2.packets_processed(), static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(m3.packets_processed(), static_cast<std::uint64_t>(kPackets));
+}
+
+TEST(OnvmPipeline, PreservesFifoOrder) {
+  nf::Monitor m1{"m1"}, m2{"m2"};
+  OnvmPipeline pipeline{{&m1, &m2}, 64};
+  constexpr int kPackets = 300;
+  for (int i = 0; i < kPackets; ++i) {
+    // Encode sequence in the source port.
+    net::FiveTuple tuple = tuple_n(1);
+    tuple.src_port = static_cast<std::uint16_t>(1000 + i);
+    pipeline.push(net::make_tcp_packet(tuple, "x"));
+  }
+  const auto out = pipeline.stop_and_collect();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kPackets));
+  for (int i = 0; i < kPackets; ++i) {
+    const auto parsed = net::parse_packet(out[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(net::extract_five_tuple(out[static_cast<std::size_t>(i)],
+                                      *parsed)
+                  .src_port,
+              1000 + i);
+  }
+}
+
+TEST(OnvmPipeline, DroppedPacketsNeverReachDownstream) {
+  nf::IpFilter filter{{nf::AclRule::drop_dst_port(80)}, "fw"};
+  nf::Monitor monitor{"after"};
+  OnvmPipeline pipeline{{&filter, &monitor}};
+  for (int i = 0; i < 50; ++i) {
+    pipeline.push(net::make_tcp_packet(tuple_n(1, 80), "blocked"));
+    pipeline.push(net::make_tcp_packet(tuple_n(2, 443), "allowed"));
+  }
+  const auto out = pipeline.stop_and_collect();
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(monitor.packets_processed(), 50u);
+  EXPECT_EQ(filter.drops(), 50u);
+}
+
+TEST(OnvmPipeline, StagesActuallyTransformPackets) {
+  nf::SyntheticNfConfig config;
+  config.access = core::PayloadAccess::kWrite;
+  config.work_iterations = 1;
+  nf::SyntheticNf writer{config, "writer"};
+  OnvmPipeline pipeline{{&writer}};
+  pipeline.push(net::make_tcp_packet(tuple_n(3), "mutate me"));
+  const auto out = pipeline.stop_and_collect();
+  ASSERT_EQ(out.size(), 1u);
+  const net::Packet reference = net::make_tcp_packet(tuple_n(3), "mutate me");
+  EXPECT_FALSE(speedybox::testing::same_bytes(out[0], reference));
+}
+
+TEST(OnvmPipeline, StopIdempotent) {
+  nf::Monitor m{"m"};
+  OnvmPipeline pipeline{{&m}};
+  pipeline.push(net::make_tcp_packet(tuple_n(4), "x"));
+  const auto first = pipeline.stop_and_collect();
+  EXPECT_EQ(first.size(), 1u);
+  const auto second = pipeline.stop_and_collect();
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(OnvmPipeline, SmallRingsBackpressureWithoutDeadlock) {
+  nf::Monitor m1{"m1"}, m2{"m2"};
+  OnvmPipeline pipeline{{&m1, &m2}, 2};  // tiny rings
+  for (int i = 0; i < 200; ++i) {
+    pipeline.push(net::make_tcp_packet(tuple_n(5), "x"));
+  }
+  EXPECT_EQ(pipeline.stop_and_collect().size(), 200u);
+}
+
+}  // namespace
+}  // namespace speedybox::platform

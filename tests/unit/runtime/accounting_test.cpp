@@ -1,0 +1,108 @@
+// Cycle-accounting invariants of the runner: platform cycles vs work
+// cycles, the dual (parallel/sequential) latency recorders, and the
+// adaptive-parallelism guarantee.
+#include <gtest/gtest.h>
+
+#include "nf/monitor.hpp"
+#include "nf/synthetic_nf.hpp"
+#include "runtime/runner.hpp"
+#include "test_helpers.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::runtime {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+TEST(Accounting, PlatformCyclesIncludePerNfOverhead) {
+  platform::PlatformCosts costs;
+  costs.bess_hop_cycles = 1000;  // exaggerated to make the check crisp
+  ServiceChain chain;
+  chain.emplace_nf<nf::Monitor>();
+  chain.emplace_nf<nf::Monitor>("m2");
+  ChainRunner runner{chain, {platform::PlatformKind::kBess, false, false},
+                     costs};
+  net::Packet packet = net::make_tcp_packet(tuple_n(1), "x");
+  const PacketOutcome outcome = runner.process_packet(packet);
+  EXPECT_GE(outcome.platform_cycles, outcome.work_cycles + 2000)
+      << "original path: one hop per NF";
+}
+
+TEST(Accounting, FastPathPaysExactlyOneHop) {
+  platform::PlatformCosts costs;
+  costs.bess_hop_cycles = 1000;
+  ServiceChain chain;
+  chain.emplace_nf<nf::Monitor>();
+  chain.emplace_nf<nf::Monitor>("m2");
+  ChainRunner runner{chain, {platform::PlatformKind::kBess, true, false},
+                     costs};
+  net::Packet first = net::make_tcp_packet(tuple_n(2), "x");
+  runner.process_packet(first);
+  net::Packet second = net::make_tcp_packet(tuple_n(2), "x");
+  const PacketOutcome outcome = runner.process_packet(second);
+  EXPECT_FALSE(outcome.initial);
+  EXPECT_EQ(outcome.platform_cycles, outcome.work_cycles + 1000);
+}
+
+TEST(Accounting, SequentialLatencyNeverBelowParallel) {
+  // Adaptive parallelism: the modeled (parallel) latency can never exceed
+  // the sequential accounting of the same packet.
+  ServiceChain chain;
+  nf::SyntheticNfConfig config;
+  config.access = core::PayloadAccess::kRead;
+  config.work_iterations = 64;
+  chain.emplace_nf<nf::SyntheticNf>(config, "s1");
+  chain.emplace_nf<nf::SyntheticNf>(config, "s2");
+  ChainRunner runner{chain, {platform::PlatformKind::kBess, true, false}};
+
+  net::Packet first = net::make_tcp_packet(tuple_n(3), "payload payload");
+  runner.process_packet(first);
+  for (int i = 0; i < 20; ++i) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(3), "payload payload");
+    const PacketOutcome outcome = runner.process_packet(packet);
+    ASSERT_TRUE(outcome.fast_path);
+    ASSERT_LE(outcome.latency_cycles, outcome.latency_cycles_sequential);
+  }
+  EXPECT_EQ(runner.stats().latency_us_subsequent.count(),
+            runner.stats().latency_us_subsequent_sequential.count());
+}
+
+TEST(Accounting, SequentialRecorderEmptyOnOriginalPath) {
+  ServiceChain chain;
+  chain.emplace_nf<nf::Monitor>();
+  ChainRunner runner{chain, {platform::PlatformKind::kBess, false, false}};
+  runner.run_workload(trace::make_uniform_workload(3, 5, 32));
+  EXPECT_EQ(runner.stats().latency_us_subsequent_sequential.count(), 0u);
+}
+
+TEST(Accounting, LatencyAtLeastPlatformMinusParallelOverlap) {
+  // With no state functions there is nothing to overlap: latency equals
+  // platform cycles on BESS.
+  ServiceChain chain;
+  chain.emplace_nf<nf::SyntheticNf>(
+      nf::SyntheticNfConfig{0, core::PayloadAccess::kIgnore, std::nullopt},
+      "noop");
+  ChainRunner runner{chain, {platform::PlatformKind::kBess, true, false}};
+  net::Packet first = net::make_tcp_packet(tuple_n(4), "x");
+  runner.process_packet(first);
+  net::Packet second = net::make_tcp_packet(tuple_n(4), "x");
+  const PacketOutcome outcome = runner.process_packet(second);
+  EXPECT_EQ(outcome.latency_cycles, outcome.platform_cycles);
+}
+
+TEST(Accounting, OnvmStageSamplesSplitFrontEndAndStateFunctions) {
+  ServiceChain chain;
+  nf::SyntheticNfConfig config;
+  config.access = core::PayloadAccess::kRead;
+  config.work_iterations = 64;
+  chain.emplace_nf<nf::SyntheticNf>(config, "s1");
+  ChainRunner runner{chain, {platform::PlatformKind::kOnvm, true, false}};
+  runner.run_workload(trace::make_uniform_workload(4, 20, 64));
+  // Stage 0 = classifier+serial front end, stage 1 = state functions.
+  ASSERT_GE(runner.stats().stage_cycle_sum.size(), 2u);
+  EXPECT_GT(runner.stats().stage_cycle_count[0], 0u);
+  EXPECT_GT(runner.stats().stage_cycle_count[1], 0u);
+}
+
+}  // namespace
+}  // namespace speedybox::runtime

@@ -1,0 +1,57 @@
+#include "runtime/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/ip_filter.hpp"
+#include "nf/monitor.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::runtime {
+namespace {
+
+TEST(ServiceChain, AddNfCreatesLocalMatAndWiresGlobalMat) {
+  nf::Monitor monitor;
+  nf::IpFilter filter{{}};
+  ServiceChain chain;
+  chain.add_nf(&monitor);
+  chain.add_nf(&filter);
+
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.local_mat(0).nf_name(), "monitor");
+  EXPECT_EQ(chain.local_mat(0).nf_index(), 0u);
+  EXPECT_EQ(chain.local_mat(1).nf_name(), "ipfilter");
+  EXPECT_EQ(chain.local_mat(1).nf_index(), 1u);
+  EXPECT_EQ(chain.global_mat().chain().size(), 2u);
+  EXPECT_EQ(chain.global_mat().chain()[1], &chain.local_mat(1));
+}
+
+TEST(ServiceChain, EmplaceNfOwnsInstance) {
+  ServiceChain chain;
+  auto& monitor = chain.emplace_nf<nf::Monitor>("owned-monitor");
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_EQ(&chain.nf(0), &monitor);
+  EXPECT_EQ(chain.nf(0).name(), "owned-monitor");
+}
+
+TEST(ServiceChain, ResetFlowsClearsMatsAndClassifier) {
+  ServiceChain chain;
+  chain.emplace_nf<nf::Monitor>();
+  chain.local_mat(0).add_header_action(1, core::HeaderAction::forward());
+  chain.global_mat().consolidate_flow(1);
+  net::Packet packet =
+      net::make_tcp_packet(speedybox::testing::tuple_n(1), "x");
+  chain.classifier().classify(packet);
+
+  chain.reset_flows();
+  EXPECT_EQ(chain.global_mat().size(), 0u);
+  EXPECT_EQ(chain.local_mat(0).size(), 0u);
+  EXPECT_EQ(chain.classifier().active_flows(), 0u);
+}
+
+TEST(ServiceChain, NameAccessor) {
+  ServiceChain chain{"my-chain"};
+  EXPECT_EQ(chain.name(), "my-chain");
+}
+
+}  // namespace
+}  // namespace speedybox::runtime

@@ -1,0 +1,104 @@
+#include "runtime/parallel_executor.hpp"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::runtime {
+namespace {
+
+using speedybox::testing::tuple_n;
+
+core::StateFunctionBatch counting_batch(std::atomic<int>& counter,
+                                        core::PayloadAccess access) {
+  core::StateFunctionBatch batch;
+  batch.functions.push_back(core::StateFunction{
+      [&counter](net::Packet&, const net::ParsedPacket&) { ++counter; },
+      access, "count"});
+  return batch;
+}
+
+TEST(ParallelExecutor, ExecutesEveryBatchOnce) {
+  ParallelExecutor executor{2};
+  std::atomic<int> counter{0};
+  std::vector<core::StateFunctionBatch> batches;
+  for (int i = 0; i < 4; ++i) {
+    batches.push_back(counting_batch(counter, core::PayloadAccess::kRead));
+  }
+  const core::ParallelSchedule schedule = core::build_schedule(batches);
+  net::Packet packet = net::make_tcp_packet(tuple_n(1), "x");
+  const auto parsed = net::parse_packet(packet);
+  executor.execute(schedule, batches, packet, *parsed);
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ParallelExecutor, SequentialGroupsOrdered) {
+  ParallelExecutor executor{2};
+  std::vector<int> order;
+  std::mutex order_mutex;
+  std::vector<core::StateFunctionBatch> batches;
+  for (int i = 0; i < 3; ++i) {
+    core::StateFunctionBatch batch;
+    batch.functions.push_back(core::StateFunction{
+        [&order, &order_mutex, i](net::Packet&, const net::ParsedPacket&) {
+          const std::lock_guard lock(order_mutex);
+          order.push_back(i);
+        },
+        core::PayloadAccess::kWrite, "w"});  // writes never group
+    batches.push_back(std::move(batch));
+  }
+  const core::ParallelSchedule schedule = core::build_schedule(batches);
+  ASSERT_EQ(schedule.group_count(), 3u);
+  net::Packet packet = net::make_tcp_packet(tuple_n(2), "x");
+  const auto parsed = net::parse_packet(packet);
+  executor.execute(schedule, batches, packet, *parsed);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParallelExecutor, GlobalMatIntegration) {
+  // Wire the executor into a GlobalMat and verify the unmeasured fast path
+  // produces identical state updates.
+  core::LocalMat a{"a", 0}, b{"b", 1};
+  core::GlobalMat mat;
+  mat.set_chain({&a, &b});
+  std::atomic<int> counter{0};
+  a.add_state_function(
+      1, core::StateFunction{[&counter](net::Packet&,
+                                        const net::ParsedPacket&) {
+                               ++counter;
+                             },
+                             core::PayloadAccess::kRead, "sf-a"});
+  b.add_state_function(
+      1, core::StateFunction{[&counter](net::Packet&,
+                                        const net::ParsedPacket&) {
+                               counter += 10;
+                             },
+                             core::PayloadAccess::kRead, "sf-b"});
+  mat.consolidate_flow(1);
+
+  ParallelExecutor executor{2};
+  mat.set_batch_executor(&executor);
+  net::Packet packet = net::make_tcp_packet(tuple_n(3), "x");
+  packet.set_fid(1);
+  const auto result = mat.process(packet);
+  EXPECT_TRUE(result.rule_hit);
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ParallelExecutor, SingletonGroupRunsInline) {
+  ParallelExecutor executor{1};
+  std::atomic<int> counter{0};
+  std::vector<core::StateFunctionBatch> batches{
+      counting_batch(counter, core::PayloadAccess::kWrite)};
+  const core::ParallelSchedule schedule = core::build_schedule(batches);
+  net::Packet packet = net::make_tcp_packet(tuple_n(4), "x");
+  const auto parsed = net::parse_packet(packet);
+  executor.execute(schedule, batches, packet, *parsed);
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace speedybox::runtime

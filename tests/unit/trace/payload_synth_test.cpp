@@ -1,0 +1,106 @@
+#include "trace/payload_synth.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::trace {
+namespace {
+
+bool payload_contains(const FlowSpec& flow, const std::string& needle) {
+  const std::string haystack{flow.payload.begin(), flow.payload.end()};
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(PayloadSynth, PlantsAllContentsOfChosenRule) {
+  Workload workload = make_uniform_workload(50, 2, 128);
+  const auto rules = default_snort_rules();
+  PayloadSynthConfig config;
+  config.match_fraction = 1.0;  // every flow planted
+  const auto planted = plant_rule_contents(workload, rules, config);
+
+  for (std::size_t f = 0; f < workload.flows.size(); ++f) {
+    ASSERT_GE(planted[f], 0);
+    const auto& rule = rules[static_cast<std::size_t>(planted[f])];
+    for (const nf::ContentMatch& content : rule.contents) {
+      EXPECT_TRUE(payload_contains(workload.flows[f], content.pattern))
+          << "flow " << f << " missing '" << content.pattern << "'";
+    }
+  }
+}
+
+TEST(PayloadSynth, FractionRespected) {
+  Workload workload = make_uniform_workload(1000, 1, 128);
+  PayloadSynthConfig config;
+  config.match_fraction = 0.2;
+  const auto planted =
+      plant_rule_contents(workload, default_snort_rules(), config);
+  std::size_t count = 0;
+  for (const auto p : planted) count += p >= 0;
+  EXPECT_NEAR(static_cast<double>(count) / 1000.0, 0.2, 0.05);
+}
+
+TEST(PayloadSynth, ZeroFractionPlantsNothing) {
+  Workload workload = make_uniform_workload(100, 1, 64);
+  PayloadSynthConfig config;
+  config.match_fraction = 0.0;
+  const auto planted =
+      plant_rule_contents(workload, default_snort_rules(), config);
+  for (const auto p : planted) EXPECT_EQ(p, -1);
+}
+
+TEST(PayloadSynth, RoundRobinOverRules) {
+  const auto rules = default_snort_rules();
+  const int repeats = 10;
+  Workload workload =
+      make_uniform_workload(rules.size() * repeats, 1, 128);
+  PayloadSynthConfig config;
+  config.match_fraction = 1.0;
+  const auto planted = plant_rule_contents(workload, rules, config);
+  std::vector<int> usage(rules.size(), 0);
+  for (const auto p : planted) {
+    ASSERT_GE(p, 0);
+    ++usage[static_cast<std::size_t>(p)];
+  }
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    EXPECT_EQ(usage[r], repeats) << "rule " << r;
+  }
+}
+
+TEST(PayloadSynth, GrowsPayloadWhenNeeded) {
+  Workload workload = make_uniform_workload(10, 1, 4);  // tiny payloads
+  const auto rules = default_snort_rules();
+  PayloadSynthConfig config;
+  config.match_fraction = 1.0;
+  const auto planted = plant_rule_contents(workload, rules, config);
+  for (std::size_t f = 0; f < workload.flows.size(); ++f) {
+    const auto& rule = rules[static_cast<std::size_t>(planted[f])];
+    for (const nf::ContentMatch& content : rule.contents) {
+      EXPECT_TRUE(payload_contains(workload.flows[f], content.pattern));
+    }
+  }
+}
+
+TEST(PayloadSynth, EmptyRulesSafe) {
+  Workload workload = make_uniform_workload(5, 1, 32);
+  PayloadSynthConfig config;
+  config.match_fraction = 1.0;
+  const auto planted = plant_rule_contents(workload, {}, config);
+  for (const auto p : planted) EXPECT_EQ(p, -1);
+}
+
+TEST(DefaultSnortRules, CoverAllThreeActions) {
+  const auto rules = default_snort_rules();
+  bool has_pass = false, has_alert = false, has_log = false;
+  for (const auto& rule : rules) {
+    has_pass |= rule.action == nf::SnortAction::kPass;
+    has_alert |= rule.action == nf::SnortAction::kAlert;
+    has_log |= rule.action == nf::SnortAction::kLog;
+  }
+  EXPECT_TRUE(has_pass);
+  EXPECT_TRUE(has_alert);
+  EXPECT_TRUE(has_log);
+}
+
+}  // namespace
+}  // namespace speedybox::trace

@@ -1,0 +1,142 @@
+#include "trace/workload.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::trace {
+namespace {
+
+TEST(UniformWorkload, CountsMatch) {
+  const Workload workload = make_uniform_workload(5, 10, 64);
+  EXPECT_EQ(workload.flows.size(), 5u);
+  EXPECT_EQ(workload.packet_count(), 50u);
+}
+
+TEST(UniformWorkload, EveryFlowFullyScheduled) {
+  const Workload workload = make_uniform_workload(4, 7, 32);
+  std::vector<std::set<std::uint32_t>> seqs(4);
+  for (const TracePacket& tp : workload.order) {
+    EXPECT_TRUE(seqs[tp.flow].insert(tp.seq).second)
+        << "duplicate (flow, seq)";
+  }
+  for (const auto& seq_set : seqs) {
+    EXPECT_EQ(seq_set.size(), 7u);
+    EXPECT_EQ(*seq_set.begin(), 0u);
+    EXPECT_EQ(*seq_set.rbegin(), 6u);
+  }
+}
+
+TEST(UniformWorkload, PerFlowOrderIsSequential) {
+  const Workload workload = make_uniform_workload(3, 20, 16);
+  std::vector<std::uint32_t> next(3, 0);
+  for (const TracePacket& tp : workload.order) {
+    EXPECT_EQ(tp.seq, next[tp.flow]) << "packets of a flow must be in order";
+    ++next[tp.flow];
+  }
+}
+
+TEST(UniformWorkload, SynAndFinFlags) {
+  const Workload workload = make_uniform_workload(2, 5, 16);
+  for (const TracePacket& tp : workload.order) {
+    if (tp.seq == 0) {
+      EXPECT_TRUE(tp.tcp_flags & net::kTcpFlagSyn);
+    } else if (tp.seq == 4) {
+      EXPECT_TRUE(tp.tcp_flags & net::kTcpFlagFin);
+    } else {
+      EXPECT_EQ(tp.tcp_flags, net::kTcpFlagAck);
+    }
+  }
+}
+
+TEST(UniformWorkload, DeterministicForSeed) {
+  const Workload a = make_uniform_workload(4, 6, 16, 99);
+  const Workload b = make_uniform_workload(4, 6, 16, 99);
+  ASSERT_EQ(a.order.size(), b.order.size());
+  for (std::size_t i = 0; i < a.order.size(); ++i) {
+    EXPECT_EQ(a.order[i].flow, b.order[i].flow);
+    EXPECT_EQ(a.order[i].seq, b.order[i].seq);
+  }
+}
+
+TEST(UniformWorkload, MaterializePacketsParse) {
+  const Workload workload = make_uniform_workload(2, 3, 64);
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    const net::Packet packet = workload.materialize(i);
+    const auto parsed = net::parse_packet(packet);
+    ASSERT_TRUE(parsed.has_value()) << "packet " << i;
+    EXPECT_EQ(net::extract_five_tuple(packet, *parsed),
+              workload.flows[workload.order[i].flow].tuple);
+  }
+}
+
+TEST(DatacenterWorkload, FlowSizesHeavyTailed) {
+  DatacenterWorkloadConfig config;
+  config.flow_count = 500;
+  const Workload workload = make_datacenter_workload(config);
+  ASSERT_EQ(workload.flows.size(), 500u);
+
+  std::vector<std::uint32_t> sizes;
+  for (const FlowSpec& flow : workload.flows) {
+    sizes.push_back(flow.packet_count);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const std::uint32_t median = sizes[sizes.size() / 2];
+  const std::uint32_t p99 = sizes[sizes.size() * 99 / 100];
+  EXPECT_GE(median, 2u);
+  EXPECT_LE(median, 40u);
+  EXPECT_GT(p99, median * 3) << "tail must be heavy";
+}
+
+TEST(DatacenterWorkload, TuplesAreUniquePerFlow) {
+  DatacenterWorkloadConfig config;
+  config.flow_count = 300;
+  const Workload workload = make_datacenter_workload(config);
+  std::set<std::pair<std::uint64_t, std::uint16_t>> keys;
+  for (const FlowSpec& flow : workload.flows) {
+    keys.insert({(static_cast<std::uint64_t>(flow.tuple.src_ip.value) << 16) |
+                     flow.tuple.src_port,
+                 flow.tuple.dst_port});
+  }
+  // Random collisions are possible but should be rare.
+  EXPECT_GT(keys.size(), 290u);
+}
+
+TEST(DatacenterWorkload, SourcesInConfiguredPrefix) {
+  DatacenterWorkloadConfig config;
+  config.flow_count = 100;
+  const Workload workload = make_datacenter_workload(config);
+  for (const FlowSpec& flow : workload.flows) {
+    EXPECT_EQ(flow.tuple.src_ip.value & 0xFFFF0000u,
+              config.src_base.value & 0xFFFF0000u);
+  }
+}
+
+TEST(DatacenterWorkload, InterleavesFlows) {
+  DatacenterWorkloadConfig config;
+  config.flow_count = 50;
+  const Workload workload = make_datacenter_workload(config);
+  // Count adjacent pairs from the same flow; a round-robin-ish interleave
+  // should make them a small minority.
+  std::size_t same_flow_adjacent = 0;
+  for (std::size_t i = 1; i < workload.order.size(); ++i) {
+    same_flow_adjacent += workload.order[i].flow == workload.order[i - 1].flow;
+  }
+  EXPECT_LT(same_flow_adjacent, workload.order.size() / 2);
+}
+
+TEST(DatacenterWorkload, DeterministicForSeed) {
+  DatacenterWorkloadConfig config;
+  config.flow_count = 40;
+  config.seed = 777;
+  const Workload a = make_datacenter_workload(config);
+  const Workload b = make_datacenter_workload(config);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].tuple, b.flows[i].tuple);
+    EXPECT_EQ(a.flows[i].packet_count, b.flows[i].packet_count);
+  }
+}
+
+}  // namespace
+}  // namespace speedybox::trace

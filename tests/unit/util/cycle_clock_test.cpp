@@ -1,0 +1,67 @@
+#include "util/cycle_clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+TEST(CycleClock, Monotonic) {
+  const std::uint64_t a = CycleClock::now();
+  const std::uint64_t b = CycleClock::now();
+  EXPECT_LE(a, b);
+}
+
+TEST(CycleClock, FrequencyIsPlausible) {
+  const double hz = CycleClock::frequency_hz();
+  // Any real CPU TSC (or the ns fallback) ticks between 100MHz and 10GHz.
+  EXPECT_GT(hz, 1e8);
+  EXPECT_LT(hz, 1e10);
+}
+
+TEST(CycleClock, FrequencyIsStable) {
+  EXPECT_DOUBLE_EQ(CycleClock::frequency_hz(), CycleClock::frequency_hz());
+}
+
+TEST(CycleClock, ConversionRoundTrip) {
+  const std::uint64_t cycles = 123456;
+  const double ns = CycleClock::to_ns(cycles);
+  const std::uint64_t back = CycleClock::from_ns(ns);
+  EXPECT_NEAR(static_cast<double>(back), static_cast<double>(cycles),
+              static_cast<double>(cycles) * 0.01);
+}
+
+TEST(CycleClock, ToUsIsToNsOver1000) {
+  EXPECT_DOUBLE_EQ(CycleClock::to_us(5000) * 1000.0,
+                   CycleClock::to_ns(5000));
+}
+
+TEST(CycleClock, MeasuresSleepRoughly) {
+  const std::uint64_t t0 = CycleClock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double ms = CycleClock::to_ns(CycleClock::now() - t0) / 1e6;
+  EXPECT_GT(ms, 8.0);
+  EXPECT_LT(ms, 500.0);  // generous upper bound for noisy CI machines
+}
+
+TEST(ScopedCycleTimer, AccumulatesElapsed) {
+  std::uint64_t sink = 0;
+  {
+    ScopedCycleTimer timer{sink};
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_GT(sink, 0u);
+  const std::uint64_t first = sink;
+  {
+    ScopedCycleTimer timer{sink};
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_GT(sink, first);
+}
+
+}  // namespace
+}  // namespace speedybox::util

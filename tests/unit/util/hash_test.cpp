@@ -1,0 +1,58 @@
+#include "util/hash.hpp"
+
+#include <array>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of "a" is 0xAF63DC4C8601EC8C.
+  EXPECT_EQ(fnv1a(std::string_view{"a"}), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Fnv1a, EmptyIsOffsetBasis) {
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xCBF29CE484222325ULL);
+}
+
+TEST(Fnv1a, ByteSpanMatchesStringView) {
+  const std::array<std::uint8_t, 3> bytes{'f', 'o', 'o'};
+  EXPECT_EQ(fnv1a(std::span<const std::uint8_t>{bytes}),
+            fnv1a(std::string_view{"foo"}));
+}
+
+TEST(Fnv1a, SensitiveToOrder) {
+  EXPECT_NE(fnv1a(std::string_view{"ab"}), fnv1a(std::string_view{"ba"}));
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  // mix64 is a bijection; distinct inputs must produce distinct outputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    total_flips += __builtin_popcountll(mix64(i) ^ mix64(i ^ 1));
+  }
+  const double mean_flips = total_flips / 64.0;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(42, 7), hash_combine(42, 7));
+}
+
+}  // namespace
+}  // namespace speedybox::util

@@ -1,0 +1,97 @@
+#include "util/histogram.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+TEST(SampleRecorder, BasicStats) {
+  SampleRecorder rec;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) rec.add(v);
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_DOUBLE_EQ(rec.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(rec.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.max(), 4.0);
+}
+
+TEST(SampleRecorder, PercentileNearestRank) {
+  SampleRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(i);
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(0), 1.0);
+}
+
+TEST(SampleRecorder, PercentileUnsortedInsertOrder) {
+  SampleRecorder rec;
+  for (const double v : {9.0, 1.0, 5.0, 3.0, 7.0}) rec.add(v);
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 5.0);
+}
+
+TEST(SampleRecorder, AddAfterPercentileStillCorrect) {
+  SampleRecorder rec;
+  rec.add(10.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 10.0);
+  rec.add(1.0);
+  rec.add(2.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 2.0);
+}
+
+TEST(SampleRecorder, EmptyThrows) {
+  const SampleRecorder rec;
+  EXPECT_THROW(rec.percentile(50), std::out_of_range);
+  EXPECT_THROW(rec.min(), std::out_of_range);
+  EXPECT_THROW(rec.max(), std::out_of_range);
+}
+
+TEST(SampleRecorder, CdfPoints) {
+  SampleRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.add(i);
+  const auto points = rec.cdf({10, 50, 90});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 9.0);
+}
+
+TEST(LogHistogram, ApproximatePercentiles) {
+  LogHistogram hist;
+  for (int i = 1; i <= 10000; ++i) hist.add(i);
+  EXPECT_EQ(hist.count(), 10000u);
+  // Eighth-octave buckets: ≤ ~9% relative error.
+  EXPECT_NEAR(hist.percentile(50), 5000.0, 5000.0 * 0.10);
+  EXPECT_NEAR(hist.percentile(99), 9900.0, 9900.0 * 0.10);
+}
+
+TEST(LogHistogram, MeanIsExact) {
+  LogHistogram hist;
+  for (const double v : {2.0, 4.0, 6.0}) hist.add(v);
+  EXPECT_DOUBLE_EQ(hist.mean(), 4.0);
+}
+
+TEST(LogHistogram, EmptyIsZero) {
+  const LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(SummarizePercentiles, FormatsKeyFields) {
+  SampleRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(i);
+  const std::string summary = summarize_percentiles(rec);
+  EXPECT_NE(summary.find("n=100"), std::string::npos);
+  EXPECT_NE(summary.find("p50=50"), std::string::npos);
+}
+
+TEST(SummarizePercentiles, EmptySafe) {
+  const SampleRecorder rec;
+  EXPECT_EQ(summarize_percentiles(rec), "(no samples)");
+}
+
+}  // namespace
+}  // namespace speedybox::util

@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, FormatLogBasic) {
+  EXPECT_EQ(format_log("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+}
+
+TEST_F(LoggingTest, FormatLogEmpty) {
+  EXPECT_EQ(format_log("%s", ""), "");
+}
+
+TEST_F(LoggingTest, FormatLogLongString) {
+  const std::string big(5000, 'z');
+  EXPECT_EQ(format_log("%s", big.c_str()), big);
+}
+
+TEST_F(LoggingTest, MacroSkipsBelowLevel) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  SB_LOG_DEBUG("test", "value=%d", expensive());
+  EXPECT_EQ(evaluations, 0) << "disabled log must not evaluate arguments";
+}
+
+TEST_F(LoggingTest, MacroEvaluatesAtOrAboveLevel) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto counted = [&evaluations]() {
+    ++evaluations;
+    return 7;
+  };
+  SB_LOG_ERROR("test", "value=%d", counted());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace speedybox::util

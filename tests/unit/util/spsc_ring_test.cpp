@@ -1,0 +1,106 @@
+#include "util/spsc_ring.hpp"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring{8};
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.try_pop().value(), 1);
+  EXPECT_EQ(ring.try_pop().value(), 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring{5};
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> ring{4};
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.try_pop().value(), 0);
+  EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(SpscRing, FifoOrderAcrossWrap) {
+  SpscRing<int> ring{4};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(round * 3 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(ring.try_pop().value(), round * 3 + i);
+    }
+  }
+}
+
+TEST(SpscRing, MoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring{4};
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  auto popped = ring.try_pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(**popped, 42);
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  constexpr int kCount = 200000;
+  SpscRing<int> ring{256};
+  std::uint64_t consumer_sum = 0;
+  int consumed = 0;
+
+  std::thread consumer([&] {
+    while (consumed < kCount) {
+      if (auto value = ring.try_pop()) {
+        consumer_sum += static_cast<std::uint64_t>(*value);
+        ++consumed;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2;
+  EXPECT_EQ(consumer_sum, expected);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PreservesOrderUnderConcurrency) {
+  constexpr int kCount = 50000;
+  SpscRing<int> ring{64};
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    int expected = 0;
+    while (expected < kCount) {
+      if (auto value = ring.try_pop()) {
+        if (*value != expected) ordered = false;
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace speedybox::util

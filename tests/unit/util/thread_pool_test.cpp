@@ -1,0 +1,66 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::util {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool{1};
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TasksCanSubmitFromWorker) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    ++counter;
+    pool.submit([&counter] { ++counter; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace speedybox::util

@@ -1,0 +1,296 @@
+// chainsim — build a service chain from a spec string, drive it with a
+// generated workload or a pcap, and report original-vs-SpeedyBox results.
+//
+//   chainsim --chain nat,maglev,monitor,ipfilter --flows 200 --packets 20
+//   chainsim --chain ipfilter,snort,monitor --datacenter --csv
+//   chainsim --chain nat,monitor --pcap capture.pcap
+//   chainsim --chain maglev,monitor --fail-backend-at 1000
+//   chainsim --chain vpn-out,monitor,vpn-in --export-pcap tunnel.pcap
+//
+// Available NFs: nat, maglev, monitor, heavymonitor, ipfilter, firewall
+// (drops dst port 23), snort, gateway, vpn-out, vpn-in, dos, synthetic.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nf/dos_prevention.hpp"
+#include "nf/gateway.hpp"
+#include "nf/ip_filter.hpp"
+#include "nf/maglev_lb.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "nf/snort_ids.hpp"
+#include "nf/synthetic_nf.hpp"
+#include "nf/vpn_gateway.hpp"
+#include "runtime/runner.hpp"
+#include "trace/payload_synth.hpp"
+#include "trace/pcap.hpp"
+#include "util/cycle_clock.hpp"
+
+using namespace speedybox;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> chain;
+  platform::PlatformKind platform = platform::PlatformKind::kBess;
+  bool run_original = true;
+  bool run_speedybox = true;
+  std::size_t flows = 100;
+  std::uint32_t packets_per_flow = 20;
+  std::size_t payload = 128;
+  bool datacenter = false;
+  double snort_match_fraction = 0.2;
+  std::string pcap_in;
+  std::string pcap_out;
+  std::uint64_t seed = 42;
+  long fail_backend_at = -1;  // packet index at which backend 0 dies
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --chain nf1,nf2,... [options]\n"
+      "\n"
+      "NFs: nat maglev monitor heavymonitor ipfilter firewall snort\n"
+      "     gateway vpn-out vpn-in dos synthetic\n"
+      "\n"
+      "options:\n"
+      "  --platform bess|onvm       execution platform model (default bess)\n"
+      "  --mode original|speedybox|both   which data path(s) to run\n"
+      "  --flows N --packets N --payload N   uniform workload shape\n"
+      "  --datacenter               heavy-tailed datacenter-style workload\n"
+      "  --pcap FILE                drive the chain from a pcap capture\n"
+      "  --export-pcap FILE         write the generated workload as pcap\n"
+      "  --fail-backend-at K        fail Maglev backend 0 before packet K\n"
+      "  --seed N                   workload seed (default 42)\n"
+      "  --csv                      machine-readable one-line-per-config\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chain") {
+      std::string spec = need_value(i);
+      std::size_t start = 0;
+      while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string name =
+            spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!name.empty()) options.chain.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--platform") {
+      const std::string value = need_value(i);
+      if (value == "bess") {
+        options.platform = platform::PlatformKind::kBess;
+      } else if (value == "onvm") {
+        options.platform = platform::PlatformKind::kOnvm;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--mode") {
+      const std::string value = need_value(i);
+      options.run_original = value == "original" || value == "both";
+      options.run_speedybox = value == "speedybox" || value == "both";
+      if (!options.run_original && !options.run_speedybox) usage(argv[0]);
+    } else if (arg == "--flows") {
+      options.flows = std::strtoul(need_value(i), nullptr, 10);
+    } else if (arg == "--packets") {
+      options.packets_per_flow =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--payload") {
+      options.payload = std::strtoul(need_value(i), nullptr, 10);
+    } else if (arg == "--datacenter") {
+      options.datacenter = true;
+    } else if (arg == "--pcap") {
+      options.pcap_in = need_value(i);
+    } else if (arg == "--export-pcap") {
+      options.pcap_out = need_value(i);
+    } else if (arg == "--fail-backend-at") {
+      options.fail_backend_at = std::strtol(need_value(i), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.chain.empty()) usage(argv[0]);
+  return options;
+}
+
+struct BuiltChain {
+  std::unique_ptr<runtime::ServiceChain> chain;
+  nf::MaglevLb* maglev = nullptr;  // for --fail-backend-at
+};
+
+BuiltChain build_chain(const Options& options) {
+  BuiltChain built;
+  built.chain = std::make_unique<runtime::ServiceChain>("chainsim");
+  int index = 0;
+  for (const std::string& name : options.chain) {
+    const std::string label = name + "-" + std::to_string(index++);
+    if (name == "nat") {
+      built.chain->emplace_nf<nf::MazuNat>(nf::MazuNatConfig{}, label);
+    } else if (name == "maglev") {
+      std::vector<nf::Backend> backends;
+      for (int b = 0; b < 4; ++b) {
+        backends.push_back({"backend-" + std::to_string(b),
+                            net::Ipv4Addr{10, 9, 0,
+                                          static_cast<std::uint8_t>(10 + b)},
+                            8080, true});
+      }
+      built.maglev = &built.chain->emplace_nf<nf::MaglevLb>(
+          backends, std::size_t{65537}, label);
+    } else if (name == "monitor") {
+      built.chain->emplace_nf<nf::Monitor>(nf::MonitorConfig{}, label);
+    } else if (name == "heavymonitor") {
+      built.chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), label);
+    } else if (name == "ipfilter") {
+      built.chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{},
+                                            label);
+    } else if (name == "firewall") {
+      built.chain->emplace_nf<nf::IpFilter>(
+          std::vector<nf::AclRule>{nf::AclRule::drop_dst_port(23)}, label);
+    } else if (name == "snort") {
+      built.chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules(),
+                                            label);
+    } else if (name == "gateway") {
+      built.chain->emplace_nf<nf::Gateway>(
+          std::vector<nf::TrafficClass>{{5060, 5061, 46}}, label);
+    } else if (name == "vpn-out") {
+      built.chain->emplace_nf<nf::VpnGateway>(nf::VpnMode::kEgress, 0x1000u,
+                                              label);
+    } else if (name == "vpn-in") {
+      built.chain->emplace_nf<nf::VpnGateway>(nf::VpnMode::kIngress, 0x1000u,
+                                              label);
+    } else if (name == "dos") {
+      built.chain->emplace_nf<nf::DosPrevention>(
+          100, core::HeaderAction::forward(), label);
+    } else if (name == "synthetic") {
+      built.chain->emplace_nf<nf::SyntheticNf>(nf::SyntheticNfConfig{},
+                                               label);
+    } else {
+      std::fprintf(stderr, "unknown NF '%s'\n", name.c_str());
+      std::exit(2);
+    }
+  }
+  return built;
+}
+
+std::vector<net::Packet> build_packets(const Options& options) {
+  if (!options.pcap_in.empty()) {
+    return trace::read_pcap(options.pcap_in);
+  }
+  trace::Workload workload;
+  if (options.datacenter) {
+    trace::DatacenterWorkloadConfig config;
+    config.flow_count = options.flows;
+    config.payload_size = options.payload;
+    config.seed = options.seed;
+    workload = make_datacenter_workload(config);
+  } else {
+    workload = trace::make_uniform_workload(
+        options.flows, options.packets_per_flow, options.payload,
+        options.seed);
+  }
+  // Plant Snort rule contents whenever the chain contains an IDS.
+  trace::PayloadSynthConfig synth;
+  synth.match_fraction = options.snort_match_fraction;
+  synth.seed = options.seed ^ 0x5EED;
+  plant_rule_contents(workload, trace::default_snort_rules(), synth);
+
+  if (!options.pcap_out.empty()) {
+    write_pcap(options.pcap_out, workload);
+    std::fprintf(stderr, "wrote %zu packets to %s\n",
+                 workload.packet_count(), options.pcap_out.c_str());
+  }
+  std::vector<net::Packet> packets;
+  packets.reserve(workload.packet_count());
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    packets.push_back(workload.materialize(i));
+  }
+  return packets;
+}
+
+void report(const Options& options, const char* mode,
+            const runtime::ChainRunner& runner) {
+  const auto& stats = runner.stats();
+  const double p50_lat = stats.latency_us_subsequent.count() > 0
+                             ? stats.latency_us_subsequent.percentile(50)
+                             : 0.0;
+  const double p99_lat = stats.latency_us_subsequent.count() > 0
+                             ? stats.latency_us_subsequent.percentile(99)
+                             : 0.0;
+  const double cycles = stats.platform_cycles_subsequent.count() > 0
+                            ? stats.platform_cycles_subsequent.percentile(50)
+                            : 0.0;
+  const double rate = stats.rate_mpps(options.platform);
+  if (options.csv) {
+    std::printf("%s,%s,%llu,%llu,%llu,%.0f,%.3f,%.3f,%.3f\n",
+                platform_name(options.platform), mode,
+                static_cast<unsigned long long>(stats.packets),
+                static_cast<unsigned long long>(stats.drops),
+                static_cast<unsigned long long>(stats.events_triggered),
+                cycles, p50_lat, p99_lat, rate);
+    return;
+  }
+  std::printf("%-9s %-10s packets=%-8llu drops=%-6llu events=%-4llu "
+              "cyc/pkt(p50)=%-6.0f lat(p50/p99)=%.3f/%.3f us  rate=%.3f "
+              "Mpps\n",
+              platform_name(options.platform), mode,
+              static_cast<unsigned long long>(stats.packets),
+              static_cast<unsigned long long>(stats.drops),
+              static_cast<unsigned long long>(stats.events_triggered),
+              cycles, p50_lat, p99_lat, rate);
+}
+
+void run_mode(const Options& options, bool speedybox,
+              const std::vector<net::Packet>& packets) {
+  BuiltChain built = build_chain(options);
+  runtime::ChainRunner runner{*built.chain,
+                              {options.platform, speedybox, false}};
+  if (options.fail_backend_at < 0) {
+    runner.run_packets(packets);
+  } else {
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      if (static_cast<long>(i) == options.fail_backend_at &&
+          built.maglev != nullptr) {
+        built.maglev->fail_backend(0);
+      }
+      net::Packet packet = packets[i];
+      packet.reset_metadata();
+      runner.process_packet(packet);
+    }
+  }
+  report(options, speedybox ? "speedybox" : "original", runner);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  const std::vector<net::Packet> packets = build_packets(options);
+  if (options.csv) {
+    std::printf(
+        "platform,mode,packets,drops,events,cycles_p50,lat_p50_us,"
+        "lat_p99_us,rate_mpps\n");
+  }
+  if (options.run_original) run_mode(options, false, packets);
+  if (options.run_speedybox) run_mode(options, true, packets);
+  return 0;
+}
