@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_setup.dir/bench_ablation_setup.cpp.o"
+  "CMakeFiles/bench_ablation_setup.dir/bench_ablation_setup.cpp.o.d"
+  "bench_ablation_setup"
+  "bench_ablation_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_header_consolidation.dir/bench_fig4_header_consolidation.cpp.o"
+  "CMakeFiles/bench_fig4_header_consolidation.dir/bench_fig4_header_consolidation.cpp.o.d"
+  "bench_fig4_header_consolidation"
+  "bench_fig4_header_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_header_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_snort_monitor.cpp" "bench/CMakeFiles/bench_fig6_snort_monitor.dir/bench_fig6_snort_monitor.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_snort_monitor.dir/bench_fig6_snort_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/speedybox_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/speedybox_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speedybox_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/speedybox_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/speedybox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_snort_monitor.dir/bench_fig6_snort_monitor.cpp.o"
+  "CMakeFiles/bench_fig6_snort_monitor.dir/bench_fig6_snort_monitor.cpp.o.d"
+  "bench_fig6_snort_monitor"
+  "bench_fig6_snort_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_snort_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_early_drop.dir/bench_table3_early_drop.cpp.o"
+  "CMakeFiles/bench_table3_early_drop.dir/bench_table3_early_drop.cpp.o.d"
+  "bench_table3_early_drop"
+  "bench_table3_early_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_early_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

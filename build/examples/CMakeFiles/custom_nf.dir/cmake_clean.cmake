@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_nf.dir/custom_nf.cpp.o"
+  "CMakeFiles/custom_nf.dir/custom_nf.cpp.o.d"
+  "custom_nf"
+  "custom_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

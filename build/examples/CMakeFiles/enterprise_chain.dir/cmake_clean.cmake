@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_chain.dir/enterprise_chain.cpp.o"
+  "CMakeFiles/enterprise_chain.dir/enterprise_chain.cpp.o.d"
+  "enterprise_chain"
+  "enterprise_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_pipeline.dir/ids_pipeline.cpp.o"
+  "CMakeFiles/ids_pipeline.dir/ids_pipeline.cpp.o.d"
+  "ids_pipeline"
+  "ids_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/speedybox_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/speedybox_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/event_table.cpp" "src/core/CMakeFiles/speedybox_core.dir/event_table.cpp.o" "gcc" "src/core/CMakeFiles/speedybox_core.dir/event_table.cpp.o.d"
+  "/root/repo/src/core/global_mat.cpp" "src/core/CMakeFiles/speedybox_core.dir/global_mat.cpp.o" "gcc" "src/core/CMakeFiles/speedybox_core.dir/global_mat.cpp.o.d"
+  "/root/repo/src/core/header_action.cpp" "src/core/CMakeFiles/speedybox_core.dir/header_action.cpp.o" "gcc" "src/core/CMakeFiles/speedybox_core.dir/header_action.cpp.o.d"
+  "/root/repo/src/core/parallel_schedule.cpp" "src/core/CMakeFiles/speedybox_core.dir/parallel_schedule.cpp.o" "gcc" "src/core/CMakeFiles/speedybox_core.dir/parallel_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_core.dir/classifier.cpp.o"
+  "CMakeFiles/speedybox_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/speedybox_core.dir/event_table.cpp.o"
+  "CMakeFiles/speedybox_core.dir/event_table.cpp.o.d"
+  "CMakeFiles/speedybox_core.dir/global_mat.cpp.o"
+  "CMakeFiles/speedybox_core.dir/global_mat.cpp.o.d"
+  "CMakeFiles/speedybox_core.dir/header_action.cpp.o"
+  "CMakeFiles/speedybox_core.dir/header_action.cpp.o.d"
+  "CMakeFiles/speedybox_core.dir/parallel_schedule.cpp.o"
+  "CMakeFiles/speedybox_core.dir/parallel_schedule.cpp.o.d"
+  "libspeedybox_core.a"
+  "libspeedybox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_net.dir/checksum.cpp.o"
+  "CMakeFiles/speedybox_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/speedybox_net.dir/fields.cpp.o"
+  "CMakeFiles/speedybox_net.dir/fields.cpp.o.d"
+  "CMakeFiles/speedybox_net.dir/packet.cpp.o"
+  "CMakeFiles/speedybox_net.dir/packet.cpp.o.d"
+  "CMakeFiles/speedybox_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/speedybox_net.dir/packet_builder.cpp.o.d"
+  "libspeedybox_net.a"
+  "libspeedybox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

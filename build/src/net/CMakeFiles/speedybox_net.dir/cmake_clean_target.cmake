@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedybox_net.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/aho_corasick.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/aho_corasick.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/nf/dos_prevention.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/dos_prevention.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/dos_prevention.cpp.o.d"
+  "/root/repo/src/nf/gateway.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/gateway.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/gateway.cpp.o.d"
+  "/root/repo/src/nf/ip_filter.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/ip_filter.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/ip_filter.cpp.o.d"
+  "/root/repo/src/nf/maglev_hash.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/maglev_hash.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/maglev_hash.cpp.o.d"
+  "/root/repo/src/nf/maglev_lb.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/maglev_lb.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/maglev_lb.cpp.o.d"
+  "/root/repo/src/nf/mazu_nat.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/mazu_nat.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/mazu_nat.cpp.o.d"
+  "/root/repo/src/nf/monitor.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/monitor.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/monitor.cpp.o.d"
+  "/root/repo/src/nf/snort_ids.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/snort_ids.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/snort_ids.cpp.o.d"
+  "/root/repo/src/nf/snort_rule.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/snort_rule.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/snort_rule.cpp.o.d"
+  "/root/repo/src/nf/synthetic_nf.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/synthetic_nf.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/synthetic_nf.cpp.o.d"
+  "/root/repo/src/nf/vpn_gateway.cpp" "src/nf/CMakeFiles/speedybox_nf.dir/vpn_gateway.cpp.o" "gcc" "src/nf/CMakeFiles/speedybox_nf.dir/vpn_gateway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speedybox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

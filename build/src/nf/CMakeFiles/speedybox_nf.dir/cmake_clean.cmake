@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_nf.dir/aho_corasick.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/dos_prevention.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/dos_prevention.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/gateway.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/gateway.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/ip_filter.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/ip_filter.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/maglev_hash.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/maglev_hash.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/maglev_lb.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/maglev_lb.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/mazu_nat.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/mazu_nat.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/monitor.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/monitor.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/snort_ids.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/snort_ids.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/snort_rule.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/snort_rule.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/synthetic_nf.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/synthetic_nf.cpp.o.d"
+  "CMakeFiles/speedybox_nf.dir/vpn_gateway.cpp.o"
+  "CMakeFiles/speedybox_nf.dir/vpn_gateway.cpp.o.d"
+  "libspeedybox_nf.a"
+  "libspeedybox_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

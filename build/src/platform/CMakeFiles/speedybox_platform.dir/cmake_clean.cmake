@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_platform.dir/costs.cpp.o"
+  "CMakeFiles/speedybox_platform.dir/costs.cpp.o.d"
+  "CMakeFiles/speedybox_platform.dir/onvm_pipeline.cpp.o"
+  "CMakeFiles/speedybox_platform.dir/onvm_pipeline.cpp.o.d"
+  "libspeedybox_platform.a"
+  "libspeedybox_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

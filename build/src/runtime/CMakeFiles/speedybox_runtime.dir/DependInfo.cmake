@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/chain.cpp" "src/runtime/CMakeFiles/speedybox_runtime.dir/chain.cpp.o" "gcc" "src/runtime/CMakeFiles/speedybox_runtime.dir/chain.cpp.o.d"
+  "/root/repo/src/runtime/parallel_executor.cpp" "src/runtime/CMakeFiles/speedybox_runtime.dir/parallel_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/speedybox_runtime.dir/parallel_executor.cpp.o.d"
+  "/root/repo/src/runtime/runner.cpp" "src/runtime/CMakeFiles/speedybox_runtime.dir/runner.cpp.o" "gcc" "src/runtime/CMakeFiles/speedybox_runtime.dir/runner.cpp.o.d"
+  "/root/repo/src/runtime/speedybox_pipeline.cpp" "src/runtime/CMakeFiles/speedybox_runtime.dir/speedybox_pipeline.cpp.o" "gcc" "src/runtime/CMakeFiles/speedybox_runtime.dir/speedybox_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/speedybox_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/speedybox_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/speedybox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speedybox_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_runtime.dir/chain.cpp.o"
+  "CMakeFiles/speedybox_runtime.dir/chain.cpp.o.d"
+  "CMakeFiles/speedybox_runtime.dir/parallel_executor.cpp.o"
+  "CMakeFiles/speedybox_runtime.dir/parallel_executor.cpp.o.d"
+  "CMakeFiles/speedybox_runtime.dir/runner.cpp.o"
+  "CMakeFiles/speedybox_runtime.dir/runner.cpp.o.d"
+  "CMakeFiles/speedybox_runtime.dir/speedybox_pipeline.cpp.o"
+  "CMakeFiles/speedybox_runtime.dir/speedybox_pipeline.cpp.o.d"
+  "libspeedybox_runtime.a"
+  "libspeedybox_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

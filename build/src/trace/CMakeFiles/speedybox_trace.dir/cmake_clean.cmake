@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_trace.dir/payload_synth.cpp.o"
+  "CMakeFiles/speedybox_trace.dir/payload_synth.cpp.o.d"
+  "CMakeFiles/speedybox_trace.dir/pcap.cpp.o"
+  "CMakeFiles/speedybox_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/speedybox_trace.dir/workload.cpp.o"
+  "CMakeFiles/speedybox_trace.dir/workload.cpp.o.d"
+  "libspeedybox_trace.a"
+  "libspeedybox_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedybox_util.dir/cycle_clock.cpp.o"
+  "CMakeFiles/speedybox_util.dir/cycle_clock.cpp.o.d"
+  "CMakeFiles/speedybox_util.dir/histogram.cpp.o"
+  "CMakeFiles/speedybox_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/speedybox_util.dir/logging.cpp.o"
+  "CMakeFiles/speedybox_util.dir/logging.cpp.o.d"
+  "CMakeFiles/speedybox_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/speedybox_util.dir/thread_pool.cpp.o.d"
+  "libspeedybox_util.a"
+  "libspeedybox_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedybox_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

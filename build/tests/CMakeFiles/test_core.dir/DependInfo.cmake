@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unit/core/api_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/api_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/api_test.cpp.o.d"
+  "/root/repo/tests/unit/core/classifier_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/classifier_test.cpp.o.d"
+  "/root/repo/tests/unit/core/event_table_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/event_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/event_table_test.cpp.o.d"
+  "/root/repo/tests/unit/core/fastpath_measurement_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/fastpath_measurement_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/fastpath_measurement_test.cpp.o.d"
+  "/root/repo/tests/unit/core/global_mat_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/global_mat_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/global_mat_test.cpp.o.d"
+  "/root/repo/tests/unit/core/header_action_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/header_action_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/header_action_test.cpp.o.d"
+  "/root/repo/tests/unit/core/local_mat_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/local_mat_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/local_mat_test.cpp.o.d"
+  "/root/repo/tests/unit/core/parallel_schedule_test.cpp" "tests/CMakeFiles/test_core.dir/unit/core/parallel_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/unit/core/parallel_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/speedybox_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/speedybox_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speedybox_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/speedybox_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/speedybox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

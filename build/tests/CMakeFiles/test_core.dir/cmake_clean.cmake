@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/unit/core/api_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/api_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/classifier_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/classifier_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/event_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/event_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/fastpath_measurement_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/fastpath_measurement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/global_mat_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/global_mat_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/header_action_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/header_action_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/local_mat_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/local_mat_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/unit/core/parallel_schedule_test.cpp.o"
+  "CMakeFiles/test_core.dir/unit/core/parallel_schedule_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence.dir/equivalence/gateway_chain_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/equivalence/gateway_chain_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_equivalence.dir/equivalence/maglev_event_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/equivalence/maglev_event_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_equivalence.dir/equivalence/real_chain_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/equivalence/real_chain_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_equivalence.dir/equivalence/snort_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/equivalence/snort_equivalence_test.cpp.o.d"
+  "test_equivalence"
+  "test_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/early_drop_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/early_drop_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/event_integration_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/event_integration_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fastpath_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fastpath_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/flow_lifecycle_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/flow_lifecycle_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/idle_expiry_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/idle_expiry_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/speedybox_pipeline_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/speedybox_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/vpn_chain_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/vpn_chain_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/unit/net/checksum_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/checksum_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/unit/net/encap_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/encap_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/unit/net/fields_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/fields_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/unit/net/five_tuple_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/five_tuple_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/unit/net/packet_builder_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/packet_builder_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/unit/net/packet_test.cpp.o"
+  "CMakeFiles/test_net.dir/unit/net/packet_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unit/nf/aho_corasick_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/aho_corasick_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/aho_corasick_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/dos_prevention_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/dos_prevention_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/dos_prevention_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/gateway_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/gateway_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/gateway_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/ip_filter_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/ip_filter_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/ip_filter_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/maglev_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/maglev_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/maglev_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/mazu_nat_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/mazu_nat_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/mazu_nat_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/monitor_heavy_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/monitor_heavy_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/monitor_heavy_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/monitor_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/monitor_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/snort_rule_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/snort_rule_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/snort_rule_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/snort_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/snort_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/snort_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/synthetic_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/synthetic_test.cpp.o.d"
+  "/root/repo/tests/unit/nf/vpn_gateway_test.cpp" "tests/CMakeFiles/test_nf.dir/unit/nf/vpn_gateway_test.cpp.o" "gcc" "tests/CMakeFiles/test_nf.dir/unit/nf/vpn_gateway_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/speedybox_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/speedybox_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speedybox_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/speedybox_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/speedybox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedybox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/speedybox_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf.dir/unit/nf/aho_corasick_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/aho_corasick_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/dos_prevention_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/dos_prevention_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/gateway_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/gateway_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/ip_filter_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/ip_filter_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/maglev_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/maglev_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/mazu_nat_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/mazu_nat_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/monitor_heavy_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/monitor_heavy_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/monitor_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/monitor_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/snort_rule_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/snort_rule_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/snort_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/snort_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/synthetic_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/synthetic_test.cpp.o.d"
+  "CMakeFiles/test_nf.dir/unit/nf/vpn_gateway_test.cpp.o"
+  "CMakeFiles/test_nf.dir/unit/nf/vpn_gateway_test.cpp.o.d"
+  "test_nf"
+  "test_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

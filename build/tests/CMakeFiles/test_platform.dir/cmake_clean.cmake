@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/unit/platform/costs_test.cpp.o"
+  "CMakeFiles/test_platform.dir/unit/platform/costs_test.cpp.o.d"
+  "CMakeFiles/test_platform.dir/unit/platform/onvm_pipeline_test.cpp.o"
+  "CMakeFiles/test_platform.dir/unit/platform/onvm_pipeline_test.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

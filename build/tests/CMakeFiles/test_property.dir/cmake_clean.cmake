@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/checksum_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/checksum_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/consolidation_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/consolidation_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/maglev_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/maglev_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/robustness_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/robustness_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/schedule_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/schedule_property_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/unit/runtime/accounting_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/unit/runtime/accounting_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/unit/runtime/chain_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/unit/runtime/chain_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/unit/runtime/parallel_executor_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/unit/runtime/parallel_executor_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/unit/runtime/runner_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/unit/runtime/runner_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/unit/trace/payload_synth_test.cpp.o"
+  "CMakeFiles/test_trace.dir/unit/trace/payload_synth_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/unit/trace/pcap_test.cpp.o"
+  "CMakeFiles/test_trace.dir/unit/trace/pcap_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/unit/trace/workload_test.cpp.o"
+  "CMakeFiles/test_trace.dir/unit/trace/workload_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

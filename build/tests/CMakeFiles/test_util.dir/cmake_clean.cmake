@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/unit/util/cycle_clock_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/cycle_clock_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/hash_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/hash_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/histogram_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/histogram_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/logging_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/logging_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/spsc_ring_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/spsc_ring_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/unit/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/unit/util/thread_pool_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainsim.dir/chainsim.cpp.o"
+  "CMakeFiles/chainsim.dir/chainsim.cpp.o.d"
+  "chainsim"
+  "chainsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

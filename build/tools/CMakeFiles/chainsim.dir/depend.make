@@ -1,0 +1,2 @@
+# Empty dependencies file for chainsim.
+# This may be replaced when dependencies are built.
