@@ -1,0 +1,93 @@
+// Sharding scaling: throughput of the flow-sharded runtime as the shard
+// count grows (1, 2, 4, 8 replicas of the full consolidated pipeline).
+//
+// The paper's prototype pins the ONVM NF Manager — and with it the whole
+// consolidated fast path — to a single core (§VI-A). RSS-style flow
+// sharding lifts that cap: each shard owns a complete chain replica and
+// serves the flows whose symmetric five-tuple hashes to it.
+//
+// Two numbers per shard count:
+//   * aggregate rate — sum of the per-shard modeled steady-state rates
+//     (capacity of the sharded deployment; scales with shard count as long
+//     as the flow hash spreads load evenly),
+//   * wall time — real elapsed dispatch-to-join time. Only speeds up with
+//     physical cores to run the workers on; on a single-core host the
+//     shards time-slice and wall time stays flat or degrades slightly.
+//
+// Also prints the per-shard packet split so hash skew is visible.
+#include <thread>
+
+#include "nf/ip_filter.hpp"
+#include "nf/maglev_lb.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "runtime/sharded_runtime.hpp"
+
+#include "bench_util.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+std::vector<nf::Backend> backends() {
+  std::vector<nf::Backend> result;
+  for (int i = 0; i < 5; ++i) {
+    result.push_back({"backend-" + std::to_string(i),
+                      net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
+                                                  10 + i)},
+                      static_cast<std::uint16_t>(8000 + i), true});
+  }
+  return result;
+}
+
+void run() {
+  trace::DatacenterWorkloadConfig config;
+  config.flow_count = 300;
+  config.payload_size = 256;
+  config.flow_size_mu = 3.0;
+  config.seed = 20190710;
+  const trace::Workload workload = make_datacenter_workload(config);
+
+  runtime::ServiceChain prototype{"chain1"};
+  prototype.emplace_nf<nf::MazuNat>();
+  prototype.emplace_nf<nf::MaglevLb>(backends(), std::size_t{65537});
+  prototype.emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
+  prototype.emplace_nf<nf::IpFilter>(nonmatching_acl());
+
+  print_header(
+      "Sharding scaling — Chain 1 replicated across N flow shards");
+  std::printf("host cores: %u (wall time only improves with real cores;\n"
+              "aggregate rate reflects per-shard capacity either way)\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-7s %12s %12s %10s   %s\n", "shards", "agg rate", "wall",
+              "backpress", "per-shard packets");
+  std::printf("%-7s %12s %12s %10s\n", "", "(Mpps)", "(ms)", "(waits)");
+
+  double base_rate = 0.0;
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    runtime::ShardedRuntime runtime{
+        prototype, shards, {platform::PlatformKind::kOnvm, true, false}};
+    const runtime::ShardedRunResult result = runtime.run_workload(workload);
+    if (shards == 1) base_rate = result.aggregate_rate_mpps;
+
+    std::printf("%-7zu %12.3f %12.1f %10llu   [", shards,
+                result.aggregate_rate_mpps, result.wall_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    runtime.backpressure_waits()));
+    for (std::size_t s = 0; s < result.shard_packets.size(); ++s) {
+      std::printf("%s%llu", s == 0 ? "" : " ",
+                  static_cast<unsigned long long>(result.shard_packets[s]));
+    }
+    std::printf("]  (%.2fx)\n",
+                base_rate > 0 ? result.aggregate_rate_mpps / base_rate
+                              : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main() {
+  speedybox::bench::run();
+  return 0;
+}

@@ -181,11 +181,11 @@ GlobalMat::FastPathResult GlobalMat::process(
   return result;
 }
 
-void GlobalMat::erase_flow(std::uint32_t fid) {
+void GlobalMat::erase_flow(std::uint32_t fid, bool run_hooks) {
   rules_.erase(fid);
   events_.erase_flow(fid);
   for (LocalMat* mat : chain_) {
-    mat->run_teardown_hooks(fid);
+    if (run_hooks) mat->run_teardown_hooks(fid);
     mat->erase_flow(fid);
   }
 }

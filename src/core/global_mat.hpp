@@ -124,8 +124,11 @@ class GlobalMat {
   FastHeaderResult process_header(net::Packet& packet);
 
   /// Flow teardown: drop the consolidated rule, the flow's events, and the
-  /// per-NF Local MAT records.
-  void erase_flow(std::uint32_t fid);
+  /// per-NF Local MAT records. `run_hooks = false` skips the per-NF
+  /// teardown hooks — for threaded deployments where the hooks (which
+  /// mutate NF-internal state) already ran on the owning NF cores and only
+  /// the manager-side erase remains.
+  void erase_flow(std::uint32_t fid, bool run_hooks = true);
 
   std::size_t size() const noexcept { return rules_.size(); }
   std::uint64_t consolidations() const noexcept { return consolidations_; }

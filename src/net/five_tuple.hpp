@@ -61,6 +61,20 @@ struct FiveTuple {
     return h;
   }
 
+  /// Direction-invariant hash: both directions of a connection produce the
+  /// same value, so an RSS-style dispatcher keyed on it gives a connection
+  /// single-shard affinity (request and reply land on the same replica).
+  /// Endpoints are ordered canonically by (ip, port) before mixing.
+  constexpr std::uint64_t symmetric_hash() const noexcept {
+    const std::uint64_t a =
+        (static_cast<std::uint64_t>(src_ip.value) << 16) | src_port;
+    const std::uint64_t b =
+        (static_cast<std::uint64_t>(dst_ip.value) << 16) | dst_port;
+    std::uint64_t h = util::mix64(a < b ? a : b);
+    h = util::hash_combine(h, a < b ? b : a);
+    return util::hash_combine(h, proto);
+  }
+
   /// Reverse direction tuple (used by NAT return-path mapping).
   constexpr FiveTuple reversed() const noexcept {
     return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};

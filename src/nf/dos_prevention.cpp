@@ -25,34 +25,41 @@ void DosPrevention::process(net::Packet& packet,
   // packet, matching the Event Table semantics where conditions are
   // evaluated on arrival (the packet that crosses the threshold still
   // passes; the next one is dropped — Fig. 3).
-  FlowState& state = flows_[tuple];
-  if (state.blacklisted || state.syn_count > threshold_) {
-    state.blacklisted = true;
-    packet.mark_dropped();
-    ++drops_;
-    return;
+  FlowState* flow_args = nullptr;
+  {
+    const std::lock_guard lock(mutex_);
+    FlowState& state = flows_[tuple];
+    if (state.blacklisted || state.syn_count > threshold_) {
+      state.blacklisted = true;
+      packet.mark_dropped();
+      ++drops_;
+      return;
+    }
+    count_syn(tuple, *parsed);
+    // Recorded args: the flow's resolved counter cell (Figure 2) —
+    // pointer-stable unordered_map node.
+    flow_args = &state;
   }
-
-  count_syn(tuple, *parsed);
   core::apply_action_baseline(normal_action_, packet);
 
   if (ctx != nullptr) {
     ctx->add_header_action(normal_action_);
-    // Recorded args: the flow's resolved counter cell (Figure 2).
-    FlowState* flow_args = &state;
     core::localmat_add_SF(
         ctx,
-        [flow_args](net::Packet&, const net::ParsedPacket& p) {
+        [this, flow_args](net::Packet&, const net::ParsedPacket& p) {
+          const std::lock_guard lock(mutex_);
           if (p.has_syn()) ++flow_args->syn_count;
         },
         core::PayloadAccess::kIgnore, name() + ".syn_count");
     ctx->register_event(
         name() + ".blacklist",
         [this, tuple]() {
+          const std::lock_guard lock(mutex_);
           const auto it = flows_.find(tuple);
           return it != flows_.end() && it->second.syn_count > threshold_;
         },
         [this, tuple]() {
+          const std::lock_guard lock(mutex_);
           flows_[tuple].blacklisted = true;
           ++drops_;  // accounted per-flow, not per-packet, on the fast path
           core::EventUpdate update;
@@ -60,21 +67,27 @@ void DosPrevention::process(net::Packet& packet,
           return update;
         },
         /*one_shot=*/true);
-    ctx->on_teardown([this, tuple]() { flows_.erase(tuple); });
+    ctx->on_teardown([this, tuple]() {
+      const std::lock_guard lock(mutex_);
+      flows_.erase(tuple);
+    });
   }
 }
 
 std::uint64_t DosPrevention::syn_count(const net::FiveTuple& tuple) const {
+  const std::lock_guard lock(mutex_);
   const auto it = flows_.find(tuple);
   return it == flows_.end() ? 0 : it->second.syn_count;
 }
 
 bool DosPrevention::is_blacklisted(const net::FiveTuple& tuple) const {
+  const std::lock_guard lock(mutex_);
   const auto it = flows_.find(tuple);
   return it != flows_.end() && it->second.blacklisted;
 }
 
 void DosPrevention::on_flow_teardown(const net::FiveTuple& tuple) {
+  const std::lock_guard lock(mutex_);
   flows_.erase(tuple);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "nf/network_function.hpp"
@@ -24,10 +25,17 @@ class DosPrevention : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<DosPrevention>(threshold_, normal_action_,
+                                           name());
+  }
 
   std::uint64_t syn_count(const net::FiveTuple& tuple) const;
   bool is_blacklisted(const net::FiveTuple& tuple) const;
-  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t drops() const {
+    const std::lock_guard lock(mutex_);
+    return drops_;
+  }
 
  private:
   struct FlowState {
@@ -35,11 +43,18 @@ class DosPrevention : public NetworkFunction {
     bool blacklisted = false;
   };
 
+  /// Callers must hold mutex_.
   void count_syn(const net::FiveTuple& tuple,
                  const net::ParsedPacket& parsed);
 
   std::uint64_t threshold_;
   core::HeaderAction normal_action_;
+  /// Guards flows_ and drops_: the blacklist event lambdas run on the
+  /// manager core (Global MAT event check) while the data path, the
+  /// recorded SYN-counting state function, and the teardown hook run on
+  /// this NF's core. Never held across a SpeedyBoxContext call (the Event
+  /// Table invokes conditions under its own mutex — see MaglevLb).
+  mutable std::mutex mutex_;
   std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> flows_;
   std::uint64_t drops_ = 0;
 };

@@ -27,6 +27,9 @@ class Gateway : public NetworkFunction {
                    std::string name = "gateway");
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<Gateway>(classes_, name());
+  }
 
   std::uint64_t routed() const noexcept { return routed_; }
   std::uint64_t ttl_expired() const noexcept { return ttl_expired_; }

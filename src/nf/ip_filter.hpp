@@ -43,6 +43,9 @@ class IpFilter : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<IpFilter>(acl_, name());
+  }
 
   std::uint64_t drops() const noexcept { return drops_; }
   std::size_t cached_flows() const noexcept { return verdict_cache_.size(); }

@@ -31,12 +31,14 @@ void MaglevLb::rebuild_table() {
 }
 
 void MaglevLb::fail_backend(std::size_t index) {
+  const std::lock_guard lock(mutex_);
   if (index >= backends_.size() || !backends_[index].healthy) return;
   backends_[index].healthy = false;
   rebuild_table();
 }
 
 void MaglevLb::heal_backend(std::size_t index) {
+  const std::lock_guard lock(mutex_);
   if (index >= backends_.size() || backends_[index].healthy) return;
   backends_[index].healthy = true;
   rebuild_table();
@@ -78,14 +80,21 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   if (!parsed) return;
   const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
 
-  const std::size_t backend = ensure_healthy(tuple);
-  for (const core::HeaderAction& action : actions_for(backend)) {
+  std::vector<core::HeaderAction> actions;
+  const std::size_t* backend_cell = nullptr;
+  {
+    const std::lock_guard lock(mutex_);
+    const std::size_t backend = ensure_healthy(tuple);
+    actions = actions_for(backend);
+    bytes_[backend] += packet.size();
+    backend_cell = &conn_track_.find(tuple)->second;
+  }
+  for (const core::HeaderAction& action : actions) {
     core::apply_action_baseline(action, packet);
   }
-  bytes_[backend] += packet.size();
 
   if (ctx != nullptr) {
-    for (const core::HeaderAction& action : actions_for(backend)) {
+    for (const core::HeaderAction& action : actions) {
       ctx->add_header_action(action);
     }
     // Per-backend byte accounting as an IGNORE-class state function. The
@@ -93,24 +102,28 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     // (pointer-stable unordered_map node, updated in place on failover),
     // so the handler always charges the *current* backend without a
     // per-packet table lookup.
-    const std::size_t* backend_cell = &conn_track_.find(tuple)->second;
     core::localmat_add_SF(
         ctx,
         [this, backend_cell](net::Packet& pkt, const net::ParsedPacket&) {
+          const std::lock_guard lock(mutex_);
           bytes_[*backend_cell] += pkt.size();
         },
         core::PayloadAccess::kIgnore, name() + ".bytes");
     // The failover event (§V-A Observation 2): when the flow's backend goes
     // unhealthy, reroute and swap the modify actions on the fast path.
     // Persistent, so repeated failures keep being handled, mirroring the
-    // per-packet health check of the baseline path.
+    // per-packet health check of the baseline path. Both lambdas run on
+    // the manager core (Global MAT event check) while the data path runs
+    // on this NF's core — hence the lock.
     ctx->register_event(
         name() + ".failover",
         [this, tuple]() {
+          const std::lock_guard lock(mutex_);
           const auto it = conn_track_.find(tuple);
           return it != conn_track_.end() && !backends_[it->second].healthy;
         },
         [this, tuple]() {
+          const std::lock_guard lock(mutex_);
           ++reroutes_;
           const std::size_t next = assign(tuple);
           core::EventUpdate update;
@@ -118,23 +131,31 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
           return update;
         },
         /*one_shot=*/false);
-    ctx->on_teardown([this, tuple]() { conn_track_.erase(tuple); });
+    ctx->on_teardown([this, tuple]() {
+      const std::lock_guard lock(mutex_);
+      conn_track_.erase(tuple);
+    });
   }
 
   // Connection close: release the tracking entry inline on the unrecorded
   // path; the teardown hook handles the recorded path (after the rule
   // whose handler references the tracking cell has been destroyed).
-  if (ctx == nullptr && parsed->has_fin_or_rst()) conn_track_.erase(tuple);
+  if (ctx == nullptr && parsed->has_fin_or_rst()) {
+    const std::lock_guard lock(mutex_);
+    conn_track_.erase(tuple);
+  }
 }
 
 std::optional<std::size_t> MaglevLb::backend_of(
     const net::FiveTuple& tuple) const {
+  const std::lock_guard lock(mutex_);
   const auto it = conn_track_.find(tuple);
   if (it == conn_track_.end()) return std::nullopt;
   return it->second;
 }
 
 void MaglevLb::on_flow_teardown(const net::FiveTuple& tuple) {
+  const std::lock_guard lock(mutex_);
   conn_track_.erase(tuple);
 }
 

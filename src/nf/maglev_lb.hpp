@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,12 @@ class MaglevLb : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  /// Replicas copy the backend set (including current health) and rebuild
+  /// the Maglev table; assignment is a pure function of tuple + table, so
+  /// every replica steers a flow to the same backend.
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<MaglevLb>(backends_, table_size_, name());
+  }
 
   /// Control plane: health transitions rebuild the lookup table over the
   /// surviving backends (what Maglev's health checker does).
@@ -43,11 +50,18 @@ class MaglevLb : public NetworkFunction {
   /// Current backend of a tracked flow; nullopt if untracked.
   std::optional<std::size_t> backend_of(const net::FiveTuple& tuple) const;
   /// Bytes steered to each backend (state the §VII-C test compares).
+  /// Returns a reference: only inspect while the NF is quiescent.
   const std::vector<std::uint64_t>& bytes_per_backend() const noexcept {
     return bytes_;
   }
-  std::uint64_t reroutes() const noexcept { return reroutes_; }
-  std::size_t tracked_flows() const noexcept { return conn_track_.size(); }
+  std::uint64_t reroutes() const {
+    const std::lock_guard lock(mutex_);
+    return reroutes_;
+  }
+  std::size_t tracked_flows() const {
+    const std::lock_guard lock(mutex_);
+    return conn_track_.size();
+  }
 
  private:
   void rebuild_table();
@@ -57,6 +71,15 @@ class MaglevLb : public NetworkFunction {
   std::size_t ensure_healthy(const net::FiveTuple& tuple);
   std::vector<core::HeaderAction> actions_for(std::size_t backend) const;
 
+  /// Guards conn_track_, backends_, table_, bytes_ and reroutes_. Unlike
+  /// most NF-internal state (single-owner by the concurrency contract),
+  /// this NF deliberately shares its connection table with the failover
+  /// event lambdas, which the Global MAT's event check runs on the
+  /// *manager* core while the data path and teardown hooks run on the NF's
+  /// own core. Never held across a SpeedyBoxContext call — the Event Table
+  /// invokes condition lambdas under its own mutex, so holding this lock
+  /// while registering an event would invert the lock order.
+  mutable std::mutex mutex_;
   std::vector<Backend> backends_;
   std::size_t table_size_;
   std::optional<MaglevTable> table_;

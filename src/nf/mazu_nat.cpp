@@ -5,9 +5,7 @@
 namespace speedybox::nf {
 
 MazuNat::MazuNat(MazuNatConfig config, std::string name)
-    : NetworkFunction(std::move(name)),
-      config_(config),
-      next_port_(config.port_lo) {
+    : NetworkFunction(std::move(name)), config_(config) {
   if (config_.port_lo > config_.port_hi) {
     throw std::invalid_argument("MazuNat: empty port range");
   }
@@ -20,23 +18,23 @@ bool MazuNat::is_outbound(const net::FiveTuple& tuple) const noexcept {
   return (tuple.src_ip.value & mask) == (config_.internal_prefix.value & mask);
 }
 
-std::uint16_t MazuNat::allocate_port() {
-  if (!free_ports_.empty()) {
-    const std::uint16_t port = free_ports_.front();
-    free_ports_.pop_front();
-    return port;
+std::uint16_t MazuNat::allocate_port(const net::FiveTuple& tuple) {
+  const std::uint32_t range =
+      static_cast<std::uint32_t>(config_.port_hi - config_.port_lo) + 1;
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(tuple.hash() % range);
+  for (std::uint32_t probe = 0; probe < range; ++probe) {
+    const std::uint16_t port = static_cast<std::uint16_t>(
+        config_.port_lo + (start + probe) % range);
+    if (reverse_.find(port) == reverse_.end()) return port;
   }
-  if (next_port_ > config_.port_hi) {
-    throw std::runtime_error("MazuNat: port pool exhausted");
-  }
-  return next_port_++;
+  throw std::runtime_error("MazuNat: port pool exhausted");
 }
 
 void MazuNat::release_mapping(const net::FiveTuple& tuple) {
   const auto it = mappings_.find(tuple);
   if (it == mappings_.end()) return;
   reverse_.erase(it->second);
-  free_ports_.push_back(it->second);
   mappings_.erase(it);
 }
 
@@ -61,7 +59,7 @@ void MazuNat::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     if (it != mappings_.end()) {
       ext_port = it->second;
     } else {
-      ext_port = allocate_port();
+      ext_port = allocate_port(tuple);
       mappings_.emplace(tuple, ext_port);
       reverse_.emplace(ext_port, tuple);
     }

@@ -4,10 +4,16 @@
 // inbound packets addressed to the external IP. ICMP handling is omitted,
 // as in the paper. Each flow's translation is a pair of modify header
 // actions, making NAT the canonical Modify NF for consolidation.
+//
+// Port allocation is deterministic per flow: the external port starts at
+// port_lo + hash(tuple) % range and linearly probes past occupied ports.
+// This keeps the translation a (near-)pure function of the five-tuple, so
+// independent replicas of the NAT — the shards of a flow-sharded runtime —
+// assign the same external port a single global instance would, as long as
+// no two concurrently-active flows hash to the same starting port.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +36,9 @@ class MazuNat : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<MazuNat>(config_, name());
+  }
 
   std::size_t active_mappings() const noexcept { return mappings_.size(); }
   /// External port of a tracked outbound flow (pre-translation tuple).
@@ -38,7 +47,7 @@ class MazuNat : public NetworkFunction {
 
  private:
   bool is_outbound(const net::FiveTuple& tuple) const noexcept;
-  std::uint16_t allocate_port();
+  std::uint16_t allocate_port(const net::FiveTuple& tuple);
   void release_mapping(const net::FiveTuple& tuple);
   std::vector<core::HeaderAction> outbound_actions(
       std::uint16_t ext_port) const;
@@ -48,8 +57,6 @@ class MazuNat : public NetworkFunction {
       mappings_;
   /// ext_port -> original (pre-NAT) tuple, for the inbound direction.
   std::unordered_map<std::uint16_t, net::FiveTuple> reverse_;
-  std::uint16_t next_port_;
-  std::deque<std::uint16_t> free_ports_;
   std::uint64_t translations_ = 0;
 };
 

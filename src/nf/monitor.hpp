@@ -60,6 +60,9 @@ class Monitor : public NetworkFunction {
   Monitor(MonitorConfig config, std::string name);
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<Monitor>(config_, name());
+  }
 
   /// Counters survive flow teardown: they are the audit state (§VII-C-3).
   const std::unordered_map<net::FiveTuple, FlowCounters, net::FiveTupleHash>&

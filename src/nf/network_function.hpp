@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -31,6 +32,14 @@ class NetworkFunction {
 
   /// Process one packet. May mark it dropped; the chain stops there.
   virtual void process(net::Packet& packet, core::SpeedyBoxContext* ctx) = 0;
+
+  /// Create a configuration-identical instance with fresh per-flow state —
+  /// how a sharded deployment replicates the chain, one replica per core.
+  /// Because flows are shard-affine, replicas never need to share state, so
+  /// per-flow tables start empty; configuration (ACLs, rules, backends,
+  /// port ranges) is copied. Returns nullptr when the NF is not replicable
+  /// (the sharded runtime refuses such chains).
+  virtual std::unique_ptr<NetworkFunction> clone() const { return nullptr; }
 
   /// Flow teardown notification (FIN/RST): release per-flow state.
   virtual void on_flow_teardown(const net::FiveTuple& tuple) {

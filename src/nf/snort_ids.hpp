@@ -42,6 +42,11 @@ class SnortIds : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  /// Replicas recompile the automaton from the rule set (config-time cost,
+  /// paid once per shard at deployment).
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<SnortIds>(rules_, name());
+  }
 
   /// Audit surface for the equivalence tests (§VII-C-1).
   const std::vector<SnortLogEntry>& log() const noexcept { return log_; }

@@ -30,6 +30,9 @@ class SyntheticNf : public NetworkFunction {
                        std::string name = "synthetic");
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<SyntheticNf>(config_, name());
+  }
 
   /// Deterministic digest of all work performed — equal across baseline and
   /// SpeedyBox runs iff the state function executed identically.

@@ -3,7 +3,10 @@
 namespace speedybox::nf {
 
 VpnGateway::VpnGateway(VpnMode mode, std::uint32_t spi_base, std::string name)
-    : NetworkFunction(std::move(name)), mode_(mode), next_spi_(spi_base) {}
+    : NetworkFunction(std::move(name)),
+      mode_(mode),
+      spi_base_(spi_base),
+      next_spi_(spi_base) {}
 
 void VpnGateway::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   count_packet();

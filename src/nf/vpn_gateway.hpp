@@ -28,6 +28,13 @@ class VpnGateway : public NetworkFunction {
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
+  /// Replicas restart SPI allocation from spi_base: sharded replicas hand
+  /// out overlapping SPI values (each shard is its own tunnel endpoint), so
+  /// a sharded VPN chain is semantically equivalent but not byte-identical
+  /// to a single global instance.
+  std::unique_ptr<NetworkFunction> clone() const override {
+    return std::make_unique<VpnGateway>(mode_, spi_base_, name());
+  }
 
   std::size_t active_associations() const noexcept { return spis_.size(); }
   std::uint64_t encapsulated() const noexcept { return encapsulated_; }
@@ -37,6 +44,7 @@ class VpnGateway : public NetworkFunction {
 
  private:
   VpnMode mode_;
+  std::uint32_t spi_base_;
   std::uint32_t next_spi_;
   std::unordered_map<net::FiveTuple, std::uint32_t, net::FiveTupleHash>
       spis_;

@@ -1,5 +1,7 @@
 #include "runtime/chain.hpp"
 
+#include <stdexcept>
+
 namespace speedybox::runtime {
 
 void ServiceChain::add_nf(nf::NetworkFunction* nf) {
@@ -11,6 +13,22 @@ void ServiceChain::add_nf(nf::NetworkFunction* nf) {
   mats.reserve(local_mats_.size());
   for (const auto& mat : local_mats_) mats.push_back(mat.get());
   global_mat_.set_chain(std::move(mats));
+}
+
+std::unique_ptr<ServiceChain> ServiceChain::clone(
+    const std::string& name_suffix) const {
+  auto replica = std::make_unique<ServiceChain>(name_ + name_suffix);
+  for (const nf::NetworkFunction* nf : nfs_) {
+    std::unique_ptr<nf::NetworkFunction> cloned = nf->clone();
+    if (cloned == nullptr) {
+      throw std::logic_error("ServiceChain::clone: NF '" + nf->name() +
+                             "' does not support clone()");
+    }
+    nf::NetworkFunction& ref = *cloned;
+    replica->owned_.push_back(std::move(cloned));
+    replica->add_nf(&ref);
+  }
+  return replica;
 }
 
 void ServiceChain::reset_flows() {

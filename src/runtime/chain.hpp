@@ -51,6 +51,12 @@ class ServiceChain {
   /// NFs' own; reset those separately if needed).
   void reset_flows();
 
+  /// Replicate the chain for a sharded deployment: every NF is clone()d
+  /// (configuration copied, per-flow state fresh) and owned by the new
+  /// chain, which gets its own classifier, MATs and Event Table. Throws
+  /// std::logic_error if any NF does not support clone().
+  std::unique_ptr<ServiceChain> clone(const std::string& name_suffix) const;
+
  private:
   std::string name_;
   std::vector<nf::NetworkFunction*> nfs_;

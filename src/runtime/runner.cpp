@@ -20,6 +20,50 @@ double RunStats::rate_mpps(platform::PlatformKind) const {
   return util::CycleClock::frequency_hz() / bottleneck / 1e6;
 }
 
+void RunStats::merge_from(const RunStats& other) {
+  latency_us_all.merge(other.latency_us_all);
+  latency_us_initial.merge(other.latency_us_initial);
+  latency_us_subsequent.merge(other.latency_us_subsequent);
+  latency_us_subsequent_sequential.merge(
+      other.latency_us_subsequent_sequential);
+  work_cycles_initial.merge(other.work_cycles_initial);
+  work_cycles_subsequent.merge(other.work_cycles_subsequent);
+  platform_cycles_initial.merge(other.platform_cycles_initial);
+  platform_cycles_subsequent.merge(other.platform_cycles_subsequent);
+
+  packets += other.packets;
+  drops += other.drops;
+  events_triggered += other.events_triggered;
+
+  const auto grow = [](auto& vec, std::size_t size) {
+    if (vec.size() < size) vec.resize(size, 0);
+  };
+  grow(per_nf_cycle_sum, other.per_nf_cycle_sum.size());
+  grow(per_nf_cycle_count, other.per_nf_cycle_count.size());
+  for (std::size_t i = 0; i < other.per_nf_cycle_sum.size(); ++i) {
+    per_nf_cycle_sum[i] += other.per_nf_cycle_sum[i];
+  }
+  for (std::size_t i = 0; i < other.per_nf_cycle_count.size(); ++i) {
+    per_nf_cycle_count[i] += other.per_nf_cycle_count[i];
+  }
+  per_nf_mean_cycles.assign(per_nf_cycle_sum.size(), 0.0);
+  for (std::size_t i = 0; i < per_nf_cycle_sum.size(); ++i) {
+    if (i < per_nf_cycle_count.size() && per_nf_cycle_count[i] > 0) {
+      per_nf_mean_cycles[i] = static_cast<double>(per_nf_cycle_sum[i]) /
+                              static_cast<double>(per_nf_cycle_count[i]);
+    }
+  }
+
+  grow(stage_cycle_sum, other.stage_cycle_sum.size());
+  grow(stage_cycle_count, other.stage_cycle_count.size());
+  for (std::size_t i = 0; i < other.stage_cycle_sum.size(); ++i) {
+    stage_cycle_sum[i] += other.stage_cycle_sum[i];
+  }
+  for (std::size_t i = 0; i < other.stage_cycle_count.size(); ++i) {
+    stage_cycle_count[i] += other.stage_cycle_count[i];
+  }
+}
+
 ChainRunner::ChainRunner(ServiceChain& chain, RunConfig config,
                          const platform::PlatformCosts& costs)
     : chain_(chain), config_(config), costs_(costs) {
@@ -215,6 +259,8 @@ void ChainRunner::account(const PacketOutcome& outcome) {
   }
 
   if (config_.measure_per_nf) {
+    stats_.per_nf_cycle_sum = per_nf_cycle_sum_;
+    stats_.per_nf_cycle_count = per_nf_cycle_count_;
     stats_.per_nf_mean_cycles.assign(per_nf_cycle_sum_.size(), 0.0);
     for (std::size_t i = 0; i < per_nf_cycle_sum_.size(); ++i) {
       if (per_nf_cycle_count_[i] > 0) {

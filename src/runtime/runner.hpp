@@ -76,6 +76,10 @@ struct RunStats {
 
   /// Per-NF mean work cycles on the original path (measure_per_nf).
   std::vector<double> per_nf_mean_cycles;
+  /// Raw per-NF sums/counts behind the means — kept so per-shard stats can
+  /// be merged exactly instead of averaging averages.
+  std::vector<std::uint64_t> per_nf_cycle_sum;
+  std::vector<std::uint64_t> per_nf_cycle_count;
 
   /// Pipeline-stage cycle sums/counts for the rate model (subsequent
   /// packets only; see header comment).
@@ -84,6 +88,11 @@ struct RunStats {
 
   /// Steady-state processing rate in Mpps under the platform model.
   double rate_mpps(platform::PlatformKind platform) const;
+
+  /// Absorb another run's statistics (sharded runtime result merging):
+  /// sample recorders append, counters and per-NF/stage sums add, means are
+  /// recomputed from the merged sums.
+  void merge_from(const RunStats& other);
 
   double mean_work_cycles_subsequent() const {
     return work_cycles_subsequent.mean();

@@ -1,0 +1,157 @@
+#include "runtime/sharded_runtime.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/cycle_clock.hpp"
+#include "util/hash.hpp"
+
+namespace speedybox::runtime {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(const ServiceChain& prototype,
+                               std::size_t shard_count, RunConfig config,
+                               std::size_t ring_capacity)
+    : config_(config) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->chain = prototype.clone("-shard" + std::to_string(s));
+    shard->runner = std::make_unique<ChainRunner>(*shard->chain, config_);
+    shard->ring = std::make_unique<util::SpscRing<Job>>(ring_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s]->thread = std::thread([this, s] { worker(s); });
+  }
+  start_ns_ = steady_ns();
+}
+
+ShardedRuntime::~ShardedRuntime() { join_workers(); }
+
+std::size_t ShardedRuntime::shard_of(
+    const net::FiveTuple& tuple) const noexcept {
+  return util::shard_index(tuple.symmetric_hash(), shards_.size());
+}
+
+ServiceChain& ShardedRuntime::shard_chain(std::size_t shard) {
+  return *shards_.at(shard)->chain;
+}
+
+void ShardedRuntime::push(net::Packet packet) {
+  if (joined_) {
+    throw std::logic_error("ShardedRuntime::push after finish()");
+  }
+  Job job;
+  job.index = next_index_++;
+  if (const auto parsed = net::parse_packet(packet)) {
+    job.tuple = net::extract_five_tuple(packet, *parsed);
+  }
+  // Unparseable packets have no flow; any fixed shard preserves their
+  // relative order.
+  const std::size_t shard =
+      job.tuple ? shard_of(*job.tuple) : std::size_t{0};
+  job.packet = std::move(packet);
+  util::SpscRing<Job>& ring = *shards_[shard]->ring;
+  // A failed try_push leaves `job` intact, so the backpressure loop can
+  // keep retrying the same value until the worker frees a slot.
+  if (!ring.try_push(std::move(job))) {
+    ++backpressure_waits_;
+    do {
+      std::this_thread::yield();
+    } while (!ring.try_push(std::move(job)));
+  }
+}
+
+void ShardedRuntime::worker(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    std::optional<Job> job = shard.ring->try_pop();
+    if (!job) {
+      if (done_.load(std::memory_order_acquire) && shard.ring->empty()) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    job->packet.set_arrival_cycle(util::CycleClock::now());
+    const PacketOutcome outcome =
+        shard.runner->process_packet(job->packet);
+    if (job->tuple) {
+      shard.flow_time_us[*job->tuple] +=
+          util::CycleClock::to_us(outcome.latency_cycles);
+    }
+    shard.processed.push_back(
+        {job->index, outcome, std::move(job->packet)});
+  }
+}
+
+void ShardedRuntime::join_workers() {
+  if (joined_) return;
+  done_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  joined_ = true;
+}
+
+ShardedRunResult ShardedRuntime::finish() {
+  join_workers();
+  ShardedRunResult result;
+  result.wall_seconds =
+      static_cast<double>(steady_ns() - start_ns_) / 1e9;
+  result.outcomes.resize(next_index_);
+  result.packets.resize(next_index_);
+  result.shard_stats.reserve(shards_.size());
+  result.shard_packets.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    const RunStats& stats = shard->runner->stats();
+    result.shard_stats.push_back(stats);
+    result.shard_packets.push_back(stats.packets);
+    result.stats.merge_from(stats);
+    result.aggregate_rate_mpps += stats.rate_mpps(config_.platform);
+    for (Processed& rec : shard->processed) {
+      result.outcomes[rec.index] = rec.outcome;
+      result.packets[rec.index] = std::move(rec.packet);
+    }
+    // Flow keys are disjoint across shards (flow affinity), so per-shard
+    // per-flow sums concatenate into the global per-flow distribution.
+    for (const auto& [tuple, time_us] : shard->flow_time_us) {
+      result.flow_time_us.add(time_us);
+    }
+    shard->processed.clear();
+    shard->processed.shrink_to_fit();
+  }
+  return result;
+}
+
+ShardedRunResult ShardedRuntime::run_packets(
+    const std::vector<net::Packet>& packets) {
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    push(std::move(packet));
+  }
+  return finish();
+}
+
+ShardedRunResult ShardedRuntime::run_workload(
+    const trace::Workload& workload) {
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    push(workload.materialize(i));
+  }
+  return finish();
+}
+
+}  // namespace speedybox::runtime

@@ -1,0 +1,149 @@
+// Flow-sharded multi-core SpeedyBox runtime.
+//
+// The ONVM-style deployment (§VI-A) pins the NF Manager to one core, which
+// caps the consolidated fast path at a single manager's throughput. The
+// standard NFV answer is RSS-style flow sharding: replicate the whole
+// pipeline once per core and steer each flow to one replica by hashing its
+// five-tuple. Because every piece of SpeedyBox per-flow state — classifier
+// FIDs, Local MAT records, Event Table entries, consolidated rules, and the
+// NFs' own flow tables — is keyed by five-tuple, the chain replicates with
+// no cross-shard state at all.
+//
+//   dispatcher (caller thread)
+//     parse + symmetric five-tuple hash ──► shard = hash mod N
+//     per-shard SPSC ring (yield on full: backpressure, never drop)
+//   shard worker k (one thread per shard)
+//     owns replica k of the ServiceChain (chain.clone()) and a ChainRunner
+//     processes its ring in FIFO order, records PacketOutcome + stats
+//   finish()
+//     joins workers, reassembles outcomes/packets in input order, merges
+//     per-shard RunStats (exact sum/count merging, see RunStats::merge_from)
+//
+// Concurrency contract (DESIGN.md "Sharded runtime"): the symmetric hash
+// gives both directions of a connection the same shard, so every flow's
+// state has exactly one writer — shard k's thread — for its whole life.
+// No locks, no atomics beyond the SPSC rings and the shutdown flag.
+// Per-flow FIFO order is preserved end-to-end (dispatch order within a
+// shard is input order); the global output order across flows is not.
+//
+// On a single-core host the shards time-slice (results stay identical,
+// overlap is zero); on a multi-core host they run truly in parallel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "runtime/chain.hpp"
+#include "runtime/runner.hpp"
+#include "trace/workload.hpp"
+#include "util/histogram.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace speedybox::runtime {
+
+/// Merged result of one sharded run — the same shape ChainRunner produces
+/// (RunStats + per-flow times + per-packet outcomes), so figure benches and
+/// chainsim report sharded runs through their existing paths.
+struct ShardedRunResult {
+  /// Exact merge of the per-shard stats (samples appended, sums added).
+  RunStats stats;
+  std::vector<RunStats> shard_stats;
+  /// Packets dispatched to each shard.
+  std::vector<std::uint64_t> shard_packets;
+  /// Per input packet, in input order.
+  std::vector<PacketOutcome> outcomes;
+  /// The processed packets, in input order (dropped ones keep their
+  /// dropped flag set).
+  std::vector<net::Packet> packets;
+  /// Per-flow processing time, keyed by the pre-chain five-tuple.
+  util::SampleRecorder flow_time_us;
+  /// Wall-clock of the run (dispatch through join). Unlike the modeled
+  /// cycle stats this includes real thread overlap, so it is what the
+  /// sharding-scaling bench reports.
+  double wall_seconds = 0.0;
+  /// Sum of the per-shard modeled steady-state rates: the aggregate
+  /// capacity of the sharded deployment.
+  double aggregate_rate_mpps = 0.0;
+};
+
+class ShardedRuntime {
+ public:
+  /// Clones `prototype` once per shard (the prototype itself is never
+  /// touched again) and starts one worker thread per shard. Throws
+  /// std::logic_error if any NF in the prototype does not support clone().
+  ShardedRuntime(const ServiceChain& prototype, std::size_t shard_count,
+                 RunConfig config = {}, std::size_t ring_capacity = 1024);
+  /// Joins the workers, draining anything still in flight (results of a
+  /// never-finish()ed run are discarded, but every pushed packet is still
+  /// processed — NF state and counters stay consistent).
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  /// Dispatch one packet to its flow's shard. Blocks (spin-yield) while
+  /// that shard's ring is full — backpressure, never packet loss.
+  void push(net::Packet packet);
+
+  /// Drain everything in flight, join the workers, and merge the per-shard
+  /// results. One-shot: the runtime cannot be pushed to afterwards.
+  ShardedRunResult finish();
+
+  /// Convenience one-shot run: push every packet (copied, metadata reset)
+  /// in order, then finish().
+  ShardedRunResult run_packets(const std::vector<net::Packet>& packets);
+  ShardedRunResult run_workload(const trace::Workload& workload);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_of(const net::FiveTuple& tuple) const noexcept;
+  /// Shard k's chain replica, for post-finish() state inspection (NF
+  /// counters, audit logs). Only safe to call after finish().
+  ServiceChain& shard_chain(std::size_t shard);
+  /// How many push() calls found the target ring full and had to wait.
+  std::uint64_t backpressure_waits() const noexcept {
+    return backpressure_waits_;
+  }
+  std::uint64_t pushed() const noexcept { return next_index_; }
+
+ private:
+  struct Job {
+    net::Packet packet;
+    std::uint64_t index = 0;
+    std::optional<net::FiveTuple> tuple;
+  };
+  /// One worker's record of a processed packet; merged at finish().
+  struct Processed {
+    std::uint64_t index;
+    PacketOutcome outcome;
+    net::Packet packet;
+  };
+  struct Shard {
+    std::unique_ptr<ServiceChain> chain;
+    std::unique_ptr<ChainRunner> runner;
+    std::unique_ptr<util::SpscRing<Job>> ring;
+    std::thread thread;
+    // Worker-local until the thread is joined; read only afterwards.
+    std::vector<Processed> processed;
+    std::unordered_map<net::FiveTuple, double, net::FiveTupleHash>
+        flow_time_us;
+  };
+
+  void worker(std::size_t shard_index);
+  void join_workers();
+
+  RunConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> done_{false};
+  bool joined_ = false;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace speedybox::runtime

@@ -37,9 +37,9 @@ void SpeedyBoxPipeline::worker(std::size_t stage) {
       continue;
     }
     Descriptor descriptor = std::move(*popped);
-    net::Packet& packet = *descriptor.packet;
 
-    if (!packet.dropped()) {
+    if (descriptor.packet != nullptr && !descriptor.packet->dropped()) {
+      net::Packet& packet = *descriptor.packet;
       if (descriptor.recording) {
         core::SpeedyBoxContext ctx{chain_.local_mat(stage),
                                    chain_.global_mat().event_table(),
@@ -55,6 +55,15 @@ void SpeedyBoxPipeline::worker(std::size_t stage) {
           break;
         }
       }
+    }
+
+    // Teardown hooks mutate NF-internal per-flow state, so they must run
+    // here — on the core that owns this NF — not on the manager. Per-flow
+    // FIFO guarantees every earlier packet of the flow already passed this
+    // stage. (Descriptors with a null packet are pure teardown markers for
+    // flows the manager finished inline.)
+    if (descriptor.teardown) {
+      chain_.local_mat(stage).run_teardown_hooks(descriptor.fid);
     }
 
     if (last) {
@@ -81,9 +90,18 @@ void SpeedyBoxPipeline::dispatch(Descriptor descriptor) {
 }
 
 void SpeedyBoxPipeline::finish_teardown(std::uint32_t fid) {
-  chain_.global_mat().erase_flow(fid);
+  // Hooks already ran on the NF cores as the teardown descriptor passed
+  // each stage; only the manager-owned erase remains.
+  chain_.global_mat().erase_flow(fid, /*run_hooks=*/false);
   chain_.classifier().release_flow(fid);
   flows_.erase(fid);
+}
+
+void SpeedyBoxPipeline::dispatch_teardown_marker(std::uint32_t fid) {
+  Descriptor descriptor;
+  descriptor.fid = fid;
+  descriptor.teardown = true;
+  dispatch(std::move(descriptor));
 }
 
 void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
@@ -106,11 +124,12 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
     }
   }
 
-  if (packet->dropped()) {
-    ++drops_;
-    delete packet;
-  } else {
-    sink_.push_back(std::move(*packet));
+  if (packet != nullptr) {
+    if (packet->dropped()) {
+      ++drops_;
+    } else {
+      sink_.push_back(std::move(*packet));
+    }
     delete packet;
   }
   if (descriptor.teardown) finish_teardown(descriptor.fid);
@@ -128,7 +147,9 @@ void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
       ++drops_;
       delete packet;
     }
-    if (teardown) finish_teardown(fid);
+    // The packet ends here, but the per-NF teardown hooks still have to
+    // run on their owning cores: send a packet-less marker down the rings.
+    if (teardown) dispatch_teardown_marker(fid);
     return;
   }
 
@@ -139,7 +160,7 @@ void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
     // manager can finish the packet directly.
     sink_.push_back(std::move(*packet));
     delete packet;
-    if (teardown) finish_teardown(fid);
+    if (teardown) dispatch_teardown_marker(fid);
     return;
   }
 

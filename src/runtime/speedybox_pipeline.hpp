@@ -18,9 +18,14 @@
 //
 // Concurrency contract (see DESIGN.md): Local MATs and the Event Table are
 // internally locked (control-plane rate); each NF's internal state is only
-// ever touched by its own thread (recording + its recorded state
-// functions); the classifier and Global MAT rule map belong to the manager
-// thread; rules are immutable snapshots shared via shared_ptr.
+// ever touched by its own thread (recording, its recorded state functions,
+// and its flow-teardown hooks — which run as the teardown-flagged
+// descriptor passes the NF's stage, never on the manager); the classifier
+// and Global MAT rule map belong to the manager thread; rules are
+// immutable snapshots shared via shared_ptr. The one exception to NF-state
+// single ownership: state an NF shares with its registered event lambdas
+// (the Event Table check runs them on the manager) must be internally
+// locked by that NF — see MaglevLb::mutex_ / DosPrevention::mutex_.
 //
 // Per-flow FIFO order is preserved end-to-end; the global output order is
 // the manager's dispatch order.
@@ -64,6 +69,7 @@ class SpeedyBoxPipeline {
 
  private:
   struct Descriptor {
+    /// Null for pure teardown markers (hooks-only traversal).
     net::Packet* packet = nullptr;
     std::uint32_t fid = net::kInvalidFid;
     bool recording = false;
@@ -86,7 +92,15 @@ class SpeedyBoxPipeline {
   /// Fast-path a packet of a READY flow on the manager, then dispatch or
   /// finish it.
   void fast_path(net::Packet* packet, std::uint32_t fid, bool teardown);
+  /// Manager-side erase of a torn-down flow (rule, classifier FID, flow
+  /// record). The NF-side teardown hooks are NOT run here: they mutate
+  /// NF-internal state and therefore run on the owning NF cores as the
+  /// teardown-flagged descriptor traverses the rings.
   void finish_teardown(std::uint32_t fid);
+  /// Route a packet-less teardown marker through the NF cores, for flows
+  /// whose last packet never traverses the rings (early drop, pure
+  /// header-action rules). Its completion then calls finish_teardown.
+  void dispatch_teardown_marker(std::uint32_t fid);
 
   ServiceChain& chain_;
   std::vector<std::unique_ptr<util::SpscRing<Descriptor>>> rings_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/hash.hpp"
+
 namespace speedybox::trace {
 
 net::Packet Workload::materialize(std::size_t index) const {
@@ -125,6 +127,29 @@ Workload make_uniform_workload(std::size_t flow_count,
   }
   build_schedule(&workload, &rng);
   return workload;
+}
+
+std::vector<Workload> partition_by_flow(const Workload& workload,
+                                        std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  std::vector<Workload> shards(shard_count);
+
+  // Assign flows to shards, remembering each flow's index in its shard.
+  std::vector<std::size_t> shard_of(workload.flows.size());
+  std::vector<std::uint32_t> local_index(workload.flows.size());
+  for (std::size_t i = 0; i < workload.flows.size(); ++i) {
+    const std::size_t shard = util::shard_index(
+        workload.flows[i].tuple.symmetric_hash(), shard_count);
+    shard_of[i] = shard;
+    local_index[i] = static_cast<std::uint32_t>(shards[shard].flows.size());
+    shards[shard].flows.push_back(workload.flows[i]);
+  }
+
+  for (const TracePacket& tp : workload.order) {
+    Workload& shard = shards[shard_of[tp.flow]];
+    shard.order.push_back({local_index[tp.flow], tp.seq, tp.tcp_flags});
+  }
+  return shards;
 }
 
 }  // namespace speedybox::trace

@@ -73,4 +73,12 @@ Workload make_uniform_workload(std::size_t flow_count,
                                std::size_t payload_size,
                                std::uint64_t seed = 7);
 
+/// Split a workload into `shard_count` sub-workloads by the symmetric
+/// five-tuple hash — the same steering the sharded runtime's dispatcher
+/// applies, so sub-workload k is exactly the traffic shard k would see.
+/// Every flow lands whole in one sub-workload; the packet order within each
+/// sub-workload is the original interleaving restricted to its flows.
+std::vector<Workload> partition_by_flow(const Workload& workload,
+                                        std::size_t shard_count);
+
 }  // namespace speedybox::trace

@@ -43,4 +43,15 @@ constexpr std::uint64_t hash_combine(std::uint64_t seed,
                        (seed >> 2)));
 }
 
+/// Map a 64-bit flow hash onto one of `shard_count` shards with Lemire's
+/// multiply-shift fast range reduction — unbiased for shard counts far below
+/// 2^32 and cheaper than a modulo on the dispatch path. shard_count == 0 is
+/// treated as 1 so callers never divide by zero.
+constexpr std::size_t shard_index(std::uint64_t hash,
+                                  std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(hash) * shard_count) >> 64);
+}
+
 }  // namespace speedybox::util

@@ -13,6 +13,13 @@ void SampleRecorder::add(double value) {
   sorted_ = false;
 }
 
+void SampleRecorder::merge(const SampleRecorder& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double SampleRecorder::sum() const noexcept {
   return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }
@@ -75,6 +82,15 @@ void LogHistogram::add(double value) noexcept {
   ++buckets_[static_cast<std::size_t>(bucket_index(value))];
   ++count_;
   sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 double LogHistogram::percentile(double p) const noexcept {

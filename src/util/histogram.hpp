@@ -13,6 +13,8 @@ namespace speedybox::util {
 class SampleRecorder {
  public:
   void add(double value);
+  /// Absorb another recorder's samples (per-shard result merging).
+  void merge(const SampleRecorder& other);
   void clear() noexcept { samples_.clear(); sorted_ = true; }
 
   std::size_t count() const noexcept { return samples_.size(); }
@@ -47,6 +49,8 @@ class LogHistogram {
   LogHistogram();
 
   void add(double value) noexcept;
+  /// Absorb another histogram's buckets (per-shard result merging).
+  void merge(const LogHistogram& other) noexcept;
   std::uint64_t count() const noexcept { return count_; }
   double percentile(double p) const noexcept;
   double mean() const noexcept {

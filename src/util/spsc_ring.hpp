@@ -27,24 +27,37 @@ inline constexpr std::size_t kCacheLineSize = 64;
 template <typename T>
 class SpscRing {
  public:
-  explicit SpscRing(std::size_t capacity)
+  /// `start_index` seeds both cursors; the default 0 is what production
+  /// code uses. Tests pass a value near SIZE_MAX so the unsigned index
+  /// arithmetic is exercised across the wraparound boundary.
+  explicit SpscRing(std::size_t capacity, std::size_t start_index = 0)
       : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
-        slots_(mask_ + 1) {}
+        slots_(mask_ + 1),
+        head_(start_index),
+        tail_cache_(start_index),
+        tail_(start_index),
+        head_cache_(start_index) {}
 
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Producer side. Returns false when the ring is full.
-  bool try_push(T value) noexcept {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t tail = tail_cache_;
-    if (head - tail > mask_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head - tail_cache_ > mask_) return false;
-    }
+  /// Producer side. Returns false when the ring is full — in which case the
+  /// value is NOT consumed: the caller keeps it and may retry (the pattern
+  /// backpressure loops rely on).
+  bool try_push(T&& value) noexcept {
+    std::size_t head;
+    if (!acquire_slot(head)) return false;
     slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) noexcept {
+    std::size_t head;
+    if (!acquire_slot(head)) return false;
+    slots_[head & mask_] = value;
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -71,13 +84,23 @@ class SpscRing {
   bool empty() const noexcept { return size() == 0; }
 
  private:
+  /// Producer-side full check; on success `head` is the claimed index.
+  bool acquire_slot(std::size_t& head) noexcept {
+    head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    return true;
+  }
+
   const std::size_t mask_;
   std::vector<T> slots_;
 
-  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
-  alignas(kCacheLineSize) std::size_t tail_cache_ = 0;  // producer-local
-  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
-  alignas(kCacheLineSize) std::size_t head_cache_ = 0;  // consumer-local
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_;
+  alignas(kCacheLineSize) std::size_t tail_cache_;  // producer-local
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_;
+  alignas(kCacheLineSize) std::size_t head_cache_;  // consumer-local
 };
 
 }  // namespace speedybox::util

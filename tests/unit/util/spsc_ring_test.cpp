@@ -1,5 +1,6 @@
 #include "util/spsc_ring.hpp"
 
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -48,6 +49,126 @@ TEST(SpscRing, MoveOnlyElements) {
   auto popped = ring.try_pop();
   ASSERT_TRUE(popped.has_value());
   EXPECT_EQ(**popped, 42);
+}
+
+TEST(SpscRing, FailedPushDoesNotConsumeTheValue) {
+  // The backpressure pattern `while (!ring.try_push(std::move(v)))` is only
+  // correct if a rejected push leaves `v` untouched — a moved-from retry
+  // would enqueue a hollowed value once a slot frees up.
+  SpscRing<std::unique_ptr<int>> ring{2};
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(0)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  auto value = std::make_unique<int>(2);
+  ASSERT_FALSE(ring.try_push(std::move(value)));
+  ASSERT_NE(value, nullptr) << "rejected push must not consume the value";
+  EXPECT_EQ(*value, 2);
+  ring.try_pop();
+  ASSERT_TRUE(ring.try_push(std::move(value)));
+  EXPECT_EQ(value, nullptr);
+  EXPECT_EQ(**ring.try_pop(), 1);
+  EXPECT_EQ(**ring.try_pop(), 2);
+}
+
+TEST(SpscRing, IndexWraparoundSingleThread) {
+  // Seed the cursors just below SIZE_MAX so head/tail overflow mid-test:
+  // the full/empty checks use unsigned difference arithmetic and must not
+  // care that head numerically < tail after the wrap.
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 5;
+  SpscRing<int> ring{4, start};
+  EXPECT_TRUE(ring.empty());
+  int next_push = 0;
+  int next_pop = 0;
+  // 16 > 6 remaining pre-wrap indices: both cursors cross the boundary.
+  for (int round = 0; round < 16; ++round) {
+    ASSERT_TRUE(ring.try_push(next_push++));
+    ASSERT_TRUE(ring.try_push(next_push++));
+    ASSERT_EQ(ring.size(), 2u);
+    ASSERT_EQ(ring.try_pop().value(), next_pop++);
+    ASSERT_EQ(ring.try_pop().value(), next_pop++);
+    ASSERT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, FullDetectionAcrossWraparound) {
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 1;
+  SpscRing<int> ring{4};
+  SpscRing<int> wrapped{4, start};
+  // Identical behavior regardless of where the index space starts.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(wrapped.try_push(i));
+  }
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_FALSE(wrapped.try_push(99));
+  EXPECT_EQ(wrapped.try_pop().value(), 0);
+  EXPECT_TRUE(wrapped.try_push(99));
+  for (const int expected : {1, 2, 3, 99}) {
+    EXPECT_EQ(wrapped.try_pop().value(), expected);
+  }
+}
+
+TEST(SpscRing, TwoThreadStressAcrossWraparound) {
+  constexpr int kCount = 100000;
+  // Cursors overflow ~100 pushes in; FIFO order and the sum must survive
+  // the boundary under real concurrency.
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 100;
+  SpscRing<int> ring{64, start};
+  bool ordered = true;
+  std::uint64_t consumer_sum = 0;
+
+  std::thread consumer([&] {
+    int expected = 0;
+    while (expected < kCount) {
+      if (auto value = ring.try_pop()) {
+        if (*value != expected) ordered = false;
+        consumer_sum += static_cast<std::uint64_t>(*value);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(consumer_sum,
+            static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TwoThreadMoveOnlyStress) {
+  constexpr int kCount = 20000;
+  SpscRing<std::unique_ptr<int>> ring{32};
+  std::uint64_t consumer_sum = 0;
+  int null_values = 0;
+
+  std::thread consumer([&] {
+    int consumed = 0;
+    while (consumed < kCount) {
+      if (auto value = ring.try_pop()) {
+        if (*value == nullptr) {
+          ++null_values;  // would betray a moved-from retry push
+        } else {
+          consumer_sum += static_cast<std::uint64_t>(**value);
+        }
+        ++consumed;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (int i = 0; i < kCount; ++i) {
+    auto value = std::make_unique<int>(i);
+    while (!ring.try_push(std::move(value))) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(null_values, 0);
+  EXPECT_EQ(consumer_sum,
+            static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
 }
 
 TEST(SpscRing, TwoThreadStress) {

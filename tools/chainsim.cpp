@@ -26,6 +26,7 @@
 #include "nf/synthetic_nf.hpp"
 #include "nf/vpn_gateway.hpp"
 #include "runtime/runner.hpp"
+#include "runtime/sharded_runtime.hpp"
 #include "trace/payload_synth.hpp"
 #include "trace/pcap.hpp"
 #include "util/cycle_clock.hpp"
@@ -49,6 +50,7 @@ struct Options {
   std::uint64_t seed = 42;
   long fail_backend_at = -1;  // packet index at which backend 0 dies
   bool csv = false;
+  std::size_t shards = 0;  // 0 = single-threaded ChainRunner
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -66,6 +68,8 @@ struct Options {
       "  --pcap FILE                drive the chain from a pcap capture\n"
       "  --export-pcap FILE         write the generated workload as pcap\n"
       "  --fail-backend-at K        fail Maglev backend 0 before packet K\n"
+      "  --shards N                 run on the flow-sharded runtime with N\n"
+      "                             chain replicas (one worker thread each)\n"
       "  --seed N                   workload seed (default 42)\n"
       "  --csv                      machine-readable one-line-per-config\n",
       argv0);
@@ -121,6 +125,11 @@ Options parse_options(int argc, char** argv) {
       options.pcap_out = need_value(i);
     } else if (arg == "--fail-backend-at") {
       options.fail_backend_at = std::strtol(need_value(i), nullptr, 10);
+    } else if (arg == "--shards") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      options.shards = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0') usage(argv[0]);
     } else if (arg == "--seed") {
       options.seed = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--csv") {
@@ -130,6 +139,12 @@ Options parse_options(int argc, char** argv) {
     }
   }
   if (options.chain.empty()) usage(argv[0]);
+  if (options.shards > 0 && options.fail_backend_at >= 0) {
+    std::fprintf(stderr,
+                 "--fail-backend-at is not supported with --shards "
+                 "(mid-run control-plane actions are per-replica)\n");
+    std::exit(2);
+  }
   return options;
 }
 
@@ -228,8 +243,7 @@ std::vector<net::Packet> build_packets(const Options& options) {
 }
 
 void report(const Options& options, const char* mode,
-            const runtime::ChainRunner& runner) {
-  const auto& stats = runner.stats();
+            const runtime::RunStats& stats) {
   const double p50_lat = stats.latency_us_subsequent.count() > 0
                              ? stats.latency_us_subsequent.percentile(50)
                              : 0.0;
@@ -262,8 +276,31 @@ void report(const Options& options, const char* mode,
 void run_mode(const Options& options, bool speedybox,
               const std::vector<net::Packet>& packets) {
   BuiltChain built = build_chain(options);
-  runtime::ChainRunner runner{*built.chain,
-                              {options.platform, speedybox, false}};
+  const runtime::RunConfig config{options.platform, speedybox, false};
+  const std::string mode = speedybox ? "speedybox" : "original";
+
+  if (options.shards > 0) {
+    runtime::ShardedRuntime sharded{*built.chain, options.shards, config};
+    const runtime::ShardedRunResult result = sharded.run_packets(packets);
+    const std::string label = mode + " x" + std::to_string(options.shards);
+    report(options, label.c_str(), result.stats);
+    if (!options.csv) {
+      std::printf("  shards: agg-rate=%.3f Mpps, wall=%.1f ms, "
+                  "backpressure-waits=%llu, per-shard packets = [",
+                  result.aggregate_rate_mpps, result.wall_seconds * 1e3,
+                  static_cast<unsigned long long>(
+                      sharded.backpressure_waits()));
+      for (std::size_t s = 0; s < result.shard_packets.size(); ++s) {
+        std::printf("%s%llu", s == 0 ? "" : ", ",
+                    static_cast<unsigned long long>(
+                        result.shard_packets[s]));
+      }
+      std::printf("]\n");
+    }
+    return;
+  }
+
+  runtime::ChainRunner runner{*built.chain, config};
   if (options.fail_backend_at < 0) {
     runner.run_packets(packets);
   } else {
@@ -277,7 +314,7 @@ void run_mode(const Options& options, bool speedybox,
       runner.process_packet(packet);
     }
   }
-  report(options, speedybox ? "speedybox" : "original", runner);
+  report(options, mode.c_str(), runner.stats());
 }
 
 }  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive test suites under ThreadSanitizer
+# and AddressSanitizer. TSan is the gate for the sharded runtime's
+# single-writer-per-flow contract (DESIGN.md "Sharded runtime"); ASan backs
+# it up on the packet-buffer side.
+#
+# Usage: tools/run_sanitizers.sh [thread|address|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The suites that exercise threads and shared rings. The rest of the tree
+# is single-threaded and covered by the regular build.
+TARGETS=(test_util test_runtime test_integration test_equivalence)
+
+run_one() {
+  local sanitizer="$1"
+  local build_dir="build-tsan"
+  [ "${sanitizer}" = "address" ] && build_dir="build-asan"
+  echo "=== ${sanitizer} sanitizer -> ${build_dir} ==="
+  cmake -B "${build_dir}" -S . -DSPEEDYBOX_SANITIZE="${sanitizer}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" --target "${TARGETS[@]}"
+  for target in "${TARGETS[@]}"; do
+    echo "--- ${sanitizer}: ${target}"
+    if [ "${sanitizer}" = "thread" ]; then
+      TSAN_OPTIONS="halt_on_error=1" "./${build_dir}/tests/${target}"
+    else
+      ASAN_OPTIONS="detect_leaks=0" "./${build_dir}/tests/${target}"
+    fi
+  done
+  echo "=== ${sanitizer}: clean ==="
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  thread|address) run_one "${mode}" ;;
+  all)
+    run_one thread
+    run_one address
+    ;;
+  *)
+    echo "usage: $0 [thread|address|all]" >&2
+    exit 2
+    ;;
+esac
