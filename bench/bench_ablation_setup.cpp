@@ -15,6 +15,9 @@ namespace {
 
 void run() {
   print_header("Ablation: per-flow setup cost (recording + consolidation)");
+  BenchJson json{"ablation_setup"};
+  json.param("flows", 400);
+  json.param("packets_per_flow", 5);
   std::printf("%-7s %16s %16s %16s %14s %12s\n", "Chain", "Orig-init cyc",
               "SBox-init cyc", "SBox-sub cyc", "setup rate",
               "break-even");
@@ -47,6 +50,17 @@ void run() {
     const double setup_rate_kfps =
         util::CycleClock::frequency_hz() / speedy.init_cycles / 1e3;
 
+    for (const auto& [mode, result] :
+         {std::pair<const char*, const ConfigResult&>{"bess/original",
+                                                      original},
+          {"bess/speedybox", speedy}}) {
+      telemetry::Json row = config_row(mode, result);
+      row.set("chain_length", telemetry::Json::integer(n));
+      row.set("setup_rate_kfps", telemetry::Json::number(setup_rate_kfps));
+      row.set("break_even_packets", telemetry::Json::number(break_even));
+      json.add(std::move(row));
+    }
+
     std::printf("%-7zu %16.0f %16.0f %16.0f %11.0f k/s ", n,
                 original.init_cycles, speedy.init_cycles, speedy.sub_cycles,
                 setup_rate_kfps);
@@ -56,6 +70,7 @@ void run() {
       std::printf("%12s\n", "n/a");
     }
   }
+  json.write();
   std::printf(
       "\n(setup rate = new flows/s one manager core can consolidate;\n"
       " break-even = flow length beyond which SpeedyBox is a net win on\n"

@@ -16,6 +16,10 @@ namespace {
 void run() {
   const trace::Workload workload = trace::make_uniform_workload(
       /*flow_count=*/64, /*packets_per_flow=*/400, /*payload_size=*/10);
+  BenchJson json{"fig4_header_consolidation"};
+  json.param("flows", 64);
+  json.param("packets_per_flow", 400);
+  json.param("payload", 10);
 
   for (const auto platform :
        {platform::PlatformKind::kBess, platform::PlatformKind::kOnvm}) {
@@ -37,6 +41,14 @@ void run() {
           run_config(factory, platform, /*speedybox=*/false, workload);
       const ConfigResult speedy =
           run_config(factory, platform, /*speedybox=*/true, workload);
+      for (const auto& [mode, result] :
+           {std::pair<const char*, const ConfigResult&>{"original", original},
+            {"speedybox", speedy}}) {
+        telemetry::Json row = config_row(
+            std::string(platform_name(platform)) + "/" + mode, result);
+        row.set("header_actions", telemetry::Json::integer(n));
+        json.add(std::move(row));
+      }
       std::printf("%-16zu %11.0f cy %11.0f cy %11.0f cy %11.0f cy %9.1f%%\n",
                   n, original.init_cycles, speedy.init_cycles,
                   original.sub_cycles, speedy.sub_cycles,
@@ -44,6 +56,7 @@ void run() {
                                 speedy.sub_cycles));
     }
   }
+  json.write();
   std::printf("\n");
 }
 

@@ -21,6 +21,10 @@ constexpr std::uint32_t kSnortEquivalentIterations = 220;
 void run() {
   const trace::Workload workload = trace::make_uniform_workload(
       /*flow_count=*/32, /*packets_per_flow=*/300, /*payload_size=*/10);
+  BenchJson json{"fig5_sf_parallelism"};
+  json.param("flows", 32);
+  json.param("packets_per_flow", 300);
+  json.param("sf_iterations", kSnortEquivalentIterations);
 
   print_header("Figure 5: state function parallelism (synthetic NFs, "
                "READ-class SF ~ Snort inspection)");
@@ -51,6 +55,16 @@ void run() {
     const ConfigResult onvm_sbox =
         run_config(factory, platform::PlatformKind::kOnvm, true, workload);
 
+    for (const auto& [label, result] :
+         {std::pair<const char*, const ConfigResult&>{"bess/original", bess},
+          {"bess/speedybox", bess_sbox},
+          {"onvm/original", onvm},
+          {"onvm/speedybox", onvm_sbox}}) {
+      telemetry::Json row = config_row(label, result);
+      row.set("state_functions", telemetry::Json::integer(n));
+      json.add(std::move(row));
+    }
+
     std::printf("%-6zu | %9.3f %11.3f %9.3f %11.3f | %9.3f %11.3f %9.3f "
                 "%11.3f\n",
                 n, bess.rate_mpps, bess_sbox.rate_mpps, onvm.rate_mpps,
@@ -58,6 +72,7 @@ void run() {
                 bess_sbox.sub_latency_us, onvm.sub_latency_us,
                 onvm_sbox.sub_latency_us);
   }
+  json.write();
   std::printf("\n");
 }
 

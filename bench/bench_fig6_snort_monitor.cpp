@@ -16,7 +16,7 @@
 namespace speedybox::bench {
 namespace {
 
-void run_for_payload(std::size_t payload_size) {
+void run_for_payload(BenchJson& json, std::size_t payload_size) {
   trace::Workload workload = trace::make_uniform_workload(
       /*flow_count=*/64, /*packets_per_flow=*/400, payload_size);
   trace::PayloadSynthConfig synth;
@@ -39,6 +39,14 @@ void run_for_payload(std::size_t payload_size) {
     const ConfigResult original = run_config(factory, platform, false,
                                              workload);
     const ConfigResult speedy = run_config(factory, platform, true, workload);
+    for (const auto& [mode, result] :
+         {std::pair<const char*, const ConfigResult&>{"original", original},
+          {"speedybox", speedy}}) {
+      telemetry::Json row = config_row(
+          std::string(platform_name(platform)) + "/" + mode, result);
+      row.set("payload", telemetry::Json::integer(payload_size));
+      json.add(std::move(row));
+    }
     std::printf("%-10s %16.0f %16.0f %11.1f%% | %12.3f %12.3f %9.2fx\n",
                 platform_name(platform), original.sub_cycles,
                 speedy.sub_cycles,
@@ -54,8 +62,12 @@ void run_for_payload(std::size_t payload_size) {
 void run() {
   print_header(
       "Figure 6: Snort + Monitor chain (consolidation + parallelism)");
-  run_for_payload(18);
-  run_for_payload(192);
+  BenchJson json{"fig6_snort_monitor"};
+  json.param("flows", 64);
+  json.param("packets_per_flow", 400);
+  run_for_payload(json, 18);
+  run_for_payload(json, 192);
+  json.write();
   std::printf("\n");
 }
 

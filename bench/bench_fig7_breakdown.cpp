@@ -20,7 +20,7 @@
 namespace speedybox::bench {
 namespace {
 
-void run_for_payload(std::size_t payload_size) {
+void run_for_payload(BenchJson& json, std::size_t payload_size) {
   trace::Workload workload = trace::make_uniform_workload(
       /*flow_count=*/64, /*packets_per_flow=*/400, payload_size);
   trace::PayloadSynthConfig synth;
@@ -51,6 +51,22 @@ void run_for_payload(std::size_t payload_size) {
     const double total_saving = orig - both;
     const double ha_saving = orig - ha_only;
     const double sf_saving = ha_only - both;
+    {
+      telemetry::Json row = config_row(
+          std::string(platform_name(platform)) + "/speedybox", speedy);
+      row.set("payload", telemetry::Json::integer(payload_size));
+      row.set("orig_latency_us", telemetry::Json::number(orig));
+      row.set("ha_only_latency_us", telemetry::Json::number(ha_only));
+      row.set("reduction_pct",
+              telemetry::Json::number(reduction_pct(orig, both)));
+      row.set("ha_share_pct",
+              telemetry::Json::number(
+                  total_saving > 0 ? ha_saving / total_saving * 100 : 0));
+      row.set("sf_share_pct",
+              telemetry::Json::number(
+                  total_saving > 0 ? sf_saving / total_saving * 100 : 0));
+      json.add(std::move(row));
+    }
     std::printf("%-10s %9.3f us %9.3f us %10.1f%% | %8.1f%% %8.1f%%\n",
                 platform_name(platform), orig, both,
                 reduction_pct(orig, both),
@@ -63,8 +79,12 @@ void run() {
   print_header(
       "Figure 7: latency reduction breakdown of Snort + Monitor (HA = header "
       "action consolidation, SF = state function parallelism)");
-  run_for_payload(18);   // 64B-frame class: HA dominates
-  run_for_payload(192);  // larger payloads: SF parallelism dominates
+  BenchJson json{"fig7_breakdown"};
+  json.param("flows", 64);
+  json.param("packets_per_flow", 400);
+  run_for_payload(json, 18);   // 64B-frame class: HA dominates
+  run_for_payload(json, 192);  // larger payloads: SF parallelism dominates
+  json.write();
   std::printf("\n");
 }
 

@@ -19,6 +19,15 @@ constexpr std::size_t kOnvmMaxChainLength = 5;
 void run() {
   const trace::Workload workload = trace::make_uniform_workload(
       /*flow_count=*/64, /*packets_per_flow=*/150, /*payload_size=*/10);
+  BenchJson json{"fig8_chain_length"};
+  json.param("flows", 64);
+  json.param("packets_per_flow", 150);
+  const auto record = [&json](const char* label, std::size_t length,
+                              const ConfigResult& result) {
+    telemetry::Json row = config_row(label, result);
+    row.set("chain_length", telemetry::Json::integer(length));
+    json.add(std::move(row));
+  };
 
   print_header("Figure 8: service chains of length 1-9 (ONVM limited to 5, "
                "matching the paper's core budget)");
@@ -41,12 +50,16 @@ void run() {
         run_config(factory, platform::PlatformKind::kBess, false, workload);
     const ConfigResult bess_sbox =
         run_config(factory, platform::PlatformKind::kBess, true, workload);
+    record("bess/original", n, bess);
+    record("bess/speedybox", n, bess_sbox);
 
     if (n <= kOnvmMaxChainLength) {
       const ConfigResult onvm =
           run_config(factory, platform::PlatformKind::kOnvm, false, workload);
       const ConfigResult onvm_sbox =
           run_config(factory, platform::PlatformKind::kOnvm, true, workload);
+      record("onvm/original", n, onvm);
+      record("onvm/speedybox", n, onvm_sbox);
       std::printf("%-7zu | %9.3f %11.3f %9.3f %11.3f | %9.3f %11.3f %9.3f "
                   "%11.3f\n",
                   n, bess.sub_latency_us, bess_sbox.sub_latency_us,
@@ -59,6 +72,7 @@ void run() {
                   "--", bess.rate_mpps, bess_sbox.rate_mpps, "--", "--");
     }
   }
+  json.write();
   std::printf("\n");
 }
 

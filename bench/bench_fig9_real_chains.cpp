@@ -33,7 +33,8 @@ std::vector<nf::Backend> backends() {
   return result;
 }
 
-void print_cdf_table(const std::string& title, const ChainFactory& factory,
+void print_cdf_table(BenchJson& json, const std::string& chain_label,
+                     const std::string& title, const ChainFactory& factory,
                      const trace::Workload& workload) {
   print_header(title);
   const ConfigResult bess =
@@ -44,6 +45,21 @@ void print_cdf_table(const std::string& title, const ChainFactory& factory,
       run_config(factory, platform::PlatformKind::kOnvm, false, workload);
   const ConfigResult onvm_sbox =
       run_config(factory, platform::PlatformKind::kOnvm, true, workload);
+
+  for (const auto& [label, result] :
+       {std::pair<const char*, const ConfigResult&>{"bess/original", bess},
+        {"bess/speedybox", bess_sbox},
+        {"onvm/original", onvm},
+        {"onvm/speedybox", onvm_sbox}}) {
+    telemetry::Json row = config_row(label, result);
+    row.set("chain", telemetry::Json::string(chain_label));
+    telemetry::Json cdf = telemetry::Json::array();
+    for (int p = 10; p <= 100; p += 10) {
+      cdf.push(telemetry::Json::number(result.flow_time_us.percentile(p)));
+    }
+    row.set("flow_time_us_cdf_p10_p100", std::move(cdf));
+    json.add(std::move(row));
+  }
 
   std::printf("%-6s %12s %12s %12s %12s   (flow processing time, us)\n",
               "CDF", "BESS", "BESS+SBox", "ONVM", "ONVM+SBox");
@@ -62,6 +78,9 @@ void print_cdf_table(const std::string& title, const ChainFactory& factory,
 }
 
 void run() {
+  BenchJson json{"fig9_real_chains"};
+  json.param("flows", 300);
+  json.param("workload", "datacenter");
   trace::DatacenterWorkloadConfig config;
   config.flow_count = 300;
   config.payload_size = 256;
@@ -87,6 +106,7 @@ void run() {
     return chain;
   };
   print_cdf_table(
+      json, "chain1",
       "Figure 9(a) — Chain 1: MazuNAT + Maglev + Monitor + IPFilter",
       chain1, workload1);
 
@@ -97,8 +117,10 @@ void run() {
     chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
     return chain;
   };
-  print_cdf_table("Figure 9(b) — Chain 2: IPFilter + Snort + Monitor",
+  print_cdf_table(json, "chain2",
+                  "Figure 9(b) — Chain 2: IPFilter + Snort + Monitor",
                   chain2, workload2);
+  json.write();
   std::printf("\n");
 }
 

@@ -62,12 +62,39 @@ void run() {
               "backpress", "per-shard packets");
   std::printf("%-7s %12s %12s %10s\n", "", "(Mpps)", "(ms)", "(waits)");
 
+  BenchJson json{"sharding_scaling"};
+  json.param("flows", 300);
+  json.param("workload", "datacenter");
+  json.param("chain", "nat,maglev,monitor,ipfilter");
   double base_rate = 0.0;
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
     runtime::ShardedRuntime runtime{
         prototype, shards, {platform::PlatformKind::kOnvm, true, false}};
     const runtime::ShardedRunResult result = runtime.run_workload(workload);
     if (shards == 1) base_rate = result.aggregate_rate_mpps;
+
+    {
+      using telemetry::Json;
+      Json row = Json::object();
+      row.set("config", Json::string("onvm/speedybox x" +
+                                     std::to_string(shards)));
+      row.set("shards", Json::integer(shards));
+      row.set("aggregate_rate_mpps",
+              Json::number(result.aggregate_rate_mpps));
+      row.set("wall_ms", Json::number(result.wall_seconds * 1e3));
+      row.set("backpressure_waits",
+              Json::integer(runtime.backpressure_waits()));
+      row.set("speedup", Json::number(base_rate > 0
+                                          ? result.aggregate_rate_mpps /
+                                                base_rate
+                                          : 0.0));
+      Json split = Json::array();
+      for (const std::uint64_t packets : result.shard_packets) {
+        split.push(Json::integer(packets));
+      }
+      row.set("shard_packets", std::move(split));
+      json.add(std::move(row));
+    }
 
     std::printf("%-7zu %12.3f %12.1f %10llu   [", shards,
                 result.aggregate_rate_mpps, result.wall_seconds * 1e3,
@@ -81,6 +108,7 @@ void run() {
                 base_rate > 0 ? result.aggregate_rate_mpps / base_rate
                               : 0.0);
   }
+  json.write();
   std::printf("\n");
 }
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/json.hpp"
+
 namespace {
 
 struct Loc {
@@ -97,6 +99,10 @@ int main(int argc, char** argv) {
   std::printf("================================================================\n");
   std::printf("%-15s %18s %12s %10s\n", "Network Function", "Core LOC",
               "Added LOC", "overhead");
+  using speedybox::telemetry::Json;
+  Json root = Json::object();
+  root.set("bench", Json::string("table2_loc"));
+  Json rows = Json::array();
   for (const Entry& entry : entries) {
     Loc total;
     for (const char* file : entry.files) {
@@ -104,11 +110,27 @@ int main(int argc, char** argv) {
       total.core += loc.core;
       total.added += loc.added;
     }
+    const double overhead_pct =
+        total.core > 0
+            ? 100.0 * total.added / static_cast<double>(total.core)
+            : 0.0;
+    Json row = Json::object();
+    row.set("nf", Json::string(entry.name));
+    row.set("core_loc", Json::integer(static_cast<std::uint64_t>(total.core)));
+    row.set("added_loc",
+            Json::integer(static_cast<std::uint64_t>(total.added)));
+    row.set("overhead_pct", Json::number(overhead_pct));
+    rows.push(std::move(row));
     std::printf("%-15s %18d %12d %9.1f%%\n", entry.name, total.core,
-                total.added,
-                total.core > 0
-                    ? 100.0 * total.added / static_cast<double>(total.core)
-                    : 0.0);
+                total.added, overhead_pct);
+  }
+  root.set("configs", std::move(rows));
+  const std::string text = root.dump();
+  if (std::FILE* file = std::fopen("BENCH_table2_loc.json", "w")) {
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::fprintf(stderr, "wrote BENCH_table2_loc.json\n");
   }
   std::printf("\n");
   return 0;

@@ -27,6 +27,9 @@ void run() {
   };
 
   print_header("Table III: early packet drop saves CPU cycles");
+  BenchJson json{"table3_early_drop"};
+  json.param("flows", 64);
+  json.param("packets_per_flow", 400);
   std::printf("%-14s %10s %10s %10s %12s\n", "(CPU cycle)", "NF1", "NF2",
               "NF3", "Aggregate");
   for (const auto platform :
@@ -35,6 +38,21 @@ void run() {
                                              workload,
                                              /*measure_per_nf=*/true);
     const ConfigResult speedy = run_config(factory, platform, true, workload);
+
+    for (const auto& [mode, result] :
+         {std::pair<const char*, const ConfigResult&>{"original", original},
+          {"speedybox", speedy}}) {
+      telemetry::Json row = config_row(
+          std::string(platform_name(platform)) + "/" + mode, result);
+      if (!result.stats.per_nf_mean_cycles.empty()) {
+        telemetry::Json per_nf = telemetry::Json::array();
+        for (const double cycles : result.stats.per_nf_mean_cycles) {
+          per_nf.push(telemetry::Json::number(cycles));
+        }
+        row.set("per_nf_mean_cycles", std::move(per_nf));
+      }
+      json.add(std::move(row));
+    }
 
     std::printf("%-14s %8.0f %9.0f %9.0f %11.0f\n", platform_name(platform),
                 original.stats.per_nf_mean_cycles[0],
@@ -47,6 +65,7 @@ void run() {
                 reduction_pct(original.sub_cycles,
                               speedy.sub_cycles));
   }
+  json.write();
   std::printf("\n");
 }
 

@@ -13,6 +13,7 @@
 
 #include "nf/ip_filter.hpp"
 #include "runtime/runner.hpp"
+#include "telemetry/json.hpp"
 #include "trace/workload.hpp"
 #include "util/cycle_clock.hpp"
 
@@ -87,5 +88,82 @@ inline void print_header(const std::string& title) {
 inline double reduction_pct(double original, double speedybox) {
   return original > 0 ? (original - speedybox) / original * 100.0 : 0.0;
 }
+
+/// One measured configuration as a JSON row: cycles/packet and latency
+/// percentiles (p50/p95/p99), rate, and packet/drop counts. Extra fields
+/// (sweep parameters, derived splits) can be set() on the returned value.
+inline telemetry::Json config_row(const std::string& label,
+                                  const ConfigResult& result) {
+  using telemetry::Json;
+  Json row = Json::object();
+  row.set("config", Json::string(label));
+  const auto percentiles = [&row](const std::string& prefix,
+                                  const util::SampleRecorder& samples) {
+    if (samples.count() == 0) return;
+    row.set(prefix + "_p50", Json::number(samples.percentile(50)));
+    row.set(prefix + "_p95", Json::number(samples.percentile(95)));
+    row.set(prefix + "_p99", Json::number(samples.percentile(99)));
+  };
+  row.set("init_cycles_p50", Json::number(result.init_cycles));
+  percentiles("cycles_per_packet", result.stats.platform_cycles_subsequent);
+  percentiles("latency_us", result.stats.latency_us_subsequent);
+  row.set("rate_mpps", Json::number(result.rate_mpps));
+  row.set("packets", Json::integer(result.stats.packets));
+  row.set("drops", Json::integer(result.stats.drops));
+  return row;
+}
+
+/// Machine-readable companion to the printed tables: each bench collects
+/// its parameters and per-configuration rows here and write() dumps them as
+/// BENCH_<name>.json (one pretty-stable JSON object) next to the binary's
+/// cwd, so plotting scripts never have to scrape stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void param(const std::string& key, double value) {
+    params_.set(key, telemetry::Json::number(value));
+  }
+  void param(const std::string& key, const std::string& value) {
+    params_.set(key, telemetry::Json::string(value));
+  }
+
+  /// Append one arbitrary row (usually config_row() plus extra fields).
+  void add(telemetry::Json row) { rows_.push(std::move(row)); }
+  /// Convenience: a plain measured configuration with no extra fields.
+  void config(const std::string& label, const ConfigResult& result) {
+    add(config_row(label, result));
+  }
+
+  /// Write BENCH_<name>.json; on failure warns on stderr (benches keep
+  /// their stdout contract either way).
+  void write() const {
+    using telemetry::Json;
+    Json root = Json::object();
+    root.set("bench", Json::string(name_));
+    root.set("cpu_ghz",
+             Json::number(util::CycleClock::frequency_hz() / 1e9));
+    root.set("params", params_);
+    root.set("configs", rows_);
+    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string text = root.dump();
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    const bool ok =
+        file != nullptr &&
+        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+        std::fputc('\n', file) != EOF;
+    if (file != nullptr) std::fclose(file);
+    if (!ok) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  telemetry::Json params_ = telemetry::Json::object();
+  telemetry::Json rows_ = telemetry::Json::array();
+};
 
 }  // namespace speedybox::bench

@@ -15,6 +15,13 @@ void ServiceChain::add_nf(nf::NetworkFunction* nf) {
   global_mat_.set_chain(std::move(mats));
 }
 
+std::vector<std::string> ServiceChain::nf_names() const {
+  std::vector<std::string> names;
+  names.reserve(nfs_.size());
+  for (const nf::NetworkFunction* nf : nfs_) names.push_back(nf->name());
+  return names;
+}
+
 std::unique_ptr<ServiceChain> ServiceChain::clone(
     const std::string& name_suffix) const {
   auto replica = std::make_unique<ServiceChain>(name_ + name_suffix);

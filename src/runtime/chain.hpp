@@ -37,6 +37,8 @@ class ServiceChain {
 
   const std::string& name() const noexcept { return name_; }
   std::size_t size() const noexcept { return nfs_.size(); }
+  /// NF names in chain order (labels telemetry's per-NF metrics under).
+  std::vector<std::string> nf_names() const;
   nf::NetworkFunction& nf(std::size_t index) { return *nfs_[index]; }
   const nf::NetworkFunction& nf(std::size_t index) const {
     return *nfs_[index];

@@ -82,11 +82,22 @@ void ChainRunner::add_stage_sample(std::size_t stage, std::uint64_t cycles) {
 
 PacketOutcome ChainRunner::process_original(net::Packet& packet) {
   PacketOutcome outcome;
+  // Telemetry (incl. span sampling decisions) stays outside the measured
+  // segments: each NF is timed with its own timer pair, so everything the
+  // hooks do between segments never shows up in the reported cycles.
+  telemetry::SpanRecorder* spans =
+      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
+                                                       : nullptr;
+  bool trace = false;
   // Stats-only init/sub tagging, outside the measured region.
   if (const auto parsed = net::parse_packet(packet)) {
     const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
     outcome.initial = seen_tuples_.insert(tuple).second;
     if (parsed->has_fin_or_rst()) seen_tuples_.erase(tuple);
+    if (spans != nullptr && spans->should_sample(tuple.hash())) {
+      trace = true;
+      spans->begin(tuple.hash(), net::kInvalidFid, util::CycleClock::now());
+    }
   }
 
   const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
@@ -105,6 +116,14 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
       per_nf_cycle_sum_[i] += cycles + hop;
       ++per_nf_cycle_count_[i];
     }
+    if (metrics_ != nullptr && i < metrics_->per_nf.size()) {
+      metrics_->per_nf[i].packets.add(1);
+      metrics_->per_nf[i].cycles.record(cycles);
+    }
+    if (trace) {
+      spans->event(telemetry::SpanStage::kNf, outcome.work_cycles,
+                   static_cast<int>(i));
+    }
     // ONVM pipeline: each NF core is a stage (steady state only).
     if (onvm && !outcome.initial) add_stage_sample(i, cycles + hop);
 
@@ -116,6 +135,10 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
   outcome.platform_cycles = outcome.latency_cycles;
   // BESS run-to-completion: one logical stage.
   if (!onvm && !outcome.initial) add_stage_sample(0, outcome.latency_cycles);
+  if (trace) {
+    spans->finish(/*fast_path=*/false, outcome.dropped,
+                  outcome.work_cycles);
+  }
   return outcome;
 }
 
@@ -140,11 +163,30 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
   outcome.initial =
       classification->path == core::PacketClassifier::Path::kInitial;
 
+  // Span sampling keys on the FID — the classifier's truncation of the
+  // five-tuple hash — because it is already in hand, so the sampling
+  // decision costs one modulo and never re-derives the tuple from packet
+  // bytes (which the consolidated header action may rewrite).
+  telemetry::SpanRecorder* spans =
+      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
+                                                       : nullptr;
+  bool trace = false;
+
   if (outcome.initial) {
     const std::uint64_t classify_cycles =
         util::CycleClock::segment(t_start, util::CycleClock::now());
     outcome.work_cycles = classify_cycles;
     outcome.latency_cycles = classify_cycles;
+    // Slow path: each segment below has its own timer pair, so telemetry
+    // between segments stays invisible to the reported cycles.
+    if (metrics_ != nullptr) {
+      metrics_->classify_cycles.record(classify_cycles);
+      if (spans != nullptr && spans->should_sample(classification->fid)) {
+        trace = true;
+        spans->begin(classification->fid, classification->fid, t_start);
+        spans->event(telemetry::SpanStage::kClassify, classify_cycles);
+      }
+    }
     // Recording pass down the original chain, then consolidation.
     for (std::size_t i = 0; i < chain_.size(); ++i) {
       core::SpeedyBoxContext ctx{chain_.local_mat(i),
@@ -156,6 +198,14 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
           util::CycleClock::segment(t0, util::CycleClock::now());
       outcome.work_cycles += cycles;
       outcome.latency_cycles += cycles + hop;
+      if (metrics_ != nullptr && i < metrics_->per_nf.size()) {
+        metrics_->per_nf[i].packets.add(1);
+        metrics_->per_nf[i].cycles.record(cycles);
+      }
+      if (trace) {
+        spans->event(telemetry::SpanStage::kNf, outcome.work_cycles,
+                     static_cast<int>(i));
+      }
       if (packet.dropped()) {
         outcome.dropped = true;
         break;
@@ -168,6 +218,16 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
     outcome.work_cycles += consolidate_cycles;
     outcome.latency_cycles += consolidate_cycles;
     outcome.platform_cycles = outcome.latency_cycles;
+    if (metrics_ != nullptr) {
+      metrics_->consolidations.add(1);
+      metrics_->consolidate_cycles.record(consolidate_cycles);
+      metrics_->active_flows.set(chain_.classifier().active_flows());
+    }
+    if (trace) {
+      spans->event(telemetry::SpanStage::kConsolidate, outcome.work_cycles);
+      spans->finish(/*fast_path=*/false, outcome.dropped,
+                    outcome.work_cycles);
+    }
   } else {
     // Fast path: Global MAT (event check + consolidated HA + SF batches).
     const auto result = chain_.global_mat().process(
@@ -215,12 +275,28 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
     } else {
       add_stage_sample(0, outcome.latency_cycles);
     }
+
+    // Fast path: one timer pair brackets the whole path, so every hook —
+    // including the sampling decision — runs after the closing now().
+    // Span events are rebuilt from the already-measured splits.
+    if (spans != nullptr && spans->should_sample(classification->fid)) {
+      spans->begin(classification->fid, classification->fid, t_start);
+      spans->event(telemetry::SpanStage::kHeaderAction, serial);
+      if (result.sf_total_cycles > 0) {
+        spans->event(telemetry::SpanStage::kStateFunctions, total);
+      }
+      spans->finish(/*fast_path=*/true, outcome.dropped, total);
+    }
   }
 
   // Flow teardown (FIN/RST): free all rules and the FID (§VI-B).
   if (classification->teardown) {
     chain_.global_mat().erase_flow(classification->fid);
     chain_.classifier().release_flow(classification->fid);
+    if (metrics_ != nullptr) {
+      metrics_->teardowns.add(1);
+      metrics_->active_flows.set(chain_.classifier().active_flows());
+    }
   }
   return outcome;
 }
@@ -237,6 +313,27 @@ void ChainRunner::account(const PacketOutcome& outcome) {
   ++stats_.packets;
   if (outcome.dropped) ++stats_.drops;
   stats_.events_triggered += outcome.events_triggered;
+
+  if (metrics_ != nullptr) {
+    metrics_->packets.add(1);
+    if (outcome.dropped) metrics_->drops.add(1);
+    if (outcome.events_triggered > 0) {
+      metrics_->events_triggered.add(outcome.events_triggered);
+    }
+    if (config_.speedybox) {
+      metrics_->classifier_lookups.add(1);
+      if (outcome.initial) {
+        metrics_->mat_misses.add(1);
+      } else if (outcome.fast_path) {
+        metrics_->mat_hits.add(1);
+      }
+    }
+    if (outcome.fast_path) {
+      metrics_->fastpath_cycles.record(outcome.work_cycles);
+    } else if (outcome.initial || !config_.speedybox) {
+      metrics_->slowpath_cycles.record(outcome.work_cycles);
+    }
+  }
 
   const double latency_us = util::CycleClock::to_us(outcome.latency_cycles);
   stats_.latency_us_all.add(latency_us);

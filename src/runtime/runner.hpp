@@ -25,6 +25,7 @@
 #include "net/packet.hpp"
 #include "platform/costs.hpp"
 #include "runtime/chain.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/workload.hpp"
 #include "util/histogram.hpp"
 
@@ -134,6 +135,21 @@ class ChainRunner {
 
   const RunConfig& config() const noexcept { return config_; }
 
+  /// Attach live telemetry (null detaches — the default). The runner's
+  /// thread is the single writer for every cell except the dispatcher-owned
+  /// ring gauges (see telemetry/metrics.hpp). `metrics->per_nf` entries map
+  /// to chain positions; when it is shorter than the chain the tail NFs
+  /// simply go unattributed. Hooks only ever record cycle values the runner
+  /// already measured, outside the measured regions, so attaching telemetry
+  /// does not change the reported numbers; when detached every hook is one
+  /// null-pointer test.
+  void set_telemetry(telemetry::ShardMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  telemetry::ShardMetrics* telemetry_sink() const noexcept {
+    return metrics_;
+  }
+
  private:
   PacketOutcome process_original(net::Packet& packet);
   PacketOutcome process_speedybox(net::Packet& packet);
@@ -143,6 +159,7 @@ class ChainRunner {
   ServiceChain& chain_;
   RunConfig config_;
   platform::PlatformCosts costs_;
+  telemetry::ShardMetrics* metrics_ = nullptr;
   RunStats stats_;
   util::SampleRecorder flow_time_us_;
   std::vector<std::uint64_t> per_nf_cycle_sum_;

@@ -21,7 +21,9 @@ std::uint64_t steady_ns() {
 
 ShardedRuntime::ShardedRuntime(const ServiceChain& prototype,
                                std::size_t shard_count, RunConfig config,
-                               std::size_t ring_capacity)
+                               std::size_t ring_capacity,
+                               telemetry::Registry* registry,
+                               std::string shard_label_prefix)
     : config_(config) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
@@ -30,6 +32,13 @@ ShardedRuntime::ShardedRuntime(const ServiceChain& prototype,
     shard->chain = prototype.clone("-shard" + std::to_string(s));
     shard->runner = std::make_unique<ChainRunner>(*shard->chain, config_);
     shard->ring = std::make_unique<util::SpscRing<Job>>(ring_capacity);
+    if (registry != nullptr) {
+      shard->metrics = &registry->create_shard(
+          shard_label_prefix + "shard" + std::to_string(s),
+          prototype.nf_names());
+      shard->metrics->ring_capacity.set(shard->ring->capacity());
+      shard->runner->set_telemetry(shard->metrics);
+    }
     shards_.push_back(std::move(shard));
   }
   for (std::size_t s = 0; s < shard_count; ++s) {
@@ -64,14 +73,19 @@ void ShardedRuntime::push(net::Packet packet) {
       job.tuple ? shard_of(*job.tuple) : std::size_t{0};
   job.packet = std::move(packet);
   util::SpscRing<Job>& ring = *shards_[shard]->ring;
+  telemetry::ShardMetrics* metrics = shards_[shard]->metrics;
   // A failed try_push leaves `job` intact, so the backpressure loop can
   // keep retrying the same value until the worker frees a slot.
   if (!ring.try_push(std::move(job))) {
     ++backpressure_waits_;
     do {
+      if (metrics != nullptr) metrics->backpressure_yields.add(1);
       std::this_thread::yield();
     } while (!ring.try_push(std::move(job)));
   }
+  // Dispatcher-owned gauge (see constructor comment): depth after this
+  // push, as the dispatcher sees it.
+  if (metrics != nullptr) metrics->ring_occupancy.set(ring.size());
 }
 
 void ShardedRuntime::worker(std::size_t shard_index) {

@@ -41,6 +41,7 @@
 #include "net/packet.hpp"
 #include "runtime/chain.hpp"
 #include "runtime/runner.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/workload.hpp"
 #include "util/histogram.hpp"
 #include "util/spsc_ring.hpp"
@@ -77,8 +78,18 @@ class ShardedRuntime {
   /// Clones `prototype` once per shard (the prototype itself is never
   /// touched again) and starts one worker thread per shard. Throws
   /// std::logic_error if any NF in the prototype does not support clone().
+  ///
+  /// When `registry` is non-null (it must outlive the runtime) one
+  /// ShardMetrics per shard is created there (`shard_label_prefix` +
+  /// "shard0", "shard1", …, with per-NF slots from the prototype's NF
+  /// names) and attached to the shard's ChainRunner. Cell ownership: the
+  /// shard worker writes the processing metrics, the dispatcher (the
+  /// push() caller) writes that shard's ring_occupancy /
+  /// backpressure_yields cells.
   ShardedRuntime(const ServiceChain& prototype, std::size_t shard_count,
-                 RunConfig config = {}, std::size_t ring_capacity = 1024);
+                 RunConfig config = {}, std::size_t ring_capacity = 1024,
+                 telemetry::Registry* registry = nullptr,
+                 std::string shard_label_prefix = {});
   /// Joins the workers, draining anything still in flight (results of a
   /// never-finish()ed run are discarded, but every pushed packet is still
   /// processed — NF state and counters stay consistent).
@@ -127,6 +138,8 @@ class ShardedRuntime {
     std::unique_ptr<ServiceChain> chain;
     std::unique_ptr<ChainRunner> runner;
     std::unique_ptr<util::SpscRing<Job>> ring;
+    /// Owned by the registry; null when telemetry is off.
+    telemetry::ShardMetrics* metrics = nullptr;
     std::thread thread;
     // Worker-local until the thread is joined; read only afterwards.
     std::vector<Processed> processed;

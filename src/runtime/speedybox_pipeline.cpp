@@ -84,8 +84,12 @@ void SpeedyBoxPipeline::dispatch(Descriptor descriptor) {
   while (!rings_.front()->try_push(std::move(descriptor))) {
     // Keep consuming completions while the first ring is full so the
     // pipeline cannot deadlock on its own backpressure.
+    if (metrics_ != nullptr) metrics_->backpressure_yields.add(1);
     drain_completions(false);
     std::this_thread::yield();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->ring_occupancy.set(rings_.front()->size());
   }
 }
 
@@ -95,6 +99,10 @@ void SpeedyBoxPipeline::finish_teardown(std::uint32_t fid) {
   chain_.global_mat().erase_flow(fid, /*run_hooks=*/false);
   chain_.classifier().release_flow(fid);
   flows_.erase(fid);
+  if (metrics_ != nullptr) {
+    metrics_->teardowns.add(1);
+    metrics_->active_flows.set(chain_.classifier().active_flows());
+  }
 }
 
 void SpeedyBoxPipeline::dispatch_teardown_marker(std::uint32_t fid) {
@@ -113,6 +121,7 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
     // packets of this flow that arrived in the meantime, in order.
     chain_.global_mat().consolidate_flow(descriptor.fid);
     ++recorded_flows_;
+    if (metrics_ != nullptr) metrics_->consolidations.add(1);
     const auto it = flows_.find(descriptor.fid);
     if (it != flows_.end()) {
       it->second.phase = FlowPhase::kReady;
@@ -127,6 +136,7 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
   if (packet != nullptr) {
     if (packet->dropped()) {
       ++drops_;
+      if (metrics_ != nullptr) metrics_->drops.add(1);
     } else {
       sink_.push_back(std::move(*packet));
     }
@@ -138,6 +148,7 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
 void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
                                   bool teardown) {
   const auto header = chain_.global_mat().process_header(*packet);
+  if (metrics_ != nullptr && header.rule_hit) metrics_->mat_hits.add(1);
   if (packet->dropped() || !header.rule_hit) {
     if (!header.rule_hit && !packet->dropped()) {
       // No rule (e.g. torn down between hold and release): forward as-is.
@@ -145,6 +156,7 @@ void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
       delete packet;
     } else {
       ++drops_;
+      if (metrics_ != nullptr) metrics_->drops.add(1);
       delete packet;
     }
     // The packet ends here, but the per-NF teardown hooks still have to
@@ -179,8 +191,13 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
   auto* descriptor_packet = new net::Packet(std::move(packet));
   const auto classification =
       chain_.classifier().classify(*descriptor_packet);
+  if (metrics_ != nullptr) {
+    metrics_->packets.add(1);
+    metrics_->classifier_lookups.add(1);
+  }
   if (!classification) {
     ++drops_;
+    if (metrics_ != nullptr) metrics_->drops.add(1);
     delete descriptor_packet;
     return;
   }
@@ -188,6 +205,10 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
   const bool teardown = classification->teardown;
 
   if (classification->path == core::PacketClassifier::Path::kInitial) {
+    if (metrics_ != nullptr) {
+      metrics_->mat_misses.add(1);
+      metrics_->active_flows.set(chain_.classifier().active_flows());
+    }
     flows_[fid].phase = FlowPhase::kRecording;
     Descriptor descriptor;
     descriptor.packet = descriptor_packet;
@@ -204,6 +225,7 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
     // per-flow order and single-core access to the NFs' per-flow state.
     flow.pending.emplace_back(descriptor_packet, teardown);
     ++held_packets_;
+    if (metrics_ != nullptr) metrics_->held_packets.add(1);
     return;
   }
   fast_path(descriptor_packet, fid, teardown);

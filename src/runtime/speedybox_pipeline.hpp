@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "runtime/chain.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace speedybox::runtime {
@@ -66,6 +67,18 @@ class SpeedyBoxPipeline {
   std::uint64_t drops() const noexcept { return drops_; }
   std::uint64_t recorded_flows() const noexcept { return recorded_flows_; }
   std::uint64_t held_packets() const noexcept { return held_packets_; }
+
+  /// Attach manager-side telemetry (null detaches). Every hooked cell is
+  /// written by the manager thread only — push(), completions and teardown
+  /// all run there — so the single-writer contract holds with no locking.
+  /// The NF worker threads are not instrumented (they carry no timers; the
+  /// cycle accounting for this deployment lives in ChainRunner's model).
+  void set_telemetry(telemetry::ShardMetrics* metrics) noexcept {
+    metrics_ = metrics;
+    if (metrics_ != nullptr && !rings_.empty()) {
+      metrics_->ring_capacity.set(rings_.front()->capacity());
+    }
+  }
 
  private:
   struct Descriptor {
@@ -103,6 +116,7 @@ class SpeedyBoxPipeline {
   void dispatch_teardown_marker(std::uint32_t fid);
 
   ServiceChain& chain_;
+  telemetry::ShardMetrics* metrics_ = nullptr;
   std::vector<std::unique_ptr<util::SpscRing<Descriptor>>> rings_;
   util::SpscRing<Descriptor> completions_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,229 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+
+namespace speedybox::telemetry {
+
+namespace {
+
+Json histogram_json(const util::LogHistogram& hist) {
+  Json j = Json::object();
+  j.set("count", Json::integer(hist.count()));
+  j.set("mean", Json::number(hist.mean()));
+  j.set("p50", Json::number(hist.percentile(50)));
+  j.set("p95", Json::number(hist.percentile(95)));
+  j.set("p99", Json::number(hist.percentile(99)));
+  return j;
+}
+
+Json span_json(const PacketSpan& span) {
+  Json j = Json::object();
+  j.set("flow_hash", Json::integer(span.flow_hash));
+  j.set("fid", Json::integer(span.fid));
+  j.set("start_cycle", Json::integer(span.start_cycle));
+  j.set("fast_path", Json::boolean(span.fast_path));
+  j.set("dropped", Json::boolean(span.dropped));
+  j.set("complete", Json::boolean(span.complete));
+  Json events = Json::array();
+  for (const SpanEvent& event : span.events) {
+    Json e = Json::object();
+    e.set("stage", Json::string(std::string(span_stage_name(event.stage))));
+    if (event.nf_index >= 0) {
+      e.set("nf", Json::integer(static_cast<std::uint64_t>(event.nf_index)));
+    }
+    e.set("cycles", Json::integer(event.cycles));
+    events.push(std::move(e));
+  }
+  j.set("events", std::move(events));
+  return j;
+}
+
+Json shard_json(const ShardSnapshot& shard) {
+  Json j = Json::object();
+  j.set("shard", Json::string(shard.label));
+  Json counters = Json::object();
+  for (const auto& [name, value] : shard.counters) {
+    counters.set(name, Json::integer(value));
+  }
+  j.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : shard.gauges) {
+    gauges.set(name, Json::integer(value));
+  }
+  j.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& [name, hist] : shard.histograms) {
+    histograms.set(name, histogram_json(hist));
+  }
+  j.set("histograms", std::move(histograms));
+  Json per_nf = Json::array();
+  for (const auto& nf : shard.per_nf) {
+    Json n = Json::object();
+    n.set("nf", Json::string(nf.label));
+    n.set("packets", Json::integer(nf.packets));
+    n.set("cycles", histogram_json(nf.cycles));
+    per_nf.push(std::move(n));
+  }
+  j.set("per_nf", std::move(per_nf));
+  j.set("spans_sampled", Json::integer(shard.spans_sampled));
+  j.set("spans_evicted", Json::integer(shard.spans_dropped));
+  Json spans = Json::array();
+  for (const PacketSpan& span : shard.spans) {
+    spans.push(span_json(span));
+  }
+  j.set("spans", std::move(spans));
+  return j;
+}
+
+}  // namespace
+
+Json snapshot_json(const MetricsSnapshot& snapshot) {
+  Json j = Json::object();
+  j.set("sequence", Json::integer(snapshot.sequence));
+  j.set("aggregate", shard_json(snapshot.aggregate()));
+  Json shards = Json::array();
+  for (const ShardSnapshot& shard : snapshot.shards) {
+    shards.push(shard_json(shard));
+  }
+  j.set("shards", std::move(shards));
+  return j;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  return snapshot_json(snapshot).dump();
+}
+
+namespace {
+
+/// "name{labels}" with the shard label spliced in front of extras.
+std::string series(const std::string& name, const std::string& shard,
+                   const std::string& extra,
+                   const std::string& more = "") {
+  std::string out = "speedybox_" + name + "{shard=\"" + shard + "\"";
+  if (!extra.empty()) out += "," + extra;
+  if (!more.empty()) out += "," + more;
+  out += "}";
+  return out;
+}
+
+void append_number(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out += buf;
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const std::string& shard, const std::string& extra,
+                      const std::string& more,
+                      const util::LogHistogram& hist) {
+  for (const double q : {0.5, 0.95, 0.99}) {
+    char qlabel[40];
+    std::snprintf(qlabel, sizeof(qlabel), "quantile=\"%g\"", q);
+    out += series(name, shard, extra,
+                  more.empty() ? qlabel : more + "," + qlabel);
+    out.push_back(' ');
+    append_number(out, hist.percentile(q * 100.0));
+    out.push_back('\n');
+  }
+  out += series(name + "_sum", shard, extra, more);
+  out.push_back(' ');
+  append_number(out, hist.mean() * static_cast<double>(hist.count()));
+  out.push_back('\n');
+  out += series(name + "_count", shard, extra, more);
+  out.push_back(' ');
+  append_number(out, static_cast<double>(hist.count()));
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          const std::string& extra_labels) {
+  std::string out;
+  if (snapshot.shards.empty()) return out;
+  // TYPE headers once per metric family, from the first shard's key set
+  // (every shard exports the same families).
+  const ShardSnapshot& first = snapshot.shards.front();
+  for (const auto& [name, value] : first.counters) {
+    out += "# TYPE speedybox_" + name + "_total counter\n";
+  }
+  for (const auto& [name, value] : first.gauges) {
+    out += "# TYPE speedybox_" + name + " gauge\n";
+  }
+  for (const auto& [name, hist] : first.histograms) {
+    out += "# TYPE speedybox_" + name + " summary\n";
+  }
+  out += "# TYPE speedybox_nf_cycles summary\n";
+  out += "# TYPE speedybox_nf_packets_total counter\n";
+
+  for (const ShardSnapshot& shard : snapshot.shards) {
+    for (const auto& [name, value] : shard.counters) {
+      out += series(name + "_total", shard.label, extra_labels);
+      out.push_back(' ');
+      append_number(out, static_cast<double>(value));
+      out.push_back('\n');
+    }
+    for (const auto& [name, value] : shard.gauges) {
+      out += series(name, shard.label, extra_labels);
+      out.push_back(' ');
+      append_number(out, static_cast<double>(value));
+      out.push_back('\n');
+    }
+    for (const auto& [name, hist] : shard.histograms) {
+      append_histogram(out, name, shard.label, extra_labels, "", hist);
+    }
+    for (const auto& nf : shard.per_nf) {
+      const std::string nf_label = "nf=\"" + nf.label + "\"";
+      out += series("nf_packets_total", shard.label, extra_labels, nf_label);
+      out.push_back(' ');
+      append_number(out, static_cast<double>(nf.packets));
+      out.push_back('\n');
+      append_histogram(out, "nf_cycles", shard.label, extra_labels, nf_label,
+                       nf.cycles);
+    }
+  }
+  return out;
+}
+
+bool append_line(const std::string& path, const std::string& line) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
+      std::fputc('\n', file) != EOF;
+  return std::fclose(file) == 0 && ok;
+}
+
+Snapshotter::Snapshotter(const Registry& registry, std::string path,
+                         std::chrono::milliseconds period)
+    : registry_(registry), path_(std::move(path)), period_(period) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::stop() {
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Snapshotter::run() {
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock lock(mutex_);
+      stopping = cv_.wait_for(lock, period_, [this] { return stopping_; });
+    }
+    if (append_line(path_, to_json(registry_.snapshot()))) {
+      written_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (stopping) return;  // final snapshot already written above
+  }
+}
+
+}  // namespace speedybox::telemetry

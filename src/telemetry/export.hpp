@@ -1,0 +1,74 @@
+// Machine-readable exporters for MetricsSnapshot, plus the periodic
+// background snapshotter.
+//
+//   to_json()        one JSON object: aggregate + per-shard metrics,
+//                    per-NF cycle histograms, and the sampled packet spans.
+//   to_prometheus()  Prometheus text exposition format. Counters/gauges map
+//                    1:1; cycle histograms export as summaries
+//                    (quantile-labeled series + _sum/_count), which keeps
+//                    the output small regardless of bucket count.
+//   Snapshotter      a thread that appends one JSON snapshot line to a file
+//                    every `period` — JSON-lines, so a run's trajectory can
+//                    be tailed live and parsed row by row.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace speedybox::telemetry {
+
+/// JSON value for one snapshot (callers wanting to embed it — chainsim adds
+/// run parameters around it — use this; to_json() is the plain dump).
+Json snapshot_json(const MetricsSnapshot& snapshot);
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text format. Metric names are prefixed `speedybox_`; shard
+/// and NF identities become labels. `extra_labels` (e.g. mode="speedybox")
+/// is spliced into every series.
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          const std::string& extra_labels = "");
+
+/// Append `line` plus '\n' to `path` (creating it if needed). Returns
+/// false on I/O failure.
+bool append_line(const std::string& path, const std::string& line);
+
+/// Periodic background snapshotter: every `period`, take a Registry
+/// snapshot and append it as one JSON line to `path`. The registry must
+/// outlive the snapshotter. stop() (or destruction) wakes the thread,
+/// writes one final snapshot, and joins.
+class Snapshotter {
+ public:
+  Snapshotter(const Registry& registry, std::string path,
+              std::chrono::milliseconds period);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  void stop();
+
+  std::uint64_t snapshots_written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const Registry& registry_;
+  const std::string path_;
+  const std::chrono::milliseconds period_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> written_{0};
+  std::thread thread_;
+};
+
+}  // namespace speedybox::telemetry

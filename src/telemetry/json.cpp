@@ -1,0 +1,113 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace speedybox::telemetry {
+
+Json& Json::set(std::string key, Json value) {
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void escape_into(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Json::render(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInteger: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(integer_));
+      out += buf;
+      break;
+    }
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {  // JSON has no inf/nan
+        out += "null";
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      // Prefer the shorter %.15g form when it round-trips.
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.15g", number_);
+      double parsed = 0.0;
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == number_) {
+        out += shorter;
+      } else {
+        out += buf;
+      }
+      break;
+    }
+    case Kind::kString:
+      escape_into(string_, out);
+      break;
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        escape_into(key, out);
+        out.push_back(':');
+        value.render(out);
+      }
+      out.push_back('}');
+      break;
+    }
+    case Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& value : elements_) {
+        if (!first) out.push_back(',');
+        first = false;
+        value.render(out);
+      }
+      out.push_back(']');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  render(out);
+  return out;
+}
+
+}  // namespace speedybox::telemetry

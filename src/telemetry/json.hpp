@@ -1,0 +1,67 @@
+// Minimal JSON value tree + serializer — just enough for the telemetry
+// exporters and the bench harness's BENCH_*.json files. Build values with
+// the static factories, dump() renders compact RFC 8259 output (string
+// escaping, integer-exact u64, shortest-round-trip doubles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace speedybox::telemetry {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+  static Json string(std::string value) {
+    Json j;
+    j.kind_ = Kind::kString;
+    j.string_ = std::move(value);
+    return j;
+  }
+  static Json number(double value) {
+    Json j;
+    j.kind_ = Kind::kNumber;
+    j.number_ = value;
+    return j;
+  }
+  static Json integer(std::uint64_t value) {
+    Json j;
+    j.kind_ = Kind::kInteger;
+    j.integer_ = value;
+    return j;
+  }
+  static Json boolean(bool value) {
+    Json j;
+    j.kind_ = Kind::kBool;
+    j.bool_ = value;
+    return j;
+  }
+
+  /// Object member (insertion order preserved). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+  /// Array element.
+  Json& push(Json value);
+
+  std::string dump() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInteger, kNumber, kString, kObject,
+                    kArray };
+
+  void render(std::string& out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::uint64_t integer_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace speedybox::telemetry

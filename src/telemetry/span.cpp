@@ -1,0 +1,64 @@
+#include "telemetry/span.hpp"
+
+namespace speedybox::telemetry {
+
+std::string_view span_stage_name(SpanStage stage) noexcept {
+  switch (stage) {
+    case SpanStage::kClassify: return "classify";
+    case SpanStage::kNf: return "nf";
+    case SpanStage::kConsolidate: return "consolidate";
+    case SpanStage::kHeaderAction: return "header_action";
+    case SpanStage::kStateFunctions: return "state_functions";
+    case SpanStage::kDrop: return "drop";
+    case SpanStage::kDone: return "done";
+  }
+  return "?";
+}
+
+SpanRecorder::SpanRecorder(std::uint32_t sample_every_n,
+                           std::size_t max_spans)
+    : sample_every_n_(sample_every_n),
+      max_spans_(max_spans < 1 ? 1 : max_spans) {}
+
+void SpanRecorder::begin(std::uint64_t flow_hash, std::uint32_t fid,
+                         std::uint64_t start_cycle) {
+  current_ = PacketSpan{};
+  current_.flow_hash = flow_hash;
+  current_.fid = fid;
+  current_.start_cycle = start_cycle;
+  active_ = true;
+}
+
+void SpanRecorder::event(SpanStage stage, std::uint64_t cycles,
+                         int nf_index) {
+  if (!active_) return;
+  current_.events.push_back({stage, nf_index, cycles});
+}
+
+void SpanRecorder::finish(bool fast_path, bool dropped,
+                          std::uint64_t total_cycles) {
+  if (!active_) return;
+  current_.fast_path = fast_path;
+  current_.dropped = dropped;
+  current_.events.push_back(
+      {dropped ? SpanStage::kDrop : SpanStage::kDone, -1, total_cycles});
+  current_.complete = true;
+  active_ = false;
+  sampled_total_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(mutex_);
+    if (completed_.size() >= max_spans_) {
+      completed_.pop_front();
+      evicted_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.push_back(std::move(current_));
+  }
+  current_ = PacketSpan{};
+}
+
+std::vector<PacketSpan> SpanRecorder::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return {completed_.begin(), completed_.end()};
+}
+
+}  // namespace speedybox::telemetry

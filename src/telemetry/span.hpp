@@ -1,0 +1,107 @@
+// Sampled packet span tracing: 1-in-N flows (by five-tuple hash) get their
+// packets' full journey recorded — parse/classify, then either the MAT fast
+// path (header-action apply + state-function batches) or the per-NF
+// recording traversal plus consolidation — with cycle offsets from span
+// start.
+//
+// Spans are reconstructed AFTER the packet finishes, from the cycle values
+// the executor already measured for its latency accounting, so tracing
+// never adds work inside a measured region and sampled packets report the
+// same cycle numbers as unsampled ones.
+//
+// Concurrency: one SpanRecorder per shard. The recording side (begin/event/
+// finish) is single-writer — the shard's worker thread. finish() moves the
+// completed span into a bounded buffer under a mutex shared with
+// snapshot(); the lock is only ever taken for sampled packets (1-in-N
+// flows), never on the common path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace speedybox::telemetry {
+
+enum class SpanStage : std::uint8_t {
+  kClassify,        // parse + classifier lookup
+  kNf,              // one NF of the recording/original traversal
+  kConsolidate,     // Global MAT consolidation (initial packet)
+  kHeaderAction,    // fast path: event check + consolidated header action
+  kStateFunctions,  // fast path: state-function batches
+  kDrop,
+  kDone,
+};
+
+std::string_view span_stage_name(SpanStage stage) noexcept;
+
+struct SpanEvent {
+  SpanStage stage = SpanStage::kDone;
+  /// Chain position for kNf events, -1 otherwise.
+  int nf_index = -1;
+  /// Cycle offset from span start at which this stage COMPLETED.
+  std::uint64_t cycles = 0;
+};
+
+struct PacketSpan {
+  std::uint64_t flow_hash = 0;  // five-tuple hash the sampler keyed on
+  std::uint32_t fid = 0;
+  std::uint64_t start_cycle = 0;  // CycleClock stamp at packet entry
+  bool fast_path = false;
+  bool dropped = false;
+  /// True once kDone/kDrop is recorded — the packet's whole journey is in
+  /// `events`.
+  bool complete = false;
+  std::vector<SpanEvent> events;
+};
+
+class SpanRecorder {
+ public:
+  /// `sample_every_n == 0` disables sampling entirely; `max_spans` bounds
+  /// the completed-span buffer (oldest spans are evicted, eviction count
+  /// reported so truncation is never silent).
+  explicit SpanRecorder(std::uint32_t sample_every_n = 0,
+                        std::size_t max_spans = 256);
+
+  bool enabled() const noexcept { return sample_every_n_ != 0; }
+
+  /// Sampling decision — pure function of the flow hash, so every packet
+  /// of a sampled flow is traced and flows keep shard affinity of their
+  /// spans.
+  bool should_sample(std::uint64_t flow_hash) const noexcept {
+    return sample_every_n_ != 0 && flow_hash % sample_every_n_ == 0;
+  }
+
+  // -- recording side (shard worker thread only) --
+  void begin(std::uint64_t flow_hash, std::uint32_t fid,
+             std::uint64_t start_cycle);
+  void event(SpanStage stage, std::uint64_t cycles, int nf_index = -1);
+  /// Seals the current span (appends kDrop/kDone) and publishes it.
+  void finish(bool fast_path, bool dropped, std::uint64_t total_cycles);
+
+  // -- snapshot side (any thread) --
+  std::vector<PacketSpan> snapshot() const;
+  std::uint64_t sampled_total() const noexcept {
+    return sampled_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evicted_total() const noexcept {
+    return evicted_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint32_t sample_every_n_;
+  const std::size_t max_spans_;
+
+  // Worker-local in-progress span.
+  PacketSpan current_;
+  bool active_ = false;
+
+  mutable std::mutex mutex_;
+  std::deque<PacketSpan> completed_;
+  std::atomic<std::uint64_t> sampled_total_{0};
+  std::atomic<std::uint64_t> evicted_total_{0};
+};
+
+}  // namespace speedybox::telemetry

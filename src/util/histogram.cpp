@@ -68,10 +68,22 @@ std::vector<std::pair<double, double>> SampleRecorder::cdf(
 
 LogHistogram::LogHistogram() : buckets_(kBuckets, 0) {}
 
-int LogHistogram::bucket_index(double value) const noexcept {
+int LogHistogram::raw_bucket_index(double value) noexcept {
   if (value < 1.0) return 0;
   const int index = static_cast<int>(std::log2(value) * kSubBuckets);
   return std::clamp(index, 0, kBuckets - 1);
+}
+
+LogHistogram LogHistogram::from_raw(const std::uint64_t* bucket_counts,
+                                    int n, double sum) {
+  LogHistogram hist;
+  const int limit = std::min(n, kBuckets);
+  for (int i = 0; i < limit; ++i) {
+    hist.buckets_[static_cast<std::size_t>(i)] = bucket_counts[i];
+    hist.count_ += bucket_counts[i];
+  }
+  hist.sum_ = sum;
+  return hist;
 }
 
 double LogHistogram::bucket_low(int index) const noexcept {
@@ -79,7 +91,7 @@ double LogHistogram::bucket_low(int index) const noexcept {
 }
 
 void LogHistogram::add(double value) noexcept {
-  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++buckets_[static_cast<std::size_t>(raw_bucket_index(value))];
   ++count_;
   sum_ += value;
 }

@@ -24,7 +24,12 @@ class SampleRecorder {
   double min() const;
   double max() const;
 
-  /// Exact percentile by rank (nearest-rank method), p in [0, 100].
+  /// Exact percentile by rank (nearest-rank method), p clamped to
+  /// [0, 100]: p=0 returns the minimum sample, p=100 the maximum.
+  /// Throws std::out_of_range when empty (as do min()/max()): an empty
+  /// distribution has no percentiles, and silently returning 0 would
+  /// corrupt merged results. LogHistogram, by contrast, is a streaming
+  /// approximation and reports 0 when empty.
   double percentile(double p) const;
 
   /// CDF points (value at each of the given percentiles) — the series the
@@ -57,11 +62,21 @@ class LogHistogram {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
+  /// Raw bucket geometry, exposed so external single-writer mirrors (the
+  /// telemetry subsystem's atomic per-shard histograms) can accumulate into
+  /// the same buckets and materialize a LogHistogram on snapshot.
+  static constexpr int raw_bucket_count() noexcept { return kBuckets; }
+  static int raw_bucket_index(double value) noexcept;
+  /// Rebuild from externally accumulated raw buckets. `bucket_counts` holds
+  /// `n` leading buckets (missing trailing buckets are zero); `sum` is the
+  /// exact sum of the recorded values (kept for mean()).
+  static LogHistogram from_raw(const std::uint64_t* bucket_counts, int n,
+                               double sum);
+
  private:
   static constexpr int kSubBuckets = 8;   // buckets per octave
   static constexpr int kBuckets = 64 * kSubBuckets;
 
-  int bucket_index(double value) const noexcept;
   double bucket_low(int index) const noexcept;
 
   std::vector<std::uint64_t> buckets_;

@@ -26,6 +26,15 @@ const char* level_name(LogLevel level) noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void log_message(LogLevel level, std::string_view component,
                  const std::string& message) {
   const std::lock_guard lock(g_sink_mutex);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -14,6 +15,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parse a CLI-style level name ("debug", "info", "warn", "error", "off").
+/// Returns nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
 
 /// Core sink; prefer the SB_LOG_* macros which skip argument evaluation
 /// when the level is disabled.

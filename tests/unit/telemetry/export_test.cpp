@@ -1,0 +1,173 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace speedybox::telemetry {
+namespace {
+
+TEST(Json, DumpsScalarsExactly) {
+  Json j = Json::object();
+  j.set("u64", Json::integer(18446744073709551615ull));
+  j.set("neg", Json::number(-2.5));
+  j.set("flag", Json::boolean(true));
+  j.set("text", Json::string("a\"b\\c\n\t"));
+  EXPECT_EQ(j.dump(),
+            "{\"u64\":18446744073709551615,\"neg\":-2.5,\"flag\":true,"
+            "\"text\":\"a\\\"b\\\\c\\n\\t\"}");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  Json root = Json::object();
+  Json arr = Json::array();
+  arr.push(Json::integer(1));
+  arr.push(Json::string("two"));
+  Json inner = Json::object();
+  inner.set("k", Json::number(3.0));
+  arr.push(std::move(inner));
+  root.set("list", std::move(arr));
+  EXPECT_EQ(root.dump(), "{\"list\":[1,\"two\",{\"k\":3}]}");
+}
+
+TEST(Json, NonFiniteNumbersRenderAsNull) {
+  Json j = Json::array();
+  j.push(Json::number(std::numeric_limits<double>::infinity()));
+  j.push(Json::number(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(j.dump(), "[null,null]");
+}
+
+void populate(Registry& registry) {
+  ShardMetrics& shard = registry.create_shard("shard0", {"nat", "monitor"});
+  shard.packets.add(100);
+  shard.mat_hits.add(90);
+  shard.mat_misses.add(10);
+  shard.ring_capacity.set(1024);
+  shard.fastpath_cycles.record(500);
+  shard.slowpath_cycles.record(9000);
+  shard.per_nf[0].packets.add(10);
+  shard.per_nf[0].cycles.record(300);
+  shard.spans.begin(64, 3, 12345);
+  shard.spans.event(SpanStage::kHeaderAction, 40);
+  shard.spans.finish(/*fast_path=*/true, /*dropped=*/false, 55);
+}
+
+TEST(Export, JsonSnapshotHasFullStructure) {
+  Registry registry{/*span_sample_every_n=*/1};
+  populate(registry);
+  const std::string text = to_json(registry.snapshot());
+  for (const char* key :
+       {"\"sequence\"", "\"aggregate\"", "\"shards\"", "\"shard\"",
+        "\"counters\"", "\"packets\":100", "\"mat_hits\":90", "\"gauges\"",
+        "\"ring_capacity\":1024", "\"histograms\"", "\"fastpath_cycles\"",
+        "\"per_nf\"", "\"nf\":\"nat\"", "\"spans\"", "\"flow_hash\":64",
+        "\"stage\":\"header_action\"", "\"complete\":true",
+        "\"spans_sampled\":1"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing " << key
+                                                 << " in " << text;
+  }
+}
+
+/// Minimal Prometheus text-format check: every non-comment line is
+/// `name{label="value",...} number`, every counter ends in _total, and
+/// TYPE headers are unique.
+TEST(Export, PrometheusTextParses) {
+  Registry registry{/*span_sample_every_n=*/1};
+  populate(registry);
+  const std::string text =
+      to_prometheus(registry.snapshot(), "mode=\"speedybox\"");
+  std::istringstream stream{text};
+  std::string line;
+  std::vector<std::string> type_headers;
+  int series = 0;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      EXPECT_EQ(std::count(type_headers.begin(), type_headers.end(), line),
+                0)
+          << "duplicate TYPE header: " << line;
+      type_headers.push_back(line);
+      continue;
+    }
+    ++series;
+    EXPECT_EQ(line.rfind("speedybox_", 0), 0) << line;
+    const auto open = line.find('{');
+    const auto close = line.find('}');
+    ASSERT_NE(open, std::string::npos) << line;
+    ASSERT_NE(close, std::string::npos) << line;
+    ASSERT_LT(open, close) << line;
+    // Labels include the shard and the spliced extra label.
+    const std::string labels = line.substr(open + 1, close - open - 1);
+    EXPECT_NE(labels.find("shard=\"shard0\""), std::string::npos) << line;
+    EXPECT_NE(labels.find("mode=\"speedybox\""), std::string::npos) << line;
+    // One space then a parseable number.
+    ASSERT_EQ(line[close + 1], ' ') << line;
+    char* end = nullptr;
+    const std::string value = line.substr(close + 2);
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+  }
+  EXPECT_GT(series, 20);
+  EXPECT_NE(text.find("speedybox_packets_total"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("nf=\"monitor\""), std::string::npos);
+}
+
+TEST(Export, AppendLineCreatesAndAppends) {
+  const std::string path = testing::TempDir() + "telemetry_append_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(append_line(path, "{\"a\":1}"));
+  ASSERT_TRUE(append_line(path, "{\"a\":2}"));
+  std::ifstream file{path};
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(file, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"a\":2}");
+  std::remove(path.c_str());
+}
+
+TEST(Export, SnapshotterWritesPeriodicallyAndOnStop) {
+  Registry registry{1};
+  ShardMetrics& shard = registry.create_shard("shard0");
+  const std::string path = testing::TempDir() + "telemetry_snapshotter.jsonl";
+  std::remove(path.c_str());
+  {
+    Snapshotter snapshotter{registry, path, std::chrono::milliseconds(1)};
+    // Keep writing while the snapshotter runs — the TSan guard for the
+    // background thread.
+    for (int i = 0; i < 20000; ++i) shard.packets.add(1);
+    snapshotter.stop();
+    EXPECT_GE(snapshotter.snapshots_written(), 1u);
+  }
+  std::ifstream file{path};
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(file, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    last = line;
+    ++lines;
+  }
+  EXPECT_GE(lines, 1u);
+  // The stop() snapshot runs after the last add: it must see the final
+  // count (single writer finished before stop was called).
+  EXPECT_NE(last.find("\"packets\":20000"), std::string::npos) << last;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace speedybox::telemetry

@@ -1,0 +1,104 @@
+#include "telemetry/span.hpp"
+
+#include <gtest/gtest.h>
+
+namespace speedybox::telemetry {
+namespace {
+
+TEST(SpanRecorder, DisabledRecorderSamplesNothing) {
+  SpanRecorder recorder{/*sample_every_n=*/0};
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_FALSE(recorder.should_sample(0));
+  EXPECT_FALSE(recorder.should_sample(64));
+}
+
+TEST(SpanRecorder, SamplesOneInNByHash) {
+  SpanRecorder recorder{/*sample_every_n=*/4};
+  EXPECT_TRUE(recorder.enabled());
+  int sampled = 0;
+  for (std::uint64_t hash = 0; hash < 100; ++hash) {
+    if (recorder.should_sample(hash)) ++sampled;
+  }
+  EXPECT_EQ(sampled, 25);
+  // Deterministic per flow: same hash, same decision.
+  EXPECT_EQ(recorder.should_sample(8), recorder.should_sample(8));
+}
+
+TEST(SpanRecorder, RecordsCompleteSpanWithEvents) {
+  SpanRecorder recorder{1};
+  recorder.begin(/*flow_hash=*/99, /*fid=*/7, /*start_cycle=*/1000);
+  recorder.event(SpanStage::kClassify, 50);
+  recorder.event(SpanStage::kNf, 150, /*nf_index=*/0);
+  recorder.event(SpanStage::kNf, 300, /*nf_index=*/1);
+  recorder.event(SpanStage::kConsolidate, 400);
+  recorder.finish(/*fast_path=*/false, /*dropped=*/false,
+                  /*total_cycles=*/420);
+
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const PacketSpan& span = spans[0];
+  EXPECT_EQ(span.flow_hash, 99u);
+  EXPECT_EQ(span.fid, 7u);
+  EXPECT_EQ(span.start_cycle, 1000u);
+  EXPECT_FALSE(span.fast_path);
+  EXPECT_FALSE(span.dropped);
+  EXPECT_TRUE(span.complete);
+  ASSERT_EQ(span.events.size(), 5u);  // 4 stages + terminal kDone
+  EXPECT_EQ(span.events[0].stage, SpanStage::kClassify);
+  EXPECT_EQ(span.events[1].nf_index, 0);
+  EXPECT_EQ(span.events[2].nf_index, 1);
+  EXPECT_EQ(span.events.back().stage, SpanStage::kDone);
+  EXPECT_EQ(span.events.back().cycles, 420u);
+  // Cycle offsets are non-decreasing along the journey.
+  for (std::size_t i = 1; i < span.events.size(); ++i) {
+    EXPECT_GE(span.events[i].cycles, span.events[i - 1].cycles);
+  }
+}
+
+TEST(SpanRecorder, DroppedPacketSealsWithDropStage) {
+  SpanRecorder recorder{1};
+  recorder.begin(1, 1, 0);
+  recorder.event(SpanStage::kHeaderAction, 30);
+  recorder.finish(/*fast_path=*/true, /*dropped=*/true, 30);
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].dropped);
+  EXPECT_TRUE(spans[0].fast_path);
+  EXPECT_EQ(spans[0].events.back().stage, SpanStage::kDrop);
+}
+
+TEST(SpanRecorder, EvictsOldestWhenFullAndCountsEvictions) {
+  SpanRecorder recorder{/*sample_every_n=*/1, /*max_spans=*/2};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    recorder.begin(i, static_cast<std::uint32_t>(i), 0);
+    recorder.finish(false, false, 1);
+  }
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Oldest evicted: the survivors are the two most recent flows.
+  EXPECT_EQ(spans[0].flow_hash, 3u);
+  EXPECT_EQ(spans[1].flow_hash, 4u);
+  EXPECT_EQ(recorder.sampled_total(), 5u);
+  EXPECT_EQ(recorder.evicted_total(), 3u);
+}
+
+TEST(SpanRecorder, EventWithoutBeginIsIgnored) {
+  SpanRecorder recorder{1};
+  recorder.event(SpanStage::kNf, 10, 0);  // no active span: no-op
+  recorder.finish(false, false, 10);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.sampled_total(), 0u);
+}
+
+TEST(SpanStageName, CoversAllStages) {
+  EXPECT_EQ(span_stage_name(SpanStage::kClassify), "classify");
+  EXPECT_EQ(span_stage_name(SpanStage::kNf), "nf");
+  EXPECT_EQ(span_stage_name(SpanStage::kConsolidate), "consolidate");
+  EXPECT_EQ(span_stage_name(SpanStage::kHeaderAction), "header_action");
+  EXPECT_EQ(span_stage_name(SpanStage::kStateFunctions), "state_functions");
+  EXPECT_EQ(span_stage_name(SpanStage::kDrop), "drop");
+  EXPECT_EQ(span_stage_name(SpanStage::kDone), "done");
+}
+
+}  // namespace
+}  // namespace speedybox::telemetry

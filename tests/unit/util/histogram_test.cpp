@@ -58,6 +58,41 @@ TEST(SampleRecorder, CdfPoints) {
   EXPECT_DOUBLE_EQ(points[2].second, 9.0);
 }
 
+TEST(SampleRecorder, MergeDisjointRangesEqualsSingleRecorder) {
+  SampleRecorder low, high, all;
+  for (int i = 1; i <= 50; ++i) {
+    low.add(i);
+    all.add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    high.add(i);
+    all.add(i);
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), all.count());
+  for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(low.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(low.min(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max(), 100.0);
+}
+
+TEST(SampleRecorder, MergeEmptySides) {
+  SampleRecorder rec, empty;
+  rec.add(7.0);
+  rec.merge(empty);  // no-op
+  EXPECT_EQ(rec.count(), 1u);
+  empty.merge(rec);  // into-empty works
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 7.0);
+}
+
+TEST(SampleRecorder, PercentileClampsOutOfRangeP) {
+  SampleRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.add(i);
+  EXPECT_DOUBLE_EQ(rec.percentile(-5), rec.percentile(0));
+  EXPECT_DOUBLE_EQ(rec.percentile(250), rec.percentile(100));
+}
+
 TEST(LogHistogram, ApproximatePercentiles) {
   LogHistogram hist;
   for (int i = 1; i <= 10000; ++i) hist.add(i);
@@ -78,6 +113,76 @@ TEST(LogHistogram, EmptyIsZero) {
   EXPECT_EQ(hist.count(), 0u);
   EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
   EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(LogHistogram, PercentileEndpointsClampAndOrder) {
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.add(i);
+  // p is clamped to [0, 100]; endpoints bracket the distribution within
+  // bucket resolution.
+  EXPECT_DOUBLE_EQ(hist.percentile(-10), hist.percentile(0));
+  EXPECT_DOUBLE_EQ(hist.percentile(200), hist.percentile(100));
+  EXPECT_LE(hist.percentile(0), hist.percentile(50));
+  EXPECT_LE(hist.percentile(50), hist.percentile(100));
+  EXPECT_NEAR(hist.percentile(100), 1000.0, 1000.0 * 0.10);
+}
+
+TEST(LogHistogram, MergeDisjointRanges) {
+  LogHistogram low, high;
+  for (int i = 1; i <= 100; ++i) low.add(i);
+  for (int i = 10000; i <= 10100; ++i) high.add(i);
+  low.merge(high);
+  EXPECT_EQ(low.count(), 201u);
+  // Lower half of the merged mass is the small range, upper half the big.
+  EXPECT_NEAR(low.percentile(25), 50.0, 50.0 * 0.15);
+  EXPECT_NEAR(low.percentile(75), 10050.0, 10050.0 * 0.10);
+}
+
+TEST(LogHistogram, MergeThenPercentileEqualsSingleHistogram) {
+  // Bucket math is deterministic, so merged percentiles must equal the
+  // single-histogram percentiles exactly — not just approximately.
+  LogHistogram a, b, all;
+  for (int i = 1; i <= 5000; ++i) {
+    ((i % 3 == 0) ? a : b).add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LogHistogram, FromRawRoundTrip) {
+  // Accumulating raw buckets through the static geometry then rebuilding
+  // must reproduce the directly built histogram (the telemetry subsystem's
+  // atomic mirror relies on this).
+  LogHistogram direct;
+  std::vector<std::uint64_t> raw(
+      static_cast<std::size_t>(LogHistogram::raw_bucket_count()), 0);
+  double sum = 0.0;
+  for (const double v : {0.5, 1.0, 3.0, 17.0, 900.0, 1e6, 1e18}) {
+    direct.add(v);
+    ++raw[static_cast<std::size_t>(LogHistogram::raw_bucket_index(v))];
+    sum += v;
+  }
+  const LogHistogram rebuilt = LogHistogram::from_raw(
+      raw.data(), static_cast<int>(raw.size()), sum);
+  EXPECT_EQ(rebuilt.count(), direct.count());
+  EXPECT_DOUBLE_EQ(rebuilt.mean(), direct.mean());
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(rebuilt.percentile(p), direct.percentile(p));
+  }
+}
+
+TEST(LogHistogram, FromRawShortPrefixTreatsTailAsZero) {
+  std::vector<std::uint64_t> raw(4, 0);
+  raw[0] = 2;  // two values in [1, 2^(1/8))
+  const LogHistogram hist = LogHistogram::from_raw(raw.data(), 4, 2.2);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1.1);
+  EXPECT_LT(hist.percentile(100), 2.0);
 }
 
 TEST(SummarizePercentiles, FormatsKeyFields) {

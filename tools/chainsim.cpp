@@ -9,10 +9,12 @@
 //
 // Available NFs: nat, maglev, monitor, heavymonitor, ipfilter, firewall
 // (drops dst port 23), snort, gateway, vpn-out, vpn-in, dos, synthetic.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,9 +29,12 @@
 #include "nf/vpn_gateway.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sharded_runtime.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/payload_synth.hpp"
 #include "trace/pcap.hpp"
 #include "util/cycle_clock.hpp"
+#include "util/logging.hpp"
 
 using namespace speedybox;
 
@@ -51,6 +56,10 @@ struct Options {
   long fail_backend_at = -1;  // packet index at which backend 0 dies
   bool csv = false;
   std::size_t shards = 0;  // 0 = single-threaded ChainRunner
+  std::string metrics_out;         // JSON-lines snapshot file
+  std::string metrics_prom;        // Prometheus text file (overwritten)
+  long metrics_interval_ms = 0;    // 0 = final snapshot only
+  std::uint32_t trace_sample = 0;  // 1-in-N packet span sampling (0 = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -71,7 +80,14 @@ struct Options {
       "  --shards N                 run on the flow-sharded runtime with N\n"
       "                             chain replicas (one worker thread each)\n"
       "  --seed N                   workload seed (default 42)\n"
-      "  --csv                      machine-readable one-line-per-config\n",
+      "  --csv                      machine-readable one-line-per-config\n"
+      "  --metrics-out FILE         append a JSON telemetry snapshot line\n"
+      "  --metrics-prom FILE        write a Prometheus text snapshot\n"
+      "  --metrics-interval MS      also snapshot every MS ms (JSON-lines,\n"
+      "                             background thread; needs --metrics-out)\n"
+      "  --trace-sample N           record full packet spans for 1-in-N\n"
+      "                             flows (exported with --metrics-out)\n"
+      "  --log-level LEVEL          debug|info|warn|error|off\n",
       argv0);
   std::exit(2);
 }
@@ -134,6 +150,19 @@ Options parse_options(int argc, char** argv) {
       options.seed = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = need_value(i);
+    } else if (arg == "--metrics-prom") {
+      options.metrics_prom = need_value(i);
+    } else if (arg == "--metrics-interval") {
+      options.metrics_interval_ms = std::strtol(need_value(i), nullptr, 10);
+    } else if (arg == "--trace-sample") {
+      options.trace_sample =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--log-level") {
+      const auto level = util::parse_log_level(need_value(i));
+      if (!level) usage(argv[0]);
+      util::set_log_level(*level);
     } else {
       usage(argv[0]);
     }
@@ -274,13 +303,16 @@ void report(const Options& options, const char* mode,
 }
 
 void run_mode(const Options& options, bool speedybox,
-              const std::vector<net::Packet>& packets) {
+              const std::vector<net::Packet>& packets,
+              telemetry::Registry* registry) {
   BuiltChain built = build_chain(options);
   const runtime::RunConfig config{options.platform, speedybox, false};
   const std::string mode = speedybox ? "speedybox" : "original";
 
   if (options.shards > 0) {
-    runtime::ShardedRuntime sharded{*built.chain, options.shards, config};
+    runtime::ShardedRuntime sharded{*built.chain, options.shards,
+                                    config,       1024,
+                                    registry,     mode + "/"};
     const runtime::ShardedRunResult result = sharded.run_packets(packets);
     const std::string label = mode + " x" + std::to_string(options.shards);
     report(options, label.c_str(), result.stats);
@@ -301,6 +333,10 @@ void run_mode(const Options& options, bool speedybox,
   }
 
   runtime::ChainRunner runner{*built.chain, config};
+  if (registry != nullptr) {
+    runner.set_telemetry(
+        &registry->create_shard(mode + "/main", built.chain->nf_names()));
+  }
   if (options.fail_backend_at < 0) {
     runner.run_packets(packets);
   } else {
@@ -322,12 +358,55 @@ void run_mode(const Options& options, bool speedybox,
 int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv);
   const std::vector<net::Packet> packets = build_packets(options);
+
+  // One registry for the whole process; the two modes (and their shards)
+  // disambiguate through shard labels ("original/shard0", "speedybox/main").
+  std::unique_ptr<telemetry::Registry> registry;
+  std::optional<telemetry::Snapshotter> snapshotter;
+  if (!options.metrics_out.empty() || !options.metrics_prom.empty() ||
+      options.trace_sample > 0) {
+    registry = std::make_unique<telemetry::Registry>(options.trace_sample);
+    if (options.metrics_interval_ms > 0 && !options.metrics_out.empty()) {
+      snapshotter.emplace(
+          *registry, options.metrics_out,
+          std::chrono::milliseconds(options.metrics_interval_ms));
+    }
+  }
+
   if (options.csv) {
     std::printf(
         "platform,mode,packets,drops,events,cycles_p50,lat_p50_us,"
         "lat_p99_us,rate_mpps\n");
   }
-  if (options.run_original) run_mode(options, false, packets);
-  if (options.run_speedybox) run_mode(options, true, packets);
+  if (options.run_original) {
+    run_mode(options, false, packets, registry.get());
+  }
+  if (options.run_speedybox) {
+    run_mode(options, true, packets, registry.get());
+  }
+
+  if (registry != nullptr) {
+    if (snapshotter) {
+      snapshotter->stop();  // writes the final JSON-lines snapshot
+    } else if (!options.metrics_out.empty()) {
+      if (!telemetry::append_line(options.metrics_out,
+                                  to_json(registry->snapshot()))) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     options.metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!options.metrics_prom.empty()) {
+      const std::string text = to_prometheus(registry->snapshot());
+      std::FILE* file = std::fopen(options.metrics_prom.c_str(), "w");
+      if (file == nullptr ||
+          std::fwrite(text.data(), 1, text.size(), file) != text.size() ||
+          std::fclose(file) != 0) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     options.metrics_prom.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

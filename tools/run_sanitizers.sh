@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 
 # The suites that exercise threads and shared rings. The rest of the tree
 # is single-threaded and covered by the regular build.
-TARGETS=(test_util test_runtime test_integration test_equivalence)
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence)
 
 run_one() {
   local sanitizer="$1"
