@@ -37,10 +37,13 @@ inline ConfigResult run_config(const ChainFactory& factory,
                                platform::PlatformKind platform,
                                bool speedybox,
                                const trace::Workload& workload,
-                               bool measure_per_nf = false) {
+                               bool measure_per_nf = false,
+                               std::size_t batch_size =
+                                   net::kDefaultBatchSize) {
   auto chain = factory();
-  runtime::ChainRunner runner{*chain,
-                              {platform, speedybox, measure_per_nf}};
+  runtime::RunConfig config{platform, speedybox, measure_per_nf};
+  config.batch_size = batch_size;
+  runtime::ChainRunner runner{*chain, config};
   runner.run_workload(workload);
   ConfigResult result;
   result.stats = runner.stats();

@@ -13,12 +13,19 @@ std::optional<PacketClassifier::Classification> PacketClassifier::classify(
   if (!parsed || !net::verify_ipv4_checksum(packet, parsed->l3_offset)) {
     return std::nullopt;
   }
+  return classify(packet, &*parsed);
+}
+
+std::optional<PacketClassifier::Classification> PacketClassifier::classify(
+    net::Packet& packet, const net::ParsedPacket* pre_parsed) {
+  if (pre_parsed == nullptr) return std::nullopt;
+  const net::ParsedPacket& parsed = *pre_parsed;
 
   Classification result;
-  result.parsed = *parsed;
-  result.teardown = parsed->is_tcp() && parsed->has_fin_or_rst();
+  result.parsed = parsed;
+  result.teardown = parsed.is_tcp() && parsed.has_fin_or_rst();
 
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const net::FiveTuple tuple = net::extract_five_tuple(packet, parsed);
   const std::uint64_t stamp = packet.arrival_cycle() != 0
                                   ? packet.arrival_cycle()
                                   : util::CycleClock::now();

@@ -40,6 +40,14 @@ class PacketClassifier {
   /// malformed packets (caller drops them).
   std::optional<Classification> classify(net::Packet& packet);
 
+  /// Batched front end: `pre_parsed` is this packet's parse from the batch
+  /// pre-pass, already checksum-validated — the lookup/FID half runs
+  /// without re-parsing. Passing nullptr means the pre-pass found the
+  /// packet malformed: the classification fails exactly as the parsing
+  /// overload's would.
+  std::optional<Classification> classify(
+      net::Packet& packet, const net::ParsedPacket* pre_parsed);
+
   /// Free the FID after the teardown packet has been fully processed.
   void release_flow(std::uint32_t fid);
 

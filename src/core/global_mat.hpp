@@ -21,6 +21,7 @@
 #include "core/local_mat.hpp"
 #include "core/parallel_schedule.hpp"
 #include "core/state_function.hpp"
+#include "util/prefetch.hpp"
 
 namespace speedybox::core {
 
@@ -77,6 +78,17 @@ class GlobalMat {
   const ConsolidatedRule* find(std::uint32_t fid) const {
     const auto it = rules_.find(fid);
     return it == rules_.end() ? nullptr : it->second.get();
+  }
+
+  /// Batch pre-pass hint: warm the cache lines of `fid`'s consolidated rule
+  /// so the fast-path packets behind it in the burst find the rule resident
+  /// (DESIGN.md §8). A hint only — a miss or a stale line never affects
+  /// correctness.
+  void prefetch(std::uint32_t fid) const noexcept {
+    const auto it = rules_.find(fid);
+    if (it != rules_.end()) {
+      util::prefetch_read(it->second.get());
+    }
   }
 
   /// Shared snapshot of the flow's current rule (threaded deployments pin

@@ -1,0 +1,88 @@
+// PacketBatch: the unit of vector processing (DESIGN.md §8).
+//
+// A fixed-capacity, non-owning view over packet descriptors with a validity
+// mask — the software analogue of a DPDK rx burst / BESS packet vector.
+// Executors fill a batch, hand it down the data path, and every stage
+// operates on the whole burst: per-packet dispatch overhead (virtual calls,
+// timer pairs, ring operations) amortizes across the batch and each stage
+// can prefetch the state its later iterations will touch.
+//
+// Contract (mask, don't compact): a packet that drops mid-batch keeps its
+// slot and is masked invalid; it is never compacted away. Slot index == the
+// packet's position in the original arrival order for the whole traversal,
+// so relative order — including teardown markers against later packets of
+// the same flow — is preserved by construction, and per-slot results
+// (outcomes, telemetry attribution) line up with inputs without an index
+// indirection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace speedybox::net {
+
+/// Default burst size — the DPDK rx-burst convention. Wired through
+/// RunConfig::batch_size and chainsim --batch-size.
+inline constexpr std::size_t kDefaultBatchSize = 32;
+
+class PacketBatch {
+ public:
+  explicit PacketBatch(std::size_t capacity = kDefaultBatchSize)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(capacity_);
+    valid_.reserve(capacity_);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Number of slots in use (valid or masked).
+  std::size_t size() const noexcept { return slots_.size(); }
+  bool empty() const noexcept { return slots_.empty(); }
+  bool full() const noexcept { return slots_.size() >= capacity_; }
+
+  /// Append a packet; a packet already marked dropped enters masked.
+  /// Returns the slot index. The batch borrows the pointer — the caller
+  /// keeps ownership and must keep the packet alive for the batch's life.
+  std::size_t push(Packet* packet) {
+    const std::size_t slot = slots_.size();
+    slots_.push_back(packet);
+    const bool valid = packet != nullptr && !packet->dropped();
+    valid_.push_back(valid ? 1 : 0);
+    if (valid) ++valid_count_;
+    return slot;
+  }
+
+  Packet& packet(std::size_t slot) noexcept { return *slots_[slot]; }
+  const Packet& packet(std::size_t slot) const noexcept {
+    return *slots_[slot];
+  }
+
+  bool valid(std::size_t slot) const noexcept { return valid_[slot] != 0; }
+
+  /// Mask a slot out (packet dropped or otherwise finished mid-batch).
+  /// The slot itself stays — mask, don't compact.
+  void mask(std::size_t slot) noexcept {
+    if (valid_[slot] != 0) {
+      valid_[slot] = 0;
+      --valid_count_;
+    }
+  }
+
+  std::size_t valid_count() const noexcept { return valid_count_; }
+
+  void clear() noexcept {
+    slots_.clear();
+    valid_.clear();
+    valid_count_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Packet*> slots_;
+  std::vector<std::uint8_t> valid_;  // 1 = live, 0 = masked out
+  std::size_t valid_count_ = 0;
+};
+
+}  // namespace speedybox::net

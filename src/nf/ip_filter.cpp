@@ -1,5 +1,7 @@
 #include "nf/ip_filter.hpp"
 
+#include "util/prefetch.hpp"
+
 namespace speedybox::nf {
 namespace {
 
@@ -92,6 +94,59 @@ void IpFilter::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     ++drops_;
   }
   if (parsed->has_fin_or_rst()) verdict_cache_.erase(tuple);
+}
+
+void IpFilter::process_batch(net::PacketBatch& batch,
+                             std::span<core::SpeedyBoxContext* const> ctxs) {
+  // Pre-pass: parse + validate (stateless beyond the per-packet drop flag)
+  // and stream the ACL rules into cache for the miss-path linear scans.
+  struct Live {
+    std::size_t slot;
+    net::FiveTuple tuple;
+    bool fin_or_rst;
+  };
+  std::vector<Live> live;
+  live.reserve(batch.size());
+  for (const AclRule& rule : acl_) util::prefetch_read(&rule);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch.valid(i)) continue;
+    core::SpeedyBoxContext* ctx = ctxs.empty() ? nullptr : ctxs[i];
+    if (ctx != nullptr) {
+      // Recording stays scalar (DESIGN.md §8).
+      process(batch.packet(i), ctx);
+      if (batch.packet(i).dropped()) batch.mask(i);
+      continue;
+    }
+    net::Packet& packet = batch.packet(i);
+    count_packet();
+    const auto parsed = parse_and_check(packet);
+    if (!parsed) {
+      ++drops_;
+      batch.mask(i);
+      continue;
+    }
+    live.push_back({i, net::extract_five_tuple(packet, *parsed),
+                    parsed->has_fin_or_rst()});
+  }
+  // Stateful pass in slot order: verdict cache hits/misses, drops, and the
+  // FIN/RST cache erase interleave exactly as the scalar loop would — a
+  // teardown followed by a same-tuple packet in one batch re-scans the ACL.
+  for (const Live& entry : live) {
+    bool drop;
+    const auto it = verdict_cache_.find(entry.tuple);
+    if (it != verdict_cache_.end()) {
+      drop = it->second;
+    } else {
+      drop = lookup_acl(entry.tuple);
+      verdict_cache_.emplace(entry.tuple, drop);
+    }
+    if (drop) {
+      batch.packet(entry.slot).mark_dropped();
+      ++drops_;
+      batch.mask(entry.slot);
+    }
+    if (entry.fin_or_rst) verdict_cache_.erase(entry.tuple);
+  }
 }
 
 void IpFilter::on_flow_teardown(const net::FiveTuple& tuple) {

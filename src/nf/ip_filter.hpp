@@ -42,6 +42,12 @@ class IpFilter : public NetworkFunction {
   explicit IpFilter(std::vector<AclRule> acl, std::string name = "ipfilter");
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  /// Batched override: parse + validate + tuple extraction hoisted into a
+  /// pre-pass that streams the ACL into cache; verdict lookups, cache
+  /// mutations and drops run in slot order (FIN-erase then same-tuple
+  /// re-scan interactions stay exactly as scalar).
+  void process_batch(net::PacketBatch& batch,
+                     std::span<core::SpeedyBoxContext* const> ctxs) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
   std::unique_ptr<NetworkFunction> clone() const override {
     return std::make_unique<IpFilter>(acl_, name());

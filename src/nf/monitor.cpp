@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/hash.hpp"
+#include "util/prefetch.hpp"
 
 namespace speedybox::nf {
 
@@ -38,6 +39,54 @@ void Monitor::account(const net::FiveTuple& tuple, const net::Packet& packet,
     for (const std::uint8_t byte : net::payload_view(packet, parsed)) {
       ++byte_histogram_[byte];
     }
+  }
+}
+
+void Monitor::process_batch(net::PacketBatch& batch,
+                            std::span<core::SpeedyBoxContext* const> ctxs) {
+  // Pre-pass (stateless, so hoisting it out of slot order cannot change
+  // behavior): parse + validate every live packet, extract its five-tuple,
+  // and prefetch the sketch cells the accounting pass will increment.
+  // Everything stateful — counter updates, map insertions — runs in slot
+  // order in the second pass, keeping the batch bit-identical to scalar.
+  struct Live {
+    std::size_t slot;
+    net::ParsedPacket parsed;
+    net::FiveTuple tuple;
+  };
+  std::vector<Live> live;
+  live.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch.valid(i)) continue;
+    core::SpeedyBoxContext* ctx = ctxs.empty() ? nullptr : ctxs[i];
+    if (ctx != nullptr) {
+      // Recording stays scalar (DESIGN.md §8): it runs once per flow and
+      // its Local MAT writes must interleave exactly as on the scalar path.
+      process(batch.packet(i), ctx);
+      if (batch.packet(i).dropped()) batch.mask(i);
+      continue;
+    }
+    net::Packet& packet = batch.packet(i);
+    count_packet();
+    const auto parsed = parse_and_check(packet);
+    if (!parsed) {
+      batch.mask(i);
+      continue;
+    }
+    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    if (config_.sketch_depth > 0) {
+      const std::uint64_t h = tuple.hash();
+      for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
+        const std::uint64_t index =
+            util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
+            config_.sketch_width;
+        util::prefetch_write(&sketch_[row][index]);
+      }
+    }
+    live.push_back({i, *parsed, tuple});
+  }
+  for (const Live& entry : live) {
+    account(entry.tuple, batch.packet(entry.slot), entry.parsed);
   }
 }
 

@@ -60,6 +60,12 @@ class Monitor : public NetworkFunction {
   Monitor(MonitorConfig config, std::string name);
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  /// Batched override: a stateless pre-pass parses every packet, hashes its
+  /// five-tuple once, and prefetches the sketch rows the accounting pass
+  /// will increment (heavy() rows exceed cache). Recording slots fall back
+  /// to the scalar path. Byte- and state-identical to per-packet process().
+  void process_batch(net::PacketBatch& batch,
+                     std::span<core::SpeedyBoxContext* const> ctxs) override;
   std::unique_ptr<NetworkFunction> clone() const override {
     return std::make_unique<Monitor>(config_, name());
   }

@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/api.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 
 namespace speedybox::nf {
 
@@ -32,6 +34,24 @@ class NetworkFunction {
 
   /// Process one packet. May mark it dropped; the chain stops there.
   virtual void process(net::Packet& packet, core::SpeedyBoxContext* ctx) = 0;
+
+  /// Process a burst (DESIGN.md §8). `ctxs` carries one SpeedyBoxContext*
+  /// per slot, or is empty when every slot runs baseline (ctx = nullptr).
+  /// The default loops the scalar process() over the valid slots in slot
+  /// order — every NF keeps working unchanged — and masks slots whose
+  /// packet dropped. Overrides (Monitor, IpFilter, SnortIds) hoist the
+  /// stateless per-packet work (parse + validate + hash) into a pre-pass
+  /// that prefetches across the batch, but MUST keep all stateful work in
+  /// slot order and byte-identical to the scalar path: the differential
+  /// harness compares the two paths bit for bit.
+  virtual void process_batch(net::PacketBatch& batch,
+                             std::span<core::SpeedyBoxContext* const> ctxs) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.valid(i)) continue;
+      process(batch.packet(i), ctxs.empty() ? nullptr : ctxs[i]);
+      if (batch.packet(i).dropped()) batch.mask(i);
+    }
+  }
 
   /// Create a configuration-identical instance with fresh per-flow state —
   /// how a sharded deployment replicates the chain, one replica per core.

@@ -1,5 +1,7 @@
 #include "nf/snort_ids.hpp"
 
+#include "util/prefetch.hpp"
+
 namespace speedybox::nf {
 
 namespace {
@@ -145,6 +147,51 @@ void SnortIds::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   // on the recorded path the teardown hook does it (after the rule whose
   // handler references this state has been destroyed).
   if (ctx == nullptr && parsed->has_fin_or_rst()) flows_.erase(tuple);
+}
+
+void SnortIds::process_batch(net::PacketBatch& batch,
+                             std::span<core::SpeedyBoxContext* const> ctxs) {
+  // Pre-pass: parse + validate and prefetch each payload — the automaton
+  // walks every payload byte, so streaming the later packets' payloads in
+  // while the earlier ones are inspected hides their memory latency.
+  struct Live {
+    std::size_t slot;
+    net::ParsedPacket parsed;
+    net::FiveTuple tuple;
+  };
+  std::vector<Live> live;
+  live.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch.valid(i)) continue;
+    core::SpeedyBoxContext* ctx = ctxs.empty() ? nullptr : ctxs[i];
+    if (ctx != nullptr) {
+      // Recording stays scalar (DESIGN.md §8).
+      process(batch.packet(i), ctx);
+      if (batch.packet(i).dropped()) batch.mask(i);
+      continue;
+    }
+    net::Packet& packet = batch.packet(i);
+    count_packet();
+    const auto parsed = parse_and_check(packet);
+    if (!parsed) {
+      batch.mask(i);
+      continue;
+    }
+    const auto payload = net::payload_view(packet, *parsed);
+    for (std::size_t off = 0; off < payload.size();
+         off += util::kCacheLineSize) {
+      util::prefetch_read(payload.data() + off);
+    }
+    live.push_back({i, *parsed, net::extract_five_tuple(packet, *parsed)});
+  }
+  // Stateful pass in slot order: candidate-set assignment (first packet of
+  // a flow), inspection, and the inline FIN/RST flow-state erase interleave
+  // exactly as the scalar loop would.
+  for (const Live& entry : live) {
+    FlowState& state = flow_state(entry.tuple);
+    inspect(entry.tuple, state, batch.packet(entry.slot), entry.parsed);
+    if (entry.parsed.has_fin_or_rst()) flows_.erase(entry.tuple);
+  }
 }
 
 void SnortIds::on_flow_teardown(const net::FiveTuple& tuple) {

@@ -41,6 +41,12 @@ class SnortIds : public NetworkFunction {
                     std::string name = "snort");
 
   void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  /// Batched override: parse + tuple extraction hoisted into a pre-pass
+  /// that prefetches each packet's payload ahead of the automaton scans;
+  /// flow-table mutations, inspection and teardown erases stay in slot
+  /// order, bit-identical to scalar.
+  void process_batch(net::PacketBatch& batch,
+                     std::span<core::SpeedyBoxContext* const> ctxs) override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
   /// Replicas recompile the automaton from the rule set (config-time cost,
   /// paid once per shard at deployment).

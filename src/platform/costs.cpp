@@ -58,6 +58,7 @@ PlatformCosts PlatformCosts::measure() {
   costs.onvm_ring_hop_cycles =
       measure_ring_pair() + kCrossCorePenaltyCycles + kPerNfFrameworkCycles;
   costs.fork_join_cycles = kForkJoinCycles;
+  costs.rx_burst_fixed_cycles = kRxBurstFixedCycles;
   return costs;
 }
 

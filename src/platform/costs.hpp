@@ -23,6 +23,11 @@
 //     metadata management; ONVM's NF-side wrapper is similar. We use 75.
 //   * fork/join of one parallel state-function group onto spinning worker
 //     cores: one cache-line handoff each way plus wakeup, ~150 cycles.
+//   * per-burst rx fixed cost: one rx-burst poll (descriptor-ring scan and
+//     refill, doorbell write) costs a DPDK-class driver a few hundred
+//     cycles regardless of how many packets the burst returns; we use 600.
+//     Each packet pays its burst's share — the amortization that makes
+//     vector I/O pay off (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +50,10 @@ inline constexpr std::uint64_t kPerNfFrameworkCycles = 75;
 /// (documented constant; spinning workers).
 inline constexpr std::uint64_t kForkJoinCycles = 150;
 
+/// Fixed cost of one rx-burst poll at the pipeline entry (documented
+/// constant), paid once per burst and shared by the packets in it.
+inline constexpr std::uint64_t kRxBurstFixedCycles = 600;
+
 struct PlatformCosts {
   /// Per-module hand-off inside the BESS process:
   /// measured indirect call + framework share.
@@ -55,6 +64,9 @@ struct PlatformCosts {
       130 + kCrossCorePenaltyCycles + kPerNfFrameworkCycles;
   /// Fork/join overhead per parallel state-function group.
   std::uint64_t fork_join_cycles = kForkJoinCycles;
+  /// Per-burst rx fixed cost; each packet is charged
+  /// rx_burst_fixed_cycles / burst-occupancy at the pipeline entry.
+  std::uint64_t rx_burst_fixed_cycles = kRxBurstFixedCycles;
 
   /// Calibrated-once singleton (measures ring + call costs at first use).
   static const PlatformCosts& calibrated();

@@ -1,10 +1,16 @@
 #include "platform/onvm_pipeline.hpp"
 
+#include <span>
+
+#include "net/packet_batch.hpp"
+
 namespace speedybox::platform {
 
 OnvmPipeline::OnvmPipeline(std::vector<nf::NetworkFunction*> stages,
-                           std::size_t ring_capacity)
-    : stages_(std::move(stages)) {
+                           std::size_t ring_capacity,
+                           std::size_t batch_size)
+    : stages_(std::move(stages)),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {
   rings_.reserve(stages_.size());
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     rings_.push_back(
@@ -34,29 +40,52 @@ void OnvmPipeline::push(net::Packet packet) {
 void OnvmPipeline::worker(std::size_t stage) {
   util::SpscRing<net::Packet*>& in = *rings_[stage];
   const bool last = stage + 1 == stages_.size();
+  // Burst discipline (DESIGN.md §8): one try_pop_burst fills a PacketBatch,
+  // the NF processes the whole vector (dropped packets are masked in place,
+  // never compacted, so slot order == arrival order), and the survivors
+  // forward downstream with one burst push. Stage semantics are identical
+  // to the descriptor-at-a-time loop.
+  std::vector<net::Packet*> descriptors(batch_size_);
+  std::vector<net::Packet*> survivors;
+  survivors.reserve(batch_size_);
+  net::PacketBatch batch{batch_size_};
   for (;;) {
-    auto descriptor = in.try_pop();
-    if (!descriptor) {
+    const std::size_t popped =
+        in.try_pop_burst(std::span<net::Packet*>{descriptors});
+    if (popped == 0) {
       if (stop_flags_[stage]->load(std::memory_order_acquire) && in.empty()) {
         return;
       }
       std::this_thread::yield();
       continue;
     }
-    net::Packet* packet = *descriptor;
-    stages_[stage]->process(*packet, nullptr);
-    if (packet->dropped()) {
-      delete packet;  // descriptor set to nil: packet memory released
-      continue;
+    batch.clear();
+    for (std::size_t i = 0; i < popped; ++i) {
+      batch.push(descriptors[i]);
     }
+    stages_[stage]->process_batch(batch, {});
+    survivors.clear();
+    for (std::size_t i = 0; i < popped; ++i) {
+      net::Packet* packet = descriptors[i];
+      if (packet->dropped()) {
+        delete packet;  // slot masked in the batch: packet memory released
+        continue;
+      }
+      survivors.push_back(packet);
+    }
+    if (survivors.empty()) continue;
     if (last) {
       const std::lock_guard lock(sink_mutex_);
-      sink_.push_back(std::move(*packet));
-      delete packet;
+      for (net::Packet* packet : survivors) {
+        sink_.push_back(std::move(*packet));
+        delete packet;
+      }
     } else {
       util::SpscRing<net::Packet*>& out = *rings_[stage + 1];
-      while (!out.try_push(packet)) {
-        std::this_thread::yield();
+      std::span<net::Packet*> pending{survivors};
+      while (!pending.empty()) {
+        pending = pending.subspan(out.try_push_burst(pending));
+        if (!pending.empty()) std::this_thread::yield();
       }
     }
   }

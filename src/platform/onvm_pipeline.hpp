@@ -26,9 +26,12 @@ class OnvmPipeline {
  public:
   /// NFs are borrowed and must outlive the pipeline. Processing starts
   /// immediately; packets pushed before stop() flow through every stage in
-  /// FIFO order.
+  /// FIFO order. Each stage drains its ring in bursts of up to
+  /// `batch_size` descriptors and hands them to the NF's process_batch
+  /// (DESIGN.md §8); 1 degenerates to descriptor-at-a-time.
   OnvmPipeline(std::vector<nf::NetworkFunction*> stages,
-               std::size_t ring_capacity = 1024);
+               std::size_t ring_capacity = 1024,
+               std::size_t batch_size = net::kDefaultBatchSize);
   ~OnvmPipeline();
 
   OnvmPipeline(const OnvmPipeline&) = delete;
@@ -46,6 +49,7 @@ class OnvmPipeline {
   void worker(std::size_t stage);
 
   std::vector<nf::NetworkFunction*> stages_;
+  std::size_t batch_size_;
   /// Ring i feeds stage i. The last stage appends to the (unbounded) sink
   /// under a mutex, so the pipeline can never deadlock on a full tail ring.
   std::vector<std::unique_ptr<util::SpscRing<net::Packet*>>> rings_;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "net/checksum.hpp"
 #include "util/cycle_clock.hpp"
 
 namespace speedybox::runtime {
@@ -103,6 +104,8 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
   const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
   const std::uint64_t hop =
       onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
+  // Scalar = a burst of one: the packet carries the whole rx fixed cost.
+  const std::uint64_t ingress = costs_.rx_burst_fixed_cycles;
 
   for (std::size_t i = 0; i < chain_.size(); ++i) {
     const std::uint64_t t0 = util::CycleClock::now();
@@ -124,14 +127,18 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
       spans->event(telemetry::SpanStage::kNf, outcome.work_cycles,
                    static_cast<int>(i));
     }
-    // ONVM pipeline: each NF core is a stage (steady state only).
-    if (onvm && !outcome.initial) add_stage_sample(i, cycles + hop);
+    // ONVM pipeline: each NF core is a stage (steady state only); the
+    // first stage fronts the rx burst.
+    if (onvm && !outcome.initial) {
+      add_stage_sample(i, cycles + hop + (i == 0 ? ingress : 0));
+    }
 
     if (packet.dropped()) {
       outcome.dropped = true;
       break;
     }
   }
+  outcome.latency_cycles += ingress;
   outcome.platform_cycles = outcome.latency_cycles;
   // BESS run-to-completion: one logical stage.
   if (!onvm && !outcome.initial) add_stage_sample(0, outcome.latency_cycles);
@@ -142,162 +149,192 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
   return outcome;
 }
 
-PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
-  PacketOutcome outcome;
+void ChainRunner::run_recording_path(
+    net::Packet& packet,
+    const core::PacketClassifier::Classification& classification,
+    std::uint64_t classify_cycles, std::uint64_t t_start,
+    std::uint64_t ingress_cycles, PacketOutcome& outcome) {
   const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
   const std::uint64_t hop =
       onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
 
+  outcome.work_cycles = classify_cycles;
+  outcome.latency_cycles = classify_cycles + ingress_cycles;
+  // Slow path: each segment below has its own timer pair, so telemetry
+  // between segments stays invisible to the reported cycles.
+  telemetry::SpanRecorder* spans =
+      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
+                                                       : nullptr;
+  bool trace = false;
+  if (metrics_ != nullptr) {
+    metrics_->classify_cycles.record(classify_cycles);
+    if (spans != nullptr && spans->should_sample(classification.fid)) {
+      trace = true;
+      spans->begin(classification.fid, classification.fid, t_start);
+      spans->event(telemetry::SpanStage::kClassify, classify_cycles);
+    }
+  }
+  // Recording pass down the original chain, then consolidation.
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    core::SpeedyBoxContext ctx{chain_.local_mat(i),
+                               chain_.global_mat().event_table(),
+                               classification.fid};
+    const std::uint64_t t0 = util::CycleClock::now();
+    chain_.nf(i).process(packet, &ctx);
+    const std::uint64_t cycles =
+        util::CycleClock::segment(t0, util::CycleClock::now());
+    outcome.work_cycles += cycles;
+    outcome.latency_cycles += cycles + hop;
+    if (metrics_ != nullptr && i < metrics_->per_nf.size()) {
+      metrics_->per_nf[i].packets.add(1);
+      metrics_->per_nf[i].cycles.record(cycles);
+    }
+    if (trace) {
+      spans->event(telemetry::SpanStage::kNf, outcome.work_cycles,
+                   static_cast<int>(i));
+    }
+    if (packet.dropped()) {
+      outcome.dropped = true;
+      break;
+    }
+  }
+  const std::uint64_t t0 = util::CycleClock::now();
+  chain_.global_mat().consolidate_flow(classification.fid);
+  const std::uint64_t consolidate_cycles =
+      util::CycleClock::segment(t0, util::CycleClock::now());
+  outcome.work_cycles += consolidate_cycles;
+  outcome.latency_cycles += consolidate_cycles;
+  outcome.platform_cycles = outcome.latency_cycles;
+  if (metrics_ != nullptr) {
+    metrics_->consolidations.add(1);
+    metrics_->consolidate_cycles.record(consolidate_cycles);
+    metrics_->active_flows.set(chain_.classifier().active_flows());
+  }
+  if (trace) {
+    spans->event(telemetry::SpanStage::kConsolidate, outcome.work_cycles);
+    spans->finish(/*fast_path=*/false, outcome.dropped,
+                  outcome.work_cycles);
+  }
+}
+
+void ChainRunner::run_fast_path(
+    net::Packet& packet,
+    const core::PacketClassifier::Classification& classification,
+    std::uint64_t t_start, std::uint64_t classify_cycles_ahead,
+    std::uint64_t ingress_cycles, PacketOutcome& outcome) {
+  const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
+  const std::uint64_t hop =
+      onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
+
+  // Fast path: Global MAT (event check + consolidated HA + SF batches).
+  const auto result = chain_.global_mat().process(
+      packet, /*measure_batches=*/true, &classification.parsed);
+  // Remove this measurement's own overhead plus that of the timer pairs
+  // GlobalMat used internally for batch attribution, then add back the
+  // classifier cycles measured outside this region (the batched pass times
+  // classification once per burst; scalar callers pass 0 and start the
+  // region before classify).
+  const std::uint64_t raw = util::CycleClock::now() - t_start;
+  const std::uint64_t timer_cost =
+      util::CycleClock::timer_overhead() * (1 + result.timer_pairs);
+  const std::uint64_t total =
+      classify_cycles_ahead + (raw > timer_cost ? raw - timer_cost : 0);
+
+  outcome.dropped = result.dropped;
+  outcome.events_triggered = result.events_triggered;
+  outcome.work_cycles = total;
+  outcome.platform_cycles = total + hop + ingress_cycles;
+
+  // Latency model: everything except the state functions (classifier,
+  // event check, consolidated header action) is serial; state functions
+  // contribute their Table-I critical path plus one fork/join per
+  // multi-batch group — adaptively: a group is only dispatched in
+  // parallel when the overlap actually beats the fork/join cost, so
+  // parallelism never makes latency worse. With parallelism modeling off
+  // (Fig. 7 ablation) state functions count sequentially.
+  const std::uint64_t serial =
+      total > result.sf_total_cycles ? total - result.sf_total_cycles : 0;
+  std::uint64_t sf_cycles = result.sf_total_cycles;
+  if (config_.model_parallelism && result.multi_batch_groups > 0) {
+    const std::uint64_t parallel =
+        result.sf_critical_path_cycles +
+        costs_.fork_join_cycles *
+            static_cast<std::uint64_t>(result.multi_batch_groups);
+    sf_cycles = std::min(sf_cycles, parallel);
+  }
+  outcome.fast_path = true;
+  outcome.latency_cycles = serial + sf_cycles + hop + ingress_cycles;
+  outcome.latency_cycles_sequential =
+      serial + result.sf_total_cycles + hop + ingress_cycles;
+
+  // Rate model stages (steady state): the serial front end and the
+  // state-function execution pipeline against each other on ONVM; on
+  // BESS the whole fast path is one logical stage. The front end fronts
+  // the rx burst, so its stage carries the ingress share.
+  if (onvm) {
+    add_stage_sample(0, serial + hop + ingress_cycles);
+    if (sf_cycles > 0) add_stage_sample(1, sf_cycles);
+  } else {
+    add_stage_sample(0, outcome.latency_cycles);
+  }
+
+  // Fast path: one timer pair brackets the whole path, so every hook —
+  // including the sampling decision — runs after the closing now().
+  // Span events are rebuilt from the already-measured splits.
+  telemetry::SpanRecorder* spans =
+      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
+                                                       : nullptr;
+  if (spans != nullptr && spans->should_sample(classification.fid)) {
+    spans->begin(classification.fid, classification.fid, t_start);
+    spans->event(telemetry::SpanStage::kHeaderAction, serial);
+    if (result.sf_total_cycles > 0) {
+      spans->event(telemetry::SpanStage::kStateFunctions, total);
+    }
+    spans->finish(/*fast_path=*/true, outcome.dropped, total);
+  }
+}
+
+void ChainRunner::apply_teardown(
+    const core::PacketClassifier::Classification& classification) {
+  // Flow teardown (FIN/RST): free all rules and the FID (§VI-B).
+  if (!classification.teardown) return;
+  chain_.global_mat().erase_flow(classification.fid);
+  chain_.classifier().release_flow(classification.fid);
+  if (metrics_ != nullptr) {
+    metrics_->teardowns.add(1);
+    metrics_->active_flows.set(chain_.classifier().active_flows());
+  }
+}
+
+PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
+  PacketOutcome outcome;
   // One timer pair covers classification AND the fast path, so per-packet
   // measurement overhead matches the original path's per-NF timers.
+  // Scalar = a burst of one: the packet carries the whole rx fixed cost.
+  const std::uint64_t ingress = costs_.rx_burst_fixed_cycles;
   const std::uint64_t t_start = util::CycleClock::now();
   const auto classification = chain_.classifier().classify(packet);
   if (!classification) {
     packet.mark_dropped();
     outcome.dropped = true;
-    outcome.work_cycles = outcome.platform_cycles = outcome.latency_cycles =
-        util::CycleClock::now() - t_start;
+    outcome.work_cycles = util::CycleClock::now() - t_start;
+    outcome.platform_cycles = outcome.latency_cycles =
+        outcome.work_cycles + ingress;
     return outcome;
   }
 
   outcome.initial =
       classification->path == core::PacketClassifier::Path::kInitial;
-
-  // Span sampling keys on the FID — the classifier's truncation of the
-  // five-tuple hash — because it is already in hand, so the sampling
-  // decision costs one modulo and never re-derives the tuple from packet
-  // bytes (which the consolidated header action may rewrite).
-  telemetry::SpanRecorder* spans =
-      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
-                                                       : nullptr;
-  bool trace = false;
-
   if (outcome.initial) {
     const std::uint64_t classify_cycles =
         util::CycleClock::segment(t_start, util::CycleClock::now());
-    outcome.work_cycles = classify_cycles;
-    outcome.latency_cycles = classify_cycles;
-    // Slow path: each segment below has its own timer pair, so telemetry
-    // between segments stays invisible to the reported cycles.
-    if (metrics_ != nullptr) {
-      metrics_->classify_cycles.record(classify_cycles);
-      if (spans != nullptr && spans->should_sample(classification->fid)) {
-        trace = true;
-        spans->begin(classification->fid, classification->fid, t_start);
-        spans->event(telemetry::SpanStage::kClassify, classify_cycles);
-      }
-    }
-    // Recording pass down the original chain, then consolidation.
-    for (std::size_t i = 0; i < chain_.size(); ++i) {
-      core::SpeedyBoxContext ctx{chain_.local_mat(i),
-                                 chain_.global_mat().event_table(),
-                                 classification->fid};
-      const std::uint64_t t0 = util::CycleClock::now();
-      chain_.nf(i).process(packet, &ctx);
-      const std::uint64_t cycles =
-          util::CycleClock::segment(t0, util::CycleClock::now());
-      outcome.work_cycles += cycles;
-      outcome.latency_cycles += cycles + hop;
-      if (metrics_ != nullptr && i < metrics_->per_nf.size()) {
-        metrics_->per_nf[i].packets.add(1);
-        metrics_->per_nf[i].cycles.record(cycles);
-      }
-      if (trace) {
-        spans->event(telemetry::SpanStage::kNf, outcome.work_cycles,
-                     static_cast<int>(i));
-      }
-      if (packet.dropped()) {
-        outcome.dropped = true;
-        break;
-      }
-    }
-    const std::uint64_t t0 = util::CycleClock::now();
-    chain_.global_mat().consolidate_flow(classification->fid);
-    const std::uint64_t consolidate_cycles =
-        util::CycleClock::segment(t0, util::CycleClock::now());
-    outcome.work_cycles += consolidate_cycles;
-    outcome.latency_cycles += consolidate_cycles;
-    outcome.platform_cycles = outcome.latency_cycles;
-    if (metrics_ != nullptr) {
-      metrics_->consolidations.add(1);
-      metrics_->consolidate_cycles.record(consolidate_cycles);
-      metrics_->active_flows.set(chain_.classifier().active_flows());
-    }
-    if (trace) {
-      spans->event(telemetry::SpanStage::kConsolidate, outcome.work_cycles);
-      spans->finish(/*fast_path=*/false, outcome.dropped,
-                    outcome.work_cycles);
-    }
+    run_recording_path(packet, *classification, classify_cycles, t_start,
+                       ingress, outcome);
   } else {
-    // Fast path: Global MAT (event check + consolidated HA + SF batches).
-    const auto result = chain_.global_mat().process(
-        packet, /*measure_batches=*/true, &classification->parsed);
-    // Remove this measurement's own overhead plus that of the timer pairs
-    // GlobalMat used internally for batch attribution.
-    const std::uint64_t raw = util::CycleClock::now() - t_start;
-    const std::uint64_t timer_cost =
-        util::CycleClock::timer_overhead() * (1 + result.timer_pairs);
-    const std::uint64_t total = raw > timer_cost ? raw - timer_cost : 0;
-
-    outcome.dropped = result.dropped;
-    outcome.events_triggered = result.events_triggered;
-    outcome.work_cycles = total;
-    outcome.platform_cycles = total + hop;
-
-    // Latency model: everything except the state functions (classifier,
-    // event check, consolidated header action) is serial; state functions
-    // contribute their Table-I critical path plus one fork/join per
-    // multi-batch group — adaptively: a group is only dispatched in
-    // parallel when the overlap actually beats the fork/join cost, so
-    // parallelism never makes latency worse. With parallelism modeling off
-    // (Fig. 7 ablation) state functions count sequentially.
-    const std::uint64_t serial =
-        total > result.sf_total_cycles ? total - result.sf_total_cycles : 0;
-    std::uint64_t sf_cycles = result.sf_total_cycles;
-    if (config_.model_parallelism && result.multi_batch_groups > 0) {
-      const std::uint64_t parallel =
-          result.sf_critical_path_cycles +
-          costs_.fork_join_cycles *
-              static_cast<std::uint64_t>(result.multi_batch_groups);
-      sf_cycles = std::min(sf_cycles, parallel);
-    }
-    outcome.fast_path = true;
-    outcome.latency_cycles = serial + sf_cycles + hop;
-    outcome.latency_cycles_sequential =
-        serial + result.sf_total_cycles + hop;
-
-    // Rate model stages (steady state): the serial front end and the
-    // state-function execution pipeline against each other on ONVM; on
-    // BESS the whole fast path is one logical stage.
-    if (onvm) {
-      add_stage_sample(0, serial + hop);
-      if (sf_cycles > 0) add_stage_sample(1, sf_cycles);
-    } else {
-      add_stage_sample(0, outcome.latency_cycles);
-    }
-
-    // Fast path: one timer pair brackets the whole path, so every hook —
-    // including the sampling decision — runs after the closing now().
-    // Span events are rebuilt from the already-measured splits.
-    if (spans != nullptr && spans->should_sample(classification->fid)) {
-      spans->begin(classification->fid, classification->fid, t_start);
-      spans->event(telemetry::SpanStage::kHeaderAction, serial);
-      if (result.sf_total_cycles > 0) {
-        spans->event(telemetry::SpanStage::kStateFunctions, total);
-      }
-      spans->finish(/*fast_path=*/true, outcome.dropped, total);
-    }
+    run_fast_path(packet, *classification, t_start,
+                  /*classify_cycles_ahead=*/0, ingress, outcome);
   }
-
-  // Flow teardown (FIN/RST): free all rules and the FID (§VI-B).
-  if (classification->teardown) {
-    chain_.global_mat().erase_flow(classification->fid);
-    chain_.classifier().release_flow(classification->fid);
-    if (metrics_ != nullptr) {
-      metrics_->teardowns.add(1);
-      metrics_->active_flows.set(chain_.classifier().active_flows());
-    }
-  }
+  apply_teardown(*classification);
   return outcome;
 }
 
@@ -307,6 +344,228 @@ PacketOutcome ChainRunner::process_packet(net::Packet& packet) {
                                     : process_original(packet);
   account(outcome);
   return outcome;
+}
+
+void ChainRunner::process_batch(net::PacketBatch& batch,
+                                std::vector<PacketOutcome>& outcomes) {
+  outcomes.assign(batch.size(), PacketOutcome{});
+  if (batch.empty()) return;
+  if (metrics_ != nullptr) metrics_->batch_occupancy.record(batch.size());
+  if (config_.speedybox) {
+    process_speedybox_batch(batch, outcomes);
+  } else {
+    process_original_batch(batch, outcomes);
+  }
+}
+
+void ChainRunner::process_original_batch(
+    net::PacketBatch& batch, std::vector<PacketOutcome>& outcomes) {
+  const bool onvm = config_.platform == platform::PlatformKind::kOnvm;
+  const std::uint64_t hop =
+      onvm ? costs_.onvm_ring_hop_cycles : costs_.bess_hop_cycles;
+  const std::size_t n = batch.size();
+
+  // Pre-pass in slot order, outside the measured regions: stats-side
+  // init/sub tagging and span sampling, exactly the per-packet bookkeeping
+  // the scalar path does before its NF loop. The insert/erase sequence on
+  // seen_tuples_ only depends on the tuple order, which slots preserve.
+  telemetry::SpanRecorder* spans =
+      metrics_ != nullptr && metrics_->spans.enabled() ? &metrics_->spans
+                                                       : nullptr;
+  std::vector<std::uint8_t> traced(n, 0);
+  // Slots already masked when the batch arrives are skipped end to end —
+  // only slots live here are processed and accounted.
+  std::vector<std::uint8_t> entered_batch(n);
+  std::size_t live_entry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    entered_batch[i] = batch.valid(i) ? 1 : 0;
+    if (!batch.valid(i)) continue;
+    ++live_entry;
+    if (const auto parsed = net::parse_packet(batch.packet(i))) {
+      const net::FiveTuple tuple =
+          net::extract_five_tuple(batch.packet(i), *parsed);
+      outcomes[i].initial = seen_tuples_.insert(tuple).second;
+      if (parsed->has_fin_or_rst()) seen_tuples_.erase(tuple);
+      if (spans != nullptr && spans->should_sample(tuple.hash())) {
+        traced[i] = 1;
+        spans->begin(tuple.hash(), net::kInvalidFid,
+                     util::CycleClock::now());
+      }
+    }
+  }
+
+  // One rx-burst fixed cost per batch, shared by the packets that entered
+  // it — the vector-I/O amortization (a burst of one pays it all).
+  const std::uint64_t ingress =
+      live_entry > 0 ? costs_.rx_burst_fixed_cycles / live_entry : 0;
+
+  // NF-major traversal: NF k processes the whole burst (one timer pair per
+  // NF per batch), then hands it to NF k+1 — the BESS/VPP execution shape.
+  // Per-flow packet order within each NF is slot order, and no state is
+  // shared across NFs on the original path, so every NF sees exactly the
+  // state and bytes it would packet-at-a-time. A slot masked by NF k
+  // (dropped) skips NFs k+1.. — the scalar early exit.
+  std::vector<std::uint8_t> entered(n);
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    std::size_t live = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      entered[s] = batch.valid(s) ? 1 : 0;
+      live += entered[s];
+    }
+    if (live == 0) break;
+
+    const std::uint64_t t0 = util::CycleClock::now();
+    chain_.nf(i).process_batch(batch, {});
+    const std::uint64_t cycles =
+        util::CycleClock::segment(t0, util::CycleClock::now());
+    // Per-packet attribution: equal share of the batch segment (the batch
+    // amortizes the timer pair; at batch size 1 this is the scalar number).
+    const std::uint64_t share = cycles / live;
+
+    for (std::size_t s = 0; s < n; ++s) {
+      if (entered[s] == 0) continue;
+      outcomes[s].work_cycles += share;
+      outcomes[s].latency_cycles += share + hop;
+      if (config_.measure_per_nf) {
+        per_nf_cycle_sum_[i] += share + hop;
+        ++per_nf_cycle_count_[i];
+      }
+      if (metrics_ != nullptr && i < metrics_->per_nf.size()) {
+        metrics_->per_nf[i].packets.add(1);
+        metrics_->per_nf[i].cycles.record(share);
+      }
+      if (traced[s] != 0) {
+        spans->event(telemetry::SpanStage::kNf, outcomes[s].work_cycles,
+                     static_cast<int>(i));
+      }
+      if (onvm && !outcomes[s].initial) {
+        add_stage_sample(i, share + hop + (i == 0 ? ingress : 0));
+      }
+      if (batch.packet(s).dropped()) outcomes[s].dropped = true;
+    }
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (entered_batch[s] == 0) continue;
+    outcomes[s].latency_cycles += ingress;
+    outcomes[s].platform_cycles = outcomes[s].latency_cycles;
+    if (!onvm && !outcomes[s].initial) {
+      add_stage_sample(0, outcomes[s].latency_cycles);
+    }
+    if (traced[s] != 0) {
+      spans->finish(/*fast_path=*/false, outcomes[s].dropped,
+                    outcomes[s].work_cycles);
+    }
+    account(outcomes[s]);
+  }
+}
+
+void ChainRunner::process_speedybox_batch(
+    net::PacketBatch& batch, std::vector<PacketOutcome>& outcomes) {
+  const std::size_t n = batch.size();
+
+  // Stateless pre-pass: parse + checksum-validate every live packet once
+  // for the whole traversal (what the scalar classifier does per packet).
+  std::vector<std::optional<net::ParsedPacket>> parsed(n);
+  std::vector<net::FiveTuple> tuples(n);
+  std::size_t live_entry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!batch.valid(i)) continue;
+    ++live_entry;
+    const net::Packet& packet = batch.packet(i);
+    auto p = net::parse_packet(packet);
+    if (p && net::verify_ipv4_checksum(packet, p->l3_offset)) {
+      tuples[i] = net::extract_five_tuple(packet, *p);
+      parsed[i] = *p;
+    }
+  }
+  // One rx-burst fixed cost per batch, shared by the packets that entered
+  // it — the vector-I/O amortization (a burst of one pays it all).
+  const std::uint64_t ingress =
+      live_entry > 0 ? costs_.rx_burst_fixed_cycles / live_entry : 0;
+
+  // Segment loop. Classification is stateful (flow-table inserts, teardown
+  // releases), so the burst is classified front-to-back and cut at the one
+  // ordering hazard: a packet whose 5-tuple was torn down (FIN/RST) by an
+  // EARLIER slot of the same segment must not be classified until that
+  // teardown has executed — scalar would see it as a fresh flow. Everything
+  // else (initial-then-subsequent of one flow, cross-flow interleavings)
+  // classifies identically up front because execution never touches the
+  // classifier outside apply_teardown.
+  std::vector<std::optional<core::PacketClassifier::Classification>>
+      classifications(n);
+  std::vector<net::FiveTuple> torn;
+  std::size_t begin = 0;
+  while (begin < n) {
+    torn.clear();
+    // Pass 1: classify the segment under ONE timer pair — the classifier
+    // cost amortizes across the burst instead of paying a pair per packet.
+    std::size_t end = begin;
+    std::size_t classified = 0;
+    const std::uint64_t t0 = util::CycleClock::now();
+    for (; end < n; ++end) {
+      if (!batch.valid(end)) continue;
+      if (parsed[end] &&
+          std::find(torn.begin(), torn.end(), tuples[end]) != torn.end()) {
+        break;  // flush boundary: reuse of a just-torn-down tuple
+      }
+      classifications[end] = chain_.classifier().classify(
+          batch.packet(end), parsed[end] ? &*parsed[end] : nullptr);
+      ++classified;
+      if (classifications[end] && classifications[end]->teardown) {
+        torn.push_back(tuples[end]);
+      }
+    }
+    const std::uint64_t classify_segment =
+        util::CycleClock::segment(t0, util::CycleClock::now());
+    const std::uint64_t classify_share =
+        classified > 0 ? classify_segment / classified : 0;
+
+    // Pass 2: warm the Global MAT — prefetch the consolidated rule of
+    // every fast-path slot before any of them executes.
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!batch.valid(i) || !classifications[i]) continue;
+      if (classifications[i]->path ==
+          core::PacketClassifier::Path::kSubsequent) {
+        chain_.global_mat().prefetch(classifications[i]->fid);
+      }
+    }
+
+    // Pass 3: execute in slot order — recording packets take the scalar
+    // recording pass (DESIGN.md §8: once per flow, and its Local MAT
+    // writes must interleave exactly as scalar), fast-path packets run the
+    // consolidated rule, teardowns release their flow, all exactly where
+    // the scalar loop would.
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!batch.valid(i)) continue;
+      PacketOutcome& outcome = outcomes[i];
+      if (!classifications[i]) {
+        batch.packet(i).mark_dropped();
+        outcome.dropped = true;
+        outcome.work_cycles = classify_share;
+        outcome.platform_cycles = outcome.latency_cycles =
+            classify_share + ingress;
+        batch.mask(i);
+        account(outcome);
+        continue;
+      }
+      const auto& classification = *classifications[i];
+      outcome.initial =
+          classification.path == core::PacketClassifier::Path::kInitial;
+      if (outcome.initial) {
+        run_recording_path(batch.packet(i), classification, classify_share,
+                           t0, ingress, outcome);
+      } else {
+        const std::uint64_t t_fast = util::CycleClock::now();
+        run_fast_path(batch.packet(i), classification, t_fast,
+                      classify_share, ingress, outcome);
+      }
+      apply_teardown(classification);
+      if (outcome.dropped) batch.mask(i);
+      account(outcome);
+    }
+    begin = end;
+  }
 }
 
 void ChainRunner::account(const PacketOutcome& outcome) {
@@ -384,19 +643,32 @@ std::size_t ChainRunner::expire_idle_flows(double max_idle_us) {
 const RunStats& ChainRunner::run_packets(
     const std::vector<net::Packet>& packets) {
   std::unordered_map<net::FiveTuple, double, net::FiveTupleHash> flow_time;
-  for (const net::Packet& original : packets) {
-    net::Packet packet = original;
-    packet.reset_metadata();
-    // Key flow time by the pre-chain tuple (unmeasured bookkeeping).
-    std::optional<net::FiveTuple> tuple;
-    if (const auto parsed = net::parse_packet(packet)) {
-      tuple = net::extract_five_tuple(packet, *parsed);
+  const std::size_t burst = std::max<std::size_t>(1, config_.batch_size);
+  std::vector<net::Packet> local(burst);
+  std::vector<std::optional<net::FiveTuple>> tuples(burst);
+  std::vector<PacketOutcome> outcomes;
+  for (std::size_t offset = 0; offset < packets.size();) {
+    const std::size_t chunk = std::min(burst, packets.size() - offset);
+    net::PacketBatch batch{burst};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      local[k] = packets[offset + k];
+      local[k].reset_metadata();
+      // Key flow time by the pre-chain tuple (unmeasured bookkeeping).
+      tuples[k].reset();
+      if (const auto parsed = net::parse_packet(local[k])) {
+        tuples[k] = net::extract_five_tuple(local[k], *parsed);
+      }
+      local[k].set_arrival_cycle(util::CycleClock::now());
+      batch.push(&local[k]);
     }
-    packet.set_arrival_cycle(util::CycleClock::now());
-    const PacketOutcome outcome = process_packet(packet);
-    if (tuple) {
-      flow_time[*tuple] += util::CycleClock::to_us(outcome.latency_cycles);
+    process_batch(batch, outcomes);
+    for (std::size_t k = 0; k < chunk; ++k) {
+      if (tuples[k]) {
+        flow_time[*tuples[k]] +=
+            util::CycleClock::to_us(outcomes[k].latency_cycles);
+      }
     }
+    offset += chunk;
   }
   flow_time_us_.clear();
   for (const auto& [tuple, time_us] : flow_time) flow_time_us_.add(time_us);
@@ -405,12 +677,24 @@ const RunStats& ChainRunner::run_packets(
 
 const RunStats& ChainRunner::run_workload(const trace::Workload& workload) {
   std::vector<double> flow_time_us(workload.flows.size(), 0.0);
-  for (std::size_t i = 0; i < workload.order.size(); ++i) {
-    net::Packet packet = workload.materialize(i);
-    packet.set_arrival_cycle(util::CycleClock::now());
-    const PacketOutcome outcome = process_packet(packet);
-    flow_time_us[workload.order[i].flow] +=
-        util::CycleClock::to_us(outcome.latency_cycles);
+  const std::size_t burst = std::max<std::size_t>(1, config_.batch_size);
+  std::vector<net::Packet> local(burst);
+  std::vector<PacketOutcome> outcomes;
+  const std::size_t total = workload.order.size();
+  for (std::size_t offset = 0; offset < total;) {
+    const std::size_t chunk = std::min(burst, total - offset);
+    net::PacketBatch batch{burst};
+    for (std::size_t k = 0; k < chunk; ++k) {
+      local[k] = workload.materialize(offset + k);
+      local[k].set_arrival_cycle(util::CycleClock::now());
+      batch.push(&local[k]);
+    }
+    process_batch(batch, outcomes);
+    for (std::size_t k = 0; k < chunk; ++k) {
+      flow_time_us[workload.order[offset + k].flow] +=
+          util::CycleClock::to_us(outcomes[k].latency_cycles);
+    }
+    offset += chunk;
   }
   flow_time_us_.clear();
   for (const double t : flow_time_us) flow_time_us_.add(t);

@@ -7,9 +7,12 @@
 //                     inspections, consolidations). This is what the
 //                     "CPU cycle per packet" figures report.
 //   * latency       — work cycles plus the platform's modeled hand-off
-//                     costs (BESS module hop / ONVM descriptor ring hop),
-//                     with state-function parallelism accounted as the
-//                     Table-I critical path plus a fork/join cost.
+//                     costs (BESS module hop / ONVM descriptor ring hop)
+//                     plus the packet's share of the per-burst rx fixed
+//                     cost (rx_burst_fixed_cycles / burst occupancy — the
+//                     vector-I/O amortization, DESIGN.md §8), with
+//                     state-function parallelism accounted as the Table-I
+//                     critical path plus a fork/join cost.
 //   * rate (Mpps)   — BESS runs to completion on one logical pipeline:
 //                     rate = f / mean-latency-cycles. ONVM is pipelined
 //                     across cores: rate = f / bottleneck-stage cycles.
@@ -19,10 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
+#include "core/classifier.hpp"
 #include "net/packet.hpp"
+#include "net/packet_batch.hpp"
 #include "platform/costs.hpp"
 #include "runtime/chain.hpp"
 #include "telemetry/metrics.hpp"
@@ -40,6 +46,10 @@ struct RunConfig {
   /// §V-C2 optimization). Disabled, state functions count sequentially —
   /// the ablation Fig. 7 uses to split the HA vs SF contributions.
   bool model_parallelism = true;
+  /// Burst size the run loops drain in (DESIGN.md §8). 1 degenerates to
+  /// packet-at-a-time; results are bit-identical at every size (the
+  /// differential harness proves it) — only the amortization changes.
+  std::size_t batch_size = net::kDefaultBatchSize;
 };
 
 struct PacketOutcome {
@@ -109,6 +119,16 @@ class ChainRunner {
   /// Process one packet through the configured data path.
   PacketOutcome process_packet(net::Packet& packet);
 
+  /// Process a whole burst through the configured data path (DESIGN.md §8).
+  /// `outcomes` is resized to batch.size() and slot-aligned with the batch.
+  /// Semantics are bit-identical to calling process_packet() per slot in
+  /// order: drops mask their slot (never compact), and on the SpeedyBox
+  /// path the batched classifier pass flushes at a teardown → same-tuple
+  /// reuse boundary so a flow torn down mid-batch re-records exactly as it
+  /// would packet-at-a-time.
+  void process_batch(net::PacketBatch& batch,
+                     std::vector<PacketOutcome>& outcomes);
+
   /// Run a whole workload; returns aggregate stats. Per-flow processing
   /// times (Fig. 9) are recorded into flow_time_us().
   const RunStats& run_workload(const trace::Workload& workload);
@@ -153,6 +173,32 @@ class ChainRunner {
  private:
   PacketOutcome process_original(net::Packet& packet);
   PacketOutcome process_speedybox(net::Packet& packet);
+  void process_original_batch(net::PacketBatch& batch,
+                              std::vector<PacketOutcome>& outcomes);
+  void process_speedybox_batch(net::PacketBatch& batch,
+                               std::vector<PacketOutcome>& outcomes);
+  /// Recording pass + consolidation for an already-classified initial
+  /// packet. `classify_cycles` is this packet's (share of the) classifier
+  /// cost; `t_start` anchors span timestamps; `ingress_cycles` is the
+  /// packet's share of the per-burst rx fixed cost (modeled — added to
+  /// latency/platform cycles, never to work cycles).
+  void run_recording_path(
+      net::Packet& packet,
+      const core::PacketClassifier::Classification& classification,
+      std::uint64_t classify_cycles, std::uint64_t t_start,
+      std::uint64_t ingress_cycles, PacketOutcome& outcome);
+  /// Global-MAT fast path for an already-classified subsequent packet. The
+  /// measured region starts at `t_start`; `classify_cycles_ahead` is
+  /// classifier cost measured elsewhere (batched pass) to add on top —
+  /// scalar callers put classification inside the region and pass 0.
+  /// `ingress_cycles` as in run_recording_path.
+  void run_fast_path(
+      net::Packet& packet,
+      const core::PacketClassifier::Classification& classification,
+      std::uint64_t t_start, std::uint64_t classify_cycles_ahead,
+      std::uint64_t ingress_cycles, PacketOutcome& outcome);
+  void apply_teardown(
+      const core::PacketClassifier::Classification& classification);
   void account(const PacketOutcome& outcome);
   void add_stage_sample(std::size_t stage, std::uint64_t cycles);
 

@@ -1,8 +1,10 @@
 #include "runtime/sharded_runtime.hpp"
 
 #include <chrono>
+#include <span>
 #include <stdexcept>
 
+#include "net/packet_batch.hpp"
 #include "util/cycle_clock.hpp"
 #include "util/hash.hpp"
 
@@ -26,12 +28,14 @@ ShardedRuntime::ShardedRuntime(const ServiceChain& prototype,
                                std::string shard_label_prefix)
     : config_(config) {
   if (shard_count == 0) shard_count = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
   shards_.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->chain = prototype.clone("-shard" + std::to_string(s));
     shard->runner = std::make_unique<ChainRunner>(*shard->chain, config_);
     shard->ring = std::make_unique<util::SpscRing<Job>>(ring_capacity);
+    shard->staging.reserve(config_.batch_size);
     if (registry != nullptr) {
       shard->metrics = &registry->create_shard(
           shard_label_prefix + "shard" + std::to_string(s),
@@ -69,50 +73,86 @@ void ShardedRuntime::push(net::Packet packet) {
   }
   // Unparseable packets have no flow; any fixed shard preserves their
   // relative order.
-  const std::size_t shard =
+  const std::size_t shard_index =
       job.tuple ? shard_of(*job.tuple) : std::size_t{0};
   job.packet = std::move(packet);
-  util::SpscRing<Job>& ring = *shards_[shard]->ring;
-  telemetry::ShardMetrics* metrics = shards_[shard]->metrics;
-  // A failed try_push leaves `job` intact, so the backpressure loop can
-  // keep retrying the same value until the worker frees a slot.
-  if (!ring.try_push(std::move(job))) {
-    ++backpressure_waits_;
-    do {
-      if (metrics != nullptr) metrics->backpressure_yields.add(1);
-      std::this_thread::yield();
-    } while (!ring.try_push(std::move(job)));
+  Shard& shard = *shards_[shard_index];
+  shard.staging.push_back(std::move(job));
+  if (shard.staging.size() >= config_.batch_size) {
+    flush_shard(shard);
   }
+}
+
+void ShardedRuntime::flush_shard(Shard& shard) {
+  if (shard.staging.empty()) return;
+  util::SpscRing<Job>& ring = *shard.ring;
+  telemetry::ShardMetrics* metrics = shard.metrics;
+  if (metrics != nullptr) {
+    metrics->ring_burst_size.set(shard.staging.size());
+  }
+  std::span<Job> pending{shard.staging};
+  // A partial try_push_burst moves out exactly the slots it reports and
+  // leaves the remainder intact, so the backpressure loop retries the
+  // un-pushed tail until the worker frees room.
+  bool waited = false;
+  while (!pending.empty()) {
+    const std::size_t pushed = ring.try_push_burst(pending);
+    pending = pending.subspan(pushed);
+    if (pending.empty()) break;
+    if (!waited) {
+      waited = true;
+      ++backpressure_waits_;
+    }
+    if (metrics != nullptr) metrics->backpressure_yields.add(1);
+    std::this_thread::yield();
+  }
+  shard.staging.clear();
   // Dispatcher-owned gauge (see constructor comment): depth after this
-  // push, as the dispatcher sees it.
+  // flush, as the dispatcher sees it.
   if (metrics != nullptr) metrics->ring_occupancy.set(ring.size());
 }
 
 void ShardedRuntime::worker(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
+  const std::size_t burst = config_.batch_size;
+  std::vector<Job> jobs(burst);
+  std::vector<PacketOutcome> outcomes;
+  net::PacketBatch batch{burst};
   for (;;) {
-    std::optional<Job> job = shard.ring->try_pop();
-    if (!job) {
+    const std::size_t popped =
+        shard.ring->try_pop_burst(std::span<Job>{jobs});
+    if (popped == 0) {
       if (done_.load(std::memory_order_acquire) && shard.ring->empty()) {
         return;
       }
       std::this_thread::yield();
       continue;
     }
-    job->packet.set_arrival_cycle(util::CycleClock::now());
-    const PacketOutcome outcome =
-        shard.runner->process_packet(job->packet);
-    if (job->tuple) {
-      shard.flow_time_us[*job->tuple] +=
-          util::CycleClock::to_us(outcome.latency_cycles);
+    batch.clear();
+    for (std::size_t i = 0; i < popped; ++i) {
+      jobs[i].packet.set_arrival_cycle(util::CycleClock::now());
+      batch.push(&jobs[i].packet);
     }
-    shard.processed.push_back(
-        {job->index, outcome, std::move(job->packet)});
+    shard.runner->process_batch(batch, outcomes);
+    for (std::size_t i = 0; i < popped; ++i) {
+      if (jobs[i].tuple) {
+        shard.flow_time_us[*jobs[i].tuple] +=
+            util::CycleClock::to_us(outcomes[i].latency_cycles);
+      }
+      shard.processed.push_back(
+          {jobs[i].index, outcomes[i], std::move(jobs[i].packet)});
+    }
   }
 }
 
 void ShardedRuntime::join_workers() {
   if (joined_) return;
+  // Partial bursts still staged dispatcher-side must reach the rings
+  // before the shutdown flag, or the workers would exit with packets
+  // unprocessed.
+  for (auto& shard : shards_) {
+    flush_shard(*shard);
+  }
   done_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();

@@ -11,10 +11,12 @@
 //
 //   dispatcher (caller thread)
 //     parse + symmetric five-tuple hash ──► shard = hash mod N
-//     per-shard SPSC ring (yield on full: backpressure, never drop)
+//     per-shard staging buffer, flushed to the shard's SPSC ring as a whole
+//     burst (try_push_burst; yield on full: backpressure, never drop)
 //   shard worker k (one thread per shard)
 //     owns replica k of the ServiceChain (chain.clone()) and a ChainRunner
-//     processes its ring in FIFO order, records PacketOutcome + stats
+//     pops whole bursts (try_pop_burst), runs them through
+//     ChainRunner::process_batch in FIFO order, records outcomes + stats
 //   finish()
 //     joins workers, reassembles outcomes/packets in input order, merges
 //     per-shard RunStats (exact sum/count merging, see RunStats::merge_from)
@@ -85,7 +87,7 @@ class ShardedRuntime {
   /// names) and attached to the shard's ChainRunner. Cell ownership: the
   /// shard worker writes the processing metrics, the dispatcher (the
   /// push() caller) writes that shard's ring_occupancy /
-  /// backpressure_yields cells.
+  /// backpressure_yields / ring_burst_size cells.
   ShardedRuntime(const ServiceChain& prototype, std::size_t shard_count,
                  RunConfig config = {}, std::size_t ring_capacity = 1024,
                  telemetry::Registry* registry = nullptr,
@@ -98,8 +100,11 @@ class ShardedRuntime {
   ShardedRuntime(const ShardedRuntime&) = delete;
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
 
-  /// Dispatch one packet to its flow's shard. Blocks (spin-yield) while
-  /// that shard's ring is full — backpressure, never packet loss.
+  /// Dispatch one packet to its flow's shard. Packets stage per shard and
+  /// flush to the ring as a whole burst once `config.batch_size` have
+  /// accumulated (finish()/the destructor flush partial bursts). A flush
+  /// blocks (spin-yield) while the ring lacks room — backpressure, never
+  /// packet loss.
   void push(net::Packet packet);
 
   /// Drain everything in flight, join the workers, and merge the per-shard
@@ -116,7 +121,8 @@ class ShardedRuntime {
   /// Shard k's chain replica, for post-finish() state inspection (NF
   /// counters, audit logs). Only safe to call after finish().
   ServiceChain& shard_chain(std::size_t shard);
-  /// How many push() calls found the target ring full and had to wait.
+  /// How many burst flushes found the target ring short of room and had
+  /// to wait for the worker.
   std::uint64_t backpressure_waits() const noexcept {
     return backpressure_waits_;
   }
@@ -141,6 +147,10 @@ class ShardedRuntime {
     /// Owned by the registry; null when telemetry is off.
     telemetry::ShardMetrics* metrics = nullptr;
     std::thread thread;
+    /// Dispatcher-owned burst staging: jobs collect here and hit the ring
+    /// via one try_push_burst per batch_size packets instead of one
+    /// try_push each.
+    std::vector<Job> staging;
     // Worker-local until the thread is joined; read only afterwards.
     std::vector<Processed> processed;
     std::unordered_map<net::FiveTuple, double, net::FiveTupleHash>
@@ -148,6 +158,9 @@ class ShardedRuntime {
   };
 
   void worker(std::size_t shard_index);
+  /// Push shard's staged jobs into its ring (partial bursts yield-retry
+  /// the remainder). Dispatcher thread only.
+  void flush_shard(Shard& shard);
   void join_workers();
 
   RunConfig config_;

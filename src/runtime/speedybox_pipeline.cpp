@@ -1,6 +1,9 @@
 #include "runtime/speedybox_pipeline.hpp"
 
+#include <span>
+
 #include "core/api.hpp"
+#include "net/packet_batch.hpp"
 
 namespace speedybox::runtime {
 
@@ -27,54 +30,63 @@ SpeedyBoxPipeline::~SpeedyBoxPipeline() {
 void SpeedyBoxPipeline::worker(std::size_t stage) {
   util::SpscRing<Descriptor>& in = *rings_[stage];
   const bool last = stage + 1 == chain_.size();
+  // Burst discipline (DESIGN.md §8): pop up to a batch of descriptors with
+  // one ring round-trip, process them in pop order, then forward the whole
+  // burst downstream with one push per burst. Per-descriptor semantics —
+  // including teardown markers holding their slot relative to later packets
+  // of the same flow — are untouched; only the ring traffic amortizes.
+  std::vector<Descriptor> burst(net::kDefaultBatchSize);
   for (;;) {
-    auto popped = in.try_pop();
-    if (!popped) {
+    const std::size_t popped =
+        in.try_pop_burst(std::span<Descriptor>{burst});
+    if (popped == 0) {
       if (stop_flags_[stage]->load(std::memory_order_acquire) && in.empty()) {
         return;
       }
       std::this_thread::yield();
       continue;
     }
-    Descriptor descriptor = std::move(*popped);
 
-    if (descriptor.packet != nullptr && !descriptor.packet->dropped()) {
-      net::Packet& packet = *descriptor.packet;
-      if (descriptor.recording) {
-        core::SpeedyBoxContext ctx{chain_.local_mat(stage),
-                                   chain_.global_mat().event_table(),
-                                   descriptor.fid};
-        chain_.nf(stage).process(packet, &ctx);
-      } else if (descriptor.rule != nullptr) {
-        // Execute this NF's recorded state-function batch, if any.
-        for (const auto& batch : descriptor.rule->batches) {
-          if (batch.nf_index != stage) continue;
-          if (const auto parsed = net::parse_packet(packet)) {
-            batch.execute(packet, *parsed);
+    for (std::size_t d = 0; d < popped; ++d) {
+      Descriptor& descriptor = burst[d];
+      if (descriptor.packet != nullptr && !descriptor.packet->dropped()) {
+        net::Packet& packet = *descriptor.packet;
+        if (descriptor.recording) {
+          core::SpeedyBoxContext ctx{chain_.local_mat(stage),
+                                     chain_.global_mat().event_table(),
+                                     descriptor.fid};
+          chain_.nf(stage).process(packet, &ctx);
+        } else if (descriptor.rule != nullptr) {
+          // Execute this NF's recorded state-function batch, if any.
+          for (const auto& batch : descriptor.rule->batches) {
+            if (batch.nf_index != stage) continue;
+            if (const auto parsed = net::parse_packet(packet)) {
+              batch.execute(packet, *parsed);
+            }
+            break;
           }
-          break;
         }
       }
+
+      // Teardown hooks mutate NF-internal per-flow state, so they must run
+      // here — on the core that owns this NF — not on the manager. Per-flow
+      // FIFO guarantees every earlier packet of the flow already passed
+      // this stage. (Descriptors with a null packet are pure teardown
+      // markers for flows the manager finished inline.)
+      if (descriptor.teardown) {
+        chain_.local_mat(stage).run_teardown_hooks(descriptor.fid);
+      }
     }
 
-    // Teardown hooks mutate NF-internal per-flow state, so they must run
-    // here — on the core that owns this NF — not on the manager. Per-flow
-    // FIFO guarantees every earlier packet of the flow already passed this
-    // stage. (Descriptors with a null packet are pure teardown markers for
-    // flows the manager finished inline.)
-    if (descriptor.teardown) {
-      chain_.local_mat(stage).run_teardown_hooks(descriptor.fid);
-    }
-
-    if (last) {
-      while (!completions_.try_push(std::move(descriptor))) {
-        std::this_thread::yield();
-      }
-    } else {
-      util::SpscRing<Descriptor>& out = *rings_[stage + 1];
-      while (!out.try_push(std::move(descriptor))) {
-        std::this_thread::yield();
-      }
+    // A partial try_push_burst moves out exactly what it reports, so the
+    // retry loop resumes at the first un-pushed descriptor — burst order
+    // (and with it per-flow FIFO) is preserved across partial pushes.
+    util::SpscRing<Descriptor>& out =
+        last ? completions_ : *rings_[stage + 1];
+    std::span<Descriptor> pending{burst.data(), popped};
+    while (!pending.empty()) {
+      pending = pending.subspan(out.try_push_burst(pending));
+      if (!pending.empty()) std::this_thread::yield();
     }
   }
 }

@@ -50,12 +50,14 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"ring_occupancy", shard.ring_occupancy.get()},
       {"ring_capacity", shard.ring_capacity.get()},
       {"active_flows", shard.active_flows.get()},
+      {"ring_burst_size", shard.ring_burst_size.get()},
   };
   snap.histograms = {
       {"fastpath_cycles", shard.fastpath_cycles.snapshot()},
       {"slowpath_cycles", shard.slowpath_cycles.snapshot()},
       {"classify_cycles", shard.classify_cycles.snapshot()},
       {"consolidate_cycles", shard.consolidate_cycles.snapshot()},
+      {"batch_occupancy", shard.batch_occupancy.snapshot()},
   };
   snap.per_nf.reserve(shard.per_nf.size());
   for (const NfMetrics& nf : shard.per_nf) {

@@ -114,6 +114,7 @@ struct ShardMetrics {
   Gauge ring_occupancy;   // ingress ring depth at last push
   Gauge ring_capacity;
   Gauge active_flows;     // classifier flow-table size
+  Gauge ring_burst_size;  // dispatcher: size of the last burst push
 
   // -- cycle histograms --
   CycleHistogram fastpath_cycles;     // classify + event check + HA + SFs
@@ -121,6 +122,11 @@ struct ShardMetrics {
   CycleHistogram classify_cycles;     // slow path only (fast path folds the
                                       // classifier into fastpath_cycles)
   CycleHistogram consolidate_cycles;
+  /// Batch fill level per process_batch call (worker-owned): how full the
+  /// bursts actually run — tails and trickle traffic show up as mass at
+  /// small occupancies. Value histogram, same lock-free cell layout as the
+  /// cycle histograms.
+  CycleHistogram batch_occupancy;
 
   /// Indexed by chain position. deque: NfMetrics holds atomics (immovable)
   /// and deque constructs in place without ever relocating elements.

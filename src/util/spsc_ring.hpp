@@ -7,20 +7,18 @@
 // platform's per-hop latency model.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstddef>
 #include <new>
 #include <optional>
+#include <span>
 #include <vector>
 
-namespace speedybox::util {
+#include "util/prefetch.hpp"  // kCacheLineSize
 
-/// Destructive-interference (cache line) size. Fixed at 64 — the value for
-/// every x86/ARM server part we target — rather than
-/// std::hardware_destructive_interference_size, whose value can vary with
-/// compiler flags and would make the layout ABI-fragile.
-inline constexpr std::size_t kCacheLineSize = 64;
+namespace speedybox::util {
 
 /// Fixed-capacity SPSC ring. Capacity is rounded up to a power of two.
 /// T must be nothrow-movable (packet descriptors are raw pointers).
@@ -62,6 +60,30 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, burst variant: push values[0..n) in order, where n is
+  /// the number of free slots (at most values.size()), with ONE release
+  /// store for the whole burst — the rte_ring sp_enqueue_burst shape.
+  /// Returns n. Only the first n values are consumed (moved from); the
+  /// rest are untouched, extending the try_push no-consume-on-failure
+  /// contract to bursts: a partial push leaves the tail of the span intact
+  /// for the caller's backpressure retry.
+  std::size_t try_push_burst(std::span<T> values) noexcept {
+    if (values.empty()) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - (head - tail_cache_);
+    if (free < values.size()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      free = capacity() - (head - tail_cache_);
+    }
+    const std::size_t n = std::min(free, values.size());
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = std::move(values[i]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side. Returns nullopt when the ring is empty.
   std::optional<T> try_pop() noexcept {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -72,6 +94,26 @@ class SpscRing {
     T value = std::move(slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return value;
+  }
+
+  /// Consumer side, burst variant: pop up to out.size() values into
+  /// out[0..n) in FIFO order with ONE release store for the whole burst.
+  /// Returns n (0 when the ring is empty); out[n..] is untouched.
+  std::size_t try_pop_burst(std::span<T> out) noexcept {
+    if (out.empty()) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t available = head_cache_ - tail;
+    if (available < out.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      available = head_cache_ - tail;
+    }
+    const std::size_t n = std::min(available, out.size());
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
   }
 
   /// Approximate occupancy (exact when called from either endpoint's

@@ -1,0 +1,262 @@
+// In-batch edge cases of the vector data path (DESIGN.md §8): the hazards
+// that only exist once multiple packets share one PacketBatch.
+//
+//   * a FIN/RST teardown followed by a later packet of the SAME five-tuple
+//     inside one batch — the batched classifier pass must flush at the
+//     teardown boundary so the reused tuple re-records, exactly as it
+//     would packet-at-a-time;
+//   * a batch where every packet drops — all slots masked, nothing
+//     forwarded, per-slot outcomes still filled;
+//   * a recording-pass (initial) packet sharing a batch with fast-path
+//     packets — recording stays scalar in-batch while its neighbors take
+//     the Global-MAT path.
+//
+// Each case is checked both directly (expected flags) and differentially
+// (byte-identical to a scalar run of the same packets on a fresh chain).
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nf/ip_filter.hpp"
+#include "nf/monitor.hpp"
+#include "net/packet_batch.hpp"
+#include "runtime/runner.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::runtime {
+namespace {
+
+using speedybox::testing::same_bytes;
+using speedybox::testing::tuple_n;
+
+std::unique_ptr<ServiceChain> monitor_filter_chain() {
+  auto chain = std::make_unique<ServiceChain>("mon-filter");
+  chain->emplace_nf<nf::Monitor>();
+  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{});
+  return chain;
+}
+
+RunConfig speedybox_config(std::size_t batch_size) {
+  RunConfig config{platform::PlatformKind::kBess, true, false};
+  config.batch_size = batch_size;
+  return config;
+}
+
+net::Packet flow_packet(std::uint32_t flow, std::string_view payload,
+                        std::uint8_t flags = net::kTcpFlagAck) {
+  return net::make_tcp_packet(tuple_n(flow), payload, flags);
+}
+
+/// Scalar reference of `packets` on a fresh chain from `factory`.
+std::vector<net::Packet> scalar_reference(
+    const std::vector<net::Packet>& packets,
+    std::unique_ptr<ServiceChain> chain,
+    std::vector<PacketOutcome>* outcomes = nullptr) {
+  ChainRunner runner{*chain, speedybox_config(1)};
+  std::vector<net::Packet> out;
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    const PacketOutcome outcome = runner.process_packet(packet);
+    if (outcomes != nullptr) outcomes->push_back(outcome);
+    out.push_back(std::move(packet));
+  }
+  return out;
+}
+
+TEST(BatchEdgeCases, TeardownThenSameTupleReuseInOneBatch) {
+  // One batch: [A ack, A fin, A ack, A ack]. The FIN tears flow A down
+  // mid-batch; the packet right after it is the SAME five-tuple, so it must
+  // re-record (initial), and the last one rides the rebuilt rule.
+  std::vector<net::Packet> packets;
+  packets.push_back(flow_packet(7, "warmup"));
+  packets.push_back(flow_packet(7, "", net::kTcpFlagFin | net::kTcpFlagAck));
+  packets.push_back(flow_packet(7, "reopen"));
+  packets.push_back(flow_packet(7, "steady"));
+
+  auto chain = monitor_filter_chain();
+  ChainRunner runner{*chain, speedybox_config(8)};
+  std::vector<net::Packet> batched;
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    batched.push_back(std::move(packet));
+  }
+  net::PacketBatch batch{8};
+  for (net::Packet& packet : batched) batch.push(&packet);
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(batch, outcomes);
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].initial) << "first packet of A records";
+  EXPECT_TRUE(outcomes[1].fast_path) << "the FIN is a subsequent packet";
+  EXPECT_TRUE(outcomes[2].initial)
+      << "same tuple after an in-batch teardown must re-record";
+  EXPECT_TRUE(outcomes[3].fast_path)
+      << "packet after the re-record rides the rebuilt rule";
+  for (const PacketOutcome& outcome : outcomes) {
+    EXPECT_FALSE(outcome.dropped);
+  }
+
+  std::vector<PacketOutcome> ref_outcomes;
+  const std::vector<net::Packet> reference =
+      scalar_reference(packets, monitor_filter_chain(), &ref_outcomes);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(outcomes[i].initial, ref_outcomes[i].initial) << i;
+    EXPECT_EQ(outcomes[i].fast_path, ref_outcomes[i].fast_path) << i;
+    EXPECT_TRUE(same_bytes(batched[i], reference[i])) << "packet " << i;
+  }
+}
+
+TEST(BatchEdgeCases, RstTeardownReuseInOneBatch) {
+  // Same flush boundary, RST flavor, with unrelated flows interleaved so
+  // the segment split lands mid-batch rather than at its edges.
+  std::vector<net::Packet> packets;
+  packets.push_back(flow_packet(1, "a"));
+  packets.push_back(flow_packet(2, "b"));
+  packets.push_back(flow_packet(1, "", net::kTcpFlagRst));
+  packets.push_back(flow_packet(2, "c"));
+  packets.push_back(flow_packet(1, "reborn"));
+
+  auto chain = monitor_filter_chain();
+  ChainRunner runner{*chain, speedybox_config(8)};
+  std::vector<net::Packet> batched;
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    batched.push_back(std::move(packet));
+  }
+  net::PacketBatch batch{8};
+  for (net::Packet& packet : batched) batch.push(&packet);
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(batch, outcomes);
+
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[2].fast_path) << "the RST itself is subsequent";
+  EXPECT_TRUE(outcomes[3].fast_path)
+      << "flow 2 is untouched by flow 1's teardown";
+  EXPECT_TRUE(outcomes[4].initial) << "flow 1 re-records after the RST";
+
+  std::vector<PacketOutcome> ref_outcomes;
+  const std::vector<net::Packet> reference =
+      scalar_reference(packets, monitor_filter_chain(), &ref_outcomes);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(outcomes[i].initial, ref_outcomes[i].initial) << i;
+    EXPECT_EQ(outcomes[i].fast_path, ref_outcomes[i].fast_path) << i;
+    EXPECT_TRUE(same_bytes(batched[i], reference[i])) << "packet " << i;
+  }
+}
+
+TEST(BatchEdgeCases, BatchWhereEveryPacketDrops) {
+  // An ACL that drops the whole test prefix: every slot masks, outcomes
+  // still fill per slot, and the batch ends with zero valid packets.
+  const auto make_chain = [] {
+    auto chain = std::make_unique<ServiceChain>("drop-all");
+    chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{
+        nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 1, 0, 0}, 16)});
+    chain->emplace_nf<nf::Monitor>();
+    return chain;
+  };
+  std::vector<net::Packet> packets;
+  for (std::uint32_t flow = 0; flow < 6; ++flow) {
+    packets.push_back(flow_packet(flow, "doomed"));
+  }
+
+  auto chain = make_chain();
+  ChainRunner runner{*chain, speedybox_config(8)};
+  std::vector<net::Packet> batched = packets;
+  for (net::Packet& packet : batched) packet.reset_metadata();
+  net::PacketBatch batch{8};
+  for (net::Packet& packet : batched) batch.push(&packet);
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(batch, outcomes);
+
+  ASSERT_EQ(outcomes.size(), 6u);
+  EXPECT_EQ(batch.valid_count(), 0u) << "every slot must end masked";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].dropped) << "packet " << i;
+    EXPECT_TRUE(batched[i].dropped()) << "packet " << i;
+  }
+  EXPECT_EQ(runner.stats().drops, 6u);
+  EXPECT_EQ(runner.stats().packets, 6u);
+
+  std::vector<PacketOutcome> ref_outcomes;
+  scalar_reference(packets, make_chain(), &ref_outcomes);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].dropped, ref_outcomes[i].dropped) << i;
+  }
+}
+
+TEST(BatchEdgeCases, RecordingPacketSharesBatchWithFastPathPackets) {
+  // Warm flow A in a first batch, then one batch mixing A's fast-path
+  // packets with flow B's very first (recording) packet.
+  auto chain = monitor_filter_chain();
+  ChainRunner runner{*chain, speedybox_config(8)};
+
+  net::Packet warm = flow_packet(21, "warm");
+  net::PacketBatch warm_batch{8};
+  warm_batch.push(&warm);
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(warm_batch, outcomes);
+  ASSERT_TRUE(outcomes[0].initial);
+
+  std::vector<net::Packet> packets;
+  packets.push_back(flow_packet(21, "fast-1"));
+  packets.push_back(flow_packet(22, "record-me"));
+  packets.push_back(flow_packet(21, "fast-2"));
+  packets.push_back(flow_packet(22, "now-fast"));
+  std::vector<net::Packet> batched;
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    batched.push_back(std::move(packet));
+  }
+  net::PacketBatch batch{8};
+  for (net::Packet& packet : batched) batch.push(&packet);
+  runner.process_batch(batch, outcomes);
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].fast_path);
+  EXPECT_TRUE(outcomes[1].initial) << "flow B records mid-batch";
+  EXPECT_TRUE(outcomes[2].fast_path);
+  EXPECT_TRUE(outcomes[3].fast_path)
+      << "flow B's second packet rides the just-consolidated rule";
+
+  // Differential leg: the same five packets scalar, fresh chain.
+  std::vector<net::Packet> all_packets;
+  all_packets.push_back(flow_packet(21, "warm"));
+  all_packets.insert(all_packets.end(), packets.begin(), packets.end());
+  const std::vector<net::Packet> reference =
+      scalar_reference(all_packets, monitor_filter_chain());
+  EXPECT_TRUE(same_bytes(warm, reference[0]));
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_TRUE(same_bytes(batched[i], reference[i + 1]))
+        << "packet " << i;
+  }
+}
+
+TEST(BatchEdgeCases, PreDroppedPacketEntersMaskedAndIsSkipped) {
+  // A packet already marked dropped when the batch is built enters masked:
+  // the data path never touches it and it is not accounted.
+  auto chain = monitor_filter_chain();
+  ChainRunner runner{*chain, speedybox_config(8)};
+  net::Packet live = flow_packet(31, "live");
+  net::Packet dead = flow_packet(32, "dead");
+  dead.mark_dropped();
+  net::PacketBatch batch{8};
+  batch.push(&live);
+  batch.push(&dead);
+  EXPECT_EQ(batch.valid_count(), 1u);
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(batch, outcomes);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].initial);
+  EXPECT_FALSE(outcomes[1].initial);
+  EXPECT_FALSE(outcomes[1].fast_path);
+  EXPECT_EQ(runner.stats().packets, 1u)
+      << "slots masked at batch entry are not processed or accounted";
+}
+
+}  // namespace
+}  // namespace speedybox::runtime

@@ -28,9 +28,10 @@ TEST(Accounting, PlatformCyclesIncludePerNfOverhead) {
       << "original path: one hop per NF";
 }
 
-TEST(Accounting, FastPathPaysExactlyOneHop) {
+TEST(Accounting, FastPathPaysExactlyOneHopPlusRxShare) {
   platform::PlatformCosts costs;
   costs.bess_hop_cycles = 1000;
+  costs.rx_burst_fixed_cycles = 640;
   ServiceChain chain;
   chain.emplace_nf<nf::Monitor>();
   chain.emplace_nf<nf::Monitor>("m2");
@@ -41,7 +42,23 @@ TEST(Accounting, FastPathPaysExactlyOneHop) {
   net::Packet second = net::make_tcp_packet(tuple_n(2), "x");
   const PacketOutcome outcome = runner.process_packet(second);
   EXPECT_FALSE(outcome.initial);
-  EXPECT_EQ(outcome.platform_cycles, outcome.work_cycles + 1000);
+  // Scalar = a burst of one: one hop plus the whole rx fixed cost.
+  EXPECT_EQ(outcome.platform_cycles, outcome.work_cycles + 1000 + 640);
+
+  // In a full burst the same packet carries only a 1/N share of the rx
+  // cost — the amortization the batch sweep measures.
+  net::Packet burst_pkt[4];
+  net::PacketBatch batch{4};
+  for (auto& p : burst_pkt) {
+    p = net::make_tcp_packet(tuple_n(2), "x");
+    batch.push(&p);
+  }
+  std::vector<PacketOutcome> outcomes;
+  runner.process_batch(batch, outcomes);
+  for (const PacketOutcome& o : outcomes) {
+    ASSERT_FALSE(o.initial);
+    EXPECT_EQ(o.platform_cycles, o.work_cycles + 1000 + 640 / 4);
+  }
 }
 
 TEST(Accounting, SequentialLatencyNeverBelowParallel) {

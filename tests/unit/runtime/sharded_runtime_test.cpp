@@ -128,6 +128,40 @@ TEST(ShardedRuntime, FullRingExertsBackpressureWithoutLoss) {
   }
 }
 
+TEST(ShardedRuntime, RingSmallerThanBurstStillDeliversEverything) {
+  // Ring capacity 4 < batch_size 8: every staging flush is a partial burst
+  // push, so the dispatcher's retry loop and the worker's partial pops are
+  // both on the hot path. Nothing may be lost or reordered per flow.
+  auto chain = monitor_chain();
+  runtime::RunConfig config{platform::PlatformKind::kBess, true, false};
+  config.batch_size = 8;
+  ShardedRuntime runtime{*chain, 2, config, /*ring_capacity=*/4};
+  const trace::Workload workload = trace::make_uniform_workload(12, 30, 24);
+  const ShardedRunResult result = runtime.run_workload(workload);
+  EXPECT_EQ(result.stats.packets, workload.packet_count());
+  EXPECT_EQ(result.outcomes.size(), workload.packet_count());
+  EXPECT_GT(runtime.backpressure_waits(), 0u)
+      << "burst of 8 into a 4-slot ring must block at least once";
+  for (const PacketOutcome& outcome : result.outcomes) {
+    EXPECT_FALSE(outcome.dropped);
+  }
+}
+
+TEST(ShardedRuntime, PartialStagingBuffersFlushOnFinish) {
+  // 5 packets of one flow with batch_size 8: the staging buffer never
+  // fills, so only the finish()-time flush delivers them.
+  auto chain = monitor_chain();
+  runtime::RunConfig config{platform::PlatformKind::kBess, true, false};
+  config.batch_size = 8;
+  ShardedRuntime runtime{*chain, 2, config};
+  for (int i = 0; i < 5; ++i) {
+    runtime.push(net::make_tcp_packet(tuple_n(3), "staged"));
+  }
+  const ShardedRunResult result = runtime.finish();
+  EXPECT_EQ(result.stats.packets, 5u);
+  EXPECT_EQ(result.outcomes.size(), 5u);
+}
+
 TEST(ShardedRuntime, SingleShardMatchesChainRunnerExactly) {
   const trace::Workload workload = trace::make_uniform_workload(10, 8, 48);
 

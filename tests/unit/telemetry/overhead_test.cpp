@@ -44,11 +44,14 @@ trace::Workload make_workload() {
   return workload;
 }
 
-RunResult run_once(const trace::Workload& workload, Registry* registry) {
+RunResult run_once(const trace::Workload& workload, Registry* registry,
+                   std::size_t batch_size = net::kDefaultBatchSize) {
   runtime::ServiceChain chain;
   chain.emplace_nf<nf::SnortIds>(trace::default_snort_rules());
   chain.emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-  runtime::ChainRunner runner{chain, runtime::RunConfig{}};
+  runtime::RunConfig config;
+  config.batch_size = batch_size;
+  runtime::ChainRunner runner{chain, config};
   ShardMetrics* metrics = nullptr;
   if (registry != nullptr) {
     metrics = &registry->create_shard("shard0", chain.nf_names());
@@ -83,6 +86,38 @@ TEST(TelemetryOverhead, AttachedRunComputesIdenticalResults) {
   EXPECT_EQ(attached.packets, detached.packets);
   EXPECT_EQ(attached.drops, detached.drops);
   EXPECT_EQ(attached.events, detached.events);
+}
+
+TEST(TelemetryOverhead, BatchedPathIdenticalAcrossAttachAndBatchSize) {
+  // The §VII-C guard extended to the vector data path: counts must be
+  // identical detached vs attached AND scalar (batch=1) vs batched
+  // (batch=32); the attached batched run must additionally fill the
+  // batch_occupancy histogram (one sample per process_batch call).
+  const trace::Workload workload = make_workload();
+  const RunResult scalar_detached =
+      run_once(workload, nullptr, /*batch_size=*/1);
+  const RunResult batched_detached =
+      run_once(workload, nullptr, /*batch_size=*/32);
+  Registry registry{/*span_sample_every_n=*/16};
+  const RunResult batched_attached =
+      run_once(workload, &registry, /*batch_size=*/32);
+
+  EXPECT_EQ(scalar_detached.packets, workload.packet_count());
+  EXPECT_EQ(batched_detached.packets, scalar_detached.packets);
+  EXPECT_EQ(batched_detached.drops, scalar_detached.drops);
+  EXPECT_EQ(batched_detached.events, scalar_detached.events);
+  EXPECT_EQ(batched_attached.packets, batched_detached.packets);
+  EXPECT_EQ(batched_attached.drops, batched_detached.drops);
+  EXPECT_EQ(batched_attached.events, batched_detached.events);
+
+  const ShardSnapshot snap = registry.snapshot().shards.at(0);
+  const auto occupancy = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const auto& entry) { return entry.first == "batch_occupancy"; });
+  ASSERT_NE(occupancy, snap.histograms.end());
+  EXPECT_GE(occupancy->second.count(),
+            workload.packet_count() / 32)
+      << "one occupancy sample per process_batch call";
 }
 
 TEST(TelemetryOverhead, DisabledPathWithinNoiseOfEnabled) {

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -196,6 +197,148 @@ TEST(SpscRing, TwoThreadStress) {
   const std::uint64_t expected =
       static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2;
   EXPECT_EQ(consumer_sum, expected);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BurstPushPopRoundTrip) {
+  SpscRing<int> ring{8};
+  std::vector<int> values{1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_burst(std::span<int>{values}), 5u);
+  EXPECT_EQ(ring.size(), 5u);
+  std::vector<int> out(8, -1);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>{out}), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i + 1);
+  EXPECT_EQ(out[5], -1) << "slots past the popped count stay untouched";
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, BurstEmptySpansAreNoOps) {
+  SpscRing<int> ring{4};
+  EXPECT_EQ(ring.try_push_burst(std::span<int>{}), 0u);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>{}), 0u);
+  EXPECT_TRUE(ring.empty());
+  std::vector<int> out(4);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>{out}), 0u)
+      << "pop from an empty ring reports zero";
+}
+
+TEST(SpscRing, PartialBurstPushFillsExactlyTheFreeSlots) {
+  SpscRing<int> ring{4};
+  ASSERT_TRUE(ring.try_push(100));
+  std::vector<int> values{0, 1, 2, 3, 4, 5};
+  // 3 slots free: the burst takes values[0..3) and reports 3.
+  EXPECT_EQ(ring.try_push_burst(std::span<int>{values}), 3u);
+  EXPECT_EQ(ring.try_push_burst(std::span<int>{values}.subspan(3)), 0u)
+      << "a full ring accepts nothing";
+  for (const int expected : {100, 0, 1, 2}) {
+    EXPECT_EQ(ring.try_pop().value(), expected);
+  }
+}
+
+TEST(SpscRing, PartialBurstPopDrainsExactlyTheOccupancy) {
+  SpscRing<int> ring{8};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::vector<int> out(8, -1);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>{out}), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(out[3], -1);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PartialBurstPushDoesNotConsumeTheTail) {
+  // The burst analogue of FailedPushDoesNotConsumeTheValue: the retry loop
+  // `pending = pending.subspan(ring.try_push_burst(pending))` is only
+  // correct if the un-pushed tail keeps its values.
+  SpscRing<std::unique_ptr<int>> ring{2};
+  std::vector<std::unique_ptr<int>> values;
+  for (int i = 0; i < 4; ++i) values.push_back(std::make_unique<int>(i));
+  EXPECT_EQ(ring.try_push_burst(std::span{values}), 2u);
+  EXPECT_EQ(values[0], nullptr);
+  EXPECT_EQ(values[1], nullptr);
+  ASSERT_NE(values[2], nullptr) << "un-pushed tail must keep its values";
+  ASSERT_NE(values[3], nullptr);
+  EXPECT_EQ(*values[2], 2);
+  EXPECT_EQ(*values[3], 3);
+  // Drain and retry the tail — the backpressure pattern end to end.
+  EXPECT_EQ(**ring.try_pop(), 0);
+  EXPECT_EQ(**ring.try_pop(), 1);
+  EXPECT_EQ(ring.try_push_burst(std::span{values}.subspan(2)), 2u);
+  EXPECT_EQ(**ring.try_pop(), 2);
+  EXPECT_EQ(**ring.try_pop(), 3);
+}
+
+TEST(SpscRing, BurstFifoAcrossIndexWraparound) {
+  // Cursors seeded just below SIZE_MAX: burst index arithmetic (head + i,
+  // tail + i, the free/available differences) crosses the unsigned
+  // overflow boundary mid-test and must not care.
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 5;
+  SpscRing<int> ring{4, start};
+  int next_push = 0;
+  int next_pop = 0;
+  std::vector<int> in(3);
+  std::vector<int> out(3);
+  for (int round = 0; round < 8; ++round) {
+    for (int& v : in) v = next_push++;
+    ASSERT_EQ(ring.try_push_burst(std::span<int>{in}), 3u);
+    ASSERT_EQ(ring.try_pop_burst(std::span<int>{out}), 3u);
+    for (const int v : out) ASSERT_EQ(v, next_pop++);
+    ASSERT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, BurstMixesWithScalarOps) {
+  SpscRing<int> ring{8};
+  std::vector<int> values{0, 1, 2};
+  ASSERT_EQ(ring.try_push_burst(std::span<int>{values}), 3u);
+  ASSERT_TRUE(ring.try_push(3));
+  EXPECT_EQ(ring.try_pop().value(), 0);
+  std::vector<int> out(8);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>{out}), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(SpscRing, TwoThreadBurstStressAcrossWraparound) {
+  constexpr int kCount = 100000;
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 100;
+  SpscRing<int> ring{64, start};
+  bool ordered = true;
+  std::uint64_t consumer_sum = 0;
+
+  std::thread consumer([&] {
+    std::vector<int> out(16);
+    int expected = 0;
+    while (expected < kCount) {
+      const std::size_t n = ring.try_pop_burst(std::span<int>{out});
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out[i] != expected) ordered = false;
+        consumer_sum += static_cast<std::uint64_t>(out[i]);
+        ++expected;
+      }
+    }
+  });
+
+  std::vector<int> in;
+  int produced = 0;
+  while (produced < kCount) {
+    in.clear();
+    for (int i = 0; i < 16 && produced + i < kCount; ++i) {
+      in.push_back(produced + i);
+    }
+    std::span<int> pending{in};
+    while (!pending.empty()) {
+      pending = pending.subspan(ring.try_push_burst(pending));
+      if (!pending.empty()) std::this_thread::yield();
+    }
+    produced += static_cast<int>(in.size());
+  }
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(consumer_sum,
+            static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
   EXPECT_TRUE(ring.empty());
 }
 

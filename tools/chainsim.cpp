@@ -56,6 +56,7 @@ struct Options {
   long fail_backend_at = -1;  // packet index at which backend 0 dies
   bool csv = false;
   std::size_t shards = 0;  // 0 = single-threaded ChainRunner
+  std::size_t batch_size = net::kDefaultBatchSize;
   std::string metrics_out;         // JSON-lines snapshot file
   std::string metrics_prom;        // Prometheus text file (overwritten)
   long metrics_interval_ms = 0;    // 0 = final snapshot only
@@ -79,6 +80,8 @@ struct Options {
       "  --fail-backend-at K        fail Maglev backend 0 before packet K\n"
       "  --shards N                 run on the flow-sharded runtime with N\n"
       "                             chain replicas (one worker thread each)\n"
+      "  --batch-size N             burst size the data path drains in\n"
+      "                             (default 32; 1 = packet-at-a-time)\n"
       "  --seed N                   workload seed (default 42)\n"
       "  --csv                      machine-readable one-line-per-config\n"
       "  --metrics-out FILE         append a JSON telemetry snapshot line\n"
@@ -146,6 +149,13 @@ Options parse_options(int argc, char** argv) {
       char* end = nullptr;
       options.shards = std::strtoul(value, &end, 10);
       if (end == value || *end != '\0') usage(argv[0]);
+    } else if (arg == "--batch-size") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      options.batch_size = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || options.batch_size == 0) {
+        usage(argv[0]);
+      }
     } else if (arg == "--seed") {
       options.seed = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--csv") {
@@ -306,7 +316,8 @@ void run_mode(const Options& options, bool speedybox,
               const std::vector<net::Packet>& packets,
               telemetry::Registry* registry) {
   BuiltChain built = build_chain(options);
-  const runtime::RunConfig config{options.platform, speedybox, false};
+  runtime::RunConfig config{options.platform, speedybox, false};
+  config.batch_size = options.batch_size;
   const std::string mode = speedybox ? "speedybox" : "original";
 
   if (options.shards > 0) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build and run the concurrency-sensitive test suites under ThreadSanitizer
 # and AddressSanitizer. TSan is the gate for the sharded runtime's
-# single-writer-per-flow contract (DESIGN.md "Sharded runtime"); ASan backs
-# it up on the packet-buffer side.
+# single-writer-per-flow contract (DESIGN.md "Sharded runtime"), the SPSC
+# ring burst hand-off, and the scalar-vs-batched differential harness
+# (test_equivalence, DESIGN.md §8); ASan backs it up on the packet-buffer
+# side.
 #
 # Usage: tools/run_sanitizers.sh [thread|address|all]   (default: all)
 set -euo pipefail
