@@ -12,6 +12,7 @@
 #include <string>
 
 #include "nf/ip_filter.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/runner.hpp"
 #include "telemetry/json.hpp"
 #include "trace/workload.hpp"
@@ -33,20 +34,13 @@ struct ConfigResult {
   util::SampleRecorder flow_time_us;
 };
 
-inline ConfigResult run_config(const ChainFactory& factory,
-                               platform::PlatformKind platform,
-                               bool speedybox,
-                               const trace::Workload& workload,
-                               bool measure_per_nf = false,
-                               std::size_t batch_size =
-                                   net::kDefaultBatchSize) {
-  auto chain = factory();
-  runtime::RunConfig config{platform, speedybox, measure_per_nf};
-  config.batch_size = batch_size;
-  runtime::ChainRunner runner{*chain, config};
-  runner.run_workload(workload);
+/// Extract the common figure-bench measurements from any executor shape
+/// after a run() — the Executor-interface half of run_config, reused by
+/// benches that build their own executor (sharding, overload sweeps).
+inline ConfigResult collect_result(const runtime::Executor& executor,
+                                   platform::PlatformKind platform) {
   ConfigResult result;
-  result.stats = runner.stats();
+  result.stats = executor.stats();
   const auto& stats = result.stats;
   // Medians, not means: runs share a noisy core with the host, and a
   // single interrupt inside one packet's measurement shifts a mean far
@@ -59,6 +53,27 @@ inline ConfigResult run_config(const ChainFactory& factory,
     result.sub_latency_us = stats.latency_us_subsequent.percentile(50);
   }
   result.rate_mpps = stats.rate_mpps(platform);
+  return result;
+}
+
+inline ConfigResult run_config(const ChainFactory& factory,
+                               platform::PlatformKind platform,
+                               bool speedybox,
+                               const trace::Workload& workload,
+                               bool measure_per_nf = false,
+                               std::size_t batch_size =
+                                   net::kDefaultBatchSize,
+                               const runtime::OverloadConfig& overload = {}) {
+  auto chain = factory();
+  runtime::RunConfig config{platform, speedybox, measure_per_nf};
+  config.batch_size = batch_size;
+  runtime::ChainRunner runner{*chain, config};
+  // Drive through the Executor interface — same entry points chainsim and
+  // the equivalence harnesses use for every shape.
+  runtime::Executor& executor = runner;
+  if (overload.enabled) executor.set_overload_policy(overload);
+  executor.run(workload);
+  ConfigResult result = collect_result(executor, platform);
   result.flow_time_us = runner.flow_time_us();
   if (result.flow_time_us.count() > 0) {
     result.p50_flow_time_us = result.flow_time_us.percentile(50);
@@ -113,6 +128,13 @@ inline telemetry::Json config_row(const std::string& label,
   row.set("rate_mpps", Json::number(result.rate_mpps));
   row.set("packets", Json::integer(result.stats.packets));
   row.set("drops", Json::integer(result.stats.drops));
+  const runtime::OverloadStats& overload = result.stats.overload;
+  if (overload.offered > 0 || overload.faulted > 0) {
+    row.set("offered", Json::integer(overload.offered));
+    row.set("admitted", Json::integer(overload.admitted));
+    row.set("shed", Json::integer(overload.shed_total()));
+    row.set("faulted", Json::integer(overload.faulted));
+  }
   return row;
 }
 

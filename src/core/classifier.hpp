@@ -48,6 +48,16 @@ class PacketClassifier {
   std::optional<Classification> classify(
       net::Packet& packet, const net::ParsedPacket* pre_parsed);
 
+  /// Side-effect-free lookup: the FID of a known flow, nullopt for an
+  /// unseen tuple. No counters move, no FID is assigned, last-seen stays
+  /// untouched. The slo-early-drop ingress gate uses this to ask "is this
+  /// flow already doomed?" before spending any classify/record work.
+  std::optional<std::uint32_t> peek(const net::FiveTuple& tuple) const {
+    const auto it = by_tuple_.find(tuple);
+    if (it == by_tuple_.end()) return std::nullopt;
+    return it->second.fid;
+  }
+
   /// Free the FID after the teardown packet has been fully processed.
   void release_flow(std::uint32_t fid);
 

@@ -92,6 +92,7 @@ GlobalMat::FastHeaderResult GlobalMat::process_header(net::Packet& packet) {
       packet, &result.dropped, &result.events_triggered);
   result.rule_hit = rule != nullptr;
   if (rule != nullptr) {
+    result.degraded_rule = rule->degraded_default;
     // Threaded callers need an owning pin: the descriptor outlives this
     // call and must survive a concurrent re-consolidation.
     result.rule = rules_.at(packet.fid());
@@ -107,6 +108,7 @@ GlobalMat::FastPathResult GlobalMat::process(
                                      &result.events_triggered);
   if (rule_ref == nullptr) return result;
   result.rule_hit = true;
+  result.degraded_rule = rule_ref->degraded_default;
   if (result.dropped) {
     return result;  // early drop: no state function runs for dropped flows
   }
@@ -179,6 +181,16 @@ GlobalMat::FastPathResult GlobalMat::process(
     }
   }
   return result;
+}
+
+void GlobalMat::install_default_rule(std::uint32_t fid) {
+  auto rule = std::make_shared<ConsolidatedRule>();
+  const auto existing = rules_.find(fid);
+  rule->version =
+      (existing != rules_.end() ? existing->second->version : 0) + 1;
+  rule->degraded_default = true;
+  SB_LOG_DEBUG("global_mat", "degraded default rule for fid=%u", fid);
+  rules_[fid] = std::move(rule);
 }
 
 void GlobalMat::erase_flow(std::uint32_t fid, bool run_hooks) {

@@ -56,6 +56,10 @@ struct ConsolidatedRule {
   static constexpr std::uint32_t kCostSampleWindow = 8;
   std::uint32_t cost_samples = 0;
   double critical_fraction = 1.0;
+
+  /// Pre-consolidated pure-forward rule installed instead of recording
+  /// while the path is degraded (runtime overload control, DESIGN.md §9).
+  bool degraded_default = false;
 };
 
 class GlobalMat {
@@ -80,6 +84,24 @@ class GlobalMat {
     return it == rules_.end() ? nullptr : it->second.get();
   }
 
+  /// True when the flow's consolidated rule is a settled drop: the header
+  /// action drops and no registered event could change the verdict. The
+  /// slo-early-drop overload policy sheds such packets at ingress —
+  /// semantically equivalent to the fast path's early drop (which never
+  /// runs state functions for dropped packets) minus the MAT walk. A FIN
+  /// shed this way leaves the rule for idle expiry, exactly like a UDP
+  /// flow's last packet would.
+  bool rule_marked_drop(std::uint32_t fid) const {
+    const ConsolidatedRule* rule = find(fid);
+    return rule != nullptr && rule->action.drop && !rule->check_events;
+  }
+
+  /// Install a pre-consolidated pure-forward default rule (graceful
+  /// degradation, DESIGN.md §9): a flow arriving while the path is
+  /// degraded skips recording and executes this rule on the fast path.
+  /// No header rewrites, no state functions, no event checks.
+  void install_default_rule(std::uint32_t fid);
+
   /// Batch pre-pass hint: warm the cache lines of `fid`'s consolidated rule
   /// so the fast-path packets behind it in the burst find the rule resident
   /// (DESIGN.md §8). A hint only — a miss or a stale line never affects
@@ -102,6 +124,9 @@ class GlobalMat {
   struct FastPathResult {
     bool rule_hit = false;
     bool dropped = false;
+    /// The rule executed was a degraded-mode default rule — the runner
+    /// counts these packets separately (they skipped recording).
+    bool degraded_rule = false;
     std::size_t events_triggered = 0;
     /// Measured cycles actually spent executing state functions.
     std::uint64_t sf_total_cycles = 0;
@@ -130,6 +155,7 @@ class GlobalMat {
   struct FastHeaderResult {
     bool rule_hit = false;
     bool dropped = false;
+    bool degraded_rule = false;
     std::size_t events_triggered = 0;
     std::shared_ptr<const ConsolidatedRule> rule;
   };

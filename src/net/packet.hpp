@@ -67,6 +67,12 @@ class Packet {
   /// Paper semantics: "set the associated packet descriptor to nil".
   void mark_dropped() noexcept { dropped_ = true; }
 
+  /// Set by the fault-injection harness when an injected NF failure, not a
+  /// policy decision, killed this packet — keeps conservation accounting
+  /// (admitted = delivered + drops + faulted) able to tell the two apart.
+  bool faulted() const noexcept { return faulted_; }
+  void mark_faulted() noexcept { faulted_ = true; }
+
   std::uint64_t arrival_cycle() const noexcept { return arrival_cycle_; }
   void set_arrival_cycle(std::uint64_t c) noexcept { arrival_cycle_ = c; }
 
@@ -74,6 +80,7 @@ class Packet {
     fid_ = kInvalidFid;
     initial_ = false;
     dropped_ = false;
+    faulted_ = false;
     arrival_cycle_ = 0;
   }
 
@@ -82,6 +89,7 @@ class Packet {
   std::uint32_t fid_ = kInvalidFid;
   bool initial_ = false;
   bool dropped_ = false;
+  bool faulted_ = false;
   std::uint64_t arrival_cycle_ = 0;
 };
 

@@ -68,6 +68,8 @@ void OnvmPipeline::worker(std::size_t stage) {
     for (std::size_t i = 0; i < popped; ++i) {
       net::Packet* packet = descriptors[i];
       if (packet->dropped()) {
+        (packet->faulted() ? faulted_ : drops_)
+            .fetch_add(1, std::memory_order_relaxed);
         delete packet;  // slot masked in the batch: packet memory released
         continue;
       }

@@ -45,11 +45,39 @@ class OnvmPipeline {
   /// filtered out), in arrival order.
   std::vector<net::Packet> stop_and_collect();
 
+  // -- ingress-gate hooks (runtime::OnvmExecutor; the runtime layer sits
+  // -- above this one and gates before push()) --
+  /// Producer-side watermark hysteresis over the first ring. Only valid
+  /// from the pushing thread.
+  void set_ingress_watermarks(std::size_t high, std::size_t low) noexcept {
+    rings_.front()->set_watermarks(high, low);
+  }
+  bool ingress_pressured() noexcept {
+    return rings_.front()->over_watermark();
+  }
+  std::size_t ingress_depth() const noexcept {
+    return rings_.front()->size();
+  }
+  std::size_t ingress_capacity() const noexcept {
+    return rings_.front()->capacity();
+  }
+  /// In-chain packet losses, split by cause (relaxed counters, exact once
+  /// the workers are joined). Faulted = an injected NF failure marked the
+  /// packet (net::Packet::faulted()); disjoint from drops.
+  std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faulted() const noexcept {
+    return faulted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker(std::size_t stage);
 
   std::vector<nf::NetworkFunction*> stages_;
   std::size_t batch_size_;
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> faulted_{0};
   /// Ring i feeds stage i. The last stage appends to the (unbounded) sink
   /// under a mutex, so the pipeline can never deadlock on a full tail ring.
   std::vector<std::unique_ptr<util::SpscRing<net::Packet*>>> rings_;

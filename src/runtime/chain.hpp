@@ -35,6 +35,15 @@ class ServiceChain {
     return ref;
   }
 
+  /// Owning append of an already-built NF — e.g. one wrapped in a
+  /// runtime::FaultInjector after construction.
+  nf::NetworkFunction& adopt_nf(std::unique_ptr<nf::NetworkFunction> nf) {
+    nf::NetworkFunction& ref = *nf;
+    owned_.push_back(std::move(nf));
+    add_nf(&ref);
+    return ref;
+  }
+
   const std::string& name() const noexcept { return name_; }
   std::size_t size() const noexcept { return nfs_.size(); }
   /// NF names in chain order (labels telemetry's per-NF metrics under).

@@ -1,0 +1,77 @@
+// runtime::Executor — the one interface every deployment shape implements:
+//
+//   ChainRunner        single thread, original or SpeedyBox mode
+//   SpeedyBoxPipeline  threaded manager + NF cores (§VI deployment)
+//   ShardedRuntime     RSS flow sharding, N full chain replicas
+//   OnvmExecutor       adapter over platform::OnvmPipeline (NF per core,
+//                      descriptor rings; lives in runtime/ because the
+//                      platform layer sits below runtime and cannot see
+//                      this header)
+//
+// Call sites (chainsim, bench_util, the equivalence harnesses) dispatch
+// through this interface instead of hand-rolling one loop per executor, so
+// every executor gets workload driving, telemetry attachment, overload
+// policy and stats reporting through the same four entry points.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/overload.hpp"
+
+namespace speedybox::net {
+class Packet;
+}
+namespace speedybox::trace {
+struct Workload;
+}
+namespace speedybox::telemetry {
+class Registry;
+}
+
+namespace speedybox::runtime {
+
+struct RunStats;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Short executor-shape label ("runner", "sharded", "pipeline", "onvm")
+  /// — used in logs, JSON output and telemetry shard labels.
+  virtual std::string_view kind() const noexcept = 0;
+
+  /// Drive a whole workload through the data path; returns the aggregate
+  /// stats (same object stats() reports). Threaded executors start their
+  /// worker threads at construction and stop them here, so run() is
+  /// one-shot for those shapes.
+  virtual const RunStats& run(const trace::Workload& workload) = 0;
+
+  /// Drive a raw packet sequence (e.g. from trace::read_pcap). Packets are
+  /// copied per run. When `outputs` is non-null it receives every packet
+  /// post-chain — dropped ones included (check Packet::dropped()) — in
+  /// input order where the executor preserves it (ChainRunner,
+  /// ShardedRuntime) and in completion order otherwise (the pipelines,
+  /// which only guarantee per-flow FIFO and omit dropped packets).
+  virtual const RunStats& run(const std::vector<net::Packet>& packets,
+                              std::vector<net::Packet>* outputs) = 0;
+  const RunStats& run_raw(const std::vector<net::Packet>& packets) {
+    return run(packets, nullptr);
+  }
+
+  virtual const RunStats& stats() const noexcept = 0;
+
+  /// Create this executor's metric shard(s) in `registry` under `label`
+  /// (null detaches). Must be called before the first packet; the sharded
+  /// runtime labels its per-shard cells "<label>/shard<i>".
+  virtual void attach_telemetry(telemetry::Registry* registry,
+                                const std::string& label) = 0;
+
+  /// Install the overload policy (DESIGN.md §9). Must be called before the
+  /// first packet. A config with enabled=false restores the zero-cost
+  /// byte-identical default path.
+  virtual void set_overload_policy(const OverloadConfig& config) = 0;
+};
+
+}  // namespace speedybox::runtime

@@ -1,0 +1,121 @@
+#include "runtime/fault_injector.hpp"
+
+#include <charconv>
+
+#include "util/cycle_clock.hpp"
+#include "util/logging.hpp"
+
+namespace speedybox::runtime {
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  const auto field = [&out](const char* key, std::uint64_t value) {
+    if (value == 0) return;
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("fail-every", fail_every);
+  field("latency-every", latency_every);
+  if (latency_every != 0) field("latency-cycles", latency_cycles);
+  field("crash-at", crash_at);
+  return out.empty() ? "none" : out;
+}
+
+std::optional<std::pair<std::string, FaultSpec>> parse_fault_spec(
+    std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  std::string nf{text.substr(0, colon)};
+  std::string_view rest = text.substr(colon + 1);
+  FaultSpec spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      return std::nullopt;
+    }
+    if (key == "fail-every") {
+      spec.fail_every = parsed;
+    } else if (key == "latency-every") {
+      spec.latency_every = parsed;
+    } else if (key == "latency-cycles") {
+      spec.latency_cycles = parsed;
+    } else if (key == "crash-at") {
+      spec.crash_at = parsed;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!spec.any()) return std::nullopt;
+  return std::make_pair(std::move(nf), spec);
+}
+
+FaultInjector::FaultInjector(std::unique_ptr<nf::NetworkFunction> inner,
+                             FaultSpec spec)
+    : nf::NetworkFunction(inner->name()),
+      inner_(std::move(inner)),
+      spec_(spec) {}
+
+void FaultInjector::process(net::Packet& packet,
+                            core::SpeedyBoxContext* ctx) {
+  count_packet();
+  ++seq_;
+  if (spec_.crash_at != 0 && seq_ == spec_.crash_at) {
+    crash_and_restore();
+  }
+  if (spec_.latency_every != 0 && seq_ % spec_.latency_every == 0) {
+    ++spikes_;
+    // Busy-spin: the spike is real executed cycles, measured like any
+    // other NF work and felt downstream as ring backpressure.
+    const std::uint64_t t0 = util::CycleClock::now();
+    while (util::CycleClock::segment(t0, util::CycleClock::now()) <
+           spec_.latency_cycles) {
+    }
+  }
+  if (spec_.fail_every != 0 && seq_ % spec_.fail_every == 0) {
+    ++failures_;
+    packet.mark_faulted();
+    packet.mark_dropped();
+    return;  // the inner NF never sees the lost packet
+  }
+  inner_->process(packet, ctx);
+}
+
+void FaultInjector::crash_and_restore() {
+  std::unique_ptr<nf::NetworkFunction> fresh = inner_->clone();
+  if (fresh == nullptr) {
+    // Non-replicable NF: restore is impossible, keep the instance running.
+    SB_LOG_INFO("fault_injector", "%s: crash skipped (NF not replicable)",
+                name().c_str());
+    return;
+  }
+  ++crashes_;
+  SB_LOG_INFO("fault_injector", "%s: crash-and-restore after %llu packets",
+              name().c_str(), static_cast<unsigned long long>(seq_));
+  retired_.push_back(std::move(inner_));
+  inner_ = std::move(fresh);
+}
+
+std::unique_ptr<nf::NetworkFunction> FaultInjector::clone() const {
+  std::unique_ptr<nf::NetworkFunction> inner_clone = inner_->clone();
+  if (inner_clone == nullptr) return nullptr;
+  return std::make_unique<FaultInjector>(std::move(inner_clone), spec_);
+}
+
+void FaultInjector::on_flow_teardown(const net::FiveTuple& tuple) {
+  inner_->on_flow_teardown(tuple);
+}
+
+}  // namespace speedybox::runtime

@@ -1,0 +1,99 @@
+// Fault-injection harness (DESIGN.md §9): wraps any NetworkFunction and
+// injects, on a deterministic per-packet schedule,
+//
+//   * latency spikes      — busy-spin a configured number of cycles before
+//                           the packet enters the NF, so the spike shows up
+//                           in measured work cycles exactly like a real
+//                           slow-path excursion (and, in the threaded
+//                           executors, backs packets up into the SPSC rings
+//                           where the overload machinery sees it);
+//   * transient failures  — the NF "loses" the packet: marked dropped AND
+//                           faulted, so conservation accounting separates
+//                           failures from policy drops;
+//   * crash-and-restore   — the wrapped NF instance is retired and replaced
+//                           by a fresh clone() (configuration copied,
+//                           per-flow state lost), modeling an NF restart
+//                           that restores from its checkpointed config.
+//
+// Crash safety with consolidated rules: state functions recorded before the
+// crash capture the OLD instance. The injector keeps retired instances
+// alive in a graveyard, so in-flight and already-consolidated rules stay
+// memory-safe — they keep mutating pre-crash state until their flows tear
+// down or re-record, which is precisely the stale-state window a real
+// restore-from-checkpoint exhibits.
+//
+// The wrapper is transparent: it reports the inner NF's name, forwards
+// teardown hooks, and clone() produces an injector around a fresh inner
+// clone (per-shard fault schedules run independently, like per-core
+// hardware faults would).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "nf/network_function.hpp"
+
+namespace speedybox::runtime {
+
+struct FaultSpec {
+  /// Every Nth packet is lost inside the NF (0 = off).
+  std::uint64_t fail_every = 0;
+  /// Every Nth packet pays a busy-spin latency spike (0 = off).
+  std::uint64_t latency_every = 0;
+  std::uint64_t latency_cycles = 20000;
+  /// Crash + restore the NF after its Nth packet (0 = off; one-shot).
+  std::uint64_t crash_at = 0;
+
+  bool any() const noexcept {
+    return fail_every != 0 || latency_every != 0 || crash_at != 0;
+  }
+  std::string to_string() const;
+};
+
+/// Parse a chainsim --inject-fault spec: "<nf>:<key>=<value>[,...]" where
+/// <nf> names the target NF (as listed in --chain) and keys are
+/// fail-every, latency-every, latency-cycles, crash-at. Returns the target
+/// NF name and the spec, or nullopt on malformed input.
+std::optional<std::pair<std::string, FaultSpec>> parse_fault_spec(
+    std::string_view text);
+
+class FaultInjector final : public nf::NetworkFunction {
+ public:
+  FaultInjector(std::unique_ptr<nf::NetworkFunction> inner, FaultSpec spec);
+
+  void process(net::Packet& packet, core::SpeedyBoxContext* ctx) override;
+  // process_batch intentionally NOT overridden: the base implementation
+  // loops the scalar process() per slot, so the fault schedule sees every
+  // packet in order regardless of batching.
+
+  std::unique_ptr<nf::NetworkFunction> clone() const override;
+  void on_flow_teardown(const net::FiveTuple& tuple) override;
+
+  const nf::NetworkFunction& inner() const noexcept { return *inner_; }
+  nf::NetworkFunction& inner() noexcept { return *inner_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+  std::uint64_t transient_failures() const noexcept { return failures_; }
+  std::uint64_t latency_spikes() const noexcept { return spikes_; }
+  std::uint64_t crashes() const noexcept { return crashes_; }
+
+ private:
+  void crash_and_restore();
+
+  std::unique_ptr<nf::NetworkFunction> inner_;
+  FaultSpec spec_;
+  std::uint64_t seq_ = 0;  // packets offered to this injector
+  std::uint64_t failures_ = 0;
+  std::uint64_t spikes_ = 0;
+  std::uint64_t crashes_ = 0;
+  /// Crashed instances, kept alive for the state functions that still
+  /// reference them (see header comment).
+  std::vector<std::unique_ptr<nf::NetworkFunction>> retired_;
+};
+
+}  // namespace speedybox::runtime

@@ -1,0 +1,130 @@
+#include "runtime/onvm_executor.hpp"
+
+#include "net/packet.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::runtime {
+
+OnvmExecutor::OnvmExecutor(ServiceChain& chain, std::size_t ring_capacity,
+                           std::size_t batch_size)
+    : chain_(chain) {
+  std::vector<nf::NetworkFunction*> stages;
+  stages.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    stages.push_back(&chain_.nf(i));
+  }
+  pipeline_ = std::make_unique<platform::OnvmPipeline>(
+      std::move(stages), ring_capacity, batch_size);
+}
+
+bool OnvmExecutor::ingress_admit(const net::Packet& packet) {
+  if (controller_ == nullptr) return true;
+  ++stats_.overload.offered;
+
+  std::uint64_t flow_hash = 0;
+  if (const auto parsed = net::parse_packet(packet)) {
+    flow_hash = net::extract_five_tuple(packet, *parsed).hash();
+  }
+  // doomed is always false here: no Global MAT on the platform path (see
+  // header), so slo-early-drop degenerates to tail-drop.
+  const auto decision =
+      controller_->offer(flow_hash, /*doomed=*/false,
+                         pipeline_->ingress_pressured());
+  // Mirror the controller's authoritative episode counts (assignment, not
+  // increment — always current).
+  stats_.overload.degraded_episodes = controller_->degraded_episodes();
+  stats_.overload.degraded_episode_packets =
+      controller_->degraded_episode_packets();
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth.set(pipeline_->ingress_depth());
+    if (const auto episode = controller_->take_finished_episode()) {
+      metrics_->degraded_episode_packets.record(*episode);
+    }
+  } else {
+    controller_->take_finished_episode();  // keep the latch drained
+  }
+
+  switch (decision) {
+    case OverloadController::Decision::kAdmit:
+      ++stats_.overload.admitted;
+      if (metrics_ != nullptr) metrics_->admitted.add(1);
+      return true;
+    case OverloadController::Decision::kShedAdmission:
+      ++stats_.overload.shed_admission;
+      if (metrics_ != nullptr) metrics_->shed_admission.add(1);
+      break;
+    case OverloadController::Decision::kShedWatermark:
+      ++stats_.overload.shed_watermark;
+      if (metrics_ != nullptr) metrics_->shed_watermark.add(1);
+      break;
+    case OverloadController::Decision::kShedEarlyDrop:
+      ++stats_.overload.shed_early_drop;
+      if (metrics_ != nullptr) metrics_->shed_early_drop.add(1);
+      break;
+  }
+  return false;
+}
+
+std::vector<net::Packet> OnvmExecutor::finish() {
+  auto collected = pipeline_->stop_and_collect();
+  stats_.packets = packets_;
+  stats_.drops = pipeline_->drops();
+  stats_.overload.faulted = pipeline_->faulted();
+  if (metrics_ != nullptr) {
+    // Workers are joined: one settle write from this (now sole) thread.
+    metrics_->packets.add(packets_);
+    metrics_->drops.add(stats_.drops);
+    metrics_->faulted.add(stats_.overload.faulted);
+  }
+  return collected;
+}
+
+const RunStats& OnvmExecutor::run(const trace::Workload& workload) {
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    net::Packet packet = workload.materialize(i);
+    if (!ingress_admit(packet)) continue;
+    ++packets_;
+    pipeline_->push(std::move(packet));
+  }
+  finish();
+  return stats_;
+}
+
+const RunStats& OnvmExecutor::run(const std::vector<net::Packet>& packets,
+                                  std::vector<net::Packet>* outputs) {
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    if (!ingress_admit(packet)) continue;
+    ++packets_;
+    pipeline_->push(std::move(packet));
+  }
+  auto collected = finish();
+  if (outputs != nullptr) *outputs = std::move(collected);
+  return stats_;
+}
+
+void OnvmExecutor::attach_telemetry(telemetry::Registry* registry,
+                                    const std::string& label) {
+  metrics_ = registry == nullptr
+                 ? nullptr
+                 : &registry->create_shard(label, chain_.nf_names());
+  if (metrics_ != nullptr) {
+    metrics_->ring_capacity.set(pipeline_->ingress_capacity());
+  }
+}
+
+void OnvmExecutor::set_overload_policy(const OverloadConfig& config) {
+  controller_ = config.enabled
+                    ? std::make_unique<OverloadController>(config)
+                    : nullptr;
+  if (config.enabled) {
+    const auto capacity =
+        static_cast<double>(pipeline_->ingress_capacity());
+    pipeline_->set_ingress_watermarks(
+        static_cast<std::size_t>(config.high_watermark * capacity),
+        static_cast<std::size_t>(config.low_watermark * capacity));
+  }
+}
+
+}  // namespace speedybox::runtime

@@ -6,8 +6,17 @@
 
 #include "net/checksum.hpp"
 #include "util/cycle_clock.hpp"
+#include "util/field_count.hpp"
 
 namespace speedybox::runtime {
+
+/// Merge-site guard: merge_from below copies field by field, so a new
+/// RunStats field that is not added there silently vanishes from every
+/// sharded result. If this assert fires, extend merge_from (and, for a
+/// counter that telemetry mirrors, telemetry/metrics.cpp's snapshot name
+/// lists) and then bump the count.
+static_assert(util::field_count<RunStats>() == 17,
+              "RunStats changed: update RunStats::merge_from and this count");
 
 double RunStats::rate_mpps(platform::PlatformKind) const {
   double bottleneck = 0.0;
@@ -63,6 +72,8 @@ void RunStats::merge_from(const RunStats& other) {
   for (std::size_t i = 0; i < other.stage_cycle_count.size(); ++i) {
     stage_cycle_count[i] += other.stage_cycle_count[i];
   }
+
+  overload.merge_from(other.overload);
 }
 
 ChainRunner::ChainRunner(ServiceChain& chain, RunConfig config,
@@ -70,6 +81,87 @@ ChainRunner::ChainRunner(ServiceChain& chain, RunConfig config,
     : chain_(chain), config_(config), costs_(costs) {
   per_nf_cycle_sum_.assign(chain.size(), 0);
   per_nf_cycle_count_.assign(chain.size(), 0);
+  if (config_.overload.enabled) {
+    controller_ = std::make_unique<OverloadController>(config_.overload);
+  }
+}
+
+void ChainRunner::attach_telemetry(telemetry::Registry* registry,
+                                   const std::string& label) {
+  if (registry == nullptr) {
+    set_telemetry(nullptr);
+    return;
+  }
+  set_telemetry(&registry->create_shard(label, chain_.nf_names()));
+}
+
+void ChainRunner::set_overload_policy(const OverloadConfig& config) {
+  config_.overload = config;
+  controller_ = config.enabled
+                    ? std::make_unique<OverloadController>(config)
+                    : nullptr;
+}
+
+bool ChainRunner::ingress_admit(net::Packet& packet,
+                                PacketOutcome& outcome) {
+  if (controller_ == nullptr) return true;
+  ++stats_.overload.offered;
+
+  // Flow hash for the per-flow-fair band; under slo-early-drop, ask the
+  // classifier (side-effect-free peek) and the Global MAT whether this
+  // flow's consolidated rule is already a settled drop. All unmeasured:
+  // shedding here is the near-zero-cycle path.
+  std::uint64_t flow_hash = 0;
+  bool doomed = false;
+  if (const auto parsed = net::parse_packet(packet)) {
+    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    flow_hash = tuple.hash();
+    if (config_.speedybox &&
+        config_.overload.policy == DropPolicy::kSloEarlyDrop) {
+      if (const auto fid = chain_.classifier().peek(tuple)) {
+        doomed = chain_.global_mat().rule_marked_drop(*fid);
+      }
+    }
+  }
+
+  const auto decision = controller_->offer(flow_hash, doomed);
+  // The controller owns the authoritative episode counts; mirror them into
+  // the mergeable stats (assignment, not increment — always current).
+  stats_.overload.degraded_episodes = controller_->degraded_episodes();
+  stats_.overload.degraded_episode_packets =
+      controller_->degraded_episode_packets();
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth.set(
+        static_cast<std::uint64_t>(controller_->queue_depth()));
+    if (const auto episode = controller_->take_finished_episode()) {
+      metrics_->degraded_episode_packets.record(*episode);
+    }
+  } else {
+    controller_->take_finished_episode();  // keep the latch drained
+  }
+
+  switch (decision) {
+    case OverloadController::Decision::kAdmit:
+      ++stats_.overload.admitted;
+      if (metrics_ != nullptr) metrics_->admitted.add(1);
+      return true;
+    case OverloadController::Decision::kShedAdmission:
+      ++stats_.overload.shed_admission;
+      if (metrics_ != nullptr) metrics_->shed_admission.add(1);
+      break;
+    case OverloadController::Decision::kShedWatermark:
+      ++stats_.overload.shed_watermark;
+      if (metrics_ != nullptr) metrics_->shed_watermark.add(1);
+      break;
+    case OverloadController::Decision::kShedEarlyDrop:
+      ++stats_.overload.shed_early_drop;
+      if (metrics_ != nullptr) metrics_->shed_early_drop.add(1);
+      break;
+  }
+  packet.mark_dropped();
+  outcome.dropped = true;
+  outcome.shed = true;
+  return false;
 }
 
 void ChainRunner::add_stage_sample(std::size_t stage, std::uint64_t cycles) {
@@ -135,6 +227,7 @@ PacketOutcome ChainRunner::process_original(net::Packet& packet) {
 
     if (packet.dropped()) {
       outcome.dropped = true;
+      outcome.faulted = packet.faulted();
       break;
     }
   }
@@ -195,6 +288,7 @@ void ChainRunner::run_recording_path(
     }
     if (packet.dropped()) {
       outcome.dropped = true;
+      outcome.faulted = packet.faulted();
       break;
     }
   }
@@ -241,6 +335,7 @@ void ChainRunner::run_fast_path(
       classify_cycles_ahead + (raw > timer_cost ? raw - timer_cost : 0);
 
   outcome.dropped = result.dropped;
+  outcome.degraded = result.degraded_rule;
   outcome.events_triggered = result.events_triggered;
   outcome.work_cycles = total;
   outcome.platform_cycles = total + hop + ingress_cycles;
@@ -325,7 +420,17 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
 
   outcome.initial =
       classification->path == core::PacketClassifier::Path::kInitial;
-  if (outcome.initial) {
+  if (outcome.initial && recording_suspended()) {
+    // Graceful degradation (DESIGN.md §9): no recording traversal — the
+    // flow gets a pre-consolidated pure-forward default rule and this
+    // packet executes it on the fast path. The install cost lands inside
+    // the measured region, which is honest: degraded initials pay it.
+    chain_.global_mat().install_default_rule(classification->fid);
+    ++stats_.overload.degraded_flows;
+    if (metrics_ != nullptr) metrics_->degraded_flows.add(1);
+    run_fast_path(packet, *classification, t_start,
+                  /*classify_cycles_ahead=*/0, ingress, outcome);
+  } else if (outcome.initial) {
     const std::uint64_t classify_cycles =
         util::CycleClock::segment(t_start, util::CycleClock::now());
     run_recording_path(packet, *classification, classify_cycles, t_start,
@@ -339,6 +444,10 @@ PacketOutcome ChainRunner::process_speedybox(net::Packet& packet) {
 }
 
 PacketOutcome ChainRunner::process_packet(net::Packet& packet) {
+  if (controller_ != nullptr) {
+    PacketOutcome shed_outcome;
+    if (!ingress_admit(packet, shed_outcome)) return shed_outcome;
+  }
   const PacketOutcome outcome = config_.speedybox
                                     ? process_speedybox(packet)
                                     : process_original(packet);
@@ -350,6 +459,15 @@ void ChainRunner::process_batch(net::PacketBatch& batch,
                                 std::vector<PacketOutcome>& outcomes) {
   outcomes.assign(batch.size(), PacketOutcome{});
   if (batch.empty()) return;
+  if (controller_ != nullptr) {
+    // Ingress gate, in slot order, before any chain work: shed slots are
+    // masked out of the traversal (they never entered the data path and
+    // are not counted in RunStats.packets).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.valid(i)) continue;
+      if (!ingress_admit(batch.packet(i), outcomes[i])) batch.mask(i);
+    }
+  }
   if (metrics_ != nullptr) metrics_->batch_occupancy.record(batch.size());
   if (config_.speedybox) {
     process_speedybox_batch(batch, outcomes);
@@ -441,7 +559,10 @@ void ChainRunner::process_original_batch(
       if (onvm && !outcomes[s].initial) {
         add_stage_sample(i, share + hop + (i == 0 ? ingress : 0));
       }
-      if (batch.packet(s).dropped()) outcomes[s].dropped = true;
+      if (batch.packet(s).dropped()) {
+        outcomes[s].dropped = true;
+        outcomes[s].faulted = batch.packet(s).faulted();
+      }
     }
   }
 
@@ -552,7 +673,14 @@ void ChainRunner::process_speedybox_batch(
       const auto& classification = *classifications[i];
       outcome.initial =
           classification.path == core::PacketClassifier::Path::kInitial;
-      if (outcome.initial) {
+      if (outcome.initial && recording_suspended()) {
+        chain_.global_mat().install_default_rule(classification.fid);
+        ++stats_.overload.degraded_flows;
+        if (metrics_ != nullptr) metrics_->degraded_flows.add(1);
+        const std::uint64_t t_fast = util::CycleClock::now();
+        run_fast_path(batch.packet(i), classification, t_fast,
+                      classify_share, ingress, outcome);
+      } else if (outcome.initial) {
         run_recording_path(batch.packet(i), classification, classify_share,
                            t0, ingress, outcome);
       } else {
@@ -570,12 +698,25 @@ void ChainRunner::process_speedybox_batch(
 
 void ChainRunner::account(const PacketOutcome& outcome) {
   ++stats_.packets;
-  if (outcome.dropped) ++stats_.drops;
+  // Faulted packets are dropped too, but counted apart from policy/NF
+  // drops so conservation (packets = delivered + drops + faulted) can
+  // separate failures from behavior.
+  if (outcome.faulted) {
+    ++stats_.overload.faulted;
+  } else if (outcome.dropped) {
+    ++stats_.drops;
+  }
+  if (outcome.degraded) ++stats_.overload.degraded_packets;
   stats_.events_triggered += outcome.events_triggered;
 
   if (metrics_ != nullptr) {
     metrics_->packets.add(1);
-    if (outcome.dropped) metrics_->drops.add(1);
+    if (outcome.faulted) {
+      metrics_->faulted.add(1);
+    } else if (outcome.dropped) {
+      metrics_->drops.add(1);
+    }
+    if (outcome.degraded) metrics_->degraded_packets.add(1);
     if (outcome.events_triggered > 0) {
       metrics_->events_triggered.add(outcome.events_triggered);
     }
@@ -594,7 +735,17 @@ void ChainRunner::account(const PacketOutcome& outcome) {
     }
   }
 
-  const double latency_us = util::CycleClock::to_us(outcome.latency_cycles);
+  double latency_us = util::CycleClock::to_us(outcome.latency_cycles);
+  if (controller_ != nullptr) {
+    // Queueing delay model (stats-only, DESIGN.md §9): a packet admitted
+    // behind a virtual queue of depth d waits ~d service times. The EMA is
+    // fed the pure service latency before the wait is added, so the model
+    // never compounds itself. Bounded queue => bounded reported tail.
+    service_ema_us_ = service_ema_us_ <= 0.0
+                          ? latency_us
+                          : 0.99 * service_ema_us_ + 0.01 * latency_us;
+    latency_us += controller_->queue_depth() * service_ema_us_;
+  }
   stats_.latency_us_all.add(latency_us);
   if (outcome.initial) {
     stats_.latency_us_initial.add(latency_us);
@@ -641,12 +792,17 @@ std::size_t ChainRunner::expire_idle_flows(double max_idle_us) {
 }
 
 const RunStats& ChainRunner::run_packets(
-    const std::vector<net::Packet>& packets) {
+    const std::vector<net::Packet>& packets,
+    std::vector<net::Packet>* outputs) {
   std::unordered_map<net::FiveTuple, double, net::FiveTupleHash> flow_time;
   const std::size_t burst = std::max<std::size_t>(1, config_.batch_size);
   std::vector<net::Packet> local(burst);
   std::vector<std::optional<net::FiveTuple>> tuples(burst);
   std::vector<PacketOutcome> outcomes;
+  if (outputs != nullptr) {
+    outputs->clear();
+    outputs->reserve(packets.size());
+  }
   for (std::size_t offset = 0; offset < packets.size();) {
     const std::size_t chunk = std::min(burst, packets.size() - offset);
     net::PacketBatch batch{burst};
@@ -667,6 +823,7 @@ const RunStats& ChainRunner::run_packets(
         flow_time[*tuples[k]] +=
             util::CycleClock::to_us(outcomes[k].latency_cycles);
       }
+      if (outputs != nullptr) outputs->push_back(local[k]);
     }
     offset += chunk;
   }

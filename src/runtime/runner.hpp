@@ -26,11 +26,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
 #include "core/classifier.hpp"
 #include "net/packet.hpp"
 #include "net/packet_batch.hpp"
 #include "platform/costs.hpp"
 #include "runtime/chain.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/overload.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/workload.hpp"
 #include "util/histogram.hpp"
@@ -50,6 +54,9 @@ struct RunConfig {
   /// packet-at-a-time; results are bit-identical at every size (the
   /// differential harness proves it) — only the amortization changes.
   std::size_t batch_size = net::kDefaultBatchSize;
+  /// Overload control (DESIGN.md §9). Disabled: the ingress gate does not
+  /// exist and the data path is byte-identical to a config without it.
+  OverloadConfig overload{};
 };
 
 struct PacketOutcome {
@@ -65,6 +72,14 @@ struct PacketOutcome {
   /// Fast path only: latency with state functions accounted sequentially.
   std::uint64_t latency_cycles_sequential = 0;
   std::size_t events_triggered = 0;
+  /// Overload/fault disposition (DESIGN.md §9). `shed`: refused at the
+  /// ingress gate (also dropped; never entered the chain, not counted in
+  /// RunStats.packets). `faulted`: lost to an injected NF failure (also
+  /// dropped; counted in overload.faulted, not in drops). `degraded`:
+  /// executed a degraded-mode default rule.
+  bool shed = false;
+  bool faulted = false;
+  bool degraded = false;
 };
 
 /// Aggregated statistics of a run.
@@ -97,6 +112,12 @@ struct RunStats {
   std::vector<double> stage_cycle_sum;
   std::vector<std::uint64_t> stage_cycle_count;
 
+  /// Shed/degraded/faulted counters (DESIGN.md §9). `packets` above counts
+  /// ADMITTED packets only; conservation is
+  ///   overload.offered == packets + overload.shed_total()   (gate on)
+  ///   packets == delivered + drops + overload.faulted       (always)
+  OverloadStats overload;
+
   /// Steady-state processing rate in Mpps under the platform model.
   double rate_mpps(platform::PlatformKind platform) const;
 
@@ -110,7 +131,7 @@ struct RunStats {
   }
 };
 
-class ChainRunner {
+class ChainRunner : public Executor {
  public:
   ChainRunner(ServiceChain& chain, RunConfig config,
               const platform::PlatformCosts& costs =
@@ -134,8 +155,26 @@ class ChainRunner {
   const RunStats& run_workload(const trace::Workload& workload);
 
   /// Run a raw packet sequence (e.g. from trace::read_pcap). Packets are
-  /// copied per run; per-flow times are keyed by five-tuple.
-  const RunStats& run_packets(const std::vector<net::Packet>& packets);
+  /// copied per run; per-flow times are keyed by five-tuple. When
+  /// `outputs` is non-null it receives every packet post-chain in input
+  /// order, dropped ones included.
+  const RunStats& run_packets(const std::vector<net::Packet>& packets,
+                              std::vector<net::Packet>* outputs = nullptr);
+
+  // -- Executor ------------------------------------------------------------
+  std::string_view kind() const noexcept override { return "runner"; }
+  const RunStats& run(const trace::Workload& workload) override {
+    return run_workload(workload);
+  }
+  const RunStats& run(const std::vector<net::Packet>& packets,
+                      std::vector<net::Packet>* outputs) override {
+    return run_packets(packets, outputs);
+  }
+  void attach_telemetry(telemetry::Registry* registry,
+                        const std::string& label) override;
+  /// Install (or, with enabled=false, remove) the overload controller.
+  /// Call before the first packet of a run.
+  void set_overload_policy(const OverloadConfig& config) override;
 
   /// Tear down every flow idle for longer than `max_idle_us` — rule + FID +
   /// NF per-flow state (via teardown hooks). The garbage collection
@@ -144,8 +183,17 @@ class ChainRunner {
   /// no rules).
   std::size_t expire_idle_flows(double max_idle_us);
 
-  const RunStats& stats() const noexcept { return stats_; }
+  const RunStats& stats() const noexcept override { return stats_; }
   RunStats& stats() noexcept { return stats_; }
+
+  /// True while the SpeedyBox path records no new flows (graceful
+  /// degradation under sustained pressure).
+  bool recording_suspended() const noexcept {
+    return controller_ != nullptr && controller_->degraded();
+  }
+  const OverloadController* overload_controller() const noexcept {
+    return controller_.get();
+  }
 
   /// Aggregated per-flow processing time in µs (one sample per flow of the
   /// last run_workload call).
@@ -171,6 +219,12 @@ class ChainRunner {
   }
 
  private:
+  /// Overload ingress gate (DESIGN.md §9): offers the packet to the
+  /// controller before any chain work. Returns true to admit; on shed the
+  /// packet is marked dropped, `outcome` records the shed class, and the
+  /// shed counters (not RunStats.packets) account it. No-op without a
+  /// controller.
+  bool ingress_admit(net::Packet& packet, PacketOutcome& outcome);
   PacketOutcome process_original(net::Packet& packet);
   PacketOutcome process_speedybox(net::Packet& packet);
   void process_original_batch(net::PacketBatch& batch,
@@ -206,6 +260,11 @@ class ChainRunner {
   RunConfig config_;
   platform::PlatformCosts costs_;
   telemetry::ShardMetrics* metrics_ = nullptr;
+  std::unique_ptr<OverloadController> controller_;
+  /// EMA of per-packet service latency (µs) — scales the virtual queue
+  /// depth into the modeled queueing delay added to latency samples while
+  /// the gate is active. Stats-only: never touches packet bytes.
+  double service_ema_us_ = 0.0;
   RunStats stats_;
   util::SampleRecorder flow_time_us_;
   std::vector<std::uint64_t> per_nf_cycle_sum_;

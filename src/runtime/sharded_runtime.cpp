@@ -83,6 +83,17 @@ void ShardedRuntime::push(net::Packet packet) {
   }
 }
 
+void ShardedRuntime::shed_jobs(std::span<Job> jobs) {
+  for (Job& job : jobs) {
+    job.packet.mark_dropped();
+    PacketOutcome outcome;
+    outcome.dropped = true;
+    outcome.shed = true;
+    dispatcher_shed_.push_back(
+        {job.index, outcome, std::move(job.packet)});
+  }
+}
+
 void ShardedRuntime::flush_shard(Shard& shard) {
   if (shard.staging.empty()) return;
   util::SpscRing<Job>& ring = *shard.ring;
@@ -91,6 +102,17 @@ void ShardedRuntime::flush_shard(Shard& shard) {
     metrics->ring_burst_size.set(shard.staging.size());
   }
   std::span<Job> pending{shard.staging};
+  // With overload enabled a pressured ring sheds the burst outright —
+  // bounded queueing instead of unbounded dispatcher blocking. The shed
+  // counters live dispatcher-side only (RunStats at finish()): the shard
+  // worker owns the telemetry shed cells, and the single-writer contract
+  // forbids the dispatcher touching them.
+  if (overload_.enabled && ring.over_watermark()) {
+    shed_jobs(pending);
+    shard.staging.clear();
+    if (metrics != nullptr) metrics->ring_occupancy.set(ring.size());
+    return;
+  }
   // A partial try_push_burst moves out exactly the slots it reports and
   // leaves the remainder intact, so the backpressure loop retries the
   // un-pushed tail until the worker frees room.
@@ -99,6 +121,11 @@ void ShardedRuntime::flush_shard(Shard& shard) {
     const std::size_t pushed = ring.try_push_burst(pending);
     pending = pending.subspan(pushed);
     if (pending.empty()) break;
+    if (overload_.enabled) {
+      // Full ring under overload: shed the remainder, never block.
+      shed_jobs(pending);
+      break;
+    }
     if (!waited) {
       waited = true;
       ++backpressure_waits_;
@@ -187,6 +214,17 @@ ShardedRunResult ShardedRuntime::finish() {
     shard->processed.clear();
     shard->processed.shrink_to_fit();
   }
+  // Dispatcher-shed packets never reached a shard runner, so no shard's
+  // `offered` counted them: add them to both sides of the conservation
+  // identity (offered == packets + shed_total) exactly once.
+  result.stats.overload.offered += dispatcher_shed_.size();
+  result.stats.overload.shed_watermark += dispatcher_shed_.size();
+  for (Processed& rec : dispatcher_shed_) {
+    result.outcomes[rec.index] = rec.outcome;
+    result.packets[rec.index] = std::move(rec.packet);
+  }
+  dispatcher_shed_.clear();
+  dispatcher_shed_.shrink_to_fit();
   return result;
 }
 
@@ -206,6 +244,54 @@ ShardedRunResult ShardedRuntime::run_workload(
     push(workload.materialize(i));
   }
   return finish();
+}
+
+const RunStats& ShardedRuntime::run(const trace::Workload& workload) {
+  last_result_ = run_workload(workload);
+  return last_result_.stats;
+}
+
+const RunStats& ShardedRuntime::run(
+    const std::vector<net::Packet>& packets,
+    std::vector<net::Packet>* outputs) {
+  last_result_ = run_packets(packets);
+  if (outputs != nullptr) *outputs = last_result_.packets;
+  return last_result_.stats;
+}
+
+void ShardedRuntime::attach_telemetry(telemetry::Registry* registry,
+                                      const std::string& label) {
+  if (next_index_ != 0) {
+    throw std::logic_error(
+        "ShardedRuntime::attach_telemetry after first push");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (registry == nullptr) {
+      shard.metrics = nullptr;
+      shard.runner->set_telemetry(nullptr);
+      continue;
+    }
+    shard.metrics = &registry->create_shard(
+        label + "/shard" + std::to_string(s), shard.chain->nf_names());
+    shard.metrics->ring_capacity.set(shard.ring->capacity());
+    shard.runner->set_telemetry(shard.metrics);
+  }
+}
+
+void ShardedRuntime::set_overload_policy(const OverloadConfig& config) {
+  if (next_index_ != 0) {
+    throw std::logic_error(
+        "ShardedRuntime::set_overload_policy after first push");
+  }
+  overload_ = config;
+  for (auto& shard : shards_) {
+    shard->runner->set_overload_policy(config);
+    const auto capacity = static_cast<double>(shard->ring->capacity());
+    shard->ring->set_watermarks(
+        static_cast<std::size_t>(config.high_watermark * capacity),
+        static_cast<std::size_t>(config.low_watermark * capacity));
+  }
 }
 
 }  // namespace speedybox::runtime

@@ -36,12 +36,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "runtime/chain.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/runner.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/workload.hpp"
@@ -75,7 +77,7 @@ struct ShardedRunResult {
   double aggregate_rate_mpps = 0.0;
 };
 
-class ShardedRuntime {
+class ShardedRuntime : public Executor {
  public:
   /// Clones `prototype` once per shard (the prototype itself is never
   /// touched again) and starts one worker thread per shard. Throws
@@ -115,6 +117,32 @@ class ShardedRuntime {
   /// in order, then finish().
   ShardedRunResult run_packets(const std::vector<net::Packet>& packets);
   ShardedRunResult run_workload(const trace::Workload& workload);
+
+  // -- Executor interface (one-shot: run() ends in finish()) --
+  std::string_view kind() const noexcept override { return "sharded"; }
+  const RunStats& run(const trace::Workload& workload) override;
+  const RunStats& run(const std::vector<net::Packet>& packets,
+                      std::vector<net::Packet>* outputs) override;
+  const RunStats& stats() const noexcept override {
+    return last_result_.stats;
+  }
+  /// Replaces the constructor's registry wiring: one metric shard per
+  /// flow shard, labelled "<label>/shard<i>". Safe while the workers spin
+  /// because they never touch runner state before the first ring pop, and
+  /// the ring push/pop pair orders these writes before it.
+  void attach_telemetry(telemetry::Registry* registry,
+                        const std::string& label) override;
+  /// Forwards the policy to every shard's ChainRunner (each shard gates
+  /// its own arrivals — flow state is shard-affine, so slo-early-drop can
+  /// consult the shard's own MAT) and arms the real rings' watermarks so
+  /// the dispatcher sheds instead of spin-blocking when a worker falls
+  /// behind. Must be called before the first push.
+  void set_overload_policy(const OverloadConfig& config) override;
+  /// Full merged result of the last Executor::run (outcomes, packets,
+  /// per-flow times) — what the equivalence harnesses compare.
+  const ShardedRunResult& last_result() const noexcept {
+    return last_result_;
+  }
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t shard_of(const net::FiveTuple& tuple) const noexcept;
@@ -159,8 +187,13 @@ class ShardedRuntime {
 
   void worker(std::size_t shard_index);
   /// Push shard's staged jobs into its ring (partial bursts yield-retry
-  /// the remainder). Dispatcher thread only.
+  /// the remainder; with overload enabled a pressured or full ring sheds
+  /// them instead). Dispatcher thread only.
   void flush_shard(Shard& shard);
+  /// Record `jobs` as dispatcher-shed (ring watermark): packets marked
+  /// dropped, outcomes flagged shed, counted once in the merged
+  /// offered/shed_watermark at finish().
+  void shed_jobs(std::span<Job> jobs);
   void join_workers();
 
   RunConfig config_;
@@ -170,6 +203,11 @@ class ShardedRuntime {
   std::uint64_t next_index_ = 0;
   std::uint64_t backpressure_waits_ = 0;
   std::uint64_t start_ns_ = 0;
+  OverloadConfig overload_{};
+  /// Shed at the dispatcher, so never seen by any shard runner; merged
+  /// into outcomes/packets (and the overload counters) at finish().
+  std::vector<Processed> dispatcher_shed_;
+  ShardedRunResult last_result_;
 };
 
 }  // namespace speedybox::runtime

@@ -4,6 +4,7 @@
 
 #include "core/api.hpp"
 #include "net/packet_batch.hpp"
+#include "trace/workload.hpp"
 
 namespace speedybox::runtime {
 
@@ -147,8 +148,15 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
 
   if (packet != nullptr) {
     if (packet->dropped()) {
-      ++drops_;
-      if (metrics_ != nullptr) metrics_->drops.add(1);
+      // Injected NF faults are disjoint from policy drops so conservation
+      // can separate them (packets == delivered + drops + faulted).
+      if (packet->faulted()) {
+        ++stats_.overload.faulted;
+        if (metrics_ != nullptr) metrics_->faulted.add(1);
+      } else {
+        ++drops_;
+        if (metrics_ != nullptr) metrics_->drops.add(1);
+      }
     } else {
       sink_.push_back(std::move(*packet));
     }
@@ -161,6 +169,10 @@ void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
                                   bool teardown) {
   const auto header = chain_.global_mat().process_header(*packet);
   if (metrics_ != nullptr && header.rule_hit) metrics_->mat_hits.add(1);
+  if (header.rule_hit && header.degraded_rule) {
+    ++stats_.overload.degraded_packets;
+    if (metrics_ != nullptr) metrics_->degraded_packets.add(1);
+  }
   if (packet->dropped() || !header.rule_hit) {
     if (!header.rule_hit && !packet->dropped()) {
       // No rule (e.g. torn down between hold and release): forward as-is.
@@ -197,8 +209,69 @@ void SpeedyBoxPipeline::fast_path(net::Packet* packet, std::uint32_t fid,
   dispatch(std::move(descriptor));
 }
 
+bool SpeedyBoxPipeline::ingress_admit(const net::Packet& packet) {
+  if (controller_ == nullptr) return true;
+  ++stats_.overload.offered;
+
+  // Manager-thread twin of ChainRunner::ingress_admit — same flow hash,
+  // same doomed-flow peek (the manager owns classifier and Global MAT) —
+  // with the real first ring's occupancy OR'd in as external pressure.
+  std::uint64_t flow_hash = 0;
+  bool doomed = false;
+  if (const auto parsed = net::parse_packet(packet)) {
+    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    flow_hash = tuple.hash();
+    if (controller_->config().policy == DropPolicy::kSloEarlyDrop) {
+      if (const auto fid = chain_.classifier().peek(tuple)) {
+        doomed = chain_.global_mat().rule_marked_drop(*fid);
+      }
+    }
+  }
+
+  const bool ring_pressure = rings_.front()->over_watermark();
+  const auto decision = controller_->offer(flow_hash, doomed, ring_pressure);
+  // Mirror the controller's authoritative episode counts (assignment, not
+  // increment — always current).
+  stats_.overload.degraded_episodes = controller_->degraded_episodes();
+  stats_.overload.degraded_episode_packets =
+      controller_->degraded_episode_packets();
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth.set(rings_.front()->size());
+    if (const auto episode = controller_->take_finished_episode()) {
+      metrics_->degraded_episode_packets.record(*episode);
+    }
+  } else {
+    controller_->take_finished_episode();  // keep the latch drained
+  }
+
+  switch (decision) {
+    case OverloadController::Decision::kAdmit:
+      ++stats_.overload.admitted;
+      if (metrics_ != nullptr) metrics_->admitted.add(1);
+      return true;
+    case OverloadController::Decision::kShedAdmission:
+      ++stats_.overload.shed_admission;
+      if (metrics_ != nullptr) metrics_->shed_admission.add(1);
+      break;
+    case OverloadController::Decision::kShedWatermark:
+      ++stats_.overload.shed_watermark;
+      if (metrics_ != nullptr) metrics_->shed_watermark.add(1);
+      break;
+    case OverloadController::Decision::kShedEarlyDrop:
+      ++stats_.overload.shed_early_drop;
+      if (metrics_ != nullptr) metrics_->shed_early_drop.add(1);
+      break;
+  }
+  return false;
+}
+
 void SpeedyBoxPipeline::push(net::Packet packet) {
   drain_completions(false);
+
+  // Shed packets never allocate a descriptor, never classify, never touch
+  // a ring: the near-zero-cycle ingress path.
+  if (!ingress_admit(packet)) return;
+  ++packets_;
 
   auto* descriptor_packet = new net::Packet(std::move(packet));
   const auto classification =
@@ -220,6 +293,17 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
     if (metrics_ != nullptr) {
       metrics_->mat_misses.add(1);
       metrics_->active_flows.set(chain_.classifier().active_flows());
+    }
+    if (controller_ != nullptr && controller_->degraded()) {
+      // Graceful degradation: no recording traversal — the flow gets the
+      // pre-consolidated default rule and goes straight to the fast path,
+      // keeping the NF cores free for established flows.
+      chain_.global_mat().install_default_rule(fid);
+      ++stats_.overload.degraded_flows;
+      if (metrics_ != nullptr) metrics_->degraded_flows.add(1);
+      flows_[fid].phase = FlowPhase::kReady;
+      fast_path(descriptor_packet, fid, teardown);
+      return;
     }
     flows_[fid].phase = FlowPhase::kRecording;
     Descriptor descriptor;
@@ -264,6 +348,52 @@ std::vector<net::Packet> SpeedyBoxPipeline::stop_and_collect() {
     stopped_ = true;
   }
   return std::move(sink_);
+}
+
+const RunStats& SpeedyBoxPipeline::run(const trace::Workload& workload) {
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    push(workload.materialize(i));
+  }
+  stop_and_collect();
+  stats_.packets = packets_;
+  stats_.drops = drops_;
+  return stats_;
+}
+
+const RunStats& SpeedyBoxPipeline::run(
+    const std::vector<net::Packet>& packets,
+    std::vector<net::Packet>* outputs) {
+  for (const net::Packet& original : packets) {
+    net::Packet packet = original;
+    packet.reset_metadata();
+    push(std::move(packet));
+  }
+  auto collected = stop_and_collect();
+  stats_.packets = packets_;
+  stats_.drops = drops_;
+  if (outputs != nullptr) *outputs = std::move(collected);
+  return stats_;
+}
+
+void SpeedyBoxPipeline::attach_telemetry(telemetry::Registry* registry,
+                                         const std::string& label) {
+  if (registry == nullptr) {
+    set_telemetry(nullptr);
+    return;
+  }
+  set_telemetry(&registry->create_shard(label, chain_.nf_names()));
+}
+
+void SpeedyBoxPipeline::set_overload_policy(const OverloadConfig& config) {
+  controller_ = config.enabled
+                    ? std::make_unique<OverloadController>(config)
+                    : nullptr;
+  if (config.enabled && !rings_.empty()) {
+    const auto capacity = static_cast<double>(rings_.front()->capacity());
+    rings_.front()->set_watermarks(
+        static_cast<std::size_t>(config.high_watermark * capacity),
+        static_cast<std::size_t>(config.low_watermark * capacity));
+  }
 }
 
 }  // namespace speedybox::runtime

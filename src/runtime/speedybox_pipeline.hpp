@@ -40,12 +40,14 @@
 #include <vector>
 
 #include "runtime/chain.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/runner.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace speedybox::runtime {
 
-class SpeedyBoxPipeline {
+class SpeedyBoxPipeline : public Executor {
  public:
   /// The chain (NFs, MATs, classifier) is borrowed and must outlive the
   /// pipeline; its NFs' internal state must only be inspected after
@@ -67,6 +69,25 @@ class SpeedyBoxPipeline {
   std::uint64_t drops() const noexcept { return drops_; }
   std::uint64_t recorded_flows() const noexcept { return recorded_flows_; }
   std::uint64_t held_packets() const noexcept { return held_packets_; }
+
+  // -- Executor interface (one-shot: run() joins the NF threads) --
+  //
+  // The pipeline carries no cycle model (that lives in ChainRunner), so
+  // its RunStats hold the counters only: packets, drops, and the overload
+  // block. Output order is completion order; dropped packets are omitted.
+  std::string_view kind() const noexcept override { return "pipeline"; }
+  const RunStats& run(const trace::Workload& workload) override;
+  const RunStats& run(const std::vector<net::Packet>& packets,
+                      std::vector<net::Packet>* outputs) override;
+  const RunStats& stats() const noexcept override { return stats_; }
+  void attach_telemetry(telemetry::Registry* registry,
+                        const std::string& label) override;
+  /// The manager is the producer of the first descriptor ring, so real
+  /// ring pressure (SpscRing::over_watermark) feeds the controller as
+  /// external pressure alongside its virtual-queue model; policy,
+  /// admission tokens and graceful degradation are shared with the
+  /// single-threaded gate. Call before the first push.
+  void set_overload_policy(const OverloadConfig& config) override;
 
   /// Attach manager-side telemetry (null detaches). Every hooked cell is
   /// written by the manager thread only — push(), completions and teardown
@@ -99,6 +120,11 @@ class SpeedyBoxPipeline {
   };
 
   void worker(std::size_t stage);
+  /// Overload ingress gate: manager-thread twin of
+  /// ChainRunner::ingress_admit, with real first-ring pressure OR'd into
+  /// the controller's virtual gate. Returns true to admit. No-op without
+  /// a controller.
+  bool ingress_admit(const net::Packet& packet);
   void dispatch(Descriptor descriptor);
   void drain_completions(bool block_until_idle);
   void handle_completion(Descriptor& descriptor);
@@ -117,6 +143,7 @@ class SpeedyBoxPipeline {
 
   ServiceChain& chain_;
   telemetry::ShardMetrics* metrics_ = nullptr;
+  std::unique_ptr<OverloadController> controller_;
   std::vector<std::unique_ptr<util::SpscRing<Descriptor>>> rings_;
   util::SpscRing<Descriptor> completions_;
   std::vector<std::thread> workers_;
@@ -128,7 +155,10 @@ class SpeedyBoxPipeline {
   std::uint64_t drops_ = 0;
   std::uint64_t recorded_flows_ = 0;
   std::uint64_t held_packets_ = 0;
+  std::uint64_t packets_ = 0;  // admitted into the chain
   bool stopped_ = false;
+  /// Counter-only Executor stats; finalized by the run() overloads.
+  RunStats stats_;
 };
 
 }  // namespace speedybox::runtime

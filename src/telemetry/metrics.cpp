@@ -45,12 +45,20 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"teardowns", shard.teardowns.get()},
       {"held_packets", shard.held_packets.get()},
       {"backpressure_yields", shard.backpressure_yields.get()},
+      {"admitted", shard.admitted.get()},
+      {"shed_admission", shard.shed_admission.get()},
+      {"shed_watermark", shard.shed_watermark.get()},
+      {"shed_early_drop", shard.shed_early_drop.get()},
+      {"faulted", shard.faulted.get()},
+      {"degraded_flows", shard.degraded_flows.get()},
+      {"degraded_packets", shard.degraded_packets.get()},
   };
   snap.gauges = {
       {"ring_occupancy", shard.ring_occupancy.get()},
       {"ring_capacity", shard.ring_capacity.get()},
       {"active_flows", shard.active_flows.get()},
       {"ring_burst_size", shard.ring_burst_size.get()},
+      {"queue_depth", shard.queue_depth.get()},
   };
   snap.histograms = {
       {"fastpath_cycles", shard.fastpath_cycles.snapshot()},
@@ -58,6 +66,8 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"classify_cycles", shard.classify_cycles.snapshot()},
       {"consolidate_cycles", shard.consolidate_cycles.snapshot()},
       {"batch_occupancy", shard.batch_occupancy.snapshot()},
+      {"degraded_episode_packets",
+       shard.degraded_episode_packets.snapshot()},
   };
   snap.per_nf.reserve(shard.per_nf.size());
   for (const NfMetrics& nf : shard.per_nf) {

@@ -110,11 +110,22 @@ struct ShardMetrics {
   Counter held_packets;         // pipeline: packets held during recording
   Counter backpressure_yields;  // dispatcher: yields on a full ring
 
+  // -- overload & fault counters (DESIGN.md §9). `drops` above excludes
+  // -- faulted packets; the shed counters never overlap `packets`. --
+  Counter admitted;          // passed the ingress gate
+  Counter shed_admission;    // token bucket empty
+  Counter shed_watermark;    // queue pressure shed (any policy)
+  Counter shed_early_drop;   // MAT-doomed flow shed at ingress
+  Counter faulted;           // lost to an injected NF failure
+  Counter degraded_flows;    // flows given the degraded default rule
+  Counter degraded_packets;  // packets that executed a default rule
+
   // -- gauges --
   Gauge ring_occupancy;   // ingress ring depth at last push
   Gauge ring_capacity;
   Gauge active_flows;     // classifier flow-table size
   Gauge ring_burst_size;  // dispatcher: size of the last burst push
+  Gauge queue_depth;      // overload gate: virtual/real queue depth
 
   // -- cycle histograms --
   CycleHistogram fastpath_cycles;     // classify + event check + HA + SFs
@@ -127,6 +138,9 @@ struct ShardMetrics {
   /// small occupancies. Value histogram, same lock-free cell layout as the
   /// cycle histograms.
   CycleHistogram batch_occupancy;
+  /// Time-in-degraded: length of each completed degradation episode, in
+  /// packet arrivals (value histogram).
+  CycleHistogram degraded_episode_packets;
 
   /// Indexed by chain position. deque: NfMetrics holds atomics (immovable)
   /// and deque constructs in place without ever relocating elements.

@@ -1,0 +1,45 @@
+// Compile-time aggregate field counting (the boost.pfr trick): the number
+// of fields of an aggregate T is the largest N for which T can be
+// brace-initialized from N arguments of "anything". Used to static_assert
+// that field-by-field merge functions (RunStats::merge_from and friends)
+// are updated whenever a field is added — a silently-unmerged counter in
+// the sharded runtime is exactly the kind of bug that survives every
+// single-threaded test.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace speedybox::util {
+
+namespace detail {
+
+/// Converts to anything — stands in for "some field initializer" inside an
+/// unevaluated brace-init probe. Never defined; never evaluated.
+struct AnyField {
+  template <typename T>
+  operator T() const;  // NOLINT(google-explicit-constructor)
+};
+
+template <typename T, typename... Args>
+concept BraceConstructible = requires { T{std::declval<Args>()...}; };
+
+template <typename T, typename... Args>
+constexpr std::size_t field_count_impl() {
+  if constexpr (BraceConstructible<T, Args..., AnyField>) {
+    return field_count_impl<T, Args..., AnyField>();
+  } else {
+    return sizeof...(Args);
+  }
+}
+
+}  // namespace detail
+
+/// Number of (direct) fields of aggregate T. For non-aggregates the probe
+/// counts constructor arity instead, so only use this on plain structs.
+template <typename T>
+constexpr std::size_t field_count() {
+  return detail::field_count_impl<T>();
+}
+
+}  // namespace speedybox::util

@@ -31,6 +31,8 @@ class SpscRing {
   explicit SpscRing(std::size_t capacity, std::size_t start_index = 0)
       : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
         slots_(mask_ + 1),
+        high_watermark_(mask_ + 1),
+        low_watermark_((mask_ + 1) / 2),
         head_(start_index),
         tail_cache_(start_index),
         tail_(start_index),
@@ -40,6 +42,44 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Configure the occupancy watermarks the producer-side over_watermark()
+  /// gate uses (runtime/overload.*). `high` is clamped to the capacity and
+  /// `low` to `high`; the defaults (capacity / capacity-half) make the gate
+  /// equivalent to "ring full" until someone opts in. Producer-side state:
+  /// call from the producer thread only, before the consumer is racing —
+  /// in practice, once at setup.
+  void set_watermarks(std::size_t high, std::size_t low) noexcept {
+    high_watermark_ = std::min(high, capacity());
+    low_watermark_ = std::min(low, high_watermark_);
+  }
+  std::size_t high_watermark() const noexcept { return high_watermark_; }
+  std::size_t low_watermark() const noexcept { return low_watermark_; }
+
+  /// Producer-side hysteresis gate: returns true while the ring is
+  /// "pressured" — occupancy reached the high watermark and has not yet
+  /// drained back to the low watermark. The stale producer-local tail
+  /// cache only ever OVERestimates occupancy (the consumer strictly
+  /// drains), so the gate refreshes the cache before any answer that the
+  /// stale view alone would flip: it never reports pressure the consumer
+  /// has already relieved, and a sub-threshold stale depth is already
+  /// proof of no pressure. Call from the producer thread only.
+  bool over_watermark() noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t depth = head - tail_cache_;
+    const std::size_t threshold =
+        pressured_ ? low_watermark_ : high_watermark_;
+    if (depth >= threshold && threshold > 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      depth = head - tail_cache_;
+    }
+    pressured_ =
+        pressured_ ? depth > low_watermark_ : depth >= high_watermark_;
+    return pressured_;
+  }
+
+  /// Last over_watermark() verdict, without re-probing (producer side).
+  bool pressured() const noexcept { return pressured_; }
 
   /// Producer side. Returns false when the ring is full — in which case the
   /// value is NOT consumed: the caller keeps it and may retry (the pattern
@@ -138,9 +178,12 @@ class SpscRing {
 
   const std::size_t mask_;
   std::vector<T> slots_;
+  std::size_t high_watermark_;  // set at setup, read by the producer
+  std::size_t low_watermark_;
 
   alignas(kCacheLineSize) std::atomic<std::size_t> head_;
   alignas(kCacheLineSize) std::size_t tail_cache_;  // producer-local
+  bool pressured_ = false;                          // producer-local
   alignas(kCacheLineSize) std::atomic<std::size_t> tail_;
   alignas(kCacheLineSize) std::size_t head_cache_;  // consumer-local
 };

@@ -25,6 +25,7 @@
 #include "nf/mazu_nat.hpp"
 #include "nf/monitor.hpp"
 #include "nf/snort_ids.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "runtime/speedybox_pipeline.hpp"
@@ -196,25 +197,27 @@ void run_differential(const trace::Workload& workload,
   const std::vector<net::Packet> packets = materialize_all(workload);
   const Reference ref = run_reference(packets, factory());
 
+  // Both comparison legs drive through the runtime::Executor interface —
+  // the same entry points chainsim and the benches use.
   for (const std::size_t shards : {1u, 2u, 4u}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     auto prototype = factory();
     ShardedRuntime runtime{*prototype, shards,
                            {platform::PlatformKind::kBess, true, false}};
-    const ShardedRunResult result = runtime.run_packets(packets);
-    expect_index_identical(ref, result);
+    Executor& executor = runtime;
+    EXPECT_EQ(executor.kind(), "sharded");
+    executor.run(packets, nullptr);
+    expect_index_identical(ref, runtime.last_result());
   }
 
   auto pipeline_chain = factory();
   SpeedyBoxPipeline pipeline{*pipeline_chain};
-  for (const net::Packet& original : packets) {
-    net::Packet packet = original;
-    packet.reset_metadata();
-    pipeline.push(std::move(packet));
-  }
-  std::vector<net::Packet> pipeline_out = pipeline.stop_and_collect();
+  Executor& executor = pipeline;
+  EXPECT_EQ(executor.kind(), "pipeline");
+  std::vector<net::Packet> pipeline_out;
+  const RunStats& pipeline_stats = executor.run(packets, &pipeline_out);
   expect_per_flow_identical(ref, std::move(pipeline_out),
-                            pipeline.drops());
+                            pipeline_stats.drops);
 }
 
 TEST(ShardedRuntimeEquivalence, Chain1NatMaglevMonitorFilter) {

@@ -342,6 +342,112 @@ TEST(SpscRing, TwoThreadBurstStressAcrossWraparound) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRing, WatermarkDefaultsEquivalentToRingFull) {
+  SpscRing<int> ring{8};
+  EXPECT_EQ(ring.high_watermark(), 8u);
+  EXPECT_EQ(ring.low_watermark(), 4u);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(ring.try_push(int{i}));
+    EXPECT_FALSE(ring.over_watermark()) << "below capacity at depth "
+                                        << i + 1;
+  }
+  ASSERT_TRUE(ring.try_push(7));
+  EXPECT_TRUE(ring.over_watermark()) << "default high watermark == capacity";
+}
+
+TEST(SpscRing, WatermarkClampsToCapacityAndHigh) {
+  SpscRing<int> ring{8};
+  ring.set_watermarks(100, 50);
+  EXPECT_EQ(ring.high_watermark(), 8u);
+  EXPECT_EQ(ring.low_watermark(), 8u);
+  ring.set_watermarks(4, 6);
+  EXPECT_EQ(ring.high_watermark(), 4u);
+  EXPECT_EQ(ring.low_watermark(), 4u) << "low clamps to high";
+}
+
+TEST(SpscRing, WatermarkHysteresis) {
+  SpscRing<int> ring{8};
+  ring.set_watermarks(6, 2);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.over_watermark()) << "5 < high 6: not pressured";
+  ASSERT_TRUE(ring.try_push(5));
+  EXPECT_TRUE(ring.over_watermark()) << "depth 6 engages pressure";
+  // Draining below high but not to low keeps the gate engaged.
+  ring.try_pop();
+  ring.try_pop();
+  ring.try_pop();
+  EXPECT_TRUE(ring.over_watermark()) << "depth 3 > low 2: still pressured";
+  EXPECT_TRUE(ring.pressured()) << "pressured() echoes the last verdict";
+  ring.try_pop();
+  EXPECT_FALSE(ring.over_watermark()) << "depth 2 == low: pressure clears";
+  EXPECT_FALSE(ring.pressured());
+  // Re-engaging needs the HIGH watermark again, not low+1.
+  ASSERT_TRUE(ring.try_push(10));
+  EXPECT_FALSE(ring.over_watermark()) << "depth 3 < high 6 after clearing";
+}
+
+TEST(SpscRing, WatermarkAcrossIndexWraparound) {
+  // The gate computes depth with the same unsigned difference arithmetic
+  // as full/empty; seed the cursors so it crosses the overflow boundary.
+  const std::size_t start = std::numeric_limits<std::size_t>::max() - 3;
+  SpscRing<int> ring{8, start};
+  ring.set_watermarks(4, 1);
+  int value = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(value++));
+    EXPECT_FALSE(ring.over_watermark()) << "depth 3 < high 4";
+    ASSERT_TRUE(ring.try_push(value++));
+    EXPECT_TRUE(ring.over_watermark()) << "depth 4 engages";
+    for (int i = 0; i < 3; ++i) ring.try_pop();
+    EXPECT_FALSE(ring.over_watermark()) << "depth 1 == low clears";
+    ring.try_pop();
+    ASSERT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, WatermarkBurstStraddle) {
+  // One burst push that jumps from below-high to above-high in a single
+  // call: the NEXT over_watermark() probe must see the pressure (the gate
+  // is probe-driven, not push-driven).
+  SpscRing<int> ring{16};
+  ring.set_watermarks(8, 3);
+  std::vector<int> burst(6);
+  for (int i = 0; i < 6; ++i) burst[i] = i;
+  ASSERT_EQ(ring.try_push_burst(std::span<int>{burst}), 6u);
+  EXPECT_FALSE(ring.over_watermark()) << "6 < 8";
+  // This burst straddles the high watermark (6 -> 12).
+  ASSERT_EQ(ring.try_push_burst(std::span<int>{burst}), 6u);
+  EXPECT_TRUE(ring.over_watermark()) << "12 >= 8 engages in one probe";
+  // A burst pop that straddles low on the way down (12 -> 2).
+  std::vector<int> out(10);
+  ASSERT_EQ(ring.try_pop_burst(std::span<int>{out}), 10u);
+  EXPECT_FALSE(ring.over_watermark()) << "2 <= low 3 clears in one probe";
+}
+
+TEST(SpscRing, WatermarkSeesConsumerDrainUnderConcurrency) {
+  // The producer-local tail cache may be stale; the gate must refresh it
+  // rather than report pressure the consumer has already relieved. Drive a
+  // consumer that drains everything, then check the gate drops.
+  SpscRing<int> ring{64};
+  ring.set_watermarks(48, 8);
+  for (int i = 0; i < 48; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  ASSERT_TRUE(ring.over_watermark());
+  std::thread consumer([&] {
+    int drained = 0;
+    while (drained < 48) {
+      if (ring.try_pop()) {
+        ++drained;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  consumer.join();
+  EXPECT_FALSE(ring.over_watermark())
+      << "gate must refresh the stale tail cache and see the drain";
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(SpscRing, PreservesOrderUnderConcurrency) {
   constexpr int kCount = 50000;
   SpscRing<int> ring{64};

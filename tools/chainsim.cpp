@@ -6,9 +6,16 @@
 //   chainsim --chain nat,monitor --pcap capture.pcap
 //   chainsim --chain maglev,monitor --fail-backend-at 1000
 //   chainsim --chain vpn-out,monitor,vpn-in --export-pcap tunnel.pcap
+//   chainsim --chain firewall,snort --overload 2.0 --drop-policy slo-early-drop
+//   chainsim --chain nat,monitor --inject-fault nat:fail-every=100
 //
 // Available NFs: nat, maglev, monitor, heavymonitor, ipfilter, firewall
 // (drops dst port 23), snort, gateway, vpn-out, vpn-in, dos, synthetic.
+//
+// All executor shapes (--executor runner|sharded|pipeline|onvm) run through
+// the one runtime::Executor interface; every combination the flags below
+// cannot express together is rejected up front by SimConfig::validate()
+// instead of being silently ignored.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +34,11 @@
 #include "nf/snort_ids.hpp"
 #include "nf/synthetic_nf.hpp"
 #include "nf/vpn_gateway.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/onvm_executor.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sharded_runtime.hpp"
+#include "runtime/speedybox_pipeline.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/payload_synth.hpp"
@@ -40,14 +50,37 @@ using namespace speedybox;
 
 namespace {
 
-struct Options {
+enum class ExecutorKind : std::uint8_t { kRunner, kSharded, kPipeline, kOnvm };
+
+const char* executor_kind_name(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kRunner:
+      return "runner";
+    case ExecutorKind::kSharded:
+      return "sharded";
+    case ExecutorKind::kPipeline:
+      return "pipeline";
+    case ExecutorKind::kOnvm:
+      return "onvm";
+  }
+  return "runner";
+}
+
+/// Every chainsim knob, parsed in one place and cross-checked in
+/// validate() — a flag combination that would silently do nothing is an
+/// error, not a surprise.
+struct SimConfig {
   std::vector<std::string> chain;
   platform::PlatformKind platform = platform::PlatformKind::kBess;
   bool run_original = true;
   bool run_speedybox = true;
+  bool mode_set = false;
+  ExecutorKind executor = ExecutorKind::kRunner;
+  bool executor_set = false;
   std::size_t flows = 100;
   std::uint32_t packets_per_flow = 20;
   std::size_t payload = 128;
+  bool workload_shape_set = false;  // any of --flows/--packets/--payload
   bool datacenter = false;
   double snort_match_fraction = 0.2;
   std::string pcap_in;
@@ -61,6 +94,18 @@ struct Options {
   std::string metrics_prom;        // Prometheus text file (overwritten)
   long metrics_interval_ms = 0;    // 0 = final snapshot only
   std::uint32_t trace_sample = 0;  // 1-in-N packet span sampling (0 = off)
+  runtime::OverloadConfig overload{};
+  bool drop_policy_set = false;
+  bool queue_capacity_set = false;
+  std::optional<std::pair<std::string, runtime::FaultSpec>> fault;
+  bool print_config = false;
+
+  static SimConfig parse(int argc, char** argv);
+  /// Exits with a diagnostic on any flag combination that would be
+  /// silently ignored at run time.
+  void validate() const;
+  /// JSON echo of the effective configuration (--print-config).
+  std::string to_json() const;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -73,6 +118,10 @@ struct Options {
       "options:\n"
       "  --platform bess|onvm       execution platform model (default bess)\n"
       "  --mode original|speedybox|both   which data path(s) to run\n"
+      "  --executor runner|sharded|pipeline|onvm\n"
+      "                             executor shape (default runner; sharded\n"
+      "                             needs --shards; pipeline requires --mode\n"
+      "                             speedybox, onvm requires --mode original)\n"
       "  --flows N --packets N --payload N   uniform workload shape\n"
       "  --datacenter               heavy-tailed datacenter-style workload\n"
       "  --pcap FILE                drive the chain from a pcap capture\n"
@@ -82,8 +131,19 @@ struct Options {
       "                             chain replicas (one worker thread each)\n"
       "  --batch-size N             burst size the data path drains in\n"
       "                             (default 32; 1 = packet-at-a-time)\n"
+      "  --overload MULT            enable the overload gate at MULT x the\n"
+      "                             data path's capacity (DESIGN.md 9)\n"
+      "  --drop-policy P            tail-drop|per-flow-fair|slo-early-drop\n"
+      "                             (needs --overload)\n"
+      "  --queue-capacity N         bounded ingress queue, in packets\n"
+      "                             (needs --overload; default 1024)\n"
+      "  --inject-fault SPEC        wrap an NF in the fault injector:\n"
+      "                             \"<nf>:fail-every=N,latency-every=N,\n"
+      "                             latency-cycles=N,crash-at=N\"\n"
       "  --seed N                   workload seed (default 42)\n"
       "  --csv                      machine-readable one-line-per-config\n"
+      "  --print-config             echo the effective config as JSON and\n"
+      "                             exit (validates first)\n"
       "  --metrics-out FILE         append a JSON telemetry snapshot line\n"
       "  --metrics-prom FILE        write a Prometheus text snapshot\n"
       "  --metrics-interval MS      also snapshot every MS ms (JSON-lines,\n"
@@ -95,8 +155,13 @@ struct Options {
   std::exit(2);
 }
 
-Options parse_options(int argc, char** argv) {
-  Options options;
+[[noreturn]] void config_error(const char* message) {
+  std::fprintf(stderr, "chainsim: %s\n", message);
+  std::exit(2);
+}
+
+SimConfig SimConfig::parse(int argc, char** argv) {
+  SimConfig config;
   const auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -111,63 +176,112 @@ Options parse_options(int argc, char** argv) {
         const std::string name =
             spec.substr(start, comma == std::string::npos ? std::string::npos
                                                           : comma - start);
-        if (!name.empty()) options.chain.push_back(name);
+        if (!name.empty()) config.chain.push_back(name);
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
     } else if (arg == "--platform") {
       const std::string value = need_value(i);
       if (value == "bess") {
-        options.platform = platform::PlatformKind::kBess;
+        config.platform = platform::PlatformKind::kBess;
       } else if (value == "onvm") {
-        options.platform = platform::PlatformKind::kOnvm;
+        config.platform = platform::PlatformKind::kOnvm;
       } else {
         usage(argv[0]);
       }
     } else if (arg == "--mode") {
       const std::string value = need_value(i);
-      options.run_original = value == "original" || value == "both";
-      options.run_speedybox = value == "speedybox" || value == "both";
-      if (!options.run_original && !options.run_speedybox) usage(argv[0]);
+      config.run_original = value == "original" || value == "both";
+      config.run_speedybox = value == "speedybox" || value == "both";
+      config.mode_set = true;
+      if (!config.run_original && !config.run_speedybox) usage(argv[0]);
+    } else if (arg == "--executor") {
+      const std::string value = need_value(i);
+      config.executor_set = true;
+      if (value == "runner") {
+        config.executor = ExecutorKind::kRunner;
+      } else if (value == "sharded") {
+        config.executor = ExecutorKind::kSharded;
+      } else if (value == "pipeline") {
+        config.executor = ExecutorKind::kPipeline;
+      } else if (value == "onvm") {
+        config.executor = ExecutorKind::kOnvm;
+      } else {
+        usage(argv[0]);
+      }
     } else if (arg == "--flows") {
-      options.flows = std::strtoul(need_value(i), nullptr, 10);
+      config.flows = std::strtoul(need_value(i), nullptr, 10);
+      config.workload_shape_set = true;
     } else if (arg == "--packets") {
-      options.packets_per_flow =
+      config.packets_per_flow =
           static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+      config.workload_shape_set = true;
     } else if (arg == "--payload") {
-      options.payload = std::strtoul(need_value(i), nullptr, 10);
+      config.payload = std::strtoul(need_value(i), nullptr, 10);
+      config.workload_shape_set = true;
     } else if (arg == "--datacenter") {
-      options.datacenter = true;
+      config.datacenter = true;
     } else if (arg == "--pcap") {
-      options.pcap_in = need_value(i);
+      config.pcap_in = need_value(i);
     } else if (arg == "--export-pcap") {
-      options.pcap_out = need_value(i);
+      config.pcap_out = need_value(i);
     } else if (arg == "--fail-backend-at") {
-      options.fail_backend_at = std::strtol(need_value(i), nullptr, 10);
+      config.fail_backend_at = std::strtol(need_value(i), nullptr, 10);
     } else if (arg == "--shards") {
       const char* value = need_value(i);
       char* end = nullptr;
-      options.shards = std::strtoul(value, &end, 10);
+      config.shards = std::strtoul(value, &end, 10);
       if (end == value || *end != '\0') usage(argv[0]);
     } else if (arg == "--batch-size") {
       const char* value = need_value(i);
       char* end = nullptr;
-      options.batch_size = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || options.batch_size == 0) {
+      config.batch_size = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || config.batch_size == 0) {
         usage(argv[0]);
       }
+    } else if (arg == "--overload") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.overload.offered_load = std::strtod(value, &end);
+      if (end == value || *end != '\0' ||
+          config.overload.offered_load <= 0.0) {
+        usage(argv[0]);
+      }
+      config.overload.enabled = true;
+    } else if (arg == "--drop-policy") {
+      const auto policy = runtime::parse_drop_policy(need_value(i));
+      if (!policy) usage(argv[0]);
+      config.overload.policy = *policy;
+      config.drop_policy_set = true;
+    } else if (arg == "--queue-capacity") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.overload.queue_capacity = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' ||
+          config.overload.queue_capacity == 0) {
+        usage(argv[0]);
+      }
+      config.queue_capacity_set = true;
+    } else if (arg == "--inject-fault") {
+      config.fault = runtime::parse_fault_spec(need_value(i));
+      if (!config.fault || !config.fault->second.any()) {
+        config_error("--inject-fault: malformed spec (want "
+                     "\"<nf>:fail-every=N,...\" with at least one action)");
+      }
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(need_value(i), nullptr, 10);
+      config.seed = std::strtoull(need_value(i), nullptr, 10);
     } else if (arg == "--csv") {
-      options.csv = true;
+      config.csv = true;
+    } else if (arg == "--print-config") {
+      config.print_config = true;
     } else if (arg == "--metrics-out") {
-      options.metrics_out = need_value(i);
+      config.metrics_out = need_value(i);
     } else if (arg == "--metrics-prom") {
-      options.metrics_prom = need_value(i);
+      config.metrics_prom = need_value(i);
     } else if (arg == "--metrics-interval") {
-      options.metrics_interval_ms = std::strtol(need_value(i), nullptr, 10);
+      config.metrics_interval_ms = std::strtol(need_value(i), nullptr, 10);
     } else if (arg == "--trace-sample") {
-      options.trace_sample =
+      config.trace_sample =
           static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
     } else if (arg == "--log-level") {
       const auto level = util::parse_log_level(need_value(i));
@@ -177,14 +291,124 @@ Options parse_options(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (options.chain.empty()) usage(argv[0]);
-  if (options.shards > 0 && options.fail_backend_at >= 0) {
-    std::fprintf(stderr,
-                 "--fail-backend-at is not supported with --shards "
-                 "(mid-run control-plane actions are per-replica)\n");
-    std::exit(2);
+  if (config.chain.empty()) usage(argv[0]);
+  // --shards implies the sharded executor unless one was named.
+  if (!config.executor_set && config.shards > 0) {
+    config.executor = ExecutorKind::kSharded;
   }
-  return options;
+  return config;
+}
+
+void SimConfig::validate() const {
+  if (metrics_interval_ms > 0 && metrics_out.empty()) {
+    config_error("--metrics-interval needs --metrics-out (the interval "
+                 "snapshotter has nowhere to write)");
+  }
+  if (!pcap_in.empty() && (workload_shape_set || datacenter)) {
+    config_error("--pcap replaces the generated workload: drop "
+                 "--flows/--packets/--payload/--datacenter");
+  }
+  if (!pcap_in.empty() && !pcap_out.empty()) {
+    config_error("--export-pcap writes the GENERATED workload; with --pcap "
+                 "there is nothing to export");
+  }
+  if (fail_backend_at >= 0 && executor != ExecutorKind::kRunner) {
+    config_error("--fail-backend-at needs the single-threaded runner "
+                 "(mid-run control-plane actions are per-replica)");
+  }
+  if (shards > 0 && executor != ExecutorKind::kSharded) {
+    config_error("--shards only applies to --executor sharded");
+  }
+  if (executor == ExecutorKind::kSharded && shards == 0) {
+    config_error("--executor sharded needs --shards N");
+  }
+  if (executor == ExecutorKind::kPipeline &&
+      (run_original || !run_speedybox)) {
+    config_error("--executor pipeline runs the SpeedyBox path only: pass "
+                 "--mode speedybox");
+  }
+  if (executor == ExecutorKind::kOnvm && (run_speedybox || !run_original)) {
+    config_error("--executor onvm runs the original path only (no MATs on "
+                 "the platform layer): pass --mode original");
+  }
+  if (!overload.enabled && (drop_policy_set || queue_capacity_set)) {
+    config_error("--drop-policy/--queue-capacity need --overload (the gate "
+                 "does not exist without it)");
+  }
+  if (fault.has_value()) {
+    bool found = false;
+    for (const std::string& name : chain) {
+      if (name == fault->first) found = true;
+    }
+    if (!found) {
+      config_error("--inject-fault names an NF that is not in --chain");
+    }
+  }
+}
+
+std::string SimConfig::to_json() const {
+  std::string json = "{";
+  const auto field = [&](const char* key, const std::string& value,
+                         bool quote) {
+    if (json.size() > 1) json += ",";
+    json += "\"";
+    json += key;
+    json += "\":";
+    if (quote) json += "\"";
+    json += value;
+    if (quote) json += "\"";
+  };
+  std::string chain_list;
+  for (const std::string& name : chain) {
+    if (!chain_list.empty()) chain_list += ",";
+    chain_list += "\"" + name + "\"";
+  }
+  field("chain", "[" + chain_list + "]", false);
+  field("platform", platform_name(platform), true);
+  field("mode",
+        run_original && run_speedybox
+            ? "both"
+            : (run_speedybox ? "speedybox" : "original"),
+        true);
+  field("executor", executor_kind_name(executor), true);
+  if (pcap_in.empty()) {
+    field("workload", datacenter ? "datacenter" : "uniform", true);
+    field("flows", std::to_string(flows), false);
+    field("packets_per_flow", std::to_string(packets_per_flow), false);
+    field("payload", std::to_string(payload), false);
+    field("seed", std::to_string(seed), false);
+  } else {
+    field("pcap", pcap_in, true);
+  }
+  if (!pcap_out.empty()) field("export_pcap", pcap_out, true);
+  field("shards", std::to_string(shards), false);
+  field("batch_size", std::to_string(batch_size), false);
+  if (fail_backend_at >= 0) {
+    field("fail_backend_at", std::to_string(fail_backend_at), false);
+  }
+  field("overload", overload.enabled ? "true" : "false", false);
+  if (overload.enabled) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%g", overload.offered_load);
+    field("offered_load", buffer, false);
+    field("drop_policy",
+          std::string(runtime::drop_policy_name(overload.policy)), true);
+    field("queue_capacity", std::to_string(overload.queue_capacity), false);
+  }
+  if (fault.has_value()) {
+    field("inject_fault", fault->first + ":" + fault->second.to_string(),
+          true);
+  }
+  if (!metrics_out.empty()) field("metrics_out", metrics_out, true);
+  if (!metrics_prom.empty()) field("metrics_prom", metrics_prom, true);
+  if (metrics_interval_ms > 0) {
+    field("metrics_interval_ms", std::to_string(metrics_interval_ms), false);
+  }
+  if (trace_sample > 0) {
+    field("trace_sample", std::to_string(trace_sample), false);
+  }
+  json += "}";
+  return json;
 }
 
 struct BuiltChain {
@@ -192,14 +416,15 @@ struct BuiltChain {
   nf::MaglevLb* maglev = nullptr;  // for --fail-backend-at
 };
 
-BuiltChain build_chain(const Options& options) {
+BuiltChain build_chain(const SimConfig& config) {
   BuiltChain built;
   built.chain = std::make_unique<runtime::ServiceChain>("chainsim");
   int index = 0;
-  for (const std::string& name : options.chain) {
+  for (const std::string& name : config.chain) {
     const std::string label = name + "-" + std::to_string(index++);
+    std::unique_ptr<nf::NetworkFunction> nf;
     if (name == "nat") {
-      built.chain->emplace_nf<nf::MazuNat>(nf::MazuNatConfig{}, label);
+      nf = std::make_unique<nf::MazuNat>(nf::MazuNatConfig{}, label);
     } else if (name == "maglev") {
       std::vector<nf::Backend> backends;
       for (int b = 0; b < 4; ++b) {
@@ -208,70 +433,76 @@ BuiltChain build_chain(const Options& options) {
                                           static_cast<std::uint8_t>(10 + b)},
                             8080, true});
       }
-      built.maglev = &built.chain->emplace_nf<nf::MaglevLb>(
-          backends, std::size_t{65537}, label);
+      auto maglev = std::make_unique<nf::MaglevLb>(std::move(backends),
+                                                   std::size_t{65537}, label);
+      built.maglev = maglev.get();
+      nf = std::move(maglev);
     } else if (name == "monitor") {
-      built.chain->emplace_nf<nf::Monitor>(nf::MonitorConfig{}, label);
+      nf = std::make_unique<nf::Monitor>(nf::MonitorConfig{}, label);
     } else if (name == "heavymonitor") {
-      built.chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), label);
+      nf = std::make_unique<nf::Monitor>(nf::MonitorConfig::heavy(), label);
     } else if (name == "ipfilter") {
-      built.chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{},
-                                            label);
+      nf = std::make_unique<nf::IpFilter>(std::vector<nf::AclRule>{}, label);
     } else if (name == "firewall") {
-      built.chain->emplace_nf<nf::IpFilter>(
+      nf = std::make_unique<nf::IpFilter>(
           std::vector<nf::AclRule>{nf::AclRule::drop_dst_port(23)}, label);
     } else if (name == "snort") {
-      built.chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules(),
-                                            label);
+      nf = std::make_unique<nf::SnortIds>(trace::default_snort_rules(),
+                                          label);
     } else if (name == "gateway") {
-      built.chain->emplace_nf<nf::Gateway>(
+      nf = std::make_unique<nf::Gateway>(
           std::vector<nf::TrafficClass>{{5060, 5061, 46}}, label);
     } else if (name == "vpn-out") {
-      built.chain->emplace_nf<nf::VpnGateway>(nf::VpnMode::kEgress, 0x1000u,
-                                              label);
+      nf = std::make_unique<nf::VpnGateway>(nf::VpnMode::kEgress, 0x1000u,
+                                            label);
     } else if (name == "vpn-in") {
-      built.chain->emplace_nf<nf::VpnGateway>(nf::VpnMode::kIngress, 0x1000u,
-                                              label);
+      nf = std::make_unique<nf::VpnGateway>(nf::VpnMode::kIngress, 0x1000u,
+                                            label);
     } else if (name == "dos") {
-      built.chain->emplace_nf<nf::DosPrevention>(
+      nf = std::make_unique<nf::DosPrevention>(
           100, core::HeaderAction::forward(), label);
     } else if (name == "synthetic") {
-      built.chain->emplace_nf<nf::SyntheticNf>(nf::SyntheticNfConfig{},
-                                               label);
+      nf = std::make_unique<nf::SyntheticNf>(nf::SyntheticNfConfig{}, label);
     } else {
       std::fprintf(stderr, "unknown NF '%s'\n", name.c_str());
       std::exit(2);
     }
+    // The fault spec targets the chain-spec token; every occurrence of
+    // that NF gets its own injector (independent schedules).
+    if (config.fault.has_value() && config.fault->first == name) {
+      nf = std::make_unique<runtime::FaultInjector>(std::move(nf),
+                                                    config.fault->second);
+    }
+    built.chain->adopt_nf(std::move(nf));
   }
   return built;
 }
 
-std::vector<net::Packet> build_packets(const Options& options) {
-  if (!options.pcap_in.empty()) {
-    return trace::read_pcap(options.pcap_in);
+std::vector<net::Packet> build_packets(const SimConfig& config) {
+  if (!config.pcap_in.empty()) {
+    return trace::read_pcap(config.pcap_in);
   }
   trace::Workload workload;
-  if (options.datacenter) {
-    trace::DatacenterWorkloadConfig config;
-    config.flow_count = options.flows;
-    config.payload_size = options.payload;
-    config.seed = options.seed;
-    workload = make_datacenter_workload(config);
+  if (config.datacenter) {
+    trace::DatacenterWorkloadConfig workload_config;
+    workload_config.flow_count = config.flows;
+    workload_config.payload_size = config.payload;
+    workload_config.seed = config.seed;
+    workload = make_datacenter_workload(workload_config);
   } else {
     workload = trace::make_uniform_workload(
-        options.flows, options.packets_per_flow, options.payload,
-        options.seed);
+        config.flows, config.packets_per_flow, config.payload, config.seed);
   }
   // Plant Snort rule contents whenever the chain contains an IDS.
   trace::PayloadSynthConfig synth;
-  synth.match_fraction = options.snort_match_fraction;
-  synth.seed = options.seed ^ 0x5EED;
+  synth.match_fraction = config.snort_match_fraction;
+  synth.seed = config.seed ^ 0x5EED;
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
-  if (!options.pcap_out.empty()) {
-    write_pcap(options.pcap_out, workload);
+  if (!config.pcap_out.empty()) {
+    write_pcap(config.pcap_out, workload);
     std::fprintf(stderr, "wrote %zu packets to %s\n",
-                 workload.packet_count(), options.pcap_out.c_str());
+                 workload.packet_count(), config.pcap_out.c_str());
   }
   std::vector<net::Packet> packets;
   packets.reserve(workload.packet_count());
@@ -281,7 +512,7 @@ std::vector<net::Packet> build_packets(const Options& options) {
   return packets;
 }
 
-void report(const Options& options, const char* mode,
+void report(const SimConfig& config, const char* mode,
             const runtime::RunStats& stats) {
   const double p50_lat = stats.latency_us_subsequent.count() > 0
                              ? stats.latency_us_subsequent.percentile(50)
@@ -292,67 +523,60 @@ void report(const Options& options, const char* mode,
   const double cycles = stats.platform_cycles_subsequent.count() > 0
                             ? stats.platform_cycles_subsequent.percentile(50)
                             : 0.0;
-  const double rate = stats.rate_mpps(options.platform);
-  if (options.csv) {
-    std::printf("%s,%s,%llu,%llu,%llu,%.0f,%.3f,%.3f,%.3f\n",
-                platform_name(options.platform), mode,
+  const double rate = stats.rate_mpps(config.platform);
+  const runtime::OverloadStats& overload = stats.overload;
+  if (config.csv) {
+    std::printf("%s,%s,%llu,%llu,%llu,%.0f,%.3f,%.3f,%.3f,%llu,%llu,%llu\n",
+                platform_name(config.platform), mode,
                 static_cast<unsigned long long>(stats.packets),
                 static_cast<unsigned long long>(stats.drops),
                 static_cast<unsigned long long>(stats.events_triggered),
-                cycles, p50_lat, p99_lat, rate);
+                cycles, p50_lat, p99_lat, rate,
+                static_cast<unsigned long long>(overload.offered),
+                static_cast<unsigned long long>(overload.shed_total()),
+                static_cast<unsigned long long>(overload.faulted));
     return;
   }
   std::printf("%-9s %-10s packets=%-8llu drops=%-6llu events=%-4llu "
               "cyc/pkt(p50)=%-6.0f lat(p50/p99)=%.3f/%.3f us  rate=%.3f "
               "Mpps\n",
-              platform_name(options.platform), mode,
+              platform_name(config.platform), mode,
               static_cast<unsigned long long>(stats.packets),
               static_cast<unsigned long long>(stats.drops),
               static_cast<unsigned long long>(stats.events_triggered),
               cycles, p50_lat, p99_lat, rate);
+  if (overload.offered > 0 || overload.faulted > 0) {
+    std::printf("  overload: offered=%llu admitted=%llu "
+                "shed(adm/wm/early)=%llu/%llu/%llu faulted=%llu "
+                "degraded(flows/pkts/episodes)=%llu/%llu/%llu\n",
+                static_cast<unsigned long long>(overload.offered),
+                static_cast<unsigned long long>(overload.admitted),
+                static_cast<unsigned long long>(overload.shed_admission),
+                static_cast<unsigned long long>(overload.shed_watermark),
+                static_cast<unsigned long long>(overload.shed_early_drop),
+                static_cast<unsigned long long>(overload.faulted),
+                static_cast<unsigned long long>(overload.degraded_flows),
+                static_cast<unsigned long long>(overload.degraded_packets),
+                static_cast<unsigned long long>(overload.degraded_episodes));
+  }
 }
 
-void run_mode(const Options& options, bool speedybox,
+void run_mode(const SimConfig& config, bool speedybox,
               const std::vector<net::Packet>& packets,
               telemetry::Registry* registry) {
-  BuiltChain built = build_chain(options);
-  runtime::RunConfig config{options.platform, speedybox, false};
-  config.batch_size = options.batch_size;
+  BuiltChain built = build_chain(config);
+  runtime::RunConfig run_config{config.platform, speedybox, false};
+  run_config.batch_size = config.batch_size;
+  run_config.overload = config.overload;
   const std::string mode = speedybox ? "speedybox" : "original";
 
-  if (options.shards > 0) {
-    runtime::ShardedRuntime sharded{*built.chain, options.shards,
-                                    config,       1024,
-                                    registry,     mode + "/"};
-    const runtime::ShardedRunResult result = sharded.run_packets(packets);
-    const std::string label = mode + " x" + std::to_string(options.shards);
-    report(options, label.c_str(), result.stats);
-    if (!options.csv) {
-      std::printf("  shards: agg-rate=%.3f Mpps, wall=%.1f ms, "
-                  "backpressure-waits=%llu, per-shard packets = [",
-                  result.aggregate_rate_mpps, result.wall_seconds * 1e3,
-                  static_cast<unsigned long long>(
-                      sharded.backpressure_waits()));
-      for (std::size_t s = 0; s < result.shard_packets.size(); ++s) {
-        std::printf("%s%llu", s == 0 ? "" : ", ",
-                    static_cast<unsigned long long>(
-                        result.shard_packets[s]));
-      }
-      std::printf("]\n");
-    }
-    return;
-  }
-
-  runtime::ChainRunner runner{*built.chain, config};
-  if (registry != nullptr) {
-    runner.set_telemetry(
-        &registry->create_shard(mode + "/main", built.chain->nf_names()));
-  }
-  if (options.fail_backend_at < 0) {
-    runner.run_packets(packets);
-  } else {
+  if (config.fail_backend_at >= 0) {
+    // Mid-run control-plane action: per-packet loop on the single-threaded
+    // runner (validate() rejects every other executor shape).
+    runtime::ChainRunner runner{*built.chain, run_config};
+    runner.attach_telemetry(registry, mode + "/main");
     for (std::size_t i = 0; i < packets.size(); ++i) {
-      if (static_cast<long>(i) == options.fail_backend_at &&
+      if (static_cast<long>(i) == config.fail_backend_at &&
           built.maglev != nullptr) {
         built.maglev->fail_backend(0);
       }
@@ -360,61 +584,118 @@ void run_mode(const Options& options, bool speedybox,
       packet.reset_metadata();
       runner.process_packet(packet);
     }
+    report(config, mode.c_str(), runner.stats());
+    return;
   }
-  report(options, mode.c_str(), runner.stats());
+
+  // One construction switch; everything below it is shape-agnostic —
+  // the point of the Executor interface.
+  std::unique_ptr<runtime::Executor> executor;
+  std::string label = mode;
+  switch (config.executor) {
+    case ExecutorKind::kRunner:
+      executor = std::make_unique<runtime::ChainRunner>(*built.chain,
+                                                        run_config);
+      label = mode + "/main";
+      break;
+    case ExecutorKind::kSharded:
+      executor = std::make_unique<runtime::ShardedRuntime>(
+          *built.chain, config.shards, run_config);
+      break;
+    case ExecutorKind::kPipeline:
+      executor = std::make_unique<runtime::SpeedyBoxPipeline>(*built.chain);
+      break;
+    case ExecutorKind::kOnvm:
+      executor = std::make_unique<runtime::OnvmExecutor>(
+          *built.chain, 1024, config.batch_size);
+      break;
+  }
+  executor->attach_telemetry(registry, label);
+  if (config.overload.enabled) {
+    executor->set_overload_policy(config.overload);
+  }
+  const runtime::RunStats& stats = executor->run_raw(packets);
+
+  std::string report_label = mode;
+  if (config.executor != ExecutorKind::kRunner) {
+    report_label += std::string(" [") + executor_kind_name(config.executor);
+    if (config.shards > 0) report_label += " x" + std::to_string(config.shards);
+    report_label += "]";
+  }
+  report(config, report_label.c_str(), stats);
+
+  if (config.executor == ExecutorKind::kSharded && !config.csv) {
+    auto& sharded = static_cast<runtime::ShardedRuntime&>(*executor);
+    const runtime::ShardedRunResult& result = sharded.last_result();
+    std::printf("  shards: agg-rate=%.3f Mpps, wall=%.1f ms, "
+                "backpressure-waits=%llu, per-shard packets = [",
+                result.aggregate_rate_mpps, result.wall_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    sharded.backpressure_waits()));
+    for (std::size_t s = 0; s < result.shard_packets.size(); ++s) {
+      std::printf("%s%llu", s == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(result.shard_packets[s]));
+    }
+    std::printf("]\n");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options options = parse_options(argc, argv);
-  const std::vector<net::Packet> packets = build_packets(options);
+  const SimConfig config = SimConfig::parse(argc, argv);
+  config.validate();
+  if (config.print_config) {
+    std::printf("%s\n", config.to_json().c_str());
+    return 0;
+  }
+  const std::vector<net::Packet> packets = build_packets(config);
 
   // One registry for the whole process; the two modes (and their shards)
   // disambiguate through shard labels ("original/shard0", "speedybox/main").
   std::unique_ptr<telemetry::Registry> registry;
   std::optional<telemetry::Snapshotter> snapshotter;
-  if (!options.metrics_out.empty() || !options.metrics_prom.empty() ||
-      options.trace_sample > 0) {
-    registry = std::make_unique<telemetry::Registry>(options.trace_sample);
-    if (options.metrics_interval_ms > 0 && !options.metrics_out.empty()) {
+  if (!config.metrics_out.empty() || !config.metrics_prom.empty() ||
+      config.trace_sample > 0) {
+    registry = std::make_unique<telemetry::Registry>(config.trace_sample);
+    if (config.metrics_interval_ms > 0 && !config.metrics_out.empty()) {
       snapshotter.emplace(
-          *registry, options.metrics_out,
-          std::chrono::milliseconds(options.metrics_interval_ms));
+          *registry, config.metrics_out,
+          std::chrono::milliseconds(config.metrics_interval_ms));
     }
   }
 
-  if (options.csv) {
+  if (config.csv) {
     std::printf(
         "platform,mode,packets,drops,events,cycles_p50,lat_p50_us,"
-        "lat_p99_us,rate_mpps\n");
+        "lat_p99_us,rate_mpps,offered,shed,faulted\n");
   }
-  if (options.run_original) {
-    run_mode(options, false, packets, registry.get());
+  if (config.run_original) {
+    run_mode(config, false, packets, registry.get());
   }
-  if (options.run_speedybox) {
-    run_mode(options, true, packets, registry.get());
+  if (config.run_speedybox) {
+    run_mode(config, true, packets, registry.get());
   }
 
   if (registry != nullptr) {
     if (snapshotter) {
       snapshotter->stop();  // writes the final JSON-lines snapshot
-    } else if (!options.metrics_out.empty()) {
-      if (!telemetry::append_line(options.metrics_out,
+    } else if (!config.metrics_out.empty()) {
+      if (!telemetry::append_line(config.metrics_out,
                                   to_json(registry->snapshot()))) {
         std::fprintf(stderr, "failed to write %s\n",
-                     options.metrics_out.c_str());
+                     config.metrics_out.c_str());
         return 1;
       }
     }
-    if (!options.metrics_prom.empty()) {
+    if (!config.metrics_prom.empty()) {
       const std::string text = to_prometheus(registry->snapshot());
-      std::FILE* file = std::fopen(options.metrics_prom.c_str(), "w");
+      std::FILE* file = std::fopen(config.metrics_prom.c_str(), "w");
       if (file == nullptr ||
           std::fwrite(text.data(), 1, text.size(), file) != text.size() ||
           std::fclose(file) != 0) {
         std::fprintf(stderr, "failed to write %s\n",
-                     options.metrics_prom.c_str());
+                     config.metrics_prom.c_str());
         return 1;
       }
     }

@@ -12,8 +12,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The suites that exercise threads and shared rings. The rest of the tree
-# is single-threaded and covered by the regular build.
-TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence)
+# is single-threaded and covered by the regular build. test_integration
+# carries the fault-injection differential; test_property the overload
+# conservation sweep over the 4-shard runtime.
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property)
 
 run_one() {
   local sanitizer="$1"
