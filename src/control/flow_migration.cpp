@@ -1,0 +1,201 @@
+#include "control/flow_migration.hpp"
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/global_mat.hpp"
+#include "core/header_action.hpp"
+#include "core/local_mat.hpp"
+#include "net/fields.hpp"
+#include "net/five_tuple.hpp"
+#include "util/cycle_clock.hpp"
+#include "util/hash.hpp"
+
+namespace speedybox::control {
+
+namespace {
+
+/// Per-NF exported payload, keyed by the tuple the NF actually observed
+/// (upstream modifies applied).
+struct ExportedNf {
+  std::size_t nf_index = 0;
+  net::FiveTuple observed;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ExportedFlow {
+  net::FiveTuple tuple;  // pre-chain tuple (classifier key)
+  std::uint32_t source_fid = net::kInvalidFid;
+  std::uint64_t last_seen_cycles = 0;
+  std::vector<ExportedNf> states;
+  // Consolidated-rule handoff (values copied: the source rule dies with
+  // the phase-3 erase).
+  bool had_rule = false;
+  bool degraded_default = false;
+  std::uint32_t cost_samples = 0;
+  double critical_fraction = 1.0;
+};
+
+/// Evolve `tuple` through the header actions NF `record` applied, so the
+/// next NF's export is keyed by the tuple it observed. Absent or
+/// non-modify records leave the tuple untouched; a recorded drop does not
+/// stop the walk (downstream NFs may hold state from packets that flowed
+/// before the drop was installed — e.g. a DoS blacklist flipping the rule
+/// mid-flow — and NFs that truly never saw the flow export nothing).
+void evolve_tuple(const core::LocalRule& record, net::FiveTuple& tuple) {
+  for (const core::HeaderAction& action : record.header_actions) {
+    if (action.type != core::HeaderActionType::kModify) continue;
+    switch (action.field) {
+      case net::HeaderField::kSrcIp:
+        tuple.src_ip = net::Ipv4Addr{action.value};
+        break;
+      case net::HeaderField::kDstIp:
+        tuple.dst_ip = net::Ipv4Addr{action.value};
+        break;
+      case net::HeaderField::kSrcPort:
+        tuple.src_port = static_cast<std::uint16_t>(action.value);
+        break;
+      case net::HeaderField::kDstPort:
+        tuple.dst_port = static_cast<std::uint16_t>(action.value);
+        break;
+      default:
+        break;  // TTL/TOS rewrites don't change the flow identity
+    }
+  }
+}
+
+ExportedFlow export_flow(runtime::ServiceChain& source,
+                         const core::PacketClassifier::ActiveFlow& flow) {
+  ExportedFlow exported;
+  exported.tuple = flow.tuple;
+  exported.source_fid = flow.fid;
+  exported.last_seen_cycles = flow.last_seen_cycles;
+
+  net::FiveTuple observed = flow.tuple;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    auto payload = source.nf(i).export_flow_state(observed);
+    if (payload) {
+      exported.states.push_back({i, observed, std::move(*payload)});
+    }
+    if (const auto record = source.local_mat(i).snapshot(flow.fid)) {
+      evolve_tuple(*record, observed);
+    }
+  }
+
+  if (const core::ConsolidatedRule* rule =
+          source.global_mat().find(flow.fid)) {
+    exported.had_rule = true;
+    exported.degraded_default = rule->degraded_default;
+    exported.cost_samples = rule->cost_samples;
+    exported.critical_fraction = rule->critical_fraction;
+  }
+  return exported;
+}
+
+void import_flow(runtime::ServiceChain& dest, const ExportedFlow& flow) {
+  const std::uint32_t fid =
+      dest.classifier().adopt_flow(flow.tuple, flow.last_seen_cycles);
+  for (const ExportedNf& state : flow.states) {
+    // The context records straight into the destination's Local MAT and
+    // Event Table — the import is a replay of what the NF recorded for
+    // this flow's initial packet, minus already-fired one-shot events.
+    core::SpeedyBoxContext ctx{dest.local_mat(state.nf_index),
+                               dest.global_mat().event_table(), fid};
+    dest.nf(state.nf_index)
+        .import_flow_state(state.observed, state.payload, &ctx);
+  }
+  if (flow.had_rule && flow.degraded_default) {
+    // The flow was admitted under graceful degradation and never recorded:
+    // hand it the same pre-consolidated default rule, not a real one.
+    dest.global_mat().install_default_rule(fid);
+    return;
+  }
+  dest.global_mat().consolidate_flow(fid);
+  if (flow.had_rule) {
+    dest.global_mat().transfer_cost_profile(fid, flow.cost_samples,
+                                            flow.critical_fraction);
+  }
+}
+
+}  // namespace
+
+void require_migratable(const runtime::ServiceChain& chain) {
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (!chain.nf(i).supports_flow_migration()) {
+      throw std::logic_error("NetworkFunction '" +
+                             std::string(chain.nf(i).name()) +
+                             "' does not support flow migration");
+    }
+  }
+}
+
+std::size_t migrate_flows(
+    runtime::ServiceChain& source, runtime::ServiceChain& dest,
+    std::span<const core::PacketClassifier::ActiveFlow> flows) {
+  // Phase 1: copy everything out of the source. No source mutation beyond
+  // Monitor's move-on-export, so sibling flows (NAT's two directions)
+  // still see consistent shared state whatever the iteration order.
+  std::vector<ExportedFlow> exported;
+  exported.reserve(flows.size());
+  for (const auto& flow : flows) {
+    exported.push_back(export_flow(source, flow));
+  }
+  // Phase 2: adopt + replay at the destination.
+  for (const ExportedFlow& flow : exported) {
+    import_flow(dest, flow);
+  }
+  // Phase 3: tear the flows out of the source. run_hooks=true so each
+  // NF's teardown hook sheds its internal entry for the migrated key —
+  // the cross-shard union of NF state stays a partition.
+  for (const ExportedFlow& flow : exported) {
+    source.global_mat().erase_flow(flow.source_fid, /*run_hooks=*/true);
+    source.classifier().release_flow(flow.source_fid);
+  }
+  return exported.size();
+}
+
+ReshardReport reshard(runtime::ShardedRuntime& runtime,
+                      std::size_t new_count) {
+  ReshardReport report;
+  report.from_shards = runtime.active_shard_count();
+  report.to_shards = new_count == 0 ? 1 : new_count;
+  if (report.to_shards == report.from_shards) return report;
+
+  const std::uint64_t start = util::CycleClock::now();
+  runtime.quiesce();
+  // Scale-up: destination workers must exist (and be registered with
+  // telemetry/overload) before their chains receive state.
+  if (report.to_shards > report.from_shards) {
+    runtime.ensure_worker_shards(report.to_shards);
+  }
+  // Every shard ever started may hold flows whose Lemire index changes
+  // under the new count — any pair of shards can exchange flows, not just
+  // the tail (shard_index is multiply-shift, not modulo).
+  for (std::size_t s = 0; s < runtime.shard_count(); ++s) {
+    runtime::ServiceChain& chain = runtime.shard_chain(s);
+    const auto flows = chain.classifier().active_tuples();
+    std::map<std::size_t, std::vector<core::PacketClassifier::ActiveFlow>>
+        moves;
+    for (const auto& flow : flows) {
+      const std::size_t target = util::shard_index(
+          flow.tuple.symmetric_hash(), report.to_shards);
+      if (target != s) moves[target].push_back(flow);
+    }
+    for (auto& [target, group] : moves) {
+      report.migrated_flows +=
+          migrate_flows(chain, runtime.shard_chain(target), group);
+    }
+  }
+  if (report.to_shards < report.from_shards) {
+    runtime.retire_worker_shards(report.to_shards);
+  }
+  runtime.set_active_shard_count(report.to_shards);
+  report.migration_cycles = util::CycleClock::now() - start;
+  return report;
+}
+
+}  // namespace speedybox::control

@@ -65,6 +65,24 @@ void PacketClassifier::release_flow(std::uint32_t fid) {
   by_fid_.erase(it);
 }
 
+std::vector<PacketClassifier::ActiveFlow> PacketClassifier::active_tuples()
+    const {
+  std::vector<ActiveFlow> flows;
+  flows.reserve(by_tuple_.size());
+  for (const auto& [tuple, record] : by_tuple_) {
+    flows.push_back({tuple, record.fid, record.last_seen_cycles});
+  }
+  return flows;
+}
+
+std::uint32_t PacketClassifier::adopt_flow(const net::FiveTuple& tuple,
+                                           std::uint64_t last_seen_cycles) {
+  const std::uint32_t fid = assign_fid(tuple);
+  by_tuple_.emplace(tuple, FlowRecord{fid, last_seen_cycles});
+  by_fid_.emplace(fid, tuple);
+  return fid;
+}
+
 std::vector<std::uint32_t> PacketClassifier::collect_idle(
     std::uint64_t now_cycles, std::uint64_t max_age_cycles) const {
   std::vector<std::uint32_t> idle;

@@ -61,6 +61,25 @@ class PacketClassifier {
   /// Free the FID after the teardown packet has been fully processed.
   void release_flow(std::uint32_t fid);
 
+  /// An active flow as seen by migration: its tuple, FID and last-seen
+  /// stamp (preserved across shards so idle expiry keeps its clock).
+  struct ActiveFlow {
+    net::FiveTuple tuple;
+    std::uint32_t fid = net::kInvalidFid;
+    std::uint64_t last_seen_cycles = 0;
+  };
+
+  /// Snapshot of every active flow — what live resharding enumerates to
+  /// decide which flows leave this shard.
+  std::vector<ActiveFlow> active_tuples() const;
+
+  /// Admit a flow migrated from another shard: assigns a FID (same probing
+  /// as classify) and installs the tuple with its original last-seen stamp.
+  /// Unlike classify this does NOT count an initial packet — the flow is
+  /// established, and its next packet must take the subsequent path.
+  std::uint32_t adopt_flow(const net::FiveTuple& tuple,
+                           std::uint64_t last_seen_cycles);
+
   /// FIDs of flows whose last packet is older than `max_age_cycles` before
   /// `now`. FIN/RST covers TCP teardown (§VI-B); idle expiry is the
   /// complementary garbage collection for UDP and abandoned connections.

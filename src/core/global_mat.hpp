@@ -102,6 +102,18 @@ class GlobalMat {
   /// No header rewrites, no state functions, no event checks.
   void install_default_rule(std::uint32_t fid);
 
+  /// Live-resharding rule handoff: transplant the learned batch-cost
+  /// profile from the source shard's rule onto this (freshly consolidated)
+  /// flow, so the destination fast path doesn't re-enter the per-batch
+  /// sampling window mid-flow. No-op if the flow has no rule.
+  void transfer_cost_profile(std::uint32_t fid, std::uint32_t cost_samples,
+                             double critical_fraction) {
+    const auto it = rules_.find(fid);
+    if (it == rules_.end()) return;
+    it->second->cost_samples = cost_samples;
+    it->second->critical_fraction = critical_fraction;
+  }
+
   /// Batch pre-pass hint: warm the cache lines of `fid`'s consolidated rule
   /// so the fast-path packets behind it in the burst find the rule resident
   /// (DESIGN.md §8). A hint only — a miss or a stale line never affects

@@ -1,5 +1,7 @@
 #include "nf/dos_prevention.hpp"
 
+#include "nf/flow_state.hpp"
+
 namespace speedybox::nf {
 
 DosPrevention::DosPrevention(std::uint64_t syn_threshold,
@@ -89,6 +91,71 @@ bool DosPrevention::is_blacklisted(const net::FiveTuple& tuple) const {
 void DosPrevention::on_flow_teardown(const net::FiveTuple& tuple) {
   const std::lock_guard lock(mutex_);
   flows_.erase(tuple);
+}
+
+std::optional<std::vector<std::uint8_t>> DosPrevention::export_flow_state(
+    const net::FiveTuple& tuple) {
+  const std::lock_guard lock(mutex_);
+  const auto it = flows_.find(tuple);
+  if (it == flows_.end()) return std::nullopt;
+  FlowStateWriter writer;
+  writer.u64(it->second.syn_count);
+  writer.boolean(it->second.blacklisted);
+  return writer.take();
+}
+
+void DosPrevention::import_flow_state(const net::FiveTuple& tuple,
+                                      std::span<const std::uint8_t> bytes,
+                                      core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  FlowState* flow_args = nullptr;
+  bool blacklisted = false;
+  {
+    const std::lock_guard lock(mutex_);
+    FlowState& state = flows_[tuple];
+    state.syn_count = reader.u64();
+    state.blacklisted = reader.boolean();
+    blacklisted = state.blacklisted;
+    flow_args = &state;
+  }
+  if (ctx == nullptr) return;
+  if (blacklisted) {
+    // The event already fired on the source shard: re-record the post-event
+    // rule (drop + the still-live SYN counter) without re-arming the
+    // one-shot event.
+    ctx->add_header_action(core::HeaderAction::drop());
+  } else {
+    ctx->add_header_action(normal_action_);
+  }
+  core::localmat_add_SF(
+      ctx,
+      [this, flow_args](net::Packet&, const net::ParsedPacket& p) {
+        const std::lock_guard lock(mutex_);
+        if (p.has_syn()) ++flow_args->syn_count;
+      },
+      core::PayloadAccess::kIgnore, name() + ".syn_count");
+  if (!blacklisted) {
+    ctx->register_event(
+        name() + ".blacklist",
+        [this, tuple]() {
+          const std::lock_guard lock(mutex_);
+          const auto it = flows_.find(tuple);
+          return it != flows_.end() && it->second.syn_count > threshold_;
+        },
+        [this, tuple]() {
+          const std::lock_guard lock(mutex_);
+          flows_[tuple].blacklisted = true;
+          ++drops_;  // accounted per-flow, not per-packet, on the fast path
+          core::EventUpdate update;
+          update.header_actions = {core::HeaderAction::drop()};
+          return update;
+        },
+        /*one_shot=*/true);
+  }
+  ctx->on_teardown([this, tuple]() {
+    const std::lock_guard lock(mutex_);
+    flows_.erase(tuple);
+  });
 }
 
 }  // namespace speedybox::nf

@@ -30,6 +30,18 @@ class DosPrevention : public NetworkFunction {
                                            name());
   }
 
+  // Migration payload: the flow's SYN count and blacklist flag. For a
+  // not-yet-blacklisted flow the one-shot blacklist event is re-registered
+  // so it fires at the same packet it would have on the source shard; for
+  // an already-blacklisted flow only the drop action is re-recorded — the
+  // event has fired, and re-arming it would double-count drops().
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   std::uint64_t syn_count(const net::FiveTuple& tuple) const;
   bool is_blacklisted(const net::FiveTuple& tuple) const;
   std::uint64_t drops() const {

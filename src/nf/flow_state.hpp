@@ -1,0 +1,107 @@
+// Byte-oriented helpers for the per-flow state serialization API
+// (NetworkFunction::export_flow_state / import_flow_state, DESIGN.md §10).
+//
+// The encoding is deliberately dumb: fixed-width little-endian integers
+// appended in a documented order per NF. A flow-state payload never leaves
+// the process (it moves between shard replicas during live resharding), so
+// there is no versioning or cross-machine concern — but the encoding is
+// still fully deterministic so the migration round-trip unit tests can
+// assert export→import→export byte equality.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+
+namespace speedybox::nf {
+
+/// Appends fixed-width little-endian fields to a byte payload.
+class FlowStateWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+
+  void u16(std::uint16_t value) {
+    u8(static_cast<std::uint8_t>(value));
+    u8(static_cast<std::uint8_t>(value >> 8));
+  }
+
+  void u32(std::uint32_t value) {
+    u16(static_cast<std::uint16_t>(value));
+    u16(static_cast<std::uint16_t>(value >> 16));
+  }
+
+  void u64(std::uint64_t value) {
+    u32(static_cast<std::uint32_t>(value));
+    u32(static_cast<std::uint32_t>(value >> 32));
+  }
+
+  void boolean(bool value) { u8(value ? 1 : 0); }
+
+  void tuple(const net::FiveTuple& t) {
+    u32(t.src_ip.value);
+    u32(t.dst_ip.value);
+    u16(t.src_port);
+    u16(t.dst_port);
+    u8(t.proto);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads the fields back in the same order; throws on truncation so a
+/// malformed payload fails the migration loudly instead of importing
+/// garbage flow state.
+class FlowStateReader {
+ public:
+  explicit FlowStateReader(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) {
+      throw std::out_of_range("FlowStateReader: truncated flow-state payload");
+    }
+    return bytes_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8())
+                                            << 8));
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  net::FiveTuple tuple() {
+    net::FiveTuple t;
+    t.src_ip = net::Ipv4Addr{u32()};
+    t.dst_ip = net::Ipv4Addr{u32()};
+    t.src_port = u16();
+    t.dst_port = u16();
+    t.proto = u8();
+    return t;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace speedybox::nf

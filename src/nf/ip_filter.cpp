@@ -1,5 +1,6 @@
 #include "nf/ip_filter.hpp"
 
+#include "nf/flow_state.hpp"
 #include "util/prefetch.hpp"
 
 namespace speedybox::nf {
@@ -151,6 +152,29 @@ void IpFilter::process_batch(net::PacketBatch& batch,
 
 void IpFilter::on_flow_teardown(const net::FiveTuple& tuple) {
   verdict_cache_.erase(tuple);
+}
+
+std::optional<std::vector<std::uint8_t>> IpFilter::export_flow_state(
+    const net::FiveTuple& tuple) {
+  const auto it = verdict_cache_.find(tuple);
+  if (it == verdict_cache_.end()) return std::nullopt;
+  FlowStateWriter writer;
+  writer.boolean(it->second);
+  return writer.take();
+}
+
+void IpFilter::import_flow_state(const net::FiveTuple& tuple,
+                                 std::span<const std::uint8_t> bytes,
+                                 core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  const bool drop = reader.boolean();
+  verdict_cache_.emplace(tuple, drop);
+  if (ctx != nullptr) {
+    ctx->add_header_action(drop ? core::HeaderAction::drop()
+                                : core::HeaderAction::forward());
+    const net::FiveTuple key = tuple;
+    ctx->on_teardown([this, key]() { verdict_cache_.erase(key); });
+  }
 }
 
 }  // namespace speedybox::nf

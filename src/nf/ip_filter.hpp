@@ -53,6 +53,15 @@ class IpFilter : public NetworkFunction {
     return std::make_unique<IpFilter>(acl_, name());
   }
 
+  // Migration payload: the cached verdict, so the destination replica never
+  // re-scans the ACL for an established flow.
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   std::uint64_t drops() const noexcept { return drops_; }
   std::size_t cached_flows() const noexcept { return verdict_cache_.size(); }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/fields.hpp"
+#include "nf/flow_state.hpp"
 
 namespace speedybox::nf {
 
@@ -157,6 +158,69 @@ std::optional<std::size_t> MaglevLb::backend_of(
 void MaglevLb::on_flow_teardown(const net::FiveTuple& tuple) {
   const std::lock_guard lock(mutex_);
   conn_track_.erase(tuple);
+}
+
+std::optional<std::vector<std::uint8_t>> MaglevLb::export_flow_state(
+    const net::FiveTuple& tuple) {
+  const std::lock_guard lock(mutex_);
+  const auto it = conn_track_.find(tuple);
+  if (it == conn_track_.end()) return std::nullopt;
+  FlowStateWriter writer;
+  writer.u32(static_cast<std::uint32_t>(it->second));
+  return writer.take();
+}
+
+void MaglevLb::import_flow_state(const net::FiveTuple& tuple,
+                                 std::span<const std::uint8_t> bytes,
+                                 core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  const std::size_t backend = reader.u32();
+  std::vector<core::HeaderAction> actions;
+  const std::size_t* backend_cell = nullptr;
+  {
+    const std::lock_guard lock(mutex_);
+    if (backend >= backends_.size()) {
+      throw std::invalid_argument("MaglevLb: imported backend out of range");
+    }
+    conn_track_[tuple] = backend;
+    actions = actions_for(backend);
+    backend_cell = &conn_track_.find(tuple)->second;
+  }
+  // Re-record what process() recorded for the initial packet (the lock is
+  // released first — see the lock-order note on mutex_): sticky modify
+  // actions, the per-backend byte accounting bound to the destination's
+  // connection-tracking cell, the persistent failover event, and cleanup.
+  if (ctx == nullptr) return;
+  for (const core::HeaderAction& action : actions) {
+    ctx->add_header_action(action);
+  }
+  core::localmat_add_SF(
+      ctx,
+      [this, backend_cell](net::Packet& pkt, const net::ParsedPacket&) {
+        const std::lock_guard lock(mutex_);
+        bytes_[*backend_cell] += pkt.size();
+      },
+      core::PayloadAccess::kIgnore, name() + ".bytes");
+  ctx->register_event(
+      name() + ".failover",
+      [this, tuple]() {
+        const std::lock_guard lock(mutex_);
+        const auto it = conn_track_.find(tuple);
+        return it != conn_track_.end() && !backends_[it->second].healthy;
+      },
+      [this, tuple]() {
+        const std::lock_guard lock(mutex_);
+        ++reroutes_;
+        const std::size_t next = assign(tuple);
+        core::EventUpdate update;
+        update.header_actions = actions_for(next);
+        return update;
+      },
+      /*one_shot=*/false);
+  ctx->on_teardown([this, tuple]() {
+    const std::lock_guard lock(mutex_);
+    conn_track_.erase(tuple);
+  });
 }
 
 }  // namespace speedybox::nf

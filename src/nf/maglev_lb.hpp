@@ -41,6 +41,16 @@ class MaglevLb : public NetworkFunction {
     return std::make_unique<MaglevLb>(backends_, table_size_, name());
   }
 
+  // Migration payload: the flow's current backend index. Connection
+  // stickiness survives migration (the §VII-C comparison state); per-backend
+  // byte totals are shard-local aggregates and are not migrated.
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   /// Control plane: health transitions rebuild the lookup table over the
   /// surviving backends (what Maglev's health checker does).
   void fail_backend(std::size_t index);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nf/flow_state.hpp"
+
 namespace speedybox::nf {
 
 MazuNat::MazuNat(MazuNatConfig config, std::string name)
@@ -110,6 +112,66 @@ std::optional<std::uint16_t> MazuNat::mapping_of(
 
 void MazuNat::on_flow_teardown(const net::FiveTuple& tuple) {
   release_mapping(tuple);
+}
+
+namespace {
+constexpr std::uint8_t kNatOutbound = 1;
+constexpr std::uint8_t kNatInbound = 2;
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> MazuNat::export_flow_state(
+    const net::FiveTuple& tuple) {
+  if (const auto it = mappings_.find(tuple); it != mappings_.end()) {
+    FlowStateWriter writer;
+    writer.u8(kNatOutbound);
+    writer.u16(it->second);
+    return writer.take();
+  }
+  if (tuple.dst_ip == config_.external_ip) {
+    if (const auto it = reverse_.find(tuple.dst_port);
+        it != reverse_.end()) {
+      FlowStateWriter writer;
+      writer.u8(kNatInbound);
+      writer.tuple(it->second);
+      return writer.take();
+    }
+  }
+  return std::nullopt;  // untracked: the NAT forwards this flow untouched
+}
+
+void MazuNat::import_flow_state(const net::FiveTuple& tuple,
+                                std::span<const std::uint8_t> bytes,
+                                core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  const std::uint8_t kind = reader.u8();
+  if (kind == kNatOutbound) {
+    const std::uint16_t ext_port = reader.u16();
+    mappings_.emplace(tuple, ext_port);
+    reverse_.emplace(ext_port, tuple);
+    if (ctx != nullptr) {
+      for (const auto& action : outbound_actions(ext_port)) {
+        ctx->add_header_action(action);
+      }
+      ctx->on_teardown([this, tuple]() { release_mapping(tuple); });
+    }
+    return;
+  }
+  if (kind == kNatInbound) {
+    // Both directions share a shard (symmetric-hash affinity), so the
+    // outbound sibling migrates alongside; emplace keeps whichever
+    // direction imported first authoritative.
+    const net::FiveTuple orig = reader.tuple();
+    mappings_.emplace(orig, tuple.dst_port);
+    reverse_.emplace(tuple.dst_port, orig);
+    if (ctx != nullptr) {
+      ctx->add_header_action(core::HeaderAction::modify(
+          net::HeaderField::kDstIp, orig.src_ip.value));
+      ctx->add_header_action(core::HeaderAction::modify(
+          net::HeaderField::kDstPort, orig.src_port));
+    }
+    return;
+  }
+  throw std::invalid_argument("MazuNat: unknown flow-state kind");
 }
 
 }  // namespace speedybox::nf

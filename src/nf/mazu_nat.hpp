@@ -40,6 +40,18 @@ class MazuNat : public NetworkFunction {
     return std::make_unique<MazuNat>(config_, name());
   }
 
+  // Migration payload: kind byte (1 = outbound, 2 = inbound) followed by
+  // the external port (outbound) or the original pre-NAT tuple (inbound).
+  // Untracked flows export nullopt. Port allocation being a deterministic
+  // function of the tuple is what makes the handoff exact: the imported
+  // port is the one the destination replica would have allocated.
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   std::size_t active_mappings() const noexcept { return mappings_.size(); }
   /// External port of a tracked outbound flow (pre-translation tuple).
   std::optional<std::uint16_t> mapping_of(const net::FiveTuple& tuple) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nf/flow_state.hpp"
 #include "util/hash.hpp"
 #include "util/prefetch.hpp"
 
@@ -115,46 +116,72 @@ void Monitor::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
 
   account(tuple, packet, *parsed);
 
-  if (ctx != nullptr) {
-    ctx->add_header_action(core::HeaderAction::forward());
-    // Figure-2 semantics: the handler is recorded with resolved args — the
-    // flow's counter node (pointer-stable) and its precomputed sketch/port
-    // slots — so the per-packet classification work (hashing, table
-    // lookups) happens once, at rule setup.
-    FlowCounters* flow_counters = &counters_[tuple];
-    std::vector<std::uint64_t*> sketch_cells;
-    const std::uint64_t h = tuple.hash();
-    for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
-      const std::uint64_t index =
-          util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
-          config_.sketch_width;
-      sketch_cells.push_back(&sketch_[row][index]);
-    }
-    std::uint64_t* port_cell =
-        config_.per_port_stats ? &port_bytes_[tuple.dst_port] : nullptr;
-    const bool histogram = config_.payload_histogram;
-    core::localmat_add_SF(
-        ctx,
-        [this, flow_counters, sketch_cells = std::move(sketch_cells),
-         port_cell, histogram](net::Packet& pkt,
-                               const net::ParsedPacket& parsed) {
-          const std::uint64_t size = pkt.size();
-          ++flow_counters->packets;
-          flow_counters->bytes += size;
-          ++total_packets_;
-          total_bytes_ += size;
-          for (std::uint64_t* cell : sketch_cells) *cell += size;
-          if (port_cell != nullptr) *port_cell += size;
-          if (histogram) {
-            for (const std::uint8_t byte : net::payload_view(
-                     static_cast<const net::Packet&>(pkt), parsed)) {
-              ++byte_histogram_[byte];
-            }
-          }
-        },
-        histogram ? core::PayloadAccess::kRead : core::PayloadAccess::kIgnore,
-        name() + ".count");
+  if (ctx != nullptr) record(tuple, *ctx);
+}
+
+void Monitor::record(const net::FiveTuple& tuple,
+                     core::SpeedyBoxContext& ctx) {
+  ctx.add_header_action(core::HeaderAction::forward());
+  // Figure-2 semantics: the handler is recorded with resolved args — the
+  // flow's counter node (pointer-stable) and its precomputed sketch/port
+  // slots — so the per-packet classification work (hashing, table
+  // lookups) happens once, at rule setup.
+  FlowCounters* flow_counters = &counters_[tuple];
+  std::vector<std::uint64_t*> sketch_cells;
+  const std::uint64_t h = tuple.hash();
+  for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
+    const std::uint64_t index =
+        util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
+        config_.sketch_width;
+    sketch_cells.push_back(&sketch_[row][index]);
   }
+  std::uint64_t* port_cell =
+      config_.per_port_stats ? &port_bytes_[tuple.dst_port] : nullptr;
+  const bool histogram = config_.payload_histogram;
+  core::localmat_add_SF(
+      &ctx,
+      [this, flow_counters, sketch_cells = std::move(sketch_cells),
+       port_cell, histogram](net::Packet& pkt,
+                             const net::ParsedPacket& parsed) {
+        const std::uint64_t size = pkt.size();
+        ++flow_counters->packets;
+        flow_counters->bytes += size;
+        ++total_packets_;
+        total_bytes_ += size;
+        for (std::uint64_t* cell : sketch_cells) *cell += size;
+        if (port_cell != nullptr) *port_cell += size;
+        if (histogram) {
+          for (const std::uint8_t byte : net::payload_view(
+                   static_cast<const net::Packet&>(pkt), parsed)) {
+            ++byte_histogram_[byte];
+          }
+        }
+      },
+      histogram ? core::PayloadAccess::kRead : core::PayloadAccess::kIgnore,
+      name() + ".count");
+}
+
+std::optional<std::vector<std::uint8_t>> Monitor::export_flow_state(
+    const net::FiveTuple& tuple) {
+  const auto it = counters_.find(tuple);
+  if (it == counters_.end()) return std::nullopt;
+  FlowStateWriter writer;
+  writer.u64(it->second.packets);
+  writer.u64(it->second.bytes);
+  // Move semantics (see monitor.hpp): the counters leave with the flow so
+  // the shard union stays a partition of the global audit state.
+  counters_.erase(it);
+  return writer.take();
+}
+
+void Monitor::import_flow_state(const net::FiveTuple& tuple,
+                                std::span<const std::uint8_t> bytes,
+                                core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  FlowCounters& counters = counters_[tuple];
+  counters.packets = reader.u64();
+  counters.bytes = reader.u64();
+  if (ctx != nullptr) record(tuple, *ctx);
 }
 
 }  // namespace speedybox::nf

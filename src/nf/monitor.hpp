@@ -70,6 +70,18 @@ class Monitor : public NetworkFunction {
     return std::make_unique<Monitor>(config_, name());
   }
 
+  // Migration payload: the flow's packet/byte counters. Export MOVES the
+  // entry out of counters_ (unlike every other NF) so the cross-shard union
+  // of counter maps remains a partition of what a global instance would
+  // hold — the §VII-C-3 audit comparison. Aggregates (totals, sketch, port
+  // stats, payload histogram) are shard-local and not migrated.
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   /// Counters survive flow teardown: they are the audit state (§VII-C-3).
   const std::unordered_map<net::FiveTuple, FlowCounters, net::FiveTupleHash>&
   counters() const noexcept {
@@ -90,6 +102,9 @@ class Monitor : public NetworkFunction {
  private:
   void account(const net::FiveTuple& tuple, const net::Packet& packet,
                const net::ParsedPacket& parsed);
+  /// Record the flow's forward action + counting state function through the
+  /// context — shared by the initial-packet path and flow-state import.
+  void record(const net::FiveTuple& tuple, core::SpeedyBoxContext& ctx);
 
   MonitorConfig config_;
   std::unordered_map<net::FiveTuple, FlowCounters, net::FiveTupleHash>

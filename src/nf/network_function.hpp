@@ -13,7 +13,9 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/api.hpp"
 #include "net/checksum.hpp"
@@ -60,6 +62,56 @@ class NetworkFunction {
   /// port ranges) is copied. Returns nullptr when the NF is not replicable
   /// (the sharded runtime refuses such chains).
   virtual std::unique_ptr<NetworkFunction> clone() const { return nullptr; }
+
+  /// clone() with the silent-nullptr footgun removed: throws
+  /// std::logic_error naming the offending NF when clone() is
+  /// unimplemented. Replication points (ServiceChain::clone, the sharded
+  /// runtime, flow migration) call this so a non-replicable NF fails loudly
+  /// at setup instead of degrading at runtime.
+  std::unique_ptr<NetworkFunction> clone_checked() const {
+    auto copy = clone();
+    if (copy == nullptr) {
+      throw std::logic_error("NetworkFunction '" + name_ +
+                             "' does not support clone()");
+    }
+    return copy;
+  }
+
+  // --- Per-flow state migration (live resharding, DESIGN.md §10) ----------
+
+  /// Whether this NF implements the export/import pair below. The migration
+  /// engine refuses chains containing non-migratable NFs at setup.
+  virtual bool supports_flow_migration() const { return false; }
+
+  /// Serialize this NF's state for `tuple` (the tuple as observed by THIS
+  /// NF, i.e. after upstream rewrites) into an opaque byte payload. Returns
+  /// std::nullopt when the NF holds no state for the flow — the importer
+  /// then skips this NF entirely. Export is a COPY: source-side state is
+  /// released later via the LocalMat teardown hooks, except where an NF
+  /// documents move semantics (Monitor moves its per-flow counters so the
+  /// cross-shard union of counter maps stays a partition).
+  virtual std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) {
+    (void)tuple;
+    throw std::logic_error("NetworkFunction '" + name_ +
+                           "' does not support flow migration (export)");
+  }
+
+  /// Restore state exported by an identically configured instance AND
+  /// re-record the flow's behavior through `ctx` (header actions, state
+  /// functions, teardown hooks, events), exactly as process() would have on
+  /// the initial packet. Re-recording — not copying LocalMat entries — is
+  /// required because recorded closures capture the source instance and
+  /// node pointers into its tables; the destination must capture its own.
+  virtual void import_flow_state(const net::FiveTuple& tuple,
+                                 std::span<const std::uint8_t> bytes,
+                                 core::SpeedyBoxContext* ctx) {
+    (void)tuple;
+    (void)bytes;
+    (void)ctx;
+    throw std::logic_error("NetworkFunction '" + name_ +
+                           "' does not support flow migration (import)");
+  }
 
   /// Flow teardown notification (FIN/RST): release per-flow state.
   virtual void on_flow_teardown(const net::FiveTuple& tuple) {

@@ -1,5 +1,8 @@
 #include "nf/snort_ids.hpp"
 
+#include <stdexcept>
+
+#include "nf/flow_state.hpp"
 #include "util/prefetch.hpp"
 
 namespace speedybox::nf {
@@ -196,6 +199,50 @@ void SnortIds::process_batch(net::PacketBatch& batch,
 
 void SnortIds::on_flow_teardown(const net::FiveTuple& tuple) {
   flows_.erase(tuple);
+}
+
+std::optional<std::vector<std::uint8_t>> SnortIds::export_flow_state(
+    const net::FiveTuple& tuple) {
+  const auto it = flows_.find(tuple);
+  if (it == flows_.end()) return std::nullopt;
+  FlowStateWriter writer;
+  writer.u32(static_cast<std::uint32_t>(it->second.candidate_rules.size()));
+  for (const std::uint32_t rule : it->second.candidate_rules) {
+    writer.u32(rule);
+  }
+  return writer.take();
+}
+
+void SnortIds::import_flow_state(const net::FiveTuple& tuple,
+                                 std::span<const std::uint8_t> bytes,
+                                 core::SpeedyBoxContext* ctx) {
+  FlowStateReader reader{bytes};
+  FlowState state;
+  const std::uint32_t count = reader.u32();
+  state.candidate_rules.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t rule = reader.u32();
+    if (rule >= rules_.size()) {
+      throw std::invalid_argument("SnortIds: imported rule index out of range");
+    }
+    state.candidate_rules.push_back(rule);
+  }
+  FlowState& stored = flows_.insert_or_assign(tuple, std::move(state))
+                          .first->second;
+  if (ctx != nullptr) {
+    // Re-record what process() recorded on the initial packet, binding the
+    // destination's own flow-state node.
+    ctx->add_header_action(core::HeaderAction::forward());
+    const FlowState* flow_args = &stored;
+    core::localmat_add_SF(
+        ctx,
+        [this, tuple, flow_args](net::Packet& pkt,
+                                 const net::ParsedPacket& p) {
+          inspect(tuple, *flow_args, pkt, p);
+        },
+        core::PayloadAccess::kRead, name() + ".inspect");
+    ctx->on_teardown([this, tuple]() { flows_.erase(tuple); });
+  }
 }
 
 }  // namespace speedybox::nf

@@ -54,6 +54,17 @@ class SnortIds : public NetworkFunction {
     return std::make_unique<SnortIds>(rules_, name());
   }
 
+  // Migration payload: the flow's candidate rule indices, so the
+  // destination skips the initial-packet header scan and inspects with the
+  // identical rule group. The audit log and alert/log/pass totals are
+  // shard-local aggregates and are not migrated.
+  bool supports_flow_migration() const override { return true; }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override;
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override;
+
   /// Audit surface for the equivalence tests (§VII-C-1).
   const std::vector<SnortLogEntry>& log() const noexcept { return log_; }
   std::uint64_t alert_count() const noexcept { return alerts_; }

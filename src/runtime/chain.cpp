@@ -26,11 +26,9 @@ std::unique_ptr<ServiceChain> ServiceChain::clone(
     const std::string& name_suffix) const {
   auto replica = std::make_unique<ServiceChain>(name_ + name_suffix);
   for (const nf::NetworkFunction* nf : nfs_) {
-    std::unique_ptr<nf::NetworkFunction> cloned = nf->clone();
-    if (cloned == nullptr) {
-      throw std::logic_error("ServiceChain::clone: NF '" + nf->name() +
-                             "' does not support clone()");
-    }
+    // clone_checked throws std::logic_error naming the NF when clone() is
+    // unimplemented — replication fails loudly at setup, never at runtime.
+    std::unique_ptr<nf::NetworkFunction> cloned = nf->clone_checked();
     nf::NetworkFunction& ref = *cloned;
     replica->owned_.push_back(std::move(cloned));
     replica->add_nf(&ref);

@@ -74,6 +74,22 @@ class FaultInjector final : public nf::NetworkFunction {
   std::unique_ptr<nf::NetworkFunction> clone() const override;
   void on_flow_teardown(const net::FiveTuple& tuple) override;
 
+  // Migration is transparent too: the injector delegates to the wrapped NF
+  // (a crash between export and import loses the same state a crash
+  // without migration would).
+  bool supports_flow_migration() const override {
+    return inner_->supports_flow_migration();
+  }
+  std::optional<std::vector<std::uint8_t>> export_flow_state(
+      const net::FiveTuple& tuple) override {
+    return inner_->export_flow_state(tuple);
+  }
+  void import_flow_state(const net::FiveTuple& tuple,
+                         std::span<const std::uint8_t> bytes,
+                         core::SpeedyBoxContext* ctx) override {
+    inner_->import_flow_state(tuple, bytes, ctx);
+  }
+
   const nf::NetworkFunction& inner() const noexcept { return *inner_; }
   nf::NetworkFunction& inner() noexcept { return *inner_; }
   const FaultSpec& spec() const noexcept { return spec_; }

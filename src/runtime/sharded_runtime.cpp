@@ -1,8 +1,10 @@
 #include "runtime/sharded_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <span>
 #include <stdexcept>
+#include <string>
 
 #include "net/packet_batch.hpp"
 #include "util/cycle_clock.hpp"
@@ -26,28 +28,17 @@ ShardedRuntime::ShardedRuntime(const ServiceChain& prototype,
                                std::size_t ring_capacity,
                                telemetry::Registry* registry,
                                std::string shard_label_prefix)
-    : config_(config) {
+    : config_(config),
+      ring_capacity_(ring_capacity),
+      registry_(registry),
+      label_prefix_(std::move(shard_label_prefix) + "shard") {
   if (shard_count == 0) shard_count = 1;
   if (config_.batch_size == 0) config_.batch_size = 1;
-  shards_.reserve(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->chain = prototype.clone("-shard" + std::to_string(s));
-    shard->runner = std::make_unique<ChainRunner>(*shard->chain, config_);
-    shard->ring = std::make_unique<util::SpscRing<Job>>(ring_capacity);
-    shard->staging.reserve(config_.batch_size);
-    if (registry != nullptr) {
-      shard->metrics = &registry->create_shard(
-          shard_label_prefix + "shard" + std::to_string(s),
-          prototype.nf_names());
-      shard->metrics->ring_capacity.set(shard->ring->capacity());
-      shard->runner->set_telemetry(shard->metrics);
-    }
-    shards_.push_back(std::move(shard));
-  }
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    shards_[s]->thread = std::thread([this, s] { worker(s); });
-  }
+  // Keep a pristine replica so later scale-ups can clone fresh shards; the
+  // caller's prototype is only borrowed for the constructor's duration.
+  prototype_ = prototype.clone("");
+  ensure_worker_shards(shard_count);
+  active_count_ = shard_count;
   start_ns_ = steady_ns();
 }
 
@@ -55,11 +46,28 @@ ShardedRuntime::~ShardedRuntime() { join_workers(); }
 
 std::size_t ShardedRuntime::shard_of(
     const net::FiveTuple& tuple) const noexcept {
-  return util::shard_index(tuple.symmetric_hash(), shards_.size());
+  return util::shard_index(tuple.symmetric_hash(), active_count_);
 }
 
 ServiceChain& ShardedRuntime::shard_chain(std::size_t shard) {
   return *shards_.at(shard)->chain;
+}
+
+double ShardedRuntime::max_ring_occupancy() const noexcept {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < active_count_; ++s) {
+    const util::SpscRing<Job>& ring = *shards_[s]->ring;
+    const double fill = static_cast<double>(ring.size()) /
+                        static_cast<double>(ring.capacity());
+    worst = std::max(worst, fill);
+  }
+  return worst;
+}
+
+void ShardedRuntime::set_scale_hook(ScaleHook hook,
+                                    std::uint64_t interval_packets) {
+  scale_hook_ = std::move(hook);
+  scale_interval_ = interval_packets == 0 ? 1 : interval_packets;
 }
 
 void ShardedRuntime::push(net::Packet packet) {
@@ -80,6 +88,12 @@ void ShardedRuntime::push(net::Packet packet) {
   shard.staging.push_back(std::move(job));
   if (shard.staging.size() >= config_.batch_size) {
     flush_shard(shard);
+  }
+  // Scaling decisions fire at exact packet counts, independent of batch
+  // size or worker timing — the property the autoscale differential-
+  // equivalence harness leans on.
+  if (scale_hook_ && next_index_ % scale_interval_ == 0) {
+    scale_hook_(*this);
   }
 }
 
@@ -139,35 +153,137 @@ void ShardedRuntime::flush_shard(Shard& shard) {
   if (metrics != nullptr) metrics->ring_occupancy.set(ring.size());
 }
 
-void ShardedRuntime::worker(std::size_t shard_index) {
-  Shard& shard = *shards_[shard_index];
+void ShardedRuntime::worker(Shard& shard) {
   const std::size_t burst = config_.batch_size;
   std::vector<Job> jobs(burst);
+  std::vector<std::size_t> live;  // burst slots that carry real packets
   std::vector<PacketOutcome> outcomes;
   net::PacketBatch batch{burst};
   for (;;) {
     const std::size_t popped =
         shard.ring->try_pop_burst(std::span<Job>{jobs});
     if (popped == 0) {
-      if (done_.load(std::memory_order_acquire) && shard.ring->empty()) {
+      if ((done_.load(std::memory_order_acquire) ||
+           shard.stop.load(std::memory_order_acquire)) &&
+          shard.ring->empty()) {
         return;
       }
       std::this_thread::yield();
       continue;
     }
     batch.clear();
+    live.clear();
+    std::uint64_t marker_epoch = 0;
     for (std::size_t i = 0; i < popped; ++i) {
+      if (jobs[i].drain_epoch != 0) {
+        marker_epoch = std::max(marker_epoch, jobs[i].drain_epoch);
+        continue;
+      }
       jobs[i].packet.set_arrival_cycle(util::CycleClock::now());
       batch.push(&jobs[i].packet);
+      live.push_back(i);
     }
-    shard.runner->process_batch(batch, outcomes);
-    for (std::size_t i = 0; i < popped; ++i) {
-      if (jobs[i].tuple) {
-        shard.flow_time_us[*jobs[i].tuple] +=
-            util::CycleClock::to_us(outcomes[i].latency_cycles);
+    if (!live.empty()) {
+      shard.runner->process_batch(batch, outcomes);
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        Job& job = jobs[live[k]];
+        if (job.tuple) {
+          shard.flow_time_us[*job.tuple] +=
+              util::CycleClock::to_us(outcomes[k].latency_cycles);
+        }
+        shard.processed.push_back(
+            {job.index, outcomes[k], std::move(job.packet)});
       }
-      shard.processed.push_back(
-          {jobs[i].index, outcomes[i], std::move(jobs[i].packet)});
+    }
+    if (marker_epoch != 0) {
+      // Everything queued ahead of the marker is fully processed; the
+      // release store pairs with quiesce()'s acquire load so the
+      // dispatcher sees every chain/state write this worker made.
+      shard.drained_epoch.store(marker_epoch, std::memory_order_release);
+    }
+  }
+}
+
+void ShardedRuntime::start_worker(Shard& shard) {
+  shard.stop.store(false, std::memory_order_relaxed);
+  shard.thread = std::thread([this, target = &shard] { worker(*target); });
+  shard.running = true;
+}
+
+void ShardedRuntime::ensure_worker_shards(std::size_t count) {
+  while (shards_.size() < count) {
+    const std::size_t s = shards_.size();
+    auto shard = std::make_unique<Shard>();
+    shard->chain = prototype_->clone("-shard" + std::to_string(s));
+    shard->runner = std::make_unique<ChainRunner>(*shard->chain, config_);
+    shard->ring = std::make_unique<util::SpscRing<Job>>(ring_capacity_);
+    shard->staging.reserve(config_.batch_size);
+    if (registry_ != nullptr) {
+      shard->metrics = &registry_->create_shard(
+          label_prefix_ + std::to_string(s), prototype_->nf_names());
+      shard->metrics->ring_capacity.set(shard->ring->capacity());
+      shard->runner->set_telemetry(shard->metrics);
+    }
+    if (overload_set_) {
+      shard->runner->set_overload_policy(overload_);
+      const auto capacity = static_cast<double>(shard->ring->capacity());
+      shard->ring->set_watermarks(
+          static_cast<std::size_t>(overload_.high_watermark * capacity),
+          static_cast<std::size_t>(overload_.low_watermark * capacity));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    Shard& shard = *shards_[s];
+    if (!shard.running) start_worker(shard);
+  }
+}
+
+void ShardedRuntime::retire_worker_shards(std::size_t count) {
+  for (std::size_t s = count; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (!shard.running) continue;
+    flush_shard(shard);
+    shard.stop.store(true, std::memory_order_release);
+    shard.thread.join();
+    shard.running = false;
+  }
+}
+
+void ShardedRuntime::set_active_shard_count(std::size_t count) {
+  if (count == 0 || count > shards_.size()) {
+    throw std::logic_error(
+        "ShardedRuntime::set_active_shard_count: count out of range");
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    if (!shards_[s]->running) {
+      throw std::logic_error(
+          "ShardedRuntime::set_active_shard_count: shard " +
+          std::to_string(s) + " is not running");
+    }
+  }
+  active_count_ = count;
+}
+
+void ShardedRuntime::quiesce() {
+  const std::uint64_t epoch = ++quiesce_epoch_;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (!shard.running) continue;  // retired: joined, nothing in flight
+    flush_shard(shard);
+    Job marker;
+    marker.drain_epoch = epoch;
+    // Markers are control traffic: they bypass the watermark shed (losing
+    // one would deadlock the quiesce) and spin past a full ring.
+    while (!shard.ring->try_push(std::move(marker))) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (!shard.running) continue;
+    while (shard.drained_epoch.load(std::memory_order_acquire) < epoch) {
+      std::this_thread::yield();
     }
   }
 }
@@ -178,11 +294,12 @@ void ShardedRuntime::join_workers() {
   // before the shutdown flag, or the workers would exit with packets
   // unprocessed.
   for (auto& shard : shards_) {
-    flush_shard(*shard);
+    if (shard->running) flush_shard(*shard);
   }
   done_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
+    shard->running = false;
   }
   joined_ = true;
 }
@@ -196,6 +313,11 @@ ShardedRunResult ShardedRuntime::finish() {
   result.packets.resize(next_index_);
   result.shard_stats.reserve(shards_.size());
   result.shard_packets.reserve(shards_.size());
+  // After live resharding a flow's packets may have been processed by more
+  // than one shard, so per-flow times accumulate across shards by tuple
+  // before becoming samples (a static run degenerates to the old
+  // disjoint-keys merge).
+  std::unordered_map<net::FiveTuple, double, net::FiveTupleHash> flow_time;
   for (auto& shard : shards_) {
     const RunStats& stats = shard->runner->stats();
     result.shard_stats.push_back(stats);
@@ -206,13 +328,14 @@ ShardedRunResult ShardedRuntime::finish() {
       result.outcomes[rec.index] = rec.outcome;
       result.packets[rec.index] = std::move(rec.packet);
     }
-    // Flow keys are disjoint across shards (flow affinity), so per-shard
-    // per-flow sums concatenate into the global per-flow distribution.
     for (const auto& [tuple, time_us] : shard->flow_time_us) {
-      result.flow_time_us.add(time_us);
+      flow_time[tuple] += time_us;
     }
     shard->processed.clear();
     shard->processed.shrink_to_fit();
+  }
+  for (const auto& [tuple, time_us] : flow_time) {
+    result.flow_time_us.add(time_us);
   }
   // Dispatcher-shed packets never reached a shard runner, so no shard's
   // `offered` counted them: add them to both sides of the conservation
@@ -265,6 +388,8 @@ void ShardedRuntime::attach_telemetry(telemetry::Registry* registry,
     throw std::logic_error(
         "ShardedRuntime::attach_telemetry after first push");
   }
+  registry_ = registry;
+  label_prefix_ = label + "/shard";
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     if (registry == nullptr) {
@@ -273,7 +398,7 @@ void ShardedRuntime::attach_telemetry(telemetry::Registry* registry,
       continue;
     }
     shard.metrics = &registry->create_shard(
-        label + "/shard" + std::to_string(s), shard.chain->nf_names());
+        label_prefix_ + std::to_string(s), shard.chain->nf_names());
     shard.metrics->ring_capacity.set(shard.ring->capacity());
     shard.runner->set_telemetry(shard.metrics);
   }
@@ -285,6 +410,7 @@ void ShardedRuntime::set_overload_policy(const OverloadConfig& config) {
         "ShardedRuntime::set_overload_policy after first push");
   }
   overload_ = config;
+  overload_set_ = true;
   for (auto& shard : shards_) {
     shard->runner->set_overload_policy(config);
     const auto capacity = static_cast<double>(shard->ring->capacity());

@@ -24,9 +24,18 @@
 // Concurrency contract (DESIGN.md "Sharded runtime"): the symmetric hash
 // gives both directions of a connection the same shard, so every flow's
 // state has exactly one writer — shard k's thread — for its whole life.
-// No locks, no atomics beyond the SPSC rings and the shutdown flag.
+// No locks, no atomics beyond the SPSC rings and the shutdown flags.
 // Per-flow FIFO order is preserved end-to-end (dispatch order within a
 // shard is input order); the global output order across flows is not.
+//
+// Elastic resharding (DESIGN.md §10): the shard count is no longer fixed
+// for the runtime's life. A control plane (src/control/) may, between two
+// packets, quiesce the data path with epoch drain markers, migrate flow
+// state between shard replicas, and change the number of active shards.
+// The dispatcher routes with `active_shard_count()` while `shards_` keeps
+// every replica ever started — retired replicas stay allocated (their
+// aggregate NF state and RunStats still merge at finish()) and can be
+// restarted by a later scale-up.
 //
 // On a single-core host the shards time-slice (results stay identical,
 // overlap is zero); on a multi-core host they run truly in parallel.
@@ -34,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -79,9 +89,16 @@ struct ShardedRunResult {
 
 class ShardedRuntime : public Executor {
  public:
+  /// Invoked by the dispatcher (from inside push()) every
+  /// `interval_packets` packets — the control plane's deterministic entry
+  /// point for autoscaling decisions. The hook runs on the dispatcher
+  /// thread at a packet boundary, so it may quiesce and reshard.
+  using ScaleHook = std::function<void(ShardedRuntime&)>;
+
   /// Clones `prototype` once per shard (the prototype itself is never
   /// touched again) and starts one worker thread per shard. Throws
-  /// std::logic_error if any NF in the prototype does not support clone().
+  /// std::logic_error naming the NF if any NF in the prototype does not
+  /// support clone().
   ///
   /// When `registry` is non-null (it must outlive the runtime) one
   /// ShardMetrics per shard is created there (`shard_label_prefix` +
@@ -129,7 +146,8 @@ class ShardedRuntime : public Executor {
   /// Replaces the constructor's registry wiring: one metric shard per
   /// flow shard, labelled "<label>/shard<i>". Safe while the workers spin
   /// because they never touch runner state before the first ring pop, and
-  /// the ring push/pop pair orders these writes before it.
+  /// the ring push/pop pair orders these writes before it. Shards started
+  /// later by a scale-up inherit the same registry and label scheme.
   void attach_telemetry(telemetry::Registry* registry,
                         const std::string& label) override;
   /// Forwards the policy to every shard's ChainRunner (each shard gates
@@ -144,10 +162,15 @@ class ShardedRuntime : public Executor {
     return last_result_;
   }
 
+  /// Total replicas ever started (retired ones included — their chains
+  /// still hold aggregate NF state and their stats merge at finish()).
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Replicas currently receiving new packets; shard_of() routes over
+  /// exactly this prefix of `shards_`.
+  std::size_t active_shard_count() const noexcept { return active_count_; }
   std::size_t shard_of(const net::FiveTuple& tuple) const noexcept;
-  /// Shard k's chain replica, for post-finish() state inspection (NF
-  /// counters, audit logs). Only safe to call after finish().
+  /// Shard k's chain replica, for state inspection and migration. Only
+  /// safe to touch after finish() or while the data path is quiesced.
   ServiceChain& shard_chain(std::size_t shard);
   /// How many burst flushes found the target ring short of room and had
   /// to wait for the worker.
@@ -155,12 +178,45 @@ class ShardedRuntime : public Executor {
     return backpressure_waits_;
   }
   std::uint64_t pushed() const noexcept { return next_index_; }
+  /// Worst ring fill fraction across the active shards, as the dispatcher
+  /// sees it — a queue-pressure signal for the autoscaling controller.
+  double max_ring_occupancy() const noexcept;
+
+  /// Install (or clear, with a null hook) the autoscaling hook. Dispatcher
+  /// thread only; may be called mid-run at a packet boundary.
+  void set_scale_hook(ScaleHook hook, std::uint64_t interval_packets);
+
+  // -- Control-plane primitives (src/control/ resharding; DESIGN.md §10).
+  // -- All dispatcher-thread only. Callers sequence them as
+  // -- quiesce → ensure/migrate/retire → set_active_shard_count.
+
+  /// Epoch-based quiescence: flush every staged burst, push a drain marker
+  /// through every running shard's ring (markers are never shed), and spin
+  /// until every worker acknowledges the epoch. On return all previously
+  /// pushed packets are fully processed, every worker is idle-polling an
+  /// empty ring, and the workers' chain/state writes are visible to the
+  /// caller (release/acquire on the epoch).
+  void quiesce();
+  /// Grow the replica set to `count` workers: restarts retired shards and
+  /// clones brand-new replicas from the pristine prototype as needed. New
+  /// replicas inherit the telemetry registry and overload policy. Existing
+  /// running shards are untouched.
+  void ensure_worker_shards(std::size_t count);
+  /// Stop and join every worker with index >= `count`. Call only while
+  /// quiesced, after migrating the victims' flows away — a retired shard's
+  /// chain keeps its aggregate NF state but must hold no active flows.
+  void retire_worker_shards(std::size_t count);
+  /// Change the dispatch routing width. Shards [0, count) must be running.
+  void set_active_shard_count(std::size_t count);
 
  private:
   struct Job {
     net::Packet packet;
     std::uint64_t index = 0;
     std::optional<net::FiveTuple> tuple;
+    /// Non-zero marks a quiescence drain marker, not a packet: the worker
+    /// publishes this epoch once everything ahead of it is processed.
+    std::uint64_t drain_epoch = 0;
   };
   /// One worker's record of a processed packet; merged at finish().
   struct Processed {
@@ -175,17 +231,25 @@ class ShardedRuntime : public Executor {
     /// Owned by the registry; null when telemetry is off.
     telemetry::ShardMetrics* metrics = nullptr;
     std::thread thread;
+    /// Dispatcher-side: worker thread currently started and not joined.
+    bool running = false;
+    /// Worker → dispatcher: highest drain-marker epoch fully processed.
+    std::atomic<std::uint64_t> drained_epoch{0};
+    /// Dispatcher → worker: retire this shard (exit once the ring drains).
+    std::atomic<bool> stop{false};
     /// Dispatcher-owned burst staging: jobs collect here and hit the ring
     /// via one try_push_burst per batch_size packets instead of one
     /// try_push each.
     std::vector<Job> staging;
-    // Worker-local until the thread is joined; read only afterwards.
+    // Worker-local until the thread is joined; read only afterwards (or
+    // while quiesced, ordered by the drain-marker epoch handshake).
     std::vector<Processed> processed;
     std::unordered_map<net::FiveTuple, double, net::FiveTupleHash>
         flow_time_us;
   };
 
-  void worker(std::size_t shard_index);
+  void worker(Shard& shard);
+  void start_worker(Shard& shard);
   /// Push shard's staged jobs into its ring (partial bursts yield-retry
   /// the remainder; with overload enabled a pressured or full ring sheds
   /// them instead). Dispatcher thread only.
@@ -197,13 +261,27 @@ class ShardedRuntime : public Executor {
   void join_workers();
 
   RunConfig config_;
+  /// Pristine replica of the construction-time prototype (never processes
+  /// a packet): scale-ups clone brand-new shards from it long after the
+  /// caller's prototype may be gone.
+  std::unique_ptr<ServiceChain> prototype_;
+  std::size_t ring_capacity_ = 1024;
+  telemetry::Registry* registry_ = nullptr;
+  /// Label prefix for shards registered later ("<prefix>shard" — the shard
+  /// index is appended).
+  std::string label_prefix_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t active_count_ = 0;
+  std::uint64_t quiesce_epoch_ = 0;
+  ScaleHook scale_hook_;
+  std::uint64_t scale_interval_ = 0;
   std::atomic<bool> done_{false};
   bool joined_ = false;
   std::uint64_t next_index_ = 0;
   std::uint64_t backpressure_waits_ = 0;
   std::uint64_t start_ns_ = 0;
   OverloadConfig overload_{};
+  bool overload_set_ = false;
   /// Shed at the dispatcher, so never seen by any shard runner; merged
   /// into outcomes/packets (and the overload counters) at finish().
   std::vector<Processed> dispatcher_shed_;

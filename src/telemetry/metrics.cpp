@@ -52,6 +52,8 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"faulted", shard.faulted.get()},
       {"degraded_flows", shard.degraded_flows.get()},
       {"degraded_packets", shard.degraded_packets.get()},
+      {"scale_events", shard.scale_events.get()},
+      {"migrated_flows", shard.migrated_flows.get()},
   };
   snap.gauges = {
       {"ring_occupancy", shard.ring_occupancy.get()},
@@ -59,6 +61,7 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"active_flows", shard.active_flows.get()},
       {"ring_burst_size", shard.ring_burst_size.get()},
       {"queue_depth", shard.queue_depth.get()},
+      {"active_shards", shard.active_shards.get()},
   };
   snap.histograms = {
       {"fastpath_cycles", shard.fastpath_cycles.snapshot()},
@@ -68,6 +71,7 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"batch_occupancy", shard.batch_occupancy.snapshot()},
       {"degraded_episode_packets",
        shard.degraded_episode_packets.snapshot()},
+      {"migration_cycles", shard.migration_cycles.snapshot()},
   };
   snap.per_nf.reserve(shard.per_nf.size());
   for (const NfMetrics& nf : shard.per_nf) {

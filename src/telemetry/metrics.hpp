@@ -120,12 +120,19 @@ struct ShardMetrics {
   Counter degraded_flows;    // flows given the degraded default rule
   Counter degraded_packets;  // packets that executed a default rule
 
+  // -- autoscaling control plane (DESIGN.md §10). Written only by the
+  // -- controller's own metric shard (the dispatcher thread is the single
+  // -- writer); zero on every data shard. --
+  Counter scale_events;    // resharding operations executed
+  Counter migrated_flows;  // flows moved between shards, cumulative
+
   // -- gauges --
   Gauge ring_occupancy;   // ingress ring depth at last push
   Gauge ring_capacity;
   Gauge active_flows;     // classifier flow-table size
   Gauge ring_burst_size;  // dispatcher: size of the last burst push
   Gauge queue_depth;      // overload gate: virtual/real queue depth
+  Gauge active_shards;    // controller: shards currently receiving flows
 
   // -- cycle histograms --
   CycleHistogram fastpath_cycles;     // classify + event check + HA + SFs
@@ -141,6 +148,9 @@ struct ShardMetrics {
   /// Time-in-degraded: length of each completed degradation episode, in
   /// packet arrivals (value histogram).
   CycleHistogram degraded_episode_packets;
+  /// Controller: cycles spent inside each resharding operation (quiesce +
+  /// state migration + worker lifecycle), one sample per scale event.
+  CycleHistogram migration_cycles;
 
   /// Indexed by chain position. deque: NfMetrics holds atomics (immovable)
   /// and deque constructs in place without ever relocating elements.

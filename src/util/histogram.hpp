@@ -66,6 +66,13 @@ class LogHistogram {
   /// telemetry subsystem's atomic per-shard histograms) can accumulate into
   /// the same buckets and materialize a LogHistogram on snapshot.
   static constexpr int raw_bucket_count() noexcept { return kBuckets; }
+  /// Raw bucket counts and exact value sum — what window-delta consumers
+  /// (the autoscaling controller) subtract between successive cumulative
+  /// snapshots before rebuilding the interval histogram via from_raw().
+  const std::vector<std::uint64_t>& raw_bucket_counts() const noexcept {
+    return buckets_;
+  }
+  double sum() const noexcept { return sum_; }
   static int raw_bucket_index(double value) noexcept;
   /// Rebuild from externally accumulated raw buckets. `bucket_counts` holds
   /// `n` leading buckets (missing trailing buckets are zero); `sum` is the

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "nf/dos_prevention.hpp"
 #include "nf/gateway.hpp"
 #include "nf/ip_filter.hpp"
@@ -99,6 +100,13 @@ struct SimConfig {
   bool queue_capacity_set = false;
   std::optional<std::pair<std::string, runtime::FaultSpec>> fault;
   bool print_config = false;
+  // -- autoscaling (control plane; sharded executor only) --
+  bool autoscale = false;
+  double slo_us = 50.0;
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 0;  // 0 = default to the starting --shards
+  std::uint64_t scale_interval = 2048;
+  bool autoscale_knob_set = false;  // any of slo/min/max/interval
 
   static SimConfig parse(int argc, char** argv);
   /// Exits with a diagnostic on any flag combination that would be
@@ -137,6 +145,16 @@ struct SimConfig {
       "                             (needs --overload)\n"
       "  --queue-capacity N         bounded ingress queue, in packets\n"
       "                             (needs --overload; default 1024)\n"
+      "  --autoscale                telemetry-driven elastic scaling of the\n"
+      "                             sharded runtime (needs --shards and\n"
+      "                             --mode speedybox; DESIGN.md 10)\n"
+      "  --slo-us X                 autoscale latency objective for the\n"
+      "                             windowed p99, microseconds (default 50)\n"
+      "  --min-shards N             autoscale floor (default 1)\n"
+      "  --max-shards N             autoscale ceiling (default: the\n"
+      "                             starting --shards)\n"
+      "  --scale-interval N         control-loop cadence, in dispatched\n"
+      "                             packets (default 2048)\n"
       "  --inject-fault SPEC        wrap an NF in the fault injector:\n"
       "                             \"<nf>:fail-every=N,latency-every=N,\n"
       "                             latency-cycles=N,crash-at=N\"\n"
@@ -262,6 +280,40 @@ SimConfig SimConfig::parse(int argc, char** argv) {
         usage(argv[0]);
       }
       config.queue_capacity_set = true;
+    } else if (arg == "--autoscale") {
+      config.autoscale = true;
+    } else if (arg == "--slo-us") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.slo_us = std::strtod(value, &end);
+      if (end == value || *end != '\0' || config.slo_us <= 0.0) {
+        usage(argv[0]);
+      }
+      config.autoscale_knob_set = true;
+    } else if (arg == "--min-shards") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.min_shards = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || config.min_shards == 0) {
+        usage(argv[0]);
+      }
+      config.autoscale_knob_set = true;
+    } else if (arg == "--max-shards") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.max_shards = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || config.max_shards == 0) {
+        usage(argv[0]);
+      }
+      config.autoscale_knob_set = true;
+    } else if (arg == "--scale-interval") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.scale_interval = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0' || config.scale_interval == 0) {
+        usage(argv[0]);
+      }
+      config.autoscale_knob_set = true;
     } else if (arg == "--inject-fault") {
       config.fault = runtime::parse_fault_spec(need_value(i));
       if (!config.fault || !config.fault->second.any()) {
@@ -335,6 +387,29 @@ void SimConfig::validate() const {
     config_error("--drop-policy/--queue-capacity need --overload (the gate "
                  "does not exist without it)");
   }
+  if (!autoscale && autoscale_knob_set) {
+    config_error("--slo-us/--min-shards/--max-shards/--scale-interval "
+                 "need --autoscale (there is no controller without it)");
+  }
+  if (autoscale && executor != ExecutorKind::kSharded) {
+    config_error("--autoscale scales the flow-sharded runtime: pass "
+                 "--shards N (or --executor sharded)");
+  }
+  if (autoscale && (run_original || !run_speedybox)) {
+    config_error("--autoscale migrates flows via the consolidated MATs, "
+                 "which the original chain does not build: pass --mode "
+                 "speedybox");
+  }
+  if (autoscale) {
+    const std::size_t ceiling = max_shards == 0 ? shards : max_shards;
+    if (min_shards > ceiling) {
+      config_error("--min-shards exceeds --max-shards");
+    }
+    if (shards < min_shards || shards > ceiling) {
+      config_error("--shards must start inside [--min-shards, "
+                   "--max-shards]");
+    }
+  }
   if (fault.has_value()) {
     bool found = false;
     for (const std::string& name : chain) {
@@ -385,6 +460,16 @@ std::string SimConfig::to_json() const {
   field("batch_size", std::to_string(batch_size), false);
   if (fail_backend_at >= 0) {
     field("fail_backend_at", std::to_string(fail_backend_at), false);
+  }
+  field("autoscale", autoscale ? "true" : "false", false);
+  if (autoscale) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%g", slo_us);
+    field("slo_us", buffer, false);
+    field("min_shards", std::to_string(min_shards), false);
+    field("max_shards",
+          std::to_string(max_shards == 0 ? shards : max_shards), false);
+    field("scale_interval", std::to_string(scale_interval), false);
   }
   field("overload", overload.enabled ? "true" : "false", false);
   if (overload.enabled) {
@@ -610,9 +695,30 @@ void run_mode(const SimConfig& config, bool speedybox,
           *built.chain, 1024, config.batch_size);
       break;
   }
-  executor->attach_telemetry(registry, label);
+  // The controller's signals come from telemetry snapshots; when the user
+  // asked for autoscaling without any metrics flag, a private registry
+  // feeds the control loop and is simply discarded afterwards.
+  std::unique_ptr<telemetry::Registry> private_registry;
+  telemetry::Registry* effective_registry = registry;
+  if (config.autoscale && effective_registry == nullptr) {
+    private_registry = std::make_unique<telemetry::Registry>();
+    effective_registry = private_registry.get();
+  }
+  executor->attach_telemetry(effective_registry, label);
   if (config.overload.enabled) {
     executor->set_overload_policy(config.overload);
+  }
+  std::unique_ptr<control::Controller> controller;
+  if (config.autoscale) {
+    control::AutoscaleConfig auto_config;
+    auto_config.slo_us = config.slo_us;
+    auto_config.min_shards = config.min_shards;
+    auto_config.max_shards =
+        config.max_shards == 0 ? config.shards : config.max_shards;
+    auto_config.interval_packets = config.scale_interval;
+    controller = std::make_unique<control::Controller>(
+        auto_config, *effective_registry, label + "/controller");
+    controller->attach(static_cast<runtime::ShardedRuntime&>(*executor));
   }
   const runtime::RunStats& stats = executor->run_raw(packets);
 
@@ -637,6 +743,18 @@ void run_mode(const SimConfig& config, bool speedybox,
                   static_cast<unsigned long long>(result.shard_packets[s]));
     }
     std::printf("]\n");
+  }
+  if (controller != nullptr && !config.csv) {
+    auto& sharded = static_cast<runtime::ShardedRuntime&>(*executor);
+    std::uint64_t migrated = 0;
+    for (const control::ReshardReport& event : controller->scale_events()) {
+      migrated += event.migrated_flows;
+    }
+    std::printf("  autoscale: scale-events=%zu migrated-flows=%llu "
+                "final-shards=%zu (of %zu started)\n",
+                controller->scale_events().size(),
+                static_cast<unsigned long long>(migrated),
+                sharded.active_shard_count(), sharded.shard_count());
   }
 }
 

@@ -14,8 +14,11 @@ cd "$(dirname "$0")/.."
 # The suites that exercise threads and shared rings. The rest of the tree
 # is single-threaded and covered by the regular build. test_integration
 # carries the fault-injection differential; test_property the overload
-# conservation sweep over the 4-shard runtime.
-TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property)
+# conservation sweep over the 4-shard runtime; test_control the live
+# resharding path (quiescence + cross-shard flow migration), and
+# test_equivalence its mid-trace autoscale differential — both must be
+# TSan-clean for the migration protocol to count as proven.
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_control)
 
 run_one() {
   local sanitizer="$1"
