@@ -166,7 +166,7 @@ struct Calibration {
   double slo_us = 0.0;
 };
 
-Calibration calibrate(const std::vector<net::Packet>& packets) {
+Calibration calibrate_once(const std::vector<net::Packet>& packets) {
   telemetry::Registry registry;
   auto prototype = make_chain();
   runtime::ShardedRuntime runtime{
@@ -186,6 +186,17 @@ Calibration calibrate(const std::vector<net::Packet>& packets) {
   }
   calib.slo_us = std::sqrt(calib.fast_p99_us * calib.slow_p50_us);
   return calib;
+}
+
+Calibration calibrate(const std::vector<net::Packet>& packets) {
+  // Warmup + best-of-2 (bench_method::TrialPolicy): a cold first run
+  // inflates the fast-path p99 and with it the derived SLO, making the
+  // surge gates flaky. Noise only ever adds cycles, so the cleanest
+  // calibration is the one with the LOWEST fast-path p99.
+  const TrialPolicy policy{/*warmup=*/1, /*trials=*/2};
+  return best_of<Calibration>(
+      policy, [&] { return calibrate_once(packets); },
+      [](const Calibration& calib) { return -calib.fast_p99_us; });
 }
 
 control::AutoscaleConfig policy_config(double slo_us, std::size_t min_shards,

@@ -39,20 +39,15 @@ void run() {
     return chain;
   };
 
-  // Each configuration runs kRepeats times and reports its best-rate run:
+  // Warmup + best-of-3 per configuration (bench_method::TrialPolicy):
   // scheduler noise only ever ADDS cycles (lowering the rate), so the max
-  // rate across repetitions is the cleanest view of the deterministic
-  // amortization difference between batch sizes.
-  constexpr int kRepeats = 3;
-  const auto best_of = [&](bool speedybox, std::size_t batch) {
-    ConfigResult best = run_config(factory, platform::PlatformKind::kBess,
-                                   speedybox, workload, false, batch);
-    for (int r = 1; r < kRepeats; ++r) {
-      ConfigResult next = run_config(factory, platform::PlatformKind::kBess,
-                                     speedybox, workload, false, batch);
-      if (next.rate_mpps > best.rate_mpps) best = std::move(next);
-    }
-    return best;
+  // rate across measured repetitions is the cleanest view of the
+  // deterministic amortization difference between batch sizes — and the
+  // warmup run keeps the cold first trial out of the measurement.
+  const TrialPolicy policy{/*warmup=*/1, /*trials=*/3};
+  const auto best = [&](bool speedybox, std::size_t batch) {
+    return run_config_best(policy, factory, platform::PlatformKind::kBess,
+                           speedybox, workload, false, batch);
   };
 
   std::printf("%8s | %16s %12s | %16s %12s\n", "batch", "Orig cyc/pkt",
@@ -60,8 +55,8 @@ void run() {
   double rate_batch1 = 0.0;
   double rate_batch32 = 0.0;
   for (const std::size_t batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
-    const ConfigResult original = best_of(false, batch);
-    const ConfigResult speedy = best_of(true, batch);
+    const ConfigResult original = best(false, batch);
+    const ConfigResult speedy = best(true, batch);
     for (const auto& [mode, result] :
          {std::pair<const char*, const ConfigResult&>{"original", original},
           {"speedybox", speedy}}) {

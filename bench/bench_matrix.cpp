@@ -1,0 +1,581 @@
+// bench_matrix — the benchmark-grade comparative harness (DESIGN.md §11):
+// one schema-versioned BENCH_matrix.json covering the full
+// platform × chain × workload matrix, plus the RFC 2544-style methodology
+// demos (zero-loss max-rate bisection, latency-vs-offered-load curves)
+// from bench_method.
+//
+//   platforms   runner/original  runner/speedybox  sharded x4  pipeline
+//               onvm  autoscaled 1->4
+//   chains      chain1_gateway     nat + maglev + monitor + ipfilter
+//               chain2_inspection  ipfilter(drop 10.1.3/24) + snort +
+//                                  monitor          (both §VII-C chains)
+//   workloads   elephant-mice  sync-burst  flash-crowd  syn-flood
+//               (src/trace scenario generators; syn-flood additionally
+//               runs a DosPrevention-fronted chain so the flood actually
+//               trips the Fig. 3 event)
+//
+// Gating model: absolute rates/latencies are machine-dependent, so each
+// (chain, workload) cell group normalizes by its own runner/original
+// reference cell measured in the same run — "rel_rate" (speedup) and
+// "rel_p99" survive a machine change; tools/bench_gate diffs those against
+// bench/baselines/ with per-cell noise tolerances derived from the
+// measured trial spread. Cells without a cycle model (pipeline, onvm,
+// autoscaled) are informational: "gated": false.
+//
+// Flags:
+//   --smoke            CI-sized matrix (small workloads, fewer trials,
+//                      shorter method demos)
+//   --handicap-fastpath PCT
+//                      gate SELF-TEST knob: report the SpeedyBox cells as
+//                      if the fast path were PCT percent slower (rates
+//                      scaled down, p99 scaled up). Proves a deliberate
+//                      regression fails the gate without editing the data
+//                      path; never use it when refreshing baselines.
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "nf/dos_prevention.hpp"
+#include "nf/maglev_lb.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "nf/snort_ids.hpp"
+#include "runtime/onvm_executor.hpp"
+#include "runtime/sharded_runtime.hpp"
+#include "runtime/speedybox_pipeline.hpp"
+#include "telemetry/metrics.hpp"
+#include "trace/payload_synth.hpp"
+
+#include "bench_util.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+constexpr std::size_t kShards = 4;
+
+struct MatrixOptions {
+  bool smoke = false;
+  double handicap_fastpath_pct = 0.0;
+};
+
+struct ChainDef {
+  std::string name;
+  ChainFactory factory;
+};
+
+std::vector<nf::Backend> five_backends() {
+  std::vector<nf::Backend> backends;
+  for (int i = 0; i < 5; ++i) {
+    backends.push_back({"backend-" + std::to_string(i),
+                        net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
+                                                    10 + i)},
+                        static_cast<std::uint16_t>(8000 + i), true});
+  }
+  return backends;
+}
+
+std::vector<ChainDef> matrix_chains() {
+  std::vector<ChainDef> chains;
+  chains.push_back({"chain1_gateway", [] {
+                      auto chain = std::make_unique<runtime::ServiceChain>(
+                          "chain1_gateway");
+                      chain->emplace_nf<nf::MazuNat>();
+                      chain->emplace_nf<nf::MaglevLb>(five_backends(),
+                                                      std::size_t{1021});
+                      chain->emplace_nf<nf::Monitor>();
+                      chain->emplace_nf<nf::IpFilter>(
+                          std::vector<nf::AclRule>{});
+                      return chain;
+                    }});
+  chains.push_back({"chain2_inspection", [] {
+                      auto chain = std::make_unique<runtime::ServiceChain>(
+                          "chain2_inspection");
+                      chain->emplace_nf<nf::IpFilter>(
+                          std::vector<nf::AclRule>{
+                              nf::AclRule::drop_dst_prefix(
+                                  net::Ipv4Addr{10, 1, 3, 0}, 24)});
+                      chain->emplace_nf<nf::SnortIds>(
+                          trace::default_snort_rules());
+                      chain->emplace_nf<nf::Monitor>();
+                      return chain;
+                    }});
+  return chains;
+}
+
+/// The SYN flood's natural habitat: DosPrevention in front of the
+/// inspection tail, so the per-flow SYN counters actually blacklist the
+/// attack flows (extra matrix rows beyond the 2-chain core).
+ChainDef dos_chain() {
+  return {"dos_inspection", [] {
+            auto chain = std::make_unique<runtime::ServiceChain>(
+                "dos_inspection");
+            chain->emplace_nf<nf::DosPrevention>(std::uint64_t{8});
+            chain->emplace_nf<nf::Monitor>();
+            return chain;
+          }};
+}
+
+struct WorkloadDef {
+  std::string name;
+  trace::Workload workload;
+};
+
+std::vector<WorkloadDef> matrix_workloads(bool smoke) {
+  // Full-size workloads in BOTH modes: percentile stability needs the
+  // sample count (a 700-packet p99 jumps double-digit percent between
+  // processes), and even the full populations run in well under a second.
+  // Smoke only cuts trials and the method demos.
+  (void)smoke;
+  std::vector<WorkloadDef> defs;
+  defs.push_back({"elephant-mice",
+                  trace::make_elephant_mice_workload({})});
+  defs.push_back({"sync-burst", trace::make_sync_burst_workload({})});
+  defs.push_back({"flash-crowd", trace::make_flash_crowd_workload({})});
+  defs.push_back({"syn-flood", trace::make_syn_flood_workload({})});
+  // Snort rule contents planted on every workload: chain2 carries an IDS,
+  // and planting is a no-op cost for the others.
+  for (WorkloadDef& def : defs) {
+    trace::PayloadSynthConfig synth;
+    synth.match_fraction = 0.2;
+    plant_rule_contents(def.workload, trace::default_snort_rules(), synth);
+  }
+  return defs;
+}
+
+std::vector<net::Packet> materialize(const trace::Workload& workload) {
+  std::vector<net::Packet> packets;
+  packets.reserve(workload.packet_count());
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    packets.push_back(workload.materialize(i));
+  }
+  return packets;
+}
+
+/// One gated cell's measurement: the best-rate run (for the reported
+/// absolute fields) plus per-trial cycle statistics. The GATED basis is
+/// the MIN across trials of each run's median (and p99) cycles/packet:
+/// interference only ever ADDS cycles, so the min-of-medians converges on
+/// the deterministic floor even on a time-shared core where any single
+/// run's numbers drift double-digit percent.
+struct GatedMeasurement {
+  ConfigResult best;
+  TrialAggregate rate_trials;       // per-trial rate_mpps
+  TrialAggregate cycles_p50_trials; // per-trial median cycles/packet
+  TrialAggregate cycles_p99_trials; // per-trial p99 cycles/packet
+};
+
+GatedMeasurement measure_best(const TrialPolicy& policy,
+                              const std::function<ConfigResult()>& probe) {
+  std::vector<double> rates;
+  std::vector<double> p50s;
+  std::vector<double> p99s;
+  GatedMeasurement measurement;
+  measurement.best = best_of<ConfigResult>(
+      policy,
+      [&] {
+        ConfigResult result = probe();
+        const util::SampleRecorder& cycles =
+            result.stats.platform_cycles_subsequent;
+        p50s.push_back(cycles.count() > 0 ? cycles.percentile(50) : 0.0);
+        p99s.push_back(cycles.count() > 0 ? cycles.percentile(99) : 0.0);
+        return result;
+      },
+      [](const ConfigResult& result) { return result.rate_mpps; }, &rates);
+  // The probe also ran during warmup; keep only the measured trials.
+  const auto trim = [&](std::vector<double>* samples) {
+    if (samples->size() > rates.size()) {
+      samples->erase(samples->begin(),
+                     samples->begin() +
+                         static_cast<std::ptrdiff_t>(samples->size() -
+                                                     rates.size()));
+    }
+  };
+  trim(&p50s);
+  trim(&p99s);
+  measurement.rate_trials = aggregate_trials(std::move(rates));
+  measurement.cycles_p50_trials = aggregate_trials(std::move(p50s));
+  measurement.cycles_p99_trials = aggregate_trials(std::move(p99s));
+  return measurement;
+}
+
+/// Reference metrics of a cell group: the runner/original cell every
+/// relative metric in the group divides by. `worst` of a cycles aggregate
+/// is its min-of-trials floor (lower cycles = better).
+struct Reference {
+  double cycles_p50_floor = 0.0;
+  double cycles_p99_floor = 0.0;
+  double p50_spread = 0.0;
+  double p99_spread = 0.0;
+};
+
+struct RowContext {
+  BenchJson* json;
+  std::string chain;
+  std::string workload;
+  const MatrixOptions* options;
+};
+
+telemetry::Json base_row(const RowContext& ctx, const std::string& platform,
+                         const std::string& label,
+                         const ConfigResult& result) {
+  telemetry::Json row = config_row(label, result);
+  row.set("chain", telemetry::Json::string(ctx.chain));
+  row.set("workload", telemetry::Json::string(ctx.workload));
+  row.set("platform", telemetry::Json::string(platform));
+  const LatencySummary latency =
+      summarize(result.stats.latency_us_subsequent);
+  if (latency.count > 0) {
+    row.set("latency_us_p999", telemetry::Json::number(latency.p999));
+  }
+  return row;
+}
+
+/// Emit a gated cell. The gated metrics are CYCLE-FLOOR ratios:
+///
+///   rel_rate = ref_cycles_p50_floor / cell_cycles_p50_floor
+///              (median-cycle speedup over the same-run original path —
+///              machine-portable, and min-of-trials kills one-sided noise)
+///   rel_p99  = cell_cycles_p99_floor / ref_cycles_p99_floor
+///              (tail growth relative to the original path)
+///
+/// plus per-cell noise tolerances from the measured trial spreads (never
+/// below the gate's default floors). The handicap knob scales the
+/// fast-path cycle floors here — the self-test injection point.
+void emit_gated(const RowContext& ctx, const std::string& platform,
+                const std::string& label,
+                const GatedMeasurement& measurement,
+                const Reference& reference) {
+  const double handicap =
+      1.0 + ctx.options->handicap_fastpath_pct / 100.0;
+  const double p50_floor =
+      measurement.cycles_p50_trials.worst * handicap;
+  const double p99_floor =
+      measurement.cycles_p99_trials.worst * handicap;
+  telemetry::Json row = base_row(ctx, platform, label, measurement.best);
+  row.set("gated", telemetry::Json::boolean(true));
+  if (handicap != 1.0) {
+    row.set("handicap_fastpath_pct",
+            telemetry::Json::number(ctx.options->handicap_fastpath_pct));
+  }
+  row.set("cycles_p50_floor", telemetry::Json::number(p50_floor));
+  row.set("cycles_p99_floor", telemetry::Json::number(p99_floor));
+  if (reference.cycles_p50_floor > 0.0 && p50_floor > 0.0) {
+    row.set("rel_rate", telemetry::Json::number(
+                            reference.cycles_p50_floor / p50_floor));
+  }
+  // Noise tolerances from the observed trial spreads, floored at the gate
+  // defaults — a quiet cell gates tightly, a noisy one loosens itself
+  // instead of flaking. Each rel ratio inherits noise from BOTH its own
+  // cell and the reference denominator, so both spreads count.
+  const double p50_spread = measurement.cycles_p50_trials.rel_spread +
+                            reference.p50_spread;
+  const double p99_spread = measurement.cycles_p99_trials.rel_spread +
+                            reference.p99_spread;
+  // A tail quantile sitting on a mode boundary (fast-path vs scanned
+  // packets on the inspection chain) jumps integer factors between runs;
+  // once the trial spread says the tolerance would have to exceed ~70%,
+  // the p99 gate carries no information — leave the tail ungated for this
+  // cell instead of flaking, and say so in the row.
+  constexpr double kP99GateSpreadLimit = 0.35;
+  const bool p99_stable = p99_spread <= kP99GateSpreadLimit;
+  if (reference.cycles_p99_floor > 0.0 && p99_floor > 0.0 && p99_stable) {
+    row.set("rel_p99", telemetry::Json::number(
+                           p99_floor / reference.cycles_p99_floor));
+  } else {
+    row.set("rel_p99_unstable", telemetry::Json::boolean(true));
+  }
+  row.set("trial_rel_spread",
+          telemetry::Json::number(
+              measurement.cycles_p50_trials.rel_spread));
+  row.set("trial_p99_spread",
+          telemetry::Json::number(
+              measurement.cycles_p99_trials.rel_spread));
+  row.set("tolerance_rel_rate",
+          telemetry::Json::number(std::max(0.10, 2.0 * p50_spread)));
+  if (p99_stable) {
+    row.set("tolerance_rel_p99",
+            telemetry::Json::number(std::max(0.40, 2.0 * p99_spread)));
+  }
+  ctx.json->add(std::move(row));
+}
+
+void emit_informational(const RowContext& ctx, const std::string& platform,
+                        const std::string& label,
+                        const ConfigResult& result) {
+  telemetry::Json row = base_row(ctx, platform, label, result);
+  row.set("gated", telemetry::Json::boolean(false));
+  ctx.json->add(std::move(row));
+}
+
+/// One (chain, workload) cell group across every platform shape.
+void run_cell_group(const RowContext& ctx, const ChainFactory& factory,
+                    const trace::Workload& workload,
+                    const TrialPolicy& policy) {
+  // -- runner/original: the group's reference cell.
+  const GatedMeasurement original = measure_best(policy, [&] {
+    return run_config(factory, platform::PlatformKind::kBess,
+                      /*speedybox=*/false, workload);
+  });
+  Reference reference;
+  reference.cycles_p50_floor = original.cycles_p50_trials.worst;
+  reference.cycles_p99_floor = original.cycles_p99_trials.worst;
+  reference.p50_spread = original.cycles_p50_trials.rel_spread;
+  reference.p99_spread = original.cycles_p99_trials.rel_spread;
+  emit_informational(ctx, "runner_original", "runner/original",
+                     original.best);
+
+  // -- runner/speedybox: the gated fast-path cell.
+  emit_gated(ctx, "runner_speedybox", "runner/speedybox",
+             measure_best(policy,
+                          [&] {
+                            return run_config(
+                                factory, platform::PlatformKind::kBess,
+                                /*speedybox=*/true, workload);
+                          }),
+             reference);
+
+  const std::vector<net::Packet> packets = materialize(workload);
+
+  // -- sharded x4 (speedybox): gated on the modeled aggregate rate.
+  emit_gated(ctx, "sharded_x4", "sharded/speedybox",
+             measure_best(policy,
+                          [&] {
+                            auto prototype = factory();
+                            runtime::ShardedRuntime sharded{
+                                *prototype,
+                                kShards,
+                                {platform::PlatformKind::kBess, true,
+                                 false}};
+                            sharded.run(packets, nullptr);
+                            ConfigResult result = collect_result(
+                                sharded, platform::PlatformKind::kBess);
+                            result.rate_mpps =
+                                sharded.last_result().aggregate_rate_mpps;
+                            return result;
+                          }),
+             reference);
+
+  // -- pipeline (threaded SpeedyBox deployment): counters only.
+  {
+    auto chain = factory();
+    runtime::SpeedyBoxPipeline pipeline{*chain};
+    runtime::Executor& executor = pipeline;
+    executor.run(packets, nullptr);
+    emit_informational(
+        ctx, "pipeline", "pipeline/speedybox",
+        collect_result(executor, platform::PlatformKind::kOnvm));
+  }
+
+  // -- onvm (NF-per-core descriptor rings, original path): counters only.
+  {
+    auto chain = factory();
+    runtime::OnvmExecutor onvm{*chain};
+    runtime::Executor& executor = onvm;
+    executor.run(packets, nullptr);
+    emit_informational(
+        ctx, "onvm", "onvm/original",
+        collect_result(executor, platform::PlatformKind::kOnvm));
+  }
+
+  // -- autoscaled (1 -> kShards under the elastic control plane).
+  {
+    telemetry::Registry registry;
+    auto prototype = factory();
+    runtime::ShardedRuntime sharded{
+        *prototype, 1, {platform::PlatformKind::kBess, true, false},
+        16384, &registry, "matrix/"};
+    control::AutoscaleConfig config;
+    config.slo_us = 1.0;  // aggressive: any recording storm breaches
+    config.min_shards = 1;
+    config.max_shards = kShards;
+    config.interval_packets = 512;
+    config.up_streak = 1;
+    config.down_streak = 4;
+    config.cooldown_windows = 1;
+    config.occupancy_high = 2.0;
+    config.admit_low = 0.0;
+    control::Controller controller{config, registry};
+    controller.attach(sharded);
+    runtime::Executor& executor = sharded;
+    executor.run(packets, nullptr);
+    ConfigResult result =
+        collect_result(executor, platform::PlatformKind::kBess);
+    telemetry::Json row =
+        base_row(ctx, "autoscaled", "autoscaled/speedybox", result);
+    row.set("gated", telemetry::Json::boolean(false));
+    std::uint64_t migrated = 0;
+    for (const control::ReshardReport& event : controller.scale_events()) {
+      migrated += event.migrated_flows;
+    }
+    row.set("scale_events",
+            telemetry::Json::integer(controller.scale_events().size()));
+    row.set("migrated_flows", telemetry::Json::integer(migrated));
+    row.set("final_shards",
+            telemetry::Json::integer(sharded.active_shard_count()));
+    ctx.json->add(std::move(row));
+  }
+}
+
+/// Methodology demos on the runner/speedybox shape: RFC 2544 zero-loss
+/// max-rate bisection over the offered-load multiplier, and the
+/// latency-vs-offered-load curve.
+void run_method_demos(const RowContext& ctx, const ChainFactory& factory,
+                      const trace::Workload& workload, bool smoke) {
+  const auto cell_at = [&](double multiplier) {
+    runtime::OverloadConfig overload;
+    overload.enabled = true;
+    overload.offered_load = multiplier;
+    overload.queue_capacity = 512;
+    return run_config(factory, platform::PlatformKind::kBess, true,
+                      workload, false, net::kDefaultBatchSize, overload);
+  };
+
+  RateSearchConfig search;
+  search.min_rate = 0.25;
+  search.max_rate = 4.0;
+  search.loss_tolerance = 0.001;
+  search.resolution = smoke ? 0.10 : 0.05;
+  search.max_iterations = smoke ? 6 : 10;
+  const RateSearchResult found = zero_loss_max_rate(
+      [&](double multiplier) {
+        const ConfigResult result = cell_at(multiplier);
+        const runtime::OverloadStats& overload = result.stats.overload;
+        return overload.offered == 0
+                   ? 0.0
+                   : static_cast<double>(overload.shed_total()) /
+                         static_cast<double>(overload.offered);
+      },
+      search);
+  std::printf("  %-18s %-14s zero-loss max multiplier %.3f "
+              "(loss %.4f, %d trials, %s)\n",
+              ctx.chain.c_str(), ctx.workload.c_str(), found.rate,
+              found.loss_at_rate, found.iterations,
+              found.converged ? "converged" : "NOT converged");
+  telemetry::Json row = telemetry::Json::object();
+  row.set("config", telemetry::Json::string("method/zero_loss"));
+  row.set("chain", telemetry::Json::string(ctx.chain));
+  row.set("workload", telemetry::Json::string(ctx.workload));
+  row.set("gated", telemetry::Json::boolean(false));
+  row.set("zero_loss_multiplier", telemetry::Json::number(found.rate));
+  row.set("loss_at_rate", telemetry::Json::number(found.loss_at_rate));
+  row.set("search_iterations", telemetry::Json::integer(
+                                   static_cast<std::uint64_t>(
+                                       found.iterations)));
+  row.set("converged", telemetry::Json::boolean(found.converged));
+  ctx.json->add(std::move(row));
+
+  for (const double multiplier :
+       curve_points(0.5, 4.0, smoke ? 4 : 7, Spacing::kGeometric)) {
+    const ConfigResult result = cell_at(multiplier);
+    const runtime::OverloadStats& overload = result.stats.overload;
+    const std::uint64_t delivered = result.stats.packets -
+                                    result.stats.drops - overload.faulted;
+    telemetry::Json point =
+        base_row(ctx, "runner_speedybox", "method/curve", result);
+    point.set("gated", telemetry::Json::boolean(false));
+    point.set("offered_multiplier", telemetry::Json::number(multiplier));
+    point.set("goodput",
+              telemetry::Json::number(
+                  overload.offered > 0
+                      ? static_cast<double>(delivered) /
+                            static_cast<double>(overload.offered)
+                      : 0.0));
+    point.set("latency", latency_json(
+                             summarize(result.stats.latency_us_subsequent)));
+    ctx.json->add(std::move(point));
+  }
+}
+
+int run(const MatrixOptions& options) {
+  print_header(options.smoke
+                   ? "Benchmark matrix (smoke): platform x chain x workload"
+                   : "Benchmark matrix: platform x chain x workload");
+  BenchJson json{"matrix"};
+  json.environment(environment_json(kShards, net::kDefaultBatchSize));
+  json.param("smoke", options.smoke ? 1.0 : 0.0);
+  json.param("shards", static_cast<double>(kShards));
+  if (options.handicap_fastpath_pct != 0.0) {
+    json.param("handicap_fastpath_pct", options.handicap_fastpath_pct);
+  }
+
+  TrialPolicy policy;
+  policy.warmup = 1;
+  // Odd trial counts keep the p99 median an actual sample.
+  policy.trials = options.smoke ? 3 : 5;
+
+  const std::vector<ChainDef> chains = matrix_chains();
+  const std::vector<WorkloadDef> workloads = matrix_workloads(options.smoke);
+
+  std::printf("%zu platforms x %zu chains x %zu workloads, best of %d "
+              "after %d warmup\n\n",
+              std::size_t{6}, chains.size(), workloads.size(),
+              policy.trials, policy.warmup);
+
+  for (const ChainDef& chain : chains) {
+    for (const WorkloadDef& workload : workloads) {
+      std::printf("cell group: %s x %s (%zu packets)\n", chain.name.c_str(),
+                  workload.name.c_str(), workload.workload.packet_count());
+      RowContext ctx{&json, chain.name, workload.name, &options};
+      run_cell_group(ctx, chain.factory, workload.workload, policy);
+    }
+  }
+
+  // SYN flood through a DosPrevention-fronted chain: the flood must
+  // actually blacklist attackers (drops > 0 on the dos chain).
+  {
+    const ChainDef dos = dos_chain();
+    const WorkloadDef& flood = workloads.back();  // syn-flood
+    std::printf("cell group: %s x %s (%zu packets)\n", dos.name.c_str(),
+                flood.name.c_str(), flood.workload.packet_count());
+    RowContext ctx{&json, dos.name, flood.name, &options};
+    const ConfigResult result =
+        run_config_best(policy, dos.factory, platform::PlatformKind::kBess,
+                        true, flood.workload);
+    if (result.stats.drops == 0) {
+      std::fprintf(stderr,
+                   "FAIL: SYN flood through DosPrevention dropped "
+                   "nothing — the flood never tripped the event\n");
+      return 1;
+    }
+    emit_informational(ctx, "runner_speedybox", "runner/speedybox", result);
+  }
+
+  std::printf("\nmethodology demos (zero-loss search + latency curves)\n");
+  for (const ChainDef& chain : chains) {
+    for (const WorkloadDef& workload : workloads) {
+      // The method demos cost a bisection + a curve of full runs per cell;
+      // smoke keeps one workload per chain.
+      if (options.smoke && workload.name != "elephant-mice") continue;
+      RowContext ctx{&json, chain.name, workload.name, &options};
+      run_method_demos(ctx, chain.factory, workload.workload,
+                       options.smoke);
+    }
+  }
+
+  json.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main(int argc, char** argv) {
+  speedybox::bench::MatrixOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(argv[i], "--handicap-fastpath") == 0 &&
+               i + 1 < argc) {
+      options.handicap_fastpath_pct = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_matrix [--smoke] "
+                   "[--handicap-fastpath PCT]\n");
+      return 2;
+    }
+  }
+  return speedybox::bench::run(options);
+}

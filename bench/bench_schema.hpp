@@ -1,0 +1,84 @@
+// The shared BENCH_*.json schema and the perf-regression gate that
+// enforces it (DESIGN.md §11).
+//
+// Every bench emitter writes one schema-versioned document:
+//
+//   {
+//     "bench": "<name>",               required, string
+//     "schema_version": 1,             required, integer >= 1
+//     "cpu_ghz": 2.5,                  required, finite > 0
+//     "environment": { ... },          required, object (env capture)
+//     "params": { ... },               required, object
+//     "configs": [ {row}, ... ]        required, non-empty array
+//   }
+//
+// Each row is an object with a string "config" label; every number in the
+// document must be finite; and wherever the overload counters appear the
+// conservation identity offered == admitted + shed must hold exactly.
+//
+// The gate (tools/bench_gate) matches baseline rows to candidate rows by
+// identity key and fails on fast-path-rate loss or p99 growth beyond the
+// tolerance. Gated metrics are the machine-portable RELATIVE ones
+// ("rel_rate", "rel_p99" — each cell normalized by the run's own
+// calibration cell) falling back to the absolute fields for same-machine
+// diffs; a row opts out with "gated": false, and a baseline row overrides
+// the default tolerance with "tolerance_rel_rate" / "tolerance_rel_p99".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace speedybox::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Validate one BENCH_*.json document. Returns the list of human-readable
+/// violations — empty means the document conforms.
+std::vector<std::string> validate_bench_json(const telemetry::Json& doc);
+
+// -- Regression gate ---------------------------------------------------------
+
+struct GateConfig {
+  /// Fail when the candidate's rate metric falls more than this fraction
+  /// below the baseline's.
+  double rate_loss_tolerance = 0.10;
+  /// Fail when the candidate's p99 metric grows more than this fraction
+  /// above the baseline's.
+  double p99_growth_tolerance = 0.25;
+  /// Fail when a gated baseline row has no matching candidate row
+  /// (coverage regressions hide real ones).
+  bool require_all_rows = true;
+};
+
+struct GateFinding {
+  std::string row;      // identity key of the row
+  std::string metric;   // which metric tripped / was checked
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double tolerance = 0.0;
+  bool ok = true;
+  std::string message;  // human-readable verdict
+};
+
+struct GateReport {
+  std::vector<GateFinding> findings;  // failures AND passes, for the log
+  int rows_compared = 0;
+  int rows_missing = 0;
+  int failures = 0;
+  bool pass() const noexcept { return failures == 0; }
+};
+
+/// The identity key a row is matched by: the "config" label plus every
+/// distinguishing parameter field present (workload, chain, platform,
+/// batch_size, offered_multiplier, policy).
+std::string row_identity(const telemetry::Json& row);
+
+/// Diff `candidate` against `baseline` (both parsed BENCH_*.json trees).
+/// Also validates both documents first — a schema violation is a failure.
+GateReport gate_compare(const telemetry::Json& baseline,
+                        const telemetry::Json& candidate,
+                        const GateConfig& config);
+
+}  // namespace speedybox::bench

@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "bench_method.hpp"
+#include "bench_schema.hpp"
 #include "nf/ip_filter.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/runner.hpp"
@@ -79,6 +81,28 @@ inline ConfigResult run_config(const ChainFactory& factory,
     result.p50_flow_time_us = result.flow_time_us.percentile(50);
   }
   return result;
+}
+
+/// Warmup + best-of-N over run_config (bench_method's TrialPolicy): the
+/// shared replacement for the hand-rolled best-of-3 loops — and it never
+/// times the first, cold trial. Ranked by rate_mpps (noise only ever slows
+/// a run); the per-trial rates come back via `scores_out` for spread
+/// reporting.
+inline ConfigResult run_config_best(
+    const TrialPolicy& policy, const ChainFactory& factory,
+    platform::PlatformKind platform, bool speedybox,
+    const trace::Workload& workload, bool measure_per_nf = false,
+    std::size_t batch_size = net::kDefaultBatchSize,
+    const runtime::OverloadConfig& overload = {},
+    std::vector<double>* scores_out = nullptr) {
+  return best_of<ConfigResult>(
+      policy,
+      [&] {
+        return run_config(factory, platform, speedybox, workload,
+                          measure_per_nf, batch_size, overload);
+      },
+      [](const ConfigResult& result) { return result.rate_mpps; },
+      scores_out);
 }
 
 /// An ACL of `rules` entries that never matches the benchmark flows
@@ -160,14 +184,22 @@ class BenchJson {
     add(config_row(label, result));
   }
 
+  /// Replace the default environment capture (e.g. to record shards /
+  /// batch size — see bench_method's environment_json).
+  void environment(telemetry::Json env) { env_ = std::move(env); }
+
   /// Write BENCH_<name>.json; on failure warns on stderr (benches keep
-  /// their stdout contract either way).
+  /// their stdout contract either way). The document carries the shared
+  /// schema (bench_schema.hpp): schema_version + environment capture on
+  /// top of params/configs.
   void write() const {
     using telemetry::Json;
     Json root = Json::object();
     root.set("bench", Json::string(name_));
+    root.set("schema_version", Json::integer(kBenchSchemaVersion));
     root.set("cpu_ghz",
              Json::number(util::CycleClock::frequency_hz() / 1e9));
+    root.set("environment", env_);
     root.set("params", params_);
     root.set("configs", rows_);
     const std::string path = "BENCH_" + name_ + ".json";
@@ -189,6 +221,7 @@ class BenchJson {
   std::string name_;
   telemetry::Json params_ = telemetry::Json::object();
   telemetry::Json rows_ = telemetry::Json::array();
+  telemetry::Json env_ = environment_json();
 };
 
 }  // namespace speedybox::bench

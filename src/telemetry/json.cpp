@@ -1,11 +1,24 @@
 #include "telemetry/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace speedybox::telemetry {
 
 Json& Json::set(std::string key, Json value) {
+  // Replace-on-rewrite: objects hold one value per key (RFC 8259 treats
+  // duplicates as undefined, and the bench emitters re-set fields like
+  // "rate_mpps" after config_row populated them).
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
   members_.emplace_back(std::move(key), std::move(value));
   return *this;
 }
@@ -13,6 +26,14 @@ Json& Json::set(std::string key, Json value) {
 Json& Json::push(Json value) {
   elements_.push_back(std::move(value));
   return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 namespace {
@@ -108,6 +129,240 @@ std::string Json::dump() const {
   std::string out;
   render(out);
   return out;
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a string_view cursor. Depth is
+/// bounded so a hostile input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    std::optional<Json> value = parse_value(0);
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s) return std::nullopt;
+        return Json::string(std::move(*s));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional<Json>(
+                                             Json::boolean(true))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional<Json>(
+                                              Json::boolean(false))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional<Json>(Json{})
+                                       : std::nullopt;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    ++pos_;  // '{'
+    Json object = Json::object();
+    skip_ws();
+    if (consume('}')) return object;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      object.set(std::move(*key), std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return object;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    ++pos_;  // '['
+    Json array = Json::array();
+    skip_ws();
+    if (consume(']')) return array;
+    while (true) {
+      skip_ws();
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      array.push(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return array;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Our emitter only escapes control characters; decode BMP code
+            // points as UTF-8 (surrogate pairs unsupported — reject).
+            if (code >= 0xD800 && code <= 0xDFFF) return std::nullopt;
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control character
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return std::nullopt;
+    }
+    // Leading zero may not be followed by another digit (RFC 8259).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return std::nullopt;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = text_[start] != '-';
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return std::nullopt;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::integer(value);
+      }
+      // Out of u64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser{text}.run();
 }
 
 }  // namespace speedybox::telemetry

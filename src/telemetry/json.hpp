@@ -1,11 +1,15 @@
-// Minimal JSON value tree + serializer — just enough for the telemetry
-// exporters and the bench harness's BENCH_*.json files. Build values with
-// the static factories, dump() renders compact RFC 8259 output (string
-// escaping, integer-exact u64, shortest-round-trip doubles).
+// Minimal JSON value tree + serializer/parser — just enough for the
+// telemetry exporters, the bench harness's BENCH_*.json files, and the
+// perf-regression gate that reads them back. Build values with the static
+// factories, dump() renders compact RFC 8259 output (string escaping,
+// integer-exact u64, shortest-round-trip doubles); parse() accepts any
+// RFC 8259 document and round-trips everything dump() emits.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -48,6 +52,42 @@ class Json {
   Json& push(Json value);
 
   std::string dump() const;
+
+  /// Parse an RFC 8259 document (single value, trailing whitespace only).
+  /// Returns std::nullopt on any syntax error. Non-negative integral
+  /// numbers without fraction/exponent parse as kInteger (u64-exact),
+  /// everything else numeric as kNumber.
+  static std::optional<Json> parse(std::string_view text);
+
+  // -- Read-side accessors (for parse() consumers: the bench gate and the
+  //    schema validator). as_*() return the natural zero value on a kind
+  //    mismatch; check the is_*() predicates when the distinction matters.
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_integer() const noexcept { return kind_ == Kind::kInteger; }
+  /// True for both kNumber and kInteger (any JSON number).
+  bool is_number() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  bool as_bool() const noexcept { return bool_; }
+  std::uint64_t as_integer() const noexcept { return integer_; }
+  double as_number() const noexcept {
+    return kind_ == Kind::kInteger ? static_cast<double>(integer_)
+                                   : number_;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+
+  /// Object lookup (first match in insertion order); nullptr when absent
+  /// or when this value is not an object.
+  const Json* find(std::string_view key) const noexcept;
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return members_;
+  }
+  const std::vector<Json>& elements() const noexcept { return elements_; }
 
  private:
   enum class Kind { kNull, kBool, kInteger, kNumber, kString, kObject,

@@ -129,6 +129,216 @@ Workload make_uniform_workload(std::size_t flow_count,
   return workload;
 }
 
+namespace {
+
+/// Shared flow-template helper for the scenario generators: TCP five-tuple
+/// drawn under `rng` from the same address pools the datacenter generator
+/// uses, with a repeated-letter payload the synthesizer can overwrite.
+FlowSpec scenario_flow(util::Rng& rng, std::uint32_t packet_count,
+                       std::size_t payload_size) {
+  FlowSpec flow;
+  flow.tuple.src_ip = net::Ipv4Addr{
+      0xC0A80000u + static_cast<std::uint32_t>(rng.below(1 << 16))};
+  flow.tuple.dst_ip = net::Ipv4Addr{
+      0x0A010000u + static_cast<std::uint32_t>(rng.below(1 << 12))};
+  flow.tuple.src_port = static_cast<std::uint16_t>(rng.range(1024, 65535));
+  flow.tuple.dst_port = 80;
+  flow.tuple.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+  flow.packet_count = packet_count;
+  flow.payload.resize(payload_size);
+  for (auto& byte : flow.payload) {
+    byte = static_cast<std::uint8_t>('a' + rng.below(26));
+  }
+  return flow;
+}
+
+}  // namespace
+
+Workload make_elephant_mice_workload(const ElephantMiceConfig& config) {
+  util::Rng rng{config.seed};
+  Workload workload;
+  workload.flows.reserve(config.elephant_count + config.mice_count);
+  for (std::size_t i = 0; i < config.elephant_count; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, config.elephant_packets, config.payload_size));
+  }
+  for (std::size_t i = 0; i < config.mice_count; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, config.mice_packets, config.payload_size));
+  }
+  build_schedule(&workload, &rng);
+  return workload;
+}
+
+Workload make_sync_burst_workload(const SyncBurstConfig& config) {
+  util::Rng rng{config.seed};
+  Workload workload;
+  const std::uint32_t per_flow = config.rounds * config.burst_len;
+  workload.flows.reserve(config.flow_count);
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, per_flow, config.payload_size));
+  }
+  // Round-major schedule: within a round every flow emits its whole burst
+  // back to back; the flow order reshuffles per round so no flow owns the
+  // head of every burst.
+  workload.order.reserve(
+      static_cast<std::size_t>(per_flow) * config.flow_count);
+  std::vector<std::uint32_t> flow_order(workload.flows.size());
+  for (std::uint32_t i = 0; i < flow_order.size(); ++i) flow_order[i] = i;
+  for (std::uint32_t round = 0; round < config.rounds; ++round) {
+    for (std::size_t i = flow_order.size(); i > 1; --i) {
+      std::swap(flow_order[i - 1], flow_order[rng.below(i)]);
+    }
+    for (const std::uint32_t flow : flow_order) {
+      for (std::uint32_t b = 0; b < config.burst_len; ++b) {
+        const std::uint32_t seq = round * config.burst_len + b;
+        workload.order.push_back(
+            {flow, seq, flags_for(workload.flows[flow], seq)});
+      }
+    }
+  }
+  return workload;
+}
+
+Workload make_flash_crowd_workload(const FlashCrowdConfig& config) {
+  util::Rng rng{config.seed};
+  Workload workload;
+  workload.flows.reserve(config.baseline_flows + config.crowd_flows);
+  for (std::size_t i = 0; i < config.baseline_flows; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, config.baseline_packets, config.payload_size));
+  }
+  for (std::size_t i = 0; i < config.crowd_flows; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, config.crowd_packets, config.payload_size));
+  }
+
+  std::vector<std::uint32_t> next_seq(workload.flows.size(), 0);
+  const auto emit = [&](std::uint32_t flow) {
+    const std::uint32_t seq = next_seq[flow]++;
+    workload.order.push_back(
+        {flow, seq, flags_for(workload.flows[flow], seq)});
+  };
+  const auto baseline_sweep = [&] {
+    for (std::uint32_t f = 0; f < config.baseline_flows; ++f) {
+      if (next_seq[f] < workload.flows[f].packet_count) emit(f);
+    }
+  };
+
+  // Phase 1 — calm: the baseline flows run alone for half their packets.
+  for (std::uint32_t r = 0; r < config.baseline_packets / 2; ++r) {
+    baseline_sweep();
+  }
+  // Phase 2 — the crowd arrives in doubling waves (1, 2, 4, ... new flows
+  // per wave), one baseline sweep between waves; arrived crowd flows keep
+  // emitting round-robin until they finish.
+  std::uint32_t arrived = 0;
+  std::size_t wave = 1;
+  while (arrived < config.crowd_flows) {
+    const std::uint32_t wave_size = static_cast<std::uint32_t>(std::min(
+        wave, static_cast<std::size_t>(config.crowd_flows - arrived)));
+    for (std::uint32_t i = 0; i < wave_size; ++i) {
+      emit(static_cast<std::uint32_t>(config.baseline_flows + arrived + i));
+    }
+    arrived += wave_size;
+    wave *= 2;
+    baseline_sweep();
+    for (std::uint32_t c = 0; c < arrived; ++c) {
+      const std::uint32_t flow =
+          static_cast<std::uint32_t>(config.baseline_flows + c);
+      if (next_seq[flow] < workload.flows[flow].packet_count) emit(flow);
+    }
+  }
+  // Phase 3 — drain everything still live round-robin.
+  bool live = true;
+  while (live) {
+    live = false;
+    for (std::uint32_t f = 0; f < workload.flows.size(); ++f) {
+      if (next_seq[f] < workload.flows[f].packet_count) {
+        emit(f);
+        live = true;
+      }
+    }
+  }
+  return workload;
+}
+
+Workload make_syn_flood_workload(const SynFloodConfig& config) {
+  util::Rng rng{config.seed};
+  Workload workload;
+  workload.flows.reserve(config.benign_flows + config.attack_flows);
+  for (std::size_t i = 0; i < config.benign_flows; ++i) {
+    workload.flows.push_back(
+        scenario_flow(rng, config.benign_packets, config.payload_size));
+  }
+  const net::Ipv4Addr victim{10, 1, 0, 1};
+  for (std::size_t i = 0; i < config.attack_flows; ++i) {
+    FlowSpec flow =
+        scenario_flow(rng, config.syns_per_attack_flow, config.payload_size);
+    flow.tuple.dst_ip = victim;  // all attackers hammer one service
+    flow.close_with_fin = false;  // half-open: the flood never completes
+    workload.flows.push_back(std::move(flow));
+  }
+  build_schedule(&workload, &rng);
+  // Attack flows retransmit SYN on every packet (same five-tuple), which is
+  // what drives nf::DosPrevention's per-flow SYN counter past its
+  // threshold. Rewrite their flags after scheduling.
+  for (TracePacket& tp : workload.order) {
+    if (tp.flow >= config.benign_flows) {
+      tp.tcp_flags = net::kTcpFlagSyn;
+    }
+  }
+  return workload;
+}
+
+std::optional<Workload> make_named_scenario(std::string_view name,
+                                            const ScenarioScale& scale) {
+  if (name == "elephant-mice") {
+    ElephantMiceConfig config;
+    config.payload_size = scale.payload_size;
+    config.seed = scale.seed;
+    if (scale.flows > 0) {
+      // Keep the 1:49 elephant:mice ratio of the defaults.
+      config.elephant_count = std::max<std::size_t>(1, scale.flows / 50);
+      config.mice_count = scale.flows - config.elephant_count;
+    }
+    return make_elephant_mice_workload(config);
+  }
+  if (name == "sync-burst") {
+    SyncBurstConfig config;
+    config.payload_size = scale.payload_size;
+    config.seed = scale.seed;
+    if (scale.flows > 0) config.flow_count = scale.flows;
+    return make_sync_burst_workload(config);
+  }
+  if (name == "flash-crowd") {
+    FlashCrowdConfig config;
+    config.payload_size = scale.payload_size;
+    config.seed = scale.seed;
+    if (scale.flows > 0) {
+      config.baseline_flows = std::max<std::size_t>(1, scale.flows / 7);
+      config.crowd_flows = scale.flows - config.baseline_flows;
+    }
+    return make_flash_crowd_workload(config);
+  }
+  if (name == "syn-flood") {
+    SynFloodConfig config;
+    config.payload_size = scale.payload_size;
+    config.seed = scale.seed;
+    if (scale.flows > 0) {
+      config.benign_flows = std::max<std::size_t>(1, scale.flows / 4);
+      config.attack_flows = scale.flows - config.benign_flows;
+    }
+    return make_syn_flood_workload(config);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> named_scenarios() {
+  return {"elephant-mice", "sync-burst", "flash-crowd", "syn-flood"};
+}
+
 std::vector<Workload> partition_by_flow(const Workload& workload,
                                         std::size_t shard_count) {
   if (shard_count == 0) shard_count = 1;

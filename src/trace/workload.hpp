@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -72,6 +74,82 @@ Workload make_uniform_workload(std::size_t flow_count,
                                std::uint32_t packets_per_flow,
                                std::size_t payload_size,
                                std::uint64_t seed = 7);
+
+// -- Adversarial / skewed scenario generators (benchmark matrix, DESIGN.md
+//    §11). All four reuse the Workload shape, so partition_by_flow, the
+//    payload synthesizer and every executor drive them unchanged.
+
+/// Elephant/mice skew: a handful of elephant flows carry almost all the
+/// packets while a large mice population contributes flow-arrival churn —
+/// the worst case for per-flow-fair shedding and for recording-path storms.
+struct ElephantMiceConfig {
+  std::size_t elephant_count = 4;
+  std::size_t mice_count = 196;
+  std::uint32_t elephant_packets = 1000;
+  std::uint32_t mice_packets = 3;
+  std::size_t payload_size = 128;
+  std::uint64_t seed = 1301;
+};
+Workload make_elephant_mice_workload(const ElephantMiceConfig& config);
+
+/// Synchronized bursts: every flow emits `burst_len` back-to-back packets
+/// in each of `rounds` rounds, and all flows burst inside the same round —
+/// the arrival pattern that maximizes instantaneous queue depth without
+/// changing the average load.
+struct SyncBurstConfig {
+  std::size_t flow_count = 64;
+  std::uint32_t rounds = 16;
+  std::uint32_t burst_len = 8;
+  std::size_t payload_size = 128;
+  std::uint64_t seed = 1302;
+};
+Workload make_sync_burst_workload(const SyncBurstConfig& config);
+
+/// Flash crowd: steady baseline traffic, then an accelerating ramp of
+/// short-lived new flows (arrival waves double in size) — a recording-path
+/// surge that keeps growing until the crowd is fully arrived.
+struct FlashCrowdConfig {
+  std::size_t baseline_flows = 32;
+  std::uint32_t baseline_packets = 64;
+  std::size_t crowd_flows = 192;
+  std::uint32_t crowd_packets = 3;
+  std::size_t payload_size = 128;
+  std::uint64_t seed = 1303;
+};
+Workload make_flash_crowd_workload(const FlashCrowdConfig& config);
+
+/// SYN flood: benign long-lived flows plus attack flows that retransmit
+/// SYN on the same five-tuple over and over — the per-flow SYN counter of
+/// nf::DosPrevention crosses its threshold and the Event Table rewrites the
+/// flow to drop (Fig. 3). On chains without a DoS NF it is still a harsh
+/// many-tiny-flows workload.
+struct SynFloodConfig {
+  std::size_t benign_flows = 32;
+  std::uint32_t benign_packets = 24;
+  std::size_t attack_flows = 96;
+  std::uint32_t syns_per_attack_flow = 24;
+  std::size_t payload_size = 64;
+  std::uint64_t seed = 1304;
+};
+Workload make_syn_flood_workload(const SynFloodConfig& config);
+
+/// Uniform knobs for the named-scenario dispatch below: `flows` scales each
+/// scenario's flow population (keeping its internal ratios), the rest map
+/// directly onto the per-scenario configs.
+struct ScenarioScale {
+  std::size_t flows = 0;  // 0 = the scenario's default population
+  std::size_t payload_size = 128;
+  std::uint64_t seed = 42;
+};
+
+/// Build one of the named scenarios ("elephant-mice", "sync-burst",
+/// "flash-crowd", "syn-flood") — the spelling chainsim's --workload flag
+/// and bench_matrix use. Returns std::nullopt for an unknown name.
+std::optional<Workload> make_named_scenario(std::string_view name,
+                                            const ScenarioScale& scale = {});
+
+/// The four scenario names accepted by make_named_scenario.
+std::vector<std::string> named_scenarios();
 
 /// Split a workload into `shard_count` sub-workloads by the symmetric
 /// five-tuple hash — the same steering the sharded runtime's dispatcher

@@ -10,7 +10,9 @@
 // counter. And with overload control disabled, the path is byte-identical
 // to a run that never heard of the subsystem, with every overload counter
 // at zero.
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -169,6 +171,55 @@ TEST(OverloadConservation, ShardedAllPoliciesBothChains) {
         SCOPED_TRACE(std::string(scenario.chain_name) + "/" +
                      std::string(drop_policy_name(policy)) + "/shards=" +
                      std::to_string(shards));
+        auto prototype = scenario.factory();
+        ShardedRuntime runtime{*prototype, shards,
+                               {platform::PlatformKind::kBess, true,
+                                false}};
+        Executor& executor = runtime;
+        executor.set_overload_policy(overload_at_2x(policy));
+        executor.run(packets, nullptr);
+        const ShardedRunResult& result = runtime.last_result();
+        ASSERT_EQ(result.outcomes.size(), packets.size());
+        std::uint64_t delivered = 0;
+        for (const PacketOutcome& outcome : result.outcomes) {
+          if (!outcome.dropped) ++delivered;
+        }
+        expect_conserved(result.stats, packets.size(), delivered);
+      }
+    }
+  }
+}
+
+/// The four adversarial scenario generators (benchmark matrix, DESIGN.md
+/// §11) obey the same conservation identities on both §VII-C chains at
+/// shards {1, 4}. Policies rotate per (chain, workload, shards) cell so
+/// every policy is exercised without the full cross product.
+TEST(OverloadConservation, ScenarioGeneratorsConserveOnBothChains) {
+  const std::vector<std::string> scenarios = trace::named_scenarios();
+  ASSERT_GE(scenarios.size(), 4u);
+  std::size_t cell = 0;
+  for (const Scenario& scenario : kScenarios) {
+    for (const std::string& name : scenarios) {
+      trace::ScenarioScale scale;
+      scale.flows = 48;  // bounded runtime: small but sheds at 2x
+      auto workload = trace::make_named_scenario(name, scale);
+      ASSERT_TRUE(workload.has_value()) << name;
+      if (scenario.factory == make_chain2) {
+        trace::PayloadSynthConfig synth;
+        synth.match_fraction = 0.25;
+        plant_rule_contents(*workload, trace::default_snort_rules(), synth);
+      }
+      std::vector<net::Packet> packets;
+      packets.reserve(workload->packet_count());
+      for (std::size_t i = 0; i < workload->packet_count(); ++i) {
+        packets.push_back(workload->materialize(i));
+      }
+      for (const std::size_t shards : {1u, 4u}) {
+        const DropPolicy policy =
+            kPolicies[cell++ % std::size(kPolicies)];
+        SCOPED_TRACE(std::string(scenario.chain_name) + "/" + name +
+                     "/" + std::string(drop_policy_name(policy)) +
+                     "/shards=" + std::to_string(shards));
         auto prototype = scenario.factory();
         ShardedRuntime runtime{*prototype, shards,
                                {platform::PlatformKind::kBess, true,

@@ -1,0 +1,145 @@
+// Json::parse (RFC 8259 recursive descent) — round-trips with dump(),
+// accessors, and the rejection cases that keep bench_gate honest about
+// malformed input.
+#include "telemetry/json.hpp"
+
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace speedybox::telemetry {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_EQ(Json::parse("42")->as_integer(), 42u);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5")->as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerVsNumberClassification) {
+  // Non-negative integrals without fraction/exponent stay integers
+  // (exact u64); everything else is a double.
+  EXPECT_TRUE(Json::parse("7")->is_integer());
+  EXPECT_FALSE(Json::parse("7.0")->is_integer());
+  EXPECT_FALSE(Json::parse("-7")->is_integer());
+  EXPECT_TRUE(Json::parse("7.0")->is_number());
+  EXPECT_TRUE(Json::parse("7")->is_number());  // integers are numbers too
+  EXPECT_DOUBLE_EQ(Json::parse("7")->as_number(), 7.0);
+  EXPECT_EQ(Json::parse("18446744073709551615")->as_integer(),
+            18446744073709551615ull);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const auto doc = Json::parse(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true}, "d": null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const Json* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->elements().size(), 3u);
+  EXPECT_EQ(a->elements()[0].as_integer(), 1u);
+  EXPECT_EQ(a->elements()[2].as_string(), "x");
+  EXPECT_TRUE(doc->find("b")->find("c")->as_bool());
+  EXPECT_TRUE(doc->find("d")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d")")->as_string(), "a\"b\\c/d");
+  EXPECT_EQ(Json::parse(R"("tab\there")")->as_string(), "tab\there");
+  EXPECT_EQ(Json::parse(R"("\n\r\b\f")")->as_string(), "\n\r\b\f");
+  EXPECT_EQ(Json::parse(R"("Aé")")->as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, WhitespaceTolerance) {
+  const auto doc = Json::parse("  {\n\t\"k\" :\r [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("k")->elements().size(), 2u);
+}
+
+TEST(JsonParse, RoundTripsWithDump) {
+  Json original = Json::object();
+  original.set("name", Json::string("matrix \"quoted\"\nline"));
+  original.set("rate", Json::number(3.25));
+  original.set("packets", Json::integer(123456789));
+  original.set("ok", Json::boolean(true));
+  Json rows = Json::array();
+  Json row = Json::object();
+  row.set("rel_rate", Json::number(1.75));
+  rows.push(std::move(row));
+  original.set("rows", std::move(rows));
+
+  const auto reparsed = Json::parse(original.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(), original.dump());
+  EXPECT_EQ(reparsed->find("name")->as_string(), "matrix \"quoted\"\nline");
+  EXPECT_DOUBLE_EQ(
+      reparsed->find("rows")->elements()[0].find("rel_rate")->as_number(),
+      1.75);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("'single'").has_value());
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Json::parse("{} extra").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());
+  EXPECT_TRUE(Json::parse("{}  \n ").has_value());  // trailing ws is fine
+}
+
+TEST(JsonParse, RejectsRfc8259NumberViolations) {
+  EXPECT_FALSE(Json::parse("01").has_value());     // leading zero
+  EXPECT_FALSE(Json::parse("+1").has_value());     // leading plus
+  EXPECT_FALSE(Json::parse(".5").has_value());     // bare fraction
+  EXPECT_FALSE(Json::parse("1.").has_value());     // empty fraction
+  EXPECT_FALSE(Json::parse("1e").has_value());     // empty exponent
+  EXPECT_FALSE(Json::parse("NaN").has_value());
+  EXPECT_FALSE(Json::parse("Infinity").has_value());
+  EXPECT_TRUE(Json::parse("0.5").has_value());
+  EXPECT_TRUE(Json::parse("0").has_value());
+}
+
+TEST(JsonParse, RejectsBadEscapes) {
+  EXPECT_FALSE(Json::parse(R"("\x41")").has_value());
+  EXPECT_FALSE(Json::parse(R"("\u12")").has_value());    // short hex
+  EXPECT_FALSE(Json::parse(R"("\ud800")").has_value());  // lone surrogate
+}
+
+TEST(JsonParse, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 400; ++i) deep += "]";
+  EXPECT_FALSE(Json::parse(deep).has_value());
+  // A reasonable depth still parses.
+  EXPECT_TRUE(Json::parse("[[[[[[[[1]]]]]]]]").has_value());
+}
+
+TEST(JsonAccessors, PredicatesMatchKind) {
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_FALSE(Json::array().is_object());
+  EXPECT_TRUE(Json::string("s").is_string());
+  EXPECT_TRUE(Json::boolean(false).is_bool());
+  EXPECT_TRUE(Json::integer(1).is_integer());
+  EXPECT_TRUE(Json::number(1.5).is_number());
+  EXPECT_FALSE(Json::number(1.5).is_integer());
+}
+
+}  // namespace
+}  // namespace speedybox::telemetry

@@ -138,5 +138,138 @@ TEST(DatacenterWorkload, DeterministicForSeed) {
   }
 }
 
+// -- Scenario generators (benchmark matrix, DESIGN.md §11) -------------------
+
+TEST(ElephantMiceWorkload, SkewAndPopulationMatchConfig) {
+  ElephantMiceConfig config;
+  config.elephant_count = 3;
+  config.mice_count = 50;
+  config.elephant_packets = 200;
+  config.mice_packets = 2;
+  const Workload workload = make_elephant_mice_workload(config);
+  ASSERT_EQ(workload.flows.size(), 53u);
+  std::size_t elephant_packets = 0;
+  std::size_t mice_packets = 0;
+  for (const FlowSpec& flow : workload.flows) {
+    (flow.packet_count >= config.elephant_packets ? elephant_packets
+                                                  : mice_packets) +=
+        flow.packet_count;
+  }
+  EXPECT_EQ(elephant_packets, 3u * 200u);
+  EXPECT_EQ(mice_packets, 50u * 2u);
+  // The elephants carry almost all the traffic — the skew the generator
+  // exists to produce.
+  EXPECT_GT(elephant_packets, 5u * mice_packets);
+  EXPECT_EQ(workload.packet_count(), elephant_packets + mice_packets);
+}
+
+TEST(SyncBurstWorkload, BurstsAreContiguousPerFlow) {
+  SyncBurstConfig config;
+  config.flow_count = 10;
+  config.rounds = 4;
+  config.burst_len = 5;
+  const Workload workload = make_sync_burst_workload(config);
+  ASSERT_EQ(workload.packet_count(), 10u * 4u * 5u);
+  // The schedule is runs of burst_len packets from one flow.
+  for (std::size_t i = 0; i < workload.order.size(); i += config.burst_len) {
+    for (std::size_t j = 1; j < config.burst_len; ++j) {
+      EXPECT_EQ(workload.order[i + j].flow, workload.order[i].flow)
+          << "burst starting at " << i << " is not contiguous";
+    }
+  }
+}
+
+TEST(FlashCrowdWorkload, CrowdFlowsArriveAfterBaselineStarts) {
+  FlashCrowdConfig config;
+  config.baseline_flows = 8;
+  config.baseline_packets = 32;
+  config.crowd_flows = 40;
+  config.crowd_packets = 3;
+  const Workload workload = make_flash_crowd_workload(config);
+  ASSERT_EQ(workload.flows.size(), 48u);
+  EXPECT_EQ(workload.packet_count(), 8u * 32u + 40u * 3u);
+  // First appearance of any crowd flow comes after a baseline-only prefix
+  // — the ramp is the point of the scenario.
+  std::size_t first_crowd = workload.order.size();
+  for (std::size_t i = 0; i < workload.order.size(); ++i) {
+    if (workload.order[i].flow >= config.baseline_flows) {
+      first_crowd = i;
+      break;
+    }
+  }
+  EXPECT_GT(first_crowd, 0u);
+  EXPECT_LT(first_crowd, workload.order.size());
+}
+
+TEST(SynFloodWorkload, AttackPacketsAllCarrySyn) {
+  SynFloodConfig config;
+  config.benign_flows = 6;
+  config.benign_packets = 8;
+  config.attack_flows = 20;
+  config.syns_per_attack_flow = 10;
+  const Workload workload = make_syn_flood_workload(config);
+  ASSERT_EQ(workload.flows.size(), 26u);
+  const net::Ipv4Addr victim{10, 1, 0, 1};
+  std::size_t attack_packets = 0;
+  for (const TracePacket& tp : workload.order) {
+    if (tp.flow >= config.benign_flows) {
+      ++attack_packets;
+      EXPECT_EQ(tp.tcp_flags, net::kTcpFlagSyn)
+          << "attack packet without SYN at flow " << tp.flow;
+    }
+  }
+  EXPECT_EQ(attack_packets, 20u * 10u);
+  for (std::size_t i = config.benign_flows; i < workload.flows.size(); ++i) {
+    EXPECT_EQ(workload.flows[i].tuple.dst_ip.value, victim.value);
+    EXPECT_FALSE(workload.flows[i].close_with_fin) << "flood is half-open";
+  }
+  // Materialized attack packets really parse as SYNs.
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    if (workload.order[i].flow >= config.benign_flows) {
+      net::Packet packet = workload.materialize(i);
+      const auto parsed = net::parse_packet(packet);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_TRUE(parsed->has_syn());
+      break;
+    }
+  }
+}
+
+TEST(NamedScenarios, DispatchCoversAllFourAndRejectsUnknown) {
+  const std::vector<std::string> names = named_scenarios();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    const auto workload = make_named_scenario(name);
+    ASSERT_TRUE(workload.has_value()) << name;
+    EXPECT_GT(workload->packet_count(), 0u) << name;
+    EXPECT_FALSE(workload->flows.empty()) << name;
+  }
+  EXPECT_FALSE(make_named_scenario("no-such-scenario").has_value());
+}
+
+TEST(NamedScenarios, ScaleShrinksPopulationKeepingShape) {
+  ScenarioScale small;
+  small.flows = 20;
+  const auto scaled = make_named_scenario("elephant-mice", small);
+  const auto full = make_named_scenario("elephant-mice");
+  ASSERT_TRUE(scaled.has_value());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_LT(scaled->flows.size(), full->flows.size());
+  EXPECT_LE(scaled->flows.size(), 20u + 1u);
+}
+
+TEST(ScenarioGenerators, DeterministicForSeed) {
+  for (const std::string& name : named_scenarios()) {
+    const auto a = make_named_scenario(name);
+    const auto b = make_named_scenario(name);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    ASSERT_EQ(a->packet_count(), b->packet_count()) << name;
+    for (std::size_t i = 0; i < a->order.size(); ++i) {
+      ASSERT_EQ(a->order[i].flow, b->order[i].flow) << name << " @" << i;
+      ASSERT_EQ(a->order[i].seq, b->order[i].seq) << name << " @" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace speedybox::trace

@@ -1,0 +1,117 @@
+// bench_gate — the perf-regression gate CLI (DESIGN.md §11).
+//
+//   bench_gate BASELINE.json CANDIDATE.json [options]
+//
+// Validates both documents against the shared BENCH_*.json schema
+// (bench/bench_schema.hpp), matches gated baseline rows to candidate rows
+// by identity key, and fails (exit 1) on fast-path-rate loss or p99 growth
+// beyond the per-cell tolerance. Exit 2 = usage / unreadable input.
+//
+// Options:
+//   --rate-tolerance FRAC   default rate-loss tolerance    (default 0.10)
+//   --p99-tolerance FRAC    default p99-growth tolerance   (default 0.25)
+//   --allow-missing-rows    don't fail when a gated baseline row has no
+//                           candidate counterpart
+//   --expect-fail           invert the verdict: exit 0 iff the gate FAILS
+//                           (CI's handicap self-test: a deliberately slowed
+//                           run must trip the gate)
+//   --quiet                 print failures only
+//
+// Baseline refresh workflow: see EXPERIMENTS.md ("Regression gate").
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_schema.hpp"
+#include "telemetry/json.hpp"
+
+namespace {
+
+std::optional<speedybox::telemetry::Json> load(const char* path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = speedybox::telemetry::Json::parse(buffer.str());
+  if (!parsed) {
+    std::fprintf(stderr, "bench_gate: %s is not valid JSON\n", path);
+  }
+  return parsed;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate BASELINE.json CANDIDATE.json\n"
+               "  [--rate-tolerance FRAC] [--p99-tolerance FRAC]\n"
+               "  [--allow-missing-rows] [--expect-fail] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  speedybox::bench::GateConfig config;
+  bool expect_fail = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--rate-tolerance") == 0 && i + 1 < argc) {
+      config.rate_loss_tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--p99-tolerance") == 0 && i + 1 < argc) {
+      config.p99_growth_tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--allow-missing-rows") == 0) {
+      config.require_all_rows = false;
+    } else if (std::strcmp(arg, "--expect-fail") == 0) {
+      expect_fail = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (arg[0] == '-') {
+      return usage();
+    } else if (baseline_path == nullptr) {
+      baseline_path = arg;
+    } else if (candidate_path == nullptr) {
+      candidate_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) return usage();
+
+  const auto baseline = load(baseline_path);
+  const auto candidate = load(candidate_path);
+  if (!baseline || !candidate) return 2;
+
+  const speedybox::bench::GateReport report =
+      speedybox::bench::gate_compare(*baseline, *candidate, config);
+
+  for (const speedybox::bench::GateFinding& finding : report.findings) {
+    if (quiet && finding.ok) continue;
+    std::printf("%s  [%s] %s\n", finding.ok ? "  ok " : " FAIL",
+                finding.row.c_str(), finding.message.c_str());
+  }
+  std::printf("bench_gate: %d rows compared, %d missing, %d failures -> %s\n",
+              report.rows_compared, report.rows_missing, report.failures,
+              report.pass() ? "PASS" : "FAIL");
+
+  if (expect_fail) {
+    if (report.pass()) {
+      std::fprintf(stderr,
+                   "bench_gate: --expect-fail but the gate PASSED — the "
+                   "regression was not detected\n");
+      return 1;
+    }
+    std::printf("bench_gate: --expect-fail satisfied (gate correctly "
+                "rejected the candidate)\n");
+    return 0;
+  }
+  return report.pass() ? 0 : 1;
+}

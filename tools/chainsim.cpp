@@ -82,7 +82,9 @@ struct SimConfig {
   std::uint32_t packets_per_flow = 20;
   std::size_t payload = 128;
   bool workload_shape_set = false;  // any of --flows/--packets/--payload
-  bool datacenter = false;
+  /// uniform | datacenter | one of trace::named_scenarios()
+  /// (elephant-mice, sync-burst, flash-crowd, syn-flood).
+  std::string workload = "uniform";
   double snort_match_fraction = 0.2;
   std::string pcap_in;
   std::string pcap_out;
@@ -131,7 +133,12 @@ struct SimConfig {
       "                             needs --shards; pipeline requires --mode\n"
       "                             speedybox, onvm requires --mode original)\n"
       "  --flows N --packets N --payload N   uniform workload shape\n"
-      "  --datacenter               heavy-tailed datacenter-style workload\n"
+      "  --workload NAME            uniform | datacenter | elephant-mice |\n"
+      "                             sync-burst | flash-crowd | syn-flood\n"
+      "                             (scenario generators scale with --flows\n"
+      "                             / --payload / --seed; syn-flood pairs\n"
+      "                             with a dos chain element)\n"
+      "  --datacenter               alias for --workload datacenter\n"
       "  --pcap FILE                drive the chain from a pcap capture\n"
       "  --export-pcap FILE         write the generated workload as pcap\n"
       "  --fail-backend-at K        fail Maglev backend 0 before packet K\n"
@@ -238,7 +245,9 @@ SimConfig SimConfig::parse(int argc, char** argv) {
       config.payload = std::strtoul(need_value(i), nullptr, 10);
       config.workload_shape_set = true;
     } else if (arg == "--datacenter") {
-      config.datacenter = true;
+      config.workload = "datacenter";
+    } else if (arg == "--workload") {
+      config.workload = need_value(i);
     } else if (arg == "--pcap") {
       config.pcap_in = need_value(i);
     } else if (arg == "--export-pcap") {
@@ -356,9 +365,19 @@ void SimConfig::validate() const {
     config_error("--metrics-interval needs --metrics-out (the interval "
                  "snapshotter has nowhere to write)");
   }
-  if (!pcap_in.empty() && (workload_shape_set || datacenter)) {
+  if (!pcap_in.empty() && (workload_shape_set || workload != "uniform")) {
     config_error("--pcap replaces the generated workload: drop "
-                 "--flows/--packets/--payload/--datacenter");
+                 "--flows/--packets/--payload/--workload/--datacenter");
+  }
+  if (workload != "uniform" && workload != "datacenter" &&
+      !trace::make_named_scenario(workload).has_value()) {
+    std::string names = "uniform, datacenter";
+    for (const std::string& name : trace::named_scenarios()) {
+      names += ", " + name;
+    }
+    config_error(("unknown --workload \"" + workload + "\" (choose one of " +
+                  names + ")")
+                     .c_str());
   }
   if (!pcap_in.empty() && !pcap_out.empty()) {
     config_error("--export-pcap writes the GENERATED workload; with --pcap "
@@ -447,7 +466,7 @@ std::string SimConfig::to_json() const {
         true);
   field("executor", executor_kind_name(executor), true);
   if (pcap_in.empty()) {
-    field("workload", datacenter ? "datacenter" : "uniform", true);
+    field("workload", workload, true);
     field("flows", std::to_string(flows), false);
     field("packets_per_flow", std::to_string(packets_per_flow), false);
     field("payload", std::to_string(payload), false);
@@ -544,8 +563,11 @@ BuiltChain build_chain(const SimConfig& config) {
       nf = std::make_unique<nf::VpnGateway>(nf::VpnMode::kIngress, 0x1000u,
                                             label);
     } else if (name == "dos") {
+      // Threshold below the syn-flood generator's per-tuple SYN budget
+      // (24) so `--chain dos,... --workload syn-flood` visibly drops, and
+      // far above the single SYN a benign flow opens with.
       nf = std::make_unique<nf::DosPrevention>(
-          100, core::HeaderAction::forward(), label);
+          16, core::HeaderAction::forward(), label);
     } else if (name == "synthetic") {
       nf = std::make_unique<nf::SyntheticNf>(nf::SyntheticNfConfig{}, label);
     } else {
@@ -568,15 +590,23 @@ std::vector<net::Packet> build_packets(const SimConfig& config) {
     return trace::read_pcap(config.pcap_in);
   }
   trace::Workload workload;
-  if (config.datacenter) {
+  if (config.workload == "datacenter") {
     trace::DatacenterWorkloadConfig workload_config;
     workload_config.flow_count = config.flows;
     workload_config.payload_size = config.payload;
     workload_config.seed = config.seed;
     workload = make_datacenter_workload(workload_config);
-  } else {
+  } else if (config.workload == "uniform") {
     workload = trace::make_uniform_workload(
         config.flows, config.packets_per_flow, config.payload, config.seed);
+  } else {
+    trace::ScenarioScale scale;
+    // Scenario generators keep their internal population ratios; --flows
+    // scales the total population (validated names only reach here).
+    scale.flows = config.workload_shape_set ? config.flows : 0;
+    scale.payload_size = config.payload;
+    scale.seed = config.seed;
+    workload = *trace::make_named_scenario(config.workload, scale);
   }
   // Plant Snort rule contents whenever the chain contains an IDS.
   trace::PayloadSynthConfig synth;
