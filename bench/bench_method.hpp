@@ -1,4 +1,5 @@
-// Measurement methodology for the benchmark suite (DESIGN.md §11) — the
+// Measurement methodology for the benchmark suite (EXPERIMENTS.md,
+// "Methodology") — the
 // RFC 2544-style zero-loss max-rate bisection, latency-vs-offered-load
 // curve sweeps, warmup + best-of-N trial discipline, and environment
 // capture shared by every bench binary.

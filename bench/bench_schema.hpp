@@ -1,5 +1,5 @@
 // The shared BENCH_*.json schema and the perf-regression gate that
-// enforces it (DESIGN.md §11).
+// enforces it (EXPERIMENTS.md, "Methodology").
 //
 // Every bench emitter writes one schema-versioned document:
 //

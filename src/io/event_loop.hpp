@@ -1,0 +1,58 @@
+// Minimal epoll reactor for the ingestion front-end.
+//
+// One thread owns the loop and calls poll_once() in a loop; each readiness
+// event dispatches to the callback registered for its fd. stop() may be
+// called from any thread — it rings an eventfd so a blocked poll wakes
+// immediately (the only cross-thread entry point; everything else is
+// owner-thread only).
+//
+// The loop is deliberately level-triggered: the ingest server drains each
+// socket up to its rx budget and relies on the next poll to resume, which
+// keeps one hot socket from starving the others (fairness is the budget's
+// job, not the trigger mode's).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "io/socket.hpp"
+
+namespace speedybox::io {
+
+class EventLoop {
+ public:
+  /// `events` is the epoll readiness mask (EPOLLIN | EPOLLHUP | ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for level-triggered readiness on `events`. The loop
+  /// borrows the fd; the caller keeps ownership and must remove() before
+  /// closing it.
+  void add(int fd, std::uint32_t events, Callback callback);
+  void remove(int fd);
+
+  /// Wait up to `timeout_ms` (-1 = forever) and dispatch every ready
+  /// callback. Returns the number of fd events dispatched (0 on timeout).
+  /// Returns -1 immediately — without waiting — once stop() was called.
+  int poll_once(int timeout_ms);
+
+  /// Make poll_once return -1 from now on; safe from any thread.
+  void stop() noexcept;
+  bool stopped() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Fd epoll_;
+  Fd wakeup_;  // eventfd; readable once stop() rang it
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace speedybox::io

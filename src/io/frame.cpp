@@ -1,0 +1,104 @@
+#include "io/frame.hpp"
+
+#include "net/byte_order.hpp"
+
+namespace speedybox::io {
+
+const char* frame_error_name(FrameError error) noexcept {
+  switch (error) {
+    case FrameError::kOk:
+      return "ok";
+    case FrameError::kRunt:
+      return "runt";
+    case FrameError::kOversize:
+      return "oversize";
+    case FrameError::kBadEtherType:
+      return "bad-ethertype";
+    case FrameError::kBadIpVersion:
+      return "bad-ip-version";
+    case FrameError::kBadIhl:
+      return "bad-ihl";
+    case FrameError::kBadLength:
+      return "bad-length";
+    case FrameError::kTruncatedL4:
+      return "truncated-l4";
+  }
+  return "unknown";
+}
+
+FrameError decode_frame(std::span<const std::uint8_t> bytes,
+                        net::Packet& out) {
+  if (bytes.size() > kMaxFrameBytes) return FrameError::kOversize;
+  if (bytes.size() < net::kEthHeaderLen + net::kIpv4MinHeaderLen) {
+    return FrameError::kRunt;
+  }
+  if (net::load_be16(bytes, 12) != net::kEtherTypeIpv4) {
+    return FrameError::kBadEtherType;
+  }
+  const std::size_t l3 = net::kEthHeaderLen;
+  const std::uint8_t version_ihl = bytes[l3];
+  if ((version_ihl >> 4) != 4) return FrameError::kBadIpVersion;
+  const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0F) * 4;
+  if (ihl < net::kIpv4MinHeaderLen || l3 + ihl > bytes.size()) {
+    return FrameError::kBadIhl;
+  }
+  // The declared IPv4 length must fit inside the wire bytes — an NF that
+  // trusts total_length (payload scans, checksum updates) must never read
+  // past the buffer. Ethernet padding (frame longer than total_length) is
+  // legal and handled by the trim below.
+  const std::size_t total_length = net::load_be16(bytes, l3 + 2);
+  if (total_length < ihl || l3 + total_length > bytes.size()) {
+    return FrameError::kBadLength;
+  }
+  // Trim Ethernet trailer padding so downstream parsing sees exactly the
+  // declared datagram (the builders never pad, so this is usually a noop).
+  net::Packet candidate{
+      std::vector<std::uint8_t>(bytes.begin(),
+                                bytes.begin() + static_cast<std::ptrdiff_t>(
+                                                    l3 + total_length))};
+  // Full header-chain walk (encap layers, TCP data offset) — anything the
+  // structured checks above missed surfaces here.
+  if (!net::parse_packet(candidate).has_value()) {
+    return FrameError::kTruncatedL4;
+  }
+  out = std::move(candidate);
+  out.reset_metadata();
+  return FrameError::kOk;
+}
+
+void append_framed(std::vector<std::uint8_t>& stream,
+                   std::span<const std::uint8_t> frame) {
+  const std::uint32_t length = static_cast<std::uint32_t>(frame.size());
+  stream.push_back(static_cast<std::uint8_t>(length >> 24));
+  stream.push_back(static_cast<std::uint8_t>(length >> 16));
+  stream.push_back(static_cast<std::uint8_t>(length >> 8));
+  stream.push_back(static_cast<std::uint8_t>(length));
+  stream.insert(stream.end(), frame.begin(), frame.end());
+}
+
+void StreamFramer::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> StreamFramer::next() {
+  if (poisoned_ || buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t length = (static_cast<std::uint32_t>(buffer_[0]) << 24) |
+                               (static_cast<std::uint32_t>(buffer_[1]) << 16) |
+                               (static_cast<std::uint32_t>(buffer_[2]) << 8) |
+                               static_cast<std::uint32_t>(buffer_[3]);
+  if (length == 0 || length > kMaxFrameBytes) {
+    poisoned_ = true;
+    buffer_.clear();
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
+  std::vector<std::uint8_t> frame(buffer_.begin(), buffer_.begin() + length);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + length);
+  return frame;
+}
+
+}  // namespace speedybox::io

@@ -1,0 +1,73 @@
+// Wire-frame decode + validation for the ingestion front-end, and the
+// length-prefixed framing the TCP transport uses to carry Ethernet frames
+// over a byte stream.
+//
+// decode_frame() is the single choke point between untrusted wire bytes
+// and net::Packet descriptors: every malformed shape — runt frames, wrong
+// EtherType, bad IP version/IHL, an IPv4 total_length longer than what is
+// actually on the wire, truncated L4 headers — is rejected with a typed
+// error and counted as a parse_error upstream, never handed to an NF. The
+// fuzz suite (tests/unit/io/frame_test.cpp) hammers it with random byte
+// strings under ASan.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace speedybox::io {
+
+/// Frames above this are rejected before any parsing (jumbo + slack; a
+/// hostile length prefix must not make the TCP reassembler buffer GBs).
+inline constexpr std::size_t kMaxFrameBytes = 10 * 1024;
+
+enum class FrameError : std::uint8_t {
+  kOk = 0,
+  kRunt,            // shorter than Ethernet + minimal IPv4
+  kOversize,        // longer than kMaxFrameBytes
+  kBadEtherType,    // not IPv4
+  kBadIpVersion,    // IP version nibble != 4
+  kBadIhl,          // IHL < 20 bytes or header runs past the frame
+  kBadLength,       // IPv4 total_length < IHL or > bytes on the wire
+  kTruncatedL4,     // TCP/UDP/encap header chain runs past the frame
+};
+
+const char* frame_error_name(FrameError error) noexcept;
+
+/// Validate `bytes` as one Ethernet/IPv4/(AH|IPIP)*/TCP|UDP frame and, on
+/// success, copy it into `out` with reset descriptor metadata. On any
+/// error `out` is untouched.
+FrameError decode_frame(std::span<const std::uint8_t> bytes,
+                        net::Packet& out);
+
+// -- TCP stream framing ------------------------------------------------------
+// A 4-byte big-endian frame length precedes each frame. UDP needs none of
+// this (one datagram = one frame); TCP is a byte stream and must
+// re-delimit.
+
+/// Append the length prefix + frame to `stream`.
+void append_framed(std::vector<std::uint8_t>& stream,
+                   std::span<const std::uint8_t> frame);
+
+/// Incremental re-delimiter for one TCP connection: feed() stream chunks
+/// as they arrive, next() pops complete frames in order. A length prefix
+/// above kMaxFrameBytes (or zero) poisons the stream — the connection is
+/// unrecoverable since frame boundaries are lost — and next() returns
+/// nothing further.
+class StreamFramer {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+  std::optional<std::vector<std::uint8_t>> next();
+  bool poisoned() const noexcept { return poisoned_; }
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace speedybox::io

@@ -1,0 +1,245 @@
+#include "io/ingest_server.hpp"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/cycle_clock.hpp"
+
+namespace speedybox::io {
+namespace {
+
+/// Cap on one poll wait: bounds how long a partial batch can sit staged
+/// under trickle traffic (the flush-on-idle-wakeup in serve()).
+constexpr int kFlushIntervalMs = 5;
+
+/// recv scratch: one max-size UDP datagram / one TCP read chunk.
+constexpr std::size_t kRecvBufferBytes = 64 * 1024;
+
+}  // namespace
+
+const char* ingest_proto_name(IngestProto proto) noexcept {
+  switch (proto) {
+    case IngestProto::kUdp:
+      return "udp";
+    case IngestProto::kTcp:
+      return "tcp";
+    case IngestProto::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
+IngestServer::IngestServer(IngestConfig config) : config_(std::move(config)) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.rx_budget == 0) config_.rx_budget = 1;
+  if (config_.proto == IngestProto::kUdp || config_.proto == IngestProto::kBoth) {
+    udp_ = make_udp_receiver(config_.bind_address, config_.port,
+                             config_.rcvbuf_bytes, &udp_port_);
+  }
+  if (config_.proto == IngestProto::kTcp || config_.proto == IngestProto::kBoth) {
+    tcp_listener_ =
+        make_tcp_listener(config_.bind_address, config_.port, &tcp_port_);
+  }
+  recv_buffer_.resize(kRecvBufferBytes);
+  staged_.reserve(config_.batch_size);
+  staged_recv_cycle_.reserve(config_.batch_size);
+}
+
+IngestServer::~IngestServer() = default;
+
+void IngestServer::attach_telemetry(telemetry::Registry* registry,
+                                    const std::string& label) {
+  metrics_ = registry != nullptr ? &registry->create_shard(label) : nullptr;
+}
+
+IngestStats IngestServer::serve(IngestExecutor& sink) {
+  if (served_) {
+    throw std::logic_error("IngestServer::serve is one-shot");
+  }
+  served_ = true;
+  sink_ = &sink;
+  stats_ = IngestStats{};
+  if (udp_.valid()) {
+    drop_baseline_ = udp_socket_drops(udp_.get()).value_or(0);
+    loop_.add(udp_.get(), EPOLLIN, [this](std::uint32_t) { drain_udp(); });
+  }
+  if (tcp_listener_.valid()) {
+    loop_.add(tcp_listener_.get(), EPOLLIN,
+              [this](std::uint32_t) { accept_tcp(); });
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point serve_start = Clock::now();
+  Clock::time_point last_activity = serve_start;
+  // "Activity" = anything arriving from the wire; frames, raw bytes and
+  // new connections all reset the idle clock.
+  auto activity_mark = [this] {
+    return stats_.rx_bytes + stats_.tcp_connections;
+  };
+  std::uint64_t last_mark = activity_mark();
+
+  while (!loop_.stopped()) {
+    const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - last_activity)
+                             .count();
+    const int remaining =
+        config_.idle_timeout_ms - static_cast<int>(idle_ms);
+    if (remaining <= 0) break;
+    const int dispatched =
+        loop_.poll_once(std::min(remaining, kFlushIntervalMs));
+    if (dispatched < 0) break;  // stop() was called
+    const std::uint64_t mark = activity_mark();
+    if (mark != last_mark) {
+      last_mark = mark;
+      last_activity = Clock::now();
+    } else {
+      // Idle wakeup: anything staged has waited kFlushIntervalMs already —
+      // push the partial batch rather than holding it against the timeout.
+      flush_staged(sink);
+    }
+  }
+
+  flush_staged(sink);
+  stats_.drive_seconds =
+      std::chrono::duration<double>(last_activity - serve_start).count();
+
+  // Tear down loop registrations (the fds outlive serve(); a test may
+  // inspect the sockets afterwards, and the destructor closes them).
+  if (udp_.valid()) {
+    // Authoritative drop count. SO_RXQ_OVFL ancillary data misses drops
+    // after the last *delivered* datagram, so prefer the /proc row; the
+    // in-loop ancillary counter is the (lower-bound) fallback when the row
+    // is unreadable.
+    const std::optional<std::uint64_t> authoritative =
+        udp_socket_drops(udp_.get());
+    const std::uint64_t cumulative =
+        authoritative.has_value() ? *authoritative : cmsg_drops_;
+    stats_.socket_drops =
+        cumulative >= drop_baseline_ ? cumulative - drop_baseline_ : 0;
+    if (metrics_ != nullptr && stats_.socket_drops > 0) {
+      metrics_->socket_drops.add(stats_.socket_drops);
+    }
+    loop_.remove(udp_.get());
+  }
+  if (tcp_listener_.valid()) loop_.remove(tcp_listener_.get());
+  for (const std::unique_ptr<TcpConn>& conn : conns_) {
+    loop_.remove(conn->fd.get());
+  }
+  conns_.clear();
+  sink_ = nullptr;
+  return stats_;
+}
+
+void IngestServer::drain_udp() {
+  for (std::size_t i = 0; i < config_.rx_budget; ++i) {
+    const RecvResult result = recv_some(udp_.get(), recv_buffer_);
+    if (result.has_drop_count) cmsg_drops_ = result.rxq_dropped;
+    if (result.bytes <= 0) break;  // would-block (UDP never EOFs)
+    stats_.rx_bytes += static_cast<std::uint64_t>(result.bytes);
+    if (metrics_ != nullptr) {
+      metrics_->rx_bytes.add(static_cast<std::uint64_t>(result.bytes));
+    }
+    ingest_frame(std::span<const std::uint8_t>(
+        recv_buffer_.data(), static_cast<std::size_t>(result.bytes)));
+  }
+}
+
+void IngestServer::accept_tcp() {
+  while (true) {
+    Fd conn_fd = accept_connection(tcp_listener_.get());
+    if (!conn_fd.valid()) break;
+    ++stats_.tcp_connections;
+    auto conn = std::make_unique<TcpConn>();
+    conn->fd = std::move(conn_fd);
+    TcpConn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    loop_.add(raw->fd.get(), EPOLLIN | EPOLLRDHUP,
+              [this, raw](std::uint32_t events) { drain_tcp(*raw, events); });
+  }
+}
+
+void IngestServer::drain_tcp(TcpConn& conn, std::uint32_t events) {
+  (void)events;  // level-triggered EPOLLIN covers the RDHUP drain too
+  bool closed = false;
+  // Budget the raw reads (the fairness unit for a stream), then pop every
+  // complete frame the reassembler holds — a frame already buffered in
+  // user space must not wait for more wire bytes to be dispatched.
+  for (std::size_t i = 0; i < config_.rx_budget; ++i) {
+    const RecvResult result = recv_some(conn.fd.get(), recv_buffer_);
+    if (result.bytes < 0) break;  // would-block
+    if (result.bytes == 0) {      // orderly EOF
+      closed = true;
+      break;
+    }
+    stats_.rx_bytes += static_cast<std::uint64_t>(result.bytes);
+    if (metrics_ != nullptr) {
+      metrics_->rx_bytes.add(static_cast<std::uint64_t>(result.bytes));
+    }
+    conn.framer.feed(std::span<const std::uint8_t>(
+        recv_buffer_.data(), static_cast<std::size_t>(result.bytes)));
+  }
+  while (std::optional<std::vector<std::uint8_t>> frame = conn.framer.next()) {
+    ingest_frame(*frame);
+  }
+  if (conn.framer.poisoned()) {
+    // Frame boundaries are lost; everything further on this stream is
+    // garbage. Kill the connection, count the event.
+    ++stats_.poisoned_streams;
+    closed = true;
+  }
+  if (closed) {
+    if (conn.framer.buffered() > 0) {
+      // The peer closed mid-frame: the tail can never complete. Count it
+      // as a parse error so the bytes are not silently unaccounted.
+      ++stats_.parse_errors;
+      if (metrics_ != nullptr) metrics_->parse_errors.add(1);
+    }
+    close_conn(conn.fd.get());
+  }
+}
+
+void IngestServer::ingest_frame(std::span<const std::uint8_t> bytes) {
+  net::Packet packet;
+  const FrameError error = decode_frame(bytes, packet);
+  if (error != FrameError::kOk) {
+    ++stats_.parse_errors;
+    if (metrics_ != nullptr) metrics_->parse_errors.add(1);
+    return;
+  }
+  ++stats_.rx_frames;
+  if (metrics_ != nullptr) metrics_->rx_frames.add(1);
+  staged_.push_back(std::move(packet));
+  staged_recv_cycle_.push_back(util::CycleClock::now());
+  if (staged_.size() >= config_.batch_size) flush_staged(*sink_);
+}
+
+void IngestServer::flush_staged(IngestExecutor& sink) {
+  if (staged_.empty()) return;
+  if (metrics_ != nullptr) {
+    const std::uint64_t now = util::CycleClock::now();
+    for (const std::uint64_t recv_cycle : staged_recv_cycle_) {
+      metrics_->ingest_cycles.record(now >= recv_cycle ? now - recv_cycle : 0);
+    }
+  }
+  ++stats_.rx_batches;
+  if (metrics_ != nullptr) metrics_->rx_batches.add(1);
+  sink.submit(std::move(staged_));
+  staged_.clear();
+  staged_.reserve(config_.batch_size);
+  staged_recv_cycle_.clear();
+}
+
+void IngestServer::close_conn(int fd) {
+  loop_.remove(fd);
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [fd](const std::unique_ptr<TcpConn>& conn) {
+                                return conn->fd.get() == fd;
+                              }),
+               conns_.end());
+}
+
+}  // namespace speedybox::io

@@ -1,0 +1,89 @@
+#include "io/loadgen.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "io/frame.hpp"
+#include "io/socket.hpp"
+
+namespace speedybox::io {
+namespace {
+
+LoadgenReport replay(const std::vector<net::Packet>& packets,
+                     const trace::Workload* workload,
+                     const LoadgenConfig& config) {
+  if (config.proto == IngestProto::kBoth) {
+    throw std::invalid_argument("loadgen speaks one protocol per socket");
+  }
+  const bool tcp = config.proto == IngestProto::kTcp;
+  Fd sock = tcp ? make_tcp_sender(config.host, config.port)
+                : make_udp_sender(config.host, config.port);
+
+  const std::size_t frame_count =
+      workload != nullptr ? workload->packet_count() : packets.size();
+  LoadgenReport report;
+  std::vector<std::uint8_t> tcp_buffer;
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  std::uint64_t scheduled = 0;
+  for (std::size_t round = 0; round < config.repeat; ++round) {
+    for (std::size_t i = 0; i < frame_count; ++i, ++scheduled) {
+      if (config.rate_pps > 0.0) {
+        // Absolute schedule: frame k is due at start + k/rate. sleep_until
+        // (not sleep_for) so send-time jitter never accumulates.
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(scheduled) / config.rate_pps));
+        std::this_thread::sleep_until(due);
+      }
+      std::span<const std::uint8_t> frame;
+      net::Packet materialized;
+      if (workload != nullptr) {
+        materialized = workload->materialize(i);
+        frame = materialized.bytes();
+      } else {
+        frame = packets[i].bytes();
+      }
+      bool ok;
+      std::size_t wire_bytes;
+      if (tcp) {
+        tcp_buffer.clear();
+        append_framed(tcp_buffer, frame);
+        wire_bytes = tcp_buffer.size();
+        ok = send_all(sock.get(), tcp_buffer);
+      } else {
+        wire_bytes = frame.size();
+        ok = send_all(sock.get(), frame);
+      }
+      if (ok) {
+        ++report.sent;
+        report.bytes += wire_bytes;
+      } else {
+        ++report.send_errors;
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  report.elapsed_s = elapsed.count();
+  report.achieved_pps = report.elapsed_s > 0.0
+                            ? static_cast<double>(report.sent) /
+                                  report.elapsed_s
+                            : 0.0;
+  return report;
+}
+
+}  // namespace
+
+LoadgenReport replay_packets(const std::vector<net::Packet>& packets,
+                             const LoadgenConfig& config) {
+  return replay(packets, nullptr, config);
+}
+
+LoadgenReport replay_workload(const trace::Workload& workload,
+                              const LoadgenConfig& config) {
+  return replay({}, &workload, config);
+}
+
+}  // namespace speedybox::io

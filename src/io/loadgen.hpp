@@ -1,0 +1,51 @@
+// Loopback load generator — the wire-side counterpart of the trace::
+// workload generators. Replays a workload's materialized frames over a
+// real UDP or TCP socket at a target rate, so `chainsim --listen` (and the
+// CI closed-loop smoke) exercise the full socket → epoll → parse → chain
+// path with the exact same packets the in-process drive would use.
+//
+// UDP: one datagram per frame (the natural framing). TCP: frames carry
+// the 4-byte length prefix of io::append_framed. Pacing is absolute-
+// schedule (frame i is due at start + i/rate), so a slow send does not
+// push every later frame late.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/ingest_server.hpp"
+#include "net/packet.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::io {
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// kUdp or kTcp (a sender speaks exactly one; kBoth is a config error).
+  IngestProto proto = IngestProto::kUdp;
+  /// Target send rate in packets/s; 0 = unpaced (as fast as send() takes).
+  double rate_pps = 0.0;
+  /// Replay the frame sequence this many times back to back.
+  std::size_t repeat = 1;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;         // frames handed to the kernel
+  std::uint64_t bytes = 0;        // wire bytes sent (TCP prefixes included)
+  std::uint64_t send_errors = 0;  // send() failures (frame NOT counted sent)
+  double elapsed_s = 0.0;
+  double achieved_pps = 0.0;
+};
+
+/// Replay pre-materialized frames (the shape chainsim's build_packets
+/// yields, planted payloads included).
+LoadgenReport replay_packets(const std::vector<net::Packet>& packets,
+                             const LoadgenConfig& config);
+
+/// Materialize and replay `workload` in schedule order.
+LoadgenReport replay_workload(const trace::Workload& workload,
+                              const LoadgenConfig& config);
+
+}  // namespace speedybox::io

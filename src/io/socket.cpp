@@ -1,0 +1,212 @@
+#include "io/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+namespace speedybox::io {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::system_error(EINVAL, std::generic_category(),
+                            "inet_pton(" + address + ")");
+  }
+  return addr;
+}
+
+std::uint16_t bound_port_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+Fd make_udp_receiver(const std::string& address, std::uint16_t port,
+                     int rcvbuf_bytes, std::uint16_t* bound_port) {
+  Fd fd{::socket(AF_INET, SOCK_DGRAM, 0)};
+  if (!fd.valid()) throw_errno("socket(UDP)");
+  const int on = 1;
+  // Count receive-queue overflow per delivered datagram (ancillary data);
+  // udp_socket_drops() reads the authoritative total at shutdown.
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_RXQ_OVFL, &on, sizeof on) != 0) {
+    throw_errno("setsockopt(SO_RXQ_OVFL)");
+  }
+  if (rcvbuf_bytes > 0 &&
+      setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof rcvbuf_bytes) != 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+  const sockaddr_in addr = make_addr(address, port);
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof addr) != 0) {
+    throw_errno("bind(UDP)");
+  }
+  set_nonblocking(fd.get());
+  if (bound_port != nullptr) *bound_port = bound_port_of(fd.get());
+  return fd;
+}
+
+Fd make_tcp_listener(const std::string& address, std::uint16_t port,
+                     std::uint16_t* bound_port, int backlog) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(TCP)");
+  const int on = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &on, sizeof on) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = make_addr(address, port);
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof addr) != 0) {
+    throw_errno("bind(TCP)");
+  }
+  if (listen(fd.get(), backlog) != 0) throw_errno("listen");
+  set_nonblocking(fd.get());
+  if (bound_port != nullptr) *bound_port = bound_port_of(fd.get());
+  return fd;
+}
+
+Fd accept_connection(int listener_fd) {
+  const int conn = ::accept(listener_fd, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd{};
+    throw_errno("accept");
+  }
+  Fd fd{conn};
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+RecvResult recv_some(int fd, std::span<std::uint8_t> buffer) {
+  iovec iov{buffer.data(), buffer.size()};
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(std::uint32_t))];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+
+  RecvResult result;
+  const ssize_t n = recvmsg(fd, &msg, 0);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return result;  // bytes = -1: nothing available
+    }
+    throw_errno("recvmsg");
+  }
+  result.bytes = static_cast<long>(n);
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SO_RXQ_OVFL) {
+      std::uint32_t dropped = 0;
+      std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
+      result.rxq_dropped = dropped;
+      result.has_drop_count = true;
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> udp_socket_drops(int fd) {
+  struct stat st{};
+  if (fstat(fd, &st) != 0) return std::nullopt;
+  const unsigned long long inode = st.st_ino;
+
+  std::FILE* file = std::fopen("/proc/net/udp", "r");
+  if (file == nullptr) return std::nullopt;
+  char line[512];
+  std::optional<std::uint64_t> drops;
+  // Header, then one row per socket:
+  //   sl local rem st queues tr retrnsmt uid timeout inode ref ptr drops
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    unsigned long long row_inode = 0, row_drops = 0;
+    // The leading fields vary in width; scan from the uid column on.
+    int matched = std::sscanf(
+        line,
+        " %*d: %*64[0-9A-Fa-f:] %*64[0-9A-Fa-f:] %*x %*x:%*x %*x:%*x %*x "
+        "%*d %*d %llu %*d %*x %llu",
+        &row_inode, &row_drops);
+    if (matched == 2 && row_inode == inode) {
+      drops = row_drops;
+      break;
+    }
+  }
+  std::fclose(file);
+  return drops;
+}
+
+Fd make_udp_sender(const std::string& address, std::uint16_t port) {
+  Fd fd{::socket(AF_INET, SOCK_DGRAM, 0)};
+  if (!fd.valid()) throw_errno("socket(UDP)");
+  const sockaddr_in addr = make_addr(address, port);
+  if (connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+              sizeof addr) != 0) {
+    throw_errno("connect(UDP)");
+  }
+  return fd;
+}
+
+Fd make_tcp_sender(const std::string& address, std::uint16_t port) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(TCP)");
+  const sockaddr_in addr = make_addr(address, port);
+  if (connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+              sizeof addr) != 0) {
+    throw_errno("connect(TCP)");
+  }
+  const int on = 1;
+  if (setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &on, sizeof on) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace speedybox::io

@@ -54,6 +54,11 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"degraded_packets", shard.degraded_packets.get()},
       {"scale_events", shard.scale_events.get()},
       {"migrated_flows", shard.migrated_flows.get()},
+      {"rx_bytes", shard.rx_bytes.get()},
+      {"rx_frames", shard.rx_frames.get()},
+      {"rx_batches", shard.rx_batches.get()},
+      {"parse_errors", shard.parse_errors.get()},
+      {"socket_drops", shard.socket_drops.get()},
   };
   snap.gauges = {
       {"ring_occupancy", shard.ring_occupancy.get()},
@@ -72,6 +77,7 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"degraded_episode_packets",
        shard.degraded_episode_packets.snapshot()},
       {"migration_cycles", shard.migration_cycles.snapshot()},
+      {"ingest_cycles", shard.ingest_cycles.snapshot()},
   };
   snap.per_nf.reserve(shard.per_nf.size());
   for (const NfMetrics& nf : shard.per_nf) {

@@ -126,6 +126,15 @@ struct ShardMetrics {
   Counter scale_events;    // resharding operations executed
   Counter migrated_flows;  // flows moved between shards, cumulative
 
+  // -- live ingestion front-end (DESIGN.md §11). Written only by the
+  // -- ingest thread's own metric shard ("<label>/ingest"); zero on every
+  // -- data shard. --
+  Counter rx_bytes;      // wire bytes read off the sockets
+  Counter rx_frames;     // frames decoded into packet descriptors
+  Counter rx_batches;    // batches staged to the executor sink
+  Counter parse_errors;  // frames the wire parser rejected
+  Counter socket_drops;  // datagrams lost to receive-queue overflow
+
   // -- gauges --
   Gauge ring_occupancy;   // ingress ring depth at last push
   Gauge ring_capacity;
@@ -151,6 +160,10 @@ struct ShardMetrics {
   /// Controller: cycles spent inside each resharding operation (quiesce +
   /// state migration + worker lifecycle), one sample per scale event.
   CycleHistogram migration_cycles;
+  /// Ingest front-end: cycles between a frame's socket read and its
+  /// hand-off to the executor sink (batch staging wait included) — the
+  /// I/O-path contribution to end-to-end latency.
+  CycleHistogram ingest_cycles;
 
   /// Indexed by chain position. deque: NfMetrics holds atomics (immovable)
   /// and deque constructs in place without ever relocating elements.

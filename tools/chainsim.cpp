@@ -8,6 +8,8 @@
 //   chainsim --chain vpn-out,monitor,vpn-in --export-pcap tunnel.pcap
 //   chainsim --chain firewall,snort --overload 2.0 --drop-policy slo-early-drop
 //   chainsim --chain nat,monitor --inject-fault nat:fail-every=100
+//   chainsim --chain nat,monitor --mode speedybox --listen 9000   # live wire
+//                                                 # mode; pair with loadgen
 //
 // Available NFs: nat, maglev, monitor, heavymonitor, ipfilter, firewall
 // (drops dst port 23), snort, gateway, vpn-out, vpn-in, dos, synthetic.
@@ -26,6 +28,8 @@
 #include <vector>
 
 #include "control/controller.hpp"
+#include "io/ingest_executor.hpp"
+#include "io/ingest_server.hpp"
 #include "nf/dos_prevention.hpp"
 #include "nf/gateway.hpp"
 #include "nf/ip_filter.hpp"
@@ -102,6 +106,16 @@ struct SimConfig {
   bool queue_capacity_set = false;
   std::optional<std::pair<std::string, runtime::FaultSpec>> fault;
   bool print_config = false;
+  // -- live ingestion (DESIGN.md §11; --listen switches the packet source
+  // -- from the in-process trace to a real socket) --
+  bool listen_set = false;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral (printed at startup)
+  io::IngestProto listen_proto = io::IngestProto::kUdp;
+  bool proto_set = false;
+  std::size_t rx_budget = 64;
+  bool rx_budget_set = false;
+  long idle_timeout_ms = 1000;
+  bool idle_timeout_set = false;
   // -- autoscaling (control plane; sharded executor only) --
   bool autoscale = false;
   double slo_us = 50.0;
@@ -175,6 +189,17 @@ struct SimConfig {
       "                             background thread; needs --metrics-out)\n"
       "  --trace-sample N           record full packet spans for 1-in-N\n"
       "                             flows (exported with --metrics-out)\n"
+      "  --listen PORT              live mode: ingest real wire packets on\n"
+      "                             127.0.0.1:PORT (0 = ephemeral; the bound\n"
+      "                             port is printed at startup) instead of a\n"
+      "                             generated trace; pair with the loadgen\n"
+      "                             tool; needs --mode original|speedybox\n"
+      "  --proto udp|tcp|both       live transport(s) to accept (default\n"
+      "                             udp; needs --listen)\n"
+      "  --rx-budget N              max frames drained per socket wakeup\n"
+      "                             (default 64; needs --listen)\n"
+      "  --idle-timeout MS          exit live mode after MS ms without\n"
+      "                             traffic (default 1000; needs --listen)\n"
       "  --log-level LEVEL          debug|info|warn|error|off\n",
       argv0);
   std::exit(2);
@@ -344,6 +369,41 @@ SimConfig SimConfig::parse(int argc, char** argv) {
     } else if (arg == "--trace-sample") {
       config.trace_sample =
           static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+    } else if (arg == "--listen") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || port > 65535) usage(argv[0]);
+      config.listen_port = static_cast<std::uint16_t>(port);
+      config.listen_set = true;
+    } else if (arg == "--proto") {
+      const std::string value = need_value(i);
+      if (value == "udp") {
+        config.listen_proto = io::IngestProto::kUdp;
+      } else if (value == "tcp") {
+        config.listen_proto = io::IngestProto::kTcp;
+      } else if (value == "both") {
+        config.listen_proto = io::IngestProto::kBoth;
+      } else {
+        usage(argv[0]);
+      }
+      config.proto_set = true;
+    } else if (arg == "--rx-budget") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.rx_budget = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || config.rx_budget == 0) {
+        usage(argv[0]);
+      }
+      config.rx_budget_set = true;
+    } else if (arg == "--idle-timeout") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.idle_timeout_ms = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || config.idle_timeout_ms <= 0) {
+        usage(argv[0]);
+      }
+      config.idle_timeout_set = true;
     } else if (arg == "--log-level") {
       const auto level = util::parse_log_level(need_value(i));
       if (!level) usage(argv[0]);
@@ -438,6 +498,39 @@ void SimConfig::validate() const {
       config_error("--inject-fault names an NF that is not in --chain");
     }
   }
+  if (!listen_set && (proto_set || rx_budget_set || idle_timeout_set)) {
+    config_error("--proto/--rx-budget/--idle-timeout need --listen (they "
+                 "configure the live front-end, which does not exist "
+                 "without it)");
+  }
+  if (listen_set) {
+    if (!pcap_in.empty()) {
+      config_error("--listen ingests real wire packets: --pcap would be a "
+                   "second packet source (drop one of them)");
+    }
+    if (workload_shape_set || workload != "uniform") {
+      config_error("--listen ingests real wire packets: the workload lives "
+                   "in the load generator now — drop --flows/--packets/"
+                   "--payload/--workload/--datacenter (pass them to "
+                   "loadgen instead)");
+    }
+    if (!pcap_out.empty()) {
+      config_error("--export-pcap writes the GENERATED workload; with "
+                   "--listen there is nothing to export");
+    }
+    if (fail_backend_at >= 0) {
+      config_error("--fail-backend-at fires at a trace packet index, which "
+                   "live mode does not have");
+    }
+    if (run_original && run_speedybox) {
+      config_error("--listen drives ONE live data path: pass --mode "
+                   "original or --mode speedybox");
+    }
+    if (autoscale) {
+      config_error("--autoscale is trace-driven for now; live mode does "
+                   "not support it yet");
+    }
+  }
 }
 
 std::string SimConfig::to_json() const {
@@ -465,7 +558,12 @@ std::string SimConfig::to_json() const {
             : (run_speedybox ? "speedybox" : "original"),
         true);
   field("executor", executor_kind_name(executor), true);
-  if (pcap_in.empty()) {
+  if (listen_set) {
+    field("listen", std::to_string(listen_port), false);
+    field("proto", io::ingest_proto_name(listen_proto), true);
+    field("rx_budget", std::to_string(rx_budget), false);
+    field("idle_timeout_ms", std::to_string(idle_timeout_ms), false);
+  } else if (pcap_in.empty()) {
     field("workload", workload, true);
     field("flows", std::to_string(flows), false);
     field("packets_per_flow", std::to_string(packets_per_flow), false);
@@ -788,6 +886,148 @@ void run_mode(const SimConfig& config, bool speedybox,
   }
 }
 
+/// Live mode: real wire packets off a socket instead of an in-process
+/// trace. Same chain/executor/overload construction as run_mode; the
+/// packet source is an IngestServer and the hand-off an IngestExecutor.
+int run_live(const SimConfig& config, telemetry::Registry* registry) {
+  const bool speedybox = config.run_speedybox;
+  const std::string mode = speedybox ? "speedybox" : "original";
+  BuiltChain built = build_chain(config);
+  runtime::RunConfig run_config{config.platform, speedybox, false};
+  run_config.batch_size = config.batch_size;
+  run_config.overload = config.overload;
+
+  std::unique_ptr<runtime::Executor> executor;
+  std::string label = mode;
+  switch (config.executor) {
+    case ExecutorKind::kRunner:
+      executor = std::make_unique<runtime::ChainRunner>(*built.chain,
+                                                        run_config);
+      label = mode + "/main";
+      break;
+    case ExecutorKind::kSharded:
+      executor = std::make_unique<runtime::ShardedRuntime>(
+          *built.chain, config.shards, run_config);
+      break;
+    case ExecutorKind::kPipeline:
+      executor = std::make_unique<runtime::SpeedyBoxPipeline>(*built.chain);
+      break;
+    case ExecutorKind::kOnvm:
+      executor = std::make_unique<runtime::OnvmExecutor>(
+          *built.chain, 1024, config.batch_size);
+      break;
+  }
+  executor->attach_telemetry(registry, label);
+  if (config.overload.enabled) {
+    executor->set_overload_policy(config.overload);
+  }
+
+  io::IngestConfig ingest_config;
+  ingest_config.port = config.listen_port;
+  ingest_config.proto = config.listen_proto;
+  ingest_config.rx_budget = config.rx_budget;
+  ingest_config.idle_timeout_ms = static_cast<int>(config.idle_timeout_ms);
+  ingest_config.batch_size = config.batch_size;
+  io::IngestServer server{ingest_config};
+  server.attach_telemetry(registry, mode + "/ingest");
+  io::IngestExecutor sink{*executor};
+
+  // The load generator (or the CI smoke) discovers the bound port from
+  // this line, so it must hit the pipe before serve() blocks.
+  std::printf("chainsim: listening on %s", config.listen_proto ==
+                                                   io::IngestProto::kTcp
+                                               ? ""
+                                               : "udp ");
+  if (config.listen_proto != io::IngestProto::kTcp) {
+    std::printf("127.0.0.1:%u", server.udp_port());
+  }
+  if (config.listen_proto != io::IngestProto::kUdp) {
+    std::printf("%stcp 127.0.0.1:%u",
+                config.listen_proto == io::IngestProto::kBoth ? " " : "",
+                server.tcp_port());
+  }
+  std::printf(" (mode=%s executor=%s feed=%s)\n", mode.c_str(),
+              executor_kind_name(config.executor),
+              std::string(sink.mode()).c_str());
+  std::fflush(stdout);
+
+  const io::IngestStats ingest = server.serve(sink);
+  const runtime::RunStats& stats = sink.finish();
+
+  std::string report_label = mode + " [live";
+  if (config.executor != ExecutorKind::kRunner) {
+    report_label += std::string(" ") + executor_kind_name(config.executor);
+    if (config.shards > 0) report_label += " x" + std::to_string(config.shards);
+  }
+  report_label += "]";
+  report(config, report_label.c_str(), stats);
+
+  // Machine-readable summary for the closed-loop smoke. `admitted`/`shed`
+  // come from the overload gate when it is on; with the gate off every
+  // submitted frame is admitted by definition. The driver checks
+  //   sent == admitted + shed + parse_errors + socket_drops
+  // against the load generator's own count.
+  const runtime::OverloadStats& overload = stats.overload;
+  const std::uint64_t admitted =
+      config.overload.enabled ? overload.admitted : sink.submitted();
+  const std::uint64_t shed =
+      config.overload.enabled ? overload.shed_total() : 0;
+  const bool conserved = sink.submitted() == admitted + shed &&
+                         sink.submitted() == ingest.rx_frames;
+  std::printf(
+      "{\"live\":{\"proto\":\"%s\",\"executor\":\"%s\",\"mode\":\"%s\","
+      "\"feed\":\"%s\",\"rx_bytes\":%llu,\"rx_frames\":%llu,"
+      "\"rx_batches\":%llu,\"parse_errors\":%llu,\"socket_drops\":%llu,"
+      "\"tcp_connections\":%llu,\"poisoned_streams\":%llu,"
+      "\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+      "\"chain_packets\":%llu,\"chain_drops\":%llu,\"conserved\":%s}}\n",
+      io::ingest_proto_name(config.listen_proto),
+      executor_kind_name(config.executor), mode.c_str(),
+      std::string(sink.mode()).c_str(),
+      static_cast<unsigned long long>(ingest.rx_bytes),
+      static_cast<unsigned long long>(ingest.rx_frames),
+      static_cast<unsigned long long>(ingest.rx_batches),
+      static_cast<unsigned long long>(ingest.parse_errors),
+      static_cast<unsigned long long>(ingest.socket_drops),
+      static_cast<unsigned long long>(ingest.tcp_connections),
+      static_cast<unsigned long long>(ingest.poisoned_streams),
+      static_cast<unsigned long long>(sink.submitted()),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(stats.packets),
+      static_cast<unsigned long long>(stats.drops),
+      conserved ? "true" : "false");
+  std::fflush(stdout);
+  return conserved ? 0 : 1;
+}
+
+/// Final metrics flush (both the trace-driven and live paths end here).
+bool write_metrics(const SimConfig& config, telemetry::Registry* registry,
+                   std::optional<telemetry::Snapshotter>& snapshotter) {
+  if (registry == nullptr) return true;
+  if (snapshotter) {
+    snapshotter->stop();  // writes the final JSON-lines snapshot
+  } else if (!config.metrics_out.empty()) {
+    if (!telemetry::append_line(config.metrics_out,
+                                to_json(registry->snapshot()))) {
+      std::fprintf(stderr, "failed to write %s\n", config.metrics_out.c_str());
+      return false;
+    }
+  }
+  if (!config.metrics_prom.empty()) {
+    const std::string text = to_prometheus(registry->snapshot());
+    std::FILE* file = std::fopen(config.metrics_prom.c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), file) != text.size() ||
+        std::fclose(file) != 0) {
+      std::fprintf(stderr, "failed to write %s\n",
+                   config.metrics_prom.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -797,8 +1037,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", config.to_json().c_str());
     return 0;
   }
-  const std::vector<net::Packet> packets = build_packets(config);
-
   // One registry for the whole process; the two modes (and their shards)
   // disambiguate through shard labels ("original/shard0", "speedybox/main").
   std::unique_ptr<telemetry::Registry> registry;
@@ -813,6 +1051,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (config.listen_set) {
+    const int exit_code = run_live(config, registry.get());
+    if (!write_metrics(config, registry.get(), snapshotter)) return 1;
+    return exit_code;
+  }
+  const std::vector<net::Packet> packets = build_packets(config);
+
   if (config.csv) {
     std::printf(
         "platform,mode,packets,drops,events,cycles_p50,lat_p50_us,"
@@ -825,28 +1070,6 @@ int main(int argc, char** argv) {
     run_mode(config, true, packets, registry.get());
   }
 
-  if (registry != nullptr) {
-    if (snapshotter) {
-      snapshotter->stop();  // writes the final JSON-lines snapshot
-    } else if (!config.metrics_out.empty()) {
-      if (!telemetry::append_line(config.metrics_out,
-                                  to_json(registry->snapshot()))) {
-        std::fprintf(stderr, "failed to write %s\n",
-                     config.metrics_out.c_str());
-        return 1;
-      }
-    }
-    if (!config.metrics_prom.empty()) {
-      const std::string text = to_prometheus(registry->snapshot());
-      std::FILE* file = std::fopen(config.metrics_prom.c_str(), "w");
-      if (file == nullptr ||
-          std::fwrite(text.data(), 1, text.size(), file) != text.size() ||
-          std::fclose(file) != 0) {
-        std::fprintf(stderr, "failed to write %s\n",
-                     config.metrics_prom.c_str());
-        return 1;
-      }
-    }
-  }
+  if (!write_metrics(config, registry.get(), snapshotter)) return 1;
   return 0;
 }

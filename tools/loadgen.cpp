@@ -1,0 +1,178 @@
+// loadgen — replay a generated workload over loopback UDP or TCP into a
+// live `chainsim --listen` (or any IngestServer). The wire-side half of
+// the closed-loop smoke:
+//
+//   chainsim --chain nat,maglev,monitor,ipfilter --mode speedybox
+//            --listen 9000 &
+//   loadgen --port 9000 --workload syn-flood --rate 50000
+//
+// Workload construction mirrors chainsim's build_packets exactly (same
+// generators, same Snort payload planting, same seed derivation), so a
+// live run sees byte-identical packets to the in-process drive of the
+// same flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/loadgen.hpp"
+#include "trace/payload_synth.hpp"
+#include "trace/workload.hpp"
+
+using namespace speedybox;
+
+namespace {
+
+struct GenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  io::IngestProto proto = io::IngestProto::kUdp;
+  double rate_pps = 0.0;
+  std::size_t repeat = 1;
+  std::string workload = "uniform";
+  std::size_t flows = 100;
+  std::uint32_t packets_per_flow = 20;
+  std::size_t payload = 128;
+  bool workload_shape_set = false;
+  double snort_match_fraction = 0.2;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s --port PORT [options]\n"
+      "\n"
+      "options:\n"
+      "  --host ADDR            receiver address (default 127.0.0.1)\n"
+      "  --proto udp|tcp        transport (default udp)\n"
+      "  --rate PPS             target send rate, packets/s (0 = unpaced)\n"
+      "  --repeat N             replay the frame sequence N times\n"
+      "  --workload NAME        uniform | datacenter | elephant-mice |\n"
+      "                         sync-burst | flash-crowd | syn-flood\n"
+      "  --flows N --packets N --payload N   workload shape (as chainsim)\n"
+      "  --snort-match F        planted Snort-rule match fraction\n"
+      "                         (default 0.2, as chainsim)\n"
+      "  --seed N               workload seed (default 42)\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GenConfig config;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  bool port_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      config.host = need_value(i);
+    } else if (arg == "--port") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || port == 0 || port > 65535) {
+        usage(argv[0]);
+      }
+      config.port = static_cast<std::uint16_t>(port);
+      port_set = true;
+    } else if (arg == "--proto") {
+      const std::string value = need_value(i);
+      if (value == "udp") {
+        config.proto = io::IngestProto::kUdp;
+      } else if (value == "tcp") {
+        config.proto = io::IngestProto::kTcp;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--rate") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.rate_pps = std::strtod(value, &end);
+      if (end == value || *end != '\0' || config.rate_pps < 0.0) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--repeat") {
+      config.repeat = std::strtoul(need_value(i), nullptr, 10);
+      if (config.repeat == 0) usage(argv[0]);
+    } else if (arg == "--workload") {
+      config.workload = need_value(i);
+    } else if (arg == "--flows") {
+      config.flows = std::strtoul(need_value(i), nullptr, 10);
+      config.workload_shape_set = true;
+    } else if (arg == "--packets") {
+      config.packets_per_flow =
+          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
+      config.workload_shape_set = true;
+    } else if (arg == "--payload") {
+      config.payload = std::strtoul(need_value(i), nullptr, 10);
+      config.workload_shape_set = true;
+    } else if (arg == "--snort-match") {
+      const char* value = need_value(i);
+      char* end = nullptr;
+      config.snort_match_fraction = std::strtod(value, &end);
+      if (end == value || *end != '\0') usage(argv[0]);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(need_value(i), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!port_set) usage(argv[0]);
+
+  // Mirror chainsim's build_packets: same generators, same planting.
+  trace::Workload workload;
+  if (config.workload == "datacenter") {
+    trace::DatacenterWorkloadConfig workload_config;
+    workload_config.flow_count = config.flows;
+    workload_config.payload_size = config.payload;
+    workload_config.seed = config.seed;
+    workload = make_datacenter_workload(workload_config);
+  } else if (config.workload == "uniform") {
+    workload = trace::make_uniform_workload(
+        config.flows, config.packets_per_flow, config.payload, config.seed);
+  } else {
+    trace::ScenarioScale scale;
+    scale.flows = config.workload_shape_set ? config.flows : 0;
+    scale.payload_size = config.payload;
+    scale.seed = config.seed;
+    const auto scenario = trace::make_named_scenario(config.workload, scale);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "loadgen: unknown --workload \"%s\"\n",
+                   config.workload.c_str());
+      return 2;
+    }
+    workload = *scenario;
+  }
+  trace::PayloadSynthConfig synth;
+  synth.match_fraction = config.snort_match_fraction;
+  synth.seed = config.seed ^ 0x5EED;
+  plant_rule_contents(workload, trace::default_snort_rules(), synth);
+
+  io::LoadgenConfig gen;
+  gen.host = config.host;
+  gen.port = config.port;
+  gen.proto = config.proto;
+  gen.rate_pps = config.rate_pps;
+  gen.repeat = config.repeat;
+  io::LoadgenReport report;
+  try {
+    report = io::replay_workload(workload, gen);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "loadgen: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf(
+      "{\"loadgen\":{\"proto\":\"%s\",\"sent\":%llu,\"bytes\":%llu,"
+      "\"send_errors\":%llu,\"elapsed_s\":%.6f,\"achieved_pps\":%.1f}}\n",
+      io::ingest_proto_name(config.proto),
+      static_cast<unsigned long long>(report.sent),
+      static_cast<unsigned long long>(report.bytes),
+      static_cast<unsigned long long>(report.send_errors), report.elapsed_s,
+      report.achieved_pps);
+  return report.send_errors == 0 ? 0 : 1;
+}

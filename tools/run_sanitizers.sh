@@ -17,8 +17,10 @@ cd "$(dirname "$0")/.."
 # conservation sweep over the 4-shard runtime; test_control the live
 # resharding path (quiescence + cross-shard flow migration), and
 # test_equivalence its mid-trace autoscale differential — both must be
-# TSan-clean for the migration protocol to count as proven.
-TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_control)
+# TSan-clean for the migration protocol to count as proven. test_io runs
+# the wire-frame fuzz sweep (ASan is its real teeth) plus the loopback
+# closed loop, whose TCP tests send from a second thread.
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_control test_io)
 
 run_one() {
   local sanitizer="$1"
