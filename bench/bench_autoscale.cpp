@@ -26,10 +26,7 @@
 
 #include "control/controller.hpp"
 #include "net/packet_builder.hpp"
-#include "nf/ip_filter.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/histogram.hpp"
@@ -48,19 +45,7 @@ constexpr std::size_t kBudgetWindows = 6;    // recovery budget (windows)
 constexpr std::size_t kRingCapacity = 16384;
 
 std::unique_ptr<runtime::ServiceChain> make_chain() {
-  auto chain = std::make_unique<runtime::ServiceChain>("autoscale-chain");
-  chain->emplace_nf<nf::MazuNat>();
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                    10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  chain->emplace_nf<nf::MaglevLb>(std::move(backends), std::size_t{1021});
-  chain->emplace_nf<nf::Monitor>();
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{});
-  return chain;
+  return plan::build_chain(plan::vii_c_chain1());
 }
 
 net::FiveTuple flow_tuple(std::uint32_t id) {

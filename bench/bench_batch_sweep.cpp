@@ -10,8 +10,7 @@
 // cycles/packet fall monotonically-ish with batch size and flatten past the
 // point where per-packet dispatch overhead stops dominating; batch=32
 // fast-path throughput must sit strictly above batch=1.
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "runtime/plan.hpp"
 #include "trace/payload_synth.hpp"
 
 #include "bench_util.hpp"
@@ -33,10 +32,8 @@ void run() {
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
   const ChainFactory factory = [] {
-    auto chain = std::make_unique<runtime::ServiceChain>();
-    chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    return chain;
+    return plan::build_chain(
+        plan::ChainSpec::parse("snort,monitor:heavy", "snort_monitor"));
   };
 
   // Warmup + best-of-3 per configuration (bench_method::TrialPolicy):

@@ -7,8 +7,7 @@
 //
 // Expected shape (paper): ~46-47% CPU cycle reduction on both platforms;
 // BESS rate +32% with SpeedyBox; ONVM rate unchanged (already pipelined).
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "runtime/plan.hpp"
 #include "trace/payload_synth.hpp"
 
 #include "bench_util.hpp"
@@ -24,10 +23,8 @@ void run_for_payload(BenchJson& json, std::size_t payload_size) {
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
   const ChainFactory factory = [] {
-    auto chain = std::make_unique<runtime::ServiceChain>();
-    chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    return chain;
+    return plan::build_chain(
+        plan::ChainSpec::parse("snort,monitor:heavy", "snort_monitor"));
   };
 
   std::printf("\n-- payload %zu B --\n", payload_size);

@@ -11,8 +11,7 @@
 // roughly 49% HA / 51% SF; on ONVM the SF share is larger (~59%) because
 // inter-core hops dilute the HA gains. The HA/SF split shifts with payload
 // size (state-function weight), so the bench sweeps two packet sizes.
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "runtime/plan.hpp"
 #include "trace/payload_synth.hpp"
 
 #include "bench_util.hpp"
@@ -28,10 +27,8 @@ void run_for_payload(BenchJson& json, std::size_t payload_size) {
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
   const ChainFactory factory = [] {
-    auto chain = std::make_unique<runtime::ServiceChain>();
-    chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    return chain;
+    return plan::build_chain(
+        plan::ChainSpec::parse("snort,monitor:heavy", "snort_monitor"));
   };
 
   std::printf("\n-- payload %zu B --\n", payload_size);

@@ -11,27 +11,13 @@
 //
 // Expected shape (paper): SpeedyBox cuts the median flow processing time by
 // ~40% (Chain 1: 39.6% BESS / 40.2% ONVM; Chain 2: 41.3% / 34.2%).
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "runtime/plan.hpp"
 #include "trace/payload_synth.hpp"
 
 #include "bench_util.hpp"
 
 namespace speedybox::bench {
 namespace {
-
-std::vector<nf::Backend> backends() {
-  std::vector<nf::Backend> result;
-  for (int i = 0; i < 5; ++i) {
-    result.push_back({"backend-" + std::to_string(i),
-                      net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                  10 + i)},
-                      static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return result;
-}
 
 void print_cdf_table(BenchJson& json, const std::string& chain_label,
                      const std::string& title, const ChainFactory& factory,
@@ -97,13 +83,10 @@ void run() {
   synth.match_fraction = 0.2;
   plant_rule_contents(workload2, trace::default_snort_rules(), synth);
 
+  // The canonical heavy §VII-C chain specs — the same registry-backed
+  // definitions planopt and `chainsim --chain @chain1-heavy` resolve.
   const ChainFactory chain1 = [] {
-    auto chain = std::make_unique<runtime::ServiceChain>("chain1");
-    chain->emplace_nf<nf::MazuNat>();
-    chain->emplace_nf<nf::MaglevLb>(backends(), std::size_t{65537});
-    chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    chain->emplace_nf<nf::IpFilter>(nonmatching_acl());
-    return chain;
+    return plan::build_chain(plan::vii_c_chain1_heavy());
   };
   print_cdf_table(
       json, "chain1",
@@ -111,11 +94,7 @@ void run() {
       chain1, workload1);
 
   const ChainFactory chain2 = [] {
-    auto chain = std::make_unique<runtime::ServiceChain>("chain2");
-    chain->emplace_nf<nf::IpFilter>(nonmatching_acl());
-    chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    chain->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    return chain;
+    return plan::build_chain(plan::vii_c_chain2_heavy());
   };
   print_cdf_table(json, "chain2",
                   "Figure 9(b) — Chain 2: IPFilter + Snort + Monitor",

@@ -30,10 +30,7 @@
 #include "io/ingest_executor.hpp"
 #include "io/ingest_server.hpp"
 #include "io/loadgen.hpp"
-#include "nf/ip_filter.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/runner.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/workload.hpp"
@@ -44,25 +41,10 @@ using namespace speedybox;
 
 namespace {
 
-std::vector<nf::Backend> five_backends() {
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0,
-                                      static_cast<std::uint8_t>(10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return backends;
-}
-
-/// §VII-C Chain 1 — the same chain the closed-loop equivalence suite uses.
+/// §VII-C Chain 1 — the same chain the closed-loop equivalence suite uses,
+/// built from the canonical registry-backed spec.
 std::unique_ptr<runtime::ServiceChain> chain1_gateway() {
-  auto chain = std::make_unique<runtime::ServiceChain>("chain1_gateway");
-  chain->emplace_nf<nf::MazuNat>();
-  chain->emplace_nf<nf::MaglevLb>(five_backends(), std::size_t{1021});
-  chain->emplace_nf<nf::Monitor>();
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{});
-  return chain;
+  return plan::build_chain(plan::vii_c_chain1());
 }
 
 runtime::RunConfig speedybox_run_config() {

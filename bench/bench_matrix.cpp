@@ -38,12 +38,8 @@
 #include <vector>
 
 #include "control/controller.hpp"
-#include "nf/dos_prevention.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
 #include "runtime/onvm_executor.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "runtime/speedybox_pipeline.hpp"
 #include "telemetry/metrics.hpp"
@@ -66,42 +62,14 @@ struct ChainDef {
   ChainFactory factory;
 };
 
-std::vector<nf::Backend> five_backends() {
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                    10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return backends;
-}
-
 std::vector<ChainDef> matrix_chains() {
+  // The canonical §VII-C specs — identical structure to what chainsim's
+  // --chain path and the equivalence suite build.
   std::vector<ChainDef> chains;
-  chains.push_back({"chain1_gateway", [] {
-                      auto chain = std::make_unique<runtime::ServiceChain>(
-                          "chain1_gateway");
-                      chain->emplace_nf<nf::MazuNat>();
-                      chain->emplace_nf<nf::MaglevLb>(five_backends(),
-                                                      std::size_t{1021});
-                      chain->emplace_nf<nf::Monitor>();
-                      chain->emplace_nf<nf::IpFilter>(
-                          std::vector<nf::AclRule>{});
-                      return chain;
-                    }});
-  chains.push_back({"chain2_inspection", [] {
-                      auto chain = std::make_unique<runtime::ServiceChain>(
-                          "chain2_inspection");
-                      chain->emplace_nf<nf::IpFilter>(
-                          std::vector<nf::AclRule>{
-                              nf::AclRule::drop_dst_prefix(
-                                  net::Ipv4Addr{10, 1, 3, 0}, 24)});
-                      chain->emplace_nf<nf::SnortIds>(
-                          trace::default_snort_rules());
-                      chain->emplace_nf<nf::Monitor>();
-                      return chain;
-                    }});
+  chains.push_back({"chain1_gateway",
+                    [] { return plan::build_chain(plan::vii_c_chain1()); }});
+  chains.push_back({"chain2_inspection",
+                    [] { return plan::build_chain(plan::vii_c_chain2()); }});
   return chains;
 }
 
@@ -110,11 +78,8 @@ std::vector<ChainDef> matrix_chains() {
 /// attack flows (extra matrix rows beyond the 2-chain core).
 ChainDef dos_chain() {
   return {"dos_inspection", [] {
-            auto chain = std::make_unique<runtime::ServiceChain>(
-                "dos_inspection");
-            chain->emplace_nf<nf::DosPrevention>(std::uint64_t{8});
-            chain->emplace_nf<nf::Monitor>();
-            return chain;
+            return plan::build_chain(plan::ChainSpec::parse(
+                "dos:threshold=8,monitor", "dos_inspection"));
           }};
 }
 

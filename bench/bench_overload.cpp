@@ -23,27 +23,13 @@
 //
 // Output: the printed table plus BENCH_overload.json (p50/p99 latency and
 // goodput per policy per multiplier).
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "runtime/plan.hpp"
 #include "trace/payload_synth.hpp"
 
 #include "bench_util.hpp"
 
 namespace speedybox::bench {
 namespace {
-
-/// ACL whose first rule MATCHES part of the workload (dst 10.1.3/24), on
-/// top of the usual non-matching blacklist: matched flows consolidate to
-/// early-drop rules — the slo-early-drop shed population.
-std::vector<nf::AclRule> acl_with_drop_prefix() {
-  std::vector<nf::AclRule> acl;
-  acl.push_back(
-      nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 1, 3, 0}, 24));
-  for (nf::AclRule& rule : nonmatching_acl(16)) {
-    acl.push_back(rule);
-  }
-  return acl;
-}
 
 struct Cell {
   double multiplier;
@@ -91,12 +77,14 @@ int run() {
   synth.match_fraction = 0.2;
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
+  // §VII-C inspection chain whose ACL MATCHES part of the workload (dst
+  // 10.1.3/24, ahead of the usual non-matching blacklist): matched flows
+  // consolidate to early-drop rules — the slo-early-drop shed population.
   const ChainFactory chain = [] {
-    auto built = std::make_unique<runtime::ServiceChain>("overload-chain");
-    built->emplace_nf<nf::IpFilter>(acl_with_drop_prefix());
-    built->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    built->emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-    return built;
+    return plan::build_chain(plan::ChainSpec::parse(
+        "ipfilter:drop-dst-prefix=10.1.3.0/24:blacklist=16,"
+        "snort,monitor:heavy",
+        "overload-chain"));
   };
 
   BenchJson json{"overload"};

@@ -17,27 +17,13 @@
 // Also prints the per-shard packet split so hash skew is visible.
 #include <thread>
 
-#include "nf/ip_filter.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/sharded_runtime.hpp"
 
 #include "bench_util.hpp"
 
 namespace speedybox::bench {
 namespace {
-
-std::vector<nf::Backend> backends() {
-  std::vector<nf::Backend> result;
-  for (int i = 0; i < 5; ++i) {
-    result.push_back({"backend-" + std::to_string(i),
-                      net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                  10 + i)},
-                      static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return result;
-}
 
 void run() {
   trace::DatacenterWorkloadConfig config;
@@ -47,11 +33,8 @@ void run() {
   config.seed = 20190710;
   const trace::Workload workload = make_datacenter_workload(config);
 
-  runtime::ServiceChain prototype{"chain1"};
-  prototype.emplace_nf<nf::MazuNat>();
-  prototype.emplace_nf<nf::MaglevLb>(backends(), std::size_t{65537});
-  prototype.emplace_nf<nf::Monitor>(nf::MonitorConfig::heavy(), "monitor");
-  prototype.emplace_nf<nf::IpFilter>(nonmatching_acl());
+  const auto prototype_ptr = plan::build_chain(plan::vii_c_chain1_heavy());
+  runtime::ServiceChain& prototype = *prototype_ptr;
 
   print_header(
       "Sharding scaling — Chain 1 replicated across N flow shards");

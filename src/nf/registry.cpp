@@ -1,0 +1,387 @@
+#include "nf/registry.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+
+#include "core/header_action.hpp"
+#include "nf/dos_prevention.hpp"
+#include "nf/gateway.hpp"
+#include "nf/ip_filter.hpp"
+#include "nf/maglev_lb.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "nf/snort_ids.hpp"
+#include "nf/snort_rule.hpp"
+#include "nf/synthetic_nf.hpp"
+#include "nf/vpn_gateway.hpp"
+
+namespace speedybox::nf {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+[[noreturn]] void bad_value(const NfSpec& spec, std::string_view key,
+                            std::string_view want) {
+  throw RegistryError("NF '" + spec.kind + "': option '" + std::string(key) +
+                      "=" + *spec.option(key) + "' is malformed (want " +
+                      std::string(want) + ")");
+}
+
+/// Option value as u64 in [lo, hi]; the spec's default when absent.
+std::uint64_t uint_option(const NfSpec& spec, std::string_view key,
+                          std::uint64_t fallback, std::uint64_t lo = 1,
+                          std::uint64_t hi =
+                              std::numeric_limits<std::uint32_t>::max()) {
+  const std::string* raw = spec.option(key);
+  if (raw == nullptr) return fallback;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size() || value < lo ||
+      value > hi) {
+    bad_value(spec, key, "an integer in [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+/// "A.B.C.D/L" -> drop rule; used by ipfilter's drop-dst-prefix option.
+AclRule prefix_rule(const NfSpec& spec, std::string_view key) {
+  const std::string& raw = *spec.option(key);
+  const std::size_t slash = raw.find('/');
+  if (slash == std::string::npos) bad_value(spec, key, "A.B.C.D/LEN");
+  const auto addr = parse_ipv4(std::string_view{raw}.substr(0, slash));
+  if (!addr) bad_value(spec, key, "A.B.C.D/LEN");
+  const std::string len_text = raw.substr(slash + 1);
+  unsigned len = 0;
+  const auto [ptr, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      len == 0 || len > 32) {
+    bad_value(spec, key, "A.B.C.D/LEN with LEN in [1, 32]");
+  }
+  return AclRule::drop_dst_prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+bool monitor_heavy(const NfSpec& spec) {
+  return spec.kind == "heavymonitor" || spec.has_option("heavy");
+}
+
+core::PayloadAccess synthetic_access(const NfSpec& spec) {
+  const std::string* raw = spec.option("access");
+  if (raw == nullptr || *raw == "read") return core::PayloadAccess::kRead;
+  if (*raw == "write") return core::PayloadAccess::kWrite;
+  if (*raw == "ignore") return core::PayloadAccess::kIgnore;
+  throw RegistryError("NF 'synthetic': option 'access=" + *raw +
+                      "' is malformed (want read, write or ignore)");
+}
+
+constexpr auto kIgnore = core::PayloadAccess::kIgnore;
+constexpr auto kRead = core::PayloadAccess::kRead;
+constexpr auto kWrite = core::PayloadAccess::kWrite;
+
+core::PayloadAccess fixed(const NfSpec&, core::PayloadAccess access) {
+  return access;
+}
+
+}  // namespace
+
+NfSpec NfSpec::parse(std::string_view token) {
+  NfSpec spec;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= token.size()) {
+    const std::size_t colon = token.find(':', start);
+    const std::string_view part = token.substr(
+        start, colon == std::string_view::npos ? std::string_view::npos
+                                               : colon - start);
+    if (first) {
+      if (part.empty()) {
+        throw RegistryError("empty NF name in chain spec token '" +
+                            std::string(token) + "'");
+      }
+      spec.kind = std::string(part);
+      first = false;
+    } else {
+      const std::size_t eq = part.find('=');
+      const std::string key(eq == std::string_view::npos
+                                ? part
+                                : part.substr(0, eq));
+      const std::string value(
+          eq == std::string_view::npos ? std::string_view{}
+                                       : part.substr(eq + 1));
+      if (key.empty()) {
+        throw RegistryError("NF '" + spec.kind +
+                            "': empty option in token '" +
+                            std::string(token) + "'");
+      }
+      for (const auto& [existing, unused] : spec.options) {
+        if (existing == key) {
+          throw RegistryError("NF '" + spec.kind + "': duplicate option '" +
+                              key + "' in token '" + std::string(token) +
+                              "'");
+        }
+      }
+      spec.options.emplace_back(key, value);
+    }
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  return spec;
+}
+
+std::string NfSpec::to_string() const {
+  std::string out = kind;
+  for (const auto& [key, value] : options) {
+    out += ':';
+    out += key;
+    if (!value.empty()) {
+      out += '=';
+      out += value;
+    }
+  }
+  return out;
+}
+
+const std::string* NfSpec::option(std::string_view key) const noexcept {
+  for (const auto& [existing, value] : options) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const Registry& Registry::instance() {
+  static const Registry registry;
+  return registry;
+}
+
+bool Registry::contains(std::string_view kind) const noexcept {
+  for (const auto& [name, unused] : entries_) {
+    if (name == kind) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Registry::kinds() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, unused] : entries_) names.push_back(name);
+  return names;
+}
+
+const Registry::Entry& Registry::entry(const std::string& kind) const {
+  for (const auto& [name, entry] : entries_) {
+    if (name == kind) return entry;
+  }
+  throw RegistryError("unknown NF '" + kind + "' (registered NFs: " +
+                      join(kinds()) + ")");
+}
+
+void Registry::check_options(const NfSpec& spec, const Entry& entry) const {
+  for (const auto& [key, unused] : spec.options) {
+    bool known = false;
+    for (const std::string& valid : entry.option_keys) {
+      if (key == valid) known = true;
+    }
+    if (!known) {
+      throw RegistryError(
+          "NF '" + spec.kind + "': unknown option '" + key + "' (" +
+          (entry.option_keys.empty()
+               ? "this NF takes no options"
+               : "valid options: " + join(entry.option_keys)) +
+          ")");
+    }
+  }
+}
+
+std::unique_ptr<NetworkFunction> Registry::make(
+    const NfSpec& spec, const std::string& label) const {
+  const Entry& e = entry(spec.kind);
+  check_options(spec, e);
+  return e.factory(spec, label);
+}
+
+core::PayloadAccess Registry::payload_access(const NfSpec& spec) const {
+  const Entry& e = entry(spec.kind);
+  check_options(spec, e);
+  return e.payload_access(spec);
+}
+
+void Registry::add(std::string kind, Entry entry) {
+  entries_.emplace_back(std::move(kind), std::move(entry));
+}
+
+Registry::Registry() {
+  using std::make_unique;
+
+  add("nat", {"Mazu NAT (outbound source translation)",
+              {},
+              [](const NfSpec& s) { return fixed(s, kIgnore); },
+              [](const NfSpec&, const std::string& label) {
+                return make_unique<MazuNat>(MazuNatConfig{}, label);
+              }});
+
+  add("maglev",
+      {"Maglev consistent-hash load balancer",
+       {"backends", "table", "subnet", "port", "port-stride"},
+       [](const NfSpec& s) { return fixed(s, kIgnore); },
+       [](const NfSpec& spec, const std::string& label) {
+         // Defaults are chainsim's historical pool: 4 backends at
+         // 10.9.0.10+ sharing port 8080. subnet/port/port-stride let one
+         // spec express the other pools in the tree (the §VII-C-1 tests'
+         // five 10.2.0.x backends on ports 8000+i).
+         const auto count = uint_option(spec, "backends", 4, 1, 200);
+         const auto table = uint_option(spec, "table", 65537, 7, 1 << 24);
+         const auto port = uint_option(spec, "port", 8080, 1, 65535);
+         const auto stride = uint_option(spec, "port-stride", 0, 0, 100);
+         net::Ipv4Addr base{10, 9, 0, 10};
+         if (const std::string* raw = spec.option("subnet")) {
+           const auto addr = parse_ipv4(*raw);
+           if (!addr) bad_value(spec, "subnet", "A.B.C.D");
+           base = *addr;
+         }
+         std::vector<Backend> backends;
+         backends.reserve(count);
+         for (std::uint64_t b = 0; b < count; ++b) {
+           // Backend b lives at base + b in the last octet (wrapping kept
+           // inside the octet, matching the historical pools).
+           const net::Ipv4Addr ip{
+               (base.value & 0xFFFFFF00u) |
+               ((base.value + static_cast<std::uint32_t>(b)) & 0xFFu)};
+           backends.push_back(
+               {"backend-" + std::to_string(b), ip,
+                static_cast<std::uint16_t>(port + stride * b), true});
+         }
+         return make_unique<MaglevLb>(std::move(backends),
+                                      static_cast<std::size_t>(table),
+                                      label);
+       }});
+
+  add("monitor",
+      {"flow statistics monitor (heavy: CM sketch + payload histogram)",
+       {"heavy"},
+       [](const NfSpec& s) { return monitor_heavy(s) ? kRead : kIgnore; },
+       [](const NfSpec& spec, const std::string& label) {
+         return make_unique<Monitor>(monitor_heavy(spec)
+                                         ? MonitorConfig::heavy()
+                                         : MonitorConfig{},
+                                     label);
+       }});
+
+  add("heavymonitor",
+      {"alias for monitor:heavy",
+       {},
+       [](const NfSpec& s) { return fixed(s, kRead); },
+       [](const NfSpec&, const std::string& label) {
+         return make_unique<Monitor>(MonitorConfig::heavy(), label);
+       }});
+
+  add("ipfilter",
+      {"ACL filter (empty ACL by default; options append rules in order)",
+       {"drop-dst-port", "drop-dst-prefix", "blacklist"},
+       [](const NfSpec& s) { return fixed(s, kIgnore); },
+       [](const NfSpec& spec, const std::string& label) {
+         std::vector<AclRule> acl;
+         for (const auto& [key, value] : spec.options) {
+           if (key == "drop-dst-port") {
+             acl.push_back(AclRule::drop_dst_port(static_cast<std::uint16_t>(
+                 uint_option(spec, key, 0, 1, 65535))));
+           } else if (key == "drop-dst-prefix") {
+             acl.push_back(prefix_rule(spec, key));
+           } else if (key == "blacklist") {
+             // A realistically sized blacklist that never matches the
+             // benchmark flows (172.31/16) — its linear scan is paid by
+             // initial packets (bench_fig9).
+             const auto rules = uint_option(spec, key, 32, 1, 4096);
+             for (std::uint64_t i = 0; i < rules; ++i) {
+               acl.push_back(AclRule::drop_dst_prefix(
+                   net::Ipv4Addr{172, 31, static_cast<std::uint8_t>(i), 0},
+                   24));
+             }
+           }
+         }
+         return make_unique<IpFilter>(std::move(acl), label);
+       }});
+
+  add("firewall",
+      {"alias for ipfilter:drop-dst-port=23",
+       {},
+       [](const NfSpec& s) { return fixed(s, kIgnore); },
+       [](const NfSpec&, const std::string& label) {
+         return make_unique<IpFilter>(
+             std::vector<AclRule>{AclRule::drop_dst_port(23)}, label);
+       }});
+
+  add("snort", {"Snort-style IDS over the default rule set",
+                {},
+                [](const NfSpec& s) { return fixed(s, kRead); },
+                [](const NfSpec&, const std::string& label) {
+                  return make_unique<SnortIds>(default_snort_rules(), label);
+                }});
+
+  add("gateway", {"DSCP-marking gateway (VoIP ports 5060-5061 -> EF)",
+                  {},
+                  [](const NfSpec& s) { return fixed(s, kIgnore); },
+                  [](const NfSpec&, const std::string& label) {
+                    return make_unique<Gateway>(
+                        std::vector<TrafficClass>{{5060, 5061, 46}}, label);
+                  }});
+
+  add("vpn-out", {"IPsec-style egress tunnel encapsulation",
+                  {"spi"},
+                  [](const NfSpec& s) { return fixed(s, kWrite); },
+                  [](const NfSpec& spec, const std::string& label) {
+                    return make_unique<VpnGateway>(
+                        VpnMode::kEgress,
+                        static_cast<std::uint32_t>(
+                            uint_option(spec, "spi", 0x1000)),
+                        label);
+                  }});
+
+  add("vpn-in", {"IPsec-style ingress tunnel decapsulation",
+                 {"spi"},
+                 [](const NfSpec& s) { return fixed(s, kWrite); },
+                 [](const NfSpec& spec, const std::string& label) {
+                   return make_unique<VpnGateway>(
+                       VpnMode::kIngress,
+                       static_cast<std::uint32_t>(
+                           uint_option(spec, "spi", 0x1000)),
+                       label);
+                 }});
+
+  add("dos",
+      {"SYN-threshold DoS prevention",
+       {"threshold"},
+       [](const NfSpec& s) { return fixed(s, kIgnore); },
+       [](const NfSpec& spec, const std::string& label) {
+         // Default threshold below the syn-flood generator's per-tuple SYN
+         // budget (24) so `--chain dos,... --workload syn-flood` visibly
+         // drops, and far above the single SYN a benign flow opens with.
+         return make_unique<DosPrevention>(
+             uint_option(spec, "threshold", 16),
+             core::HeaderAction::forward(), label);
+       }});
+
+  add("synthetic",
+      {"configurable-cost synthetic NF (Fig. 5 microbenchmark)",
+       {"iterations", "access"},
+       [](const NfSpec& s) { return synthetic_access(s); },
+       [](const NfSpec& spec, const std::string& label) {
+         SyntheticNfConfig config;
+         config.work_iterations = static_cast<std::uint32_t>(
+             uint_option(spec, "iterations", config.work_iterations));
+         config.access = synthetic_access(spec);
+         return make_unique<SyntheticNf>(config, label);
+       }});
+}
+
+}  // namespace speedybox::nf

@@ -1,0 +1,113 @@
+// Library-level NF registry: chain topology as data (DESIGN.md §12).
+//
+// An NfSpec is one parsed chain-spec token — `kind[:key[=value]]...`, e.g.
+// `nat`, `maglev:backends=5:table=1021`, `monitor:heavy` — and the Registry
+// maps kinds to factories that validate the options and construct the NF.
+// This is the single place the §VII-C chains (and every user-defined chain)
+// are built from: chainsim, the plan layer (runtime/plan.hpp), the benches
+// and the equivalence tests all route through Registry::make(), so an NF's
+// construction defaults live in exactly one factory.
+//
+// Error contract (the "loud errors" the tools rely on): every failure is a
+// RegistryError whose message names the offending kind/option AND lists the
+// valid choices — an unknown kind lists every registered NF, an unknown or
+// malformed option lists that NF's option keys.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/state_function.hpp"
+#include "nf/network_function.hpp"
+
+namespace speedybox::nf {
+
+/// One chain-spec token, parsed. Options keep their spelling order so
+/// to_string() round-trips the token (parse(to_string(s)) == s), which the
+/// plan layer's JSON serialization leans on. Keys within one spec must be
+/// unique (duplicate keys are rejected at parse time).
+struct NfSpec {
+  std::string kind;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  /// Parse `kind[:key[=value]]...`. Throws RegistryError on an empty token,
+  /// an empty option key, or a duplicate key. Does NOT check the kind or
+  /// keys against the registry — Registry::make() does, so specs for
+  /// not-yet-registered NFs can still be represented.
+  static NfSpec parse(std::string_view token);
+
+  /// The canonical token: kind, then options in spelling order
+  /// (value-less flags render bare).
+  std::string to_string() const;
+
+  /// First value for `key`; nullptr when absent.
+  const std::string* option(std::string_view key) const noexcept;
+  bool has_option(std::string_view key) const noexcept {
+    return option(key) != nullptr;
+  }
+
+  bool operator==(const NfSpec&) const = default;
+};
+
+/// Every registry failure: unknown kind, unknown option, malformed value.
+/// The message always names the offender and lists the valid choices.
+class RegistryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Registry {
+ public:
+  struct Entry {
+    /// One-line summary for listings (usage text, error messages).
+    std::string description;
+    /// Valid option keys, in documentation order. make() rejects any spec
+    /// option not in this list.
+    std::vector<std::string> option_keys;
+    /// Worst-case payload access of the NF's recorded state functions for
+    /// this spec — what the consolidation planner feeds Table I's
+    /// parallelizable() predicate. A function of the spec because options
+    /// change it (monitor:heavy records a READ histogram pass,
+    /// synthetic:access=write a WRITE kernel).
+    std::function<core::PayloadAccess(const NfSpec&)> payload_access;
+    std::function<std::unique_ptr<NetworkFunction>(const NfSpec&,
+                                                   const std::string& label)>
+        factory;
+  };
+
+  /// The process-wide registry with every built-in NF registered.
+  static const Registry& instance();
+
+  bool contains(std::string_view kind) const noexcept;
+  /// Registered kinds in registration (documentation) order.
+  std::vector<std::string> kinds() const;
+  /// Throws RegistryError listing every registered kind when unknown.
+  const Entry& entry(const std::string& kind) const;
+
+  /// Validate the spec against the kind's entry (unknown kind, unknown
+  /// option keys) and construct the NF named `label`. Option-value errors
+  /// surface as RegistryError from the factory.
+  std::unique_ptr<NetworkFunction> make(const NfSpec& spec,
+                                        const std::string& label) const;
+
+  /// The spec's state-function payload-access class (validates the spec the
+  /// same way make() does, without constructing).
+  core::PayloadAccess payload_access(const NfSpec& spec) const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+  void add(std::string kind, Entry entry);
+  void check_options(const NfSpec& spec, const Entry& entry) const;
+
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+}  // namespace speedybox::nf

@@ -258,4 +258,20 @@ std::vector<SnortRule> parse_snort_rules(std::string_view text) {
   return rules;
 }
 
+std::vector<SnortRule> default_snort_rules() {
+  return parse_snort_rules(R"(
+# Alert rules: exploit signatures.
+alert tcp any any -> any 80 (content:"cmd.exe"; msg:"win shell probe"; sid:1001;)
+alert tcp any any -> any 80 (content:"/etc/passwd"; msg:"path traversal"; sid:1002;)
+alert tcp any any -> any any (content:"SELECT"; content:"UNION"; msg:"sql injection"; sid:1003;)
+alert tcp any any -> any 80 (content:"ADMIN"; nocase; msg:"admin probe"; sid:1004;)
+# Log rules: suspicious but not alert-worthy.
+log tcp any any -> any 80 (content:"wget http"; msg:"downloader"; sid:2001;)
+log tcp any any -> any any (content:"base64,"; msg:"encoded blob"; sid:2002;)
+log tcp any any -> any any (content:"POST /upload"; offset:0; depth:128; msg:"upload"; sid:2003;)
+# Pass rule: whitelisted health checks.
+pass tcp any any -> any 80 (content:"GET /healthz"; msg:"health check"; sid:3001;)
+)");
+}
+
 }  // namespace speedybox::nf

@@ -78,4 +78,10 @@ std::vector<SnortRule> parse_snort_rules(std::string_view text);
 /// Parse dotted-quad "a.b.c.d"; nullopt on malformed input.
 std::optional<net::Ipv4Addr> parse_ipv4(std::string_view text) noexcept;
 
+/// The default rule set used by examples/benchmarks and the NF registry's
+/// `snort` factory: pass, alert and log rules covering all three Snort
+/// inspection outcomes (§VII-C-1). trace::default_snort_rules() forwards
+/// here so the workload synthesizer plants the same contents.
+std::vector<SnortRule> default_snort_rules();
+
 }  // namespace speedybox::nf

@@ -1,0 +1,159 @@
+#include "runtime/planner.hpp"
+
+#include <cmath>
+
+#include "core/parallel_schedule.hpp"
+#include "util/cycle_clock.hpp"
+
+namespace speedybox::plan {
+
+Profile Profile::from_snapshot(const telemetry::Json& snapshot) {
+  const telemetry::Json* aggregate = snapshot.find("aggregate");
+  const telemetry::Json* per_nf =
+      aggregate != nullptr ? aggregate->find("per_nf") : nullptr;
+  if (per_nf == nullptr || !per_nf->is_array()) {
+    throw PlanError(
+        "profile: snapshot has no aggregate.per_nf array (was the run "
+        "recorded with --metrics-out?)");
+  }
+  Profile profile;
+  for (const telemetry::Json& entry : per_nf->elements()) {
+    NfProfile nf;
+    if (const telemetry::Json* name = entry.find("nf")) {
+      nf.nf = name->as_string();
+    }
+    if (const telemetry::Json* packets = entry.find("packets")) {
+      nf.packets = packets->as_integer();
+    }
+    if (const telemetry::Json* cycles = entry.find("cycles")) {
+      const telemetry::Json* count = cycles->find("count");
+      if (count == nullptr || count->as_integer() == 0) continue;
+      if (const telemetry::Json* mean = cycles->find("mean")) {
+        nf.mean_cycles = mean->as_number();
+      }
+      if (const telemetry::Json* p95 = cycles->find("p95")) {
+        nf.p95_cycles = p95->as_number();
+      }
+    }
+    if (nf.nf.empty() || nf.mean_cycles <= 0.0) continue;
+    profile.per_nf.push_back(std::move(nf));
+  }
+  return profile;
+}
+
+Profile Profile::from_jsonl(std::string_view text) {
+  // The snapshots are cumulative, so the last line is the most complete.
+  std::string_view last;
+  while (!text.empty()) {
+    const std::size_t newline = text.find('\n');
+    const std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    if (line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      last = line;
+    }
+    if (newline == std::string_view::npos) break;
+    text.remove_prefix(newline + 1);
+  }
+  if (last.empty()) {
+    throw PlanError("profile: metrics capture is empty");
+  }
+  const auto json = telemetry::Json::parse(last);
+  if (!json) {
+    throw PlanError("profile: last metrics line is not valid JSON");
+  }
+  return from_snapshot(*json);
+}
+
+const NfProfile* Profile::find(std::string_view name) const noexcept {
+  for (const NfProfile& nf : per_nf) {
+    if (nf.nf == name) return &nf;
+  }
+  return nullptr;
+}
+
+DeploymentPlan plan_deployment(const ChainSpec& spec, const Profile& profile,
+                               const PlannerConfig& config,
+                               PlanRationale* rationale_out) {
+  spec.validate();
+  if (config.target_mpps <= 0.0) {
+    throw PlanError("planner: target_mpps must be > 0");
+  }
+  const nf::Registry& registry = nf::Registry::instance();
+  const double hz = config.cpu_ghz > 0.0
+                        ? config.cpu_ghz * 1e9
+                        : util::CycleClock::frequency_hz();
+
+  PlanRationale rationale;
+  std::vector<core::PayloadAccess> access;
+  access.reserve(spec.nfs.size());
+  for (std::size_t i = 0; i < spec.nfs.size(); ++i) {
+    access.push_back(registry.payload_access(spec.nfs[i]));
+    // Profile entries are labeled the way build_chain labels NFs.
+    const std::string label =
+        spec.nfs[i].kind + "-" + std::to_string(i);
+    const NfProfile* nf = profile.find(label);
+    if (nf == nullptr) nf = profile.find(spec.nfs[i].kind);
+    rationale.nf_profiled.push_back(nf != nullptr);
+    rationale.nf_cycles.push_back(nf != nullptr ? nf->mean_cycles
+                                                : config.default_nf_cycles);
+  }
+
+  // Greedy left-to-right fusion: extend the current segment while the next
+  // NF is Table-I-parallelizable with EVERY member (an earlier WRITE
+  // forbids any later touch, so pairwise over the whole run).
+  DeploymentPlan plan;
+  plan.chain = spec;
+  std::size_t begin = 0;
+  double predicted = 0.0;
+  for (std::size_t i = 0; i <= spec.nfs.size(); ++i) {
+    bool fuse = i < spec.nfs.size() && i > begin;
+    for (std::size_t j = begin; fuse && j < i; ++j) {
+      fuse = core::parallelizable(access[j], access[i]);
+    }
+    if (i < spec.nfs.size() && (i == begin || fuse)) continue;
+    // Close [begin, i): parallel members overlap, so the segment costs its
+    // bottleneck NF plus one hop; sequential members cost the sum.
+    SegmentSpec segment;
+    segment.nf_count = i - begin;
+    segment.parallel = segment.nf_count > 1;
+    double cost = 0.0;
+    for (std::size_t j = begin; j < i; ++j) {
+      cost = segment.parallel ? std::max(cost, rationale.nf_cycles[j])
+                              : cost + rationale.nf_cycles[j];
+    }
+    predicted += cost + config.hop_cycles;
+    plan.segments.push_back(segment);
+    begin = i;
+  }
+
+  rationale.predicted_cycles_per_packet = predicted;
+  rationale.predicted_single_core_mpps =
+      predicted > 0.0 ? hz / predicted / 1e6 : 0.0;
+  const double needed =
+      rationale.predicted_single_core_mpps > 0.0
+          ? config.target_mpps / rationale.predicted_single_core_mpps
+          : 1.0;
+  std::size_t shards = static_cast<std::size_t>(std::ceil(needed));
+  if (shards < 1) shards = 1;
+  if (shards > config.max_shards) shards = config.max_shards;
+  rationale.shards = shards;
+
+  plan.speedybox = true;
+  if (shards > 1) {
+    plan.executor = ExecutorKind::kSharded;
+    plan.shards = shards;
+  } else {
+    plan.executor = ExecutorKind::kRunner;
+  }
+  // Cheap chains are ring-amortization-bound: one burst-size notch up.
+  plan.batch_size = predicted < 4.0 * config.hop_cycles
+                        ? 2 * net::kDefaultBatchSize
+                        : net::kDefaultBatchSize;
+  plan.predicted_cycles_per_packet = predicted;
+  plan.target_rate_mpps = config.target_mpps;
+  plan.validate();
+  if (rationale_out != nullptr) *rationale_out = rationale;
+  return plan;
+}
+
+}  // namespace speedybox::plan

@@ -1,0 +1,92 @@
+// Offline profile-guided consolidation planner (DESIGN.md §12, in the
+// spirit of CoCo's optimized consolidation of modularized chains).
+//
+// Input: a ChainSpec plus a Profile — per-NF cycle statistics parsed from a
+// telemetry snapshot (the JSON-lines `--metrics-out` file, aggregate.per_nf).
+// Output: the DeploymentPlan predicted to meet the target rate:
+//
+//   * Consolidation segments: maximal runs of adjacent NFs whose state
+//     functions are pairwise parallelizable under Table I (the registry's
+//     payload-access metadata) are fused and marked `parallel` — their
+//     per-packet cost is modeled as the bottleneck member (max) instead of
+//     the sum, the §V-C2 overlap. Non-parallelizable neighbors start a new
+//     segment.
+//   * Shards: predicted single-core rate = cpu_hz / predicted cycles; the
+//     plan shards (ceil(target/rate), capped) only when one core cannot
+//     meet the target — otherwise the single-threaded runner wins (no ring
+//     hops, no merge).
+//   * Batch size: the default burst unless the chain is so cheap that ring
+//     amortization dominates, then one notch up.
+//
+// The model is deliberately coarse — it ranks configurations, it does not
+// forecast absolute Mpps — and every prediction is written into the plan
+// (predicted_cycles_per_packet, target_rate_mpps) so bench_plan can hold
+// the planner accountable against the measured default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/plan.hpp"
+
+namespace speedybox::plan {
+
+struct NfProfile {
+  std::string nf;  // telemetry per-NF label ("<kind>-<index>")
+  std::uint64_t packets = 0;
+  double mean_cycles = 0.0;
+  double p95_cycles = 0.0;
+};
+
+/// Per-NF cycle statistics lifted out of a telemetry snapshot.
+struct Profile {
+  std::vector<NfProfile> per_nf;
+
+  /// From one parsed snapshot document (reads aggregate.per_nf; entries
+  /// with zero samples are skipped). Throws PlanError when the document
+  /// has no aggregate.per_nf array.
+  static Profile from_snapshot(const telemetry::Json& snapshot);
+  /// From a JSON-lines `--metrics-out` capture: the LAST non-empty line
+  /// (cumulative counters make it the most complete). Throws PlanError on
+  /// empty input or a malformed final line.
+  static Profile from_jsonl(std::string_view text);
+
+  const NfProfile* find(std::string_view name) const noexcept;
+  bool empty() const noexcept { return per_nf.empty(); }
+};
+
+struct PlannerConfig {
+  /// The rate the deployment must sustain.
+  double target_mpps = 1.0;
+  std::size_t max_shards = 8;
+  /// Core frequency for the cycles->rate conversion; 0 = this machine's
+  /// measured TSC frequency (fine when profiling host == planning host).
+  double cpu_ghz = 0.0;
+  /// Modeled per-NF fixed cost outside the profiled work (classifier/MAT
+  /// touch, ring hand-off) — what consolidation saves per fused boundary.
+  double hop_cycles = 60.0;
+  /// Cost assumed for an NF the profile has no samples for (a loud
+  /// planner would refuse; a useful one plans conservatively).
+  double default_nf_cycles = 500.0;
+};
+
+/// The planner's reasoning, for logs and tests.
+struct PlanRationale {
+  std::vector<double> nf_cycles;       // per-NF modeled cost (chain order)
+  std::vector<bool> nf_profiled;       // false = default_nf_cycles fallback
+  double predicted_cycles_per_packet = 0.0;
+  double predicted_single_core_mpps = 0.0;
+  std::size_t shards = 1;  // 1 = single-threaded runner
+};
+
+/// Plan `spec` against `profile` to meet `config.target_mpps`. Returns a
+/// validated DeploymentPlan (runner or sharded executor, speedybox mode);
+/// `rationale_out`, when non-null, receives the model's intermediates.
+DeploymentPlan plan_deployment(const ChainSpec& spec, const Profile& profile,
+                               const PlannerConfig& config,
+                               PlanRationale* rationale_out = nullptr);
+
+}  // namespace speedybox::plan

@@ -1,6 +1,7 @@
 #include "runtime/speedybox_pipeline.hpp"
 
 #include <span>
+#include <stdexcept>
 
 #include "core/api.hpp"
 #include "net/packet_batch.hpp"
@@ -9,17 +10,34 @@
 namespace speedybox::runtime {
 
 SpeedyBoxPipeline::SpeedyBoxPipeline(ServiceChain& chain,
-                                     std::size_t ring_capacity)
+                                     std::size_t ring_capacity,
+                                     std::vector<std::size_t> segment_sizes)
     : chain_(chain), completions_(ring_capacity) {
-  rings_.reserve(chain_.size());
-  stop_flags_.reserve(chain_.size());
-  for (std::size_t i = 0; i < chain_.size(); ++i) {
+  if (segment_sizes.empty()) {
+    segment_sizes.assign(chain_.size(), 1);
+  }
+  std::size_t begin = 0;
+  for (const std::size_t size : segment_sizes) {
+    if (size == 0 || begin + size > chain_.size()) {
+      throw std::invalid_argument(
+          "SpeedyBoxPipeline: segment sizes do not partition the chain");
+    }
+    stages_.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  if (begin != chain_.size()) {
+    throw std::invalid_argument(
+        "SpeedyBoxPipeline: segment sizes do not partition the chain");
+  }
+  rings_.reserve(stages_.size());
+  stop_flags_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
     rings_.push_back(
         std::make_unique<util::SpscRing<Descriptor>>(ring_capacity));
     stop_flags_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
-  workers_.reserve(chain_.size());
-  for (std::size_t i = 0; i < chain_.size(); ++i) {
+  workers_.reserve(stages_.size());
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
     workers_.emplace_back([this, i] { worker(i); });
   }
 }
@@ -30,7 +48,8 @@ SpeedyBoxPipeline::~SpeedyBoxPipeline() {
 
 void SpeedyBoxPipeline::worker(std::size_t stage) {
   util::SpscRing<Descriptor>& in = *rings_[stage];
-  const bool last = stage + 1 == chain_.size();
+  const auto [begin, end] = stages_[stage];
+  const bool last = stage + 1 == stages_.size();
   // Burst discipline (DESIGN.md §8): pop up to a batch of descriptors with
   // one ring round-trip, process them in pop order, then forward the whole
   // burst downstream with one push per burst. Per-descriptor semantics —
@@ -50,32 +69,39 @@ void SpeedyBoxPipeline::worker(std::size_t stage) {
 
     for (std::size_t d = 0; d < popped; ++d) {
       Descriptor& descriptor = burst[d];
-      if (descriptor.packet != nullptr && !descriptor.packet->dropped()) {
+      if (descriptor.packet != nullptr) {
+        // Consolidated stage: the fused NFs run sequentially in chain
+        // order on this core, re-checking the drop flag between NFs just
+        // as the per-NF stages did across ring hops.
         net::Packet& packet = *descriptor.packet;
-        if (descriptor.recording) {
-          core::SpeedyBoxContext ctx{chain_.local_mat(stage),
-                                     chain_.global_mat().event_table(),
-                                     descriptor.fid};
-          chain_.nf(stage).process(packet, &ctx);
-        } else if (descriptor.rule != nullptr) {
-          // Execute this NF's recorded state-function batch, if any.
-          for (const auto& batch : descriptor.rule->batches) {
-            if (batch.nf_index != stage) continue;
-            if (const auto parsed = net::parse_packet(packet)) {
-              batch.execute(packet, *parsed);
+        for (std::size_t nf = begin; nf < end && !packet.dropped(); ++nf) {
+          if (descriptor.recording) {
+            core::SpeedyBoxContext ctx{chain_.local_mat(nf),
+                                       chain_.global_mat().event_table(),
+                                       descriptor.fid};
+            chain_.nf(nf).process(packet, &ctx);
+          } else if (descriptor.rule != nullptr) {
+            // Execute this NF's recorded state-function batch, if any.
+            for (const auto& batch : descriptor.rule->batches) {
+              if (batch.nf_index != nf) continue;
+              if (const auto parsed = net::parse_packet(packet)) {
+                batch.execute(packet, *parsed);
+              }
+              break;
             }
-            break;
           }
         }
       }
 
       // Teardown hooks mutate NF-internal per-flow state, so they must run
-      // here — on the core that owns this NF — not on the manager. Per-flow
-      // FIFO guarantees every earlier packet of the flow already passed
-      // this stage. (Descriptors with a null packet are pure teardown
-      // markers for flows the manager finished inline.)
+      // here — on the core that owns these NFs — not on the manager.
+      // Per-flow FIFO guarantees every earlier packet of the flow already
+      // passed this stage. (Descriptors with a null packet are pure
+      // teardown markers for flows the manager finished inline.)
       if (descriptor.teardown) {
-        chain_.local_mat(stage).run_teardown_hooks(descriptor.fid);
+        for (std::size_t nf = begin; nf < end; ++nf) {
+          chain_.local_mat(nf).run_teardown_hooks(descriptor.fid);
+        }
       }
     }
 

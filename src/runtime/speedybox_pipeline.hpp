@@ -52,8 +52,17 @@ class SpeedyBoxPipeline : public Executor {
   /// The chain (NFs, MATs, classifier) is borrowed and must outlive the
   /// pipeline; its NFs' internal state must only be inspected after
   /// stop_and_collect().
+  ///
+  /// `segment_sizes` partitions the chain into consolidated stages: each
+  /// entry is the number of consecutive NFs fused onto one worker core
+  /// (plan::DeploymentPlan::segment_sizes()). Fused NFs run sequentially
+  /// in chain order on their core, so outputs are byte-identical at every
+  /// partition — only the ring-hop count changes. Empty = one NF per
+  /// stage, the historical shape. Throws std::invalid_argument when the
+  /// sizes do not cover the chain exactly.
   explicit SpeedyBoxPipeline(ServiceChain& chain,
-                             std::size_t ring_capacity = 1024);
+                             std::size_t ring_capacity = 1024,
+                             std::vector<std::size_t> segment_sizes = {});
   ~SpeedyBoxPipeline();
 
   SpeedyBoxPipeline(const SpeedyBoxPipeline&) = delete;
@@ -142,6 +151,8 @@ class SpeedyBoxPipeline : public Executor {
   void dispatch_teardown_marker(std::uint32_t fid);
 
   ServiceChain& chain_;
+  /// Per-stage [begin, end) NF ranges (one worker thread + ring each).
+  std::vector<std::pair<std::size_t, std::size_t>> stages_;
   telemetry::ShardMetrics* metrics_ = nullptr;
   std::unique_ptr<OverloadController> controller_;
   std::vector<std::unique_ptr<util::SpscRing<Descriptor>>> rings_;

@@ -40,19 +40,10 @@ std::vector<std::int32_t> plant_rule_contents(
 }
 
 std::vector<nf::SnortRule> default_snort_rules() {
-  return nf::parse_snort_rules(R"(
-# Alert rules: exploit signatures.
-alert tcp any any -> any 80 (content:"cmd.exe"; msg:"win shell probe"; sid:1001;)
-alert tcp any any -> any 80 (content:"/etc/passwd"; msg:"path traversal"; sid:1002;)
-alert tcp any any -> any any (content:"SELECT"; content:"UNION"; msg:"sql injection"; sid:1003;)
-alert tcp any any -> any 80 (content:"ADMIN"; nocase; msg:"admin probe"; sid:1004;)
-# Log rules: suspicious but not alert-worthy.
-log tcp any any -> any 80 (content:"wget http"; msg:"downloader"; sid:2001;)
-log tcp any any -> any any (content:"base64,"; msg:"encoded blob"; sid:2002;)
-log tcp any any -> any any (content:"POST /upload"; offset:0; depth:128; msg:"upload"; sid:2003;)
-# Pass rule: whitelisted health checks.
-pass tcp any any -> any 80 (content:"GET /healthz"; msg:"health check"; sid:3001;)
-)");
+  // The canonical rule set lives with the Snort parser in the nf layer so
+  // the NF registry (which trace links against) can build `snort` without
+  // a dependency cycle; this forwarder keeps the historical trace:: name.
+  return nf::default_snort_rules();
 }
 
 }  // namespace speedybox::trace

@@ -1,0 +1,62 @@
+// THE §VII-C evaluation chains and workloads for the test suite, built
+// from the single registry-backed spec definitions in runtime/plan.hpp —
+// tests must not hand-roll emplace_nf builders for these chains, so a
+// change to the canonical topology propagates everywhere at once.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "runtime/chain.hpp"
+#include "runtime/plan.hpp"
+#include "trace/payload_synth.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::testing {
+
+/// Chain 1 (gateway): MazuNAT -> Maglev(5 backends, table 1021) -> Monitor
+/// -> IPFilter(empty ACL). NFs are labeled "<kind>-<index>".
+inline std::unique_ptr<runtime::ServiceChain> make_chain1() {
+  return plan::build_chain(plan::vii_c_chain1());
+}
+
+/// Chain 2 (IDS): IPFilter(drop 10.1.3.0/24) -> Snort -> Monitor.
+inline std::unique_ptr<runtime::ServiceChain> make_chain2() {
+  return plan::build_chain(plan::vii_c_chain2());
+}
+
+/// Typed access to the index-th NF of a registry-built chain (for
+/// asserting on NF-internal state). Throws on a type mismatch so a
+/// reordered spec fails loudly instead of null-dereferencing.
+template <typename Nf>
+Nf& nf_at(runtime::ServiceChain& chain, std::size_t index) {
+  auto* nf = dynamic_cast<Nf*>(&chain.nf(index));
+  if (nf == nullptr) {
+    throw std::logic_error("chain NF " + std::to_string(index) +
+                           " is not the expected type");
+  }
+  return *nf;
+}
+
+/// The canonical chain-1 evaluation workload (datacenter mix, 80 flows).
+inline trace::Workload chain1_workload() {
+  trace::DatacenterWorkloadConfig config;
+  config.flow_count = 80;
+  config.seed = 20190708;
+  return make_datacenter_workload(config);
+}
+
+/// The canonical chain-2 evaluation workload: datacenter mix with Snort
+/// rule contents planted into a quarter of the payloads.
+inline trace::Workload chain2_workload() {
+  trace::DatacenterWorkloadConfig config;
+  config.flow_count = 60;
+  config.seed = 5550123;
+  trace::Workload workload = make_datacenter_workload(config);
+  trace::PayloadSynthConfig synth;
+  synth.match_fraction = 0.25;
+  plant_rule_contents(workload, trace::default_snort_rules(), synth);
+  return workload;
+}
+
+}  // namespace speedybox::testing

@@ -17,68 +17,20 @@
 
 #include <gtest/gtest.h>
 
-#include "nf/ip_filter.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
+#include "chain_fixtures.hpp"
 #include "net/packet_batch.hpp"
 #include "runtime/runner.hpp"
 #include "test_helpers.hpp"
-#include "trace/payload_synth.hpp"
 #include "trace/workload.hpp"
 
 namespace speedybox::runtime {
 namespace {
 
+using speedybox::testing::chain1_workload;
+using speedybox::testing::chain2_workload;
+using speedybox::testing::make_chain1;
+using speedybox::testing::make_chain2;
 using speedybox::testing::same_bytes;
-
-std::vector<nf::Backend> five_backends() {
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                    10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return backends;
-}
-
-std::unique_ptr<ServiceChain> make_chain1() {
-  auto chain = std::make_unique<ServiceChain>("chain1");
-  chain->emplace_nf<nf::MazuNat>();
-  chain->emplace_nf<nf::MaglevLb>(five_backends(), std::size_t{1021});
-  chain->emplace_nf<nf::Monitor>();
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{});
-  return chain;
-}
-
-std::unique_ptr<ServiceChain> make_chain2() {
-  auto chain = std::make_unique<ServiceChain>("chain2");
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{
-      nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 1, 3, 0}, 24)});
-  chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-  chain->emplace_nf<nf::Monitor>();
-  return chain;
-}
-
-trace::Workload chain1_workload() {
-  trace::DatacenterWorkloadConfig config;
-  config.flow_count = 80;
-  config.seed = 20190708;
-  return make_datacenter_workload(config);
-}
-
-trace::Workload chain2_workload() {
-  trace::DatacenterWorkloadConfig config;
-  config.flow_count = 60;
-  config.seed = 5550123;
-  trace::Workload workload = make_datacenter_workload(config);
-  trace::PayloadSynthConfig synth;
-  synth.match_fraction = 0.25;
-  plant_rule_contents(workload, trace::default_snort_rules(), synth);
-  return workload;
-}
 
 std::vector<net::Packet> materialize_all(const trace::Workload& workload) {
   std::vector<net::Packet> packets;

@@ -17,6 +17,7 @@
 // asserts exact per-key equality.
 #include <gtest/gtest.h>
 
+#include "chain_fixtures.hpp"
 #include "equivalence/equivalence_helpers.hpp"
 #include "nf/ip_filter.hpp"
 #include "nf/maglev_lb.hpp"
@@ -29,44 +30,17 @@
 namespace speedybox::runtime {
 namespace {
 
+using speedybox::testing::chain1_workload;
+using speedybox::testing::chain2_workload;
 using speedybox::testing::expect_identical_outputs;
+using speedybox::testing::nf_at;
 using speedybox::testing::run_chain;
 
-std::vector<nf::Backend> five_backends() {
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(
-                                                    10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return backends;
-}
-
-trace::Workload chain1_workload() {
-  trace::DatacenterWorkloadConfig config;
-  config.flow_count = 80;
-  config.seed = 20190708;
-  return make_datacenter_workload(config);
-}
-
-trace::Workload chain2_workload() {
-  trace::DatacenterWorkloadConfig config;
-  config.flow_count = 60;
-  config.seed = 5550123;
-  trace::Workload workload = make_datacenter_workload(config);
-  trace::PayloadSynthConfig synth;
-  synth.match_fraction = 0.25;
-  plant_rule_contents(workload, trace::default_snort_rules(), synth);
-  return workload;
-}
-
 struct Chain1 {
-  std::unique_ptr<ServiceChain> chain = std::make_unique<ServiceChain>();
+  std::unique_ptr<ServiceChain> chain;
   nf::MazuNat* nat;
   nf::MaglevLb* lb;
   nf::Monitor* monitor;
-  nf::IpFilter* filter;
 
   /// Like the paper's Fig-8/§VII-C setup, the default ACL is tuned to avoid
   /// drops: a tail drop would legitimately diverge the *internal* counters
@@ -74,15 +48,15 @@ struct Chain1 {
   /// that IS the R2 optimization), so drop behavior is asserted separately
   /// on packet outputs only (Chain1WithTailDropOutputsIdentical).
   explicit Chain1(bool with_drops = false) {
-    nat = &chain->emplace_nf<nf::MazuNat>();
-    lb = &chain->emplace_nf<nf::MaglevLb>(five_backends(), std::size_t{1021});
-    monitor = &chain->emplace_nf<nf::Monitor>();
-    std::vector<nf::AclRule> acl;
+    plan::ChainSpec spec = plan::vii_c_chain1();
     if (with_drops) {
-      acl.push_back(
-          nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 2, 0, 14}, 32));
+      spec.nfs.back() =
+          nf::NfSpec::parse("ipfilter:drop-dst-prefix=10.2.0.14/32");
     }
-    filter = &chain->emplace_nf<nf::IpFilter>(acl);
+    chain = plan::build_chain(spec);
+    nat = &nf_at<nf::MazuNat>(*chain, 0);
+    lb = &nf_at<nf::MaglevLb>(*chain, 1);
+    monitor = &nf_at<nf::Monitor>(*chain, 2);
   }
 };
 
@@ -147,15 +121,13 @@ TEST(RealChainEquivalence, Chain2SnortMonitor) {
 
   const auto build = [] {
     struct Chain2 {
-      std::unique_ptr<ServiceChain> chain = std::make_unique<ServiceChain>();
-      nf::IpFilter* filter;
+      std::unique_ptr<ServiceChain> chain;
       nf::SnortIds* snort;
       nf::Monitor* monitor;
     } c;
-    c.filter = &c.chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{
-        nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 1, 3, 0}, 24)});
-    c.snort = &c.chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-    c.monitor = &c.chain->emplace_nf<nf::Monitor>();
+    c.chain = speedybox::testing::make_chain2();
+    c.snort = &nf_at<nf::SnortIds>(*c.chain, 1);
+    c.monitor = &nf_at<nf::Monitor>(*c.chain, 2);
     return c;
   };
 

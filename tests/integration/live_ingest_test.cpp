@@ -15,16 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "chain_fixtures.hpp"
 #include "io/ingest_executor.hpp"
 #include "io/ingest_server.hpp"
 #include "io/loadgen.hpp"
 #include "io/socket.hpp"
 #include "nf/dos_prevention.hpp"
-#include "nf/ip_filter.hpp"
-#include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
 #include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sharded_runtime.hpp"
 #include "test_helpers.hpp"
@@ -36,36 +33,10 @@ namespace {
 
 using speedybox::testing::same_bytes;
 
-std::vector<nf::Backend> five_backends() {
-  std::vector<nf::Backend> backends;
-  for (int i = 0; i < 5; ++i) {
-    backends.push_back({"backend-" + std::to_string(i),
-                        net::Ipv4Addr{10, 2, 0,
-                                      static_cast<std::uint8_t>(10 + i)},
-                        static_cast<std::uint16_t>(8000 + i), true});
-  }
-  return backends;
-}
-
 /// §VII-C Chain 1: MazuNAT -> Maglev -> Monitor -> IPFilter.
-std::unique_ptr<runtime::ServiceChain> chain1_gateway() {
-  auto chain = std::make_unique<runtime::ServiceChain>("chain1_gateway");
-  chain->emplace_nf<nf::MazuNat>();
-  chain->emplace_nf<nf::MaglevLb>(five_backends(), std::size_t{1021});
-  chain->emplace_nf<nf::Monitor>();
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{});
-  return chain;
-}
-
+const auto chain1_gateway = speedybox::testing::make_chain1;
 /// §VII-C Chain 2: IPFilter -> Snort -> Monitor.
-std::unique_ptr<runtime::ServiceChain> chain2_inspection() {
-  auto chain = std::make_unique<runtime::ServiceChain>("chain2_inspection");
-  chain->emplace_nf<nf::IpFilter>(std::vector<nf::AclRule>{
-      nf::AclRule::drop_dst_prefix(net::Ipv4Addr{10, 1, 3, 0}, 24)});
-  chain->emplace_nf<nf::SnortIds>(trace::default_snort_rules());
-  chain->emplace_nf<nf::Monitor>();
-  return chain;
-}
+const auto chain2_inspection = speedybox::testing::make_chain2;
 
 trace::Workload small_datacenter_workload(std::uint64_t seed,
                                           bool plant_snort) {

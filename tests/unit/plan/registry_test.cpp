@@ -1,0 +1,162 @@
+// nf::Registry and NfSpec: token parsing, the library-level name->factory
+// lookup, and — per the ISSUE — the error paths: an unknown NF name or a
+// malformed option must name the offender and list the valid choices, so a
+// typo in --chain or a plan file fails loudly instead of building the wrong
+// chain.
+#include <gtest/gtest.h>
+
+#include "core/state_function.hpp"
+#include "nf/dos_prevention.hpp"
+#include "nf/ip_filter.hpp"
+#include "nf/maglev_lb.hpp"
+#include "nf/mazu_nat.hpp"
+#include "nf/monitor.hpp"
+#include "nf/registry.hpp"
+#include "nf/snort_ids.hpp"
+
+namespace speedybox::nf {
+namespace {
+
+/// EXPECT that `expr` throws RegistryError whose message contains every
+/// needle — the loud-error contract.
+template <typename Fn>
+void expect_registry_error(Fn&& fn,
+                           std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected RegistryError";
+  } catch (const RegistryError& error) {
+    const std::string message = error.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "message \"" << message << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+TEST(NfSpec, ParsesKindAndOptions) {
+  const NfSpec spec = NfSpec::parse("maglev:backends=5:port=8000:heavy");
+  EXPECT_EQ(spec.kind, "maglev");
+  ASSERT_EQ(spec.options.size(), 3u);
+  ASSERT_NE(spec.option("backends"), nullptr);
+  EXPECT_EQ(*spec.option("backends"), "5");
+  ASSERT_NE(spec.option("heavy"), nullptr);
+  EXPECT_EQ(*spec.option("heavy"), "");  // value-less flag option
+  EXPECT_EQ(spec.option("missing"), nullptr);
+  EXPECT_TRUE(spec.has_option("heavy"));
+}
+
+TEST(NfSpec, ToStringRoundTrips) {
+  for (const char* token :
+       {"nat", "maglev:backends=5:table=1021:subnet=10.2.0.10:port=8000",
+        "monitor:heavy", "ipfilter:drop-dst-prefix=10.1.3.0/24",
+        "synthetic:iterations=100:access=write"}) {
+    const NfSpec spec = NfSpec::parse(token);
+    EXPECT_EQ(spec.to_string(), token);
+    EXPECT_EQ(NfSpec::parse(spec.to_string()), spec);
+  }
+}
+
+TEST(NfSpec, RejectsMalformedTokens) {
+  expect_registry_error([] { NfSpec::parse(""); }, {"empty NF name"});
+  expect_registry_error([] { NfSpec::parse(":backends=5"); },
+                        {"empty NF name"});
+  expect_registry_error([] { NfSpec::parse("maglev:=5"); },
+                        {"maglev", "empty option"});
+  expect_registry_error(
+      [] { NfSpec::parse("maglev:backends=5:backends=9"); },
+      {"maglev", "duplicate option 'backends'"});
+}
+
+TEST(Registry, UnknownKindListsRegisteredNfs) {
+  // The loud-error contract: the message names the offender AND the menu.
+  expect_registry_error(
+      [] {
+        Registry::instance().make(NfSpec::parse("natt"), "x");
+      },
+      {"unknown NF 'natt'", "registered NFs:", "nat", "maglev", "snort"});
+}
+
+TEST(Registry, UnknownOptionListsValidOptions) {
+  expect_registry_error(
+      [] {
+        Registry::instance().make(NfSpec::parse("maglev:bogus=1"), "x");
+      },
+      {"maglev", "unknown option 'bogus'", "valid options:", "backends",
+       "table"});
+  expect_registry_error(
+      [] { Registry::instance().make(NfSpec::parse("nat:foo=1"), "x"); },
+      {"nat", "unknown option 'foo'", "takes no options"});
+}
+
+TEST(Registry, MalformedOptionValuesNameTheOffender) {
+  expect_registry_error(
+      [] {
+        Registry::instance().make(NfSpec::parse("maglev:backends=zero"),
+                                  "x");
+      },
+      {"maglev", "backends=zero", "malformed"});
+  expect_registry_error(
+      [] {
+        Registry::instance().make(
+            NfSpec::parse("ipfilter:drop-dst-prefix=10.1.3.0"), "x");
+      },
+      {"ipfilter", "drop-dst-prefix", "A.B.C.D/LEN"});
+  expect_registry_error(
+      [] {
+        Registry::instance().make(NfSpec::parse("synthetic:access=maybe"),
+                                  "x");
+      },
+      {"synthetic", "access=maybe", "read, write or ignore"});
+}
+
+TEST(Registry, FactoriesProduceTheExpectedTypes) {
+  const Registry& registry = Registry::instance();
+  const auto is = [&](const char* token, auto* tag) {
+    using Nf = std::remove_pointer_t<decltype(tag)>;
+    const auto nf = registry.make(NfSpec::parse(token), "label");
+    EXPECT_NE(dynamic_cast<Nf*>(nf.get()), nullptr) << token;
+    EXPECT_EQ(nf->name(), "label") << token;
+  };
+  is("nat", static_cast<MazuNat*>(nullptr));
+  is("maglev:backends=5:subnet=10.2.0.10:port=8000:port-stride=1",
+     static_cast<MaglevLb*>(nullptr));
+  is("monitor", static_cast<Monitor*>(nullptr));
+  is("heavymonitor", static_cast<Monitor*>(nullptr));
+  is("ipfilter:blacklist=8", static_cast<IpFilter*>(nullptr));
+  is("firewall", static_cast<IpFilter*>(nullptr));
+  is("snort", static_cast<SnortIds*>(nullptr));
+  is("dos:threshold=8", static_cast<DosPrevention*>(nullptr));
+}
+
+TEST(Registry, PayloadAccessMatchesTableIMetadata) {
+  const Registry& registry = Registry::instance();
+  using core::PayloadAccess;
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("nat")),
+            PayloadAccess::kIgnore);
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("monitor")),
+            PayloadAccess::kIgnore);
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("monitor:heavy")),
+            PayloadAccess::kRead);
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("snort")),
+            PayloadAccess::kRead);
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("vpn-out")),
+            PayloadAccess::kWrite);
+  EXPECT_EQ(registry.payload_access(NfSpec::parse("synthetic:access=write")),
+            PayloadAccess::kWrite);
+}
+
+TEST(Registry, KindsEnumeratesEveryEntry) {
+  const Registry& registry = Registry::instance();
+  const std::vector<std::string> kinds = registry.kinds();
+  EXPECT_GE(kinds.size(), 10u);
+  for (const char* expected :
+       {"nat", "maglev", "monitor", "ipfilter", "snort", "dos",
+        "synthetic", "vpn-out", "vpn-in"}) {
+    EXPECT_TRUE(registry.contains(expected)) << expected;
+  }
+  EXPECT_FALSE(registry.contains("natt"));
+}
+
+}  // namespace
+}  // namespace speedybox::nf

@@ -1,8 +1,10 @@
-// chainsim — build a service chain from a spec string, drive it with a
-// generated workload or a pcap, and report original-vs-SpeedyBox results.
+// chainsim — build a service chain from a spec string or a deployment-plan
+// document, drive it with a generated workload or a pcap, and report
+// original-vs-SpeedyBox results.
 //
 //   chainsim --chain nat,maglev,monitor,ipfilter --flows 200 --packets 20
 //   chainsim --chain ipfilter,snort,monitor --datacenter --csv
+//   chainsim --chain maglev:backends=8:table=65537,monitor   # NF options
 //   chainsim --chain nat,monitor --pcap capture.pcap
 //   chainsim --chain maglev,monitor --fail-backend-at 1000
 //   chainsim --chain vpn-out,monitor,vpn-in --export-pcap tunnel.pcap
@@ -10,18 +12,16 @@
 //   chainsim --chain nat,monitor --inject-fault nat:fail-every=100
 //   chainsim --chain nat,monitor --mode speedybox --listen 9000   # live wire
 //                                                 # mode; pair with loadgen
+//   chainsim --chain nat,monitor --emit-plan plan.json   # flags -> plan doc
+//   chainsim --plan plan.json                            # plan doc -> run
 //
-// Available NFs: nat, maglev, monitor, heavymonitor, ipfilter, firewall
-// (drops dst port 23), snort, gateway, vpn-out, vpn-in, dos, synthetic.
-//
-// All executor shapes (--executor runner|sharded|pipeline|onvm) run through
-// the one runtime::Executor interface; every combination the flags below
-// cannot express together is rejected up front by SimConfig::validate()
-// instead of being silently ignored.
+// The NF vocabulary lives in nf::Registry (nf/registry.hpp); the flag
+// surface lives in tools/sim_config.{hpp,cpp}. Both the --chain and the
+// --plan paths resolve to the same plan::DeploymentPlan, and plan::build()
+// constructs the executor — chainsim itself only owns the workload, the
+// reporting and the live front-end.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,657 +30,40 @@
 #include "control/controller.hpp"
 #include "io/ingest_executor.hpp"
 #include "io/ingest_server.hpp"
-#include "nf/dos_prevention.hpp"
-#include "nf/gateway.hpp"
-#include "nf/ip_filter.hpp"
 #include "nf/maglev_lb.hpp"
-#include "nf/mazu_nat.hpp"
-#include "nf/monitor.hpp"
-#include "nf/snort_ids.hpp"
-#include "nf/synthetic_nf.hpp"
-#include "nf/vpn_gateway.hpp"
-#include "runtime/fault_injector.hpp"
-#include "runtime/onvm_executor.hpp"
+#include "runtime/plan.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/sharded_runtime.hpp"
-#include "runtime/speedybox_pipeline.hpp"
+#include "sim_config.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "trace/payload_synth.hpp"
 #include "trace/pcap.hpp"
-#include "util/cycle_clock.hpp"
 #include "util/logging.hpp"
 
 using namespace speedybox;
+using tools::SimConfig;
 
 namespace {
 
-enum class ExecutorKind : std::uint8_t { kRunner, kSharded, kPipeline, kOnvm };
-
-const char* executor_kind_name(ExecutorKind kind) {
-  switch (kind) {
-    case ExecutorKind::kRunner:
-      return "runner";
-    case ExecutorKind::kSharded:
-      return "sharded";
-    case ExecutorKind::kPipeline:
-      return "pipeline";
-    case ExecutorKind::kOnvm:
-      return "onvm";
+/// First Maglev in the chain, for --fail-backend-at (nullptr when the
+/// chain has none — then the flag is a no-op, as before the plan layer).
+nf::MaglevLb* find_maglev(runtime::ServiceChain& chain) {
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (auto* maglev = dynamic_cast<nf::MaglevLb*>(&chain.nf(i))) {
+      return maglev;
+    }
   }
-  return "runner";
+  return nullptr;
 }
 
-/// Every chainsim knob, parsed in one place and cross-checked in
-/// validate() — a flag combination that would silently do nothing is an
-/// error, not a surprise.
-struct SimConfig {
-  std::vector<std::string> chain;
-  platform::PlatformKind platform = platform::PlatformKind::kBess;
-  bool run_original = true;
-  bool run_speedybox = true;
-  bool mode_set = false;
-  ExecutorKind executor = ExecutorKind::kRunner;
-  bool executor_set = false;
-  std::size_t flows = 100;
-  std::uint32_t packets_per_flow = 20;
-  std::size_t payload = 128;
-  bool workload_shape_set = false;  // any of --flows/--packets/--payload
-  /// uniform | datacenter | one of trace::named_scenarios()
-  /// (elephant-mice, sync-burst, flash-crowd, syn-flood).
-  std::string workload = "uniform";
-  double snort_match_fraction = 0.2;
-  std::string pcap_in;
-  std::string pcap_out;
-  std::uint64_t seed = 42;
-  long fail_backend_at = -1;  // packet index at which backend 0 dies
-  bool csv = false;
-  std::size_t shards = 0;  // 0 = single-threaded ChainRunner
-  std::size_t batch_size = net::kDefaultBatchSize;
-  std::string metrics_out;         // JSON-lines snapshot file
-  std::string metrics_prom;        // Prometheus text file (overwritten)
-  long metrics_interval_ms = 0;    // 0 = final snapshot only
-  std::uint32_t trace_sample = 0;  // 1-in-N packet span sampling (0 = off)
-  runtime::OverloadConfig overload{};
-  bool drop_policy_set = false;
-  bool queue_capacity_set = false;
-  std::optional<std::pair<std::string, runtime::FaultSpec>> fault;
-  bool print_config = false;
-  // -- live ingestion (DESIGN.md §11; --listen switches the packet source
-  // -- from the in-process trace to a real socket) --
-  bool listen_set = false;
-  std::uint16_t listen_port = 0;  // 0 = ephemeral (printed at startup)
-  io::IngestProto listen_proto = io::IngestProto::kUdp;
-  bool proto_set = false;
-  std::size_t rx_budget = 64;
-  bool rx_budget_set = false;
-  long idle_timeout_ms = 1000;
-  bool idle_timeout_set = false;
-  // -- autoscaling (control plane; sharded executor only) --
-  bool autoscale = false;
-  double slo_us = 50.0;
-  std::size_t min_shards = 1;
-  std::size_t max_shards = 0;  // 0 = default to the starting --shards
-  std::uint64_t scale_interval = 2048;
-  bool autoscale_knob_set = false;  // any of slo/min/max/interval
-
-  static SimConfig parse(int argc, char** argv);
-  /// Exits with a diagnostic on any flag combination that would be
-  /// silently ignored at run time.
-  void validate() const;
-  /// JSON echo of the effective configuration (--print-config).
-  std::string to_json() const;
-};
-
-[[noreturn]] void usage(const char* argv0) {
-  std::printf(
-      "usage: %s --chain nf1,nf2,... [options]\n"
-      "\n"
-      "NFs: nat maglev monitor heavymonitor ipfilter firewall snort\n"
-      "     gateway vpn-out vpn-in dos synthetic\n"
-      "\n"
-      "options:\n"
-      "  --platform bess|onvm       execution platform model (default bess)\n"
-      "  --mode original|speedybox|both   which data path(s) to run\n"
-      "  --executor runner|sharded|pipeline|onvm\n"
-      "                             executor shape (default runner; sharded\n"
-      "                             needs --shards; pipeline requires --mode\n"
-      "                             speedybox, onvm requires --mode original)\n"
-      "  --flows N --packets N --payload N   uniform workload shape\n"
-      "  --workload NAME            uniform | datacenter | elephant-mice |\n"
-      "                             sync-burst | flash-crowd | syn-flood\n"
-      "                             (scenario generators scale with --flows\n"
-      "                             / --payload / --seed; syn-flood pairs\n"
-      "                             with a dos chain element)\n"
-      "  --datacenter               alias for --workload datacenter\n"
-      "  --pcap FILE                drive the chain from a pcap capture\n"
-      "  --export-pcap FILE         write the generated workload as pcap\n"
-      "  --fail-backend-at K        fail Maglev backend 0 before packet K\n"
-      "  --shards N                 run on the flow-sharded runtime with N\n"
-      "                             chain replicas (one worker thread each)\n"
-      "  --batch-size N             burst size the data path drains in\n"
-      "                             (default 32; 1 = packet-at-a-time)\n"
-      "  --overload MULT            enable the overload gate at MULT x the\n"
-      "                             data path's capacity (DESIGN.md 9)\n"
-      "  --drop-policy P            tail-drop|per-flow-fair|slo-early-drop\n"
-      "                             (needs --overload)\n"
-      "  --queue-capacity N         bounded ingress queue, in packets\n"
-      "                             (needs --overload; default 1024)\n"
-      "  --autoscale                telemetry-driven elastic scaling of the\n"
-      "                             sharded runtime (needs --shards and\n"
-      "                             --mode speedybox; DESIGN.md 10)\n"
-      "  --slo-us X                 autoscale latency objective for the\n"
-      "                             windowed p99, microseconds (default 50)\n"
-      "  --min-shards N             autoscale floor (default 1)\n"
-      "  --max-shards N             autoscale ceiling (default: the\n"
-      "                             starting --shards)\n"
-      "  --scale-interval N         control-loop cadence, in dispatched\n"
-      "                             packets (default 2048)\n"
-      "  --inject-fault SPEC        wrap an NF in the fault injector:\n"
-      "                             \"<nf>:fail-every=N,latency-every=N,\n"
-      "                             latency-cycles=N,crash-at=N\"\n"
-      "  --seed N                   workload seed (default 42)\n"
-      "  --csv                      machine-readable one-line-per-config\n"
-      "  --print-config             echo the effective config as JSON and\n"
-      "                             exit (validates first)\n"
-      "  --metrics-out FILE         append a JSON telemetry snapshot line\n"
-      "  --metrics-prom FILE        write a Prometheus text snapshot\n"
-      "  --metrics-interval MS      also snapshot every MS ms (JSON-lines,\n"
-      "                             background thread; needs --metrics-out)\n"
-      "  --trace-sample N           record full packet spans for 1-in-N\n"
-      "                             flows (exported with --metrics-out)\n"
-      "  --listen PORT              live mode: ingest real wire packets on\n"
-      "                             127.0.0.1:PORT (0 = ephemeral; the bound\n"
-      "                             port is printed at startup) instead of a\n"
-      "                             generated trace; pair with the loadgen\n"
-      "                             tool; needs --mode original|speedybox\n"
-      "  --proto udp|tcp|both       live transport(s) to accept (default\n"
-      "                             udp; needs --listen)\n"
-      "  --rx-budget N              max frames drained per socket wakeup\n"
-      "                             (default 64; needs --listen)\n"
-      "  --idle-timeout MS          exit live mode after MS ms without\n"
-      "                             traffic (default 1000; needs --listen)\n"
-      "  --log-level LEVEL          debug|info|warn|error|off\n",
-      argv0);
-  std::exit(2);
-}
-
-[[noreturn]] void config_error(const char* message) {
-  std::fprintf(stderr, "chainsim: %s\n", message);
-  std::exit(2);
-}
-
-SimConfig SimConfig::parse(int argc, char** argv) {
-  SimConfig config;
-  const auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--chain") {
-      std::string spec = need_value(i);
-      std::size_t start = 0;
-      while (start <= spec.size()) {
-        const std::size_t comma = spec.find(',', start);
-        const std::string name =
-            spec.substr(start, comma == std::string::npos ? std::string::npos
-                                                          : comma - start);
-        if (!name.empty()) config.chain.push_back(name);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-    } else if (arg == "--platform") {
-      const std::string value = need_value(i);
-      if (value == "bess") {
-        config.platform = platform::PlatformKind::kBess;
-      } else if (value == "onvm") {
-        config.platform = platform::PlatformKind::kOnvm;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (arg == "--mode") {
-      const std::string value = need_value(i);
-      config.run_original = value == "original" || value == "both";
-      config.run_speedybox = value == "speedybox" || value == "both";
-      config.mode_set = true;
-      if (!config.run_original && !config.run_speedybox) usage(argv[0]);
-    } else if (arg == "--executor") {
-      const std::string value = need_value(i);
-      config.executor_set = true;
-      if (value == "runner") {
-        config.executor = ExecutorKind::kRunner;
-      } else if (value == "sharded") {
-        config.executor = ExecutorKind::kSharded;
-      } else if (value == "pipeline") {
-        config.executor = ExecutorKind::kPipeline;
-      } else if (value == "onvm") {
-        config.executor = ExecutorKind::kOnvm;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (arg == "--flows") {
-      config.flows = std::strtoul(need_value(i), nullptr, 10);
-      config.workload_shape_set = true;
-    } else if (arg == "--packets") {
-      config.packets_per_flow =
-          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
-      config.workload_shape_set = true;
-    } else if (arg == "--payload") {
-      config.payload = std::strtoul(need_value(i), nullptr, 10);
-      config.workload_shape_set = true;
-    } else if (arg == "--datacenter") {
-      config.workload = "datacenter";
-    } else if (arg == "--workload") {
-      config.workload = need_value(i);
-    } else if (arg == "--pcap") {
-      config.pcap_in = need_value(i);
-    } else if (arg == "--export-pcap") {
-      config.pcap_out = need_value(i);
-    } else if (arg == "--fail-backend-at") {
-      config.fail_backend_at = std::strtol(need_value(i), nullptr, 10);
-    } else if (arg == "--shards") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.shards = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0') usage(argv[0]);
-    } else if (arg == "--batch-size") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.batch_size = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || config.batch_size == 0) {
-        usage(argv[0]);
-      }
-    } else if (arg == "--overload") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.overload.offered_load = std::strtod(value, &end);
-      if (end == value || *end != '\0' ||
-          config.overload.offered_load <= 0.0) {
-        usage(argv[0]);
-      }
-      config.overload.enabled = true;
-    } else if (arg == "--drop-policy") {
-      const auto policy = runtime::parse_drop_policy(need_value(i));
-      if (!policy) usage(argv[0]);
-      config.overload.policy = *policy;
-      config.drop_policy_set = true;
-    } else if (arg == "--queue-capacity") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.overload.queue_capacity = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' ||
-          config.overload.queue_capacity == 0) {
-        usage(argv[0]);
-      }
-      config.queue_capacity_set = true;
-    } else if (arg == "--autoscale") {
-      config.autoscale = true;
-    } else if (arg == "--slo-us") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.slo_us = std::strtod(value, &end);
-      if (end == value || *end != '\0' || config.slo_us <= 0.0) {
-        usage(argv[0]);
-      }
-      config.autoscale_knob_set = true;
-    } else if (arg == "--min-shards") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.min_shards = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || config.min_shards == 0) {
-        usage(argv[0]);
-      }
-      config.autoscale_knob_set = true;
-    } else if (arg == "--max-shards") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.max_shards = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || config.max_shards == 0) {
-        usage(argv[0]);
-      }
-      config.autoscale_knob_set = true;
-    } else if (arg == "--scale-interval") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.scale_interval = std::strtoull(value, &end, 10);
-      if (end == value || *end != '\0' || config.scale_interval == 0) {
-        usage(argv[0]);
-      }
-      config.autoscale_knob_set = true;
-    } else if (arg == "--inject-fault") {
-      config.fault = runtime::parse_fault_spec(need_value(i));
-      if (!config.fault || !config.fault->second.any()) {
-        config_error("--inject-fault: malformed spec (want "
-                     "\"<nf>:fail-every=N,...\" with at least one action)");
-      }
-    } else if (arg == "--seed") {
-      config.seed = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--csv") {
-      config.csv = true;
-    } else if (arg == "--print-config") {
-      config.print_config = true;
-    } else if (arg == "--metrics-out") {
-      config.metrics_out = need_value(i);
-    } else if (arg == "--metrics-prom") {
-      config.metrics_prom = need_value(i);
-    } else if (arg == "--metrics-interval") {
-      config.metrics_interval_ms = std::strtol(need_value(i), nullptr, 10);
-    } else if (arg == "--trace-sample") {
-      config.trace_sample =
-          static_cast<std::uint32_t>(std::strtoul(need_value(i), nullptr, 10));
-    } else if (arg == "--listen") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      const unsigned long port = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || port > 65535) usage(argv[0]);
-      config.listen_port = static_cast<std::uint16_t>(port);
-      config.listen_set = true;
-    } else if (arg == "--proto") {
-      const std::string value = need_value(i);
-      if (value == "udp") {
-        config.listen_proto = io::IngestProto::kUdp;
-      } else if (value == "tcp") {
-        config.listen_proto = io::IngestProto::kTcp;
-      } else if (value == "both") {
-        config.listen_proto = io::IngestProto::kBoth;
-      } else {
-        usage(argv[0]);
-      }
-      config.proto_set = true;
-    } else if (arg == "--rx-budget") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.rx_budget = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || config.rx_budget == 0) {
-        usage(argv[0]);
-      }
-      config.rx_budget_set = true;
-    } else if (arg == "--idle-timeout") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.idle_timeout_ms = std::strtol(value, &end, 10);
-      if (end == value || *end != '\0' || config.idle_timeout_ms <= 0) {
-        usage(argv[0]);
-      }
-      config.idle_timeout_set = true;
-    } else if (arg == "--log-level") {
-      const auto level = util::parse_log_level(need_value(i));
-      if (!level) usage(argv[0]);
-      util::set_log_level(*level);
-    } else {
-      usage(argv[0]);
-    }
+plan::BuiltDeployment build_deployment(const SimConfig& config,
+                                       bool speedybox) {
+  try {
+    return plan::build(config.plan_for(speedybox));
+  } catch (const std::exception& error) {
+    tools::config_error("chainsim", error.what());
   }
-  if (config.chain.empty()) usage(argv[0]);
-  // --shards implies the sharded executor unless one was named.
-  if (!config.executor_set && config.shards > 0) {
-    config.executor = ExecutorKind::kSharded;
-  }
-  return config;
-}
-
-void SimConfig::validate() const {
-  if (metrics_interval_ms > 0 && metrics_out.empty()) {
-    config_error("--metrics-interval needs --metrics-out (the interval "
-                 "snapshotter has nowhere to write)");
-  }
-  if (!pcap_in.empty() && (workload_shape_set || workload != "uniform")) {
-    config_error("--pcap replaces the generated workload: drop "
-                 "--flows/--packets/--payload/--workload/--datacenter");
-  }
-  if (workload != "uniform" && workload != "datacenter" &&
-      !trace::make_named_scenario(workload).has_value()) {
-    std::string names = "uniform, datacenter";
-    for (const std::string& name : trace::named_scenarios()) {
-      names += ", " + name;
-    }
-    config_error(("unknown --workload \"" + workload + "\" (choose one of " +
-                  names + ")")
-                     .c_str());
-  }
-  if (!pcap_in.empty() && !pcap_out.empty()) {
-    config_error("--export-pcap writes the GENERATED workload; with --pcap "
-                 "there is nothing to export");
-  }
-  if (fail_backend_at >= 0 && executor != ExecutorKind::kRunner) {
-    config_error("--fail-backend-at needs the single-threaded runner "
-                 "(mid-run control-plane actions are per-replica)");
-  }
-  if (shards > 0 && executor != ExecutorKind::kSharded) {
-    config_error("--shards only applies to --executor sharded");
-  }
-  if (executor == ExecutorKind::kSharded && shards == 0) {
-    config_error("--executor sharded needs --shards N");
-  }
-  if (executor == ExecutorKind::kPipeline &&
-      (run_original || !run_speedybox)) {
-    config_error("--executor pipeline runs the SpeedyBox path only: pass "
-                 "--mode speedybox");
-  }
-  if (executor == ExecutorKind::kOnvm && (run_speedybox || !run_original)) {
-    config_error("--executor onvm runs the original path only (no MATs on "
-                 "the platform layer): pass --mode original");
-  }
-  if (!overload.enabled && (drop_policy_set || queue_capacity_set)) {
-    config_error("--drop-policy/--queue-capacity need --overload (the gate "
-                 "does not exist without it)");
-  }
-  if (!autoscale && autoscale_knob_set) {
-    config_error("--slo-us/--min-shards/--max-shards/--scale-interval "
-                 "need --autoscale (there is no controller without it)");
-  }
-  if (autoscale && executor != ExecutorKind::kSharded) {
-    config_error("--autoscale scales the flow-sharded runtime: pass "
-                 "--shards N (or --executor sharded)");
-  }
-  if (autoscale && (run_original || !run_speedybox)) {
-    config_error("--autoscale migrates flows via the consolidated MATs, "
-                 "which the original chain does not build: pass --mode "
-                 "speedybox");
-  }
-  if (autoscale) {
-    const std::size_t ceiling = max_shards == 0 ? shards : max_shards;
-    if (min_shards > ceiling) {
-      config_error("--min-shards exceeds --max-shards");
-    }
-    if (shards < min_shards || shards > ceiling) {
-      config_error("--shards must start inside [--min-shards, "
-                   "--max-shards]");
-    }
-  }
-  if (fault.has_value()) {
-    bool found = false;
-    for (const std::string& name : chain) {
-      if (name == fault->first) found = true;
-    }
-    if (!found) {
-      config_error("--inject-fault names an NF that is not in --chain");
-    }
-  }
-  if (!listen_set && (proto_set || rx_budget_set || idle_timeout_set)) {
-    config_error("--proto/--rx-budget/--idle-timeout need --listen (they "
-                 "configure the live front-end, which does not exist "
-                 "without it)");
-  }
-  if (listen_set) {
-    if (!pcap_in.empty()) {
-      config_error("--listen ingests real wire packets: --pcap would be a "
-                   "second packet source (drop one of them)");
-    }
-    if (workload_shape_set || workload != "uniform") {
-      config_error("--listen ingests real wire packets: the workload lives "
-                   "in the load generator now — drop --flows/--packets/"
-                   "--payload/--workload/--datacenter (pass them to "
-                   "loadgen instead)");
-    }
-    if (!pcap_out.empty()) {
-      config_error("--export-pcap writes the GENERATED workload; with "
-                   "--listen there is nothing to export");
-    }
-    if (fail_backend_at >= 0) {
-      config_error("--fail-backend-at fires at a trace packet index, which "
-                   "live mode does not have");
-    }
-    if (run_original && run_speedybox) {
-      config_error("--listen drives ONE live data path: pass --mode "
-                   "original or --mode speedybox");
-    }
-    if (autoscale) {
-      config_error("--autoscale is trace-driven for now; live mode does "
-                   "not support it yet");
-    }
-  }
-}
-
-std::string SimConfig::to_json() const {
-  std::string json = "{";
-  const auto field = [&](const char* key, const std::string& value,
-                         bool quote) {
-    if (json.size() > 1) json += ",";
-    json += "\"";
-    json += key;
-    json += "\":";
-    if (quote) json += "\"";
-    json += value;
-    if (quote) json += "\"";
-  };
-  std::string chain_list;
-  for (const std::string& name : chain) {
-    if (!chain_list.empty()) chain_list += ",";
-    chain_list += "\"" + name + "\"";
-  }
-  field("chain", "[" + chain_list + "]", false);
-  field("platform", platform_name(platform), true);
-  field("mode",
-        run_original && run_speedybox
-            ? "both"
-            : (run_speedybox ? "speedybox" : "original"),
-        true);
-  field("executor", executor_kind_name(executor), true);
-  if (listen_set) {
-    field("listen", std::to_string(listen_port), false);
-    field("proto", io::ingest_proto_name(listen_proto), true);
-    field("rx_budget", std::to_string(rx_budget), false);
-    field("idle_timeout_ms", std::to_string(idle_timeout_ms), false);
-  } else if (pcap_in.empty()) {
-    field("workload", workload, true);
-    field("flows", std::to_string(flows), false);
-    field("packets_per_flow", std::to_string(packets_per_flow), false);
-    field("payload", std::to_string(payload), false);
-    field("seed", std::to_string(seed), false);
-  } else {
-    field("pcap", pcap_in, true);
-  }
-  if (!pcap_out.empty()) field("export_pcap", pcap_out, true);
-  field("shards", std::to_string(shards), false);
-  field("batch_size", std::to_string(batch_size), false);
-  if (fail_backend_at >= 0) {
-    field("fail_backend_at", std::to_string(fail_backend_at), false);
-  }
-  field("autoscale", autoscale ? "true" : "false", false);
-  if (autoscale) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof buffer, "%g", slo_us);
-    field("slo_us", buffer, false);
-    field("min_shards", std::to_string(min_shards), false);
-    field("max_shards",
-          std::to_string(max_shards == 0 ? shards : max_shards), false);
-    field("scale_interval", std::to_string(scale_interval), false);
-  }
-  field("overload", overload.enabled ? "true" : "false", false);
-  if (overload.enabled) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof buffer, "%g", overload.offered_load);
-    field("offered_load", buffer, false);
-    field("drop_policy",
-          std::string(runtime::drop_policy_name(overload.policy)), true);
-    field("queue_capacity", std::to_string(overload.queue_capacity), false);
-  }
-  if (fault.has_value()) {
-    field("inject_fault", fault->first + ":" + fault->second.to_string(),
-          true);
-  }
-  if (!metrics_out.empty()) field("metrics_out", metrics_out, true);
-  if (!metrics_prom.empty()) field("metrics_prom", metrics_prom, true);
-  if (metrics_interval_ms > 0) {
-    field("metrics_interval_ms", std::to_string(metrics_interval_ms), false);
-  }
-  if (trace_sample > 0) {
-    field("trace_sample", std::to_string(trace_sample), false);
-  }
-  json += "}";
-  return json;
-}
-
-struct BuiltChain {
-  std::unique_ptr<runtime::ServiceChain> chain;
-  nf::MaglevLb* maglev = nullptr;  // for --fail-backend-at
-};
-
-BuiltChain build_chain(const SimConfig& config) {
-  BuiltChain built;
-  built.chain = std::make_unique<runtime::ServiceChain>("chainsim");
-  int index = 0;
-  for (const std::string& name : config.chain) {
-    const std::string label = name + "-" + std::to_string(index++);
-    std::unique_ptr<nf::NetworkFunction> nf;
-    if (name == "nat") {
-      nf = std::make_unique<nf::MazuNat>(nf::MazuNatConfig{}, label);
-    } else if (name == "maglev") {
-      std::vector<nf::Backend> backends;
-      for (int b = 0; b < 4; ++b) {
-        backends.push_back({"backend-" + std::to_string(b),
-                            net::Ipv4Addr{10, 9, 0,
-                                          static_cast<std::uint8_t>(10 + b)},
-                            8080, true});
-      }
-      auto maglev = std::make_unique<nf::MaglevLb>(std::move(backends),
-                                                   std::size_t{65537}, label);
-      built.maglev = maglev.get();
-      nf = std::move(maglev);
-    } else if (name == "monitor") {
-      nf = std::make_unique<nf::Monitor>(nf::MonitorConfig{}, label);
-    } else if (name == "heavymonitor") {
-      nf = std::make_unique<nf::Monitor>(nf::MonitorConfig::heavy(), label);
-    } else if (name == "ipfilter") {
-      nf = std::make_unique<nf::IpFilter>(std::vector<nf::AclRule>{}, label);
-    } else if (name == "firewall") {
-      nf = std::make_unique<nf::IpFilter>(
-          std::vector<nf::AclRule>{nf::AclRule::drop_dst_port(23)}, label);
-    } else if (name == "snort") {
-      nf = std::make_unique<nf::SnortIds>(trace::default_snort_rules(),
-                                          label);
-    } else if (name == "gateway") {
-      nf = std::make_unique<nf::Gateway>(
-          std::vector<nf::TrafficClass>{{5060, 5061, 46}}, label);
-    } else if (name == "vpn-out") {
-      nf = std::make_unique<nf::VpnGateway>(nf::VpnMode::kEgress, 0x1000u,
-                                            label);
-    } else if (name == "vpn-in") {
-      nf = std::make_unique<nf::VpnGateway>(nf::VpnMode::kIngress, 0x1000u,
-                                            label);
-    } else if (name == "dos") {
-      // Threshold below the syn-flood generator's per-tuple SYN budget
-      // (24) so `--chain dos,... --workload syn-flood` visibly drops, and
-      // far above the single SYN a benign flow opens with.
-      nf = std::make_unique<nf::DosPrevention>(
-          16, core::HeaderAction::forward(), label);
-    } else if (name == "synthetic") {
-      nf = std::make_unique<nf::SyntheticNf>(nf::SyntheticNfConfig{}, label);
-    } else {
-      std::fprintf(stderr, "unknown NF '%s'\n", name.c_str());
-      std::exit(2);
-    }
-    // The fault spec targets the chain-spec token; every occurrence of
-    // that NF gets its own injector (independent schedules).
-    if (config.fault.has_value() && config.fault->first == name) {
-      nf = std::make_unique<runtime::FaultInjector>(std::move(nf),
-                                                    config.fault->second);
-    }
-    built.chain->adopt_nf(std::move(nf));
-  }
-  return built;
 }
 
 std::vector<net::Packet> build_packets(const SimConfig& config) {
@@ -777,21 +160,19 @@ void report(const SimConfig& config, const char* mode,
 void run_mode(const SimConfig& config, bool speedybox,
               const std::vector<net::Packet>& packets,
               telemetry::Registry* registry) {
-  BuiltChain built = build_chain(config);
-  runtime::RunConfig run_config{config.platform, speedybox, false};
-  run_config.batch_size = config.batch_size;
-  run_config.overload = config.overload;
+  plan::BuiltDeployment built = build_deployment(config, speedybox);
   const std::string mode = speedybox ? "speedybox" : "original";
 
   if (config.fail_backend_at >= 0) {
     // Mid-run control-plane action: per-packet loop on the single-threaded
-    // runner (validate() rejects every other executor shape).
-    runtime::ChainRunner runner{*built.chain, run_config};
+    // runner (validate()/resolve_plan() reject every other executor shape).
+    auto& runner = static_cast<runtime::ChainRunner&>(*built.executor);
     runner.attach_telemetry(registry, mode + "/main");
+    nf::MaglevLb* maglev = find_maglev(*built.chain);
     for (std::size_t i = 0; i < packets.size(); ++i) {
       if (static_cast<long>(i) == config.fail_backend_at &&
-          built.maglev != nullptr) {
-        built.maglev->fail_backend(0);
+          maglev != nullptr) {
+        maglev->fail_backend(0);
       }
       net::Packet packet = packets[i];
       packet.reset_metadata();
@@ -801,28 +182,11 @@ void run_mode(const SimConfig& config, bool speedybox,
     return;
   }
 
-  // One construction switch; everything below it is shape-agnostic —
-  // the point of the Executor interface.
-  std::unique_ptr<runtime::Executor> executor;
-  std::string label = mode;
-  switch (config.executor) {
-    case ExecutorKind::kRunner:
-      executor = std::make_unique<runtime::ChainRunner>(*built.chain,
-                                                        run_config);
-      label = mode + "/main";
-      break;
-    case ExecutorKind::kSharded:
-      executor = std::make_unique<runtime::ShardedRuntime>(
-          *built.chain, config.shards, run_config);
-      break;
-    case ExecutorKind::kPipeline:
-      executor = std::make_unique<runtime::SpeedyBoxPipeline>(*built.chain);
-      break;
-    case ExecutorKind::kOnvm:
-      executor = std::make_unique<runtime::OnvmExecutor>(
-          *built.chain, 1024, config.batch_size);
-      break;
-  }
+  // plan::build() already chose the executor shape and applied the
+  // overload policy; everything below is shape-agnostic.
+  runtime::Executor& executor = *built.executor;
+  const std::string label =
+      config.executor == plan::ExecutorKind::kRunner ? mode + "/main" : mode;
   // The controller's signals come from telemetry snapshots; when the user
   // asked for autoscaling without any metrics flag, a private registry
   // feeds the control loop and is simply discarded afterwards.
@@ -832,10 +196,7 @@ void run_mode(const SimConfig& config, bool speedybox,
     private_registry = std::make_unique<telemetry::Registry>();
     effective_registry = private_registry.get();
   }
-  executor->attach_telemetry(effective_registry, label);
-  if (config.overload.enabled) {
-    executor->set_overload_policy(config.overload);
-  }
+  executor.attach_telemetry(effective_registry, label);
   std::unique_ptr<control::Controller> controller;
   if (config.autoscale) {
     control::AutoscaleConfig auto_config;
@@ -846,20 +207,21 @@ void run_mode(const SimConfig& config, bool speedybox,
     auto_config.interval_packets = config.scale_interval;
     controller = std::make_unique<control::Controller>(
         auto_config, *effective_registry, label + "/controller");
-    controller->attach(static_cast<runtime::ShardedRuntime&>(*executor));
+    controller->attach(static_cast<runtime::ShardedRuntime&>(executor));
   }
-  const runtime::RunStats& stats = executor->run_raw(packets);
+  const runtime::RunStats& stats = executor.run_raw(packets);
 
   std::string report_label = mode;
-  if (config.executor != ExecutorKind::kRunner) {
-    report_label += std::string(" [") + executor_kind_name(config.executor);
+  if (config.executor != plan::ExecutorKind::kRunner) {
+    report_label +=
+        std::string(" [") + plan::executor_kind_name(config.executor);
     if (config.shards > 0) report_label += " x" + std::to_string(config.shards);
     report_label += "]";
   }
   report(config, report_label.c_str(), stats);
 
-  if (config.executor == ExecutorKind::kSharded && !config.csv) {
-    auto& sharded = static_cast<runtime::ShardedRuntime&>(*executor);
+  if (config.executor == plan::ExecutorKind::kSharded && !config.csv) {
+    auto& sharded = static_cast<runtime::ShardedRuntime&>(executor);
     const runtime::ShardedRunResult& result = sharded.last_result();
     std::printf("  shards: agg-rate=%.3f Mpps, wall=%.1f ms, "
                 "backpressure-waits=%llu, per-shard packets = [",
@@ -873,7 +235,7 @@ void run_mode(const SimConfig& config, bool speedybox,
     std::printf("]\n");
   }
   if (controller != nullptr && !config.csv) {
-    auto& sharded = static_cast<runtime::ShardedRuntime&>(*executor);
+    auto& sharded = static_cast<runtime::ShardedRuntime&>(executor);
     std::uint64_t migrated = 0;
     for (const control::ReshardReport& event : controller->scale_events()) {
       migrated += event.migrated_flows;
@@ -887,40 +249,16 @@ void run_mode(const SimConfig& config, bool speedybox,
 }
 
 /// Live mode: real wire packets off a socket instead of an in-process
-/// trace. Same chain/executor/overload construction as run_mode; the
-/// packet source is an IngestServer and the hand-off an IngestExecutor.
+/// trace. Same plan-built chain/executor/overload as run_mode; the packet
+/// source is an IngestServer and the hand-off an IngestExecutor.
 int run_live(const SimConfig& config, telemetry::Registry* registry) {
   const bool speedybox = config.run_speedybox;
   const std::string mode = speedybox ? "speedybox" : "original";
-  BuiltChain built = build_chain(config);
-  runtime::RunConfig run_config{config.platform, speedybox, false};
-  run_config.batch_size = config.batch_size;
-  run_config.overload = config.overload;
-
-  std::unique_ptr<runtime::Executor> executor;
-  std::string label = mode;
-  switch (config.executor) {
-    case ExecutorKind::kRunner:
-      executor = std::make_unique<runtime::ChainRunner>(*built.chain,
-                                                        run_config);
-      label = mode + "/main";
-      break;
-    case ExecutorKind::kSharded:
-      executor = std::make_unique<runtime::ShardedRuntime>(
-          *built.chain, config.shards, run_config);
-      break;
-    case ExecutorKind::kPipeline:
-      executor = std::make_unique<runtime::SpeedyBoxPipeline>(*built.chain);
-      break;
-    case ExecutorKind::kOnvm:
-      executor = std::make_unique<runtime::OnvmExecutor>(
-          *built.chain, 1024, config.batch_size);
-      break;
-  }
-  executor->attach_telemetry(registry, label);
-  if (config.overload.enabled) {
-    executor->set_overload_policy(config.overload);
-  }
+  plan::BuiltDeployment built = build_deployment(config, speedybox);
+  runtime::Executor& executor = *built.executor;
+  const std::string label =
+      config.executor == plan::ExecutorKind::kRunner ? mode + "/main" : mode;
+  executor.attach_telemetry(registry, label);
 
   io::IngestConfig ingest_config;
   ingest_config.port = config.listen_port;
@@ -930,7 +268,7 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
   ingest_config.batch_size = config.batch_size;
   io::IngestServer server{ingest_config};
   server.attach_telemetry(registry, mode + "/ingest");
-  io::IngestExecutor sink{*executor};
+  io::IngestExecutor sink{executor};
 
   // The load generator (or the CI smoke) discovers the bound port from
   // this line, so it must hit the pipe before serve() blocks.
@@ -947,7 +285,7 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
                 server.tcp_port());
   }
   std::printf(" (mode=%s executor=%s feed=%s)\n", mode.c_str(),
-              executor_kind_name(config.executor),
+              plan::executor_kind_name(config.executor),
               std::string(sink.mode()).c_str());
   std::fflush(stdout);
 
@@ -955,8 +293,9 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
   const runtime::RunStats& stats = sink.finish();
 
   std::string report_label = mode + " [live";
-  if (config.executor != ExecutorKind::kRunner) {
-    report_label += std::string(" ") + executor_kind_name(config.executor);
+  if (config.executor != plan::ExecutorKind::kRunner) {
+    report_label +=
+        std::string(" ") + plan::executor_kind_name(config.executor);
     if (config.shards > 0) report_label += " x" + std::to_string(config.shards);
   }
   report_label += "]";
@@ -982,7 +321,7 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
       "\"submitted\":%llu,\"admitted\":%llu,\"shed\":%llu,"
       "\"chain_packets\":%llu,\"chain_drops\":%llu,\"conserved\":%s}}\n",
       io::ingest_proto_name(config.listen_proto),
-      executor_kind_name(config.executor), mode.c_str(),
+      plan::executor_kind_name(config.executor), mode.c_str(),
       std::string(sink.mode()).c_str(),
       static_cast<unsigned long long>(ingest.rx_bytes),
       static_cast<unsigned long long>(ingest.rx_frames),
@@ -1031,8 +370,28 @@ bool write_metrics(const SimConfig& config, telemetry::Registry* registry,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const SimConfig config = SimConfig::parse(argc, argv);
+  SimConfig config = SimConfig::parse(argc, argv);
   config.validate();
+  config.resolve_plan();
+  if (!config.emit_plan.empty()) {
+    const std::string document = config.deployment->dump();
+    if (config.emit_plan == "-") {
+      std::printf("%s\n", document.c_str());
+    } else {
+      std::FILE* file = std::fopen(config.emit_plan.c_str(), "w");
+      if (file == nullptr ||
+          std::fwrite(document.data(), 1, document.size(), file) !=
+              document.size() ||
+          std::fputc('\n', file) == EOF || std::fclose(file) != 0) {
+        std::fprintf(stderr, "chainsim: failed to write %s\n",
+                     config.emit_plan.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "chainsim: wrote plan to %s\n",
+                   config.emit_plan.c_str());
+    }
+    return 0;
+  }
   if (config.print_config) {
     std::printf("%s\n", config.to_json().c_str());
     return 0;

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Deployment-plan smoke: the offline planner loop end to end (DESIGN.md §12).
+#
+#   1. flags -> plan -> plan fixpoint: `--emit-plan` of a flag-built config
+#      re-emits byte-identically when loaded back with `--plan`.
+#   2. run identity: the flag-built run and the plan-built run of the same
+#      deployment report identical deterministic counters
+#      (packets/drops/events; rates and cycles are machine noise).
+#   3. the planner loop: profile a --mode original run (--metrics-out),
+#      feed it to planopt, and run chainsim FROM the emitted plan — the
+#      planner's runner-shaped plan must match the flag-built counters too.
+#   4. a typoed plan field is rejected loudly (strict parse, exit != 0).
+#
+# This is the CI `plan-smoke` job; run it locally the same way:
+#
+#   tools/plan_smoke.sh [build_dir]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CHAINSIM="${BUILD}/tools/chainsim"
+PLANOPT="${BUILD}/tools/planopt"
+[ -x "${CHAINSIM}" ] || { echo "missing ${CHAINSIM} (build chainsim first)" >&2; exit 2; }
+[ -x "${PLANOPT}" ] || { echo "missing ${PLANOPT} (build planopt first)" >&2; exit 2; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+CHAIN2='ipfilter:drop-dst-prefix=10.1.3.0/24,snort,monitor'
+WORKLOAD=(--flows 60 --packets 20)
+
+# The deterministic slice of a chainsim summary row: packet/drop/event
+# counters are bit-reproducible; cycles and rates are not.
+counters() { grep -o 'packets=[0-9]*\|drops=[0-9]*\|events=[0-9]*'; }
+
+echo "--- plan smoke 1/4: flags -> plan -> plan fixpoint"
+"${CHAINSIM}" --chain "${CHAIN2}" --mode speedybox "${WORKLOAD[@]}" \
+  --emit-plan "${TMP}/flags.json"
+"${CHAINSIM}" --plan "${TMP}/flags.json" "${WORKLOAD[@]}" \
+  --emit-plan - > "${TMP}/fixpoint.json"
+diff "${TMP}/flags.json" "${TMP}/fixpoint.json" \
+  || { echo "FAIL: --emit-plan not a fixpoint under --plan" >&2; exit 1; }
+
+echo "--- plan smoke 2/4: flag-built vs plan-built run identity"
+"${CHAINSIM}" --chain "${CHAIN2}" --mode speedybox "${WORKLOAD[@]}" \
+  | counters > "${TMP}/flag_counters"
+"${CHAINSIM}" --plan "${TMP}/flags.json" "${WORKLOAD[@]}" \
+  | counters > "${TMP}/plan_counters"
+diff "${TMP}/flag_counters" "${TMP}/plan_counters" \
+  || { echo "FAIL: plan-built run diverges from flag-built run" >&2; exit 1; }
+
+echo "--- plan smoke 3/4: profile -> planopt -> chainsim --plan"
+"${CHAINSIM}" --chain "${CHAIN2}" --mode original "${WORKLOAD[@]}" \
+  --metrics-out "${TMP}/profile.jsonl" > /dev/null
+"${PLANOPT}" --chain "${CHAIN2}" --profile "${TMP}/profile.jsonl" \
+  --target-mpps 0.1 --out "${TMP}/planned.json" --explain
+"${CHAINSIM}" --plan "${TMP}/planned.json" "${WORKLOAD[@]}" \
+  | counters > "${TMP}/planned_counters"
+diff "${TMP}/flag_counters" "${TMP}/planned_counters" \
+  || { echo "FAIL: planner-built run diverges from flag-built run" >&2; exit 1; }
+
+echo "--- plan smoke 4/4: a typoed plan field fails loudly"
+sed 's/"executor"/"exector"/' "${TMP}/flags.json" > "${TMP}/typo.json"
+if "${CHAINSIM}" --plan "${TMP}/typo.json" "${WORKLOAD[@]}" 2> "${TMP}/typo.err"; then
+  echo "FAIL: chainsim accepted a plan with an unknown field" >&2
+  exit 1
+fi
+grep -q "exector" "${TMP}/typo.err" \
+  || { echo "FAIL: rejection did not name the unknown field" >&2; \
+       cat "${TMP}/typo.err" >&2; exit 1; }
+
+echo "plan smoke: all checks passed"

@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 # TSan-clean for the migration protocol to count as proven. test_io runs
 # the wire-frame fuzz sweep (ASan is its real teeth) plus the loopback
 # closed loop, whose TCP tests send from a second thread.
-TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_control test_io)
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_plan test_control test_io)
 
 run_one() {
   local sanitizer="$1"

@@ -1,0 +1,114 @@
+// chainsim's flag surface — parse/validate/echo — split out of the 1k-line
+// tool so planopt and loadgen share the same parsing helpers and the same
+// loud-error contract, and so the config can resolve to a
+// plan::DeploymentPlan (the --plan / --emit-plan path) without dragging the
+// whole simulator along.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/ingest_server.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/overload.hpp"
+#include "runtime/plan.hpp"
+
+namespace speedybox::tools {
+
+/// Print "<tool>: <message>" to stderr and exit 2 — the shared diagnostic
+/// path for every flag/spec error in the CLI tools.
+[[noreturn]] void config_error(const std::string& tool,
+                               const std::string& message);
+
+/// Strict numeric flag parsers: the whole value must parse and satisfy the
+/// bound, else config_error names the flag. Shared by chainsim/planopt.
+std::uint64_t parse_uint_flag(const std::string& tool, const char* flag,
+                              const char* value, std::uint64_t min_value = 1);
+double parse_double_flag(const std::string& tool, const char* flag,
+                         const char* value, bool positive = true);
+
+/// Every chainsim knob, parsed in one place and cross-checked in
+/// validate() — a flag combination that would silently do nothing is an
+/// error, not a surprise.
+struct SimConfig {
+  std::vector<std::string> chain;  // NF registry tokens (nf::NfSpec)
+  platform::PlatformKind platform = platform::PlatformKind::kBess;
+  bool platform_set = false;
+  bool run_original = true;
+  bool run_speedybox = true;
+  bool mode_set = false;
+  plan::ExecutorKind executor = plan::ExecutorKind::kRunner;
+  bool executor_set = false;
+  std::size_t flows = 100;
+  std::uint32_t packets_per_flow = 20;
+  std::size_t payload = 128;
+  bool workload_shape_set = false;  // any of --flows/--packets/--payload
+  /// uniform | datacenter | one of trace::named_scenarios()
+  /// (elephant-mice, sync-burst, flash-crowd, syn-flood).
+  std::string workload = "uniform";
+  double snort_match_fraction = 0.2;
+  std::string pcap_in;
+  std::string pcap_out;
+  std::uint64_t seed = 42;
+  long fail_backend_at = -1;  // packet index at which backend 0 dies
+  bool csv = false;
+  std::size_t shards = 0;  // 0 = single-threaded ChainRunner
+  std::size_t batch_size = net::kDefaultBatchSize;
+  bool batch_size_set = false;
+  std::string metrics_out;         // JSON-lines snapshot file
+  std::string metrics_prom;        // Prometheus text file (overwritten)
+  long metrics_interval_ms = 0;    // 0 = final snapshot only
+  std::uint32_t trace_sample = 0;  // 1-in-N packet span sampling (0 = off)
+  runtime::OverloadConfig overload{};
+  bool drop_policy_set = false;
+  bool queue_capacity_set = false;
+  std::optional<std::pair<std::string, runtime::FaultSpec>> fault;
+  bool print_config = false;
+  // -- deployment plans (DESIGN.md §12) --
+  std::string plan_file;  // --plan: run FROM this plan document
+  std::string emit_plan;  // --emit-plan: write the plan and exit ("-"=stdout)
+  // -- live ingestion (DESIGN.md §11; --listen switches the packet source
+  // -- from the in-process trace to a real socket) --
+  bool listen_set = false;
+  std::uint16_t listen_port = 0;  // 0 = ephemeral (printed at startup)
+  io::IngestProto listen_proto = io::IngestProto::kUdp;
+  bool proto_set = false;
+  std::size_t rx_budget = 64;
+  bool rx_budget_set = false;
+  long idle_timeout_ms = 1000;
+  bool idle_timeout_set = false;
+  // -- autoscaling (control plane; sharded executor only) --
+  bool autoscale = false;
+  double slo_us = 50.0;
+  std::size_t min_shards = 1;
+  std::size_t max_shards = 0;  // 0 = default to the starting --shards
+  std::uint64_t scale_interval = 2048;
+  bool autoscale_knob_set = false;  // any of slo/min/max/interval
+
+  static SimConfig parse(int argc, char** argv);
+  /// Exits with a diagnostic on any flag combination that would be
+  /// silently ignored at run time (--plan owns the deployment flags, so
+  /// combining it with --chain/--mode/--executor/... is an error too).
+  void validate() const;
+  /// Resolve the deployment: load --plan (file IO + JSON + plan
+  /// validation) or build the plan from the flags (chain tokens resolved
+  /// against the NF registry). Either way the deployment-shaped fields
+  /// (chain/executor/mode/platform/batch/shards/overload/fault) end up
+  /// mirrored in this config and the plan is stored in `deployment`.
+  /// Exits with a loud diagnostic on any spec error (the registry's
+  /// unknown-NF/unknown-option messages pass through verbatim).
+  void resolve_plan();
+  /// The resolved plan re-targeted at one data path (--mode both runs the
+  /// same plan twice with the flag flipped). Call after resolve_plan().
+  plan::DeploymentPlan plan_for(bool speedybox) const;
+  /// JSON echo of the effective configuration (--print-config).
+  std::string to_json() const;
+
+  /// Set by resolve_plan().
+  std::optional<plan::DeploymentPlan> deployment;
+};
+
+}  // namespace speedybox::tools
