@@ -1,0 +1,351 @@
+// bench_flowtable — the million-flow state engine held accountable
+// (DESIGN.md §13).
+//
+// core::FlowTable replaced std::unordered_map under every per-flow
+// structure on the data path, on two promises this bench gates:
+//
+//   rate:  pre-hashed control-byte probing beats unordered_map node
+//          chasing at production flow counts. Gated metric: rel_rate =
+//          FlowTable lookup rate / unordered_map lookup rate over the same
+//          1M+ resident flows and access order — a host-independent ratio
+//          with a hard floor of 1.3x (the committed baseline's tolerance
+//          encodes exactly that floor).
+//   tail:  incremental resizing keeps probe sequences short while a grow
+//          is draining — no stop-the-world rehash, no probe blow-up from
+//          the half-migrated state. Gated metric: rel_p99 = p99 probe
+//          length per operation measured across the full growth run (every
+//          resize the table ever does happens inside this window). Probe
+//          lengths are counts, not cycles, so the committed number is
+//          machine-portable.
+//
+// The insert-rate comparison and the worst single-insert pause (the
+// latency cost of the bounded drain quantum, in cycles) are reported
+// unGated — the pause is machine-dependent and the paper's claim is about
+// lookups, which dominate steady-state chains.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/flow_table.hpp"
+#include "net/five_tuple.hpp"
+#include "util/histogram.hpp"
+
+namespace speedybox::bench {
+namespace {
+
+/// A Monitor-shaped record: the 16-byte counters value that sits in the
+/// slab for the most table-bound NF.
+struct FlowRec {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Deterministic distinct five-tuples (no RNG: same keys on every host).
+std::vector<core::HashedTuple> make_keys(std::size_t count) {
+  std::vector<core::HashedTuple> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto n = static_cast<std::uint32_t>(i);
+    net::FiveTuple tuple;
+    tuple.src_ip = net::Ipv4Addr{10, static_cast<std::uint8_t>(n >> 16),
+                                 static_cast<std::uint8_t>(n >> 8),
+                                 static_cast<std::uint8_t>(n)};
+    tuple.dst_ip = net::Ipv4Addr{192, 168, 1, 1};
+    tuple.src_port = static_cast<std::uint16_t>(1024 + (n >> 16));
+    tuple.dst_port = 443;
+    tuple.proto = static_cast<std::uint8_t>(net::IpProto::kTcp);
+    keys.push_back(core::HashedTuple::of(tuple));
+  }
+  return keys;
+}
+
+/// Fixed-seed xorshift permutation order: lookups must not walk insertion
+/// order (that would hand the flat table an unrealistic prefetch streak).
+std::vector<std::uint32_t> shuffled_indices(std::size_t count) {
+  std::vector<std::uint32_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = count; i > 1; --i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    std::swap(order[i - 1], order[state % i]);
+  }
+  return order;
+}
+
+double mops(std::size_t operations, std::uint64_t cycles) {
+  const double seconds =
+      static_cast<double>(cycles) / util::CycleClock::frequency_hz();
+  return seconds > 0.0 ? static_cast<double>(operations) / seconds / 1e6
+                       : 0.0;
+}
+
+struct SideRates {
+  double insert_mops = 0.0;
+  double lookup_mops = 0.0;
+};
+
+SideRates run_flowtable(const std::vector<core::HashedTuple>& keys,
+                        const std::vector<std::uint32_t>& order,
+                        int rounds) {
+  core::FlowTable<net::FiveTuple, FlowRec> table;
+  const std::uint64_t insert_begin = util::CycleClock::now();
+  for (const core::HashedTuple& key : keys) {
+    table.try_emplace(key.tuple, key.hash).first->packets += 1;
+  }
+  const std::uint64_t insert_cycles =
+      util::CycleClock::now() - insert_begin;
+
+  std::uint64_t sink = 0;
+  const std::uint64_t lookup_begin = util::CycleClock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (const std::uint32_t index : order) {
+      const core::HashedTuple& key = keys[index];
+      const FlowRec* rec = table.find(key.tuple, key.hash);
+      sink += rec->packets;
+    }
+  }
+  const std::uint64_t lookup_cycles =
+      util::CycleClock::now() - lookup_begin;
+  if (sink != keys.size() * static_cast<std::uint64_t>(rounds)) {
+    std::fprintf(stderr, "bench_flowtable: flowtable lookup sum wrong\n");
+    std::exit(1);
+  }
+  return {mops(keys.size(), insert_cycles),
+          mops(keys.size() * static_cast<std::size_t>(rounds),
+               lookup_cycles)};
+}
+
+SideRates run_unordered(const std::vector<core::HashedTuple>& keys,
+                        const std::vector<std::uint32_t>& order,
+                        int rounds) {
+  std::unordered_map<net::FiveTuple, FlowRec, net::FiveTupleHash> map;
+  const std::uint64_t insert_begin = util::CycleClock::now();
+  for (const core::HashedTuple& key : keys) {
+    map.try_emplace(key.tuple).first->second.packets += 1;
+  }
+  const std::uint64_t insert_cycles =
+      util::CycleClock::now() - insert_begin;
+
+  std::uint64_t sink = 0;
+  const std::uint64_t lookup_begin = util::CycleClock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (const std::uint32_t index : order) {
+      sink += map.find(keys[index].tuple)->second.packets;
+    }
+  }
+  const std::uint64_t lookup_cycles =
+      util::CycleClock::now() - lookup_begin;
+  if (sink != keys.size() * static_cast<std::uint64_t>(rounds)) {
+    std::fprintf(stderr, "bench_flowtable: unordered lookup sum wrong\n");
+    std::exit(1);
+  }
+  return {mops(keys.size(), insert_cycles),
+          mops(keys.size() * static_cast<std::size_t>(rounds),
+               lookup_cycles)};
+}
+
+struct ResizeProfile {
+  double p99_probe = 0.0;          // per-op probe length across the growth
+  double max_probe = 0.0;          // worst single probe sequence
+  std::uint64_t max_pause_cycles = 0;  // worst single insert (drain quantum)
+  std::uint64_t resizes = 0;
+  std::uint64_t resize_steps = 0;
+  std::uint64_t migrated = 0;
+};
+
+/// Instrumented growth run: a fresh table fills from empty to `keys.size()`
+/// entries — passing through every capacity doubling — while per-insert
+/// probe lengths (from the stats deltas) and wall cycles are sampled.
+ResizeProfile profile_resize(const std::vector<core::HashedTuple>& keys) {
+  core::FlowTable<net::FiveTuple, FlowRec> table;
+  util::SampleRecorder probes;
+  ResizeProfile profile;
+  std::uint64_t last_probe_total = 0;
+  for (const core::HashedTuple& key : keys) {
+    const std::uint64_t begin = util::CycleClock::now();
+    table.try_emplace(key.tuple, key.hash);
+    const std::uint64_t pause = util::CycleClock::now() - begin;
+    if (pause > profile.max_pause_cycles) {
+      profile.max_pause_cycles = pause;
+    }
+    const core::FlowTableStats stats = table.stats();
+    probes.add(static_cast<double>(stats.probe_total - last_probe_total));
+    last_probe_total = stats.probe_total;
+  }
+  const core::FlowTableStats stats = table.stats();
+  profile.p99_probe = probes.percentile(99);
+  profile.max_probe = static_cast<double>(stats.max_probe);
+  profile.resizes = stats.resizes;
+  profile.resize_steps = stats.resize_steps;
+  profile.migrated = stats.migrated_entries;
+  return profile;
+}
+
+}  // namespace
+}  // namespace speedybox::bench
+
+int main(int argc, char** argv) {
+  using namespace speedybox;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // The claim is "at 1M+ resident flows"; smoke keeps the full population
+  // and trims rounds/trials instead, so CI gates the same regime.
+  const std::size_t flows = smoke ? 1u << 20 : 1u << 21;
+  const int rounds = smoke ? 2 : 4;
+  bench::TrialPolicy policy;
+  policy.warmup = 1;
+  policy.trials = smoke ? 3 : 4;
+
+  bench::print_header(
+      "bench_flowtable: FlowTable vs std::unordered_map at 1M+ flows "
+      "(lookup rate gated at 1.3x; resize probe tail gated)");
+
+  const auto keys = bench::make_keys(flows);
+  const auto order = bench::shuffled_indices(flows);
+
+  // Paired trials, best per side (noise only ever slows a run); the order
+  // alternates per trial to cancel cache-warming bias.
+  bench::SideRates best_ft;
+  bench::SideRates best_um;
+  std::vector<double> trial_ratios;
+  for (int warm = 0; warm < policy.warmup; ++warm) {
+    bench::run_flowtable(keys, order, rounds);
+    bench::run_unordered(keys, order, rounds);
+  }
+  for (int trial = 0; trial < policy.trials; ++trial) {
+    bench::SideRates ft;
+    bench::SideRates um;
+    if (trial % 2 == 0) {
+      ft = bench::run_flowtable(keys, order, rounds);
+      um = bench::run_unordered(keys, order, rounds);
+    } else {
+      um = bench::run_unordered(keys, order, rounds);
+      ft = bench::run_flowtable(keys, order, rounds);
+    }
+    best_ft.insert_mops = std::max(best_ft.insert_mops, ft.insert_mops);
+    best_ft.lookup_mops = std::max(best_ft.lookup_mops, ft.lookup_mops);
+    best_um.insert_mops = std::max(best_um.insert_mops, um.insert_mops);
+    best_um.lookup_mops = std::max(best_um.lookup_mops, um.lookup_mops);
+    trial_ratios.push_back(
+        um.lookup_mops > 0.0 ? ft.lookup_mops / um.lookup_mops : 0.0);
+  }
+  const double rel_lookup = best_um.lookup_mops > 0.0
+                                ? best_ft.lookup_mops / best_um.lookup_mops
+                                : 0.0;
+  const double rel_insert = best_um.insert_mops > 0.0
+                                ? best_ft.insert_mops / best_um.insert_mops
+                                : 0.0;
+  const bench::TrialAggregate spread = bench::aggregate_trials(trial_ratios);
+
+  const bench::ResizeProfile resize = bench::profile_resize(keys);
+
+  std::printf("  %zu flows, %d lookup rounds, best of %d trials\n",
+              flows, rounds, policy.trials);
+  std::printf("  insert   flowtable %8.2f Mops   unordered %8.2f Mops"
+              "  (%.2fx)\n",
+              best_ft.insert_mops, best_um.insert_mops, rel_insert);
+  std::printf("  lookup   flowtable %8.2f Mops   unordered %8.2f Mops"
+              "  (%.2fx, spread %.1f%%)\n",
+              best_ft.lookup_mops, best_um.lookup_mops, rel_lookup,
+              spread.rel_spread * 100.0);
+  std::printf("  resize   %" PRIu64 " grows, %" PRIu64 " drain steps, "
+              "%" PRIu64 " slots migrated\n",
+              resize.resizes, resize.resize_steps, resize.migrated);
+  std::printf("           p99 probe %.0f  max probe %.0f  "
+              "worst insert pause %" PRIu64 " cycles (%.2f us)\n",
+              resize.p99_probe, resize.max_probe, resize.max_pause_cycles,
+              util::CycleClock::to_us(resize.max_pause_cycles));
+
+  // Hard floors, independent of any committed baseline: the redesign's
+  // stated wins must hold on the machine producing the JSON.
+  bool ok = true;
+  if (rel_lookup < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: lookup rel_rate %.3f below the 1.3x floor\n",
+                 rel_lookup);
+    ok = false;
+  }
+  if (resize.resizes == 0 || resize.resize_steps == 0) {
+    std::fprintf(stderr,
+                 "FAIL: growth run never resized incrementally\n");
+    ok = false;
+  }
+  // 32 slots: double the analytic p99 for linear probing at the 3/4
+  // occupancy ceiling the table grows at — crossing it means clustering
+  // regressed, not that the run was noisy (probe lengths are counts).
+  if (resize.p99_probe > 32.0) {
+    std::fprintf(stderr,
+                 "FAIL: p99 probe length %.0f unbounded during resize\n",
+                 resize.p99_probe);
+    ok = false;
+  }
+
+  using telemetry::Json;
+  bench::BenchJson json{"flowtable"};
+  json.param("flows", static_cast<double>(flows));
+  json.param("rounds", static_cast<double>(rounds));
+  json.param("trials", static_cast<double>(policy.trials));
+  json.param("value_bytes", static_cast<double>(sizeof(bench::FlowRec)));
+  json.param("workload", "uniform-tuples");
+
+  Json lookup_row = Json::object();
+  lookup_row.set("config", Json::string("flowtable/lookup"));
+  lookup_row.set("workload", Json::string("uniform-tuples"));
+  lookup_row.set("rel_rate", Json::number(rel_lookup));
+  // The baseline tolerance pins the floor at exactly 1.3x regardless of
+  // how far above it this machine measured (plus a noise allowance when
+  // the trials were unusually spread).
+  const double tolerance =
+      rel_lookup > 1.3 ? 1.0 - 1.3 / rel_lookup : 0.0;
+  lookup_row.set("tolerance_rel_rate", Json::number(tolerance));
+  lookup_row.set("rel_rate_spread", Json::number(spread.rel_spread));
+  lookup_row.set("lookup_mops", Json::number(best_ft.lookup_mops));
+  lookup_row.set("rel_p99_unstable", Json::boolean(true));
+  json.add(std::move(lookup_row));
+
+  Json resize_row = Json::object();
+  resize_row.set("config", Json::string("flowtable/resize"));
+  resize_row.set("workload", Json::string("uniform-tuples"));
+  // Probe lengths are slot counts — deterministic for a fixed key set and
+  // hash, hence portable enough to gate across machines.
+  resize_row.set("rel_p99", Json::number(resize.p99_probe));
+  resize_row.set("tolerance_rel_p99", Json::number(1.0));
+  resize_row.set("max_probe", Json::number(resize.max_probe));
+  resize_row.set("resizes", Json::integer(resize.resizes));
+  resize_row.set("resize_steps", Json::integer(resize.resize_steps));
+  resize_row.set("migrated_entries", Json::integer(resize.migrated));
+  resize_row.set("max_insert_pause_us",
+                 Json::number(util::CycleClock::to_us(
+                     resize.max_pause_cycles)));
+  json.add(std::move(resize_row));
+
+  Json insert_row = Json::object();
+  insert_row.set("config", Json::string("flowtable/insert"));
+  insert_row.set("workload", Json::string("uniform-tuples"));
+  insert_row.set("rel_rate", Json::number(rel_insert));
+  insert_row.set("insert_mops", Json::number(best_ft.insert_mops));
+  insert_row.set("gated", Json::boolean(false));
+  json.add(std::move(insert_row));
+
+  Json reference_row = Json::object();
+  reference_row.set("config", Json::string("unordered_map/reference"));
+  reference_row.set("workload", Json::string("uniform-tuples"));
+  reference_row.set("lookup_mops", Json::number(best_um.lookup_mops));
+  reference_row.set("insert_mops", Json::number(best_um.insert_mops));
+  reference_row.set("gated", Json::boolean(false));
+  json.add(std::move(reference_row));
+
+  json.write();
+  return ok ? 0 : 1;
+}

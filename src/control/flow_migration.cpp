@@ -1,7 +1,6 @@
 #include "control/flow_migration.hpp"
 
 #include <cstdint>
-#include <map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -178,16 +177,19 @@ ReshardReport reshard(runtime::ShardedRuntime& runtime,
   for (std::size_t s = 0; s < runtime.shard_count(); ++s) {
     runtime::ServiceChain& chain = runtime.shard_chain(s);
     const auto flows = chain.classifier().active_tuples();
-    std::map<std::size_t, std::vector<core::PacketClassifier::ActiveFlow>>
-        moves;
+    // Bucket by destination shard: shard indices are small and dense, so a
+    // flat vector indexed by shard beats an ordered map of buckets.
+    std::vector<std::vector<core::PacketClassifier::ActiveFlow>> moves(
+        report.to_shards);
     for (const auto& flow : flows) {
       const std::size_t target = util::shard_index(
           flow.tuple.symmetric_hash(), report.to_shards);
       if (target != s) moves[target].push_back(flow);
     }
-    for (auto& [target, group] : moves) {
+    for (std::size_t target = 0; target < moves.size(); ++target) {
+      if (moves[target].empty()) continue;
       report.migrated_flows +=
-          migrate_flows(chain, runtime.shard_chain(target), group);
+          migrate_flows(chain, runtime.shard_chain(target), moves[target]);
     }
   }
   if (report.to_shards < report.from_shards) {

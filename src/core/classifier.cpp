@@ -25,21 +25,23 @@ std::optional<PacketClassifier::Classification> PacketClassifier::classify(
   result.parsed = parsed;
   result.teardown = parsed.is_tcp() && parsed.has_fin_or_rst();
 
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, parsed);
+  // Hash once; the same value serves the lookup, the insert and FID
+  // assignment (FID = low 20 bits of this hash).
+  const auto flow = HashedTuple::of(net::extract_five_tuple(packet, parsed));
+  const net::FiveTuple& tuple = flow.tuple;
   const std::uint64_t stamp = packet.arrival_cycle() != 0
                                   ? packet.arrival_cycle()
                                   : util::CycleClock::now();
-  const auto it = by_tuple_.find(tuple);
-  if (it != by_tuple_.end()) {
+  if (FlowRecord* record = by_tuple_.find(tuple, flow.hash)) {
     result.path = Path::kSubsequent;
-    result.fid = it->second.fid;
-    it->second.last_seen_cycles = stamp;
+    result.fid = record->fid;
+    record->last_seen_cycles = stamp;
     ++subsequent_count_;
   } else {
     result.path = Path::kInitial;
-    result.fid = assign_fid(tuple);
-    by_tuple_.emplace(tuple, FlowRecord{result.fid, stamp});
-    by_fid_.emplace(result.fid, tuple);
+    result.fid = assign_fid(flow.hash);
+    by_tuple_.try_emplace(tuple, flow.hash, FlowRecord{result.fid, stamp});
+    by_fid_.try_emplace(result.fid, tuple);
     ++initial_count_;
   }
 
@@ -48,9 +50,8 @@ std::optional<PacketClassifier::Classification> PacketClassifier::classify(
   return result;
 }
 
-std::uint32_t PacketClassifier::assign_fid(const net::FiveTuple& tuple) {
-  std::uint32_t fid =
-      static_cast<std::uint32_t>(tuple.hash()) & net::kFidMask;
+std::uint32_t PacketClassifier::assign_fid(FlowHash hash) {
+  std::uint32_t fid = static_cast<std::uint32_t>(hash.value) & net::kFidMask;
   // Linear probe past FIDs held by other live flows.
   while (by_fid_.contains(fid)) {
     fid = (fid + 1) & net::kFidMask;
@@ -59,38 +60,39 @@ std::uint32_t PacketClassifier::assign_fid(const net::FiveTuple& tuple) {
 }
 
 void PacketClassifier::release_flow(std::uint32_t fid) {
-  const auto it = by_fid_.find(fid);
-  if (it == by_fid_.end()) return;
-  by_tuple_.erase(it->second);
-  by_fid_.erase(it);
+  const net::FiveTuple* tuple = by_fid_.find(fid);
+  if (tuple == nullptr) return;
+  by_tuple_.erase(*tuple);
+  by_fid_.erase(fid);
 }
 
 std::vector<PacketClassifier::ActiveFlow> PacketClassifier::active_tuples()
     const {
   std::vector<ActiveFlow> flows;
   flows.reserve(by_tuple_.size());
-  for (const auto& [tuple, record] : by_tuple_) {
-    flows.push_back({tuple, record.fid, record.last_seen_cycles});
-  }
+  by_tuple_.for_each(
+      [&flows](const net::FiveTuple& tuple, const FlowRecord& record) {
+        flows.push_back({tuple, record.fid, record.last_seen_cycles});
+      });
   return flows;
 }
 
 std::uint32_t PacketClassifier::adopt_flow(const net::FiveTuple& tuple,
                                            std::uint64_t last_seen_cycles) {
-  const std::uint32_t fid = assign_fid(tuple);
-  by_tuple_.emplace(tuple, FlowRecord{fid, last_seen_cycles});
-  by_fid_.emplace(fid, tuple);
+  const std::uint32_t fid = assign_fid(FlowHash{tuple.hash()});
+  by_tuple_.try_emplace(tuple, FlowRecord{fid, last_seen_cycles});
+  by_fid_.try_emplace(fid, tuple);
   return fid;
 }
 
 std::vector<std::uint32_t> PacketClassifier::collect_idle(
     std::uint64_t now_cycles, std::uint64_t max_age_cycles) const {
   std::vector<std::uint32_t> idle;
-  for (const auto& [tuple, record] : by_tuple_) {
+  by_tuple_.for_each([&](const net::FiveTuple&, const FlowRecord& record) {
     if (now_cycles - record.last_seen_cycles > max_age_cycles) {
       idle.push_back(record.fid);
     }
-  }
+  });
   return idle;
 }
 

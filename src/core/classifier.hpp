@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flow_table.hpp"
 #include "net/packet.hpp"
 
 namespace speedybox::core {
@@ -53,9 +53,9 @@ class PacketClassifier {
   /// untouched. The slo-early-drop ingress gate uses this to ask "is this
   /// flow already doomed?" before spending any classify/record work.
   std::optional<std::uint32_t> peek(const net::FiveTuple& tuple) const {
-    const auto it = by_tuple_.find(tuple);
-    if (it == by_tuple_.end()) return std::nullopt;
-    return it->second.fid;
+    const FlowRecord* record = by_tuple_.find(tuple);
+    if (record == nullptr) return std::nullopt;
+    return record->fid;
   }
 
   /// Free the FID after the teardown packet has been fully processed.
@@ -91,6 +91,14 @@ class PacketClassifier {
   std::uint64_t initial_count() const noexcept { return initial_count_; }
   std::uint64_t subsequent_count() const noexcept { return subsequent_count_; }
 
+  /// Flow-table telemetry, both directions merged (tuple->record plus
+  /// fid->tuple).
+  FlowTableStats table_stats() const {
+    FlowTableStats stats = by_tuple_.stats();
+    stats.merge_from(by_fid_.stats());
+    return stats;
+  }
+
   void clear();
 
  private:
@@ -99,15 +107,16 @@ class PacketClassifier {
     std::uint64_t last_seen_cycles = 0;
   };
 
-  std::uint32_t assign_fid(const net::FiveTuple& tuple);
+  std::uint32_t assign_fid(FlowHash hash);
 
-  /// Flow table: the single per-packet lookup. last-seen rides in the same
-  /// record (updated in place), and the timestamp reuses the packet's
-  /// arrival stamp when the caller provided one, so idle tracking adds no
-  /// extra map operation or counter read to the fast path.
-  std::unordered_map<net::FiveTuple, FlowRecord, net::FiveTupleHash>
-      by_tuple_;
-  std::unordered_map<std::uint32_t, net::FiveTuple> by_fid_;
+  /// Flow table: the single per-packet lookup. The tuple is hashed once in
+  /// classify() and the hash reused for the lookup, the insert and FID
+  /// assignment. last-seen rides in the same record (updated in place), and
+  /// the timestamp reuses the packet's arrival stamp when the caller
+  /// provided one, so idle tracking adds no extra table operation or
+  /// counter read to the fast path.
+  FlowTable<net::FiveTuple, FlowRecord> by_tuple_;
+  FlowTable<std::uint32_t, net::FiveTuple> by_fid_;
   std::uint64_t initial_count_ = 0;
   std::uint64_t subsequent_count_ = 0;
 };

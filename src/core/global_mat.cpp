@@ -24,11 +24,10 @@ void GlobalMat::consolidate_flow(std::uint32_t fid) {
   }
 
   // A fresh rule object per consolidation: in-flight holders of the old
-  // snapshot stay consistent; the map points new packets at the new rule.
+  // snapshot stay consistent; the table points new packets at the new rule.
   auto rule = std::make_shared<ConsolidatedRule>();
-  const auto existing = rules_.find(fid);
-  rule->version =
-      (existing != rules_.end() ? existing->second->version : 0) + 1;
+  const auto* existing = rules_.find(fid);
+  rule->version = (existing != nullptr ? (*existing)->version : 0) + 1;
   rule->action = consolidate(all_actions);
   rule->schedule = build_schedule(batches);
   rule->batches = std::move(batches);
@@ -38,18 +37,18 @@ void GlobalMat::consolidate_flow(std::uint32_t fid) {
   SB_LOG_DEBUG("global_mat", "consolidated fid=%u v=%llu: %s", fid,
                static_cast<unsigned long long>(rule->version),
                rule->action.to_string().c_str());
-  rules_[fid] = std::move(rule);
+  rules_.insert_or_assign(fid, std::move(rule));
 }
 
 ConsolidatedRule* GlobalMat::apply_header_phase(
     net::Packet& packet, bool* dropped, std::size_t* events_triggered) {
   const std::uint32_t fid = packet.fid();
-  const auto it = rules_.find(fid);
-  if (it == rules_.end()) return nullptr;
+  const auto* cell = rules_.find(fid);
+  if (cell == nullptr) return nullptr;
   // Borrowed pointer, no refcount traffic on the per-packet path. An event
   // below installs (and frees) a *new* rule object, so re-fetch afterwards
   // to process this packet against the updated rule.
-  ConsolidatedRule* rule_ref = it->second.get();
+  ConsolidatedRule* rule_ref = cell->get();
 
   // 1. Event check (§V-A Observation 2): decide whether the consolidated
   //    result can be reused before reusing it. Flows without registered
@@ -74,9 +73,9 @@ ConsolidatedRule* GlobalMat::apply_header_phase(
           consolidate_flow(fid);
         });
     if (*events_triggered > 0) {
-      const auto updated = rules_.find(fid);
-      if (updated == rules_.end()) return nullptr;
-      rule_ref = updated->second.get();
+      const auto* updated = rules_.find(fid);
+      if (updated == nullptr) return nullptr;
+      rule_ref = updated->get();
     }
   }
 
@@ -95,7 +94,7 @@ GlobalMat::FastHeaderResult GlobalMat::process_header(net::Packet& packet) {
     result.degraded_rule = rule->degraded_default;
     // Threaded callers need an owning pin: the descriptor outlives this
     // call and must survive a concurrent re-consolidation.
-    result.rule = rules_.at(packet.fid());
+    result.rule = find_shared(packet.fid());
   }
   return result;
 }
@@ -185,12 +184,11 @@ GlobalMat::FastPathResult GlobalMat::process(
 
 void GlobalMat::install_default_rule(std::uint32_t fid) {
   auto rule = std::make_shared<ConsolidatedRule>();
-  const auto existing = rules_.find(fid);
-  rule->version =
-      (existing != rules_.end() ? existing->second->version : 0) + 1;
+  const auto* existing = rules_.find(fid);
+  rule->version = (existing != nullptr ? (*existing)->version : 0) + 1;
   rule->degraded_default = true;
   SB_LOG_DEBUG("global_mat", "degraded default rule for fid=%u", fid);
-  rules_[fid] = std::move(rule);
+  rules_.insert_or_assign(fid, std::move(rule));
 }
 
 void GlobalMat::erase_flow(std::uint32_t fid, bool run_hooks) {

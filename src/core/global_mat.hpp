@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/event_table.hpp"
+#include "core/flow_table.hpp"
 #include "core/header_action.hpp"
 #include "core/local_mat.hpp"
 #include "core/parallel_schedule.hpp"
@@ -80,8 +80,8 @@ class GlobalMat {
   void consolidate_flow(std::uint32_t fid);
 
   const ConsolidatedRule* find(std::uint32_t fid) const {
-    const auto it = rules_.find(fid);
-    return it == rules_.end() ? nullptr : it->second.get();
+    const auto* rule = rules_.find(fid);
+    return rule == nullptr ? nullptr : rule->get();
   }
 
   /// True when the flow's consolidated rule is a settled drop: the header
@@ -108,10 +108,10 @@ class GlobalMat {
   /// sampling window mid-flow. No-op if the flow has no rule.
   void transfer_cost_profile(std::uint32_t fid, std::uint32_t cost_samples,
                              double critical_fraction) {
-    const auto it = rules_.find(fid);
-    if (it == rules_.end()) return;
-    it->second->cost_samples = cost_samples;
-    it->second->critical_fraction = critical_fraction;
+    auto* rule = rules_.find(fid);
+    if (rule == nullptr) return;
+    (*rule)->cost_samples = cost_samples;
+    (*rule)->critical_fraction = critical_fraction;
   }
 
   /// Batch pre-pass hint: warm the cache lines of `fid`'s consolidated rule
@@ -119,9 +119,9 @@ class GlobalMat {
   /// (DESIGN.md §8). A hint only — a miss or a stale line never affects
   /// correctness.
   void prefetch(std::uint32_t fid) const noexcept {
-    const auto it = rules_.find(fid);
-    if (it != rules_.end()) {
-      util::prefetch_read(it->second.get());
+    const auto* rule = rules_.find(fid);
+    if (rule != nullptr) {
+      util::prefetch_read(rule->get());
     }
   }
 
@@ -129,8 +129,8 @@ class GlobalMat {
   /// the rule a packet executes against).
   std::shared_ptr<const ConsolidatedRule> find_shared(
       std::uint32_t fid) const {
-    const auto it = rules_.find(fid);
-    return it == rules_.end() ? nullptr : it->second;
+    const auto* rule = rules_.find(fid);
+    return rule == nullptr ? nullptr : *rule;
   }
 
   struct FastPathResult {
@@ -182,6 +182,9 @@ class GlobalMat {
 
   std::size_t size() const noexcept { return rules_.size(); }
   std::uint64_t consolidations() const noexcept { return consolidations_; }
+  /// Rule-table telemetry (occupancy, probes, slab bytes) for the shard's
+  /// flow_table_* metrics.
+  FlowTableStats rule_table_stats() const { return rules_.stats(); }
   void clear();
 
   /// Install a threaded batch executor (borrowed). Used by the unmeasured
@@ -203,8 +206,10 @@ class GlobalMat {
   std::vector<LocalMat*> chain_;
   BatchExecutor* executor_ = nullptr;
   EventTable events_;
-  std::unordered_map<std::uint32_t, std::shared_ptr<ConsolidatedRule>>
-      rules_;
+  /// FID-keyed consolidated-rule table. The shared_ptr cells live in slab
+  /// records; each consolidation swaps the pointer in place, so in-flight
+  /// holders of the old snapshot stay consistent (see consolidate_flow).
+  FlowTable<std::uint32_t, std::shared_ptr<ConsolidatedRule>> rules_;
   std::uint64_t consolidations_ = 0;
 };
 

@@ -11,17 +11,14 @@ DosPrevention::DosPrevention(std::uint64_t syn_threshold,
       threshold_(syn_threshold),
       normal_action_(normal_action) {}
 
-void DosPrevention::count_syn(const net::FiveTuple& tuple,
-                              const net::ParsedPacket& parsed) {
-  if (parsed.has_syn()) ++flows_[tuple].syn_count;
-}
-
 void DosPrevention::process(net::Packet& packet,
                             core::SpeedyBoxContext* ctx) {
   count_packet();
   const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
   if (!parsed) return;
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
+  const net::FiveTuple tuple = flow.tuple;
 
   // Check-then-count: the drop verdict is based on the state *before* this
   // packet, matching the Event Table semantics where conditions are
@@ -30,16 +27,16 @@ void DosPrevention::process(net::Packet& packet,
   FlowState* flow_args = nullptr;
   {
     const std::lock_guard lock(mutex_);
-    FlowState& state = flows_[tuple];
+    FlowState& state = *flows_.try_emplace(tuple, flow.hash).first;
     if (state.blacklisted || state.syn_count > threshold_) {
       state.blacklisted = true;
       packet.mark_dropped();
       ++drops_;
       return;
     }
-    count_syn(tuple, *parsed);
+    if (parsed->has_syn()) ++state.syn_count;
     // Recorded args: the flow's resolved counter cell (Figure 2) —
-    // pointer-stable unordered_map node.
+    // a slab record, pointer-stable across table resizes.
     flow_args = &state;
   }
   core::apply_action_baseline(normal_action_, packet);
@@ -57,12 +54,12 @@ void DosPrevention::process(net::Packet& packet,
         name() + ".blacklist",
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
-          const auto it = flows_.find(tuple);
-          return it != flows_.end() && it->second.syn_count > threshold_;
+          const FlowState* state = flows_.find(tuple);
+          return state != nullptr && state->syn_count > threshold_;
         },
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
-          flows_[tuple].blacklisted = true;
+          flows_.try_emplace(tuple).first->blacklisted = true;
           ++drops_;  // accounted per-flow, not per-packet, on the fast path
           core::EventUpdate update;
           update.header_actions = {core::HeaderAction::drop()};
@@ -78,14 +75,14 @@ void DosPrevention::process(net::Packet& packet,
 
 std::uint64_t DosPrevention::syn_count(const net::FiveTuple& tuple) const {
   const std::lock_guard lock(mutex_);
-  const auto it = flows_.find(tuple);
-  return it == flows_.end() ? 0 : it->second.syn_count;
+  const FlowState* state = flows_.find(tuple);
+  return state == nullptr ? 0 : state->syn_count;
 }
 
 bool DosPrevention::is_blacklisted(const net::FiveTuple& tuple) const {
   const std::lock_guard lock(mutex_);
-  const auto it = flows_.find(tuple);
-  return it != flows_.end() && it->second.blacklisted;
+  const FlowState* state = flows_.find(tuple);
+  return state != nullptr && state->blacklisted;
 }
 
 void DosPrevention::on_flow_teardown(const net::FiveTuple& tuple) {
@@ -96,25 +93,17 @@ void DosPrevention::on_flow_teardown(const net::FiveTuple& tuple) {
 std::optional<std::vector<std::uint8_t>> DosPrevention::export_flow_state(
     const net::FiveTuple& tuple) {
   const std::lock_guard lock(mutex_);
-  const auto it = flows_.find(tuple);
-  if (it == flows_.end()) return std::nullopt;
-  FlowStateWriter writer;
-  writer.u64(it->second.syn_count);
-  writer.boolean(it->second.blacklisted);
-  return writer.take();
+  return flows_.export_state(tuple);
 }
 
 void DosPrevention::import_flow_state(const net::FiveTuple& tuple,
                                       std::span<const std::uint8_t> bytes,
                                       core::SpeedyBoxContext* ctx) {
-  FlowStateReader reader{bytes};
   FlowState* flow_args = nullptr;
   bool blacklisted = false;
   {
     const std::lock_guard lock(mutex_);
-    FlowState& state = flows_[tuple];
-    state.syn_count = reader.u64();
-    state.blacklisted = reader.boolean();
+    FlowState& state = flows_.import_state(tuple, bytes);
     blacklisted = state.blacklisted;
     flow_args = &state;
   }
@@ -139,12 +128,12 @@ void DosPrevention::import_flow_state(const net::FiveTuple& tuple,
         name() + ".blacklist",
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
-          const auto it = flows_.find(tuple);
-          return it != flows_.end() && it->second.syn_count > threshold_;
+          const FlowState* state = flows_.find(tuple);
+          return state != nullptr && state->syn_count > threshold_;
         },
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
-          flows_[tuple].blacklisted = true;
+          flows_.try_emplace(tuple).first->blacklisted = true;
           ++drops_;  // accounted per-flow, not per-packet, on the fast path
           core::EventUpdate update;
           update.header_actions = {core::HeaderAction::drop()};

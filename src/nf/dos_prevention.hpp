@@ -8,8 +8,8 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 
+#include "nf/flow_state.hpp"
 #include "nf/network_function.hpp"
 
 namespace speedybox::nf {
@@ -49,15 +49,16 @@ class DosPrevention : public NetworkFunction {
     return drops_;
   }
 
+  core::FlowTableStats flow_state_stats() const override {
+    const std::lock_guard lock(mutex_);
+    return flows_.stats();
+  }
+
  private:
   struct FlowState {
     std::uint64_t syn_count = 0;
     bool blacklisted = false;
   };
-
-  /// Callers must hold mutex_.
-  void count_syn(const net::FiveTuple& tuple,
-                 const net::ParsedPacket& parsed);
 
   std::uint64_t threshold_;
   core::HeaderAction normal_action_;
@@ -67,7 +68,7 @@ class DosPrevention : public NetworkFunction {
   /// this NF's core. Never held across a SpeedyBoxContext call (the Event
   /// Table invokes conditions under its own mutex — see MaglevLb).
   mutable std::mutex mutex_;
-  std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> flows_;
+  FlowStateTable<FlowState> flows_;
   std::uint64_t drops_ = 0;
 };
 

@@ -1,5 +1,6 @@
-// Byte-oriented helpers for the per-flow state serialization API
-// (NetworkFunction::export_flow_state / import_flow_state, DESIGN.md §10).
+// The per-NF flow-state API (DESIGN.md §10, §13): byte-oriented
+// serialization helpers plus the typed state layer every stateful NF
+// declares its per-flow state through.
 //
 // The encoding is deliberately dumb: fixed-width little-endian integers
 // appended in a documented order per NF. A flow-state payload never leaves
@@ -7,13 +8,32 @@
 // there is no versioning or cross-machine concern — but the encoding is
 // still fully deterministic so the migration round-trip unit tests can
 // assert export→import→export byte equality.
+//
+// Layered on top:
+//
+//   * FlowStateTraits<State> — how a state record becomes bytes and back.
+//     The default is a straight memcpy of the record image, valid for any
+//     trivially-copyable State: records live in zero-filled slab storage
+//     (core::SlabArena), so padding bytes are deterministically zero and
+//     the raw image round-trips byte-identically. States owning heap data
+//     (SnortIds' candidate-rule vector) specialize the traits.
+//
+//   * FlowStateTable<State> — a FiveTuple-keyed core::FlowTable with the
+//     traits applied, collapsing the export_flow_state/import_flow_state
+//     writer/reader boilerplate each NF used to hand-roll into
+//     export_state()/import_state() on the table itself.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <optional>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/flow_table.hpp"
 #include "net/five_tuple.hpp"
 
 namespace speedybox::nf {
@@ -46,6 +66,12 @@ class FlowStateWriter {
     u16(t.src_port);
     u16(t.dst_port);
     u8(t.proto);
+  }
+
+  /// Raw byte run — the memcpy path FlowStateTraits' default takes for
+  /// slab-resident trivially-copyable records.
+  void bytes(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
   }
 
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
@@ -97,11 +123,149 @@ class FlowStateReader {
     return t;
   }
 
+  /// Raw byte run of length n; throws on truncation like the field reads.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw std::out_of_range("FlowStateReader: truncated flow-state payload");
+    }
+    const auto run = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return run;
+  }
+
   bool done() const { return pos_ == bytes_.size(); }
 
  private:
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
+};
+
+// --- Typed per-flow state (DESIGN.md §13) ----------------------------------
+
+/// How one NF's per-flow State serializes for migration. The primary
+/// template is the memcpy fast path: a trivially-copyable record's slab
+/// image IS its wire format (zero-filled padding makes it deterministic).
+/// NFs whose state owns heap memory specialize this next to the State type.
+template <class State>
+struct FlowStateTraits {
+  static_assert(std::is_trivially_copyable_v<State>,
+                "specialize FlowStateTraits for state that owns heap data");
+
+  static void serialize(const State& state, FlowStateWriter& writer) {
+    writer.bytes({reinterpret_cast<const std::uint8_t*>(&state),
+                  sizeof(State)});
+  }
+
+  static void restore(FlowStateReader& reader, State& state) {
+    const auto raw = reader.bytes(sizeof(State));
+    std::memcpy(&state, raw.data(), sizeof(State));
+  }
+};
+
+/// A FiveTuple-keyed flow table with FlowStateTraits applied: the one
+/// structure a stateful NF declares, giving it slab-backed stable-address
+/// records, pre-hashed lookups, incremental resize, telemetry stats — and
+/// export_state()/import_state() in place of hand-rolled writer/reader
+/// code in every export_flow_state/import_flow_state override.
+template <class State, class Traits = FlowStateTraits<State>>
+class FlowStateTable {
+ public:
+  using Table = core::FlowTable<net::FiveTuple, State>;
+
+  FlowStateTable() = default;
+  explicit FlowStateTable(std::size_t expected_flows)
+      : table_(expected_flows) {}
+
+  State* find(const net::FiveTuple& tuple) { return table_.find(tuple); }
+  const State* find(const net::FiveTuple& tuple) const {
+    return table_.find(tuple);
+  }
+  State* find(const net::FiveTuple& tuple, core::FlowHash hash) {
+    return table_.find(tuple, hash);
+  }
+  const State* find(const net::FiveTuple& tuple, core::FlowHash hash) const {
+    return table_.find(tuple, hash);
+  }
+
+  /// Find-or-create; the returned pointer is stable until erase (the
+  /// recorded-closure capture contract).
+  template <class... Args>
+  std::pair<State*, bool> try_emplace(const net::FiveTuple& tuple,
+                                      Args&&... args) {
+    return table_.try_emplace(tuple, std::forward<Args>(args)...);
+  }
+  template <class... Args>
+  std::pair<State*, bool> try_emplace(const net::FiveTuple& tuple,
+                                      core::FlowHash hash, Args&&... args) {
+    return table_.try_emplace(tuple, hash, std::forward<Args>(args)...);
+  }
+
+  bool erase(const net::FiveTuple& tuple) { return table_.erase(tuple); }
+  bool erase(const net::FiveTuple& tuple, core::FlowHash hash) {
+    return table_.erase(tuple, hash);
+  }
+
+  /// Remove the entry and hand its state to the caller — the move-semantics
+  /// export (Monitor's counter partition invariant).
+  std::optional<State> extract(const net::FiveTuple& tuple) {
+    State* state = table_.find(tuple);
+    if (state == nullptr) return std::nullopt;
+    std::optional<State> out(std::move(*state));
+    table_.erase(tuple);
+    return out;
+  }
+
+  std::size_t size() const noexcept { return table_.size(); }
+  bool empty() const noexcept { return table_.empty(); }
+  void clear() noexcept { table_.clear(); }
+  void reserve(std::size_t expected_flows) { table_.reserve(expected_flows); }
+  void prefetch(core::FlowHash hash) const noexcept { table_.prefetch(hash); }
+
+  template <class F>
+  void for_each(F&& fn) {
+    table_.for_each(std::forward<F>(fn));
+  }
+  template <class F>
+  void for_each(F&& fn) const {
+    table_.for_each(std::forward<F>(fn));
+  }
+
+  core::FlowTableStats stats() const { return table_.stats(); }
+
+  /// Serialize the flow's state, or nullopt when none is held — the body
+  /// of a typical export_flow_state override.
+  std::optional<std::vector<std::uint8_t>> export_state(
+      const net::FiveTuple& tuple) const {
+    const State* state = table_.find(tuple);
+    if (state == nullptr) return std::nullopt;
+    FlowStateWriter writer;
+    Traits::serialize(*state, writer);
+    return writer.take();
+  }
+
+  /// Restore an exported payload into (find-or-create) the flow's record
+  /// and return it for re-recording. Throws on truncated or oversized
+  /// payloads so a malformed migration fails loudly.
+  State& import_state(const net::FiveTuple& tuple,
+                      std::span<const std::uint8_t> bytes) {
+    FlowStateReader reader(bytes);
+    auto [state, inserted] = table_.try_emplace(tuple);
+    try {
+      Traits::restore(reader, *state);
+      if (!reader.done()) {
+        throw std::invalid_argument(
+            "FlowStateTable: trailing bytes in flow-state payload");
+      }
+    } catch (...) {
+      // A failed restore must not leave a half-imported record behind.
+      if (inserted) table_.erase(tuple);
+      throw;
+    }
+    return *state;
+  }
+
+ private:
+  Table table_;
 };
 
 }  // namespace speedybox::nf

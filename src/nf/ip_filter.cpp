@@ -72,21 +72,18 @@ void IpFilter::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     ++drops_;
     return;
   }
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
 
-  bool drop;
-  const auto it = verdict_cache_.find(tuple);
-  if (it != verdict_cache_.end()) {
-    drop = it->second;
-  } else {
-    drop = lookup_acl(tuple);  // initial-packet linear scan
-    verdict_cache_.emplace(tuple, drop);
-  }
+  // One hash serves the verdict lookup, the insert and the FIN/RST erase.
+  auto [verdict, missed] = verdict_cache_.try_emplace(flow.tuple, flow.hash);
+  if (missed) *verdict = lookup_acl(flow.tuple);  // initial-packet scan
+  const bool drop = *verdict;
 
   if (ctx != nullptr) {
     ctx->add_header_action(drop ? core::HeaderAction::drop()
                                 : core::HeaderAction::forward());
-    const net::FiveTuple key = tuple;
+    const net::FiveTuple key = flow.tuple;
     ctx->on_teardown([this, key]() { verdict_cache_.erase(key); });
   }
 
@@ -94,7 +91,7 @@ void IpFilter::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     packet.mark_dropped();
     ++drops_;
   }
-  if (parsed->has_fin_or_rst()) verdict_cache_.erase(tuple);
+  if (parsed->has_fin_or_rst()) verdict_cache_.erase(flow.tuple, flow.hash);
 }
 
 void IpFilter::process_batch(net::PacketBatch& batch,
@@ -103,7 +100,7 @@ void IpFilter::process_batch(net::PacketBatch& batch,
   // and stream the ACL rules into cache for the miss-path linear scans.
   struct Live {
     std::size_t slot;
-    net::FiveTuple tuple;
+    core::HashedTuple flow;
     bool fin_or_rst;
   };
   std::vector<Live> live;
@@ -126,27 +123,26 @@ void IpFilter::process_batch(net::PacketBatch& batch,
       batch.mask(i);
       continue;
     }
-    live.push_back({i, net::extract_five_tuple(packet, *parsed),
-                    parsed->has_fin_or_rst()});
+    const auto flow = core::HashedTuple::of(
+        net::extract_five_tuple(packet, *parsed));
+    verdict_cache_.prefetch(flow.hash);
+    live.push_back({i, flow, parsed->has_fin_or_rst()});
   }
   // Stateful pass in slot order: verdict cache hits/misses, drops, and the
   // FIN/RST cache erase interleave exactly as the scalar loop would — a
   // teardown followed by a same-tuple packet in one batch re-scans the ACL.
   for (const Live& entry : live) {
-    bool drop;
-    const auto it = verdict_cache_.find(entry.tuple);
-    if (it != verdict_cache_.end()) {
-      drop = it->second;
-    } else {
-      drop = lookup_acl(entry.tuple);
-      verdict_cache_.emplace(entry.tuple, drop);
-    }
-    if (drop) {
+    auto [verdict, missed] =
+        verdict_cache_.try_emplace(entry.flow.tuple, entry.flow.hash);
+    if (missed) *verdict = lookup_acl(entry.flow.tuple);
+    if (*verdict) {
       batch.packet(entry.slot).mark_dropped();
       ++drops_;
       batch.mask(entry.slot);
     }
-    if (entry.fin_or_rst) verdict_cache_.erase(entry.tuple);
+    if (entry.fin_or_rst) {
+      verdict_cache_.erase(entry.flow.tuple, entry.flow.hash);
+    }
   }
 }
 
@@ -156,19 +152,13 @@ void IpFilter::on_flow_teardown(const net::FiveTuple& tuple) {
 
 std::optional<std::vector<std::uint8_t>> IpFilter::export_flow_state(
     const net::FiveTuple& tuple) {
-  const auto it = verdict_cache_.find(tuple);
-  if (it == verdict_cache_.end()) return std::nullopt;
-  FlowStateWriter writer;
-  writer.boolean(it->second);
-  return writer.take();
+  return verdict_cache_.export_state(tuple);
 }
 
 void IpFilter::import_flow_state(const net::FiveTuple& tuple,
                                  std::span<const std::uint8_t> bytes,
                                  core::SpeedyBoxContext* ctx) {
-  FlowStateReader reader{bytes};
-  const bool drop = reader.boolean();
-  verdict_cache_.emplace(tuple, drop);
+  const bool drop = verdict_cache_.import_state(tuple, bytes);
   if (ctx != nullptr) {
     ctx->add_header_action(drop ? core::HeaderAction::drop()
                                 : core::HeaderAction::forward());

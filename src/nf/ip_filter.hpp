@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "nf/flow_state.hpp"
 #include "nf/network_function.hpp"
 
 namespace speedybox::nf {
@@ -65,11 +65,15 @@ class IpFilter : public NetworkFunction {
   std::uint64_t drops() const noexcept { return drops_; }
   std::size_t cached_flows() const noexcept { return verdict_cache_.size(); }
 
+  core::FlowTableStats flow_state_stats() const override {
+    return verdict_cache_.stats();
+  }
+
  private:
   bool lookup_acl(const net::FiveTuple& tuple) const noexcept;  // true=drop
 
   std::vector<AclRule> acl_;
-  std::unordered_map<net::FiveTuple, bool, net::FiveTupleHash> verdict_cache_;
+  FlowStateTable<bool> verdict_cache_;  // true = drop
   std::uint64_t drops_ = 0;
 };
 

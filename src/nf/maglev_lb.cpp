@@ -45,25 +45,28 @@ void MaglevLb::heal_backend(std::size_t index) {
   rebuild_table();
 }
 
-std::size_t MaglevLb::assign(const net::FiveTuple& tuple) {
-  const std::int32_t backend = table_->lookup(tuple.hash());
+std::size_t MaglevLb::assign(const core::HashedTuple& flow) {
+  // The flow hash is computed once per packet and reused for the Maglev
+  // table lookup and the connection-tracking insert.
+  const std::int32_t backend = table_->lookup(flow.hash.value);
   if (backend < 0) {
     throw std::runtime_error("MaglevLb: no healthy backend");
   }
-  conn_track_[tuple] = static_cast<std::size_t>(backend);
+  *conn_track_.try_emplace(flow.tuple, flow.hash).first =
+      static_cast<std::size_t>(backend);
   return static_cast<std::size_t>(backend);
 }
 
-std::size_t MaglevLb::ensure_healthy(const net::FiveTuple& tuple) {
-  const auto it = conn_track_.find(tuple);
-  if (it == conn_track_.end()) return assign(tuple);
-  if (!backends_[it->second].healthy) {
+std::size_t MaglevLb::ensure_healthy(const core::HashedTuple& flow) {
+  const std::size_t* backend = conn_track_.find(flow.tuple, flow.hash);
+  if (backend == nullptr) return assign(flow);
+  if (!backends_[*backend].healthy) {
     // Failover: re-run consistent hashing over the rebuilt table. This is
     // the behavior the SpeedyBox event expresses on the fast path.
     ++reroutes_;
-    return assign(tuple);
+    return assign(flow);
   }
-  return it->second;
+  return *backend;
 }
 
 std::vector<core::HeaderAction> MaglevLb::actions_for(
@@ -79,16 +82,18 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   count_packet();
   const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
   if (!parsed) return;
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
+  const net::FiveTuple tuple = flow.tuple;
 
   std::vector<core::HeaderAction> actions;
   const std::size_t* backend_cell = nullptr;
   {
     const std::lock_guard lock(mutex_);
-    const std::size_t backend = ensure_healthy(tuple);
+    const std::size_t backend = ensure_healthy(flow);
     actions = actions_for(backend);
     bytes_[backend] += packet.size();
-    backend_cell = &conn_track_.find(tuple)->second;
+    backend_cell = conn_track_.find(tuple, flow.hash);
   }
   for (const core::HeaderAction& action : actions) {
     core::apply_action_baseline(action, packet);
@@ -100,9 +105,9 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     }
     // Per-backend byte accounting as an IGNORE-class state function. The
     // recorded args bind the flow's connection-tracking cell directly
-    // (pointer-stable unordered_map node, updated in place on failover),
-    // so the handler always charges the *current* backend without a
-    // per-packet table lookup.
+    // (pointer-stable slab record, updated in place on failover), so the
+    // handler always charges the *current* backend without a per-packet
+    // table lookup.
     core::localmat_add_SF(
         ctx,
         [this, backend_cell](net::Packet& pkt, const net::ParsedPacket&) {
@@ -120,13 +125,13 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
         name() + ".failover",
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
-          const auto it = conn_track_.find(tuple);
-          return it != conn_track_.end() && !backends_[it->second].healthy;
+          const std::size_t* backend = conn_track_.find(tuple);
+          return backend != nullptr && !backends_[*backend].healthy;
         },
         [this, tuple]() {
           const std::lock_guard lock(mutex_);
           ++reroutes_;
-          const std::size_t next = assign(tuple);
+          const std::size_t next = assign(core::HashedTuple::of(tuple));
           core::EventUpdate update;
           update.header_actions = actions_for(next);
           return update;
@@ -150,9 +155,9 @@ void MaglevLb::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
 std::optional<std::size_t> MaglevLb::backend_of(
     const net::FiveTuple& tuple) const {
   const std::lock_guard lock(mutex_);
-  const auto it = conn_track_.find(tuple);
-  if (it == conn_track_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t* backend = conn_track_.find(tuple);
+  if (backend == nullptr) return std::nullopt;
+  return *backend;
 }
 
 void MaglevLb::on_flow_teardown(const net::FiveTuple& tuple) {
@@ -163,28 +168,25 @@ void MaglevLb::on_flow_teardown(const net::FiveTuple& tuple) {
 std::optional<std::vector<std::uint8_t>> MaglevLb::export_flow_state(
     const net::FiveTuple& tuple) {
   const std::lock_guard lock(mutex_);
-  const auto it = conn_track_.find(tuple);
-  if (it == conn_track_.end()) return std::nullopt;
-  FlowStateWriter writer;
-  writer.u32(static_cast<std::uint32_t>(it->second));
-  return writer.take();
+  return conn_track_.export_state(tuple);
 }
 
 void MaglevLb::import_flow_state(const net::FiveTuple& tuple,
                                  std::span<const std::uint8_t> bytes,
                                  core::SpeedyBoxContext* ctx) {
-  FlowStateReader reader{bytes};
-  const std::size_t backend = reader.u32();
+  std::size_t backend = 0;
   std::vector<core::HeaderAction> actions;
   const std::size_t* backend_cell = nullptr;
   {
     const std::lock_guard lock(mutex_);
-    if (backend >= backends_.size()) {
+    std::size_t& cell = conn_track_.import_state(tuple, bytes);
+    if (cell >= backends_.size()) {
+      conn_track_.erase(tuple);
       throw std::invalid_argument("MaglevLb: imported backend out of range");
     }
-    conn_track_[tuple] = backend;
+    backend = cell;
     actions = actions_for(backend);
-    backend_cell = &conn_track_.find(tuple)->second;
+    backend_cell = &cell;
   }
   // Re-record what process() recorded for the initial packet (the lock is
   // released first — see the lock-order note on mutex_): sticky modify
@@ -205,13 +207,13 @@ void MaglevLb::import_flow_state(const net::FiveTuple& tuple,
       name() + ".failover",
       [this, tuple]() {
         const std::lock_guard lock(mutex_);
-        const auto it = conn_track_.find(tuple);
-        return it != conn_track_.end() && !backends_[it->second].healthy;
+        const std::size_t* backend = conn_track_.find(tuple);
+        return backend != nullptr && !backends_[*backend].healthy;
       },
       [this, tuple]() {
         const std::lock_guard lock(mutex_);
         ++reroutes_;
-        const std::size_t next = assign(tuple);
+        const std::size_t next = assign(core::HashedTuple::of(tuple));
         core::EventUpdate update;
         update.header_actions = actions_for(next);
         return update;

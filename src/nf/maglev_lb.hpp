@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "nf/flow_state.hpp"
 #include "nf/maglev_hash.hpp"
 #include "nf/network_function.hpp"
 
@@ -73,12 +73,17 @@ class MaglevLb : public NetworkFunction {
     return conn_track_.size();
   }
 
+  core::FlowTableStats flow_state_stats() const override {
+    const std::lock_guard lock(mutex_);
+    return conn_track_.stats();
+  }
+
  private:
   void rebuild_table();
-  std::size_t assign(const net::FiveTuple& tuple);
+  std::size_t assign(const core::HashedTuple& flow);
   /// Ensure the flow's backend is healthy, rerouting if not. Returns the
   /// (possibly new) backend index.
-  std::size_t ensure_healthy(const net::FiveTuple& tuple);
+  std::size_t ensure_healthy(const core::HashedTuple& flow);
   std::vector<core::HeaderAction> actions_for(std::size_t backend) const;
 
   /// Guards conn_track_, backends_, table_, bytes_ and reroutes_. Unlike
@@ -93,8 +98,7 @@ class MaglevLb : public NetworkFunction {
   std::vector<Backend> backends_;
   std::size_t table_size_;
   std::optional<MaglevTable> table_;
-  std::unordered_map<net::FiveTuple, std::size_t, net::FiveTupleHash>
-      conn_track_;
+  FlowStateTable<std::size_t> conn_track_;  // flow -> backend index
   std::vector<std::uint64_t> bytes_;
   std::uint64_t reroutes_ = 0;
 };

@@ -20,24 +20,26 @@ bool MazuNat::is_outbound(const net::FiveTuple& tuple) const noexcept {
   return (tuple.src_ip.value & mask) == (config_.internal_prefix.value & mask);
 }
 
-std::uint16_t MazuNat::allocate_port(const net::FiveTuple& tuple) {
+std::uint16_t MazuNat::allocate_port(const core::HashedTuple& flow) {
   const std::uint32_t range =
       static_cast<std::uint32_t>(config_.port_hi - config_.port_lo) + 1;
+  // The per-packet flow hash doubles as the allocation start point, so
+  // allocation stays a deterministic function of the tuple.
   const std::uint32_t start =
-      static_cast<std::uint32_t>(tuple.hash() % range);
+      static_cast<std::uint32_t>(flow.hash.value % range);
   for (std::uint32_t probe = 0; probe < range; ++probe) {
     const std::uint16_t port = static_cast<std::uint16_t>(
         config_.port_lo + (start + probe) % range);
-    if (reverse_.find(port) == reverse_.end()) return port;
+    if (!reverse_.contains(port)) return port;
   }
   throw std::runtime_error("MazuNat: port pool exhausted");
 }
 
 void MazuNat::release_mapping(const net::FiveTuple& tuple) {
-  const auto it = mappings_.find(tuple);
-  if (it == mappings_.end()) return;
-  reverse_.erase(it->second);
-  mappings_.erase(it);
+  const std::uint16_t* port = mappings_.find(tuple);
+  if (port == nullptr) return;
+  reverse_.erase(*port);
+  mappings_.erase(tuple);
 }
 
 std::vector<core::HeaderAction> MazuNat::outbound_actions(
@@ -53,17 +55,18 @@ void MazuNat::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   count_packet();
   const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
   if (!parsed) return;
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
+  const net::FiveTuple tuple = flow.tuple;
 
   if (is_outbound(tuple)) {
     std::uint16_t ext_port;
-    const auto it = mappings_.find(tuple);
-    if (it != mappings_.end()) {
-      ext_port = it->second;
+    if (const std::uint16_t* mapped = mappings_.find(tuple, flow.hash)) {
+      ext_port = *mapped;
     } else {
-      ext_port = allocate_port(tuple);
-      mappings_.emplace(tuple, ext_port);
-      reverse_.emplace(ext_port, tuple);
+      ext_port = allocate_port(flow);
+      mappings_.try_emplace(tuple, flow.hash, ext_port);
+      reverse_.try_emplace(ext_port, tuple);
     }
     ++translations_;
     for (const auto& action : outbound_actions(ext_port)) {
@@ -81,12 +84,12 @@ void MazuNat::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
 
   // Inbound: reverse-translate packets addressed to the external IP.
   if (tuple.dst_ip == config_.external_ip) {
-    const auto it = reverse_.find(tuple.dst_port);
-    if (it == reverse_.end()) {
+    const net::FiveTuple* found = reverse_.find(tuple.dst_port);
+    if (found == nullptr) {
       packet.mark_dropped();  // no mapping: unsolicited inbound
       return;
     }
-    const net::FiveTuple& orig = it->second;
+    const net::FiveTuple& orig = *found;
     const std::vector<core::HeaderAction> actions = {
         core::HeaderAction::modify(net::HeaderField::kDstIp,
                                    orig.src_ip.value),
@@ -105,9 +108,16 @@ void MazuNat::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
 
 std::optional<std::uint16_t> MazuNat::mapping_of(
     const net::FiveTuple& tuple) const {
-  const auto it = mappings_.find(tuple);
-  if (it == mappings_.end()) return std::nullopt;
-  return it->second;
+  const std::uint16_t* port = mappings_.find(tuple);
+  if (port == nullptr) return std::nullopt;
+  return *port;
+}
+
+std::optional<net::FiveTuple> MazuNat::reverse_mapping_of(
+    std::uint16_t ext_port) const {
+  const net::FiveTuple* orig = reverse_.find(ext_port);
+  if (orig == nullptr) return std::nullopt;
+  return *orig;
 }
 
 void MazuNat::on_flow_teardown(const net::FiveTuple& tuple) {
@@ -121,18 +131,17 @@ constexpr std::uint8_t kNatInbound = 2;
 
 std::optional<std::vector<std::uint8_t>> MazuNat::export_flow_state(
     const net::FiveTuple& tuple) {
-  if (const auto it = mappings_.find(tuple); it != mappings_.end()) {
+  if (const std::uint16_t* port = mappings_.find(tuple)) {
     FlowStateWriter writer;
     writer.u8(kNatOutbound);
-    writer.u16(it->second);
+    writer.u16(*port);
     return writer.take();
   }
   if (tuple.dst_ip == config_.external_ip) {
-    if (const auto it = reverse_.find(tuple.dst_port);
-        it != reverse_.end()) {
+    if (const net::FiveTuple* orig = reverse_.find(tuple.dst_port)) {
       FlowStateWriter writer;
       writer.u8(kNatInbound);
-      writer.tuple(it->second);
+      writer.tuple(*orig);
       return writer.take();
     }
   }
@@ -146,8 +155,8 @@ void MazuNat::import_flow_state(const net::FiveTuple& tuple,
   const std::uint8_t kind = reader.u8();
   if (kind == kNatOutbound) {
     const std::uint16_t ext_port = reader.u16();
-    mappings_.emplace(tuple, ext_port);
-    reverse_.emplace(ext_port, tuple);
+    mappings_.try_emplace(tuple, ext_port);
+    reverse_.try_emplace(ext_port, tuple);
     if (ctx != nullptr) {
       for (const auto& action : outbound_actions(ext_port)) {
         ctx->add_header_action(action);
@@ -161,8 +170,8 @@ void MazuNat::import_flow_state(const net::FiveTuple& tuple,
     // outbound sibling migrates alongside; emplace keeps whichever
     // direction imported first authoritative.
     const net::FiveTuple orig = reader.tuple();
-    mappings_.emplace(orig, tuple.dst_port);
-    reverse_.emplace(tuple.dst_port, orig);
+    mappings_.try_emplace(orig, tuple.dst_port);
+    reverse_.try_emplace(tuple.dst_port, orig);
     if (ctx != nullptr) {
       ctx->add_header_action(core::HeaderAction::modify(
           net::HeaderField::kDstIp, orig.src_ip.value));

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "nf/flow_state.hpp"
 #include "nf/network_function.hpp"
 
 namespace speedybox::nf {
@@ -55,20 +55,30 @@ class MazuNat : public NetworkFunction {
   std::size_t active_mappings() const noexcept { return mappings_.size(); }
   /// External port of a tracked outbound flow (pre-translation tuple).
   std::optional<std::uint16_t> mapping_of(const net::FiveTuple& tuple) const;
+  /// Original (pre-NAT) tuple behind an external port; nullopt when the
+  /// port is unallocated. The stable view of the reverse direction — the
+  /// table shape behind it is not part of the API.
+  std::optional<net::FiveTuple> reverse_mapping_of(
+      std::uint16_t ext_port) const;
   std::uint64_t translations() const noexcept { return translations_; }
+
+  core::FlowTableStats flow_state_stats() const override {
+    core::FlowTableStats stats = mappings_.stats();
+    stats.merge_from(reverse_.stats());
+    return stats;
+  }
 
  private:
   bool is_outbound(const net::FiveTuple& tuple) const noexcept;
-  std::uint16_t allocate_port(const net::FiveTuple& tuple);
+  std::uint16_t allocate_port(const core::HashedTuple& flow);
   void release_mapping(const net::FiveTuple& tuple);
   std::vector<core::HeaderAction> outbound_actions(
       std::uint16_t ext_port) const;
 
   MazuNatConfig config_;
-  std::unordered_map<net::FiveTuple, std::uint16_t, net::FiveTupleHash>
-      mappings_;
+  FlowStateTable<std::uint16_t> mappings_;  // flow -> external port
   /// ext_port -> original (pre-NAT) tuple, for the inbound direction.
-  std::unordered_map<std::uint16_t, net::FiveTuple> reverse_;
+  core::FlowTable<std::uint16_t, net::FiveTuple> reverse_;
   std::uint64_t translations_ = 0;
 };
 

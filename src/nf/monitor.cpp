@@ -16,16 +16,18 @@ Monitor::Monitor(MonitorConfig config, std::string name)
   if (config_.payload_histogram) byte_histogram_.assign(256, 0);
 }
 
-void Monitor::account(const net::FiveTuple& tuple, const net::Packet& packet,
+void Monitor::account(const core::HashedTuple& flow, const net::Packet& packet,
                       const net::ParsedPacket& parsed) {
-  FlowCounters& counters = counters_[tuple];
+  // The tuple was hashed exactly once upstream; the same hash indexes the
+  // flow table and every sketch row.
+  FlowCounters& counters = *counters_.try_emplace(flow.tuple, flow.hash).first;
   ++counters.packets;
   counters.bytes += packet.size();
   ++total_packets_;
   total_bytes_ += packet.size();
 
   if (config_.sketch_depth > 0) {
-    const std::uint64_t h = tuple.hash();
+    const std::uint64_t h = flow.hash.value;
     for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
       const std::uint64_t index =
           util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
@@ -34,7 +36,7 @@ void Monitor::account(const net::FiveTuple& tuple, const net::Packet& packet,
     }
   }
   if (config_.per_port_stats) {
-    port_bytes_[tuple.dst_port] += packet.size();
+    port_bytes_[flow.tuple.dst_port] += packet.size();
   }
   if (config_.payload_histogram) {
     for (const std::uint8_t byte : net::payload_view(packet, parsed)) {
@@ -53,7 +55,7 @@ void Monitor::process_batch(net::PacketBatch& batch,
   struct Live {
     std::size_t slot;
     net::ParsedPacket parsed;
-    net::FiveTuple tuple;
+    core::HashedTuple flow;
   };
   std::vector<Live> live;
   live.reserve(batch.size());
@@ -74,9 +76,11 @@ void Monitor::process_batch(net::PacketBatch& batch,
       batch.mask(i);
       continue;
     }
-    const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+    const auto flow = core::HashedTuple::of(
+        net::extract_five_tuple(packet, *parsed));
+    counters_.prefetch(flow.hash);
     if (config_.sketch_depth > 0) {
-      const std::uint64_t h = tuple.hash();
+      const std::uint64_t h = flow.hash.value;
       for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
         const std::uint64_t index =
             util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
@@ -84,10 +88,10 @@ void Monitor::process_batch(net::PacketBatch& batch,
         util::prefetch_write(&sketch_[row][index]);
       }
     }
-    live.push_back({i, *parsed, tuple});
+    live.push_back({i, *parsed, flow});
   }
   for (const Live& entry : live) {
-    account(entry.tuple, batch.packet(entry.slot), entry.parsed);
+    account(entry.flow, batch.packet(entry.slot), entry.parsed);
   }
 }
 
@@ -112,23 +116,26 @@ void Monitor::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   count_packet();
   const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
   if (!parsed) return;
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
 
-  account(tuple, packet, *parsed);
+  account(flow, packet, *parsed);
 
-  if (ctx != nullptr) record(tuple, *ctx);
+  if (ctx != nullptr) record(flow, *ctx);
 }
 
-void Monitor::record(const net::FiveTuple& tuple,
+void Monitor::record(const core::HashedTuple& flow,
                      core::SpeedyBoxContext& ctx) {
   ctx.add_header_action(core::HeaderAction::forward());
   // Figure-2 semantics: the handler is recorded with resolved args — the
-  // flow's counter node (pointer-stable) and its precomputed sketch/port
-  // slots — so the per-packet classification work (hashing, table
-  // lookups) happens once, at rule setup.
-  FlowCounters* flow_counters = &counters_[tuple];
+  // flow's counter record (slab-resident, pointer-stable across table
+  // resizes) and its precomputed sketch/port slots — so the per-packet
+  // classification work (hashing, table lookups) happens once, at rule
+  // setup.
+  FlowCounters* flow_counters =
+      counters_.try_emplace(flow.tuple, flow.hash).first;
   std::vector<std::uint64_t*> sketch_cells;
-  const std::uint64_t h = tuple.hash();
+  const std::uint64_t h = flow.hash.value;
   for (std::uint32_t row = 0; row < config_.sketch_depth; ++row) {
     const std::uint64_t index =
         util::mix64(h ^ (0x9E3779B97F4A7C15ULL * (row + 1))) %
@@ -136,7 +143,7 @@ void Monitor::record(const net::FiveTuple& tuple,
     sketch_cells.push_back(&sketch_[row][index]);
   }
   std::uint64_t* port_cell =
-      config_.per_port_stats ? &port_bytes_[tuple.dst_port] : nullptr;
+      config_.per_port_stats ? &port_bytes_[flow.tuple.dst_port] : nullptr;
   const bool histogram = config_.payload_histogram;
   core::localmat_add_SF(
       &ctx,
@@ -163,25 +170,18 @@ void Monitor::record(const net::FiveTuple& tuple,
 
 std::optional<std::vector<std::uint8_t>> Monitor::export_flow_state(
     const net::FiveTuple& tuple) {
-  const auto it = counters_.find(tuple);
-  if (it == counters_.end()) return std::nullopt;
-  FlowStateWriter writer;
-  writer.u64(it->second.packets);
-  writer.u64(it->second.bytes);
+  auto payload = counters_.export_state(tuple);
   // Move semantics (see monitor.hpp): the counters leave with the flow so
   // the shard union stays a partition of the global audit state.
-  counters_.erase(it);
-  return writer.take();
+  if (payload) counters_.erase(tuple);
+  return payload;
 }
 
 void Monitor::import_flow_state(const net::FiveTuple& tuple,
                                 std::span<const std::uint8_t> bytes,
                                 core::SpeedyBoxContext* ctx) {
-  FlowStateReader reader{bytes};
-  FlowCounters& counters = counters_[tuple];
-  counters.packets = reader.u64();
-  counters.bytes = reader.u64();
-  if (ctx != nullptr) record(tuple, *ctx);
+  counters_.import_state(tuple, bytes);
+  if (ctx != nullptr) record(core::HashedTuple::of(tuple), *ctx);
 }
 
 }  // namespace speedybox::nf

@@ -13,9 +13,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "nf/flow_state.hpp"
 #include "nf/network_function.hpp"
 
 namespace speedybox::nf {
@@ -82,11 +82,29 @@ class Monitor : public NetworkFunction {
                          std::span<const std::uint8_t> bytes,
                          core::SpeedyBoxContext* ctx) override;
 
-  /// Counters survive flow teardown: they are the audit state (§VII-C-3).
-  const std::unordered_map<net::FiveTuple, FlowCounters, net::FiveTupleHash>&
-  counters() const noexcept {
-    return counters_;
+  // Counters survive flow teardown: they are the audit state (§VII-C-3).
+  // The container itself is private (ISSUE 9 API redesign) — callers get a
+  // per-flow lookup and an iteration view, never the table type.
+
+  /// Number of flows with audit counters.
+  std::size_t flow_count() const noexcept { return counters_.size(); }
+  /// The flow's counters, or nullptr when the monitor has none for it.
+  const FlowCounters* counters_of(const net::FiveTuple& tuple) const {
+    return counters_.find(tuple);
   }
+  /// Visit every (tuple, counters) pair, in no particular order.
+  template <class F>
+  void for_each_flow(F&& fn) const {
+    counters_.for_each(
+        [&fn](const net::FiveTuple& tuple, const FlowCounters& counters) {
+          fn(tuple, counters);
+        });
+  }
+
+  core::FlowTableStats flow_state_stats() const override {
+    return counters_.stats();
+  }
+
   std::uint64_t total_packets() const noexcept { return total_packets_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
 
@@ -100,15 +118,14 @@ class Monitor : public NetworkFunction {
   }
 
  private:
-  void account(const net::FiveTuple& tuple, const net::Packet& packet,
+  void account(const core::HashedTuple& flow, const net::Packet& packet,
                const net::ParsedPacket& parsed);
   /// Record the flow's forward action + counting state function through the
   /// context — shared by the initial-packet path and flow-state import.
-  void record(const net::FiveTuple& tuple, core::SpeedyBoxContext& ctx);
+  void record(const core::HashedTuple& flow, core::SpeedyBoxContext& ctx);
 
   MonitorConfig config_;
-  std::unordered_map<net::FiveTuple, FlowCounters, net::FiveTupleHash>
-      counters_;
+  FlowStateTable<FlowCounters> counters_;
   std::uint64_t total_packets_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::vector<std::vector<std::uint64_t>> sketch_;  // depth x width

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/flow_table.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 #include "net/packet_batch.hpp"
@@ -117,6 +118,11 @@ class NetworkFunction {
   virtual void on_flow_teardown(const net::FiveTuple& tuple) {
     (void)tuple;
   }
+
+  /// Occupancy / probe-length / slab statistics of this NF's per-flow
+  /// tables (DESIGN.md §13), merged across all of them when the NF keeps
+  /// several (MazuNat's forward+reverse). Zero-valued for stateless NFs.
+  virtual core::FlowTableStats flow_state_stats() const { return {}; }
 
   std::uint64_t packets_processed() const noexcept { return packets_; }
 

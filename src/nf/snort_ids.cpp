@@ -40,18 +40,20 @@ SnortIds::SnortIds(std::vector<SnortRule> rules, std::string name)
   matched_bits_.assign(rules_.size(), 0);
 }
 
-SnortIds::FlowState& SnortIds::flow_state(const net::FiveTuple& tuple) {
-  const auto it = flows_.find(tuple);
-  if (it != flows_.end()) return it->second;
-  // Initial packet of the flow: assign the candidate rule set by linear
-  // header matching — the per-flow "rule matching function" of
-  // Observation 1. This is the initialization cost Fig. 4 shows dominating
-  // initial packets.
-  FlowState state;
-  for (std::uint32_t r = 0; r < rules_.size(); ++r) {
-    if (rules_[r].header_matches(tuple)) state.candidate_rules.push_back(r);
+SnortIds::FlowState& SnortIds::flow_state(const core::HashedTuple& flow) {
+  const auto [state, inserted] = flows_.try_emplace(flow.tuple, flow.hash);
+  if (inserted) {
+    // Initial packet of the flow: assign the candidate rule set by linear
+    // header matching — the per-flow "rule matching function" of
+    // Observation 1. This is the initialization cost Fig. 4 shows
+    // dominating initial packets.
+    for (std::uint32_t r = 0; r < rules_.size(); ++r) {
+      if (rules_[r].header_matches(flow.tuple)) {
+        state->candidate_rules.push_back(r);
+      }
+    }
   }
-  return flows_.emplace(tuple, std::move(state)).first->second;
+  return *state;
 }
 
 void SnortIds::inspect(const net::FiveTuple& tuple, const FlowState& state,
@@ -122,8 +124,10 @@ void SnortIds::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   count_packet();
   const auto parsed = parse_and_check(packet);  // R1: per-NF parse+validate
   if (!parsed) return;
-  const net::FiveTuple tuple = net::extract_five_tuple(packet, *parsed);
-  FlowState& state = flow_state(tuple);
+  const auto flow =
+      core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
+  const net::FiveTuple tuple = flow.tuple;
+  FlowState& state = flow_state(flow);
 
   inspect(tuple, state, packet, *parsed);
 
@@ -132,8 +136,8 @@ void SnortIds::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
     // inspection wrapped as a READ-class state function. Per Figure 2 the
     // handler is recorded together with its args — here the flow's resolved
     // rule-group state — so the fast path skips the per-packet flow-table
-    // lookup (unordered_map nodes are pointer-stable; the teardown hook
-    // that frees the state runs only when the rule itself is erased).
+    // lookup (slab records are pointer-stable across resizes; the teardown
+    // hook that frees the state runs only when the rule itself is erased).
     ctx->add_header_action(core::HeaderAction::forward());
     const FlowState* flow_args = &state;
     core::localmat_add_SF(
@@ -149,7 +153,9 @@ void SnortIds::process(net::Packet& packet, core::SpeedyBoxContext* ctx) {
   // Connection close frees the flow state inline on the unrecorded path;
   // on the recorded path the teardown hook does it (after the rule whose
   // handler references this state has been destroyed).
-  if (ctx == nullptr && parsed->has_fin_or_rst()) flows_.erase(tuple);
+  if (ctx == nullptr && parsed->has_fin_or_rst()) {
+    flows_.erase(tuple, flow.hash);
+  }
 }
 
 void SnortIds::process_batch(net::PacketBatch& batch,
@@ -160,7 +166,7 @@ void SnortIds::process_batch(net::PacketBatch& batch,
   struct Live {
     std::size_t slot;
     net::ParsedPacket parsed;
-    net::FiveTuple tuple;
+    core::HashedTuple flow;
   };
   std::vector<Live> live;
   live.reserve(batch.size());
@@ -185,15 +191,20 @@ void SnortIds::process_batch(net::PacketBatch& batch,
          off += util::kCacheLineSize) {
       util::prefetch_read(payload.data() + off);
     }
-    live.push_back({i, *parsed, net::extract_five_tuple(packet, *parsed)});
+    const auto flow =
+        core::HashedTuple::of(net::extract_five_tuple(packet, *parsed));
+    flows_.prefetch(flow.hash);
+    live.push_back({i, *parsed, flow});
   }
   // Stateful pass in slot order: candidate-set assignment (first packet of
   // a flow), inspection, and the inline FIN/RST flow-state erase interleave
   // exactly as the scalar loop would.
   for (const Live& entry : live) {
-    FlowState& state = flow_state(entry.tuple);
-    inspect(entry.tuple, state, batch.packet(entry.slot), entry.parsed);
-    if (entry.parsed.has_fin_or_rst()) flows_.erase(entry.tuple);
+    FlowState& state = flow_state(entry.flow);
+    inspect(entry.flow.tuple, state, batch.packet(entry.slot), entry.parsed);
+    if (entry.parsed.has_fin_or_rst()) {
+      flows_.erase(entry.flow.tuple, entry.flow.hash);
+    }
   }
 }
 
@@ -203,32 +214,22 @@ void SnortIds::on_flow_teardown(const net::FiveTuple& tuple) {
 
 std::optional<std::vector<std::uint8_t>> SnortIds::export_flow_state(
     const net::FiveTuple& tuple) {
-  const auto it = flows_.find(tuple);
-  if (it == flows_.end()) return std::nullopt;
-  FlowStateWriter writer;
-  writer.u32(static_cast<std::uint32_t>(it->second.candidate_rules.size()));
-  for (const std::uint32_t rule : it->second.candidate_rules) {
-    writer.u32(rule);
-  }
-  return writer.take();
+  return flows_.export_state(tuple);
 }
 
 void SnortIds::import_flow_state(const net::FiveTuple& tuple,
                                  std::span<const std::uint8_t> bytes,
                                  core::SpeedyBoxContext* ctx) {
-  FlowStateReader reader{bytes};
-  FlowState state;
-  const std::uint32_t count = reader.u32();
-  state.candidate_rules.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t rule = reader.u32();
+  // The traits restore handles the wire format; the rule-range check needs
+  // the configured rule set, so it stays here. A bad payload must not leave
+  // a half-trusted candidate group behind.
+  FlowState& stored = flows_.import_state(tuple, bytes);
+  for (const std::uint32_t rule : stored.candidate_rules) {
     if (rule >= rules_.size()) {
+      flows_.erase(tuple);
       throw std::invalid_argument("SnortIds: imported rule index out of range");
     }
-    state.candidate_rules.push_back(rule);
   }
-  FlowState& stored = flows_.insert_or_assign(tuple, std::move(state))
-                          .first->second;
   if (ctx != nullptr) {
     // Re-record what process() recorded on the initial packet, binding the
     // destination's own flow-state node.

@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "nf/aho_corasick.hpp"
+#include "nf/flow_state.hpp"
 #include "nf/network_function.hpp"
 #include "nf/snort_rule.hpp"
 
@@ -33,6 +33,29 @@ struct SnortLogEntry {
 
   friend bool operator==(const SnortLogEntry&,
                          const SnortLogEntry&) = default;
+};
+
+/// Per-flow IDS state: the candidate rule group assigned on the initial
+/// packet (Observation 1). Owns heap memory, so it carries an explicit
+/// FlowStateTraits specialization instead of the memcpy default.
+struct SnortFlowState {
+  std::vector<std::uint32_t> candidate_rules;  // indices into the rule set
+};
+
+template <>
+struct FlowStateTraits<SnortFlowState> {
+  static void serialize(const SnortFlowState& state, FlowStateWriter& writer) {
+    writer.u32(static_cast<std::uint32_t>(state.candidate_rules.size()));
+    for (const std::uint32_t rule : state.candidate_rules) writer.u32(rule);
+  }
+  static void restore(FlowStateReader& reader, SnortFlowState& state) {
+    const std::uint32_t count = reader.u32();
+    state.candidate_rules.clear();
+    state.candidate_rules.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      state.candidate_rules.push_back(reader.u32());
+    }
+  }
 };
 
 class SnortIds : public NetworkFunction {
@@ -72,12 +95,14 @@ class SnortIds : public NetworkFunction {
   std::uint64_t pass_count() const noexcept { return passes_; }
   std::size_t tracked_flows() const noexcept { return flows_.size(); }
 
- private:
-  struct FlowState {
-    std::vector<std::uint32_t> candidate_rules;  // indices into rules_
-  };
+  core::FlowTableStats flow_state_stats() const override {
+    return flows_.stats();
+  }
 
-  FlowState& flow_state(const net::FiveTuple& tuple);
+ private:
+  using FlowState = SnortFlowState;
+
+  FlowState& flow_state(const core::HashedTuple& flow);
   void inspect(const net::FiveTuple& tuple, const FlowState& state,
                net::Packet& packet, const net::ParsedPacket& parsed);
 
@@ -89,7 +114,7 @@ class SnortIds : public NetworkFunction {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pattern_owner_;
   std::vector<std::uint8_t> lowercase_scratch_;
 
-  std::unordered_map<net::FiveTuple, FlowState, net::FiveTupleHash> flows_;
+  FlowStateTable<FlowState> flows_;
   std::vector<SnortLogEntry> log_;
   std::uint64_t alerts_ = 0;
   std::uint64_t logs_ = 0;

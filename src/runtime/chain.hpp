@@ -58,6 +58,19 @@ class ServiceChain {
   const core::GlobalMat& global_mat() const noexcept { return global_mat_; }
   core::PacketClassifier& classifier() noexcept { return classifier_; }
 
+  /// Aggregated flow-table telemetry for the whole deployment unit: the
+  /// classifier's tables, the Global MAT's rule table, and every NF's
+  /// per-flow state table (flow_state_stats). Feeds the shard's
+  /// flow_table_* metrics.
+  core::FlowTableStats flow_table_stats() const {
+    core::FlowTableStats stats = classifier_.table_stats();
+    stats.merge_from(global_mat_.rule_table_stats());
+    for (const nf::NetworkFunction* nf : nfs_) {
+      stats.merge_from(nf->flow_state_stats());
+    }
+    return stats;
+  }
+
   /// Drop every flow's rules and classifier state (NF-internal state is the
   /// NFs' own; reset those separately if needed).
   void reset_flows();

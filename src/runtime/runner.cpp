@@ -303,6 +303,9 @@ void ChainRunner::run_recording_path(
     metrics_->consolidations.add(1);
     metrics_->consolidate_cycles.record(consolidate_cycles);
     metrics_->active_flows.set(chain_.classifier().active_flows());
+    const core::FlowTableStats ft = chain_.flow_table_stats();
+    metrics_->set_flow_table(ft.entries, ft.capacity, ft.slab_bytes,
+                             ft.max_probe, ft.resize_steps);
   }
   if (trace) {
     spans->event(telemetry::SpanStage::kConsolidate, outcome.work_cycles);
@@ -398,6 +401,9 @@ void ChainRunner::apply_teardown(
   if (metrics_ != nullptr) {
     metrics_->teardowns.add(1);
     metrics_->active_flows.set(chain_.classifier().active_flows());
+    const core::FlowTableStats ft = chain_.flow_table_stats();
+    metrics_->set_flow_table(ft.entries, ft.capacity, ft.slab_bytes,
+                             ft.max_probe, ft.resize_steps);
   }
 }
 

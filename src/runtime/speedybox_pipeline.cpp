@@ -141,6 +141,12 @@ void SpeedyBoxPipeline::finish_teardown(std::uint32_t fid) {
   if (metrics_ != nullptr) {
     metrics_->teardowns.add(1);
     metrics_->active_flows.set(chain_.classifier().active_flows());
+    // Manager-owned tables only: the NF-internal state tables belong to
+    // the worker threads, so the manager reports classifier + rule table.
+    core::FlowTableStats ft = chain_.classifier().table_stats();
+    ft.merge_from(chain_.global_mat().rule_table_stats());
+    metrics_->set_flow_table(ft.entries, ft.capacity, ft.slab_bytes,
+                             ft.max_probe, ft.resize_steps);
   }
 }
 
@@ -161,11 +167,11 @@ void SpeedyBoxPipeline::handle_completion(Descriptor& descriptor) {
     chain_.global_mat().consolidate_flow(descriptor.fid);
     ++recorded_flows_;
     if (metrics_ != nullptr) metrics_->consolidations.add(1);
-    const auto it = flows_.find(descriptor.fid);
-    if (it != flows_.end()) {
-      it->second.phase = FlowPhase::kReady;
+    FlowState* flow = flows_.find(descriptor.fid);
+    if (flow != nullptr) {
+      flow->phase = FlowPhase::kReady;
       std::deque<std::pair<net::Packet*, bool>> pending;
-      pending.swap(it->second.pending);
+      pending.swap(flow->pending);
       for (auto& [held, teardown] : pending) {
         fast_path(held, descriptor.fid, teardown);
       }
@@ -319,6 +325,10 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
     if (metrics_ != nullptr) {
       metrics_->mat_misses.add(1);
       metrics_->active_flows.set(chain_.classifier().active_flows());
+      core::FlowTableStats ft = chain_.classifier().table_stats();
+      ft.merge_from(chain_.global_mat().rule_table_stats());
+      metrics_->set_flow_table(ft.entries, ft.capacity, ft.slab_bytes,
+                               ft.max_probe, ft.resize_steps);
     }
     if (controller_ != nullptr && controller_->degraded()) {
       // Graceful degradation: no recording traversal — the flow gets the
@@ -327,11 +337,11 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
       chain_.global_mat().install_default_rule(fid);
       ++stats_.overload.degraded_flows;
       if (metrics_ != nullptr) metrics_->degraded_flows.add(1);
-      flows_[fid].phase = FlowPhase::kReady;
+      flows_.try_emplace(fid).first->phase = FlowPhase::kReady;
       fast_path(descriptor_packet, fid, teardown);
       return;
     }
-    flows_[fid].phase = FlowPhase::kRecording;
+    flows_.try_emplace(fid).first->phase = FlowPhase::kRecording;
     Descriptor descriptor;
     descriptor.packet = descriptor_packet;
     descriptor.fid = fid;
@@ -341,7 +351,7 @@ void SpeedyBoxPipeline::push(net::Packet packet) {
     return;
   }
 
-  FlowState& flow = flows_[fid];
+  FlowState& flow = *flows_.try_emplace(fid).first;
   if (flow.phase == FlowPhase::kRecording) {
     // Hold until the initial packet's consolidation completes, preserving
     // per-flow order and single-core access to the NFs' per-flow state.

@@ -36,9 +36,9 @@
 #include <deque>
 #include <memory>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flow_table.hpp"
 #include "runtime/chain.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/runner.hpp"
@@ -160,7 +160,7 @@ class SpeedyBoxPipeline : public Executor {
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> stop_flags_;
 
-  std::unordered_map<std::uint32_t, FlowState> flows_;
+  core::FlowTable<std::uint32_t, FlowState> flows_;
   std::vector<net::Packet> sink_;
   std::size_t in_flight_ = 0;
   std::uint64_t drops_ = 0;

@@ -59,6 +59,7 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"rx_batches", shard.rx_batches.get()},
       {"parse_errors", shard.parse_errors.get()},
       {"socket_drops", shard.socket_drops.get()},
+      {"flow_table_resize_steps", shard.flow_table_resize_steps.get()},
   };
   snap.gauges = {
       {"ring_occupancy", shard.ring_occupancy.get()},
@@ -67,6 +68,10 @@ ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
       {"ring_burst_size", shard.ring_burst_size.get()},
       {"queue_depth", shard.queue_depth.get()},
       {"active_shards", shard.active_shards.get()},
+      {"flow_table_entries", shard.flow_table_entries.get()},
+      {"flow_table_capacity", shard.flow_table_capacity.get()},
+      {"flow_table_slab_bytes", shard.flow_table_slab_bytes.get()},
+      {"flow_table_max_probe", shard.flow_table_max_probe.get()},
   };
   snap.histograms = {
       {"fastpath_cycles", shard.fastpath_cycles.snapshot()},

@@ -135,6 +135,11 @@ struct ShardMetrics {
   Counter parse_errors;  // frames the wire parser rejected
   Counter socket_drops;  // datagrams lost to receive-queue overflow
 
+  // -- flow-table engine (DESIGN.md §13). Cumulative incremental-resize
+  // -- steps plus occupancy/probe/slab gauges, aggregated over the shard's
+  // -- tables (classifier, Global MAT, per-NF state). --
+  Counter flow_table_resize_steps;
+
   // -- gauges --
   Gauge ring_occupancy;   // ingress ring depth at last push
   Gauge ring_capacity;
@@ -142,6 +147,23 @@ struct ShardMetrics {
   Gauge ring_burst_size;  // dispatcher: size of the last burst push
   Gauge queue_depth;      // overload gate: virtual/real queue depth
   Gauge active_shards;    // controller: shards currently receiving flows
+  Gauge flow_table_entries;     // live entries across the shard's tables
+  Gauge flow_table_capacity;    // allocated slots across the tables
+  Gauge flow_table_slab_bytes;  // slab-arena bytes backing flow records
+  Gauge flow_table_max_probe;   // worst probe sequence observed
+
+  /// One-call refresh of the flow-table cells from an aggregated
+  /// core::FlowTableStats (raw values, so telemetry stays independent of
+  /// core). resize_steps is already cumulative in the stats, hence set().
+  void set_flow_table(std::uint64_t entries, std::uint64_t capacity,
+                      std::uint64_t slab_bytes, std::uint64_t max_probe,
+                      std::uint64_t resize_steps) noexcept {
+    flow_table_entries.set(entries);
+    flow_table_capacity.set(capacity);
+    flow_table_slab_bytes.set(slab_bytes);
+    flow_table_max_probe.set(max_probe);
+    flow_table_resize_steps.set(resize_steps);
+  }
 
   // -- cycle histograms --
   CycleHistogram fastpath_cycles;     // classify + event check + HA + SFs

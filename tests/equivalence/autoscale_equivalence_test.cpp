@@ -224,14 +224,15 @@ TEST(AutoscaleEquivalence, MonitorStateStaysAPartitionAcrossReshards) {
     auto* shard_monitor =
         dynamic_cast<nf::Monitor*>(&runtime.shard_chain(s).nf(2));
     ASSERT_NE(shard_monitor, nullptr);
-    for (const auto& [tuple, counters] : shard_monitor->counters()) {
-      ++sharded_flow_count;
-      const auto it = global_monitor->counters().find(tuple);
-      ASSERT_NE(it, global_monitor->counters().end()) << tuple.to_string();
-      EXPECT_EQ(counters, it->second) << tuple.to_string();
-    }
+    shard_monitor->for_each_flow(
+        [&](const net::FiveTuple& tuple, const nf::FlowCounters& counters) {
+          ++sharded_flow_count;
+          const nf::FlowCounters* global = global_monitor->counters_of(tuple);
+          ASSERT_NE(global, nullptr) << tuple.to_string();
+          EXPECT_EQ(counters, *global) << tuple.to_string();
+        });
   }
-  EXPECT_EQ(sharded_flow_count, global_monitor->counters().size());
+  EXPECT_EQ(sharded_flow_count, global_monitor->flow_count());
 }
 
 }  // namespace

@@ -71,14 +71,14 @@ TEST(RealChainEquivalence, Chain1NoEvents) {
   expect_identical_outputs(original_run, speedy_run);
 
   // Per-key Monitor counters identical with no events.
-  ASSERT_EQ(original.monitor->counters().size(),
-            speedy.monitor->counters().size());
-  for (const auto& [tuple, counters] : original.monitor->counters()) {
-    const auto it = speedy.monitor->counters().find(tuple);
-    ASSERT_NE(it, speedy.monitor->counters().end())
-        << "missing counter for " << tuple.to_string();
-    EXPECT_EQ(counters, it->second) << tuple.to_string();
-  }
+  ASSERT_EQ(original.monitor->flow_count(), speedy.monitor->flow_count());
+  original.monitor->for_each_flow(
+      [&](const net::FiveTuple& tuple, const nf::FlowCounters& counters) {
+        const nf::FlowCounters* other = speedy.monitor->counters_of(tuple);
+        ASSERT_NE(other, nullptr)
+            << "missing counter for " << tuple.to_string();
+        EXPECT_EQ(counters, *other) << tuple.to_string();
+      });
   // NAT state identical.
   EXPECT_EQ(original.nat->active_mappings(), speedy.nat->active_mappings());
   // Per-backend byte steering identical.
@@ -147,13 +147,13 @@ TEST(RealChainEquivalence, Chain2SnortMonitor) {
 
   // Monitor counters identical per key (no tuple rewrites upstream...
   // IPFilter and Snort never modify).
-  ASSERT_EQ(original.monitor->counters().size(),
-            speedy.monitor->counters().size());
-  for (const auto& [tuple, counters] : original.monitor->counters()) {
-    const auto it = speedy.monitor->counters().find(tuple);
-    ASSERT_NE(it, speedy.monitor->counters().end());
-    EXPECT_EQ(counters, it->second);
-  }
+  ASSERT_EQ(original.monitor->flow_count(), speedy.monitor->flow_count());
+  original.monitor->for_each_flow(
+      [&](const net::FiveTuple& tuple, const nf::FlowCounters& counters) {
+        const nf::FlowCounters* other = speedy.monitor->counters_of(tuple);
+        ASSERT_NE(other, nullptr) << tuple.to_string();
+        EXPECT_EQ(counters, *other) << tuple.to_string();
+      });
 }
 
 TEST(RealChainEquivalence, Chain1WithTailDropOutputsIdentical) {

@@ -91,7 +91,8 @@ TEST(FlowLifecycle, ReopenedFlowIsInitialAgain) {
   // open + reopen traverse the original path; the FIN was a subsequent
   // packet and rode the fast path (its accounting ran as a state function).
   EXPECT_EQ(monitor.packets_processed(), 2u);
-  EXPECT_EQ(monitor.counters().at(tuple_n(3)).packets, 3u);
+  ASSERT_NE(monitor.counters_of(tuple_n(3)), nullptr);
+  EXPECT_EQ(monitor.counters_of(tuple_n(3))->packets, 3u);
 }
 
 TEST(FlowLifecycle, SingletonFinFlowHandled) {

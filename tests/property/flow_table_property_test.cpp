@@ -1,0 +1,190 @@
+// FlowTable differential property suite (ISSUE 9 satellite): drive a
+// FlowTable and a std::unordered_map reference model through the same
+// deterministic-seed random interleaving of insert / lookup / erase /
+// iterate / clear — the mix that exercises mid-resize lookups, erases of
+// entries still sitting in the draining table (the teardown-hook path),
+// and tombstone reuse — and require identical observable behavior at every
+// step. Runs under ASan/TSan via tools/run_sanitizers.sh (test_property is
+// in its TARGETS list), which is what turns "the drain moved a slot it
+// shouldn't" into a hard failure instead of a flaky lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow_table.hpp"
+#include "net/five_tuple.hpp"
+#include "util/rng.hpp"
+
+namespace speedybox::core {
+namespace {
+
+net::FiveTuple tuple_for(std::uint64_t n) {
+  return net::FiveTuple{
+      net::Ipv4Addr{static_cast<std::uint32_t>(0x0a000000u + n)},
+      net::Ipv4Addr{static_cast<std::uint32_t>(0xc0a80000u + (n >> 8))},
+      static_cast<std::uint16_t>(1024 + (n % 60000)),
+      static_cast<std::uint16_t>(80 + (n % 7)), 6};
+}
+
+struct Model {
+  FlowTable<net::FiveTuple, std::uint64_t> table;
+  std::unordered_map<net::FiveTuple, std::uint64_t, net::FiveTupleHash> ref;
+
+  void check_consistent() const {
+    ASSERT_EQ(table.size(), ref.size());
+    std::size_t visited = 0;
+    table.for_each([&](const net::FiveTuple& key, const std::uint64_t& value) {
+      ++visited;
+      const auto it = ref.find(key);
+      ASSERT_NE(it, ref.end());
+      ASSERT_EQ(it->second, value);
+    });
+    ASSERT_EQ(visited, ref.size());
+  }
+};
+
+// One full interleaving at a given seed and key-space size. The key space
+// is kept small relative to the op count so the same keys are repeatedly
+// inserted, erased and re-inserted — maximizing tombstone traffic and the
+// odds that an op lands on an entry still in the draining table.
+void run_interleaving(std::uint64_t seed, std::uint64_t key_space,
+                      std::size_t ops) {
+  util::Rng rng(seed);
+  Model m;
+  std::uint64_t next_value = 0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t key_id = rng.below(key_space);
+    const net::FiveTuple key = tuple_for(key_id);
+    const FlowHash hash{key.hash()};
+    switch (rng.below(100)) {
+      case 0:  // rare: full clear
+        m.table.clear();
+        m.ref.clear();
+        break;
+      case 1: case 2: case 3: {  // iterate and cross-check
+        m.check_consistent();
+        if (::testing::Test::HasFatalFailure()) return;
+        break;
+      }
+      case 4: case 5: case 6: case 7: case 8:
+      case 9: case 10: case 11: case 12: case 13:
+      case 14: case 15: case 16: case 17: case 18:
+      case 19: case 20: case 21: case 22: case 23: {  // erase (24%-ish arm)
+        const bool table_erased = m.table.erase(key, hash);
+        const bool ref_erased = m.ref.erase(key) > 0;
+        ASSERT_EQ(table_erased, ref_erased) << "op " << op;
+        break;
+      }
+      case 24: case 25: case 26: case 27: case 28:
+      case 29: case 30: case 31: case 32: case 33:
+      case 34: case 35: case 36: case 37: case 38:
+      case 39: case 40: case 41: case 42: case 43:
+      case 44: case 45: case 46: case 47: case 48:
+      case 49: case 50: case 51: case 52: case 53: {  // lookup
+        const std::uint64_t* found = m.table.find(key, hash);
+        const auto it = m.ref.find(key);
+        if (it == m.ref.end()) {
+          ASSERT_EQ(found, nullptr) << "op " << op;
+        } else {
+          ASSERT_NE(found, nullptr) << "op " << op;
+          ASSERT_EQ(*found, it->second) << "op " << op;
+        }
+        break;
+      }
+      default: {  // insert (find-or-create, as every NF uses it)
+        const std::uint64_t value = next_value++;
+        auto [stored, inserted] = m.table.try_emplace(key, hash, value);
+        const auto [ref_it, ref_inserted] = m.ref.try_emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+        ASSERT_EQ(*stored, ref_it->second) << "op " << op;
+        break;
+      }
+    }
+  }
+  m.check_consistent();
+}
+
+TEST(FlowTablePropertyTest, MatchesReferenceModelAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    run_interleaving(seed, /*key_space=*/4096, /*ops=*/60000);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FlowTablePropertyTest, TinyKeySpaceMaximizesTombstoneChurn) {
+  // With 64 keys and 40k ops every slot is recycled hundreds of times;
+  // this is the regime where tombstone purging (resize-in-place) happens
+  // constantly.
+  run_interleaving(/*seed=*/0xfeedULL, /*key_space=*/64, /*ops=*/40000);
+}
+
+TEST(FlowTablePropertyTest, GrowthHeavyKeySpace) {
+  // Insert-dominated run over a wide key space: back-to-back growth
+  // resizes with lookups landing mid-drain.
+  run_interleaving(/*seed=*/0xabcdULL, /*key_space=*/1 << 20, /*ops=*/80000);
+}
+
+TEST(FlowTablePropertyTest, ValuePointersStableUnderChurn) {
+  // The recorded-closure contract: a pointer captured at insert time stays
+  // valid (and points at the same logical entry) until that entry is
+  // erased, regardless of intervening resizes.
+  util::Rng rng(2026);
+  FlowTable<net::FiveTuple, std::uint64_t> table;
+  std::unordered_map<std::uint64_t, std::uint64_t*> captured;
+  for (std::size_t op = 0; op < 50000; ++op) {
+    const std::uint64_t key_id = rng.below(2048);
+    const net::FiveTuple key = tuple_for(key_id);
+    if (rng.chance(0.3) && !captured.empty()) {
+      // Erase via the captured map, as a teardown hook would.
+      const auto victim = captured.begin();
+      ASSERT_TRUE(table.erase(tuple_for(victim->first)));
+      captured.erase(victim);
+    } else {
+      auto [value, inserted] =
+          table.try_emplace(key, FlowHash{key.hash()}, key_id);
+      if (inserted) {
+        captured[key_id] = value;
+      } else {
+        ASSERT_EQ(captured.at(key_id), value) << "pointer moved, op " << op;
+      }
+      ASSERT_EQ(*value, key_id);
+    }
+  }
+  for (const auto& [key_id, pointer] : captured) {
+    ASSERT_EQ(table.find(tuple_for(key_id)), pointer);
+    ASSERT_EQ(*pointer, key_id);
+  }
+}
+
+TEST(FlowTablePropertyTest, IntegralKeyTableMatchesReference) {
+  // The FID-keyed variant (GlobalMat, pipeline flow phases) goes through
+  // FlowKeyOps' mix64 path; same differential check.
+  util::Rng rng(7);
+  FlowTable<std::uint32_t, std::uint64_t> table;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (std::size_t op = 0; op < 60000; ++op) {
+    const auto key = static_cast<std::uint32_t>(rng.below(8192));
+    const std::uint64_t roll = rng.below(10);
+    if (roll < 5) {
+      auto [stored, inserted] = table.try_emplace(key, std::uint64_t{op});
+      auto [it, ref_inserted] = ref.try_emplace(key, std::uint64_t{op});
+      ASSERT_EQ(inserted, ref_inserted);
+      ASSERT_EQ(*stored, it->second);
+    } else if (roll < 8) {
+      const std::uint64_t* found = table.find(key);
+      const auto it = ref.find(key);
+      ASSERT_EQ(found != nullptr, it != ref.end());
+      if (found != nullptr) ASSERT_EQ(*found, it->second);
+    } else {
+      ASSERT_EQ(table.erase(key), ref.erase(key) > 0);
+    }
+  }
+  ASSERT_EQ(table.size(), ref.size());
+}
+
+}  // namespace
+}  // namespace speedybox::core

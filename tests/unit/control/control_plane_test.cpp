@@ -198,7 +198,7 @@ TEST(FlowMigration, MigratedFlowsTakeTheFastPathOnTheDestination) {
   EXPECT_TRUE(source_chain->classifier().active_tuples().empty());
   auto& source_monitor =
       static_cast<nf::Monitor&>(source_chain->nf(0));
-  EXPECT_TRUE(source_monitor.counters().empty());
+  EXPECT_EQ(source_monitor.flow_count(), 0u);
 
   // ...and the destination continues them exactly where the baseline is:
   // same bytes, same audit counters, and on the consolidated fast path
@@ -217,13 +217,13 @@ TEST(FlowMigration, MigratedFlowsTakeTheFastPathOnTheDestination) {
   auto& dest_monitor = static_cast<nf::Monitor&>(dest_chain->nf(0));
   auto& control_monitor =
       static_cast<nf::Monitor&>(control_chain->nf(0));
-  ASSERT_EQ(dest_monitor.counters().size(),
-            control_monitor.counters().size());
-  for (const auto& [tuple, counters] : control_monitor.counters()) {
-    const auto it = dest_monitor.counters().find(tuple);
-    ASSERT_NE(it, dest_monitor.counters().end()) << tuple.to_string();
-    EXPECT_EQ(it->second, counters) << tuple.to_string();
-  }
+  ASSERT_EQ(dest_monitor.flow_count(), control_monitor.flow_count());
+  control_monitor.for_each_flow(
+      [&](const net::FiveTuple& tuple, const nf::FlowCounters& counters) {
+        const nf::FlowCounters* dest = dest_monitor.counters_of(tuple);
+        ASSERT_NE(dest, nullptr) << tuple.to_string();
+        EXPECT_EQ(*dest, counters) << tuple.to_string();
+      });
 }
 
 // --- Controller against a live runtime ------------------------------------

@@ -228,10 +228,22 @@ TEST(MaglevLbFlowState, ConnTrackSurvivesMigration) {
 TEST(MaglevLbFlowState, OutOfRangeBackendRejected) {
   MaglevLb lb{two_backends(), 13};
   FlowStateWriter writer;
-  writer.u32(7);  // only 2 backends exist
+  writer.u64(7);  // only 2 backends exist
   const std::vector<std::uint8_t> bytes = writer.take();
   EXPECT_THROW(lb.import_flow_state(tuple_n(2), bytes, nullptr),
                std::invalid_argument);
+  // The rejected import must not leave the flow tracked.
+  EXPECT_EQ(lb.backend_of(tuple_n(2)), std::nullopt);
+}
+
+TEST(MaglevLbFlowState, TruncatedPayloadRejected) {
+  MaglevLb lb{two_backends(), 13};
+  FlowStateWriter writer;
+  writer.u32(0);  // half a backend-index payload
+  const std::vector<std::uint8_t> bytes = writer.take();
+  EXPECT_THROW(lb.import_flow_state(tuple_n(3), bytes, nullptr),
+               std::out_of_range);
+  EXPECT_EQ(lb.backend_of(tuple_n(3)), std::nullopt);
 }
 
 // --- Monitor --------------------------------------------------------------
@@ -242,21 +254,21 @@ TEST(MonitorFlowState, ExportMovesCountersSoShardsStayAPartition) {
     net::Packet packet = net::make_tcp_packet(tuple_n(1), "abc");
     source.process(packet, nullptr);
   }
-  const auto it = source.counters().find(tuple_n(1));
-  ASSERT_NE(it, source.counters().end());
-  const auto expected = it->second;
+  const FlowCounters* found = source.counters_of(tuple_n(1));
+  ASSERT_NE(found, nullptr);
+  const FlowCounters expected = *found;
 
   const auto exported = source.export_flow_state(tuple_n(1));
   ASSERT_TRUE(exported.has_value());
   // Move semantics: the source sheds the entry at export time.
-  EXPECT_EQ(source.counters().count(tuple_n(1)), 0u);
+  EXPECT_EQ(source.counters_of(tuple_n(1)), nullptr);
   EXPECT_EQ(source.export_flow_state(tuple_n(1)), std::nullopt);
 
   Monitor dest;
   dest.import_flow_state(tuple_n(1), *exported, nullptr);
-  const auto imported = dest.counters().find(tuple_n(1));
-  ASSERT_NE(imported, dest.counters().end());
-  EXPECT_EQ(imported->second, expected);
+  const FlowCounters* imported = dest.counters_of(tuple_n(1));
+  ASSERT_NE(imported, nullptr);
+  EXPECT_EQ(*imported, expected);
   EXPECT_EQ(dest.export_flow_state(tuple_n(1)), exported);
 }
 

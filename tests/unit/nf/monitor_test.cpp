@@ -17,10 +17,10 @@ TEST(Monitor, CountsPacketsAndBytes) {
   monitor.process(a, nullptr);
   monitor.process(b, nullptr);
 
-  const auto it = monitor.counters().find(tuple_n(1));
-  ASSERT_NE(it, monitor.counters().end());
-  EXPECT_EQ(it->second.packets, 2u);
-  EXPECT_EQ(it->second.bytes, a.size() + b.size());
+  const FlowCounters* counters = monitor.counters_of(tuple_n(1));
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->packets, 2u);
+  EXPECT_EQ(counters->bytes, a.size() + b.size());
 }
 
 TEST(Monitor, PerFlowIsolation) {
@@ -29,9 +29,11 @@ TEST(Monitor, PerFlowIsolation) {
   net::Packet b = net::make_tcp_packet(tuple_n(2), "x");
   monitor.process(a, nullptr);
   monitor.process(b, nullptr);
-  EXPECT_EQ(monitor.counters().size(), 2u);
-  EXPECT_EQ(monitor.counters().at(tuple_n(1)).packets, 1u);
-  EXPECT_EQ(monitor.counters().at(tuple_n(2)).packets, 1u);
+  EXPECT_EQ(monitor.flow_count(), 2u);
+  ASSERT_NE(monitor.counters_of(tuple_n(1)), nullptr);
+  ASSERT_NE(monitor.counters_of(tuple_n(2)), nullptr);
+  EXPECT_EQ(monitor.counters_of(tuple_n(1))->packets, 1u);
+  EXPECT_EQ(monitor.counters_of(tuple_n(2))->packets, 1u);
 }
 
 TEST(Monitor, NeverModifiesPacket) {
@@ -85,7 +87,8 @@ TEST(Monitor, RecordedHandlerCountsSubsequentPackets) {
   net::Packet subsequent = net::make_tcp_packet(tuple_n(5), "yy");
   const auto parsed = net::parse_packet(subsequent);
   mat.find(6)->state_functions[0].handler(subsequent, *parsed);
-  EXPECT_EQ(monitor.counters().at(tuple_n(5)).packets, 2u);
+  ASSERT_NE(monitor.counters_of(tuple_n(5)), nullptr);
+  EXPECT_EQ(monitor.counters_of(tuple_n(5))->packets, 2u);
 }
 
 TEST(Monitor, CountersSurviveFin) {
@@ -95,7 +98,25 @@ TEST(Monitor, CountersSurviveFin) {
   net::Packet fin = net::make_tcp_packet(
       tuple_n(6), "x", net::kTcpFlagFin | net::kTcpFlagAck);
   monitor.process(fin, nullptr);
-  EXPECT_EQ(monitor.counters().count(tuple_n(6)), 1u);
+  EXPECT_NE(monitor.counters_of(tuple_n(6)), nullptr);
+}
+
+TEST(Monitor, ForEachFlowVisitsEveryFlowOnce) {
+  Monitor monitor;
+  for (std::uint32_t flow = 1; flow <= 3; ++flow) {
+    net::Packet packet = net::make_tcp_packet(tuple_n(flow), "x");
+    monitor.process(packet, nullptr);
+  }
+  std::size_t visited = 0;
+  std::uint64_t packets = 0;
+  monitor.for_each_flow(
+      [&](const net::FiveTuple& tuple, const FlowCounters& counters) {
+        ++visited;
+        packets += counters.packets;
+        EXPECT_NE(monitor.counters_of(tuple), nullptr);
+      });
+  EXPECT_EQ(visited, monitor.flow_count());
+  EXPECT_EQ(packets, 3u);
 }
 
 }  // namespace

@@ -64,7 +64,8 @@ TEST(Runner, SpeedyBoxInitialRecordsThenSubsequentHitsFastPath) {
   // Fast path: the NF's process() is NOT called again, but its recorded
   // state function keeps the counters fresh.
   EXPECT_EQ(monitor.packets_processed(), 1u);
-  EXPECT_EQ(monitor.counters().at(tuple_n(3)).packets, 2u);
+  ASSERT_NE(monitor.counters_of(tuple_n(3)), nullptr);
+  EXPECT_EQ(monitor.counters_of(tuple_n(3))->packets, 2u);
 }
 
 TEST(Runner, SpeedyBoxDropOnFastPath) {

@@ -56,9 +56,10 @@ TEST(ShardedRuntime, PacketsLandOnTheirFlowsShard) {
   for (std::size_t s = 0; s < runtime.shard_count(); ++s) {
     auto* monitor = dynamic_cast<nf::Monitor*>(&runtime.shard_chain(s).nf(0));
     ASSERT_NE(monitor, nullptr);
-    for (const auto& [tuple, counters] : monitor->counters()) {
-      EXPECT_EQ(runtime.shard_of(tuple), s) << tuple.to_string();
-    }
+    monitor->for_each_flow(
+        [&](const net::FiveTuple& tuple, const nf::FlowCounters&) {
+          EXPECT_EQ(runtime.shard_of(tuple), s) << tuple.to_string();
+        });
   }
 }
 
