@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -44,6 +45,17 @@ class IngestExecutor {
 
   /// "stream-batch" | "stream-push" | "deferred".
   std::string_view mode() const noexcept;
+
+  /// A host-boundary admission hook (multi-tenant hosting, DESIGN.md §14):
+  /// called per staged packet on the ingest thread BEFORE the hand-off.
+  /// Returning false sheds the packet at the host gate — it never reaches
+  /// the wrapped executor and counts in gate_shed() instead of the
+  /// executor's own offered/admitted. The hook runs at a packet boundary
+  /// of a sharded sink's dispatcher, so it may also apply control-plane
+  /// actions (e.g. a pending reshard). Install before serving.
+  using GateHook = std::function<bool(const net::Packet&)>;
+  void set_gate(GateHook gate) { gate_ = std::move(gate); }
+  std::uint64_t gate_shed() const noexcept { return gate_shed_; }
 
   /// Hand one staged batch of decoded packets to the data path. Packets
   /// arrive with reset metadata; arrival timestamps are (re)stamped here,
@@ -69,6 +81,8 @@ class IngestExecutor {
   bool capture_outputs_ = false;
   bool finished_ = false;
   std::uint64_t submitted_ = 0;
+  GateHook gate_;
+  std::uint64_t gate_shed_ = 0;
   /// Deferred mode: arrivals buffered until finish().
   std::vector<net::Packet> pending_;
   std::vector<net::Packet> outputs_;

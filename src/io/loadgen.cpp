@@ -86,4 +86,42 @@ LoadgenReport replay_workload(const trace::Workload& workload,
   return replay({}, &workload, config);
 }
 
+std::vector<TenantLoadReport> replay_multi_tenant(
+    const trace::Workload& workload, const MultiTenantConfig& config) {
+  if (config.ports.empty()) {
+    throw std::invalid_argument("loadgen: no tenant ports");
+  }
+  if (config.rates_pps.size() > 1 &&
+      config.rates_pps.size() != config.ports.size()) {
+    throw std::invalid_argument(
+        "loadgen: per-tenant rates must match the tenant count (or be one "
+        "broadcast rate)");
+  }
+  std::vector<TenantLoadReport> results(config.ports.size());
+  std::vector<std::thread> senders;
+  senders.reserve(config.ports.size());
+  for (std::size_t i = 0; i < config.ports.size(); ++i) {
+    results[i].port = config.ports[i];
+    senders.emplace_back([&, i] {
+      LoadgenConfig single;
+      single.host = config.host;
+      single.port = config.ports[i];
+      single.proto = config.proto;
+      single.rate_pps = config.rates_pps.empty()
+                            ? 0.0
+                            : config.rates_pps.size() == 1
+                                  ? config.rates_pps[0]
+                                  : config.rates_pps[i];
+      single.repeat = config.repeat;
+      try {
+        results[i].report = replay({}, &workload, single);
+      } catch (const std::exception& error) {
+        results[i].error = error.what();
+      }
+    });
+  }
+  for (std::thread& sender : senders) sender.join();
+  return results;
+}
+
 }  // namespace speedybox::io

@@ -48,4 +48,30 @@ LoadgenReport replay_packets(const std::vector<net::Packet>& packets,
 LoadgenReport replay_workload(const trace::Workload& workload,
                               const LoadgenConfig& config);
 
+/// Multi-tenant fan-out (the sender half of `chainsim --tenancy --listen`).
+struct MultiTenantConfig {
+  std::string host = "127.0.0.1";
+  /// One destination port per tenant.
+  std::vector<std::uint16_t> ports;
+  IngestProto proto = IngestProto::kUdp;
+  /// Per-tenant pacing: rates_pps[i] paces tenant i on its own absolute
+  /// schedule. One entry broadcasts to every tenant; empty = unpaced.
+  std::vector<double> rates_pps;
+  std::size_t repeat = 1;
+};
+
+struct TenantLoadReport {
+  std::uint16_t port = 0;
+  LoadgenReport report;
+  /// Non-empty when this tenant's sender died (e.g. connect refused);
+  /// the other tenants' sends are unaffected.
+  std::string error;
+};
+
+/// Fan ONE workload across N tenants: every tenant receives the full frame
+/// sequence on its own socket, concurrently (one sender thread per
+/// tenant), each paced independently. Results come back in port order.
+std::vector<TenantLoadReport> replay_multi_tenant(
+    const trace::Workload& workload, const MultiTenantConfig& config);
+
 }  // namespace speedybox::io

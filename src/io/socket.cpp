@@ -1,3 +1,9 @@
+// recvmmsg()/mmsghdr are GNU extensions; the build is -std=c++20 strict,
+// so the feature macro must come before the first libc header.
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
 #include "io/socket.hpp"
 
 #include <arpa/inet.h>
@@ -8,6 +14,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -136,6 +143,53 @@ RecvResult recv_some(int fd, std::span<std::uint8_t> buffer) {
       std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
       result.rxq_dropped = dropped;
       result.has_drop_count = true;
+    }
+  }
+  return result;
+}
+
+RecvManyResult recv_many(int fd, std::span<std::uint8_t> buffer,
+                         std::size_t stride, std::span<std::size_t> lengths) {
+  constexpr std::size_t kMaxBatch = 64;
+  RecvManyResult result;
+  const std::size_t by_buffer = stride == 0 ? 0 : buffer.size() / stride;
+  const std::size_t want =
+      std::min({lengths.size(), by_buffer, kMaxBatch});
+  if (want == 0) return result;
+
+  mmsghdr msgs[kMaxBatch];
+  iovec iovs[kMaxBatch];
+  alignas(cmsghdr) char controls[kMaxBatch]
+                               [CMSG_SPACE(sizeof(std::uint32_t))];
+  std::memset(msgs, 0, want * sizeof(mmsghdr));
+  for (std::size_t i = 0; i < want; ++i) {
+    iovs[i] = {buffer.data() + i * stride, stride};
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_control = controls[i];
+    msgs[i].msg_hdr.msg_controllen = sizeof controls[i];
+  }
+
+  const int n = recvmmsg(fd, msgs, static_cast<unsigned int>(want),
+                         MSG_DONTWAIT, nullptr);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return result;  // nothing available
+    }
+    throw_errno("recvmmsg");
+  }
+  result.messages = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < result.messages; ++i) {
+    lengths[i] = msgs[i].msg_len;
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msgs[i].msg_hdr); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msgs[i].msg_hdr, cmsg)) {
+      if (cmsg->cmsg_level == SOL_SOCKET &&
+          cmsg->cmsg_type == SO_RXQ_OVFL) {
+        std::uint32_t dropped = 0;
+        std::memcpy(&dropped, CMSG_DATA(cmsg), sizeof dropped);
+        result.rxq_dropped = dropped;
+        result.has_drop_count = true;
+      }
     }
   }
   return result;

@@ -86,6 +86,24 @@ struct RecvResult {
 /// a drop count).
 RecvResult recv_some(int fd, std::span<std::uint8_t> buffer);
 
+/// Result of one recv_many() batch.
+struct RecvManyResult {
+  std::size_t messages = 0;       // datagrams filled into lengths[0..n)
+  /// Latest cumulative SO_RXQ_OVFL counter seen in the batch's ancillary
+  /// data (UDP receivers only).
+  std::uint32_t rxq_dropped = 0;
+  bool has_drop_count = false;
+};
+
+/// Batched non-blocking datagram receive via recvmmsg(): up to
+/// `lengths.size()` datagrams in ONE syscall, datagram i landing at
+/// buffer.subspan(i * stride, stride) with its byte count in lengths[i].
+/// messages = 0 means nothing was available. SO_RXQ_OVFL ancillary data is
+/// harvested per message, exactly like recv_some() — the last datagram's
+/// cumulative counter wins, matching the kernel's monotonic semantics.
+RecvManyResult recv_many(int fd, std::span<std::uint8_t> buffer,
+                         std::size_t stride, std::span<std::size_t> lengths);
+
 /// Authoritative kernel drop counter for a bound UDP socket, read from the
 /// matching /proc/net/udp row (the SO_RXQ_OVFL ancillary counter misses
 /// drops after the last delivered datagram; this one does not). nullopt

@@ -41,6 +41,7 @@ Json span_json(const PacketSpan& span) {
 Json shard_json(const ShardSnapshot& shard) {
   Json j = Json::object();
   j.set("shard", Json::string(shard.label));
+  if (!shard.tenant.empty()) j.set("tenant", Json::string(shard.tenant));
   Json counters = Json::object();
   for (const auto& [name, value] : shard.counters) {
     counters.set(name, Json::integer(value));
@@ -95,11 +96,13 @@ std::string to_json(const MetricsSnapshot& snapshot) {
 
 namespace {
 
-/// "name{labels}" with the shard label spliced in front of extras.
-std::string series(const std::string& name, const std::string& shard,
+/// "name{labels}" with the shard (and, when tenanted, tenant) labels
+/// spliced in front of extras.
+std::string series(const std::string& name, const ShardSnapshot& shard,
                    const std::string& extra,
                    const std::string& more = "") {
-  std::string out = "speedybox_" + name + "{shard=\"" + shard + "\"";
+  std::string out = "speedybox_" + name + "{shard=\"" + shard.label + "\"";
+  if (!shard.tenant.empty()) out += ",tenant=\"" + shard.tenant + "\"";
   if (!extra.empty()) out += "," + extra;
   if (!more.empty()) out += "," + more;
   out += "}";
@@ -113,7 +116,7 @@ void append_number(std::string& out, double value) {
 }
 
 void append_histogram(std::string& out, const std::string& name,
-                      const std::string& shard, const std::string& extra,
+                      const ShardSnapshot& shard, const std::string& extra,
                       const std::string& more,
                       const util::LogHistogram& hist) {
   for (const double q : {0.5, 0.95, 0.99}) {
@@ -158,27 +161,27 @@ std::string to_prometheus(const MetricsSnapshot& snapshot,
 
   for (const ShardSnapshot& shard : snapshot.shards) {
     for (const auto& [name, value] : shard.counters) {
-      out += series(name + "_total", shard.label, extra_labels);
+      out += series(name + "_total", shard, extra_labels);
       out.push_back(' ');
       append_number(out, static_cast<double>(value));
       out.push_back('\n');
     }
     for (const auto& [name, value] : shard.gauges) {
-      out += series(name, shard.label, extra_labels);
+      out += series(name, shard, extra_labels);
       out.push_back(' ');
       append_number(out, static_cast<double>(value));
       out.push_back('\n');
     }
     for (const auto& [name, hist] : shard.histograms) {
-      append_histogram(out, name, shard.label, extra_labels, "", hist);
+      append_histogram(out, name, shard, extra_labels, "", hist);
     }
     for (const auto& nf : shard.per_nf) {
       const std::string nf_label = "nf=\"" + nf.label + "\"";
-      out += series("nf_packets_total", shard.label, extra_labels, nf_label);
+      out += series("nf_packets_total", shard, extra_labels, nf_label);
       out.push_back(' ');
       append_number(out, static_cast<double>(nf.packets));
       out.push_back('\n');
-      append_histogram(out, "nf_cycles", shard.label, extra_labels, nf_label,
+      append_histogram(out, "nf_cycles", shard, extra_labels, nf_label,
                        nf.cycles);
     }
   }

@@ -14,8 +14,11 @@ util::LogHistogram CycleHistogram::snapshot() const {
 
 ShardMetrics::ShardMetrics(std::string shard_label,
                            std::vector<std::string> nf_labels,
-                           std::uint32_t span_sample_every_n)
-    : label(std::move(shard_label)), spans(span_sample_every_n) {
+                           std::uint32_t span_sample_every_n,
+                           std::string tenant_label)
+    : label(std::move(shard_label)),
+      tenant(std::move(tenant_label)),
+      spans(span_sample_every_n) {
   for (auto& nf_label : nf_labels) {
     per_nf.emplace_back(std::move(nf_label));
   }
@@ -25,8 +28,19 @@ ShardMetrics& Registry::create_shard(std::string label,
                                      std::vector<std::string> nf_labels) {
   const std::lock_guard lock(mutex_);
   shards_.push_back(std::make_unique<ShardMetrics>(
-      std::move(label), std::move(nf_labels), span_sample_every_n_));
+      std::move(label), std::move(nf_labels), span_sample_every_n_,
+      tenant_));
   return *shards_.back();
+}
+
+void Registry::set_tenant(std::string tenant_id) {
+  const std::lock_guard lock(mutex_);
+  tenant_ = std::move(tenant_id);
+}
+
+std::string Registry::tenant() const {
+  const std::lock_guard lock(mutex_);
+  return tenant_;
 }
 
 namespace {
@@ -34,6 +48,7 @@ namespace {
 ShardSnapshot snapshot_shard(const ShardMetrics& shard) {
   ShardSnapshot snap;
   snap.label = shard.label;
+  snap.tenant = shard.tenant;
   snap.counters = {
       {"packets", shard.packets.get()},
       {"drops", shard.drops.get()},

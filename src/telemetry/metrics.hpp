@@ -94,9 +94,14 @@ struct NfMetrics {
 /// ChainRunner, the pipeline manager, or the sharded dispatcher).
 struct ShardMetrics {
   ShardMetrics(std::string shard_label, std::vector<std::string> nf_labels,
-               std::uint32_t span_sample_every_n);
+               std::uint32_t span_sample_every_n,
+               std::string tenant_label = {});
 
   const std::string label;
+  /// Tenant this executor instance serves (DESIGN.md §14); empty in
+  /// single-chain deployments. A first-class label dimension in both
+  /// exporters, never folded into `label`.
+  const std::string tenant;
 
   // -- counters --
   Counter packets;              // packets processed
@@ -198,6 +203,7 @@ struct ShardMetrics {
 /// Point-in-time view of one ShardMetrics (plain values, no atomics).
 struct ShardSnapshot {
   std::string label;
+  std::string tenant;  // empty when untenanted (and on aggregate())
   /// Stable, export-ordered (name, value) pairs.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::uint64_t>> gauges;
@@ -240,6 +246,13 @@ class Registry {
   ShardMetrics& create_shard(std::string label,
                              std::vector<std::string> nf_labels = {});
 
+  /// Scope every subsequent create_shard() to `tenant_id` (empty clears).
+  /// Lets a tenant host stamp the tenant dimension onto shards registered
+  /// deep inside Executor::attach_telemetry without widening that
+  /// interface. Control-plane only, like create_shard.
+  void set_tenant(std::string tenant_id);
+  std::string tenant() const;
+
   std::uint32_t span_sample_every_n() const noexcept {
     return span_sample_every_n_;
   }
@@ -252,7 +265,25 @@ class Registry {
   const std::uint32_t span_sample_every_n_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ShardMetrics>> shards_;
+  std::string tenant_;
   mutable std::uint64_t sequence_ = 0;
+};
+
+/// RAII tenant scoping: stamps `tenant_id` onto every shard registered
+/// within the scope, restoring the previous scope on exit (scopes nest).
+class TenantScope {
+ public:
+  TenantScope(Registry& registry, std::string tenant_id)
+      : registry_(registry), previous_(registry.tenant()) {
+    registry_.set_tenant(std::move(tenant_id));
+  }
+  ~TenantScope() { registry_.set_tenant(std::move(previous_)); }
+  TenantScope(const TenantScope&) = delete;
+  TenantScope& operator=(const TenantScope&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string previous_;
 };
 
 }  // namespace speedybox::telemetry

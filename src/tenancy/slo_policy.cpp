@@ -1,0 +1,185 @@
+#include "tenancy/slo_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace speedybox::tenancy {
+
+SloEnforcementPolicy::SloEnforcementPolicy(const EnforcementConfig& config,
+                                           std::size_t tenant_count)
+    : config_(config), states_(tenant_count) {
+  config_.validate();
+  if (tenant_count == 0) {
+    throw std::logic_error("SloEnforcementPolicy: no tenants");
+  }
+}
+
+TenantDecision SloEnforcementPolicy::decision_of(
+    const TenantState& state) const {
+  TenantDecision decision;
+  decision.admission_budget = state.budget;
+  decision.gate_policy = state.escalation >= 2
+                             ? runtime::DropPolicy::kPerFlowFair
+                             : runtime::DropPolicy::kTailDrop;
+  decision.escalation = state.escalation;
+  return decision;
+}
+
+std::vector<TenantDecision> SloEnforcementPolicy::tick(
+    const std::vector<TenantInput>& tenants, std::size_t pool_shards) {
+  if (tenants.size() != states_.size()) {
+    throw std::logic_error(
+        "SloEnforcementPolicy: tenant count changed between ticks");
+  }
+
+  // Streaks advance every window, cooldown or not (pressure building during
+  // the settle period counts toward the next action) — the same discipline
+  // control::ScalingPolicy applies.
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantInput& tenant = tenants[i];
+    TenantState& state = states_[i];
+    const bool active = tenant.signals.window_offered > 0;
+    const bool breach =
+        active && tenant.signals.p99_latency_us > tenant.slo_us;
+    // An idle tenant counts as calm: whatever it was punished for, it is
+    // not doing it any more, and its gate should eventually relax.
+    const bool calm =
+        !breach && (!active || tenant.signals.p99_latency_us <
+                                   tenant.slo_us * config_.calm_fraction);
+    if (breach) {
+      ++state.breach_streak;
+      state.calm_streak = 0;
+    } else if (calm) {
+      ++state.calm_streak;
+      state.breach_streak = 0;
+    } else {
+      state.breach_streak = 0;
+      state.calm_streak = 0;
+    }
+  }
+
+  std::vector<TenantDecision> decisions(tenants.size());
+  const auto render = [&] {
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const int delta = decisions[i].shard_delta;
+      decisions[i] = decision_of(states_[i]);
+      decisions[i].shard_delta = delta;
+    }
+  };
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    render();
+    return decisions;
+  }
+
+  // Victim: longest qualifying breach streak (ties -> lowest index).
+  std::size_t victim = tenants.size();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (states_[i].breach_streak < config_.breach_streak) continue;
+    if (victim == tenants.size() ||
+        states_[i].breach_streak > states_[victim].breach_streak) {
+      victim = i;
+    }
+  }
+
+  if (victim == tenants.size()) {
+    // No breach: one ladder step down for every sufficiently calm tenant.
+    bool acted = false;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      TenantState& state = states_[i];
+      if (state.escalation == 0 ||
+          state.calm_streak < config_.calm_streak) {
+        continue;
+      }
+      state.escalation = config_.tighten_admission ? state.escalation - 1 : 0;
+      if (state.escalation == 0 || state.budget == kUnlimitedBudget) {
+        state.budget = kUnlimitedBudget;
+      } else {
+        state.budget = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(state.budget) /
+                      config_.tighten_factor));
+      }
+      state.calm_streak = 0;
+      acted = true;
+    }
+    if (acted) cooldown_ = config_.cooldown_windows;
+    render();
+    return decisions;
+  }
+
+  // Offender: highest offered-load-per-weight among the other tenants —
+  // but only if it out-offers the victim per weight. A self-inflicted
+  // breach (the victim is its own heaviest load) never tightens an
+  // innocent neighbour; the victim can still claim pool headroom.
+  std::size_t offender = tenants.size();
+  double offender_score = 0.0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (i == victim || tenants[i].signals.window_offered == 0) continue;
+    const double score =
+        static_cast<double>(tenants[i].signals.window_offered) /
+        tenants[i].weight;
+    if (offender == tenants.size() || score > offender_score) {
+      offender = i;
+      offender_score = score;
+    }
+  }
+  const double victim_score =
+      static_cast<double>(tenants[victim].signals.window_offered) /
+      tenants[victim].weight;
+  if (offender != tenants.size() && offender_score <= victim_score) {
+    offender = tenants.size();
+  }
+
+  bool acted = false;
+
+  // Free pool headroom first: a shard nobody owns costs nobody anything.
+  if (config_.reallocate_shards && tenants[victim].sharded) {
+    std::size_t allocated = 0;
+    for (const TenantInput& tenant : tenants) {
+      if (tenant.sharded) allocated += tenant.active_shards;
+    }
+    if (allocated < pool_shards) {
+      decisions[victim].shard_delta = +1;
+      acted = true;
+    }
+  }
+
+  if (offender != tenants.size()) {
+    TenantState& state = states_[offender];
+    // Without admission tightening the ladder's only rung with teeth is
+    // L3, so the offender jumps straight to it.
+    const int next = config_.tighten_admission
+                         ? std::min(state.escalation + 1, 3)
+                         : 3;
+    state.escalation = next;
+    if (config_.tighten_admission) {
+      const double base =
+          state.budget == kUnlimitedBudget
+              ? static_cast<double>(
+                    tenants[offender].signals.window_offered)
+              : static_cast<double>(state.budget);
+      state.budget = std::max<std::uint64_t>(
+          config_.min_budget,
+          static_cast<std::uint64_t>(base * config_.tighten_factor));
+    }
+    if (next >= 3 && config_.reallocate_shards &&
+        decisions[victim].shard_delta == 0 && tenants[victim].sharded &&
+        tenants[offender].sharded && tenants[offender].active_shards > 1) {
+      decisions[offender].shard_delta = -1;
+      decisions[victim].shard_delta = +1;
+    }
+    state.calm_streak = 0;
+    acted = true;
+  }
+
+  if (acted) {
+    states_[victim].breach_streak = 0;
+    cooldown_ = config_.cooldown_windows;
+  }
+  render();
+  return decisions;
+}
+
+}  // namespace speedybox::tenancy

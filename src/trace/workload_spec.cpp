@@ -1,0 +1,129 @@
+#include "trace/workload_spec.hpp"
+
+#include <stdexcept>
+
+#include "trace/payload_synth.hpp"
+
+namespace speedybox::trace {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("workload spec: " + message);
+}
+
+std::uint64_t integer_field(const telemetry::Json& value, const char* key,
+                            std::uint64_t lo) {
+  if (!value.is_integer() || value.as_integer() < lo) {
+    fail(std::string("field '") + key + "' must be an integer >= " +
+         std::to_string(lo));
+  }
+  return value.as_integer();
+}
+
+}  // namespace
+
+telemetry::Json WorkloadSpec::to_json() const {
+  using telemetry::Json;
+  Json json = Json::object();
+  json.set("kind", Json::string(kind));
+  json.set("flows", Json::integer(flows));
+  json.set("packets_per_flow", Json::integer(packets_per_flow));
+  json.set("payload_size", Json::integer(payload_size));
+  json.set("snort_match_fraction", Json::number(snort_match_fraction));
+  json.set("seed", Json::integer(seed));
+  if (repeat > 1) json.set("repeat", Json::integer(repeat));
+  return json;
+}
+
+WorkloadSpec WorkloadSpec::from_json(const telemetry::Json& json) {
+  if (!json.is_object()) fail("must be an object");
+  WorkloadSpec spec;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "kind") {
+      if (!value.is_string()) fail("field 'kind' must be a string");
+      spec.kind = value.as_string();
+    } else if (key == "flows") {
+      spec.flows =
+          static_cast<std::size_t>(integer_field(value, "flows", 0));
+    } else if (key == "packets_per_flow") {
+      spec.packets_per_flow = static_cast<std::uint32_t>(
+          integer_field(value, "packets_per_flow", 1));
+    } else if (key == "payload_size") {
+      spec.payload_size =
+          static_cast<std::size_t>(integer_field(value, "payload_size", 0));
+    } else if (key == "snort_match_fraction") {
+      if (!value.is_number()) {
+        fail("field 'snort_match_fraction' must be a number");
+      }
+      spec.snort_match_fraction = value.as_number();
+      if (spec.snort_match_fraction < 0.0 ||
+          spec.snort_match_fraction > 1.0) {
+        fail("field 'snort_match_fraction' must be within [0, 1]");
+      }
+    } else if (key == "seed") {
+      spec.seed = integer_field(value, "seed", 0);
+    } else if (key == "repeat") {
+      spec.repeat =
+          static_cast<std::uint32_t>(integer_field(value, "repeat", 1));
+    } else {
+      fail("unknown field '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+void WorkloadSpec::validate() const {
+  bool scenario = false;
+  for (const std::string& name : named_scenarios()) {
+    if (kind == name) scenario = true;
+  }
+  if (kind != "uniform" && kind != "datacenter" && !scenario) {
+    std::string names = "uniform, datacenter";
+    for (const std::string& name : named_scenarios()) names += ", " + name;
+    fail("unknown kind '" + kind + "' (want one of: " + names + ")");
+  }
+  if (!scenario && flows == 0) fail("kind '" + kind + "' needs flows > 0");
+  if (repeat == 0) fail("repeat must be >= 1");
+  if (snort_match_fraction < 0.0 || snort_match_fraction > 1.0) {
+    fail("snort_match_fraction must be within [0, 1]");
+  }
+}
+
+Workload WorkloadSpec::build() const {
+  validate();
+  Workload workload;
+  if (kind == "datacenter") {
+    DatacenterWorkloadConfig config;
+    config.flow_count = flows;
+    config.payload_size = payload_size;
+    config.seed = seed;
+    workload = make_datacenter_workload(config);
+  } else if (kind == "uniform") {
+    workload =
+        make_uniform_workload(flows, packets_per_flow, payload_size, seed);
+  } else {
+    ScenarioScale scale;
+    scale.flows = flows;  // 0 keeps the scenario's default population
+    scale.payload_size = payload_size;
+    scale.seed = seed;
+    workload = *make_named_scenario(kind, scale);
+  }
+  // Same planting chainsim applies: the chain may contain an IDS, and the
+  // planted contents are harmless to every other NF.
+  PayloadSynthConfig synth;
+  synth.match_fraction = snort_match_fraction;
+  synth.seed = seed ^ 0x5EED;
+  plant_rule_contents(workload, default_snort_rules(), synth);
+  if (repeat > 1) {
+    const std::vector<TracePacket> round = workload.order;
+    workload.order.reserve(round.size() * repeat);
+    for (std::uint32_t r = 1; r < repeat; ++r) {
+      workload.order.insert(workload.order.end(), round.begin(), round.end());
+    }
+  }
+  return workload;
+}
+
+}  // namespace speedybox::trace

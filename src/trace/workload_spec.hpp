@@ -1,0 +1,52 @@
+// Serializable workload description (DESIGN.md §14): the generator half of
+// chainsim's --workload/--flows/--packets flags as a JSON-round-trippable
+// value, so documents that describe deployments (tenant host specs) can
+// carry each tenant's traffic alongside its chain.
+//
+// A WorkloadSpec names one of the existing generators — "uniform",
+// "datacenter", or a named scenario ("elephant-mice", "sync-burst",
+// "flash-crowd", "syn-flood") — plus its scale knobs, and build() produces
+// the same trace::Workload chainsim's in-process path would, including the
+// §VII-B3 Snort-payload planting (seed ^ 0x5EED, matching chainsim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/json.hpp"
+#include "trace/workload.hpp"
+
+namespace speedybox::trace {
+
+struct WorkloadSpec {
+  /// "uniform", "datacenter", or a make_named_scenario name.
+  std::string kind = "uniform";
+  /// Flow population; 0 keeps a scenario's default population (uniform and
+  /// datacenter require > 0).
+  std::size_t flows = 64;
+  /// Uniform generator only: packets per flow.
+  std::uint32_t packets_per_flow = 16;
+  std::size_t payload_size = 128;
+  /// Fraction of flows that get Snort rule contents planted.
+  double snort_match_fraction = 0.2;
+  std::uint64_t seed = 42;
+  /// Replicate the interleaved schedule this many times (>= 1): lengthens
+  /// the trace without changing the flow population.
+  std::uint32_t repeat = 1;
+
+  telemetry::Json to_json() const;
+  /// Strict: unknown fields and out-of-range values are errors (throws
+  /// std::runtime_error naming the field).
+  static WorkloadSpec from_json(const telemetry::Json& json);
+
+  /// Throws std::runtime_error on an unknown kind or invalid scale.
+  void validate() const;
+
+  /// Materialize the described workload (validates first).
+  Workload build() const;
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
+}  // namespace speedybox::trace

@@ -1,0 +1,132 @@
+// Tenant isolation is only real if hosting is invisible to the packets:
+// every tenant's post-chain output must be byte-identical to a solo run of
+// the same plan over the same workload — including across SLO-driven
+// shard reallocation events (the PR 5 quiesce/export/import flow must stay
+// byte-preserving when the tenancy arbiter triggers it mid-run).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/plan.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/sharded_runtime.hpp"
+#include "tenancy/tenant_host.hpp"
+#include "test_helpers.hpp"
+
+namespace speedybox::tenancy {
+namespace {
+
+using speedybox::testing::same_bytes;
+
+/// Reference: the tenant's plan and workload, alone on the machine, no
+/// host gate, no arbiter, untouched shard count.
+std::vector<net::Packet> solo_outputs(const TenantSpec& spec) {
+  plan::BuiltDeployment built = plan::build(spec.plan);
+  const trace::Workload workload = spec.workload.build();
+  if (auto* sharded =
+          dynamic_cast<runtime::ShardedRuntime*>(built.executor.get())) {
+    for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+      sharded->push(workload.materialize(i));
+    }
+    return std::move(sharded->finish().packets);
+  }
+  auto* runner = dynamic_cast<runtime::ChainRunner*>(built.executor.get());
+  std::vector<net::Packet> outputs;
+  outputs.reserve(workload.packet_count());
+  for (std::size_t i = 0; i < workload.packet_count(); ++i) {
+    net::Packet packet = workload.materialize(i);
+    runner->process_packet(packet);
+    outputs.push_back(std::move(packet));
+  }
+  return outputs;
+}
+
+void expect_byte_identical(const std::vector<net::Packet>& hosted,
+                           const std::vector<net::Packet>& solo,
+                           const std::string& id) {
+  ASSERT_EQ(hosted.size(), solo.size()) << "tenant " << id;
+  for (std::size_t i = 0; i < hosted.size(); ++i) {
+    ASSERT_TRUE(same_bytes(hosted[i], solo[i]))
+        << "tenant " << id << " packet " << i;
+    ASSERT_EQ(hosted[i].dropped(), solo[i].dropped())
+        << "tenant " << id << " packet " << i;
+  }
+}
+
+TenantSpec sharded_tenant(const std::string& id, double slo_us,
+                          std::size_t flows, std::uint32_t packets,
+                          std::uint64_t seed) {
+  TenantSpec tenant;
+  tenant.id = id;
+  tenant.plan.chain = plan::ChainSpec::parse("nat,monitor");
+  tenant.plan.executor = plan::ExecutorKind::kSharded;
+  tenant.plan.shards = 2;
+  tenant.slo_us = slo_us;
+  tenant.workload.kind = "uniform";
+  tenant.workload.flows = flows;
+  tenant.workload.packets_per_flow = packets;
+  tenant.workload.seed = seed;
+  return tenant;
+}
+
+TEST(TenantEquivalence, HostedOutputsMatchSoloRuns) {
+  // Quiet co-tenancy: no enforcement action ever fires, the interleaved
+  // hosted drive must still be invisible per tenant.
+  HostSpec host;
+  host.tenants = {sharded_tenant("alpha", 1e9, 40, 12, 21),
+                  sharded_tenant("bravo", 1e9, 25, 20, 22)};
+  TenantHost tenant_host{host};
+  const HostRunResult result = tenant_host.run();
+  ASSERT_EQ(result.tenants.size(), 2u);
+  for (std::size_t i = 0; i < host.tenants.size(); ++i) {
+    EXPECT_EQ(result.tenants[i].gate_shed, 0u);
+    EXPECT_EQ(result.tenants[i].realloc_events, 0u);
+    expect_byte_identical(result.tenants[i].outputs,
+                          solo_outputs(host.tenants[i]),
+                          host.tenants[i].id);
+  }
+}
+
+TEST(TenantEquivalence, OutputsSurviveSloDrivenShardReallocation) {
+  // The victim's SLO is unreachably tight, admission tightening is off and
+  // the pool has no headroom: the arbiter's only lever is L3, moving a
+  // shard from the offender to the victim mid-run. Both tenants' outputs
+  // must stay byte-identical to their solo runs across that migration.
+  HostSpec host;
+  host.tenants = {sharded_tenant("victim", 0.001, 40, 12, 7),
+                  sharded_tenant("offender", 1e9, 100, 24, 8)};
+  host.pool_shards = 4;  // exactly the planned sum: no free headroom
+  host.enforcement.window_packets = 256;
+  host.enforcement.breach_streak = 1;
+  host.enforcement.cooldown_windows = 2;
+  host.enforcement.tighten_admission = false;
+  host.enforcement.reallocate_shards = true;
+
+  TenantHost tenant_host{host};
+  const HostRunResult result = tenant_host.run();
+  ASSERT_EQ(result.tenants.size(), 2u);
+
+  // The reallocation actually happened: offender 2 -> 1, victim 2 -> 3.
+  EXPECT_GE(result.tenants[0].realloc_events, 1u);
+  EXPECT_GE(result.tenants[1].realloc_events, 1u);
+  EXPECT_EQ(result.tenants[0].final_shards, 3u);
+  EXPECT_EQ(result.tenants[1].final_shards, 1u);
+  EXPECT_EQ(result.tenants[1].max_escalation, 3);
+
+  // With admission tightening disabled no packet is ever shed...
+  for (const TenantResult& tenant : result.tenants) {
+    EXPECT_EQ(tenant.gate_shed, 0u);
+    EXPECT_EQ(tenant.forwarded, tenant.offered);
+  }
+  // ...and the hosted outputs are byte-identical to solo, reallocation
+  // included.
+  for (std::size_t i = 0; i < host.tenants.size(); ++i) {
+    expect_byte_identical(result.tenants[i].outputs,
+                          solo_outputs(host.tenants[i]),
+                          host.tenants[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace speedybox::tenancy

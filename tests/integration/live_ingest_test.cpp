@@ -275,6 +275,42 @@ TEST(LiveIngest, ShardedStreamPushConservesPackets) {
   EXPECT_EQ(sink.outputs().size(), report.sent);
 }
 
+TEST(LiveIngest, RecvmmsgBatchedUdpIsByteIdenticalAndConserving) {
+  // The recvmmsg fast path must be a pure receive optimization: same
+  // bytes, same ordering, same conservation ledger as recvfrom — with
+  // garbage mixed into the batches.
+  const trace::Workload workload = small_datacenter_workload(90125, false);
+  const auto reference_chain = chain1_gateway();
+  const std::vector<net::Packet> reference =
+      run_in_process(*reference_chain, workload, nullptr);
+
+  const auto live_chain = chain1_gateway();
+  runtime::ChainRunner runner{*live_chain, speedybox_run_config()};
+  IngestConfig config;
+  config.idle_timeout_ms = 300;
+  config.use_recvmmsg = true;
+  IngestServer server{config};
+  IngestExecutor sink{runner, /*capture_outputs=*/true};
+
+  LoadgenConfig gen;
+  gen.port = server.udp_port();
+  const LoadgenReport report = replay_workload(workload, gen);
+  ASSERT_EQ(report.send_errors, 0u);
+  Fd evil = make_udp_sender("127.0.0.1", server.udp_port());
+  const std::vector<std::uint8_t> runt = {0xDE, 0xAD};
+  ASSERT_TRUE(send_all(evil.get(), runt));
+
+  const IngestStats ingest = server.serve(sink);
+  sink.finish();
+
+  EXPECT_EQ(ingest.rx_frames, report.sent);
+  EXPECT_EQ(ingest.parse_errors, 1u);
+  EXPECT_EQ(ingest.socket_drops, 0u);
+  EXPECT_EQ(report.sent + 1,
+            sink.submitted() + ingest.parse_errors + ingest.socket_drops);
+  expect_byte_identical(sink.outputs(), reference);
+}
+
 TEST(LiveIngest, PoisonedTcpStreamIsKilledNotCrashed) {
   const auto chain = chain2_inspection();
   runtime::ChainRunner runner{*chain, speedybox_run_config()};

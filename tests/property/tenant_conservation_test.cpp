@@ -1,0 +1,124 @@
+// Per-tenant packet conservation under the adversarial-tenant scenario
+// (DESIGN.md §14): a well-behaved tenant with a tight SLO shares the host
+// with a syn-flood tenant. Every packet must be accounted for at both
+// boundaries, per tenant:
+//
+//   offered   == gate_shed + forwarded          (host admission gate)
+//   forwarded == outputs (delivered + dropped)  (executor hand-off)
+//   admitted  == delivered + drops + faulted    (executor)
+//
+// where delivered is counted from the actual output packets, never from a
+// counter — the same discipline as the overload conservation suite.
+#include <gtest/gtest.h>
+
+#include "tenancy/tenant_host.hpp"
+
+namespace speedybox::tenancy {
+namespace {
+
+void expect_tenant_conserved(const TenantResult& tenant,
+                             std::uint64_t expected_offered) {
+  SCOPED_TRACE("tenant " + tenant.id);
+  EXPECT_EQ(tenant.offered, expected_offered);
+  EXPECT_EQ(tenant.offered, tenant.gate_shed + tenant.forwarded);
+  // Every forwarded packet surfaces in the outputs, delivered or dropped;
+  // gate-shed packets never reach the executor.
+  EXPECT_EQ(tenant.forwarded, tenant.outputs.size());
+  EXPECT_EQ(tenant.stats.packets, tenant.forwarded);
+  EXPECT_EQ(tenant.stats.packets,
+            tenant.delivered() + tenant.stats.drops +
+                tenant.stats.overload.faulted);
+}
+
+TEST(TenantConservation, AdversarialTenantCannotBreakTheLedger) {
+  HostSpec host;
+  host.name = "adversarial";
+
+  TenantSpec steady;
+  steady.id = "steady";
+  steady.plan.chain = plan::ChainSpec::parse("nat,monitor");
+  steady.plan.executor = plan::ExecutorKind::kSharded;
+  steady.plan.shards = 2;
+  // Unreachably tight SLO: every window with recorded latency breaches,
+  // so the arbiter must act and the flood tenant must be tightened.
+  steady.slo_us = 0.001;
+  steady.workload.kind = "uniform";
+  steady.workload.flows = 50;
+  steady.workload.packets_per_flow = 16;
+  steady.workload.seed = 11;
+
+  TenantSpec flood;
+  flood.id = "flood";
+  flood.plan.chain = plan::ChainSpec::parse("ipfilter,monitor");
+  flood.plan.executor = plan::ExecutorKind::kRunner;
+  flood.slo_us = 1e9;  // the flood never qualifies as a victim itself
+  flood.workload.kind = "syn-flood";
+  flood.workload.flows = 0;  // scenario default population
+  flood.workload.seed = 12;
+  flood.workload.repeat = 2;  // 2 * 3072 scenario packets
+
+  host.tenants = {steady, flood};
+  host.enforcement.window_packets = 256;
+  host.enforcement.breach_streak = 1;
+  host.enforcement.cooldown_windows = 0;
+  host.enforcement.min_budget = 16;
+  host.enforcement.reallocate_shards = false;  // pure admission test
+
+  const std::uint64_t steady_packets =
+      steady.workload.build().packet_count();
+  const std::uint64_t flood_packets = flood.workload.build().packet_count();
+  // The flood must dominate offered-per-weight or it is not the offender.
+  ASSERT_GT(flood_packets, 2 * steady_packets);
+
+  TenantHost tenant_host{host};
+  const HostRunResult result = tenant_host.run();
+  ASSERT_EQ(result.tenants.size(), 2u);
+  EXPECT_GT(result.enforcement_ticks, 3u);
+
+  expect_tenant_conserved(result.tenants[0], steady_packets);
+  expect_tenant_conserved(result.tenants[1], flood_packets);
+
+  // Isolation: the arbiter tightened the flood, never the victim. The
+  // victim's gate stays wide open — all shedding lands on the offender.
+  EXPECT_EQ(result.tenants[0].gate_shed, 0u);
+  EXPECT_EQ(result.tenants[0].max_escalation, 0);
+  EXPECT_GE(result.tenants[1].max_escalation, 1);
+  EXPECT_GT(result.tenants[1].gate_shed, 0u);
+  EXPECT_EQ(result.tenants[0].final_shards, 2u);
+  EXPECT_EQ(result.tenants[1].final_shards, 0u);  // runner tenant
+}
+
+TEST(TenantConservation, WellBehavedTenantsAreNeverGated) {
+  // Two polite tenants with generous SLOs: the enforcement loop runs but
+  // must not interfere — zero shed on both, ladder never leaves L0.
+  HostSpec host;
+  for (int i = 0; i < 2; ++i) {
+    TenantSpec tenant;
+    tenant.id = i == 0 ? "alpha" : "bravo";
+    tenant.plan.chain = plan::ChainSpec::parse("nat,monitor");
+    tenant.plan.executor = plan::ExecutorKind::kSharded;
+    tenant.plan.shards = 1;
+    tenant.slo_us = 1e9;
+    tenant.workload.kind = "uniform";
+    tenant.workload.flows = 30;
+    tenant.workload.packets_per_flow = 10;
+    tenant.workload.seed = 100 + i;
+    host.tenants.push_back(tenant);
+  }
+  host.enforcement.window_packets = 128;
+
+  TenantHost tenant_host{host};
+  const HostRunResult result = tenant_host.run();
+  for (const TenantResult& tenant : result.tenants) {
+    expect_tenant_conserved(tenant, 300);
+    EXPECT_EQ(tenant.gate_shed, 0u);
+    EXPECT_EQ(tenant.max_escalation, 0);
+    EXPECT_EQ(tenant.realloc_events, 0u);
+    EXPECT_EQ(tenant.delivered(),
+              tenant.stats.packets - tenant.stats.drops -
+                  tenant.stats.overload.faulted);
+  }
+}
+
+}  // namespace
+}  // namespace speedybox::tenancy

@@ -1,0 +1,90 @@
+// TenantGate: the host-boundary admission gate (DESIGN.md §14). Single
+// drive thread here — the concurrency story (arbiter publishing while the
+// drive offers) is covered by the live serve() path under TSan.
+#include <gtest/gtest.h>
+
+#include "tenancy/tenant_host.hpp"
+
+namespace speedybox::tenancy {
+namespace {
+
+TEST(TenantGate, UnlimitedByDefault) {
+  TenantGate gate;
+  for (std::uint64_t hash = 0; hash < 100; ++hash) {
+    EXPECT_TRUE(gate.offer(hash));
+  }
+  EXPECT_EQ(gate.offered(), 100u);
+  EXPECT_EQ(gate.shed(), 0u);
+}
+
+TEST(TenantGate, TailDropBudgetAdmitsWindowPrefix) {
+  TenantGate gate;
+  gate.configure(5, runtime::DropPolicy::kTailDrop, /*last_offered=*/100);
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    if (gate.offer(i)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5u);
+  EXPECT_EQ(gate.offered(), 12u);
+  EXPECT_EQ(gate.shed(), 7u);
+
+  // A reconfigure bumps the window epoch: the drive-side count restarts,
+  // so the next window admits a fresh budget's worth.
+  gate.configure(5, runtime::DropPolicy::kTailDrop, 12);
+  admitted = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    if (gate.offer(i)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5u);
+  EXPECT_EQ(gate.shed(), 14u);
+}
+
+TEST(TenantGate, ResetWindowRestartsTheCount) {
+  TenantGate gate;
+  gate.configure(3, runtime::DropPolicy::kTailDrop, 10);
+  for (std::uint64_t i = 0; i < 5; ++i) gate.offer(i);
+  EXPECT_EQ(gate.shed(), 2u);
+  gate.reset_window();
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    if (gate.offer(i)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 3u);
+}
+
+TEST(TenantGate, PerFlowFairShedsByHashBand) {
+  TenantGate gate;
+  // Budget carries half of last window's arrivals: band = 512/1024.
+  gate.configure(512, runtime::DropPolicy::kPerFlowFair,
+                 /*last_offered=*/1024);
+  std::uint64_t admitted = 0;
+  for (std::uint64_t hash = 0; hash < 1024; ++hash) {
+    const bool verdict = gate.offer(hash);
+    // Flow-consistent: the verdict depends only on the hash.
+    EXPECT_EQ(verdict, hash % 1024 < 512);
+    if (verdict) ++admitted;
+  }
+  EXPECT_EQ(admitted, 512u);
+}
+
+TEST(TenantGate, PerFlowFairBandNeverEmpties) {
+  TenantGate gate;
+  // Budget is a rounding error of the offered load; at least one band
+  // (1/1024th of the hash space) must still survive.
+  gate.configure(1, runtime::DropPolicy::kPerFlowFair,
+                 /*last_offered=*/1'000'000);
+  EXPECT_TRUE(gate.offer(0));
+  EXPECT_FALSE(gate.offer(1));
+}
+
+TEST(TenantGate, PerFlowFairWithUnlimitedBudgetAdmitsAll) {
+  TenantGate gate;
+  gate.configure(kUnlimitedBudget, runtime::DropPolicy::kPerFlowFair, 500);
+  for (std::uint64_t hash = 1000; hash < 1100; ++hash) {
+    EXPECT_TRUE(gate.offer(hash));
+  }
+  EXPECT_EQ(gate.shed(), 0u);
+}
+
+}  // namespace
+}  // namespace speedybox::tenancy

@@ -1,0 +1,164 @@
+// HostSpec / TenantSpec / EnforcementConfig: strict-JSON round-trip and
+// the cross-field validation contract (DESIGN.md §14). Same discipline as
+// the DeploymentPlan suite: a typoed knob is an error, never a silent
+// default.
+#include <gtest/gtest.h>
+
+#include "tenancy/tenant_spec.hpp"
+
+namespace speedybox::tenancy {
+namespace {
+
+plan::DeploymentPlan sharded_plan(std::size_t shards) {
+  plan::DeploymentPlan deployment;
+  deployment.chain = plan::ChainSpec::parse("nat,monitor");
+  deployment.executor = plan::ExecutorKind::kSharded;
+  deployment.shards = shards;
+  return deployment;
+}
+
+plan::DeploymentPlan runner_plan() {
+  plan::DeploymentPlan deployment;
+  deployment.chain = plan::ChainSpec::parse("ipfilter,monitor");
+  deployment.executor = plan::ExecutorKind::kRunner;
+  return deployment;
+}
+
+HostSpec two_tenant_host() {
+  HostSpec host;
+  host.name = "isolation";
+  TenantSpec steady;
+  steady.id = "steady";
+  steady.plan = sharded_plan(2);
+  steady.slo_us = 40.0;
+  steady.weight = 2.0;
+  steady.listen_port = 9001;
+  steady.workload.kind = "uniform";
+  steady.workload.flows = 50;
+  steady.workload.packets_per_flow = 8;
+  TenantSpec flood;
+  flood.id = "flood";
+  flood.plan = runner_plan();
+  flood.slo_us = 500.0;
+  flood.workload.kind = "syn-flood";
+  flood.workload.flows = 0;  // scenario default population
+  host.tenants = {steady, flood};
+  host.pool_shards = 3;
+  host.enforcement.window_packets = 512;
+  host.enforcement.tighten_factor = 0.25;
+  return host;
+}
+
+TEST(TenantSpec, HostRoundTripsThroughJson) {
+  const HostSpec host = two_tenant_host();
+  const HostSpec reparsed = HostSpec::parse(host.dump());
+  EXPECT_EQ(reparsed.dump(), host.dump());
+  EXPECT_EQ(reparsed.name, "isolation");
+  ASSERT_EQ(reparsed.tenants.size(), 2u);
+  EXPECT_EQ(reparsed.tenants[0], host.tenants[0]);
+  EXPECT_EQ(reparsed.tenants[1], host.tenants[1]);
+  EXPECT_EQ(reparsed.tenants[0].listen_port, 9001);
+  EXPECT_EQ(reparsed.tenants[1].listen_port, 0);  // ephemeral stays absent
+  EXPECT_EQ(reparsed.pool_shards, 3u);
+  EXPECT_EQ(reparsed.enforcement.window_packets, 512u);
+  EXPECT_DOUBLE_EQ(reparsed.enforcement.tighten_factor, 0.25);
+  EXPECT_NO_THROW(reparsed.validate());
+}
+
+TEST(TenantSpec, DefaultsSurviveARoundTrip) {
+  HostSpec host;
+  TenantSpec tenant;
+  tenant.id = "solo";
+  tenant.plan = runner_plan();
+  host.tenants = {tenant};
+  const HostSpec reparsed = HostSpec::parse(host.dump());
+  EXPECT_DOUBLE_EQ(reparsed.tenants[0].slo_us, 50.0);
+  EXPECT_DOUBLE_EQ(reparsed.tenants[0].weight, 1.0);
+  EXPECT_EQ(reparsed.enforcement.window_packets, 1024u);
+  EXPECT_TRUE(reparsed.enforcement.tighten_admission);
+  EXPECT_TRUE(reparsed.enforcement.reallocate_shards);
+}
+
+TEST(TenantSpec, UnknownFieldsAreErrorsAtEveryLevel) {
+  const HostSpec host = two_tenant_host();
+  auto json = host.to_json();
+  json.set("bogus", telemetry::Json::integer(1));
+  EXPECT_THROW(HostSpec::from_json(json), SpecError);
+
+  auto typoed_enforcement = host.to_json();
+  auto enforcement = host.enforcement.to_json();
+  enforcement.set("window_pakets", telemetry::Json::integer(64));
+  typoed_enforcement.set("enforcement", std::move(enforcement));
+  EXPECT_THROW(HostSpec::from_json(typoed_enforcement), SpecError);
+
+  auto tenant_json = host.tenants[0].to_json();
+  tenant_json.set("slo", telemetry::Json::number(10.0));  // typo of slo_us
+  EXPECT_THROW(TenantSpec::from_json(tenant_json), SpecError);
+}
+
+TEST(TenantSpec, MissingRequiredFieldsAreErrors) {
+  EXPECT_THROW(HostSpec::parse(R"({"version":1})"), SpecError);
+  EXPECT_THROW(HostSpec::parse(R"({"version":1,"tenants":[]})"), SpecError);
+  EXPECT_THROW(HostSpec::parse(R"({"version":2,"tenants":[{}]})"),
+               SpecError);
+  // A tenant needs both an id and a plan.
+  EXPECT_THROW(TenantSpec::from_json(*telemetry::Json::parse(
+                   R"({"id":"a"})")),
+               SpecError);
+  EXPECT_THROW(HostSpec::parse("not json"), SpecError);
+}
+
+TEST(TenantSpec, EnforcementRangesAreChecked) {
+  EnforcementConfig config;
+  config.tighten_factor = 1.0;  // must shrink the budget
+  EXPECT_THROW(config.validate(), SpecError);
+  config = EnforcementConfig{};
+  config.calm_fraction = 1.5;
+  EXPECT_THROW(config.validate(), SpecError);
+  config = EnforcementConfig{};
+  config.window_packets = 0;
+  EXPECT_THROW(config.validate(), SpecError);
+  config = EnforcementConfig{};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(TenantSpec, OneShotExecutorsCannotHostATenant) {
+  HostSpec host = two_tenant_host();
+  host.tenants[1].plan.executor = plan::ExecutorKind::kPipeline;
+  host.tenants[1].plan.segments = {};  // keep the plan itself well-formed
+  EXPECT_THROW(host.validate(), SpecError);
+}
+
+TEST(TenantSpec, DuplicateIdsAndPortsAreRejected) {
+  HostSpec host = two_tenant_host();
+  host.tenants[1].id = host.tenants[0].id;
+  EXPECT_THROW(host.validate(), SpecError);
+
+  host = two_tenant_host();
+  host.tenants[1].listen_port = host.tenants[0].listen_port;
+  EXPECT_THROW(host.validate(), SpecError);
+
+  // Two ephemeral listeners (port 0) are fine.
+  host = two_tenant_host();
+  host.tenants[0].listen_port = 0;
+  host.tenants[1].listen_port = 0;
+  EXPECT_NO_THROW(host.validate());
+}
+
+TEST(TenantSpec, PlannedShardsMustFitThePool) {
+  HostSpec host = two_tenant_host();
+  host.pool_shards = 1;  // steady alone plans 2
+  EXPECT_THROW(host.validate(), SpecError);
+  host.pool_shards = 2;
+  EXPECT_NO_THROW(host.validate());
+}
+
+TEST(TenantSpec, EffectivePoolDefaultsToThePlannedSum) {
+  HostSpec host = two_tenant_host();
+  EXPECT_EQ(host.effective_pool_shards(), 3u);  // explicit pool wins
+  host.pool_shards = 0;
+  EXPECT_EQ(host.effective_pool_shards(), 2u);  // steady 2 + flood 0
+}
+
+}  // namespace
+}  // namespace speedybox::tenancy

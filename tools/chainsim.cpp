@@ -22,6 +22,8 @@
 // reporting and the live front-end.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +39,7 @@
 #include "sim_config.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
+#include "tenancy/tenant_host.hpp"
 #include "trace/payload_synth.hpp"
 #include "trace/pcap.hpp"
 #include "util/logging.hpp"
@@ -266,6 +269,7 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
   ingest_config.rx_budget = config.rx_budget;
   ingest_config.idle_timeout_ms = static_cast<int>(config.idle_timeout_ms);
   ingest_config.batch_size = config.batch_size;
+  ingest_config.use_recvmmsg = config.use_recvmmsg;
   io::IngestServer server{ingest_config};
   server.attach_telemetry(registry, mode + "/ingest");
   io::IngestExecutor sink{executor};
@@ -340,6 +344,138 @@ int run_live(const SimConfig& config, telemetry::Registry* registry) {
   return conserved ? 0 : 1;
 }
 
+/// Multi-tenant hosting (--tenancy): several independent chains on one
+/// shared shard pool, the SLO enforcement loop arbitrating between them.
+/// Emits one JSON line per tenant plus a host summary; exit 0 iff every
+/// tenant's conservation identity holds.
+int run_tenancy(const SimConfig& config, telemetry::Registry* registry) {
+  std::ifstream in(config.tenancy_file, std::ios::binary);
+  if (!in) {
+    tools::config_error("chainsim",
+                        "--tenancy: cannot read " + config.tenancy_file);
+  }
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  tenancy::HostSpec spec;
+  try {
+    spec = tenancy::HostSpec::parse(text);
+    spec.validate();
+  } catch (const std::exception& error) {
+    tools::config_error("chainsim", "--tenancy " + config.tenancy_file +
+                                        ": " + error.what());
+  }
+  tenancy::TenantHost host{std::move(spec), registry};
+  bool all_conserved = true;
+
+  if (config.listen_set) {
+    tenancy::ServeOptions options;
+    options.proto = config.listen_proto;
+    options.rx_budget = config.rx_budget;
+    options.idle_timeout_ms = static_cast<int>(config.idle_timeout_ms);
+    options.batch_size = config.batch_size;
+    options.use_recvmmsg = config.use_recvmmsg;
+    const auto ports = host.bind_listeners(options);
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      // The smoke script discovers every tenant's bound port from these
+      // lines, so they must hit the pipe before serve() blocks.
+      std::printf("chainsim: tenant %s listening on",
+                  host.spec().tenants[i].id.c_str());
+      if (config.listen_proto != io::IngestProto::kTcp) {
+        std::printf(" udp 127.0.0.1:%u", ports[i].first);
+      }
+      if (config.listen_proto != io::IngestProto::kUdp) {
+        std::printf(" tcp 127.0.0.1:%u", ports[i].second);
+      }
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+    const std::vector<tenancy::TenantServeResult> results =
+        host.serve(options);
+    for (const tenancy::TenantServeResult& tenant : results) {
+      const runtime::OverloadStats& overload = tenant.stats.overload;
+      const bool gated = overload.offered > 0 || overload.shed_total() > 0;
+      const std::uint64_t admitted =
+          gated ? overload.admitted : tenant.stats.packets;
+      const std::uint64_t shed = overload.shed_total();
+      // Host-gate conservation plus the executor's own arrival identity;
+      // delivered cannot be byte-counted live (no output capture).
+      const bool conserved =
+          tenant.gate_offered == tenant.gate_shed + tenant.forwarded &&
+          tenant.gate_offered == tenant.ingest.rx_frames &&
+          tenant.forwarded == admitted + shed;
+      all_conserved = all_conserved && conserved;
+      std::printf(
+          "{\"tenant\":{\"id\":\"%s\",\"udp_port\":%u,\"rx_frames\":%llu,"
+          "\"parse_errors\":%llu,\"socket_drops\":%llu,\"offered\":%llu,"
+          "\"gate_shed\":%llu,\"forwarded\":%llu,\"admitted\":%llu,"
+          "\"shed\":%llu,\"chain_packets\":%llu,\"chain_drops\":%llu,"
+          "\"realloc_events\":%zu,\"final_shards\":%zu,"
+          "\"max_escalation\":%d,\"conserved\":%s}}\n",
+          tenant.id.c_str(), tenant.udp_port,
+          static_cast<unsigned long long>(tenant.ingest.rx_frames),
+          static_cast<unsigned long long>(tenant.ingest.parse_errors),
+          static_cast<unsigned long long>(tenant.ingest.socket_drops),
+          static_cast<unsigned long long>(tenant.gate_offered),
+          static_cast<unsigned long long>(tenant.gate_shed),
+          static_cast<unsigned long long>(tenant.forwarded),
+          static_cast<unsigned long long>(admitted),
+          static_cast<unsigned long long>(shed),
+          static_cast<unsigned long long>(tenant.stats.packets),
+          static_cast<unsigned long long>(tenant.stats.drops),
+          tenant.realloc_events, tenant.final_shards, tenant.max_escalation,
+          conserved ? "true" : "false");
+    }
+    std::printf("{\"tenancy\":{\"mode\":\"live\",\"tenants\":%zu,"
+                "\"conserved\":%s}}\n",
+                results.size(), all_conserved ? "true" : "false");
+    std::fflush(stdout);
+    return all_conserved ? 0 : 1;
+  }
+
+  const tenancy::HostRunResult result = host.run();
+  for (const tenancy::TenantResult& tenant : result.tenants) {
+    const runtime::OverloadStats& overload = tenant.stats.overload;
+    const bool gated = overload.offered > 0 || overload.shed_total() > 0;
+    const std::uint64_t admitted =
+        gated ? overload.admitted : tenant.stats.packets;
+    const std::uint64_t shed = overload.shed_total();
+    const std::uint64_t delivered = tenant.delivered();
+    // Per-tenant conservation, delivered counted from the actual outputs:
+    //   offered == gate_shed + forwarded        (host gate)
+    //   forwarded == admitted + shed            (executor arrival)
+    //   admitted == delivered + drops + faulted (executor outcome)
+    const bool conserved =
+        tenant.offered == tenant.gate_shed + tenant.forwarded &&
+        tenant.forwarded == admitted + shed &&
+        admitted == delivered + tenant.stats.drops + overload.faulted;
+    all_conserved = all_conserved && conserved;
+    std::printf(
+        "{\"tenant\":{\"id\":\"%s\",\"offered\":%llu,\"gate_shed\":%llu,"
+        "\"forwarded\":%llu,\"admitted\":%llu,\"shed\":%llu,"
+        "\"delivered\":%llu,\"chain_drops\":%llu,\"faulted\":%llu,"
+        "\"realloc_events\":%zu,\"final_shards\":%zu,\"max_escalation\":%d,"
+        "\"worst_p99_us\":%.3f,\"last_p99_us\":%.3f,\"conserved\":%s}}\n",
+        tenant.id.c_str(), static_cast<unsigned long long>(tenant.offered),
+        static_cast<unsigned long long>(tenant.gate_shed),
+        static_cast<unsigned long long>(tenant.forwarded),
+        static_cast<unsigned long long>(admitted),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(delivered),
+        static_cast<unsigned long long>(tenant.stats.drops),
+        static_cast<unsigned long long>(overload.faulted),
+        tenant.realloc_events, tenant.final_shards, tenant.max_escalation,
+        tenant.worst_window_p99_us, tenant.last_window_p99_us,
+        conserved ? "true" : "false");
+  }
+  std::printf("{\"tenancy\":{\"mode\":\"in-process\",\"tenants\":%zu,"
+              "\"ticks\":%llu,\"wall_seconds\":%.3f,\"conserved\":%s}}\n",
+              result.tenants.size(),
+              static_cast<unsigned long long>(result.enforcement_ticks),
+              result.wall_seconds, all_conserved ? "true" : "false");
+  std::fflush(stdout);
+  return all_conserved ? 0 : 1;
+}
+
 /// Final metrics flush (both the trace-driven and live paths end here).
 bool write_metrics(const SimConfig& config, telemetry::Registry* registry,
                    std::optional<telemetry::Snapshotter>& snapshotter) {
@@ -410,6 +546,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!config.tenancy_file.empty()) {
+    const int exit_code = run_tenancy(config, registry.get());
+    if (!write_metrics(config, registry.get(), snapshotter)) return 1;
+    return exit_code;
+  }
   if (config.listen_set) {
     const int exit_code = run_live(config, registry.get());
     if (!write_metrics(config, registry.get(), snapshotter)) return 1;

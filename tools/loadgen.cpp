@@ -27,7 +27,10 @@ struct GenConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   io::IngestProto proto = io::IngestProto::kUdp;
-  double rate_pps = 0.0;
+  /// One entry per tenant (one broadcast entry allowed); empty = unpaced.
+  std::vector<double> rates_pps;
+  std::size_t tenants = 0;            // 0 = single-destination mode
+  std::vector<std::uint16_t> ports;   // explicit per-tenant ports
   std::size_t repeat = 1;
   std::string workload = "uniform";
   std::size_t flows = 100;
@@ -45,7 +48,12 @@ struct GenConfig {
       "options:\n"
       "  --host ADDR            receiver address (default 127.0.0.1)\n"
       "  --proto udp|tcp        transport (default udp)\n"
-      "  --rate PPS             target send rate, packets/s (0 = unpaced)\n"
+      "  --rate PPS[,PPS...]    target send rate, packets/s (0 = unpaced);\n"
+      "                         a comma list paces each tenant separately\n"
+      "  --tenants N            fan the workload to N tenants on ports\n"
+      "                         PORT..PORT+N-1 (one sender thread each)\n"
+      "  --ports P1,P2,...      explicit per-tenant ports (replaces\n"
+      "                         --port/--tenants)\n"
       "  --repeat N             replay the frame sequence N times\n"
       "  --workload NAME        uniform | datacenter | elephant-mice |\n"
       "                         sync-burst | flash-crowd | syn-flood\n"
@@ -89,11 +97,44 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (arg == "--rate") {
-      const char* value = need_value(i);
-      char* end = nullptr;
-      config.rate_pps = std::strtod(value, &end);
-      if (end == value || *end != '\0' || config.rate_pps < 0.0) {
-        usage(argv[0]);
+      // Comma list = one rate per tenant; a single value broadcasts.
+      std::string value = need_value(i);
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string item = value.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start);
+        char* end = nullptr;
+        const double rate = std::strtod(item.c_str(), &end);
+        if (item.empty() || end != item.c_str() + item.size() ||
+            rate < 0.0) {
+          usage(argv[0]);
+        }
+        config.rates_pps.push_back(rate);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--tenants") {
+      config.tenants = std::strtoul(need_value(i), nullptr, 10);
+      if (config.tenants == 0) usage(argv[0]);
+    } else if (arg == "--ports") {
+      std::string value = need_value(i);
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string item = value.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start);
+        char* end = nullptr;
+        const unsigned long port = std::strtoul(item.c_str(), &end, 10);
+        if (item.empty() || end != item.c_str() + item.size() || port == 0 ||
+            port > 65535) {
+          usage(argv[0]);
+        }
+        config.ports.push_back(static_cast<std::uint16_t>(port));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
       }
     } else if (arg == "--repeat") {
       config.repeat = std::strtoul(need_value(i), nullptr, 10);
@@ -121,7 +162,37 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (!port_set) usage(argv[0]);
+  if (!port_set && config.ports.empty()) usage(argv[0]);
+  if (port_set && !config.ports.empty()) {
+    std::fprintf(stderr, "loadgen: --ports replaces --port (drop one)\n");
+    return 2;
+  }
+  if (config.tenants > 0 && !config.ports.empty() &&
+      config.ports.size() != config.tenants) {
+    std::fprintf(stderr,
+                 "loadgen: --tenants %zu does not match the %zu --ports\n",
+                 config.tenants, config.ports.size());
+    return 2;
+  }
+  // --tenants N with --port P fans to consecutive ports P..P+N-1.
+  if (config.tenants > 0 && config.ports.empty()) {
+    for (std::size_t i = 0; i < config.tenants; ++i) {
+      const unsigned long port =
+          static_cast<unsigned long>(config.port) + i;
+      if (port > 65535) {
+        std::fprintf(stderr, "loadgen: tenant port %lu out of range\n", port);
+        return 2;
+      }
+      config.ports.push_back(static_cast<std::uint16_t>(port));
+    }
+  }
+  const bool multi_tenant = !config.ports.empty();
+  if (!multi_tenant && config.rates_pps.size() > 1) {
+    std::fprintf(stderr,
+                 "loadgen: a rate list needs --tenants/--ports (one rate "
+                 "per tenant)\n");
+    return 2;
+  }
 
   // Mirror chainsim's build_packets: same generators, same planting.
   trace::Workload workload;
@@ -152,11 +223,52 @@ int main(int argc, char** argv) {
   synth.seed = config.seed ^ 0x5EED;
   plant_rule_contents(workload, trace::default_snort_rules(), synth);
 
+  if (multi_tenant) {
+    io::MultiTenantConfig gen;
+    gen.host = config.host;
+    gen.ports = config.ports;
+    gen.proto = config.proto;
+    gen.rates_pps = config.rates_pps;
+    gen.repeat = config.repeat;
+    std::vector<io::TenantLoadReport> results;
+    try {
+      results = io::replay_multi_tenant(workload, gen);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "loadgen: %s\n", error.what());
+      return 1;
+    }
+    bool clean = true;
+    std::uint64_t total_sent = 0;
+    for (const io::TenantLoadReport& tenant : results) {
+      if (!tenant.error.empty()) {
+        std::fprintf(stderr, "loadgen: port %u: %s\n", tenant.port,
+                     tenant.error.c_str());
+        clean = false;
+        continue;
+      }
+      total_sent += tenant.report.sent;
+      clean = clean && tenant.report.send_errors == 0;
+      std::printf(
+          "{\"loadgen\":{\"proto\":\"%s\",\"port\":%u,\"sent\":%llu,"
+          "\"bytes\":%llu,\"send_errors\":%llu,\"elapsed_s\":%.6f,"
+          "\"achieved_pps\":%.1f}}\n",
+          io::ingest_proto_name(config.proto), tenant.port,
+          static_cast<unsigned long long>(tenant.report.sent),
+          static_cast<unsigned long long>(tenant.report.bytes),
+          static_cast<unsigned long long>(tenant.report.send_errors),
+          tenant.report.elapsed_s, tenant.report.achieved_pps);
+    }
+    std::printf("{\"loadgen_total\":{\"tenants\":%zu,\"sent\":%llu}}\n",
+                results.size(),
+                static_cast<unsigned long long>(total_sent));
+    return clean ? 0 : 1;
+  }
+
   io::LoadgenConfig gen;
   gen.host = config.host;
   gen.port = config.port;
   gen.proto = config.proto;
-  gen.rate_pps = config.rate_pps;
+  gen.rate_pps = config.rates_pps.empty() ? 0.0 : config.rates_pps[0];
   gen.repeat = config.repeat;
   io::LoadgenReport report;
   try {

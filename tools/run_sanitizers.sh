@@ -19,8 +19,10 @@ cd "$(dirname "$0")/.."
 # test_equivalence its mid-trace autoscale differential — both must be
 # TSan-clean for the migration protocol to count as proven. test_io runs
 # the wire-frame fuzz sweep (ASan is its real teeth) plus the loopback
-# closed loop, whose TCP tests send from a second thread.
-TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_plan test_control test_io)
+# closed loop, whose TCP tests send from a second thread. test_tenancy
+# hosts several sharded executors at once and byte-checks outputs across
+# an arbiter-triggered mid-run shard reallocation (DESIGN.md §14).
+TARGETS=(test_util test_runtime test_telemetry test_integration test_equivalence test_property test_plan test_control test_io test_tenancy)
 
 run_one() {
   local sanitizer="$1"

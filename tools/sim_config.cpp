@@ -127,6 +127,14 @@ constexpr const char* kTool = "chainsim";
       "                             (default 64; needs --listen)\n"
       "  --idle-timeout MS          exit live mode after MS ms without\n"
       "                             traffic (default 1000; needs --listen)\n"
+      "  --recvmmsg                 drain the live UDP socket with batched\n"
+      "                             recvmmsg() — up to --rx-budget datagrams\n"
+      "                             per syscall (needs --listen)\n"
+      "  --tenancy FILE             host the multi-tenant spec in FILE\n"
+      "                             (tenancy::HostSpec JSON) instead of one\n"
+      "                             deployment; in-process by default, add\n"
+      "                             --listen 0 for live per-tenant listeners\n"
+      "                             (ports come from the spec)\n"
       "  --log-level LEVEL          debug|info|warn|error|off\n",
       argv0, argv0);
   std::exit(2);
@@ -282,6 +290,11 @@ SimConfig SimConfig::parse(int argc, char** argv) {
       config.idle_timeout_ms = static_cast<long>(
           parse_uint_flag(kTool, "--idle-timeout", need_value(i)));
       config.idle_timeout_set = true;
+    } else if (arg == "--recvmmsg") {
+      config.use_recvmmsg = true;
+      config.recvmmsg_set = true;
+    } else if (arg == "--tenancy") {
+      config.tenancy_file = need_value(i);
     } else if (arg == "--log-level") {
       const auto level = util::parse_log_level(need_value(i));
       if (!level) usage(argv[0]);
@@ -290,7 +303,10 @@ SimConfig SimConfig::parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (config.chain.empty() && config.plan_file.empty()) usage(argv[0]);
+  if (config.chain.empty() && config.plan_file.empty() &&
+      config.tenancy_file.empty()) {
+    usage(argv[0]);
+  }
   // --shards implies the sharded executor unless one was named.
   if (!config.executor_set && config.shards > 0) {
     config.executor = plan::ExecutorKind::kSharded;
@@ -299,6 +315,47 @@ SimConfig SimConfig::parse(int argc, char** argv) {
 }
 
 void SimConfig::validate() const {
+  if (!tenancy_file.empty()) {
+    // The tenancy document owns everything per tenant (deployment,
+    // workload, overload, SLO); a flag that would fight it is an error.
+    if (!chain.empty() || !plan_file.empty()) {
+      config_error(kTool, "--tenancy already carries every tenant's "
+                          "deployment: drop --chain/--plan");
+    }
+    if (mode_set || executor_set || shards > 0 || platform_set) {
+      config_error(kTool, "--tenancy already carries every tenant's "
+                          "deployment shape: drop --mode/--executor/"
+                          "--shards/--platform");
+    }
+    if (workload_shape_set || workload != "uniform" || !pcap_in.empty() ||
+        !pcap_out.empty()) {
+      config_error(kTool, "--tenancy already carries every tenant's "
+                          "workload: drop --flows/--packets/--payload/"
+                          "--workload/--datacenter/--pcap/--export-pcap");
+    }
+    if (overload.enabled || drop_policy_set || queue_capacity_set ||
+        fault.has_value()) {
+      config_error(kTool, "--tenancy tenants carry their own overload/fault "
+                          "config in their plans: drop --overload/"
+                          "--drop-policy/--queue-capacity/--inject-fault");
+    }
+    if (autoscale || autoscale_knob_set) {
+      config_error(kTool, "--tenancy runs the SLO enforcement loop instead "
+                          "of --autoscale: drop it (SLOs live in the spec)");
+    }
+    if (fail_backend_at >= 0) {
+      config_error(kTool, "--fail-backend-at is single-deployment only");
+    }
+    if (!emit_plan.empty() || print_config) {
+      config_error(kTool,
+                   "--tenancy does not echo plans: drop "
+                   "--emit-plan/--print-config");
+    }
+    if (listen_set && listen_port != 0) {
+      config_error(kTool, "--tenancy listeners bind each tenant's own "
+                          "listen_port from the spec: pass --listen 0");
+    }
+  }
   if (!plan_file.empty()) {
     // The plan document owns the deployment shape; a flag that would fight
     // it is an error, not a silent override.
@@ -416,10 +473,14 @@ void SimConfig::validate() const {
                           "--max-shards]");
     }
   }
-  if (!listen_set && (proto_set || rx_budget_set || idle_timeout_set)) {
-    config_error(kTool, "--proto/--rx-budget/--idle-timeout need --listen "
-                        "(they configure the live front-end, which does not "
-                        "exist without it)");
+  if (!listen_set &&
+      (proto_set || rx_budget_set || idle_timeout_set || recvmmsg_set)) {
+    config_error(kTool, "--proto/--rx-budget/--idle-timeout/--recvmmsg need "
+                        "--listen (they configure the live front-end, which "
+                        "does not exist without it)");
+  }
+  if (listen_set && !tenancy_file.empty()) {
+    return;  // live tenancy mode: the checks below are single-deployment
   }
   if (listen_set) {
     if (!pcap_in.empty()) {
@@ -452,6 +513,7 @@ void SimConfig::validate() const {
 }
 
 void SimConfig::resolve_plan() {
+  if (!tenancy_file.empty()) return;  // per-tenant plans live in the spec
   if (!plan_file.empty()) {
     std::ifstream in(plan_file, std::ios::binary);
     if (!in) {

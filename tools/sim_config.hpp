@@ -80,6 +80,11 @@ struct SimConfig {
   bool rx_budget_set = false;
   long idle_timeout_ms = 1000;
   bool idle_timeout_set = false;
+  bool use_recvmmsg = false;  // batched UDP drain (recvmmsg) in live mode
+  bool recvmmsg_set = false;
+  // -- multi-tenant hosting (DESIGN.md §14; --tenancy replaces the single
+  // -- deployment with a tenancy::HostSpec document) --
+  std::string tenancy_file;
   // -- autoscaling (control plane; sharded executor only) --
   bool autoscale = false;
   double slo_us = 50.0;
